@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Each ``test_bench_*`` module regenerates one of the paper's tables or
+figures (at a scale that keeps the whole suite in minutes) and asserts
+its headline shape, so ``pytest benchmarks/ --benchmark-only`` is both a
+performance harness and a reproduction check.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def pedantic(benchmark):
+    """Run expensive simulations a bounded number of times."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=3, iterations=1, warmup_rounds=0
+        )
+
+    return run

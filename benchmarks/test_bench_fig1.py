@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 1 (per-reducer copy/sort/reduce times).
+
+Scale model: 8 GiB of JavaSort (128 maps/reducers over 7 workers, same
+wave structure as the paper's 150 GB).  The --full equivalent lives in
+``python -m repro.experiments.fig1_shuffle --full``.
+
+``pytest benchmarks/test_bench_fig1.py --benchmark-only``
+"""
+
+from repro.experiments.fig1_shuffle import run
+from repro.util.units import GiB
+
+
+def test_bench_fig1_javasort_shuffle(pedantic):
+    metrics = pedantic(run, input_bytes=8 * GiB)
+    copy = metrics.copy_times()
+    sort = metrics.sort_times()
+    red = metrics.reduce_times()
+    # The paper's qualitative claims about Figure 1:
+    # sort is negligible ("the points of the sort stage are always near
+    # the X-axis"), and copy dominates the reducer lifecycle.
+    assert float(sort.mean()) < 0.05
+    assert float(copy.mean()) > float(red.mean())
+    share = copy.sum() / (copy.sum() + sort.sum() + red.sum())
+    assert share > 0.5  # paper: ~95% at 150 GB; grows with scale
+    # First-wave reducers (scheduled during the map phase) wait longest.
+    first_wave = sorted(metrics.reduce_tasks, key=lambda r: r.started_at)[0]
+    assert first_wave.copy_time >= float(copy.mean())

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 2 (latency, Hadoop RPC vs MPICH2).
+
+``pytest benchmarks/test_bench_fig2.py --benchmark-only``
+"""
+
+import pytest
+
+from repro.experiments import paper
+from repro.experiments.fig2_latency import run
+from repro.util.units import KiB, MiB
+
+
+def test_bench_fig2_latency_sweep(benchmark):
+    """Full three-panel sweep with the paper's 100-trial methodology."""
+    result = benchmark(run, trials=100)
+    # Headline shapes from Section II-B.
+    assert result.ratio(1) == pytest.approx(paper.FIG2_RATIO_1B, rel=0.15)
+    assert result.ratio(1 * KiB) == pytest.approx(paper.FIG2_RATIO_1KB, rel=0.25)
+    assert result.ratio(1 * MiB) == pytest.approx(paper.FIG2_RATIO_1MB, rel=0.2)
+    for n in (256 * KiB, 1 * MiB, 16 * MiB):
+        assert result.ratio(n) > 90  # ">100 times" beyond 256 KB
+    # MPICH2 stays under 1 ms through 1 KB.
+    assert all(result.mpich[n] < 1e-3 for n in (1, 16, 1 * KiB))

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 3 (bandwidth moving 128 MB).
+
+``pytest benchmarks/test_bench_fig3.py --benchmark-only``
+"""
+
+import pytest
+
+from repro.experiments import paper
+from repro.experiments.fig3_bandwidth import run
+
+
+def test_bench_fig3_bandwidth_sweep(benchmark):
+    result = benchmark(run, include_nio=True, jitter=False)
+    rpc = result.peak("Hadoop RPC")
+    jetty = result.peak("HTTP/Jetty")
+    mpich = result.peak("MPICH2")
+    # Paper: RPC peaks ~1.4 MB/s; Jetty ~108; MPICH2 ~111 (2-3% above).
+    assert rpc < 2e6
+    assert jetty == pytest.approx(paper.FIG3_JETTY_PEAK, rel=0.05)
+    assert mpich == pytest.approx(paper.FIG3_MPICH_PEAK, rel=0.05)
+    assert 1.0 < mpich / jetty < 1.06
+    assert mpich / rpc > 50  # "about 100 times"
+    # Effective from 256 bytes up (both streaming transports).
+    assert result.series["HTTP/Jetty"][256] > 60e6
+    assert result.series["MPICH2"][256] > 50e6

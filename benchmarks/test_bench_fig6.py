@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 6 (WordCount, Hadoop vs MPI-D system).
+
+Scaled sizes (1 and 6 GiB); the paper's 1/10/100 GB points are
+``python -m repro.experiments.fig6_wordcount --full``.
+
+``pytest benchmarks/test_bench_fig6.py --benchmark-only``
+"""
+
+from repro.experiments.fig6_wordcount import run
+
+
+def test_bench_fig6_wordcount(pedantic):
+    result = pedantic(run, sizes_gb=(1, 6))
+    # MPI-D always wins...
+    for gb in (1, 6):
+        assert result.mpid[gb] < result.hadoop[gb]
+    # ...hugely at 1 GB (paper: 8%, ours ~17%)...
+    assert result.ratio(1) < 0.3
+    # ...and the gap narrows as both become throughput-bound
+    # (paper: 48% at 10 GB, 56% at 100 GB).
+    assert result.ratio(1) < result.ratio(6) < 0.8

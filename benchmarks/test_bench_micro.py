@@ -1,0 +1,132 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Not a paper figure — these watch the costs that gate how big a
+simulation the performance plane can run and how fast the functional
+plane moves records: serialization, hashing, the MPI-D buffer/realign
+pipeline, the DES kernel, max-min reallocation, and a real end-to-end
+MPI-D WordCount on the thread runtime.
+
+``pytest benchmarks/test_bench_micro.py --benchmark-only``
+"""
+
+from repro.core import HashTableBuffer, MapReduceJob, SummingCombiner, run_job
+from repro.core.partitioner import HashPartitioner
+from repro.core.realign import realign
+from repro.simnet.kernel import Simulator
+from repro.simnet.network import Network
+from repro.util.hashing import stable_hash
+from repro.util.serde import decode_record, encode_record
+from repro.workloads import generate_corpus
+
+WORDS = [f"word{i}" for i in range(200)]
+RECORDS = [(w, i) for i, w in enumerate(WORDS * 25)]  # 5000 records
+
+
+def test_bench_encode_record(benchmark):
+    benchmark(lambda: [encode_record(k, v) for k, v in RECORDS[:500]])
+
+
+def test_bench_decode_record(benchmark):
+    blobs = [encode_record(k, v) for k, v in RECORDS[:500]]
+    benchmark(lambda: [decode_record(b) for b in blobs])
+
+
+def test_bench_stable_hash(benchmark):
+    benchmark(lambda: [stable_hash(w) for w in WORDS * 10])
+
+
+def test_bench_hashbuffer_add(benchmark):
+    def fill():
+        buf = HashTableBuffer(SummingCombiner())
+        for k, v in RECORDS:
+            buf.add(k, 1)
+        return buf
+
+    buf = benchmark(fill)
+    assert len(buf) == len(WORDS)
+
+
+def test_bench_realign(benchmark):
+    items = [(w, [1] * 10) for w in WORDS * 5]
+    out = benchmark(realign, items, HashPartitioner(), 8, 4096)
+    assert len(out) == 8
+
+
+def test_bench_des_event_throughput(benchmark):
+    """10k chained timeouts through the kernel."""
+
+    def run_sim():
+        sim = Simulator()
+
+        def proc(sim):
+            for _ in range(10_000):
+                yield sim.timeout(0.001)
+
+        sim.process(proc(sim))
+        return sim.run()
+
+    assert benchmark(run_sim) > 0
+
+
+def test_bench_maxmin_reallocation(benchmark):
+    """100 staggered flows over shared links: the shuffle's hot loop."""
+
+    def run_net():
+        sim = Simulator()
+        net = Network(sim)
+        links = [net.add_link(f"l{i}", 1e6) for i in range(8)]
+
+        def starter(sim):
+            for i in range(100):
+                net.transfer((links[i % 8], links[(i + 1) % 8]), 5e4)
+                yield sim.timeout(0.001)
+
+        sim.process(starter(sim))
+        return sim.run()
+
+    assert benchmark(run_net) > 0
+
+
+def test_bench_mplib_collectives(benchmark):
+    """Barrier + allreduce + alltoall rounds on 8 real rank-threads."""
+    from repro.mplib import Runtime
+
+    def round_trip():
+        def main(comm):
+            for _ in range(5):
+                comm.barrier()
+                comm.allreduce(comm.rank)
+                comm.alltoall(list(range(comm.size)))
+            return comm.rank
+
+        return Runtime(8, progress_timeout=10.0).run(main)
+
+    result = benchmark.pedantic(round_trip, rounds=3, iterations=1)
+    assert result == list(range(8))
+
+
+def test_bench_mrmpi_simulation(pedantic):
+    """One 2 GB WordCount through the MPI-D performance twin."""
+    from repro.hadoop.job import WORDCOUNT_PROFILE, JobSpec
+    from repro.mrmpi import run_mpid_job
+    from repro.util.units import GiB
+
+    spec = JobSpec(
+        "bench-wc", input_bytes=2 * GiB, profile=WORDCOUNT_PROFILE, num_reduce_tasks=1
+    )
+    metrics = pedantic(run_mpid_job, spec)
+    assert metrics.elapsed > 0
+
+
+def test_bench_end_to_end_wordcount(pedantic):
+    """Real MPI-D WordCount on the thread runtime (functional plane)."""
+    corpus = generate_corpus(total_bytes=40_000, vocab_size=300, seed=3)
+    job = MapReduceJob(
+        mapper=lambda k, v, emit: [emit(w, 1) for w in v.split()],
+        reducer=lambda k, vs, emit: emit(k, sum(vs)),
+        combiner=SummingCombiner(),
+        num_mappers=4,
+        num_reducers=2,
+    )
+    result = pedantic(run_job, job, corpus)
+    assert len(result) > 0

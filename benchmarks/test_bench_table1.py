@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table I (copy share across sizes x slots).
+
+Scaled grid (1-8 GiB); the paper's full 1-150 GB grid is
+``python -m repro.experiments.table1_copy_pct --full``.
+
+``pytest benchmarks/test_bench_table1.py --benchmark-only``
+"""
+
+from repro.experiments.table1_copy_pct import run
+
+
+def test_bench_table1_sweep(pedantic):
+    result = pedantic(run, sizes_gb=(1, 4, 8))
+    # Every cell is a meaningful share of task time...
+    assert 0.05 < result.min_pct / 100 < result.max_pct / 100 < 1.0
+    # ...and the copy share grows with input size in every slot config
+    # (the table's headline trend: 33.9% smallest, 82.7% biggest).
+    for cfg in ("4/2", "4/4", "8/8", "16/16"):
+        assert result.cells[8][cfg] > result.cells[1][cfg]
+    # At the biggest size the copy stage is the dominant cost.
+    assert result.cells[8]["8/8"] > 0.4

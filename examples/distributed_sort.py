@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Distributed sort on MPI-D: the paper's JavaSort, functionally.
+
+Sorts GridMix-style random records through the MPI-D engine with a
+TeraSort-style :class:`~repro.core.RangePartitioner`: sample the keys,
+cut the key space into reducer ranges, route by binary search, sort
+within each reducer — concatenated reducer outputs are globally sorted.
+
+    python examples/distributed_sort.py
+"""
+
+from repro.core import MapReduceJob, MpiDConfig, RangePartitioner, run_job
+from repro.workloads import generate_sort_records
+
+
+def sort_map(key, value, emit):
+    emit(key, value)
+
+
+def sort_reduce(key, values, emit):
+    for value in values:
+        emit(key, value)
+
+
+def main() -> None:
+    records = generate_sort_records(3000, seed=77)
+    sample = [k for k, _ in records[:300]]  # sample the first 10%
+    num_reducers = 4
+    partitioner = RangePartitioner.from_sample(sample, num_reducers)
+
+    job = MapReduceJob(
+        mapper=sort_map,
+        reducer=sort_reduce,
+        num_mappers=4,
+        num_reducers=num_reducers,
+        partitioner=partitioner,
+        config=MpiDConfig(sort_keys=True),
+        name="distributed-sort",
+    )
+    result = run_job(job, inputs=records)
+
+    keys = [k for k, _ in result.output]
+    assert keys == sorted(keys), "output is not globally sorted"
+    assert len(result.output) == len(records)
+    print(f"sorted {len(records)} records across {num_reducers} reducers")
+    print(f"first key: {keys[0].hex()}")
+    print(f"last key:  {keys[-1].hex()}")
+
+    # Show the range balance the sampled boundaries achieved, and verify
+    # ranges are disjoint and ordered — each reducer holds a contiguous
+    # key range, so reducer outputs need no global merge.
+    groups = [[] for _ in range(num_reducers)]
+    for k in keys:
+        groups[partitioner.partition(k, num_reducers)].append(k)
+    for p in range(num_reducers - 1):
+        assert max(groups[p]) < min(groups[p + 1]), "ranges overlap"
+    print("\nrecords per reducer range:")
+    for p, g in enumerate(groups):
+        print(f"  reducer {p}: {len(g):>5}  {'#' * (len(g) // 30)}")
+    print("\nreducer key ranges are disjoint and ordered: outputs")
+    print("concatenate into the global sort without a merge step")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Text gantt of a simulated Hadoop job: watch the shuffle happen.
+
+Renders the per-task timeline of a small JavaSort on the simulated
+cluster — map tasks filling slot waves, reducers starting at slowstart
+and sitting in the copy stage until the last map output lands.  A
+compact way to *see* why Table I's copy percentages are what they are.
+
+    python examples/job_timeline.py
+"""
+
+from repro.hadoop import JAVASORT_PROFILE, JobSpec, run_hadoop_job
+from repro.util.units import MiB
+
+WIDTH = 72
+
+
+def bar(start: float, end: float, total: float, char: str) -> str:
+    t0 = int(start / total * WIDTH)
+    t1 = max(t0 + 1, int(end / total * WIDTH))
+    return " " * t0 + char * (t1 - t0) + " " * (WIDTH - t1)
+
+
+def main() -> None:
+    metrics = run_hadoop_job(
+        JobSpec(name="sort", input_bytes=512 * MiB, profile=JAVASORT_PROFILE)
+    )
+    total = metrics.elapsed
+    print(
+        f"JavaSort 512 MB: {len(metrics.map_tasks)} maps, "
+        f"{len(metrics.reduce_tasks)} reducers, {total:.1f}s simulated\n"
+    )
+    print(f"{'task':<10}|{'-' * WIDTH}|")
+    for m in sorted(metrics.map_tasks, key=lambda t: t.started_at):
+        print(f"map {m.task_id:<6}|{bar(m.started_at, m.finished_at, total, 'M')}|")
+    for r in sorted(metrics.reduce_tasks, key=lambda t: t.started_at):
+        copy = bar(r.started_at, r.copy_done_at, total, "c")
+        rest = bar(r.copy_done_at, r.finished_at, total, "R")
+        merged = "".join(b if b != " " else a for a, b in zip(copy, rest))
+        print(f"red {r.task_id:<6}|{merged}|")
+    print(f"{'':<10}|{'-' * WIDTH}|")
+    print("\nM = map task, c = reduce copy stage (includes waiting for maps),")
+    print("R = sort+reduce.  Note how every reducer's 'c' stretches until")
+    print("the last map finishes — the copy-stage dominance of Figure 1.")
+    print(f"\ncopy share of all task time: {metrics.copy_fraction * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

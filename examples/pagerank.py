@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""PageRank as iterative MapReduce on MPI-D, checked against networkx.
+
+MR-MPI (the paper's Related Work) made its name on MapReduce graph
+algorithms over MPI; this example shows the same class of workload on
+MPI-D.  Each round, every node ships ``rank/out_degree`` to its
+neighbours through MPI_D_Send and carries its adjacency list along;
+reducers apply the damping rule.  Iteration runs until the L1 delta of
+the rank vector drops below tolerance, then the result is compared to
+``networkx.pagerank`` on the same graph.
+
+    python examples/pagerank.py
+"""
+
+import networkx as nx
+
+from repro.core import MapReduceJob, l1_delta_below, run_iterative_job
+
+DAMPING = 0.85
+
+
+def make_graph(n: int = 60, seed: int = 4) -> nx.DiGraph:
+    g = nx.gnp_random_graph(n, 0.08, seed=seed, directed=True)
+    # PageRank needs every node to have somewhere to send rank mass.
+    for node in list(g.nodes):
+        if g.out_degree(node) == 0:
+            g.add_edge(node, (node + 1) % n)
+    return g
+
+
+def pr_map(node, state, emit):
+    """state = (rank, neighbours): scatter shares, keep the structure."""
+    rank, neighbours = state
+    share = rank / len(neighbours)
+    for nbr in neighbours:
+        emit(nbr, ("share", share))
+    emit(node, ("adj", neighbours))
+
+
+def make_reducer(n: int):
+    def pr_reduce(node, values, emit):
+        incoming = sum(v for kind, v in values if kind == "share")
+        neighbours = next(v for kind, v in values if kind == "adj")
+        new_rank = (1 - DAMPING) / n + DAMPING * incoming
+        emit(node, (new_rank, neighbours))
+
+    return pr_reduce
+
+
+def main() -> None:
+    g = make_graph()
+    n = g.number_of_nodes()
+    initial = [
+        (node, (1.0 / n, sorted(g.successors(node)))) for node in g.nodes
+    ]
+    job = MapReduceJob(
+        mapper=pr_map,
+        reducer=make_reducer(n),
+        num_mappers=4,
+        num_reducers=2,
+        name="pagerank",
+    )
+    outcome = run_iterative_job(
+        job,
+        inputs=initial,
+        max_rounds=60,
+        converged=l1_delta_below(1e-8, value_of=lambda state: state[0]),
+    )
+    ours = {node: state[0] for node, state in outcome.final.output}
+    reference = nx.pagerank(g, alpha=DAMPING, tol=1e-10)
+
+    worst = max(abs(ours[v] - reference[v]) for v in g.nodes)
+    print(
+        f"PageRank over {n} nodes / {g.number_of_edges()} edges: "
+        f"{outcome.rounds} rounds, converged={outcome.converged}"
+    )
+    print(f"max |MPI-D - networkx| = {worst:.2e}")
+    top = sorted(ours, key=ours.get, reverse=True)[:5]
+    print("\ntop nodes (MPI-D vs networkx):")
+    for v in top:
+        print(f"  node {v:>3}: {ours[v]:.6f} vs {reference[v]:.6f}")
+    assert worst < 1e-6, "diverged from the networkx reference"
+    print("\nagrees with networkx.pagerank to 1e-6")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Anatomy of a Hadoop shuffle: where does a sort job's time go?
+
+Runs GridMix-style JavaSort on the simulated Hadoop cluster (the
+paper's 8-node GigE testbed) and breaks each reducer's lifetime into
+copy / sort / reduce — the decomposition behind the paper's Figure 1 —
+then shows how the copy share moves when the input grows (Table I's
+effect, in miniature).
+
+    python examples/shuffle_anatomy.py
+"""
+
+from repro.hadoop import JAVASORT_PROFILE, JobSpec, run_hadoop_job
+from repro.util.units import GiB, fmt_time
+
+
+def run_one(gb: int):
+    metrics = run_hadoop_job(
+        JobSpec(name=f"sort-{gb}g", input_bytes=gb * GiB, profile=JAVASORT_PROFILE)
+    )
+    copy = metrics.copy_times()
+    print(f"\n=== JavaSort {gb} GB ===")
+    print(
+        f"elapsed {fmt_time(metrics.elapsed)}, "
+        f"{len(metrics.map_tasks)} maps, {len(metrics.reduce_tasks)} reducers, "
+        f"{metrics.data_locality() * 100:.0f}% data-local"
+    )
+    print(f"{'reducer':>8} {'copy':>10} {'sort':>10} {'reduce':>10}")
+    for r in metrics.reduce_tasks[:6]:
+        print(
+            f"{r.task_id:>8} {fmt_time(r.copy_time):>10} "
+            f"{fmt_time(r.sort_time):>10} {fmt_time(r.reduce_time):>10}"
+        )
+    if len(metrics.reduce_tasks) > 6:
+        print(f"{'...':>8} ({len(metrics.reduce_tasks) - 6} more)")
+    print(
+        f"copy stage share of all task time: {metrics.copy_fraction * 100:.1f}%  "
+        f"(avg copy {fmt_time(float(copy.mean()))})"
+    )
+    return metrics.copy_fraction
+
+
+def main() -> None:
+    fractions = {gb: run_one(gb) for gb in (1, 4, 8)}
+    print("\n=== the Table-I effect ===")
+    print("input size -> copy share of total mapper+reducer time")
+    for gb, frac in fractions.items():
+        bar = "#" * int(frac * 40)
+        print(f"  {gb:>3} GB  {frac * 100:5.1f}%  {bar}")
+    print(
+        "\nThe copy stage grows from a minority cost to the dominant one "
+        "as input scales — the paper's motivation for replacing it with "
+        "MPI-grade communication."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The paper's Figure-5 WordCount, written against Table II directly.
+
+Where :mod:`examples.quickstart` uses the high-level job API, this
+example drives the raw C-style interface — ``MPI_D_Init``,
+``MPI_D_Send(key, value)``, ``MPI_D_Recv()``, ``MPI_D_Finalize`` — on
+the in-process runtime, with the paper's process layout: rank 0 is the
+master, the next ranks are mappers, the last rank is the single reducer
+(the 49+1+1 shape of Section IV-C, scaled down).
+
+    python examples/wordcount_mpid.py
+"""
+
+from repro.core.api import MPI_D_Finalize, MPI_D_Init, MPI_D_Recv, MPI_D_Send
+from repro.mplib import Runtime
+from repro.workloads import generate_corpus, split_evenly
+
+NUM_MAPPERS = 6
+TAG_SPLIT = 100
+TAG_RESULT = 101
+
+
+def rank_main(comm):
+    """One rank of the simulation system (master / mapper / reducer)."""
+    mapper_ranks = list(range(1, 1 + NUM_MAPPERS))
+    reducer_rank = 1 + NUM_MAPPERS
+
+    if comm.rank == 0:
+        # Master: distribute splits, collect the final counts.
+        corpus = generate_corpus(total_bytes=30_000, vocab_size=300, seed=7)
+        for m, split in zip(mapper_ranks, split_evenly(corpus, NUM_MAPPERS)):
+            comm.send(split, dest=m, tag=TAG_SPLIT)
+        return comm.recv(source=reducer_rank, tag=TAG_RESULT)
+
+    if comm.rank in mapper_ranks:
+        split = comm.recv(source=0, tag=TAG_SPLIT)
+        MPI_D_Init(
+            comm,
+            role="mapper",
+            reducer_ranks=[reducer_rank],
+            combiner=lambda a, b: a + b,  # combine fn == reduce fn, as in Hadoop
+        )
+        # --- the paper's map() ---
+        for line in split:
+            for word in line.split():
+                MPI_D_Send(word, 1)
+        MPI_D_Finalize()
+        return None
+
+    # --- the paper's reduce() ---
+    # Both sides of an MPI-D job share one combiner (like a Hadoop JobConf).
+    MPI_D_Init(
+        comm,
+        role="reducer",
+        num_mappers=NUM_MAPPERS,
+        partition=0,
+        combiner=lambda a, b: a + b,
+    )
+    counts = {}
+    while True:
+        item = MPI_D_Recv()
+        if item is None:
+            break
+        word, values = item
+        counts[word] = sum(values)
+    MPI_D_Finalize()
+    comm.send(counts, dest=0, tag=TAG_RESULT)
+    return None
+
+
+def main() -> None:
+    world = 1 + NUM_MAPPERS + 1  # master + mappers + reducer
+    results = Runtime(world_size=world, name="fig5-wordcount").run(rank_main)
+    counts = results[0]
+    total = sum(counts.values())
+    print(f"{len(counts)} distinct words, {total} total occurrences")
+    for word, n in sorted(counts.items(), key=lambda kv: -kv[1])[:8]:
+        print(f"  {word:<12} {n}")
+
+
+if __name__ == "__main__":
+    main()

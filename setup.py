@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Environments without the ``wheel`` package cannot complete a PEP-517
+editable install; this shim keeps ``pip install -e . --no-use-pep517
+--no-build-isolation`` working there.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""Reproduction of *Can MPI Benefit Hadoop and MapReduce Applications?* (ICPP 2011).
+
+The package is organised in two execution planes:
+
+* the **functional plane** — :mod:`repro.mplib` (an in-process MPI-like
+  message-passing runtime) and :mod:`repro.core` (the paper's MPI-D
+  key-value extension) execute real MapReduce jobs and produce real
+  answers;
+* the **performance plane** — :mod:`repro.simnet` (a discrete-event
+  simulation kernel plus a GigE cluster model), :mod:`repro.transports`
+  (calibrated cost models of Hadoop RPC, HTTP-over-Jetty and MPICH2),
+  :mod:`repro.hadoop` (a simulated Hadoop 0.20.2) and :mod:`repro.mrmpi`
+  (the paper's MapReduce-on-MPI-D simulation system) regenerate every
+  table and figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro.core import MapReduceJob, run_job
+
+    job = MapReduceJob(
+        mapper=lambda k, v, emit: [emit(w, 1) for w in v.split()],
+        reducer=lambda k, vs, emit: emit(k, sum(vs)),
+        num_mappers=4, num_reducers=2,
+    )
+    counts = run_job(job, inputs=["a b a", "b c"]).as_dict()
+    # {'a': 2, 'b': 2, 'c': 1}
+
+Run ``python -m repro`` for the full experiment index.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,40 @@
+"""Command index: ``python -m repro`` lists every runnable experiment."""
+
+from __future__ import annotations
+
+COMMANDS = [
+    ("repro.experiments.fig1_shuffle", "Figure 1: per-reducer copy/sort/reduce"),
+    ("repro.experiments.table1_copy_pct", "Table I: copy-stage share grid"),
+    ("repro.experiments.fig2_latency", "Figure 2: RPC vs MPICH2 latency"),
+    ("repro.experiments.fig3_bandwidth", "Figure 3: RPC/Jetty/MPICH2 bandwidth"),
+    ("repro.experiments.fig6_wordcount", "Figure 6: Hadoop vs MPI-D WordCount"),
+    ("repro.experiments.ablation_combiner", "ablation: local combining"),
+    ("repro.experiments.ablation_partition", "ablation: partition-array size"),
+    ("repro.experiments.ablation_compression", "ablation: realignment compression"),
+    ("repro.experiments.ablation_scheduling", "ablation: heartbeat scheduling"),
+    ("repro.experiments.gridmix", "GridMix suite: Hadoop vs MPI-D"),
+    ("repro.experiments.skew", "partition skew / hot-reducer pathology"),
+    ("repro.experiments.stragglers", "stragglers & speculative execution"),
+    ("repro.experiments.scalability", "scalability sweep (future work 3)"),
+    ("repro.experiments.interconnect_whatif", "IB/SSD what-if (future work 4)"),
+    ("repro.experiments.robustness", "seed-robustness of the headline results"),
+    ("repro.experiments.export", "write per-figure CSVs (--out results/)"),
+    ("repro.experiments.all", "everything above, back to back"),
+]
+
+
+def main() -> int:
+    from repro import __version__
+
+    print(f"repro {__version__} — Can MPI Benefit Hadoop and MapReduce Applications? (ICPP 2011)\n")
+    print("experiments (run with `python -m <module> [--full]`):\n")
+    width = max(len(mod) for mod, _ in COMMANDS)
+    for mod, desc in COMMANDS:
+        print(f"  {mod:<{width}}  {desc}")
+    print("\nexamples: see examples/*.py; tests: pytest tests/;")
+    print("benchmarks: pytest benchmarks/ --benchmark-only")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

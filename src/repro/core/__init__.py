@@ -1,0 +1,85 @@
+"""MPI-D: the paper's minimal key-value extension to MPI (Section III-IV).
+
+The exposed interface is one pair of calls (paper Table II) plus the two
+environment calls::
+
+    MPI_D_Init(comm, job)          # establish roles and library state
+    MPI_D_Send(key, value)         # mapper side: emit one pair
+    MPI_D_Recv()                   # reducer side: next (key, values) or None
+    MPI_D_Finalize()               # flush, end-of-stream, teardown
+
+Underneath, the library implements the Figure-4 pipeline: a hash-table
+buffer with local combining (:mod:`repro.core.hashbuffer`,
+:mod:`repro.core.combiner`), hash-mod partition selection
+(:mod:`repro.core.partitioner`), data realignment into contiguous
+fixed-size partitions (:mod:`repro.core.realign`), MPI point-to-point
+transfer with wildcard reception, and reverse realignment plus merge on
+the reducer (:mod:`repro.core.engine`).
+
+:mod:`repro.core.job` wraps the whole thing into the Section-IV
+simulation system layout (rank 0 master, worker ranks) with the
+:func:`run_job` convenience entry point.
+"""
+
+from repro.core.config import MpiDConfig
+from repro.core.combiner import (
+    Combiner,
+    GroupingCombiner,
+    ReducingCombiner,
+    SummingCombiner,
+    make_combiner,
+)
+from repro.core.partitioner import (
+    HashPartitioner,
+    ModPartitioner,
+    Partitioner,
+    RangePartitioner,
+)
+from repro.core.hashbuffer import HashTableBuffer
+from repro.core.realign import PartitionWriter, realign, reverse_realign
+from repro.core.engine import MapOutputEngine, ReduceInputEngine
+from repro.core.api import (
+    MPI_D_Init,
+    MPI_D_Send,
+    MPI_D_Recv,
+    MPI_D_Finalize,
+    MpiDContext,
+)
+from repro.core.job import Emitter, JobResult, MapReduceJob, run_job
+from repro.core.iterative import IterativeResult, l1_delta_below, run_iterative_job
+from repro.core.pipeline import ChainResult, JobChain, Stage, top_k_chain
+
+__all__ = [
+    "MpiDConfig",
+    "Combiner",
+    "GroupingCombiner",
+    "ReducingCombiner",
+    "SummingCombiner",
+    "make_combiner",
+    "Partitioner",
+    "HashPartitioner",
+    "ModPartitioner",
+    "RangePartitioner",
+    "HashTableBuffer",
+    "PartitionWriter",
+    "realign",
+    "reverse_realign",
+    "MapOutputEngine",
+    "ReduceInputEngine",
+    "MPI_D_Init",
+    "MPI_D_Send",
+    "MPI_D_Recv",
+    "MPI_D_Finalize",
+    "MpiDContext",
+    "MapReduceJob",
+    "JobResult",
+    "Emitter",
+    "run_job",
+    "IterativeResult",
+    "run_iterative_job",
+    "l1_delta_below",
+    "JobChain",
+    "Stage",
+    "ChainResult",
+    "top_k_chain",
+]

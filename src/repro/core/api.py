@@ -1,0 +1,172 @@
+"""The Table-II interface: ``MPI_D_Init / Send / Recv / Finalize``.
+
+Two styles are offered:
+
+* the **C-style module functions**, matching the paper's Table II — a
+  thread-local current context makes them work naturally when each rank
+  is a thread (exactly our runtime)::
+
+      MPI_D_Init(comm, role="mapper", reducer_ranks=[3])
+      MPI_D_Send("word", 1)
+      MPI_D_Finalize()
+
+* the **pythonic context object** (:class:`MpiDContext`), which the
+  module functions delegate to and which supports ``with``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional, Sequence
+
+from repro.core.combiner import Combiner
+from repro.core.config import MpiDConfig
+from repro.core.engine import MapOutputEngine, ReduceInputEngine
+from repro.core.partitioner import Partitioner
+from repro.mplib.comm import Communicator
+
+_ROLE_MAPPER = "mapper"
+_ROLE_REDUCER = "reducer"
+
+
+class MpiDContext:
+    """One rank's MPI-D library state.
+
+    A mapper context owns a :class:`MapOutputEngine` and exposes
+    :meth:`send`; a reducer context owns a :class:`ReduceInputEngine`
+    and exposes :meth:`recv`.  Calling the wrong side raises — the
+    paper's interface is asymmetric by design (send for mappers, recv
+    for reducers).
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        role: str,
+        reducer_ranks: Optional[Sequence[int]] = None,
+        num_mappers: Optional[int] = None,
+        partition: Optional[int] = None,
+        config: Optional[MpiDConfig] = None,
+        combiner: Combiner | Any = None,
+        partitioner: Optional[Partitioner] = None,
+    ):
+        if role not in (_ROLE_MAPPER, _ROLE_REDUCER):
+            raise ValueError(f"role must be 'mapper' or 'reducer', got {role!r}")
+        self.comm = comm
+        self.role = role
+        self.config = config or MpiDConfig()
+        self._mapper: Optional[MapOutputEngine] = None
+        self._reducer: Optional[ReduceInputEngine] = None
+        self._finalized = False
+        if role == _ROLE_MAPPER:
+            if not reducer_ranks:
+                raise ValueError("a mapper context needs reducer_ranks")
+            self._mapper = MapOutputEngine(
+                comm,
+                reducer_ranks,
+                config=self.config,
+                combiner=combiner,
+                partitioner=partitioner,
+            )
+        else:
+            if num_mappers is None or partition is None:
+                raise ValueError(
+                    "a reducer context needs num_mappers and its partition index"
+                )
+            self._reducer = ReduceInputEngine(
+                comm,
+                num_senders=num_mappers,
+                partition=partition,
+                config=self.config,
+                combiner=combiner,
+            )
+
+    # -- the pair of calls ---------------------------------------------------
+    def send(self, key: Any, value: Any) -> None:
+        """``MPI_D_Send(key, value)`` — mapper side only."""
+        if self._mapper is None:
+            raise RuntimeError("MPI_D_Send called on a reducer context")
+        if self._finalized:
+            raise RuntimeError("MPI_D_Send after MPI_D_Finalize")
+        self._mapper.send(key, value)
+
+    def recv(self) -> Optional[tuple[Any, list]]:
+        """``MPI_D_Recv()`` — reducer side only; ``(key, values)`` or None."""
+        if self._reducer is None:
+            raise RuntimeError("MPI_D_Recv called on a mapper context")
+        return self._reducer.recv()
+
+    # -- lifecycle -----------------------------------------------------------
+    def finalize(self) -> None:
+        """``MPI_D_Finalize()``: flush + end-of-stream (mapper), teardown."""
+        if self._finalized:
+            return
+        if self._mapper is not None:
+            self._mapper.finalize()
+        self._finalized = True
+
+    def __enter__(self) -> "MpiDContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # On error, still finalize so reducers unblock with whatever
+        # arrived plus the end-of-stream, instead of deadlocking.
+        self.finalize()
+
+    # -- stats ------------------------------------------------------------------
+    @property
+    def stats(self) -> dict:
+        """Engine counters for tests and experiment reporting."""
+        if self._mapper is not None:
+            return {
+                "records_sent": self._mapper.records_sent,
+                "bytes_sent": self._mapper.bytes_sent,
+                "messages_sent": self._mapper.messages_sent,
+                "spills": self._mapper.buffer.spills,
+            }
+        assert self._reducer is not None
+        return {
+            "arrays_received": self._reducer.arrays_received,
+            "bytes_received": self._reducer.bytes_received,
+            "senders_done": self._reducer.senders_done,
+        }
+
+
+_current = threading.local()
+
+
+def _ctx() -> MpiDContext:
+    ctx = getattr(_current, "ctx", None)
+    if ctx is None:
+        raise RuntimeError("MPI_D_Init has not been called on this rank")
+    return ctx
+
+
+def MPI_D_Init(comm: Communicator, **kwargs: Any) -> MpiDContext:
+    """Initialize MPI-D on this rank; see :class:`MpiDContext` for kwargs."""
+    if getattr(_current, "ctx", None) is not None:
+        raise RuntimeError("MPI_D_Init called twice without MPI_D_Finalize")
+    ctx = MpiDContext(comm, **kwargs)
+    _current.ctx = ctx
+    return ctx
+
+
+def MPI_D_Send(key: Any, value: Any) -> None:
+    """Send one intermediate key-value pair (paper Table II)."""
+    _ctx().send(key, value)
+
+
+def MPI_D_Recv() -> Optional[tuple[Any, list]]:
+    """Collect the next intermediate ``(key, values)`` pair (paper Table II)."""
+    return _ctx().recv()
+
+
+def MPI_D_Finalize() -> None:
+    """Flush, signal end-of-stream, and release this rank's context."""
+    ctx = getattr(_current, "ctx", None)
+    if ctx is None:
+        raise RuntimeError("MPI_D_Finalize without MPI_D_Init")
+    try:
+        ctx.finalize()
+    finally:
+        _current.ctx = None

@@ -1,0 +1,116 @@
+"""Local combining of same-key values (paper §IV-A).
+
+"In the MPI_D_Send routine, the key-value pair will be local combined by
+a combiner ... The combiner commonly gathers pairs of the same key
+together, and constructs a key and value list pair.  For instance, the
+key-value pairs <K1, V1>, <K1, V1'> will be combined as <K1, {V1, V1'}>.
+The aim of combining is to reduce the memory consuming and the
+transmission quantity.  Similar to Hadoop ... the combine function can
+be user defined and is always assigned as the reduce function."
+
+A combiner is an online fold: per-key *state* accumulates values on the
+mapper, states from different mappers *merge* on the reducer, and
+``finalize`` produces the value list handed to the user's reduce
+function.  The algebra must be associative for the result to be
+independent of spill timing and message arrival order — property-tested
+in ``tests/core/test_combiner.py``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Optional, Union
+
+
+class Combiner(ABC):
+    """The fold algebra MPI-D applies between ``MPI_D_Send`` and the wire."""
+
+    @abstractmethod
+    def unit(self, value: Any) -> Any:
+        """Lift one emitted value into combiner state."""
+
+    @abstractmethod
+    def add(self, state: Any, value: Any) -> Any:
+        """Fold one more emitted value into existing state."""
+
+    @abstractmethod
+    def merge(self, left: Any, right: Any) -> Any:
+        """Merge two states (reducer side, across mappers/spills)."""
+
+    @abstractmethod
+    def finalize(self, state: Any) -> list:
+        """State -> the value list the user's reduce function receives."""
+
+
+class GroupingCombiner(Combiner):
+    """The default: gather values of one key into a list (no data loss).
+
+    ``<K,V>, <K,V'>  ->  <K, [V, V']>`` — exactly the paper's example.
+    """
+
+    def unit(self, value: Any) -> list:
+        return [value]
+
+    def add(self, state: list, value: Any) -> list:
+        state.append(value)
+        return state
+
+    def merge(self, left: list, right: list) -> list:
+        if not isinstance(left, list) or not isinstance(right, list):
+            raise TypeError(
+                "grouping combiner received non-list state — the reducer "
+                "context must be configured with the same combiner as the "
+                "mappers (both sides of an MPI-D job share one combiner)"
+            )
+        left.extend(right)
+        return left
+
+    def finalize(self, state: list) -> list:
+        return state
+
+
+class ReducingCombiner(Combiner):
+    """Fold with a user's associative binary function ("always assigned
+    as the reduce function"): state is a single combined value and the
+    reducer receives a one-element list."""
+
+    def __init__(self, fn: Callable[[Any, Any], Any]):
+        if not callable(fn):
+            raise TypeError(f"combiner function must be callable, got {fn!r}")
+        self.fn = fn
+
+    def unit(self, value: Any) -> Any:
+        return value
+
+    def add(self, state: Any, value: Any) -> Any:
+        return self.fn(state, value)
+
+    def merge(self, left: Any, right: Any) -> Any:
+        return self.fn(left, right)
+
+    def finalize(self, state: Any) -> list:
+        return [state]
+
+
+class SummingCombiner(ReducingCombiner):
+    """The WordCount combiner: per-key partial sums."""
+
+    def __init__(self) -> None:
+        super().__init__(lambda a, b: a + b)
+
+
+def make_combiner(
+    spec: Optional[Union[Combiner, Callable[[Any, Any], Any]]],
+) -> Combiner:
+    """Normalize a user combiner spec.
+
+    ``None`` -> grouping (Hadoop's no-combiner behaviour), a callable ->
+    :class:`ReducingCombiner`, a :class:`Combiner` -> itself.
+    """
+    if spec is None:
+        return GroupingCombiner()
+    if isinstance(spec, Combiner):
+        return spec
+    if callable(spec):
+        return ReducingCombiner(spec)
+    raise TypeError(f"cannot make a combiner from {spec!r}")

@@ -1,0 +1,57 @@
+"""MPI-D library configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.util.units import KiB, MiB
+
+
+@dataclass(frozen=True)
+class MpiDConfig:
+    """Tuning knobs of the MPI-D pipeline (paper §IV-A).
+
+    ``spill_threshold``: "when the hash table buffer exceeds a particular
+    size, a thread will be created to spill out the data from the hash
+    table to partitions" — here the spill happens inline when the
+    buffer's serialized size crosses this many bytes.
+
+    ``partition_bytes``: partitions are "a set of continuous arrays with
+    fixed size"; a spill fills as many fixed-size arrays per reducer as
+    needed.
+
+    ``sort_values``: "it can also sort the value list for each key on
+    demand" (off by default, as in the paper's WordCount).
+
+    ``sort_keys``: deliver keys to ``MPI_D_Recv`` in sorted order, the
+    MapReduce contract Hadoop reducers rely on.
+    """
+
+    spill_threshold: int = 4 * MiB
+    partition_bytes: int = 64 * KiB
+    sort_values: bool = False
+    sort_keys: bool = True
+    #: Sort key for value sorting (the "secondary sort" pattern); None
+    #: sorts by the values themselves.  Only meaningful with
+    #: ``sort_values=True``.
+    value_sort_key: Optional[Callable[[Any], Any]] = None
+    #: Use synchronous sends (MPI_Ssend) for partition arrays instead of
+    #: buffered standard sends.  The paper's prototype uses buffered
+    #: MPI_Send for compute/communication overlap; this switch exists to
+    #: ablate that choice (results must be identical, timing is not).
+    synchronous_sends: bool = False
+    #: Compress realigned partition arrays before they hit the wire —
+    #: one of the realignment improvements §IV-A names ("like high
+    #: performance sorting and compressing data").
+    compress: bool = False
+
+    def __post_init__(self) -> None:
+        if self.spill_threshold < 1:
+            raise ValueError(
+                f"spill threshold must be >= 1 byte, got {self.spill_threshold}"
+            )
+        if self.partition_bytes < 64:
+            raise ValueError(
+                f"partition arrays must be >= 64 bytes, got {self.partition_bytes}"
+            )

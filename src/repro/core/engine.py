@@ -1,0 +1,214 @@
+"""The MPI-D engine: what happens between ``MPI_D_Send`` and ``MPI_D_Recv``.
+
+Send path (one per mapper), per paper Figure 4:
+
+1. ``MPI_D_Send(key, value)`` folds the pair into the hash-table buffer
+   (local combine) and returns immediately;
+2. when the buffer crosses the spill threshold it is drained through the
+   hash-mod partitioner and realigned into fixed-size contiguous arrays;
+3. each array goes out as one MPI message — "the destination will be
+   assigned automatically according to the partition number";
+4. ``finalize`` flushes the remainder and sends one end-of-stream marker
+   to every reducer.
+
+Receive path (one per reducer):
+
+5. wildcard reception (``ANY_SOURCE``) of arrays from all mappers
+   concurrently, reverse realignment, and in-memory merge of combined
+   states per key;
+6. once every mapper's end-of-stream arrived, ``MPI_D_Recv`` hands
+   ``(key, value_list)`` pairs to the reduce function, in sorted key
+   order by default.
+
+MPI-D claims the tag :data:`MPID_TAG` for its traffic; applications
+sharing the communicator must avoid it.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.core.combiner import Combiner, make_combiner
+from repro.core.config import MpiDConfig
+from repro.core.partitioner import HashPartitioner, Partitioner
+from repro.core.hashbuffer import HashTableBuffer
+from repro.core.realign import realign, reverse_realign
+from repro.mplib.comm import Communicator
+from repro.mplib.status import ANY_SOURCE
+
+#: Tag reserved for MPI-D data and end-of-stream messages.
+MPID_TAG = 1 << 20
+
+_MSG_DATA = "data"
+_MSG_ZDATA = "zdata"  # zlib-compressed realigned array
+_MSG_EOS = "eos"
+
+
+class MapOutputEngine:
+    """Send side: buffer -> combine -> spill -> partition -> realign -> send."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        reducer_ranks: Sequence[int],
+        config: MpiDConfig | None = None,
+        combiner: Combiner | Any = None,
+        partitioner: Partitioner | None = None,
+    ):
+        if not reducer_ranks:
+            raise ValueError("need at least one reducer rank")
+        if len(set(reducer_ranks)) != len(reducer_ranks):
+            raise ValueError(f"duplicate reducer ranks: {reducer_ranks}")
+        self.comm = comm
+        self.reducer_ranks = list(reducer_ranks)
+        self.config = config or MpiDConfig()
+        self.combiner = make_combiner(combiner)
+        self.partitioner = partitioner or HashPartitioner()
+        self.buffer = HashTableBuffer(self.combiner)
+        self.records_sent = 0
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self._finalized = False
+
+    def send(self, key: Any, value: Any) -> None:
+        """The ``MPI_D_Send`` entry: fold the pair, maybe spill."""
+        if self._finalized:
+            raise RuntimeError("MPI_D_Send after MPI_D_Finalize")
+        self.records_sent += 1
+        self.buffer.add(key, value)
+        if self.buffer.should_spill(self.config.spill_threshold):
+            self.spill()
+
+    def spill(self) -> int:
+        """Drain the buffer to the wire; returns messages sent."""
+        if not len(self.buffer):
+            return 0
+        arrays_per_dest = realign(
+            self.buffer.drain(),
+            self.partitioner,
+            num_partitions=len(self.reducer_ranks),
+            partition_bytes=self.config.partition_bytes,
+            sort_values=self.config.sort_values,
+            value_sort_key=self.config.value_sort_key,
+        )
+        send = (
+            self.comm.ssend if self.config.synchronous_sends else self.comm.send
+        )
+        sent = 0
+        for partition, arrays in enumerate(arrays_per_dest):
+            dest = self.reducer_ranks[partition]
+            for array in arrays:
+                if self.config.compress:
+                    payload = zlib.compress(array)
+                    send((_MSG_ZDATA, partition, payload), dest, MPID_TAG)
+                    self.bytes_sent += len(payload)
+                else:
+                    send((_MSG_DATA, partition, array), dest, MPID_TAG)
+                    self.bytes_sent += len(array)
+                sent += 1
+        self.messages_sent += sent
+        return sent
+
+    def finalize(self) -> None:
+        """Final spill plus end-of-stream to every reducer (idempotent)."""
+        if self._finalized:
+            return
+        self.spill()
+        for dest in self.reducer_ranks:
+            self.comm.send((_MSG_EOS, self.comm.rank), dest, MPID_TAG)
+            self.messages_sent += 1
+        self._finalized = True
+
+
+class ReduceInputEngine:
+    """Receive side: wildcard recv -> reverse realign -> merge -> iterate."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        num_senders: int,
+        partition: int,
+        config: MpiDConfig | None = None,
+        combiner: Combiner | Any = None,
+    ):
+        if num_senders < 1:
+            raise ValueError(f"need at least one sender, got {num_senders}")
+        self.comm = comm
+        self.num_senders = num_senders
+        self.partition = partition
+        self.config = config or MpiDConfig()
+        self.combiner = make_combiner(combiner)
+        self._table: dict[Any, Any] = {}
+        self._collected = False
+        self._iter: Optional[Iterator[tuple[Any, list]]] = None
+        self.arrays_received = 0
+        self.bytes_received = 0
+        self.senders_done = 0
+
+    def collect(self) -> None:
+        """Receive until every mapper signalled end-of-stream.
+
+        "Each reducer adopts the MPI_Recv primitive in the wildcard
+        reception style to receive messages from any source.  Multiple
+        data flows in mappers' partitions are sent to the corresponding
+        reducer concurrently, while reducers receive and combine them in
+        memory."
+        """
+        if self._collected:
+            return
+        merge = self.combiner.merge
+        table = self._table
+        while self.senders_done < self.num_senders:
+            msg = self.comm.recv(source=ANY_SOURCE, tag=MPID_TAG)
+            kind = msg[0]
+            if kind == _MSG_EOS:
+                self.senders_done += 1
+            elif kind in (_MSG_DATA, _MSG_ZDATA):
+                _, partition, array = msg
+                if partition != self.partition:
+                    raise RuntimeError(
+                        f"partition {partition} array delivered to reducer "
+                        f"partition {self.partition}: partitioner/rank map skew"
+                    )
+                self.arrays_received += 1
+                self.bytes_received += len(array)  # wire size (maybe compressed)
+                if kind == _MSG_ZDATA:
+                    array = zlib.decompress(array)
+                for key, state in reverse_realign(array):
+                    if key in table:
+                        table[key] = merge(table[key], state)
+                    else:
+                        table[key] = state
+            else:
+                raise RuntimeError(f"unknown MPI-D message kind {kind!r}")
+        self._collected = True
+
+    def _items(self) -> Iterator[tuple[Any, list]]:
+        keys = self._table.keys()
+        ordered = sorted(keys) if self.config.sort_keys else list(keys)
+        for key in ordered:
+            values = self.combiner.finalize(self._table[key])
+            if self.config.sort_values and isinstance(values, list):
+                # Mapper-side realignment sorted each spill; restore the
+                # global order across merged spills/mappers.
+                values = sorted(values, key=self.config.value_sort_key)
+            yield key, values
+
+    def recv(self) -> Optional[tuple[Any, list]]:
+        """The ``MPI_D_Recv`` entry: next ``(key, values)``, or None at end.
+
+        The first call blocks until all mappers finished (grouping all of
+        a key's values requires the full stream).
+        """
+        self.collect()
+        if self._iter is None:
+            self._iter = self._items()
+        return next(self._iter, None)
+
+    def __iter__(self) -> Iterator[tuple[Any, list]]:
+        while True:
+            item = self.recv()
+            if item is None:
+                return
+            yield item

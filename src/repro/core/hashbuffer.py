@@ -1,0 +1,93 @@
+"""The in-library hash-table buffer behind ``MPI_D_Send`` (paper §IV-A).
+
+"In the common case, MPI_D_Send routine will buffer the key-value pairs
+in a hash table, and return the invocation procedure immediately, which
+aims to achieve much more overlapping between computing and
+communication."
+
+The buffer tracks an estimate of its serialized size so the engine can
+spill when it "exceeds a particular size".  Size accounting is exact for
+grouping combiners (every value's encoded size is added once) and
+conservative for reducing combiners (the combined state replaces the
+previous one in the estimate).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.core.combiner import Combiner, GroupingCombiner
+from repro.util.serde import encoded_kv_size
+
+
+class HashTableBuffer:
+    """Per-mapper key -> combined-state table with byte-size accounting."""
+
+    def __init__(self, combiner: Combiner | None = None):
+        self.combiner = combiner or GroupingCombiner()
+        self._table: dict[Any, Any] = {}
+        self._bytes = 0
+        self._key_bytes: dict[Any, int] = {}
+        self._state_bytes: dict[Any, int] = {}
+        self.pairs_added = 0
+        self.spills = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._table
+
+    @property
+    def approx_bytes(self) -> int:
+        """Estimated serialized size of the table's contents."""
+        return self._bytes
+
+    def add(self, key: Any, value: Any) -> None:
+        """Fold one emitted pair into the table (the MPI_D_Send hot path)."""
+        self.pairs_added += 1
+        combiner = self.combiner
+        table = self._table
+        if key in table:
+            state = combiner.add(table[key], value)
+            table[key] = state
+            if isinstance(combiner, GroupingCombiner):
+                # Exact accounting: appended one more value.
+                self._bytes += encoded_kv_size(value)
+                self._state_bytes[key] += encoded_kv_size(value)
+            else:
+                new_size = encoded_kv_size(state)
+                self._bytes += new_size - self._state_bytes[key]
+                self._state_bytes[key] = new_size
+        else:
+            state = combiner.unit(value)
+            table[key] = state
+            ksize = encoded_kv_size(key)
+            ssize = encoded_kv_size(value) if isinstance(
+                combiner, GroupingCombiner
+            ) else encoded_kv_size(state)
+            self._key_bytes[key] = ksize
+            self._state_bytes[key] = ssize
+            self._bytes += ksize + ssize
+
+    def should_spill(self, threshold: int) -> bool:
+        """True when the serialized-size estimate crossed ``threshold``."""
+        return self._bytes >= threshold
+
+    def drain(self) -> Iterator[tuple[Any, Any]]:
+        """Yield and remove all (key, state) entries — the spill source.
+
+        Entries come out in insertion order (Python dict order), matching
+        the deterministic behaviour the tests rely on.
+        """
+        table = self._table
+        self._table = {}
+        self._key_bytes = {}
+        self._state_bytes = {}
+        self._bytes = 0
+        self.spills += 1
+        yield from table.items()
+
+    def peek(self, key: Any) -> Any:
+        """Current combined state for ``key`` (KeyError if absent)."""
+        return self._table[key]

@@ -1,0 +1,249 @@
+"""The Section-IV simulation-system layout as a runnable job API.
+
+"We use rank 0 process in the simulation system to simulate the master
+process, like the jobtracker process in Hadoop.  Other processes are
+used to simulate workers."
+
+:class:`MapReduceJob` describes a job (map/reduce functions, combiner,
+parallelism, MPI-D config); :func:`run_job` executes it on the
+in-process runtime with the paper's process layout::
+
+    rank 0                 master (distributes splits, gathers output)
+    ranks 1..M             mappers
+    ranks M+1..M+R         reducers
+
+and returns the real computed output.  This is the functional plane —
+answers are exact; the performance twin lives in :mod:`repro.mrmpi`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.api import MpiDContext
+from repro.core.combiner import Combiner
+from repro.core.config import MpiDConfig
+from repro.core.partitioner import Partitioner
+from repro.mplib.runtime import Runtime
+
+#: Job-plumbing tags (distinct from the reserved MPI-D data tag).
+TAG_INPUT = 1001
+TAG_OUTPUT = 1002
+
+MapFn = Callable[[Any, Any, Callable[[Any, Any], None]], None]
+ReduceFn = Callable[[Any, list, Callable[[Any, Any], None]], None]
+
+
+class Emitter:
+    """What user functions receive as ``emit``: callable, plus counters.
+
+    Hadoop-style user counters: ``emit.count("bad-records")`` increments
+    a named job counter; per-task counters are aggregated into
+    :attr:`JobResult.counters`.  Being callable keeps the plain
+    ``emit(key, value)`` signature every example uses.
+    """
+
+    __slots__ = ("_sink", "counters")
+
+    def __init__(self, sink: Callable[[Any, Any], None]):
+        self._sink = sink
+        self.counters: Counter = Counter()
+
+    def __call__(self, key: Any, value: Any) -> None:
+        self._sink(key, value)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment user counter ``name`` by ``amount``."""
+        self.counters[name] += amount
+
+
+@dataclass
+class MapReduceJob:
+    """A MapReduce job for the MPI-D simulation system.
+
+    ``mapper(key, value, emit)`` is called once per input record;
+    ``reducer(key, values, emit)`` once per intermediate key.  ``emit``
+    feeds ``MPI_D_Send`` on the map side and the job output on the
+    reduce side.  ``combiner`` may be a :class:`Combiner`, a binary
+    callable ("always assigned as the reduce function" style), or None
+    for plain grouping.
+    """
+
+    mapper: MapFn
+    reducer: ReduceFn
+    num_mappers: int = 4
+    num_reducers: int = 1
+    combiner: Combiner | Callable | None = None
+    partitioner: Optional[Partitioner] = None
+    config: MpiDConfig = field(default_factory=MpiDConfig)
+    name: str = "mpid-job"
+
+    def __post_init__(self) -> None:
+        if self.num_mappers < 1:
+            raise ValueError(f"need >= 1 mapper, got {self.num_mappers}")
+        if self.num_reducers < 1:
+            raise ValueError(f"need >= 1 reducer, got {self.num_reducers}")
+        if not callable(self.mapper) or not callable(self.reducer):
+            raise TypeError("mapper and reducer must be callables")
+
+    @property
+    def world_size(self) -> int:
+        """Master + mappers + reducers, the paper's 1 + 49 + 1 shape."""
+        return 1 + self.num_mappers + self.num_reducers
+
+    @property
+    def mapper_ranks(self) -> list[int]:
+        return list(range(1, 1 + self.num_mappers))
+
+    @property
+    def reducer_ranks(self) -> list[int]:
+        start = 1 + self.num_mappers
+        return list(range(start, start + self.num_reducers))
+
+
+@dataclass
+class JobResult:
+    """Everything a finished job produced."""
+
+    output: list[tuple[Any, Any]]
+    mapper_stats: list[dict]
+    reducer_stats: list[dict]
+    #: Aggregated user counters from every mapper and reducer.
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Output pairs as a dict (later duplicates of a key win)."""
+        return dict(self.output)
+
+    def __len__(self) -> int:
+        return len(self.output)
+
+
+def _normalize_records(inputs: Sequence[Any]) -> list[tuple[Any, Any]]:
+    """Records may be bare values (key := record index) or (key, value)."""
+    records = []
+    for i, rec in enumerate(inputs):
+        if isinstance(rec, tuple) and len(rec) == 2:
+            records.append(rec)
+        else:
+            records.append((i, rec))
+    return records
+
+
+def _split_round_robin(records: list, n: int) -> list[list]:
+    splits: list[list] = [[] for _ in range(n)]
+    for i, rec in enumerate(records):
+        splits[i % n].append(rec)
+    return splits
+
+
+def _worker_main(comm, job: MapReduceJob) -> Any:
+    rank = comm.rank
+    mapper_ranks = job.mapper_ranks
+    reducer_ranks = job.reducer_ranks
+
+    if rank == 0:
+        # Master: nothing to compute; splits were scattered by run_job's
+        # master closure via plain sends before workers ask for them.
+        outputs: list[tuple[Any, Any]] = []
+        reducer_stats: list[dict] = []
+        counters: Counter = Counter()
+        for r in reducer_ranks:
+            pairs, stats, task_counters = comm.recv(source=r, tag=TAG_OUTPUT)
+            outputs.extend(pairs)
+            reducer_stats.append(stats)
+            counters.update(task_counters)
+        mapper_stats = []
+        for m in mapper_ranks:
+            stats, task_counters = comm.recv(source=m, tag=TAG_OUTPUT)
+            mapper_stats.append(stats)
+            counters.update(task_counters)
+        if job.config.sort_keys:
+            outputs.sort(key=lambda kv: _sort_token(kv[0]))
+        return JobResult(outputs, mapper_stats, reducer_stats, dict(counters))
+
+    if rank in mapper_ranks:
+        split = comm.recv(source=0, tag=TAG_INPUT)
+        ctx = MpiDContext(
+            comm,
+            role="mapper",
+            reducer_ranks=reducer_ranks,
+            config=job.config,
+            combiner=job.combiner,
+            partitioner=job.partitioner,
+        )
+        emitter = Emitter(ctx.send)
+        with ctx:
+            for key, value in split:
+                job.mapper(key, value, emitter)
+        comm.send((ctx.stats, dict(emitter.counters)), dest=0, tag=TAG_OUTPUT)
+        return None
+
+    # Reducer.
+    partition = reducer_ranks.index(rank)
+    ctx = MpiDContext(
+        comm,
+        role="reducer",
+        num_mappers=job.num_mappers,
+        partition=partition,
+        config=job.config,
+        combiner=job.combiner,
+    )
+    pairs: list[tuple[Any, Any]] = []
+    emitter = Emitter(lambda key, value: pairs.append((key, value)))
+
+    with ctx:
+        while True:
+            item = ctx.recv()
+            if item is None:
+                break
+            key, values = item
+            job.reducer(key, values, emitter)
+    comm.send((pairs, ctx.stats, dict(emitter.counters)), dest=0, tag=TAG_OUTPUT)
+    return None
+
+
+def _sort_token(key: Any) -> tuple:
+    """Total order across mixed key types (type name first, then value)."""
+    return (type(key).__name__, key)
+
+
+def run_job(
+    job: MapReduceJob,
+    inputs: Optional[Sequence[Any]] = None,
+    splits: Optional[Sequence[Sequence[tuple[Any, Any]]]] = None,
+    progress_timeout: float = 30.0,
+) -> JobResult:
+    """Execute ``job`` on the in-process runtime and return its output.
+
+    Provide either ``inputs`` (records, split round-robin across mappers
+    — "we distribute all input data across all nodes") or explicit
+    per-mapper ``splits``.
+    """
+    if (inputs is None) == (splits is None):
+        raise ValueError("provide exactly one of inputs= or splits=")
+    if splits is not None:
+        if len(splits) != job.num_mappers:
+            raise ValueError(
+                f"got {len(splits)} splits for {job.num_mappers} mappers"
+            )
+        prepared = [_normalize_records(s) for s in splits]
+    else:
+        prepared = _split_round_robin(
+            _normalize_records(list(inputs or [])), job.num_mappers
+        )
+
+    def main(comm):
+        if comm.rank == 0:
+            for i, m in enumerate(job.mapper_ranks):
+                comm.send(prepared[i], dest=m, tag=TAG_INPUT)
+        return _worker_main(comm, job)
+
+    results = Runtime(
+        job.world_size, progress_timeout=progress_timeout, name=job.name
+    ).run(main)
+    result = results[0]
+    assert isinstance(result, JobResult)
+    return result

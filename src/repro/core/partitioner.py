@@ -1,0 +1,101 @@
+"""Partition selection: which reducer owns a key (paper §IV-A).
+
+"The key and value list pairs in the hash table buffer will be moved to
+partitions through a hash-mod selector.  The selector selects the pairs
+according to their keys' hash values. ... Our implementation is similar
+to the HashPartitioner in the Hadoop MapReduce framework."
+
+:class:`HashPartitioner` uses :func:`repro.util.hashing.stable_hash`
+(deterministic across processes — Python's built-in ``hash`` is not) and
+is the default.  :class:`ModPartitioner` reproduces Hadoop's exact
+``(key.hashCode() & Integer.MAX_VALUE) % numReduceTasks`` for string
+keys, for users who need partition-compatible output with real Hadoop.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from bisect import bisect_right
+from typing import Any, Sequence
+
+from repro.util.hashing import java_string_hash, stable_hash
+
+
+class Partitioner(ABC):
+    """Maps a key to a partition index in ``[0, num_partitions)``."""
+
+    @abstractmethod
+    def partition(self, key: Any, num_partitions: int) -> int:
+        """Select the partition for ``key``; must be deterministic."""
+
+    @staticmethod
+    def _check(num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ValueError(
+                f"need at least one partition, got {num_partitions}"
+            )
+
+
+class HashPartitioner(Partitioner):
+    """Hash-mod over a process-stable 64-bit hash: the MPI-D default."""
+
+    def partition(self, key: Any, num_partitions: int) -> int:
+        self._check(num_partitions)
+        return stable_hash(key) % num_partitions
+
+
+class RangePartitioner(Partitioner):
+    """Order-preserving partitioning over sampled boundaries (TeraSort).
+
+    Hash partitioning balances load but scatters the key order across
+    reducers; a *sorted* output (the point of a sort benchmark) needs
+    partition ``i`` to hold only keys below partition ``i+1``'s.  The
+    classic recipe samples the input, picks ``n-1`` boundary keys, and
+    routes by binary search — reducer outputs concatenate into a totally
+    ordered result.
+    """
+
+    def __init__(self, boundaries: Sequence[Any]):
+        bounds = list(boundaries)
+        if sorted(bounds) != bounds:
+            raise ValueError("range boundaries must be sorted")
+        if len(set(map(repr, bounds))) != len(bounds):
+            raise ValueError("range boundaries must be distinct")
+        self.boundaries = bounds
+
+    @classmethod
+    def from_sample(cls, sample: Sequence[Any], num_partitions: int) -> "RangePartitioner":
+        """Pick ``num_partitions - 1`` evenly spaced cut points from a
+        sample of keys (duplicates collapsed, so skewed samples may
+        yield fewer effective partitions)."""
+        if num_partitions < 1:
+            raise ValueError(f"need at least one partition, got {num_partitions}")
+        ordered = sorted(set(sample))
+        cuts = []
+        for i in range(1, num_partitions):
+            idx = (i * len(ordered)) // num_partitions
+            if 0 < len(ordered) and ordered[min(idx, len(ordered) - 1)] not in cuts:
+                cuts.append(ordered[min(idx, len(ordered) - 1)])
+        return cls(cuts)
+
+    def partition(self, key: Any, num_partitions: int) -> int:
+        self._check(num_partitions)
+        if len(self.boundaries) >= num_partitions:
+            raise ValueError(
+                f"{len(self.boundaries)} boundaries need at least "
+                f"{len(self.boundaries) + 1} partitions, got {num_partitions}"
+            )
+        return bisect_right(self.boundaries, key)
+
+
+class ModPartitioner(Partitioner):
+    """Hadoop's HashPartitioner bit-for-bit (string keys use Java's
+    ``String.hashCode``; other keys fall back to the stable hash)."""
+
+    def partition(self, key: Any, num_partitions: int) -> int:
+        self._check(num_partitions)
+        if isinstance(key, str):
+            h = java_string_hash(key) & 0x7FFFFFFF
+        else:
+            h = stable_hash(key) & 0x7FFFFFFF
+        return h % num_partitions

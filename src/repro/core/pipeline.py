@@ -1,0 +1,119 @@
+"""Multi-stage job pipelines: the output of one MPI-D job feeds the next.
+
+Real MapReduce workloads are rarely one job — the classic "top-k words"
+is WordCount followed by a selection job.  A :class:`JobChain` runs a
+sequence of :class:`~repro.core.job.MapReduceJob` stages on the
+functional plane, with optional between-stage transforms (e.g. turning
+``(word, count)`` into ``(count, word)`` for a sorting stage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.job import JobResult, MapReduceJob, run_job
+
+Transform = Callable[[JobResult], Sequence[Any]]
+
+
+@dataclass
+class Stage:
+    """One pipeline stage: a job plus the transform feeding the next stage."""
+
+    job: MapReduceJob
+    transform: Optional[Transform] = None
+
+    def feed_next(self, result: JobResult) -> Sequence[Any]:
+        if self.transform is not None:
+            return self.transform(result)
+        return result.output
+
+
+@dataclass
+class ChainResult:
+    """Results of every stage, last one first-class."""
+
+    stages: list[JobResult]
+
+    @property
+    def final(self) -> JobResult:
+        return self.stages[-1]
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+
+@dataclass
+class JobChain:
+    """An ordered sequence of MapReduce stages."""
+
+    stages: list[Stage] = field(default_factory=list)
+    name: str = "chain"
+
+    def add(self, job: MapReduceJob, transform: Optional[Transform] = None) -> "JobChain":
+        """Append a stage; returns self for chaining."""
+        self.stages.append(Stage(job=job, transform=transform))
+        return self
+
+    def run(
+        self, inputs: Sequence[Any], progress_timeout: float = 30.0
+    ) -> ChainResult:
+        """Run all stages; stage i+1 consumes stage i's (transformed) output."""
+        if not self.stages:
+            raise ValueError("pipeline has no stages")
+        results: list[JobResult] = []
+        current: Sequence[Any] = inputs
+        for stage in self.stages:
+            result = run_job(
+                stage.job, inputs=current, progress_timeout=progress_timeout
+            )
+            results.append(result)
+            current = stage.feed_next(result)
+        return ChainResult(stages=results)
+
+
+def top_k_chain(k: int, num_mappers: int = 4, num_reducers: int = 2) -> JobChain:
+    """The canonical two-stage pipeline: WordCount, then global top-k.
+
+    Stage 2 funnels everything to one reducer keyed by a constant — the
+    textbook pattern for a global aggregate after a parallel count.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+
+    def wc_map(key, line, emit):
+        for word in line.split():
+            emit(word, 1)
+
+    def wc_reduce(word, counts, emit):
+        emit(word, sum(counts))
+
+    def select_map(word, count, emit):
+        emit("top", (count, word))
+
+    def select_reduce(_, pairs, emit):
+        for count, word in sorted(pairs, reverse=True)[:k]:
+            emit(word, count)
+
+    chain = JobChain(name=f"top{k}-words")
+    chain.add(
+        MapReduceJob(
+            mapper=wc_map,
+            reducer=wc_reduce,
+            combiner=lambda a, b: a + b,
+            num_mappers=num_mappers,
+            num_reducers=num_reducers,
+            name="wordcount",
+        )
+    )
+    chain.add(
+        MapReduceJob(
+            mapper=select_map,
+            reducer=select_reduce,
+            num_mappers=num_mappers,
+            num_reducers=1,
+            name="topk",
+        )
+    )
+    return chain

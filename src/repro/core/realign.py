@@ -1,0 +1,93 @@
+"""Data realignment (paper §IV-A): hash table -> contiguous partitions.
+
+"The other important function is data realignment, which is reformatting
+key and value list pairs from a discrete hash table to an
+address-sequential and fix-sized partition."
+
+This is the step that makes key-value data *MPI-shaped*: variable-sized,
+non-contiguous dict entries become fixed-size contiguous byte arrays
+that one ``MPI_Send`` can move, and the receiving side reconstructs
+pairs with **reverse realignment** ("the sequential data stream will be
+re-constructed as key-value pairs").
+
+The optional per-key value sort ("it can also sort the value list for
+each key on demand") happens here, at realignment time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.core.partitioner import Partitioner
+from repro.util.serde import encode_record, iter_records
+
+
+class PartitionWriter:
+    """Fills fixed-capacity contiguous arrays for one destination.
+
+    Records are appended back-to-back; when the current array cannot fit
+    the next record a new one is started.  A record larger than the
+    capacity gets an oversized array of its own (it must still travel —
+    one array, one send).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"partition capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._current = bytearray()
+        self._full: list[bytes] = []
+        self.records_written = 0
+        self.bytes_written = 0
+
+    def append(self, key: Any, state: Any) -> None:
+        """Append one encoded (key, combined-state) record."""
+        blob = encode_record(key, state)
+        if self._current and len(self._current) + len(blob) > self.capacity:
+            self._full.append(bytes(self._current))
+            self._current = bytearray()
+        self._current += blob
+        self.records_written += 1
+        self.bytes_written += len(blob)
+
+    def close(self) -> list[bytes]:
+        """Seal and return all arrays (the partial tail included)."""
+        if self._current:
+            self._full.append(bytes(self._current))
+            self._current = bytearray()
+        out, self._full = self._full, []
+        return out
+
+
+def realign(
+    items: Iterable[tuple[Any, Any]],
+    partitioner: Partitioner,
+    num_partitions: int,
+    partition_bytes: int,
+    sort_values: bool = False,
+    value_sort_key: Optional[Callable[[Any], Any]] = None,
+) -> list[list[bytes]]:
+    """Reformat (key, state) entries into per-destination contiguous arrays.
+
+    Returns ``arrays[p]`` = list of byte buffers destined for partition
+    ``p``.  With ``sort_values`` on, list-valued states are sorted before
+    encoding (non-list states pass through untouched).
+    """
+    if num_partitions < 1:
+        raise ValueError(f"need at least one partition, got {num_partitions}")
+    writers = [PartitionWriter(partition_bytes) for _ in range(num_partitions)]
+    for key, state in items:
+        if sort_values and isinstance(state, list):
+            state = sorted(state, key=value_sort_key)
+        dest = partitioner.partition(key, num_partitions)
+        if not 0 <= dest < num_partitions:
+            raise ValueError(
+                f"partitioner returned {dest} outside [0, {num_partitions})"
+            )
+        writers[dest].append(key, state)
+    return [w.close() for w in writers]
+
+
+def reverse_realign(buf: bytes) -> Iterator[tuple[Any, Any]]:
+    """Reconstruct (key, state) pairs from one realigned array."""
+    return iter_records(buf)

@@ -1,0 +1,23 @@
+"""Experiment drivers: one module per table/figure in the paper.
+
+Each module exposes ``run(...)`` returning a plain result structure,
+``format_report(result)`` rendering the same rows/series the paper
+prints, and a ``main()`` so it can be invoked as a script::
+
+    python -m repro.experiments.fig2_latency
+    python -m repro.experiments.table1_copy_pct --full
+
+``--full`` reproduces the paper's exact input sizes (minutes of wall
+time); the default is a scaled-down sweep with the same shape.
+:mod:`repro.experiments.paper` holds the published numbers each report
+compares against.
+"""
+
+from repro.experiments import paper
+from repro.experiments.reporting import (
+    Table,
+    format_series,
+    compare_to_paper,
+)
+
+__all__ = ["paper", "Table", "format_series", "compare_to_paper"]

@@ -1,0 +1,105 @@
+"""Ablation: how much of small-job Hadoop time is heartbeat scheduling?
+
+Figure 6's 1 GB point shows Hadoop at 49 s where MPI-D takes 3.9 s —
+and most of that gap is not communication but *slot-fill latency*:
+0.20.2 hands each TaskTracker at most one map per 3-second heartbeat.
+This ablation sweeps ``maps_per_heartbeat`` and the heartbeat interval
+on a small WordCount to expose that structural overhead (and shows it
+washing out at larger inputs).
+
+Run: ``python -m repro.experiments.ablation_scheduling``
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+
+from repro.experiments.reporting import Table, banner
+from repro.hadoop import HadoopConfig, JobSpec, WORDCOUNT_PROFILE, run_hadoop_job
+from repro.util.units import GiB
+
+
+@dataclass
+class SchedulingAblation:
+    small_gb: int
+    large_gb: int
+    #: (maps_per_heartbeat, heartbeat_interval) -> (small s, large s)
+    cells: dict[tuple[int, float], tuple[float, float]] = field(default_factory=dict)
+
+
+DEFAULT_GRID = ((1, 3.0), (4, 3.0), (8, 3.0), (1, 1.0), (8, 0.5))
+
+
+def run(
+    small_gb: int = 1,
+    large_gb: int = 8,
+    grid: tuple[tuple[int, float], ...] = DEFAULT_GRID,
+    seed: int = 2011,
+) -> SchedulingAblation:
+    result = SchedulingAblation(small_gb=small_gb, large_gb=large_gb)
+    for maps_per_hb, interval in grid:
+        cfg = HadoopConfig(
+            map_slots=7,
+            reduce_slots=7,
+            maps_per_heartbeat=maps_per_hb,
+            heartbeat_interval=interval,
+        )
+        small = run_hadoop_job(
+            JobSpec(
+                "wc-small",
+                input_bytes=small_gb * GiB,
+                profile=WORDCOUNT_PROFILE,
+                num_reduce_tasks=1,
+            ),
+            config=cfg,
+            seed=seed,
+        ).elapsed
+        large = run_hadoop_job(
+            JobSpec(
+                "wc-large",
+                input_bytes=large_gb * GiB,
+                profile=WORDCOUNT_PROFILE,
+                num_reduce_tasks=1,
+            ),
+            config=cfg,
+            seed=seed,
+        ).elapsed
+        result.cells[(maps_per_hb, interval)] = (small, large)
+    return result
+
+
+def format_report(result: SchedulingAblation) -> str:
+    table = Table(
+        headers=(
+            "maps/heartbeat",
+            "interval (s)",
+            f"{result.small_gb} GB job (s)",
+            f"{result.large_gb} GB job (s)",
+        ),
+        title="Hadoop WordCount vs scheduler aggressiveness",
+    )
+    for (mph, interval), (small, large) in result.cells.items():
+        table.add_row(mph, interval, small, large)
+    base = result.cells.get((1, 3.0))
+    best_small = min(s for s, _ in result.cells.values())
+    note = ""
+    if base:
+        note = (
+            f"scheduler tuning alone cuts the {result.small_gb} GB job from "
+            f"{base[0]:.1f}s to {best_small:.1f}s — the overhead MPI-D's "
+            f"static assignment never pays"
+        )
+    return "\n\n".join(
+        [banner("Ablation: heartbeat-paced task assignment"), table.render(), note]
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    argparse.ArgumentParser(description=__doc__).parse_args(argv)
+    print(format_report(run()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+"""Run every experiment back to back and print all reports.
+
+The one-stop regeneration of the paper's evaluation (scaled inputs)::
+
+    python -m repro.experiments.all          # minutes
+    python -m repro.experiments.all --full   # paper-size inputs (longer)
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (
+    ablation_combiner,
+    ablation_compression,
+    ablation_partition,
+    ablation_scheduling,
+    fig1_shuffle,
+    fig2_latency,
+    fig3_bandwidth,
+    fig6_wordcount,
+    gridmix,
+    interconnect_whatif,
+    scalability,
+    stragglers,
+    table1_copy_pct,
+)
+from repro.util.units import GiB
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-size inputs")
+    parser.add_argument(
+        "--skip-extensions", action="store_true", help="paper figures/tables only"
+    )
+    args = parser.parse_args(argv)
+
+    t0 = time.time()
+    sections: list[str] = []
+
+    sections.append(fig2_latency.format_report(fig2_latency.run()))
+    sections.append(
+        fig3_bandwidth.format_report(fig3_bandwidth.run(include_nio=True))
+    )
+    fig1_gb = 150 if args.full else 16
+    sections.append(fig1_shuffle.format_report(fig1_shuffle.run(fig1_gb * GiB)))
+    t1_sizes = (
+        table1_copy_pct.FULL_SIZES_GB if args.full else table1_copy_pct.DEFAULT_SIZES_GB
+    )
+    sections.append(table1_copy_pct.format_report(table1_copy_pct.run(t1_sizes)))
+    f6_sizes = (
+        fig6_wordcount.FULL_SIZES_GB if args.full else fig6_wordcount.DEFAULT_SIZES_GB
+    )
+    sections.append(fig6_wordcount.format_report(fig6_wordcount.run(f6_sizes)))
+
+    if not args.skip_extensions:
+        sections.append(ablation_combiner.format_report(ablation_combiner.run()))
+        sections.append(ablation_partition.format_report(ablation_partition.run()))
+        sections.append(
+            ablation_compression.format_report(ablation_compression.run())
+        )
+        sections.append(ablation_scheduling.format_report(ablation_scheduling.run()))
+        sections.append(stragglers.format_report(stragglers.run()))
+        sections.append(scalability.format_report(scalability.run()))
+        sections.append(gridmix.format_report(gridmix.run()))
+        sections.append(
+            interconnect_whatif.format_report(interconnect_whatif.run())
+        )
+
+    print(("\n\n" + "#" * 72 + "\n\n").join(sections))
+    print(f"\n[all experiments completed in {time.time() - t0:.1f}s wall time]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""Export experiment results as CSV files for external plotting.
+
+``python -m repro.experiments.export --out results/`` writes one CSV per
+figure/table with exactly the series the plots need (a column per curve,
+a row per x value), so any plotting stack — gnuplot, matplotlib,
+spreadsheets — can regenerate the paper's graphics from this repo's
+numbers without rerunning the simulations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments import fig1_shuffle, fig2_latency, fig3_bandwidth
+from repro.experiments import fig6_wordcount, table1_copy_pct
+from repro.util.units import GiB
+
+
+def _write_csv(path: Path, header: Sequence[str], rows: Sequence[Sequence]) -> None:
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def fig1_csv(metrics=None, input_bytes: int = 16 * GiB) -> tuple[list[str], list[list]]:
+    """Per-reducer copy/sort/reduce rows (Figure 1's scatter data)."""
+    m = metrics or fig1_shuffle.run(input_bytes=input_bytes)
+    header = ["reducer_id", "copy_s", "sort_s", "reduce_s"]
+    rows = [
+        [r.task_id, r.copy_time, r.sort_time, r.reduce_time]
+        for r in sorted(m.reduce_tasks, key=lambda r: r.task_id)
+    ]
+    return header, rows
+
+
+def fig2_csv(result=None) -> tuple[list[str], list[list]]:
+    r = result or fig2_latency.run()
+    header = ["size_bytes", "hadoop_rpc_s", "mpich2_s", "ratio"]
+    rows = [[n, r.rpc[n], r.mpich[n], r.ratio(n)] for n in r.sizes]
+    return header, rows
+
+
+def fig3_csv(result=None) -> tuple[list[str], list[list]]:
+    r = result or fig3_bandwidth.run(include_nio=True)
+    names = list(r.series)
+    header = ["packet_bytes"] + [n.replace("/", "_").replace(" ", "_") for n in names]
+    rows = [[p] + [r.series[n][p] for n in names] for p in r.packets]
+    return header, rows
+
+
+def table1_csv(result=None) -> tuple[list[str], list[list]]:
+    r = result or table1_copy_pct.run()
+    configs = list(next(iter(r.cells.values())))
+    header = ["input_gb"] + [c.replace("/", "_") for c in configs]
+    rows = [[gb] + [r.cells[gb][c] for c in configs] for gb in r.sizes_gb]
+    return header, rows
+
+
+def fig6_csv(result=None) -> tuple[list[str], list[list]]:
+    r = result or fig6_wordcount.run()
+    header = ["input_gb", "hadoop_s", "mpid_s", "ratio"]
+    rows = [[gb, r.hadoop[gb], r.mpid[gb], r.ratio(gb)] for gb in r.sizes_gb]
+    return header, rows
+
+
+EXPORTS = {
+    "fig1_shuffle.csv": fig1_csv,
+    "fig2_latency.csv": fig2_csv,
+    "fig3_bandwidth.csv": fig3_csv,
+    "table1_copy_pct.csv": table1_csv,
+    "fig6_wordcount.csv": fig6_csv,
+}
+
+
+def export_all(out_dir: Path) -> list[Path]:
+    """Run every exporter; returns the written paths."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for filename, maker in EXPORTS.items():
+        header, rows = maker()
+        path = out_dir / filename
+        _write_csv(path, header, rows)
+        written.append(path)
+    return written
+
+
+def render_csv(header: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """CSV text without touching the filesystem (for tests/embedding)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(header)
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("results"))
+    args = parser.parse_args(argv)
+    for path in export_all(args.out):
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

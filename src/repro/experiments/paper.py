@@ -1,0 +1,76 @@
+"""The paper's published numbers, as data.
+
+Every value here is quoted or derived from the paper text; experiment
+reports print these next to the reproduced values so paper-vs-measured
+is visible in one table (EXPERIMENTS.md records the comparison).
+"""
+
+from __future__ import annotations
+
+from repro.util.units import GiB, KiB, MiB
+
+# --- Figure 1 (JavaSort 150 GB, 7 workers, 8/8 slots) -------------------------
+FIG1_INPUT_BYTES = 150 * GiB
+FIG1_AVG_COPY_S = 128.5
+FIG1_AVG_SORT_S = 0.0102
+FIG1_AVG_REDUCE_S = 6.7995
+FIG1_COPY_RANGE_S = (48.0, 178.0)
+FIG1_REDUCE_RANGE_S = (2.0, 58.0)
+FIG1_COPY_SHARE_OF_REDUCER_LIFECYCLE = 0.95
+FIG1_NUM_REDUCERS_SHOWN = 2345
+
+# --- Table I: copy-time percentage by input size x (map/reduce slots) ----------
+#: rows: input size in GiB; columns: "4/2", "4/4", "8/8", "16/16".
+TABLE1_SLOT_CONFIGS = ("4/2", "4/4", "8/8", "16/16")
+TABLE1_SIZES_GB = (1, 3, 9, 27, 81, 150)
+TABLE1_COPY_PCT: dict[int, dict[str, float]] = {
+    1: {"4/2": 43.1, "4/4": 43.0, "8/8": 38.5, "16/16": 35.7},
+    3: {"4/2": 35.0, "4/4": 33.9, "8/8": 35.9, "16/16": 46.3},
+    9: {"4/2": 43.1, "4/4": 42.9, "8/8": 42.8, "16/16": 39.7},
+    27: {"4/2": 44.3, "4/4": 47.9, "8/8": 43.18, "16/16": 36.4},
+    81: {"4/2": 60.0, "4/4": 71.0, "8/8": 74.6, "16/16": 73.9},
+    150: {"4/2": 69.6, "4/4": 82.0, "8/8": 82.7, "16/16": 80.6},
+}
+TABLE1_MIN_PCT = 33.9
+TABLE1_MAX_PCT = 82.7
+
+# --- Figure 2: ping-pong latency (half round-trip), seconds --------------------
+FIG2_RPC_LATENCY: dict[int, float] = {
+    1: 1.3e-3,
+    16: 1.3e-3,
+    1 * KiB: 8.9e-3,
+    1 * MiB: 1.259,
+    64 * MiB: 56.827,
+}
+FIG2_MPICH_LATENCY: dict[int, float] = {
+    1 * KiB: 0.6e-3,
+    1 * MiB: 10.3e-3,  # paper quotes 10.2-10.3 ms
+    64 * MiB: 0.572,
+}
+FIG2_RATIO_1B = 2.49
+FIG2_RATIO_1KB = 15.1
+FIG2_RATIO_1MB = 123.0
+FIG2_RATIO_OVER_256KB = 100.0
+
+#: The three panels' size ranges (paper Figures 2a/2b/2c).
+FIG2_PANELS = {
+    "a": (1, 1 * KiB),
+    "b": (1 * KiB, 1 * MiB),
+    "c": (1 * MiB, 64 * MiB),
+}
+
+# --- Figure 3: bandwidth moving 128 MB, bytes/s ---------------------------------
+FIG3_TOTAL_BYTES = 128 * MiB
+FIG3_RPC_PEAK = 1.4e6
+FIG3_JETTY_PEAK = 108e6
+FIG3_MPICH_PEAK = 111e6
+FIG3_JETTY_AT_256B = 80e6
+FIG3_MPICH_AT_256B = 60e6
+FIG3_EFFECTIVE_THRESHOLD_BYTES = 256
+
+# --- Figure 6: WordCount, Hadoop vs the MPI-D simulation system ------------------
+FIG6_SIZES_GB = (1, 10, 100)
+FIG6_HADOOP_S = {1: 49.0, 100: 2001.0}  # 10 GB not quoted in the text
+FIG6_MPID_S = {1: 3.9, 100: 1129.0}
+FIG6_RATIO = {1: 0.08, 10: 0.48, 100: 0.56}
+FIG6_HEADLINE_REDUCTION_AT_100GB = 0.44  # "reduce application execution time by 44%"

@@ -1,0 +1,106 @@
+"""Stragglers and speculative execution: the story behind Figure 1's outliers.
+
+The paper deletes 56 reducer points "as their time reaches 4000 s" —
+an entire scheduling wave of stragglers.  This experiment injects a
+slow-disk node into the simulated cluster (a failing drive, the classic
+production straggler) and measures the job three ways:
+
+* healthy cluster,
+* one straggler node, speculation off (0.20.2 with
+  ``mapred.map.tasks.speculative.execution=false``),
+* one straggler node, speculation on — duplicate attempts of slow maps
+  race on healthy nodes.
+
+Run: ``python -m repro.experiments.stragglers``
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.experiments.reporting import Table, banner
+from repro.hadoop import HadoopConfig, JAVASORT_PROFILE, JobMetrics, JobSpec, run_hadoop_job
+from repro.util.units import GiB
+
+
+@dataclass
+class StragglerResult:
+    healthy: JobMetrics
+    degraded: JobMetrics
+    speculative: JobMetrics
+
+    @property
+    def degradation(self) -> float:
+        return self.degraded.elapsed / self.healthy.elapsed
+
+    @property
+    def recovered(self) -> float:
+        """Fraction of the straggler-induced slowdown speculation removed."""
+        lost = self.degraded.elapsed - self.healthy.elapsed
+        if lost <= 0:
+            return 0.0
+        won_back = self.degraded.elapsed - self.speculative.elapsed
+        return won_back / lost
+
+
+def run(
+    input_gb: int = 4,
+    slow_node: int = 3,
+    slowdown: float = 6.0,
+    seed: int = 2011,
+) -> StragglerResult:
+    spec = JobSpec(
+        name=f"sort-{input_gb}g",
+        input_bytes=input_gb * GiB,
+        profile=JAVASORT_PROFILE,
+    )
+    base_cfg = HadoopConfig()
+    spec_cfg = HadoopConfig(speculative_execution=True)
+    return StragglerResult(
+        healthy=run_hadoop_job(spec, config=base_cfg, seed=seed),
+        degraded=run_hadoop_job(
+            spec, config=base_cfg, seed=seed, disk_slowdown={slow_node: slowdown}
+        ),
+        speculative=run_hadoop_job(
+            spec, config=spec_cfg, seed=seed, disk_slowdown={slow_node: slowdown}
+        ),
+    )
+
+
+def format_report(result: StragglerResult) -> str:
+    table = Table(
+        headers=("scenario", "job time (s)", "avg copy (s)", "spec attempts", "spec wins"),
+    )
+    for label, m in (
+        ("healthy cluster", result.healthy),
+        ("1 slow disk, no speculation", result.degraded),
+        ("1 slow disk, speculation on", result.speculative),
+    ):
+        table.add_row(
+            label,
+            m.elapsed,
+            float(m.copy_times().mean()),
+            m.speculative_attempts,
+            m.speculative_wins,
+        )
+    summary = (
+        f"straggler cost: {result.degradation:.2f}x; speculation recovered "
+        f"{result.recovered * 100:.0f}% of the lost time"
+    )
+    return "\n\n".join(
+        [banner("Stragglers & speculative execution"), table.render(), summary]
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gb", type=int, default=4)
+    parser.add_argument("--slowdown", type=float, default=6.0)
+    args = parser.parse_args(argv)
+    print(format_report(run(input_gb=args.gb, slowdown=args.slowdown)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

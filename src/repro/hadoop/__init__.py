@@ -1,0 +1,43 @@
+"""Simulated Hadoop 0.20.2 (the paper's baseline platform).
+
+A discrete-event model of the MapReduce runtime the paper measures:
+
+* :mod:`repro.hadoop.config` — the configuration knobs the paper varies
+  (block size, per-node map/reduce slots) plus the 0.20.2 defaults that
+  shape its behaviour (heartbeat interval, parallel copies, slowstart);
+* :mod:`repro.hadoop.hdfs` — namenode metadata: files, 64 MB blocks,
+  replica placement, locality lookups;
+* :mod:`repro.hadoop.job` — workload profiles (JavaSort, WordCount) and
+  job specifications;
+* :mod:`repro.hadoop.jobtracker` / :mod:`repro.hadoop.tasktracker` —
+  heartbeat-driven slot scheduling over the Hadoop-RPC cost model;
+* :mod:`repro.hadoop.maptask`, :mod:`repro.hadoop.shuffle`,
+  :mod:`repro.hadoop.reducetask` — the task execution models, including
+  the copy stage over the Jetty transport with real network/disk
+  contention;
+* :mod:`repro.hadoop.metrics` — per-task phase timings, the analogue of
+  the Hadoop logs the paper mined for Figure 1 and Table I;
+* :mod:`repro.hadoop.simulation` — the top-level driver.
+"""
+
+from repro.hadoop.config import HadoopConfig
+from repro.hadoop.hdfs import HdfsNamespace, HdfsFile, Block
+from repro.hadoop.job import JobSpec, WorkloadProfile, JAVASORT_PROFILE, WORDCOUNT_PROFILE
+from repro.hadoop.metrics import JobMetrics, MapTaskMetrics, ReduceTaskMetrics
+from repro.hadoop.simulation import HadoopSimulation, run_hadoop_job
+
+__all__ = [
+    "HadoopConfig",
+    "HdfsNamespace",
+    "HdfsFile",
+    "Block",
+    "JobSpec",
+    "WorkloadProfile",
+    "JAVASORT_PROFILE",
+    "WORDCOUNT_PROFILE",
+    "JobMetrics",
+    "MapTaskMetrics",
+    "ReduceTaskMetrics",
+    "HadoopSimulation",
+    "run_hadoop_job",
+]

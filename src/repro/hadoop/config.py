@@ -1,0 +1,80 @@
+"""Hadoop 0.20.2 configuration, reduced to the knobs that shape the paper.
+
+Defaults mirror the stock ``mapred-default.xml``/``hdfs-default.xml``
+values of the version the paper runs (0.20.2 on JDK 1.6): 64 MB blocks,
+3x replication, 3 s minimum heartbeat, one map assignment per heartbeat,
+5 parallel shuffle copiers, 5% reduce slowstart.  ``map_slots`` /
+``reduce_slots`` are the two knobs Table I varies (4/2 … 16/16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.units import MiB
+
+
+@dataclass(frozen=True)
+class HadoopConfig:
+    """Cluster-wide Hadoop configuration."""
+
+    # -- HDFS ---------------------------------------------------------------
+    block_size: int = 64 * MiB
+    replication: int = 3
+
+    # -- slots (Table I's column variable) -----------------------------------
+    map_slots: int = 8
+    reduce_slots: int = 8
+
+    # -- JobTracker scheduling ------------------------------------------------
+    heartbeat_interval: float = 3.0
+    maps_per_heartbeat: int = 1
+    reduces_per_heartbeat: int = 1
+    reduce_slowstart: float = 0.05  # fraction of maps done before reduces start
+
+    # -- task execution ---------------------------------------------------------
+    task_jvm_startup: float = 1.0  # fork + JVM boot + localization
+    io_sort_mb: int = 100 * MiB  # map-side sort buffer
+    io_sort_factor: int = 10  # streams merged per pass
+
+    # -- shuffle ------------------------------------------------------------------
+    parallel_copies: int = 5
+    shuffle_memory_bytes: int = 140 * MiB  # ~0.7 of a 200 MB reduce JVM
+    completion_poll_interval: float = 1.0  # reducer's map-event poll period
+
+    # -- speculative execution ------------------------------------------------
+    #: Re-run straggling maps on another node (0.20.2 ships with this on;
+    #: our default keeps it off so the paper-calibration experiments are
+    #: unaffected — the straggler experiment turns it on explicitly).
+    speculative_execution: bool = False
+    #: A running map is a straggler once its elapsed time exceeds this
+    #: multiple of the average completed-map duration.
+    speculative_slowness: float = 1.5
+
+    # -- misc --------------------------------------------------------------------
+    job_setup_time: float = 5.0  # job client + setup/cleanup tasks
+    rpc_status_bytes: int = 512  # serialized heartbeat payload
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1 * MiB:
+            raise ValueError(f"block size too small: {self.block_size}")
+        if self.replication < 1:
+            raise ValueError(f"replication must be >= 1, got {self.replication}")
+        if self.map_slots < 1 or self.reduce_slots < 1:
+            raise ValueError(
+                f"slots must be >= 1, got {self.map_slots}/{self.reduce_slots}"
+            )
+        if not 0.0 <= self.reduce_slowstart <= 1.0:
+            raise ValueError(f"slowstart must be in [0,1]: {self.reduce_slowstart}")
+        if self.heartbeat_interval <= 0 or self.completion_poll_interval <= 0:
+            raise ValueError("intervals must be positive")
+        if self.parallel_copies < 1:
+            raise ValueError(f"parallel copies must be >= 1: {self.parallel_copies}")
+        if self.speculative_slowness <= 1.0:
+            raise ValueError(
+                f"speculative slowness must exceed 1.0: {self.speculative_slowness}"
+            )
+
+    def with_slots(self, map_slots: int, reduce_slots: int) -> "HadoopConfig":
+        """The Table-I sweep helper: same config, different slot counts."""
+        return replace(self, map_slots=map_slots, reduce_slots=reduce_slots)

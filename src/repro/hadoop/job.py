@@ -1,0 +1,134 @@
+"""Job specifications and workload profiles.
+
+A :class:`WorkloadProfile` characterizes *what the user code costs* —
+CPU seconds per input byte, output/input ratios — independent of the
+framework that runs it.  The two profiles the paper uses:
+
+* :data:`JAVASORT_PROFILE` — GridMix JavaSort: identity map/reduce, all
+  the cost is data movement (selectivity 1.0 end to end);
+* :data:`WORDCOUNT_PROFILE` — text parsing is CPU-heavy in the JVM, the
+  combiner collapses output to word-frequency tables (tiny selectivity).
+
+Rates are calibrated for the paper's hardware generation (2.4 GHz
+Xeon E5620, JDK 1.6); DESIGN.md documents each choice.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.units import MiB
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Per-byte cost model of one MapReduce application's user code."""
+
+    name: str
+    #: CPU seconds per input byte in the map function + collect path.
+    map_cpu_per_byte: float
+    #: map output bytes / map input bytes (before any combiner).
+    map_selectivity: float
+    #: CPU seconds per shuffled byte in the reduce function.
+    reduce_cpu_per_byte: float
+    #: reduce output bytes / reduce input bytes.
+    reduce_selectivity: float
+    #: Fraction of map output surviving the combiner (1.0 = no combiner).
+    combiner_reduction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.map_cpu_per_byte < 0 or self.reduce_cpu_per_byte < 0:
+            raise ValueError("CPU rates may not be negative")
+        if self.map_selectivity < 0 or self.reduce_selectivity < 0:
+            raise ValueError("selectivities may not be negative")
+        if not 0 < self.combiner_reduction <= 1.0:
+            raise ValueError(
+                f"combiner reduction must be in (0, 1], got {self.combiner_reduction}"
+            )
+
+    def map_output_bytes(self, input_bytes: float) -> float:
+        """Bytes one map task materializes after map + combine."""
+        return input_bytes * self.map_selectivity * self.combiner_reduction
+
+    def reduce_output_bytes(self, shuffled_bytes: float) -> float:
+        return shuffled_bytes * self.reduce_selectivity
+
+
+#: GridMix JavaSort: identity map and reduce over ~100-byte records;
+#: CPU is (de)serialization plus the map-side sort.
+JAVASORT_PROFILE = WorkloadProfile(
+    name="javasort",
+    map_cpu_per_byte=1.0 / (25 * MiB),
+    map_selectivity=1.0,
+    reduce_cpu_per_byte=1.0 / (50 * MiB),
+    reduce_selectivity=1.0,
+)
+
+#: Hadoop's WordCount example (with its standard combiner): heavy JVM
+#: string parsing in map, near-constant-size word tables out.
+WORDCOUNT_PROFILE = WorkloadProfile(
+    name="wordcount",
+    map_cpu_per_byte=1.0 / (2.5 * MiB),
+    map_selectivity=1.6,  # <word, 1> pairs outweigh the raw text
+    reduce_cpu_per_byte=1.0 / (20 * MiB),
+    reduce_selectivity=1.0,
+    combiner_reduction=0.01,  # per-block vocabulary << block size
+)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job submission: input size, workload, reduce parallelism.
+
+    ``num_reduce_tasks=None`` follows GridMix JavaSort and sets one
+    reduce task per input block — the 1:1 shape behind Figure 1's ~2400
+    reducers at 150 GB.
+
+    ``partition_weights`` models key skew: the fraction of every map's
+    output going to each reduce partition (normalized internally).
+    None means the uniform split a hash partitioner gives well-spread
+    keys; a skewed vector reproduces the hot-reducer pathology.
+    """
+
+    name: str
+    input_bytes: int
+    profile: WorkloadProfile
+    num_reduce_tasks: Optional[int] = None
+    input_file: str = "input"
+    partition_weights: Optional[tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.input_bytes < 1:
+            raise ValueError(f"input must be >= 1 byte, got {self.input_bytes}")
+        if self.num_reduce_tasks is not None and self.num_reduce_tasks < 1:
+            raise ValueError(
+                f"need >= 1 reduce task, got {self.num_reduce_tasks}"
+            )
+        if self.partition_weights is not None:
+            if any(w < 0 for w in self.partition_weights):
+                raise ValueError("partition weights may not be negative")
+            if sum(self.partition_weights) <= 0:
+                raise ValueError("partition weights must sum to > 0")
+
+    def normalized_weights(self, num_reduces: int) -> list[float]:
+        """Per-partition output fractions, length ``num_reduces``."""
+        if self.partition_weights is None:
+            return [1.0 / num_reduces] * num_reduces
+        if len(self.partition_weights) != num_reduces:
+            raise ValueError(
+                f"{len(self.partition_weights)} weights for "
+                f"{num_reduces} reduce tasks"
+            )
+        total = sum(self.partition_weights)
+        return [w / total for w in self.partition_weights]
+
+    def num_map_tasks(self, block_size: int) -> int:
+        """One map task per block, as in Hadoop's FileInputFormat."""
+        return max(1, math.ceil(self.input_bytes / block_size))
+
+    def reduce_tasks(self, block_size: int) -> int:
+        if self.num_reduce_tasks is not None:
+            return self.num_reduce_tasks
+        return self.num_map_tasks(block_size)

@@ -1,0 +1,304 @@
+"""JobTracker state: task bookkeeping and the heartbeat assignment policy.
+
+The JobTracker here is a passive state machine — TaskTracker processes
+drive it by calling :meth:`JobTracker.heartbeat` every interval, exactly
+like Hadoop 0.20.2's ``heartbeat()`` RPC: the tracker reports completed
+tasks and receives new assignments (at most ``maps_per_heartbeat`` map
+tasks, node-local preferred, plus reduce tasks once slowstart is met).
+
+Map completions become *visible* to reducers only when reported on a
+heartbeat — the announcement delay that real reducers experience between
+a map finishing and its output being fetchable knowledge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hadoop.config import HadoopConfig
+from repro.hadoop.hdfs import Block, HdfsFile
+from repro.hadoop.job import JobSpec
+from repro.hadoop.metrics import MapTaskMetrics, ReduceTaskMetrics
+
+_PENDING = "pending"
+_RUNNING = "running"
+_DONE = "done"
+
+
+@dataclass
+class MapTaskInfo:
+    task_id: int
+    block: Block
+    state: str = _PENDING
+    node: Optional[int] = None  # winning attempt's node once DONE
+    output_bytes: float = 0.0
+    completed_at: Optional[float] = None
+    announced: bool = False
+    metrics: Optional[MapTaskMetrics] = None  # winning attempt's metrics
+    attempts: int = 0
+    first_started: Optional[float] = None
+
+    @property
+    def preferred_nodes(self) -> tuple[int, ...]:
+        return self.block.replicas
+
+
+@dataclass
+class MapAttempt:
+    """One execution attempt of a map task (original or speculative)."""
+
+    task: MapTaskInfo
+    node: int
+    metrics: MapTaskMetrics
+    speculative: bool = False
+
+    # Convenience pass-throughs so schedulers/tests read attempts like tasks.
+    @property
+    def task_id(self) -> int:
+        return self.task.task_id
+
+
+@dataclass
+class ReduceTaskInfo:
+    task_id: int
+    partition: int
+    state: str = _PENDING
+    node: Optional[int] = None
+    metrics: Optional[ReduceTaskMetrics] = None
+
+
+@dataclass
+class MapOutputRef:
+    """What a reducer needs to fetch one map's partition slice."""
+
+    map_id: int
+    node: int
+    partition_bytes: float
+
+
+class JobTracker:
+    """Task state + assignment policy for one job."""
+
+    def __init__(
+        self,
+        spec: JobSpec,
+        config: HadoopConfig,
+        hdfs_file: HdfsFile,
+        num_workers: int,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"need at least one worker, got {num_workers}")
+        self.spec = spec
+        self.config = config
+        self.num_workers = num_workers
+        self.maps = [
+            MapTaskInfo(task_id=i, block=b) for i, b in enumerate(hdfs_file.blocks)
+        ]
+        if not self.maps:
+            raise ValueError("job input has no blocks")
+        self.num_reduces = spec.reduce_tasks(config.block_size)
+        self.reduces = [
+            ReduceTaskInfo(task_id=i, partition=i) for i in range(self.num_reduces)
+        ]
+        #: Output fraction per reduce partition (key-skew model).
+        self.partition_weights = spec.normalized_weights(self.num_reduces)
+        self._pending_maps: list[MapTaskInfo] = list(self.maps)
+        # node -> pending local maps, for O(1) locality-aware pops.
+        self._local_index: dict[int, list[MapTaskInfo]] = {}
+        for task in self.maps:
+            for node in task.preferred_nodes:
+                self._local_index.setdefault(node, []).append(task)
+        self._next_reduce = 0
+        self.maps_completed = 0
+        self.maps_announced = 0
+        self.reduces_completed = 0
+        self.speculative_attempts = 0
+        self.speculative_wins = 0
+        self._completed_durations: list[float] = []
+        #: Announcement log, append-only; reducers poll with a cursor so a
+        #: poll costs O(new events), like TaskCompletionEvents paging.
+        self._announced_order: list[MapTaskInfo] = []
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def total_maps(self) -> int:
+        return len(self.maps)
+
+    @property
+    def job_done(self) -> bool:
+        return self.reduces_completed == self.num_reduces
+
+    @property
+    def map_phase_done(self) -> bool:
+        return self.maps_completed == self.total_maps
+
+    def reduces_may_start(self) -> bool:
+        """Hadoop's slowstart rule, on *announced* completions."""
+        if self.config.reduce_slowstart == 0.0:
+            return True
+        threshold = self.config.reduce_slowstart * self.total_maps
+        return self.maps_announced > 0 and self.maps_announced >= threshold
+
+    def visible_map_outputs(self, partition: int) -> list[MapOutputRef]:
+        """All completed-and-announced map outputs, as a reducer's event
+        poll sees them."""
+        refs, _ = self.poll_map_outputs(0, partition)
+        return refs
+
+    def poll_map_outputs(
+        self, cursor: int, partition: int = 0
+    ) -> tuple[list[MapOutputRef], int]:
+        """TaskCompletionEvents paging: announcements after ``cursor``.
+
+        Returns the new output references (sized by ``partition``'s
+        output share) and the advanced cursor, so one poll costs O(new
+        completions) rather than O(total maps).
+        """
+        weight = self.partition_weights[partition]
+        log = self._announced_order
+        refs = [
+            MapOutputRef(
+                map_id=task.task_id,
+                node=task.node,  # type: ignore[arg-type]
+                partition_bytes=task.output_bytes * weight,
+            )
+            for task in log[cursor:]
+        ]
+        return refs, len(log)
+
+    # -- the heartbeat protocol ---------------------------------------------------
+    def heartbeat(
+        self,
+        node: int,
+        free_map_slots: int,
+        free_reduce_slots: int,
+        completed_map_ids: list[int],
+        now: float,
+    ) -> tuple[list[MapAttempt], list[ReduceTaskInfo]]:
+        """One tracker's heartbeat: report completions, receive work."""
+        for mid in completed_map_ids:
+            task = self.maps[mid]
+            if not task.announced:
+                task.announced = True
+                self.maps_announced += 1
+                self._announced_order.append(task)
+
+        assigned_maps: list[MapAttempt] = []
+        budget = min(self.config.maps_per_heartbeat, max(0, free_map_slots))
+        while budget > 0:
+            task = self._pop_map_for(node)
+            if task is None:
+                break
+            task.state = _RUNNING
+            task.node = node
+            task.attempts += 1
+            task.first_started = now
+            metrics = MapTaskMetrics(task_id=task.task_id, node=node, scheduled_at=now)
+            metrics.data_local = node in task.preferred_nodes
+            task.metrics = metrics
+            assigned_maps.append(MapAttempt(task=task, node=node, metrics=metrics))
+            budget -= 1
+
+        if (
+            self.config.speculative_execution
+            and budget > 0
+            and not self._pending_maps
+        ):
+            attempt = self._speculate(node, now)
+            if attempt is not None:
+                assigned_maps.append(attempt)
+
+        assigned_reduces: list[ReduceTaskInfo] = []
+        if self.reduces_may_start():
+            budget = min(
+                self.config.reduces_per_heartbeat, max(0, free_reduce_slots)
+            )
+            while budget > 0 and self._next_reduce < self.num_reduces:
+                task = self.reduces[self._next_reduce]
+                self._next_reduce += 1
+                task.state = _RUNNING
+                task.node = node
+                task.metrics = ReduceTaskMetrics(
+                    task_id=task.task_id, node=node, scheduled_at=now
+                )
+                assigned_reduces.append(task)
+                budget -= 1
+
+        return assigned_maps, assigned_reduces
+
+    def _pop_map_for(self, node: int) -> Optional[MapTaskInfo]:
+        """Node-local map first (HDFS locality), else head of line."""
+        local = self._local_index.get(node)
+        while local:
+            task = local.pop()
+            if task.state == _PENDING:
+                self._pending_maps.remove(task)
+                return task
+        while self._pending_maps:
+            task = self._pending_maps.pop(0)
+            if task.state == _PENDING:
+                return task
+        return None
+
+    def _speculate(self, node: int, now: float) -> Optional[MapAttempt]:
+        """Pick the worst straggler for a duplicate attempt on ``node``."""
+        if not self._completed_durations:
+            return None
+        avg = sum(self._completed_durations) / len(self._completed_durations)
+        threshold = self.config.speculative_slowness * avg
+        best: Optional[MapTaskInfo] = None
+        best_elapsed = threshold
+        for task in self.maps:
+            if (
+                task.state == _RUNNING
+                and task.attempts < 2
+                and task.node != node
+                and task.first_started is not None
+            ):
+                elapsed = now - task.first_started
+                if elapsed > best_elapsed:
+                    best = task
+                    best_elapsed = elapsed
+        if best is None:
+            return None
+        best.attempts += 1
+        self.speculative_attempts += 1
+        metrics = MapTaskMetrics(task_id=best.task_id, node=node, scheduled_at=now)
+        metrics.data_local = node in best.preferred_nodes
+        return MapAttempt(task=best, node=node, metrics=metrics, speculative=True)
+
+    # -- completion callbacks (from task processes) ----------------------------------
+    def map_finished(
+        self, attempt: MapAttempt, output_bytes: float, now: float
+    ) -> bool:
+        """Record one attempt's completion; returns True if it won.
+
+        With speculative execution two attempts can race; the first to
+        finish defines the task's node, output and metrics, the loser is
+        ignored (real Hadoop kills it; we let it drain — same schedule,
+        slightly pessimistic slot usage).
+        """
+        task = attempt.task
+        if task.state == _DONE:
+            return False
+        if task.state != _RUNNING:
+            raise RuntimeError(f"map {task.task_id} finished in state {task.state}")
+        task.state = _DONE
+        task.node = attempt.node
+        task.output_bytes = output_bytes
+        task.completed_at = now
+        task.metrics = attempt.metrics
+        self.maps_completed += 1
+        self._completed_durations.append(attempt.metrics.duration)
+        if attempt.speculative:
+            self.speculative_wins += 1
+        return True
+
+    def reduce_finished(self, task: ReduceTaskInfo) -> None:
+        if task.state != _RUNNING:
+            raise RuntimeError(
+                f"reduce {task.task_id} finished in state {task.state}"
+            )
+        task.state = _DONE
+        self.reduces_completed += 1

@@ -1,0 +1,80 @@
+"""The map task execution model.
+
+One map task = JVM startup, block read (local disk, or remote datanode
+when the scheduler couldn't place it locally), the user map function +
+collect path on one core, and the sort/spill machinery: output runs
+through the ``io.sort.mb`` buffer; if it overflows, spills are later
+merged with one extra read+write pass.
+
+All I/O goes through the node's processor-shared disk and the max-min
+shared network, so concurrent tasks and shuffle fetches contend exactly
+where they do on real hardware.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.hadoop.jobtracker import MapAttempt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hadoop.simulation import HadoopSimulation
+    from repro.hadoop.tasktracker import TaskTracker
+
+
+def map_task_process(
+    env: "HadoopSimulation", attempt: MapAttempt, tracker: "TaskTracker"
+):
+    """DES process for one map attempt (original or speculative)."""
+    sim = env.sim
+    cfg = env.config
+    profile = env.spec.profile
+    task = attempt.task
+    metrics = attempt.metrics
+    metrics.started_at = sim.now
+    metrics.input_bytes = task.block.size
+    node = env.cluster.node(attempt.node)
+
+    yield sim.timeout(cfg.task_jvm_startup)
+
+    # --- input ----------------------------------------------------------
+    if task.block.is_local_to(attempt.node):
+        yield node.disk_read(task.block.size)
+    else:
+        # Remote read streams: source disk and the network pipeline in
+        # parallel; both must finish.
+        src = env.cluster.node(task.block.replicas[0])
+        nio = env.nio.wire_costs(task.block.size)
+        yield sim.all_of(
+            [
+                src.disk_read(task.block.size),
+                env.cluster.send(
+                    src.node_id,
+                    attempt.node,
+                    nio.wire_bytes,
+                    extra_latency=nio.setup_time,
+                    rate_cap=nio.rate_cap,
+                ),
+            ]
+        )
+
+    # --- user map + collect on one core -----------------------------------
+    cpu_time = task.block.size * profile.map_cpu_per_byte
+    yield node.cpus.acquire()
+    try:
+        yield sim.timeout(cpu_time)
+    finally:
+        node.cpus.release()
+
+    # --- sort & spill --------------------------------------------------------
+    output = profile.map_output_bytes(task.block.size)
+    metrics.output_bytes = int(output)
+    yield node.disk_write(output)
+    if output > cfg.io_sort_mb:
+        # Multiple spills: merge pass re-reads and re-writes everything.
+        yield node.disk_read(output, sequential=False)
+        yield node.disk_write(output)
+
+    metrics.finished_at = sim.now
+    env.jobtracker.map_finished(attempt, output_bytes=output, now=sim.now)
+    tracker.map_completed(attempt)

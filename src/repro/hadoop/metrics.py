@@ -1,0 +1,171 @@
+"""Per-task phase timings — the simulated equivalent of Hadoop's logs.
+
+The paper: "Through Hadoop's logs, we gather all reducers' running time
+and the consuming time of shuffle."  These dataclasses are that log.
+Figure 1 plots ``copy_time`` / ``sort_time`` / ``reduce_time`` per
+reducer; Table I computes ``sum(copy) / (sum(map task time) + sum(reduce
+task time))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class MapTaskMetrics:
+    """One map attempt's timeline."""
+
+    task_id: int
+    node: int
+    scheduled_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    input_bytes: int = 0
+    output_bytes: int = 0
+    data_local: bool = True
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class ReduceTaskMetrics:
+    """One reduce attempt's timeline, split into the three phases."""
+
+    task_id: int
+    node: int
+    scheduled_at: float = 0.0
+    started_at: float = 0.0
+    copy_done_at: float = 0.0
+    sort_done_at: float = 0.0
+    finished_at: float = 0.0
+    shuffled_bytes: int = 0
+    fetches: int = 0
+
+    @property
+    def copy_time(self) -> float:
+        """Copy stage of shuffle — includes waiting for unfinished maps,
+        exactly as the Hadoop counters the paper mined do."""
+        return self.copy_done_at - self.started_at
+
+    @property
+    def sort_time(self) -> float:
+        return self.sort_done_at - self.copy_done_at
+
+    @property
+    def reduce_time(self) -> float:
+        return self.finished_at - self.sort_done_at
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class JobMetrics:
+    """Everything one simulated job produced."""
+
+    job_name: str
+    submitted_at: float = 0.0
+    finished_at: float = 0.0
+    map_tasks: list[MapTaskMetrics] = field(default_factory=list)
+    reduce_tasks: list[ReduceTaskMetrics] = field(default_factory=list)
+    speculative_attempts: int = 0
+    speculative_wins: int = 0
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished_at - self.submitted_at
+
+    # -- the Table-I statistic -------------------------------------------------
+    @property
+    def total_copy_time(self) -> float:
+        return sum(r.copy_time for r in self.reduce_tasks)
+
+    @property
+    def total_task_time(self) -> float:
+        """Sum of all mappers' and reducers' execution time (Table I's
+        denominator)."""
+        return sum(m.duration for m in self.map_tasks) + sum(
+            r.duration for r in self.reduce_tasks
+        )
+
+    @property
+    def copy_fraction(self) -> float:
+        """Table I's cell value: copy stage share of total task time."""
+        denom = self.total_task_time
+        return self.total_copy_time / denom if denom > 0 else 0.0
+
+    # -- Figure-1 style summaries -----------------------------------------------
+    def copy_times(self) -> np.ndarray:
+        return np.array([r.copy_time for r in self.reduce_tasks])
+
+    def sort_times(self) -> np.ndarray:
+        return np.array([r.sort_time for r in self.reduce_tasks])
+
+    def reduce_times(self) -> np.ndarray:
+        return np.array([r.reduce_time for r in self.reduce_tasks])
+
+    def summary(self) -> dict:
+        """Headline numbers for reports."""
+        copy = self.copy_times()
+        out = {
+            "job": self.job_name,
+            "elapsed": self.elapsed,
+            "maps": len(self.map_tasks),
+            "reduces": len(self.reduce_tasks),
+            "copy_fraction": self.copy_fraction,
+        }
+        if len(copy):
+            out.update(
+                avg_copy=float(copy.mean()),
+                avg_sort=float(self.sort_times().mean()),
+                avg_reduce=float(self.reduce_times().mean()),
+            )
+        return out
+
+    def data_locality(self) -> float:
+        """Fraction of map tasks that read a local replica."""
+        if not self.map_tasks:
+            return 1.0
+        return sum(1 for m in self.map_tasks if m.data_local) / len(self.map_tasks)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable dump: summary plus per-task phase records —
+        the machine-readable twin of the Hadoop job history file."""
+        return {
+            "summary": self.summary(),
+            "speculative_attempts": self.speculative_attempts,
+            "speculative_wins": self.speculative_wins,
+            "map_tasks": [
+                {
+                    "task_id": m.task_id,
+                    "node": m.node,
+                    "scheduled_at": m.scheduled_at,
+                    "started_at": m.started_at,
+                    "finished_at": m.finished_at,
+                    "input_bytes": m.input_bytes,
+                    "output_bytes": m.output_bytes,
+                    "data_local": m.data_local,
+                }
+                for m in self.map_tasks
+            ],
+            "reduce_tasks": [
+                {
+                    "task_id": r.task_id,
+                    "node": r.node,
+                    "started_at": r.started_at,
+                    "copy_time": r.copy_time,
+                    "sort_time": r.sort_time,
+                    "reduce_time": r.reduce_time,
+                    "shuffled_bytes": r.shuffled_bytes,
+                    "fetches": r.fetches,
+                }
+                for r in self.reduce_tasks
+            ],
+        }

@@ -1,0 +1,131 @@
+"""Top-level driver: one simulated Hadoop job on the paper's testbed.
+
+Wiring: node 0 is the master (JobTracker + NameNode), the remaining
+nodes are workers (TaskTracker + DataNode), matching the paper's
+"1 master, 7 slaves" deployment.  Input data is pre-loaded into HDFS
+spread across all workers; the job then runs to completion under the
+DES, and :class:`~repro.hadoop.metrics.JobMetrics` comes back with the
+phase timings Figures 1/6 and Table I are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hadoop.config import HadoopConfig
+from repro.hadoop.hdfs import HdfsNamespace
+from repro.hadoop.job import JobSpec
+from repro.hadoop.jobtracker import JobTracker, MapAttempt, ReduceTaskInfo
+from repro.hadoop.maptask import map_task_process
+from repro.hadoop.metrics import JobMetrics
+from repro.hadoop.reducetask import reduce_task_process
+from repro.hadoop.tasktracker import TaskTracker
+from repro.simnet.cluster import Cluster, ClusterSpec
+from repro.simnet.kernel import Simulator
+from repro.transports.hadoop_rpc import HadoopRpcTransport
+from repro.transports.jetty import JettyHttpTransport
+from repro.transports.nio import NioSocketTransport
+
+
+@dataclass
+class HadoopSimulation:
+    """One job on one freshly built simulated cluster."""
+
+    spec: JobSpec
+    config: HadoopConfig = field(default_factory=HadoopConfig)
+    cluster_spec: ClusterSpec = field(default_factory=ClusterSpec)
+    seed: int = 2011
+    #: Straggler injection: node id -> disk slowdown factor (>1 = slower).
+    disk_slowdown: Optional[dict[int, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.cluster_spec.num_nodes < 2:
+            raise ValueError("need a master plus at least one worker node")
+        self.sim = Simulator()
+        self.cluster = Cluster(self.sim, self.cluster_spec)
+        for node_id, factor in (self.disk_slowdown or {}).items():
+            if factor <= 0:
+                raise ValueError(f"slowdown factor must be positive: {factor}")
+            self.cluster.node(node_id).disk.rate /= factor
+        self.num_workers = self.cluster_spec.num_nodes - 1
+        self.hdfs = HdfsNamespace(
+            datanodes=[self.worker_node_id(w) for w in range(self.num_workers)],
+            block_size=self.config.block_size,
+            replication=self.config.replication,
+            seed=self.seed,
+        )
+        self.rpc = HadoopRpcTransport()
+        self.jetty = JettyHttpTransport()
+        self.nio = NioSocketTransport()
+        self._file = self.hdfs.create_file(self.spec.input_file, self.spec.input_bytes)
+        self.jobtracker = JobTracker(
+            self.spec, self.config, self._file, num_workers=self.num_workers
+        )
+        self.metrics = JobMetrics(job_name=self.spec.name)
+
+    # -- id mapping -----------------------------------------------------------
+    def worker_node_id(self, worker_index: int) -> int:
+        """Worker index (0-based, HDFS space) -> cluster node id."""
+        return worker_index + 1
+
+    def node_worker_index(self, node_id: int) -> int:
+        return node_id - 1
+
+    # -- task process factories (called by TaskTracker) --------------------------
+    def run_map_task(self, attempt: MapAttempt, tracker: TaskTracker):
+        return map_task_process(self, attempt, tracker)
+
+    def run_reduce_task(self, task: ReduceTaskInfo, tracker: TaskTracker):
+        return reduce_task_process(self, task, tracker)
+
+    # -- driver ----------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> JobMetrics:
+        """Execute the job; returns the collected metrics."""
+        sim = self.sim
+
+        def job(sim_):
+            yield sim.timeout(self.config.job_setup_time)
+            self.metrics.submitted_at = 0.0
+            trackers = [TaskTracker(self, w) for w in range(self.num_workers)]
+            procs = [
+                sim.process(t.run(), name=f"tracker{t.node_id}") for t in trackers
+            ]
+            yield sim.all_of(procs)
+            self.metrics.finished_at = sim.now
+
+        sim.process(job(sim), name="job")
+        sim.run(until=until)
+        if not self.jobtracker.job_done:
+            raise RuntimeError(
+                f"job did not finish (simulated until {sim.now:.1f}s): "
+                f"{self.jobtracker.maps_completed}/{self.jobtracker.total_maps} maps, "
+                f"{self.jobtracker.reduces_completed}/{self.jobtracker.num_reduces} reduces"
+            )
+        self.metrics.map_tasks = [
+            t.metrics for t in self.jobtracker.maps if t.metrics is not None
+        ]
+        self.metrics.reduce_tasks = [
+            t.metrics for t in self.jobtracker.reduces if t.metrics is not None
+        ]
+        self.metrics.speculative_attempts = self.jobtracker.speculative_attempts
+        self.metrics.speculative_wins = self.jobtracker.speculative_wins
+        return self.metrics
+
+
+def run_hadoop_job(
+    spec: JobSpec,
+    config: Optional[HadoopConfig] = None,
+    cluster_spec: Optional[ClusterSpec] = None,
+    seed: int = 2011,
+    disk_slowdown: Optional[dict[int, float]] = None,
+) -> JobMetrics:
+    """Convenience: build the default (paper) cluster and run one job."""
+    sim = HadoopSimulation(
+        spec=spec,
+        config=config or HadoopConfig(),
+        cluster_spec=cluster_spec or ClusterSpec(),
+        seed=seed,
+        disk_slowdown=disk_slowdown,
+    )
+    return sim.run()

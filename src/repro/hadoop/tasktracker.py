@@ -1,0 +1,85 @@
+"""TaskTracker: the per-node heartbeat loop and slot accounting.
+
+Each worker node runs one TaskTracker process: every
+``heartbeat_interval`` seconds it pays the Hadoop-RPC cost of a status
+call to the JobTracker (on the master node), reports task completions,
+and receives assignments — at most one map and one reduce per beat, the
+0.20.2 behaviour whose slot-fill ramp is visibly part of Hadoop's
+overhead at small input sizes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.hadoop.jobtracker import JobTracker, MapAttempt, ReduceTaskInfo
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hadoop.simulation import HadoopSimulation
+
+
+class TaskTracker:
+    """One worker node's tracker state + heartbeat process."""
+
+    def __init__(self, env: "HadoopSimulation", worker_index: int):
+        self.env = env
+        self.worker_index = worker_index
+        self.node_id = env.worker_node_id(worker_index)
+        self.config = env.config
+        self.running_maps = 0
+        self.running_reduces = 0
+        self._completed_unreported: list[int] = []
+        self.heartbeats_sent = 0
+
+    @property
+    def free_map_slots(self) -> int:
+        return self.config.map_slots - self.running_maps
+
+    @property
+    def free_reduce_slots(self) -> int:
+        return self.config.reduce_slots - self.running_reduces
+
+    # -- callbacks from task processes ----------------------------------------
+    def map_completed(self, attempt: MapAttempt) -> None:
+        self.running_maps -= 1
+        self._completed_unreported.append(attempt.task_id)
+
+    def reduce_completed(self, task: ReduceTaskInfo) -> None:
+        self.running_reduces -= 1
+
+    # -- the heartbeat loop -------------------------------------------------------
+    def run(self):
+        """DES process: beat until the job is done."""
+        env = self.env
+        sim = env.sim
+        jt: JobTracker = env.jobtracker
+        # Stagger first beats so 7 trackers don't align artificially.
+        stagger = (self.worker_index / max(1, env.num_workers)) * (
+            self.config.heartbeat_interval
+        )
+        yield sim.timeout(stagger)
+        while not jt.job_done:
+            # The status RPC: request to the master and response back.
+            yield sim.timeout(env.rpc.latency(self.config.rpc_status_bytes))
+            completions = self._completed_unreported
+            self._completed_unreported = []
+            maps, reduces = jt.heartbeat(
+                node=self.node_id,
+                free_map_slots=self.free_map_slots,
+                free_reduce_slots=self.free_reduce_slots,
+                completed_map_ids=completions,
+                now=sim.now,
+            )
+            yield sim.timeout(env.rpc.latency(self.config.rpc_status_bytes))
+            for attempt in maps:
+                self.running_maps += 1
+                sim.process(
+                    env.run_map_task(attempt, self), name=f"map{attempt.task_id}"
+                )
+            for task in reduces:
+                self.running_reduces += 1
+                sim.process(
+                    env.run_reduce_task(task, self), name=f"red{task.task_id}"
+                )
+            self.heartbeats_sent += 1
+            yield sim.timeout(self.config.heartbeat_interval)

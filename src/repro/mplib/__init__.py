@@ -1,0 +1,58 @@
+"""An in-process MPI-like message-passing library (the functional plane).
+
+mpi4py is not installable in this offline environment, so the substrate
+MPI-D needs — ranks, tags, blocking/nonblocking point-to-point with
+``ANY_SOURCE`` wildcard reception, collectives, pack/unpack — is
+implemented here from scratch over threads and per-rank mailboxes.  The
+API deliberately follows mpi4py's conventions (guide: all-lowercase
+methods communicate pickled Python objects; the capitalized ``Send`` /
+``Recv`` pair moves numpy buffers).
+
+Typical use::
+
+    from repro.mplib import Runtime
+
+    def main(comm):
+        if comm.rank == 0:
+            comm.send("hello", dest=1, tag=7)
+        elif comm.rank == 1:
+            msg = comm.recv(source=0, tag=7)
+        return comm.rank
+
+    results = Runtime(world_size=4).run(main)   # [0, 1, 2, 3]
+"""
+
+from repro.mplib.errors import (
+    MpiError,
+    DeadlockError,
+    AbortError,
+    TruncationError,
+    RankError,
+    TagError,
+)
+from repro.mplib.status import Status, ANY_SOURCE, ANY_TAG
+from repro.mplib.comm import Communicator
+from repro.mplib.nonblocking import Request, waitall, waitany
+from repro.mplib.runtime import Runtime
+from repro.mplib.datatypes import Packer, Unpacker, pack_records, unpack_records
+
+__all__ = [
+    "MpiError",
+    "DeadlockError",
+    "AbortError",
+    "TruncationError",
+    "RankError",
+    "TagError",
+    "Status",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "Request",
+    "waitall",
+    "waitany",
+    "Runtime",
+    "Packer",
+    "Unpacker",
+    "pack_records",
+    "unpack_records",
+]

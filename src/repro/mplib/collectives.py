@@ -1,0 +1,191 @@
+"""Collective operations built on the point-to-point layer.
+
+Algorithms are the textbook ones real MPI implementations use at small
+scale: dissemination barrier, binomial-tree broadcast and reduce,
+linear gather/scatter, shifted pairwise all-to-all.  Every collective
+call advances a per-rank sequence number that is embedded in the
+(reserved, negative) message tag, so back-to-back collectives can never
+consume each other's traffic, and a fast rank's round-2 message cannot
+be mistaken for round 1.
+
+All ranks must call each collective in the same order — the usual MPI
+contract; violating it shows up as a :class:`~repro.mplib.errors.DeadlockError`.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Optional
+
+from repro.mplib.errors import RankError
+from repro.mplib.status import ANY_TAG
+
+# Collective kind codes folded into the internal tag.
+_K_BARRIER = 0
+_K_BCAST = 1
+_K_GATHER = 2
+_K_SCATTER = 3
+_K_REDUCE = 4
+_K_ALLTOALL = 5
+
+_NUM_KINDS = 8
+
+
+def _internal_tag(comm, kind: int) -> int:
+    """Reserved tag for this collective invocation.
+
+    Python ints are unbounded, so the (seq, kind) encoding never wraps or
+    collides.  Tags start at -2 because -1 is ANY_TAG.
+    """
+    seq = comm._coll_seq
+    comm._coll_seq += 1
+    tag = -2 - (seq * _NUM_KINDS + kind)
+    assert tag != ANY_TAG
+    return tag
+
+
+def _check_root(comm, root: int) -> None:
+    if not 0 <= root < comm.size:
+        raise RankError(f"root {root} outside world of size {comm.size}")
+
+
+def barrier(comm) -> None:
+    """Dissemination barrier: ceil(log2(p)) rounds of shifted token passing."""
+    tag = _internal_tag(comm, _K_BARRIER)
+    p = comm.size
+    if p == 1:
+        return
+    k = 0
+    while (1 << k) < p:
+        dist = 1 << k
+        dest = (comm.rank + dist) % p
+        src = (comm.rank - dist) % p
+        comm._send_internal((tag, k), dest, tag)
+        got = comm.recv(source=src, tag=tag)
+        # Each (src, round) pair sends exactly one message under this tag
+        # (distances are distinct mod p because every distance < p).
+        assert got == (tag, k), f"barrier round mismatch: {got} != {(tag, k)}"
+        k += 1
+
+
+def bcast(comm, obj: Any, root: int = 0) -> Any:
+    """Binomial-tree broadcast; every rank returns the root's object."""
+    _check_root(comm, root)
+    tag = _internal_tag(comm, _K_BCAST)
+    p = comm.size
+    if p == 1:
+        return obj
+    vrank = (comm.rank - root) % p
+    value = obj if comm.rank == root else None
+    have = comm.rank == root
+    k = 0
+    while (1 << k) < p:
+        k += 1
+    # Highest round first on the receive side: vrank receives in the round
+    # where its lowest set bit is the distance.
+    for r in range(k):
+        dist = 1 << r
+        if vrank < dist:
+            # Already have the value: forward to vrank + dist.
+            if have and vrank + dist < p:
+                dest = (vrank + dist + root) % p
+                comm._send_internal(value, dest, tag)
+        elif vrank < 2 * dist:
+            src = (vrank - dist + root) % p
+            value = comm.recv(source=src, tag=tag)
+            have = True
+    return value
+
+
+def gather(comm, obj: Any, root: int = 0) -> Optional[list]:
+    """Linear gather: root returns ``[obj_0, ..., obj_{p-1}]``, others None."""
+    _check_root(comm, root)
+    tag = _internal_tag(comm, _K_GATHER)
+    if comm.rank == root:
+        out: list[Any] = [None] * comm.size
+        out[root] = obj
+        for peer in range(comm.size):
+            if peer != root:
+                out[peer] = comm.recv(source=peer, tag=tag)
+        return out
+    comm._send_internal(obj, root, tag)
+    return None
+
+
+def scatter(comm, objs: Optional[list], root: int = 0) -> Any:
+    """Linear scatter: rank i returns ``objs[i]`` as held by the root."""
+    _check_root(comm, root)
+    tag = _internal_tag(comm, _K_SCATTER)
+    if comm.rank == root:
+        if objs is None or len(objs) != comm.size:
+            raise ValueError(
+                f"scatter root needs a list of exactly {comm.size} items, "
+                f"got {None if objs is None else len(objs)}"
+            )
+        for peer in range(comm.size):
+            if peer != root:
+                comm._send_internal(objs[peer], peer, tag)
+        return objs[root]
+    return comm.recv(source=root, tag=tag)
+
+
+def reduce(
+    comm,
+    obj: Any,
+    op: Optional[Callable[[Any, Any], Any]] = None,
+    root: int = 0,
+) -> Any:
+    """Binomial-tree reduction; the root returns the combined value.
+
+    ``op`` must be associative (MPI's contract); it defaults to ``+``.
+    For ``root == 0`` the combination order is rank order, so associative
+    non-commutative ops (e.g. list concat) reduce deterministically.
+    """
+    _check_root(comm, root)
+    if op is None:
+        op = operator.add
+    tag = _internal_tag(comm, _K_REDUCE)
+    p = comm.size
+    vrank = (comm.rank - root) % p
+    accum = obj
+    dist = 1
+    while dist < p:
+        if vrank & dist:
+            parent = ((vrank - dist) + root) % p
+            comm._send_internal(accum, parent, tag)
+            accum = None
+            break
+        if vrank + dist < p:
+            child = ((vrank + dist) + root) % p
+            received = comm.recv(source=child, tag=tag)
+            accum = op(accum, received)  # child holds higher ranks: right side
+        dist <<= 1
+    return accum if comm.rank == root else None
+
+
+def allreduce(comm, obj: Any, op: Optional[Callable[[Any, Any], Any]] = None) -> Any:
+    """Reduce to rank 0, then broadcast the result to everyone."""
+    return bcast(comm, reduce(comm, obj, op, root=0), root=0)
+
+
+def allgather(comm, obj: Any) -> list:
+    """Gather to rank 0, then broadcast the full list."""
+    return bcast(comm, gather(comm, obj, root=0), root=0)
+
+
+def alltoall(comm, objs: list) -> list:
+    """Shifted pairwise exchange: rank i's slot j goes to rank j's slot i."""
+    if len(objs) != comm.size:
+        raise ValueError(
+            f"alltoall needs exactly {comm.size} items, got {len(objs)}"
+        )
+    tag = _internal_tag(comm, _K_ALLTOALL)
+    p = comm.size
+    out: list[Any] = [None] * p
+    out[comm.rank] = objs[comm.rank]
+    for shift in range(1, p):
+        dest = (comm.rank + shift) % p
+        src = (comm.rank - shift) % p
+        comm._send_internal(objs[dest], dest, tag)
+        out[src] = comm.recv(source=src, tag=tag)
+    return out

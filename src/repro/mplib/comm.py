@@ -1,0 +1,493 @@
+"""Communicators, mailboxes and point-to-point messaging.
+
+Semantics follow MPI:
+
+* **standard send** (:meth:`Communicator.send`) is buffered — it deposits
+  the message and returns (like ``MPI_Send`` on a small message);
+* **synchronous send** (:meth:`Communicator.ssend`) completes only when a
+  matching receive has consumed the message (``MPI_Ssend``);
+* **receive** matches by ``(source, tag)`` with ``ANY_SOURCE`` /
+  ``ANY_TAG`` wildcards, in arrival order — the non-overtaking rule
+  (messages between one sender/receiver pair with one tag are received
+  in the order sent) falls out of FIFO mailbox scans;
+* posted nonblocking receives match before queued scans, in post order.
+
+Object payloads are pickled on send and unpickled on receive, so a
+mutated sender-side object can never race the receiver (the copy
+semantics of a real network).  Buffer payloads (``Send``/``Recv``) carry
+numpy arrays, copied on send, filled in place on receive.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from collections import deque
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.mplib.errors import (
+    AbortError,
+    DeadlockError,
+    RankError,
+    TagError,
+    TruncationError,
+)
+from repro.mplib.nonblocking import Request
+from repro.mplib.status import ANY_SOURCE, ANY_TAG, Status
+
+_WAIT_SLICE = 0.05  # seconds between abort/deadlock checks while blocked
+
+
+#: Context id of the world communicator; splits derive nested tuples.
+_WORLD_CONTEXT: tuple = ("world",)
+
+
+class _Envelope:
+    __slots__ = ("src", "tag", "payload", "count", "is_buffer", "sync_done", "ctx")
+
+    def __init__(
+        self,
+        src: int,
+        tag: int,
+        payload: Any,
+        count: int,
+        is_buffer: bool,
+        sync_done: Optional[threading.Event] = None,
+        ctx: tuple = _WORLD_CONTEXT,
+    ):
+        self.src = src  # sender's rank *within its communicator*
+        self.tag = tag
+        self.payload = payload
+        self.count = count
+        self.is_buffer = is_buffer
+        self.sync_done = sync_done
+        self.ctx = ctx  # communication context: isolates sub-communicators
+
+    def matches(self, source: int, tag: int, ctx: tuple) -> bool:
+        return (
+            self.ctx == ctx
+            and (source == ANY_SOURCE or source == self.src)
+            and (tag == ANY_TAG or tag == self.tag)
+        )
+
+
+class _PostedRecv:
+    __slots__ = ("source", "tag", "request", "ctx")
+
+    def __init__(self, source: int, tag: int, request: Request, ctx: tuple):
+        self.source = source
+        self.tag = tag
+        self.request = request
+        self.ctx = ctx
+
+    def accepts(self, env: _Envelope) -> bool:
+        return env.matches(self.source, self.tag, self.ctx)
+
+
+class _Mailbox:
+    __slots__ = ("lock", "cond", "pending", "posted")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.cond = threading.Condition(self.lock)
+        self.pending: deque[_Envelope] = deque()
+        self.posted: list[_PostedRecv] = []
+
+
+class _World:
+    """Shared state of one runtime: mailboxes, abort flag, timeout."""
+
+    def __init__(self, size: int, progress_timeout: float = 30.0):
+        if size < 1:
+            raise ValueError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self.progress_timeout = progress_timeout
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        self.abort_exc: Optional[BaseException] = None
+        self._abort_lock = threading.Lock()
+
+    def abort(self, exc: BaseException) -> None:
+        with self._abort_lock:
+            if self.abort_exc is None:
+                self.abort_exc = exc
+        for box in self.mailboxes:
+            with box.lock:
+                box.cond.notify_all()
+
+    def check_abort(self) -> None:
+        if self.abort_exc is not None:
+            raise AbortError(str(self.abort_exc)) from self.abort_exc
+
+
+class Communicator:
+    """One rank's endpoint in a world.
+
+    Each rank-thread owns its own ``Communicator`` (same ``_World``
+    underneath), so per-rank state like the collective sequence number
+    needs no locking.
+    """
+
+    def __init__(self, world: _World, rank: int):
+        if not 0 <= rank < world.size:
+            raise RankError(f"rank {rank} outside world of size {world.size}")
+        self._world = world
+        self._rank = rank
+        self._coll_seq = 0  # advanced in lock-step on every rank (collectives.py)
+        self._context_id: tuple = _WORLD_CONTEXT
+
+    # -- identity ------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This process's rank, 0-based (communicator-local)."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in this communicator."""
+        return self._world.size
+
+    def _world_rank(self, local_rank: int) -> int:
+        """Communicator-local rank -> mailbox (world) rank."""
+        return local_rank
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Communicator rank={self._rank}/{self.size}>"
+
+    # -- validation -------------------------------------------------------------
+    def _check_peer(self, peer: int, what: str) -> None:
+        if not 0 <= peer < self.size:
+            raise RankError(f"{what} rank {peer} outside world of size {self.size}")
+
+    @staticmethod
+    def _check_user_tag(tag: int) -> None:
+        if tag < 0:
+            raise TagError(f"user tags must be >= 0 (negative reserved): {tag}")
+
+    # -- send ----------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Standard-mode send of a Python object (buffered; returns at once)."""
+        self._check_user_tag(tag)
+        self._send_internal(obj, dest, tag)
+
+    def ssend(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Synchronous send: returns only after a matching receive consumed it."""
+        self._check_user_tag(tag)
+        done = threading.Event()
+        self._send_internal(obj, dest, tag, sync_done=done)
+        self._await_event(done, f"ssend to rank {dest} (tag {tag})")
+
+    def Send(self, array: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Buffer send: a copy of ``array`` travels (capital-S, mpi4py style)."""
+        self._check_user_tag(tag)
+        self._check_peer(dest, "destination")
+        arr = np.array(array, copy=True)
+        self._deposit(
+            dest,
+            _Envelope(
+                self._rank,
+                tag,
+                arr,
+                count=arr.size,
+                is_buffer=True,
+                ctx=self._context_id,
+            ),
+        )
+
+    def _send_internal(
+        self,
+        obj: Any,
+        dest: int,
+        tag: int,
+        sync_done: Optional[threading.Event] = None,
+    ) -> None:
+        self._world.check_abort()
+        self._check_peer(dest, "destination")
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        env = _Envelope(
+            self._rank, tag, payload, count=len(payload), is_buffer=False,
+            sync_done=sync_done, ctx=self._context_id,
+        )
+        self._deposit(dest, env)
+
+    def _deposit(self, dest: int, env: _Envelope) -> None:
+        box = self._world.mailboxes[self._world_rank(dest)]
+        with box.lock:
+            # Posted (nonblocking) receives match first, in post order.
+            for i, posted in enumerate(box.posted):
+                if posted.accepts(env):
+                    del box.posted[i]
+                    _fulfill(posted.request, env)
+                    return
+            box.pending.append(env)
+            box.cond.notify_all()
+
+    # -- receive -----------------------------------------------------------------------
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: bool = False,
+    ) -> Any:
+        """Blocking object receive.
+
+        Returns the object, or ``(object, Status)`` when ``status=True``.
+        ``source=ANY_SOURCE`` is the wildcard reception style MPI-D's
+        reducers use.
+        """
+        req = self.irecv(source=source, tag=tag)
+        obj, st = req.wait_with_status()
+        return (obj, st) if status else obj
+
+    def Recv(
+        self,
+        buf: np.ndarray,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+    ) -> Status:
+        """Buffer receive into ``buf`` (in place); returns the :class:`Status`.
+
+        Raises :class:`TruncationError` if the message has more elements
+        than ``buf`` — MPI_ERR_TRUNCATE.
+        """
+        req = self._post_recv(source, tag)
+        payload, st = req.wait_with_status_raw()
+        if not isinstance(payload, np.ndarray):
+            payload = np.frombuffer(
+                pickle.loads(payload), dtype=buf.dtype
+            )  # object message into buffer recv: decode bytes
+        if payload.size > buf.size:
+            raise TruncationError(
+                f"message of {payload.size} elements exceeds buffer of {buf.size}"
+            )
+        flat = buf.reshape(-1)
+        flat[: payload.size] = payload.reshape(-1).astype(buf.dtype, copy=False)
+        return st
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking object receive; complete with ``req.wait()``."""
+        return self._post_recv(source, tag)
+
+    def sendrecv(
+        self,
+        obj: Any,
+        dest: int,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ) -> Any:
+        """``MPI_Sendrecv``: post the receive, send, then wait.
+
+        Safe for symmetric exchanges (every rank sendrecv's with a
+        partner) where two blocking calls in the wrong order could
+        deadlock under synchronous semantics.
+        """
+        self._check_user_tag(sendtag)
+        req = self._post_recv(source, recvtag)
+        self._send_internal(obj, dest, sendtag)
+        return req.wait()
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send.  Standard mode buffers, so the request is
+        complete on return — provided for API symmetry and overlap-style
+        code (paper future work: "MPI_Isend and MPI_Irecv adoption")."""
+        self._check_user_tag(tag)
+        self._send_internal(obj, dest, tag)
+        req = Request(owner=self)
+        req.complete_now(payload=None, status=Status(self._rank, max(tag, 0), 0))
+        return req
+
+    def _post_recv(self, source: int, tag: int) -> Request:
+        self._world.check_abort()
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+        box = self._world.mailboxes[self._world_rank(self._rank)]
+        req = Request(owner=self)
+        with box.lock:
+            for i, env in enumerate(box.pending):
+                if env.matches(source, tag, self._context_id):
+                    del box.pending[i]
+                    _fulfill(req, env)
+                    return req
+            box.posted.append(_PostedRecv(source, tag, req, self._context_id))
+        return req
+
+    # -- probe -------------------------------------------------------------------------
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
+        """Block until a matching message is queued; return its Status
+        without consuming it.  (Messages grabbed by posted nonblocking
+        receives are never visible to probe, as in MPI.)"""
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+        box = self._world.mailboxes[self._world_rank(self._rank)]
+        deadline = time.monotonic() + self._world.progress_timeout
+        with box.lock:
+            while True:
+                self._world.check_abort()
+                for env in box.pending:
+                    if env.matches(source, tag, self._context_id):
+                        return Status(env.src, env.tag, env.count)
+                if time.monotonic() >= deadline:
+                    raise DeadlockError(
+                        f"rank {self._rank}: probe(source={source}, tag={tag}) "
+                        f"made no progress for {self._world.progress_timeout}s"
+                    )
+                box.cond.wait(timeout=_WAIT_SLICE)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Status]:
+        """Non-blocking probe: Status of the first match, or None."""
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+        box = self._world.mailboxes[self._world_rank(self._rank)]
+        with box.lock:
+            for env in box.pending:
+                if env.matches(source, tag, self._context_id):
+                    return Status(env.src, env.tag, env.count)
+        return None
+
+    # -- abort ----------------------------------------------------------------------------
+    def abort(self, reason: str = "aborted") -> None:
+        """Tear the world down: every blocked rank raises :class:`AbortError`."""
+        self._world.abort(AbortError(f"rank {self._rank}: {reason}"))
+        self._world.check_abort()
+
+    # -- collectives (implemented over p2p in collectives.py) ---------------------------
+    def barrier(self) -> None:
+        from repro.mplib import collectives
+
+        collectives.barrier(self)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        from repro.mplib import collectives
+
+        return collectives.bcast(self, obj, root)
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[list]:
+        from repro.mplib import collectives
+
+        return collectives.gather(self, obj, root)
+
+    def scatter(self, objs: Optional[list], root: int = 0) -> Any:
+        from repro.mplib import collectives
+
+        return collectives.scatter(self, objs, root)
+
+    def allgather(self, obj: Any) -> list:
+        from repro.mplib import collectives
+
+        return collectives.allgather(self, obj)
+
+    def reduce(self, obj: Any, op=None, root: int = 0) -> Any:
+        from repro.mplib import collectives
+
+        return collectives.reduce(self, obj, op, root)
+
+    def allreduce(self, obj: Any, op=None) -> Any:
+        from repro.mplib import collectives
+
+        return collectives.allreduce(self, obj, op)
+
+    def alltoall(self, objs: list) -> list:
+        from repro.mplib import collectives
+
+        return collectives.alltoall(self, objs)
+
+    # -- sub-communicators -------------------------------------------------------------
+    def split(self, color: int, key: int = 0) -> Optional["Communicator"]:
+        """``MPI_Comm_split``: partition the world into sub-communicators.
+
+        Every rank in this communicator must call ``split`` (it is a
+        collective).  Ranks passing the same ``color`` land in one new
+        communicator; rank order inside it follows ``(key, old rank)``.
+        ``color=None`` (``MPI_UNDEFINED``) opts out and returns None.
+
+        The sub-communicator reuses the parent's mailboxes but remaps
+        ranks and offsets tags into a reserved band, so traffic on
+        different sub-communicators (or the parent) can never cross.
+        """
+        my_entry = (color, key, self._rank)
+        entries = self.allgather(my_entry)
+        if color is None:
+            return None
+        members = sorted(
+            ((k, r) for c, k, r in entries if c == color),
+            key=lambda kr: kr,
+        )
+        world_ranks = [r for _, r in members]
+        new_rank = world_ranks.index(self._rank)
+        # Each split call gets a distinct context id on every participant
+        # (the collective sequence number just consumed by allgather is
+        # identical across ranks, so this is globally consistent).
+        context = (self._context_id, self._coll_seq, color)
+        return _SubCommunicator(self._world, new_rank, world_ranks, context)
+
+    # -- internals shared with Request -----------------------------------------------------
+    def _await_event(self, event: threading.Event, what: str) -> None:
+        deadline = time.monotonic() + self._world.progress_timeout
+        while not event.wait(timeout=_WAIT_SLICE):
+            self._world.check_abort()
+            if time.monotonic() >= deadline:
+                raise DeadlockError(
+                    f"rank {self._rank}: {what} made no progress for "
+                    f"{self._world.progress_timeout}s"
+                )
+        self._world.check_abort()
+
+
+class _SubCommunicator(Communicator):
+    """A communicator over a subset of world ranks (``Comm.split`` result).
+
+    Local ranks are 0..len(members)-1; messages carry this communicator's
+    context id, so traffic here never matches parent or sibling
+    communicators even on identical tags.
+    """
+
+    def __init__(self, world: _World, rank: int, world_ranks: list[int], ctx: tuple):
+        # Note: deliberately not calling super().__init__ — the rank
+        # validation there is against world size, ours is against the group.
+        if not 0 <= rank < len(world_ranks):
+            raise RankError(
+                f"rank {rank} outside group of size {len(world_ranks)}"
+            )
+        self._world = world
+        self._rank = rank
+        self._coll_seq = 0
+        self._context_id = ctx
+        self._ranks = list(world_ranks)
+
+    @property
+    def size(self) -> int:
+        return len(self._ranks)
+
+    @property
+    def group_world_ranks(self) -> list[int]:
+        """The world ranks behind local ranks 0..size-1."""
+        return list(self._ranks)
+
+    def _world_rank(self, local_rank: int) -> int:
+        return self._ranks[local_rank]
+
+    def _check_peer(self, peer: int, what: str) -> None:
+        if not 0 <= peer < self.size:
+            raise RankError(
+                f"{what} rank {peer} outside sub-communicator of size {self.size}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SubCommunicator rank={self._rank}/{self.size} "
+            f"world_ranks={self._ranks}>"
+        )
+
+
+def _fulfill(req: Request, env: _Envelope) -> None:
+    """Hand an envelope to a receive request (mailbox lock held)."""
+    req.complete_now(
+        payload=env.payload,  # pickled bytes, or a numpy array for buffer sends
+        status=Status(env.src, env.tag, env.count),
+        raw_is_buffer=env.is_buffer,
+    )
+    if env.sync_done is not None:
+        env.sync_done.set()

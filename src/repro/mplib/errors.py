@@ -1,0 +1,33 @@
+"""Error hierarchy for the message-passing runtime."""
+
+from __future__ import annotations
+
+
+class MpiError(RuntimeError):
+    """Base class for all runtime errors."""
+
+
+class RankError(MpiError):
+    """A rank argument is outside the communicator."""
+
+
+class TagError(MpiError):
+    """A user message used a reserved (negative) tag."""
+
+
+class DeadlockError(MpiError):
+    """A blocking operation exceeded the runtime's progress timeout.
+
+    With every rank event-driven, a timeout on a blocking receive almost
+    always means the program deadlocked (mismatched sends/recvs, a
+    collective not entered by every rank, ...).
+    """
+
+
+class AbortError(MpiError):
+    """The world was aborted by :meth:`Communicator.abort` on some rank."""
+
+
+class TruncationError(MpiError):
+    """A buffer receive got a message larger than the posted buffer —
+    the MPI_ERR_TRUNCATE condition."""

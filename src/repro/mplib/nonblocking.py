@@ -1,0 +1,102 @@
+"""Nonblocking request objects (``MPI_Request`` analogue).
+
+A :class:`Request` is returned by ``isend``/``irecv``; it completes when
+the runtime matches it with a message.  ``wait`` blocks with the world's
+deadlock timeout; ``test`` polls.  The paper lists "MPI_Isend and
+MPI_Irecv adoption to achieve much more overlapping of computing and
+communication" as an MPI-D optimization — the MPI-D engine's overlapped
+send path uses these.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.mplib.errors import MpiError
+from repro.mplib.status import Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mplib.comm import Communicator
+
+
+class Request:
+    """Handle for one in-flight nonblocking operation."""
+
+    __slots__ = ("_owner", "_event", "_payload", "_status", "_raw_is_buffer")
+
+    def __init__(self, owner: "Communicator"):
+        self._owner = owner
+        self._event = threading.Event()
+        self._payload: Any = None
+        self._status: Optional[Status] = None
+        self._raw_is_buffer = False
+
+    # -- completion (called by the runtime) ----------------------------------
+    def complete_now(
+        self, payload: Any, status: Status, raw_is_buffer: bool = False
+    ) -> None:
+        if self._event.is_set():
+            raise MpiError("request completed twice")
+        self._payload = payload
+        self._status = status
+        self._raw_is_buffer = raw_is_buffer
+        self._event.set()
+
+    # -- user API ---------------------------------------------------------------
+    @property
+    def completed(self) -> bool:
+        return self._event.is_set()
+
+    def test(self) -> bool:
+        """Non-blocking completion check."""
+        return self._event.is_set()
+
+    def wait(self) -> Any:
+        """Block until complete; return the received object (None for sends)."""
+        return self.wait_with_status()[0]
+
+    def wait_with_status(self) -> tuple[Any, Status]:
+        payload, status = self.wait_with_status_raw()
+        if payload is not None and not self._raw_is_buffer:
+            payload = pickle.loads(payload)
+        return payload, status
+
+    def wait_with_status_raw(self) -> tuple[Any, Status]:
+        """Like :meth:`wait_with_status` but without deserializing."""
+        if not self._event.is_set():
+            self._owner._await_event(self._event, "request wait")
+        assert self._status is not None
+        return self._payload, self._status
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "complete" if self._event.is_set() else "pending"
+        return f"<Request {state}>"
+
+
+def waitall(requests: list[Request]) -> list[Any]:
+    """``MPI_Waitall``: block until every request completes; return values
+    in request order."""
+    return [req.wait() for req in requests]
+
+
+def waitany(requests: list[Request], poll_interval: float = 0.001) -> tuple[int, Any]:
+    """``MPI_Waitany``: block until the first request completes.
+
+    Returns ``(index, value)``.  Polls because requests complete on other
+    threads; the interval bounds wake-up latency, not correctness.
+    """
+    import time
+
+    if not requests:
+        raise ValueError("waitany needs at least one request")
+    deadline = time.monotonic() + requests[0]._owner._world.progress_timeout
+    while True:
+        for i, req in enumerate(requests):
+            if req.test():
+                return i, req.wait()
+        if time.monotonic() >= deadline:
+            raise MpiError("waitany made no progress before the deadline")
+        requests[0]._owner._world.check_abort()
+        time.sleep(poll_interval)

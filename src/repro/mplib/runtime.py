@@ -1,0 +1,99 @@
+"""The launcher: ``mpiexec`` for in-process ranks.
+
+:class:`Runtime` spawns one thread per rank, hands each a
+:class:`~repro.mplib.comm.Communicator`, runs the user's main function,
+and collects per-rank return values.  A crash on any rank aborts the
+world (so no other rank hangs forever on a receive that will never be
+matched) and re-raises the original exception in the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.mplib.comm import Communicator, _World
+from repro.mplib.errors import AbortError, MpiError
+
+
+@dataclass
+class _RankOutcome:
+    value: Any = None
+    error: Optional[BaseException] = None
+
+
+@dataclass
+class Runtime:
+    """Run ``main(comm, *args, **kwargs)`` on ``world_size`` ranks.
+
+    ``progress_timeout`` bounds how long any blocking operation may wait
+    without progress before the runtime declares deadlock — generous for
+    real work, small enough that a broken test fails rather than hangs.
+    """
+
+    world_size: int
+    progress_timeout: float = 30.0
+    name: str = "mplib"
+    _threads: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.world_size < 1:
+            raise ValueError(f"world size must be >= 1, got {self.world_size}")
+        if self.progress_timeout <= 0:
+            raise ValueError(
+                f"progress timeout must be positive, got {self.progress_timeout}"
+            )
+
+    def run(
+        self,
+        main: Callable[..., Any],
+        *args: Any,
+        **kwargs: Any,
+    ) -> list[Any]:
+        """Execute ``main`` on every rank; returns per-rank return values.
+
+        If any rank raises, the world is aborted and the first (lowest
+        rank) original exception is re-raised here.
+        """
+        world = _World(self.world_size, progress_timeout=self.progress_timeout)
+        outcomes = [_RankOutcome() for _ in range(self.world_size)]
+
+        def entry(rank: int) -> None:
+            comm = Communicator(world, rank)
+            try:
+                outcomes[rank].value = main(comm, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - must not lose rank errors
+                outcomes[rank].error = exc
+                world.abort(exc)
+
+        threads = [
+            threading.Thread(
+                target=entry, args=(rank,), name=f"{self.name}-rank{rank}", daemon=True
+            )
+            for rank in range(self.world_size)
+        ]
+        self._threads = threads
+        for t in threads:
+            t.start()
+        for t in threads:
+            # Generous hard cap: individual blocking ops time out first.
+            t.join(timeout=self.progress_timeout * 10)
+            if t.is_alive():
+                world.abort(MpiError(f"thread {t.name} failed to terminate"))
+                raise MpiError(f"rank thread {t.name} did not terminate")
+
+        # Prefer a non-abort root cause over secondary AbortErrors.
+        primary = None
+        for outcome in outcomes:
+            if outcome.error is not None and not isinstance(outcome.error, AbortError):
+                primary = outcome.error
+                break
+        if primary is None:
+            for outcome in outcomes:
+                if outcome.error is not None:
+                    primary = outcome.error
+                    break
+        if primary is not None:
+            raise primary
+        return [outcome.value for outcome in outcomes]

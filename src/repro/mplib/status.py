@@ -1,0 +1,36 @@
+"""Receive status and the wildcard constants.
+
+``ANY_SOURCE`` / ``ANY_TAG`` mirror ``MPI_ANY_SOURCE`` / ``MPI_ANY_TAG``.
+MPI-D's reducers receive "in the wildcard reception style ... from any
+source" (paper §IV-A), which is exactly ``recv(source=ANY_SOURCE)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Match a message from any sender (MPI_ANY_SOURCE).
+ANY_SOURCE = -1
+
+#: Match a message with any user tag (MPI_ANY_TAG).
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Status:
+    """What a completed receive matched: actual source, tag, payload size.
+
+    ``count`` is the serialized payload size in bytes for object messages
+    and the element count for buffer messages — the analogue of
+    ``MPI_Get_count``.
+    """
+
+    source: int
+    tag: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.source < 0:
+            raise ValueError(f"status source must be a concrete rank: {self.source}")
+        if self.count < 0:
+            raise ValueError(f"status count may not be negative: {self.count}")

@@ -1,0 +1,70 @@
+"""Configuration of the MapReduce-on-MPI-D execution model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import KiB, MiB
+
+
+@dataclass(frozen=True)
+class MrMpiConfig:
+    """Knobs of the Section-IV system (paper values where stated).
+
+    The paper's experiment runs "49 processes as concurrent mappers, and
+    1 process as the reducer.  Another one process is the rank 0 process
+    as the master" on 8 nodes — :class:`MrMpiSimulation` defaults to that
+    layout via ``num_mappers``/``num_reducers``.
+    """
+
+    num_mappers: int = 49
+    num_reducers: int = 1
+
+    #: mpiexec launch + MPI_Init + MPI_D_Init across the cluster.  One
+    #: payment per job — unlike Hadoop's per-task JVM forks.
+    startup_time: float = 0.5
+
+    #: The prototype is native code (built on MPICH2); user-code CPU rates
+    #: from the (JVM-calibrated) workload profile are divided by this.
+    native_speedup: float = 1.7
+
+    #: Hash-table buffer spill threshold (paper: "exceeds a particular
+    #: size") and the fixed partition-array size.
+    spill_threshold: int = 4 * MiB
+    partition_bytes: int = 64 * KiB
+
+    #: CPU cost of data realignment (address-sequential packing), per byte.
+    realign_cpu_per_byte: float = 1.0 / (200 * MiB)
+
+    #: Compress realigned arrays before sending (§IV-A improvement);
+    #: ``compression_ratio`` is compressed/raw size, and the codec costs
+    #: CPU on both ends (zlib-class rates on 2010 hardware).
+    compress: bool = False
+    compression_ratio: float = 0.4
+    compress_cpu_per_byte: float = 1.0 / (60 * MiB)
+    decompress_cpu_per_byte: float = 1.0 / (150 * MiB)
+
+    #: The simulation system writes reducer output to the local disk once
+    #: (no HDFS replication pipeline).
+    output_replication: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_mappers < 1 or self.num_reducers < 1:
+            raise ValueError(
+                f"need >= 1 mapper and reducer, got "
+                f"{self.num_mappers}/{self.num_reducers}"
+            )
+        if self.startup_time < 0:
+            raise ValueError(f"startup time may not be negative: {self.startup_time}")
+        if self.native_speedup <= 0:
+            raise ValueError(f"native speedup must be positive: {self.native_speedup}")
+        if self.spill_threshold < 1 or self.partition_bytes < 64:
+            raise ValueError("spill threshold / partition size too small")
+        if self.output_replication < 1:
+            raise ValueError(
+                f"output replication must be >= 1: {self.output_replication}"
+            )
+        if not 0 < self.compression_ratio <= 1.0:
+            raise ValueError(
+                f"compression ratio must be in (0, 1]: {self.compression_ratio}"
+            )

@@ -1,0 +1,295 @@
+"""DES model of MapReduce running on MPI-D (paper Figure 4 + Section IV-C).
+
+Process layout mirrors the paper's experiment: the master (rank 0) lives
+on the master node and hands out static splits at start; mapper
+processes are pinned round-robin across the worker nodes with their
+input split stored locally ("we distribute all input data across all
+nodes to guarantee the data accessing locally as in Hadoop"); reducer
+processes likewise.
+
+Each mapper iterates spill-sized chunks: local disk read, user map +
+combine CPU (native rate), realignment CPU, then fixed-size partition
+arrays leave as MPI messages — eager sends, so the mapper does not wait
+for delivery (the overlap the paper's buffering is designed for), while
+the flows still contend on the shared network.  Reducers merge arriving
+bytes (CPU charged per byte on arrival order is approximated as a final
+merge after the last byte, which is exact for the makespan because the
+merge rate exceeds the arrival rate everywhere in our regime) and write
+output locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hadoop.job import JobSpec
+from repro.mrmpi.config import MrMpiConfig
+from repro.simnet.cluster import Cluster, ClusterSpec
+from repro.simnet.kernel import Event, Simulator
+from repro.transports.mpich import MpichTransport
+
+
+@dataclass
+class MapperMetrics:
+    rank: int
+    node: int
+    input_bytes: float = 0.0
+    sent_bytes: float = 0.0
+    messages: int = 0
+    spills: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class ReducerMetrics:
+    rank: int
+    node: int
+    received_bytes: float = 0.0
+    started_at: float = 0.0
+    copy_done_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def copy_time(self) -> float:
+        return self.copy_done_at - self.started_at
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class MrMpiMetrics:
+    """Job-level results of one MPI-D simulation run."""
+
+    job_name: str
+    elapsed: float = 0.0
+    mappers: list[MapperMetrics] = field(default_factory=list)
+    reducers: list[ReducerMetrics] = field(default_factory=list)
+
+    @property
+    def total_sent_bytes(self) -> float:
+        return sum(m.sent_bytes for m in self.mappers)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(m.messages for m in self.mappers)
+
+    def summary(self) -> dict:
+        return {
+            "job": self.job_name,
+            "elapsed": self.elapsed,
+            "mappers": len(self.mappers),
+            "reducers": len(self.reducers),
+            "sent_bytes": self.total_sent_bytes,
+            "messages": self.total_messages,
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-serializable dump: summary plus per-process records."""
+        return {
+            "summary": self.summary(),
+            "mappers": [
+                {
+                    "rank": m.rank,
+                    "node": m.node,
+                    "input_bytes": m.input_bytes,
+                    "sent_bytes": m.sent_bytes,
+                    "messages": m.messages,
+                    "spills": m.spills,
+                    "started_at": m.started_at,
+                    "finished_at": m.finished_at,
+                }
+                for m in self.mappers
+            ],
+            "reducers": [
+                {
+                    "rank": r.rank,
+                    "node": r.node,
+                    "received_bytes": r.received_bytes,
+                    "copy_time": r.copy_time,
+                    "duration": r.duration,
+                }
+                for r in self.reducers
+            ],
+        }
+
+
+@dataclass
+class MrMpiSimulation:
+    """One MPI-D MapReduce job on a freshly built simulated cluster."""
+
+    spec: JobSpec
+    config: MrMpiConfig = field(default_factory=MrMpiConfig)
+    cluster_spec: ClusterSpec = field(default_factory=ClusterSpec)
+
+    def __post_init__(self) -> None:
+        if self.cluster_spec.num_nodes < 2:
+            raise ValueError("need a master plus at least one worker node")
+        self.sim = Simulator()
+        self.cluster = Cluster(self.sim, self.cluster_spec)
+        self.mpich = MpichTransport()
+        self.num_workers = self.cluster_spec.num_nodes - 1
+        cfg = self.config
+        # Round-robin pinning over worker nodes (ids 1..N-1).
+        self.mapper_nodes = [
+            1 + (i % self.num_workers) for i in range(cfg.num_mappers)
+        ]
+        self.reducer_nodes = [
+            1 + ((cfg.num_mappers + i) % self.num_workers)
+            for i in range(cfg.num_reducers)
+        ]
+        self.metrics = MrMpiMetrics(job_name=self.spec.name)
+        #: Output share per reducer (key-skew model; uniform by default).
+        self.partition_weights = self.spec.normalized_weights(cfg.num_reducers)
+        # Flows destined to each reducer, appended by mappers.
+        self._reducer_flows: list[list[Event]] = [
+            [] for _ in range(cfg.num_reducers)
+        ]
+        self._sent_per_reducer = [0.0] * cfg.num_reducers
+        self._mappers_done = 0
+        self._all_mappers_done: Optional[Event] = None
+
+    # -- cost helpers -----------------------------------------------------------
+    def _user_cpu(self, per_byte: float, nbytes: float) -> float:
+        return nbytes * per_byte / self.config.native_speedup
+
+    # -- processes -----------------------------------------------------------------
+    def _mapper_proc(self, rank: int, node_id: int, split_bytes: float):
+        sim = self.sim
+        cfg = self.config
+        profile = self.spec.profile
+        node = self.cluster.node(node_id)
+        m = MapperMetrics(rank=rank, node=node_id, input_bytes=split_bytes)
+        self.metrics.mappers.append(m)
+        yield sim.timeout(cfg.startup_time)
+        m.started_at = sim.now
+
+        remaining = split_bytes
+        # Chunk size chosen so one chunk's raw map output fills the spill
+        # buffer — each iteration is exactly one spill cycle.
+        chunk_in = max(1.0, cfg.spill_threshold / max(profile.map_selectivity, 1e-9))
+        while remaining > 0:
+            chunk = min(chunk_in, remaining)
+            remaining -= chunk
+            yield node.disk_read(chunk)
+            cpu = self._user_cpu(profile.map_cpu_per_byte, chunk)
+            yield node.cpus.acquire()
+            try:
+                yield sim.timeout(cpu)
+            finally:
+                node.cpus.release()
+            # Spill: realign + eager sends of fixed-size partition arrays.
+            out = profile.map_output_bytes(chunk)
+            if out <= 0:
+                continue
+            m.spills += 1
+            yield sim.timeout(out * cfg.realign_cpu_per_byte)
+            if cfg.compress:
+                yield sim.timeout(out * cfg.compress_cpu_per_byte)
+                out *= cfg.compression_ratio
+            for r, rnode in enumerate(self.reducer_nodes):
+                share = out * self.partition_weights[r]
+                if share <= 0:
+                    continue
+                n_msgs = max(1, int(share // cfg.partition_bytes) + 1)
+                send_cpu = n_msgs * self.mpich.stream_per_msg
+                yield sim.timeout(send_cpu)  # not overlapped: injection cost
+                wc = self.mpich.wire_costs(int(share))
+                flow = self.cluster.send(
+                    node_id, rnode, share, extra_latency=wc.setup_time
+                )
+                self._reducer_flows[r].append(flow)
+                self._sent_per_reducer[r] += share
+                m.sent_bytes += share
+                m.messages += n_msgs
+        m.finished_at = sim.now
+        self._mappers_done += 1
+        if self._mappers_done == cfg.num_mappers:
+            assert self._all_mappers_done is not None
+            self._all_mappers_done.succeed()
+
+    def _reducer_proc(self, index: int, node_id: int):
+        sim = self.sim
+        cfg = self.config
+        profile = self.spec.profile
+        node = self.cluster.node(node_id)
+        r = ReducerMetrics(rank=cfg.num_mappers + 1 + index, node=node_id)
+        self.metrics.reducers.append(r)
+        yield sim.timeout(cfg.startup_time)
+        r.started_at = sim.now
+
+        # Wildcard reception: wait until every mapper finished emitting,
+        # then for every in-flight array destined here.
+        yield self._all_mappers_done
+        flows = self._reducer_flows[index]
+        if flows:
+            yield sim.all_of(flows)
+        r.received_bytes = self._sent_per_reducer[index]
+        r.copy_done_at = sim.now
+
+        # Reverse realignment (+ decompression) + merge + user reduce.
+        raw_bytes = r.received_bytes
+        decompress_cpu = 0.0
+        if cfg.compress:
+            raw_bytes = r.received_bytes / cfg.compression_ratio
+            decompress_cpu = raw_bytes * cfg.decompress_cpu_per_byte
+        merge_cpu = self._user_cpu(profile.reduce_cpu_per_byte, raw_bytes)
+        realign_cpu = raw_bytes * cfg.realign_cpu_per_byte + decompress_cpu
+        yield node.cpus.acquire()
+        try:
+            yield sim.timeout(merge_cpu + realign_cpu)
+        finally:
+            node.cpus.release()
+        output = profile.reduce_output_bytes(raw_bytes)
+        for _ in range(cfg.output_replication):
+            yield node.disk_write(output)
+        r.finished_at = sim.now
+
+    # -- driver --------------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> MrMpiMetrics:
+        sim = self.sim
+        cfg = self.config
+        self._all_mappers_done = sim.event()
+        split = self.spec.input_bytes / cfg.num_mappers
+
+        procs = []
+        for rank, node_id in enumerate(self.mapper_nodes, start=1):
+            procs.append(
+                sim.process(
+                    self._mapper_proc(rank, node_id, split), name=f"mapper{rank}"
+                )
+            )
+        for i, node_id in enumerate(self.reducer_nodes):
+            procs.append(
+                sim.process(self._reducer_proc(i, node_id), name=f"reducer{i}")
+            )
+
+        def job(sim_):
+            yield sim.all_of(procs)
+            self.metrics.elapsed = sim.now
+
+        sim.process(job(sim), name="job")
+        sim.run(until=until)
+        if self.metrics.elapsed == 0.0 and until is not None:
+            raise RuntimeError(f"job did not finish by t={until}")
+        return self.metrics
+
+
+def run_mpid_job(
+    spec: JobSpec,
+    config: Optional[MrMpiConfig] = None,
+    cluster_spec: Optional[ClusterSpec] = None,
+) -> MrMpiMetrics:
+    """Convenience: run one MPI-D job on the default (paper) cluster."""
+    return MrMpiSimulation(
+        spec=spec,
+        config=config or MrMpiConfig(),
+        cluster_spec=cluster_spec or ClusterSpec(),
+    ).run()

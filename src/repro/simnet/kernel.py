@@ -1,0 +1,372 @@
+"""A from-scratch generator-based discrete-event simulation kernel.
+
+The design follows the classic process-interaction style (as in SimPy,
+reimplemented here because the environment is offline): a *process* is a
+Python generator that ``yield``\\ s :class:`Event` objects; the kernel
+suspends the process until the event fires and resumes it with the
+event's value (or throws the event's exception into it).
+
+Invariants the kernel maintains (property-tested in
+``tests/simnet/test_kernel.py``):
+
+* simulated time never decreases;
+* events scheduled at equal times fire in FIFO scheduling order;
+* an event fires at most once; triggering a fired event raises;
+* a failed event that is never yielded-on raises at ``run()`` end
+  (no silently swallowed simulation errors).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimError(RuntimeError):
+    """Base class for kernel errors (double trigger, deadlock, etc.)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event is *pending* until :meth:`succeed` or :meth:`fail` is called,
+    after which it is *triggered* and its callbacks run at the current
+    simulation time.  Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._triggered = False
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimError("event has not been triggered yet")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised in every process waiting on the event.
+        If nothing ever waits, :meth:`Simulator.run` raises it at the end —
+        failures never disappear.
+        """
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        if self._triggered:
+            raise SimError("event already triggered")
+        self._triggered = True
+        self._ok = False
+        self._value = exc
+        self.sim._schedule(self)
+        self.sim._failed_events.append(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so ``run()`` won't re-raise it."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending"
+        if self._triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay=self.delay)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf: waits on several events at once."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._n_done = 0
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimError("cannot mix events from different simulators")
+            if ev.callbacks is None:  # already processed
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, ev: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> list[Any]:
+        return [ev._value for ev in self.events if ev._triggered and ev._ok]
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired; value is the list of values."""
+
+    __slots__ = ()
+
+    def _check(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev._ok:
+            ev.defuse()
+            self.fail(ev._value)
+            return
+        self._n_done += 1
+        if self._n_done == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires when the first child event fires; value is that event's value."""
+
+    __slots__ = ()
+
+    def _check(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev._ok:
+            ev.defuse()
+            self.fail(ev._value)
+            return
+        self.succeed(ev._value)
+
+
+ProcessGen = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process-as-event pattern: a Process *is* an event that fires when
+    the generator returns (value = return value) or raises (failure), so
+    processes can wait on each other by yielding a Process.
+    """
+
+    __slots__ = ("gen", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"Process needs a generator (did you forget to call the "
+                f"function?): got {type(gen).__name__}"
+            )
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume once at the current time.
+        boot = Event(sim)
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting detaches it from the event it was waiting on (the
+        event may still fire later — the process simply no longer cares).
+        """
+        if self._triggered:
+            raise SimError(f"cannot interrupt finished process {self.name!r}")
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        kick = Event(self.sim)
+        kick.callbacks.append(lambda ev: self._step(throw=Interrupt(cause)))
+        kick.succeed()
+
+    # -- internal -----------------------------------------------------------
+    def _resume(self, ev: Event) -> None:
+        self._waiting_on = None
+        if ev._ok:
+            self._step(send=ev._value)
+        else:
+            ev.defuse()
+            self._step(throw=ev._value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        if self._triggered:
+            return
+        try:
+            if throw is not None:
+                target = self.gen.throw(throw)
+            else:
+                target = self.gen.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            exc = SimError(
+                f"process {self.name!r} yielded {target!r}; processes may "
+                f"only yield Event instances"
+            )
+            try:
+                self.gen.throw(exc)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as err:
+                self.fail(err)
+            return
+        if target.sim is not self.sim:
+            self.fail(SimError("yielded an event from a different simulator"))
+            return
+        self._waiting_on = target
+        if target.callbacks is None:
+            # Already processed: resume immediately (at the current time).
+            kick = Event(self.sim)
+            kick.callbacks.append(lambda ev: self._resume(target))
+            kick.succeed()
+        else:
+            target.callbacks.append(self._resume)
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of triggered events.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(1.5)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert sim.now == 1.5 and proc.value == "done"
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._failed_events: list[Event] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, ev: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self._now + delay, self._seq, ev))
+        self._seq += 1
+
+    def _pop(self) -> None:
+        when, _seq, ev = heapq.heappop(self._heap)
+        if when < self._now - 1e-15:
+            raise SimError(f"time went backwards: {when} < {self._now}")
+        self._now = when if when > self._now else self._now
+        callbacks, ev.callbacks = ev.callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(ev)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event heap drains or ``until`` (exclusive of later events).
+
+        Raises the exception of any failed event that no process handled.
+        Returns the final simulated time.
+        """
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                break
+            self._pop()
+        for ev in self._failed_events:
+            if not ev._defused:
+                exc = ev._value
+                raise exc
+        return self._now
+
+    def step(self) -> bool:
+        """Process a single event; returns False when the heap is empty."""
+        if not self._heap:
+            return False
+        self._pop()
+        return True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled event, or None when drained."""
+        return self._heap[0][0] if self._heap else None

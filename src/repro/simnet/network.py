@@ -1,0 +1,299 @@
+"""Flow-level network model with max-min fair bandwidth sharing.
+
+The paper's testbed is 8 nodes on one Gigabit Ethernet switch.  We model
+it at *flow* granularity (the standard flow-level abstraction used by
+SimGrid-style simulators): a :class:`Flow` is a transfer of N bytes from
+one node to another, its path is the sender's uplink plus the receiver's
+downlink, and whenever the set of active flows changes the
+:class:`Network` recomputes a **max-min fair** allocation by progressive
+filling over all links.  This captures exactly the contention pattern
+that makes Hadoop's copy stage slow in Figure 1: many reducers pulling
+from many mappers saturate node downlinks.
+
+Latency is charged once per flow (propagation + protocol setup, supplied
+by the caller) before the bytes begin to flow.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.simnet.kernel import Event, Simulator
+
+
+class Link:
+    """A unidirectional link with a fixed capacity in bytes/second."""
+
+    __slots__ = ("name", "capacity", "_flows", "bytes_carried", "busy_time")
+
+    def __init__(self, name: str, capacity: float):
+        if capacity <= 0:
+            raise ValueError(f"link capacity must be positive, got {capacity}")
+        self.name = name
+        self.capacity = float(capacity)
+        self._flows: set["Flow"] = set()
+        self.bytes_carried = 0.0
+        self.busy_time = 0.0
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def utilization(self, elapsed: float) -> float:
+        """Carried bytes over what the link could have carried in ``elapsed``."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.bytes_carried / (self.capacity * elapsed))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Link {self.name} {self.capacity:.3g} B/s, {len(self._flows)} flows>"
+
+
+class Flow:
+    """One transfer in flight: remaining bytes, current fair rate, done event."""
+
+    __slots__ = (
+        "network",
+        "path",
+        "remaining",
+        "rate",
+        "rate_cap",
+        "done",
+        "nbytes",
+        "started_at",
+        "seq",
+    )
+
+    def __init__(
+        self,
+        network: "Network",
+        path: tuple[Link, ...],
+        nbytes: float,
+        rate_cap: float = float("inf"),
+    ):
+        self.network = network
+        self.path = path
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.rate = 0.0
+        self.rate_cap = float(rate_cap)
+        self.done: Event = network.sim.event()
+        self.started_at = network.sim.now
+        self.seq = network._next_seq()
+
+
+class Network:
+    """The set of links plus the active-flow bookkeeping.
+
+    ``transfer(path, nbytes, latency)`` returns an event that fires when
+    the last byte arrives.  Rates are recomputed on every flow arrival and
+    departure with the progressive-filling algorithm:
+
+    1. all flows unfrozen, all link capacities residual;
+    2. the link with the smallest ``residual / unfrozen_flow_count`` is the
+       bottleneck — freeze its flows at that share;
+    3. subtract, repeat until every flow is frozen.
+    """
+
+    _EPS = 1e-9
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._links: dict[str, Link] = {}
+        self._flows: set[Flow] = set()
+        self._last_t = 0.0
+        self._timer_token = 0
+        self._flow_seq = 0
+        self.bytes_delivered = 0.0
+
+    def _next_seq(self) -> int:
+        self._flow_seq += 1
+        return self._flow_seq
+
+    # -- topology -------------------------------------------------------------
+    def add_link(self, name: str, capacity: float) -> Link:
+        if name in self._links:
+            raise ValueError(f"duplicate link name {name!r}")
+        link = Link(name, capacity)
+        self._links[name] = link
+        return link
+
+    def link(self, name: str) -> Link:
+        return self._links[name]
+
+    # -- transfers --------------------------------------------------------------
+    def transfer(
+        self,
+        path: Iterable[Link],
+        nbytes: float,
+        latency: float = 0.0,
+        rate_cap: float = float("inf"),
+    ) -> Event:
+        """Move ``nbytes`` along ``path`` after ``latency``; returns the done event.
+
+        A zero-byte transfer still pays the latency (a ping is not free).
+        An empty path models a node-local transfer: only latency is
+        charged.  ``rate_cap`` bounds this flow below link speed — the
+        knob protocol-bound transports (Hadoop RPC) use.
+        """
+        path_t = tuple(path)
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency}")
+        if rate_cap <= 0:
+            raise ValueError(f"rate cap must be positive: {rate_cap}")
+        flow = Flow(self, path_t, nbytes, rate_cap=rate_cap)
+        if latency > 0:
+            start = self.sim.timeout(latency)
+            start.callbacks.append(lambda ev: self._start_flow(flow))
+        else:
+            self._start_flow(flow)
+        return flow.done
+
+    # -- internals ----------------------------------------------------------------
+    def _start_flow(self, flow: Flow) -> None:
+        if flow.remaining <= self._EPS:
+            self.bytes_delivered += flow.nbytes
+            flow.done.succeed(flow.nbytes)
+            return
+        if not flow.path:
+            # Node-local: no shared links, but a finite protocol cap
+            # still takes time.
+            if flow.rate_cap == float("inf"):
+                self.bytes_delivered += flow.nbytes
+                flow.done.succeed(flow.nbytes)
+            else:
+                timer = self.sim.timeout(flow.remaining / flow.rate_cap)
+
+                def finish_local(ev, flow=flow):
+                    self.bytes_delivered += flow.nbytes
+                    flow.done.succeed(flow.nbytes)
+
+                timer.callbacks.append(finish_local)
+            return
+        self._advance()
+        self._flows.add(flow)
+        for link in flow.path:
+            link._flows.add(flow)
+        self._reallocate()
+
+    def _advance(self) -> None:
+        now = self.sim.now
+        dt = now - self._last_t
+        self._last_t = now
+        if dt <= 0:
+            return
+        busy: set[Link] = set()
+        for flow in self._flows:
+            moved = flow.rate * dt
+            flow.remaining -= moved
+            for link in flow.path:
+                link.bytes_carried += moved
+                busy.add(link)
+        for link in busy:
+            link.busy_time += dt
+
+    def _finish(self, flow: Flow) -> None:
+        self._flows.discard(flow)
+        for link in flow.path:
+            link._flows.discard(flow)
+        self.bytes_delivered += flow.nbytes
+        flow.done.succeed(flow.nbytes)
+
+    def _reallocate(self) -> None:
+        self._timer_token += 1
+        token = self._timer_token
+
+        # Deterministic completion order for simultaneous finishes: flows
+        # complete in start order, never in set-iteration order.
+        finished = sorted(
+            (f for f in self._flows if f.remaining <= self._EPS),
+            key=lambda f: f.seq,
+        )
+        for flow in finished:
+            self._finish(flow)
+        if not self._flows:
+            return
+
+        self._maxmin_rates()
+
+        next_done = min(
+            (f.remaining / f.rate for f in self._flows if f.rate > 0),
+            default=None,
+        )
+        if next_done is None:
+            # No flow can make progress: every active flow crosses a link with
+            # zero residual capacity, which progressive filling cannot produce
+            # with positive link capacities.  Guard anyway.
+            raise RuntimeError("network allocation produced starved flows")
+        # Pin the flows this timer finishes: float rounding can leave a
+        # residual below the clock's resolution, which would otherwise
+        # respawn zero-length timers forever.
+        targets = [
+            f
+            for f in self._flows
+            if f.rate > 0 and f.remaining / f.rate <= next_done * (1 + 1e-9)
+        ]
+        timer = self.sim.timeout(next_done)
+        timer.callbacks.append(lambda ev: self._on_timer(token, targets))
+
+    def _on_timer(self, token: int, targets: list[Flow]) -> None:
+        if token != self._timer_token:
+            return
+        self._advance()
+        for flow in targets:
+            flow.remaining = 0.0
+        self._reallocate()
+
+    def _maxmin_rates(self) -> None:
+        """Progressive filling over all links touched by active flows.
+
+        Per-flow rate caps participate as virtual bottlenecks: whenever
+        the smallest unfrozen cap is tighter than the tightest link
+        share, that flow freezes at its cap (releasing link capacity to
+        the others) — the standard capped max-min extension.
+        """
+        unfrozen: set[Flow] = set(self._flows)
+        residual: dict[Link, float] = {}
+        for flow in self._flows:
+            flow.rate = 0.0
+            for link in flow.path:
+                residual.setdefault(link, link.capacity)
+
+        while unfrozen:
+            # Bottleneck link: smallest per-flow fair share among links that
+            # still carry unfrozen flows.
+            best_link: Optional[Link] = None
+            best_share = float("inf")
+            # Sort by name so epsilon-ties resolve the same way every run.
+            for link in sorted(residual, key=lambda l: l.name):
+                n = sum(1 for f in link._flows if f in unfrozen)
+                if n == 0:
+                    continue
+                share = residual[link] / n
+                if share < best_share - self._EPS:
+                    best_share = share
+                    best_link = link
+            # Tightest protocol cap among unfrozen flows.
+            capped = min(unfrozen, key=lambda f: (f.rate_cap, f.seq))
+            if capped.rate_cap < best_share:
+                rate = capped.rate_cap
+                capped.rate = rate
+                unfrozen.discard(capped)
+                for link in capped.path:
+                    residual[link] = max(0.0, residual[link] - rate)
+                continue
+            if best_link is None:
+                # Remaining flows traverse no constrained link (shouldn't
+                # happen for non-empty paths); cap-bound or effectively
+                # infinite.
+                for flow in unfrozen:
+                    flow.rate = min(flow.rate_cap, 1e18)
+                break
+            froze = [f for f in best_link._flows if f in unfrozen]
+            for flow in froze:
+                flow.rate = best_share
+                unfrozen.discard(flow)
+                for link in flow.path:
+                    residual[link] = max(0.0, residual[link] - best_share)

@@ -1,0 +1,50 @@
+"""Lightweight tracing of simulation activity.
+
+A :class:`Tracer` collects ``(time, category, label, payload)`` tuples;
+experiments use it to extract per-task phase timings (the data behind
+Figure 1) without threading measurement code through the models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.simnet.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    category: str
+    label: str
+    payload: Any = None
+
+
+class Tracer:
+    """Append-only event log keyed by category."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.events: list[TraceEvent] = []
+        self.enabled = True
+
+    def record(self, category: str, label: str, payload: Any = None) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(self.sim.now, category, label, payload))
+
+    def by_category(self, category: str) -> Iterator[TraceEvent]:
+        return (ev for ev in self.events if ev.category == category)
+
+    def spans(self, category: str) -> dict[str, tuple[float, float]]:
+        """Pair ``<label>:start`` / ``<label>:end`` records into (t0, t1) spans."""
+        start: dict[str, float] = {}
+        out: dict[str, tuple[float, float]] = {}
+        for ev in self.by_category(category):
+            if ev.label.endswith(":start"):
+                start[ev.label[: -len(":start")]] = ev.time
+            elif ev.label.endswith(":end"):
+                base = ev.label[: -len(":end")]
+                if base in start:
+                    out[base] = (start[base], ev.time)
+        return out

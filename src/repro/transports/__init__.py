@@ -1,0 +1,52 @@
+"""Point-to-point communication cost models.
+
+The paper's Section II-B compares three primitives on the same GigE
+testbed:
+
+* **Hadoop RPC** — request/response over a ``VersionedProtocol`` proxy
+  with Writable serialization (:mod:`repro.transports.hadoop_rpc`);
+* **HTTP over Jetty** — the servlet path used by the shuffle copy stage
+  (:mod:`repro.transports.jetty`);
+* **MPICH2** — ``MPI_Send``/``MPI_Recv`` with the eager/rendezvous
+  protocol switch (:mod:`repro.transports.mpich`).
+
+Each model decomposes one message of ``n`` bytes into a fixed per-call
+cost, serialization/copy costs, framing bytes and wire time, with
+constants calibrated against the paper's published anchor measurements
+(:mod:`repro.transports.calibration`).  :mod:`repro.transports.microbench`
+re-runs the paper's ping-pong latency and fixed-volume bandwidth
+methodology on top of the models.
+"""
+
+from repro.transports.base import Transport, WireCosts
+from repro.transports.mpich import MpichTransport
+from repro.transports.hadoop_rpc import HadoopRpcTransport
+from repro.transports.jetty import JettyHttpTransport
+from repro.transports.nio import NioSocketTransport
+from repro.transports.microbench import (
+    LatencyBench,
+    BandwidthBench,
+    PingPongResult,
+    BandwidthResult,
+)
+from repro.transports.simbench import (
+    SimPingPong,
+    contended_transfer_time,
+    sim_ping_pong,
+)
+
+__all__ = [
+    "Transport",
+    "WireCosts",
+    "MpichTransport",
+    "HadoopRpcTransport",
+    "JettyHttpTransport",
+    "NioSocketTransport",
+    "LatencyBench",
+    "BandwidthBench",
+    "PingPongResult",
+    "BandwidthResult",
+    "SimPingPong",
+    "sim_ping_pong",
+    "contended_transfer_time",
+]

@@ -1,0 +1,121 @@
+"""Transport abstraction: what one message costs, three different ways.
+
+A transport answers three questions about moving ``n`` payload bytes
+point-to-point on an otherwise idle network:
+
+* :meth:`Transport.latency` — one-way time of a single message (half the
+  ping-pong), the quantity in the paper's Figure 2;
+* :meth:`Transport.stream_time` — time to push a large volume in
+  back-to-back packets, where pipelined transports (MPI, HTTP chunks)
+  overlap per-message CPU with the wire while request/response
+  transports (Hadoop RPC) cannot — the methodology of Figure 3;
+* :meth:`Transport.wire_costs` — the decomposition the DES needs to
+  price a message *under contention*: non-overlapped setup time plus
+  actual bytes on the wire, so the network model charges shared links
+  correctly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WireCosts:
+    """DES-facing cost decomposition of one message.
+
+    ``setup_time`` is charged before any byte moves (and does not occupy
+    the link); ``wire_bytes`` (payload + framing) then flow through the
+    shared network at whatever rate contention allows; ``rate_cap``
+    bounds the flow below link speed when the protocol itself is the
+    bottleneck (Hadoop RPC never exceeds ~1.4 MB/s no matter how idle
+    the wire is).
+    """
+
+    setup_time: float
+    wire_bytes: float
+    rate_cap: float
+
+    def __post_init__(self) -> None:
+        if self.setup_time < 0 or self.wire_bytes < 0 or self.rate_cap <= 0:
+            raise ValueError(f"invalid wire costs: {self}")
+
+
+class Transport(ABC):
+    """Cost model of one point-to-point communication primitive."""
+
+    #: Short name used in experiment tables ("MPICH2", "Hadoop RPC", ...).
+    name: str = "transport"
+
+    # -- latency (Figure 2 methodology) -------------------------------------
+    @abstractmethod
+    def latency(self, nbytes: int) -> float:
+        """One-way time in seconds for a single ``nbytes`` message, idle net."""
+
+    def ping_pong(self, nbytes: int) -> float:
+        """Echo round-trip: the paper reports ``ping_pong / 2`` as latency."""
+        self._check_size(nbytes)
+        return 2.0 * self.latency(nbytes)
+
+    # -- streaming (Figure 3 methodology) ------------------------------------
+    @abstractmethod
+    def packet_stream_cost(self, packet_bytes: int) -> float:
+        """Steady-state time consumed per ``packet_bytes`` packet when
+        sending many back-to-back."""
+
+    def stream_time(self, total_bytes: int, packet_bytes: int) -> float:
+        """Time to move ``total_bytes`` split into ``packet_bytes`` packets.
+
+        The last partial packet is charged like a full one, as a real
+        loop would.
+        """
+        self._check_size(total_bytes)
+        if packet_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {packet_bytes}")
+        n_full, rem = divmod(int(total_bytes), int(packet_bytes))
+        t = n_full * self.packet_stream_cost(packet_bytes)
+        if rem:
+            t += self.packet_stream_cost(rem)
+        return t
+
+    def bandwidth(self, total_bytes: int, packet_bytes: int) -> float:
+        """Achieved bandwidth (bytes/s) of :meth:`stream_time`."""
+        t = self.stream_time(total_bytes, packet_bytes)
+        if t <= 0:
+            return float("inf")
+        return total_bytes / t
+
+    # -- DES integration -----------------------------------------------------
+    def wire_costs(self, nbytes: int) -> WireCosts:
+        """Default decomposition: non-wire part of latency as setup, payload
+        as wire bytes at full link rate.  Subclasses refine."""
+        self._check_size(nbytes)
+        from repro.transports.calibration import WIRE_BANDWIDTH
+
+        wire = nbytes / WIRE_BANDWIDTH
+        setup = max(0.0, self.latency(nbytes) - wire)
+        return WireCosts(setup_time=setup, wire_bytes=float(nbytes), rate_cap=WIRE_BANDWIDTH)
+
+    # -- microbench hooks -----------------------------------------------------
+    def trial_latency(self, nbytes: int, trial: int, rng: np.random.Generator) -> float:
+        """One measured ping-pong/2 sample: model value plus trial noise.
+
+        Base transports have no warmup; JVM-hosted ones override to model
+        class loading on early trials (the paper drops the first five).
+        """
+        base = self.latency(nbytes)
+        return base * float(rng.lognormal(mean=0.0, sigma=self.jitter_sigma))
+
+    #: Multiplicative measurement noise (sigma of a lognormal).
+    jitter_sigma: float = 0.03
+
+    @staticmethod
+    def _check_size(nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"message size may not be negative: {nbytes}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,126 @@
+"""The paper's micro-benchmark methodology, re-run against the models.
+
+Section II-B: "Each test result in the following experiments is an
+average value of 100 tests. In order to avoid the overhead caused by
+class loading and object instantiation, we drop the first 5 test values
+of Hadoop, which is implemented by Java."
+
+:class:`LatencyBench` reproduces the ping-pong latency sweep of Figure 2
+(latency = ping-pong time / 2), :class:`BandwidthBench` the fixed-volume
+(128 MB) variable-packet bandwidth sweep of Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.transports.base import Transport
+from repro.transports.calibration import HADOOP_WARMUP_TRIALS
+from repro.util.rng import make_rng
+from repro.util.units import MiB
+
+
+@dataclass(frozen=True)
+class PingPongResult:
+    """Averaged ping-pong/2 latency at one message size."""
+
+    transport: str
+    nbytes: int
+    latency: float
+    trials: int
+    dropped: int
+    samples_std: float
+
+
+@dataclass(frozen=True)
+class BandwidthResult:
+    """Achieved bandwidth moving ``total_bytes`` in ``packet_bytes`` packets."""
+
+    transport: str
+    packet_bytes: int
+    total_bytes: int
+    bandwidth: float  # bytes/s
+    elapsed: float
+
+
+def default_latency_sizes() -> list[int]:
+    """The paper's Figure 2 x-axis: powers of two, 1 B .. 64 MB."""
+    return [2**i for i in range(0, 27)]
+
+
+def default_bandwidth_packets() -> list[int]:
+    """The paper's Figure 3 x-axis: packet sizes 1 B .. 64 MB."""
+    return [2**i for i in range(0, 27)]
+
+
+@dataclass
+class LatencyBench:
+    """Ping-pong latency sweep over one transport.
+
+    ``drop_first`` defaults to the paper's rule: drop 5 warmup trials for
+    JVM transports (those that define a warmup penalty), 0 otherwise.
+    """
+
+    transport: Transport
+    trials: int = 100
+    drop_first: int | None = None
+    seed: int = 20110913  # ICPP 2011 opened Sep 13
+
+    def _n_drop(self) -> int:
+        if self.drop_first is not None:
+            return self.drop_first
+        is_jvm = getattr(self.transport, "warmup_trials", 0) > 0
+        return HADOOP_WARMUP_TRIALS if is_jvm else 0
+
+    def measure(self, nbytes: int) -> PingPongResult:
+        """Average of ``trials`` ping-pong/2 samples at one size."""
+        if self.trials < 1:
+            raise ValueError(f"need at least one trial, got {self.trials}")
+        rng = make_rng(self.seed, self.transport.name, "latency", nbytes)
+        samples = np.array(
+            [
+                self.transport.trial_latency(nbytes, trial, rng)
+                for trial in range(self.trials)
+            ]
+        )
+        drop = min(self._n_drop(), self.trials - 1)
+        kept = samples[drop:]
+        return PingPongResult(
+            transport=self.transport.name,
+            nbytes=nbytes,
+            latency=float(kept.mean()),
+            trials=self.trials,
+            dropped=drop,
+            samples_std=float(kept.std()),
+        )
+
+    def sweep(self, sizes: list[int] | None = None) -> list[PingPongResult]:
+        return [self.measure(n) for n in (sizes or default_latency_sizes())]
+
+
+@dataclass
+class BandwidthBench:
+    """Fixed-volume variable-packet bandwidth sweep (Figure 3 methodology)."""
+
+    transport: Transport
+    total_bytes: int = 128 * MiB
+    jitter: bool = True
+    seed: int = 20110913
+
+    def measure(self, packet_bytes: int) -> BandwidthResult:
+        elapsed = self.transport.stream_time(self.total_bytes, packet_bytes)
+        if self.jitter:
+            rng = make_rng(self.seed, self.transport.name, "bw", packet_bytes)
+            elapsed *= float(rng.lognormal(0.0, self.transport.jitter_sigma))
+        return BandwidthResult(
+            transport=self.transport.name,
+            packet_bytes=packet_bytes,
+            total_bytes=self.total_bytes,
+            bandwidth=self.total_bytes / elapsed,
+            elapsed=elapsed,
+        )
+
+    def sweep(self, packets: list[int] | None = None) -> list[BandwidthResult]:
+        return [self.measure(p) for p in (packets or default_bandwidth_packets())]

@@ -1,0 +1,57 @@
+"""Socket-over-Java-NIO cost model (paper future-work item (1)).
+
+The paper's conclusion lists "compare the primitives between MPI and
+Socket over Java NIO, which is mainly used to transfer data blocks
+between datanodes in Hadoop" as future work.  This model implements that
+comparison point: direct NIO channels carry no HTTP framing and no RPC
+envelope, but still pay JVM buffer management per read/write, landing
+between Jetty and MPICH2.  Used by the HDFS replication pipeline in the
+simulated Hadoop and by the ``fig3`` ablation bench.
+"""
+
+from __future__ import annotations
+
+from repro.transports import calibration as cal
+from repro.transports.base import Transport, WireCosts
+
+
+class NioSocketTransport(Transport):
+    """One write+read of ``nbytes`` over a direct ``SocketChannel``."""
+
+    name = "Socket/NIO"
+    jitter_sigma = 0.04
+
+    def __init__(
+        self,
+        request_setup: float = cal.NIO_REQUEST_SETUP,
+        stream_per_msg: float = cal.NIO_STREAM_PER_MSG,
+        stream_peak: float = cal.NIO_STREAM_PEAK,
+        wire_bandwidth: float = cal.WIRE_BANDWIDTH,
+    ):
+        if request_setup <= 0 or stream_peak <= 0:
+            raise ValueError("NIO model constants must be positive")
+        self.request_setup = request_setup
+        self.stream_per_msg = stream_per_msg
+        self.stream_peak = stream_peak
+        self.wire_bandwidth = wire_bandwidth
+
+    def latency(self, nbytes: int) -> float:
+        self._check_size(nbytes)
+        return self.request_setup + max(
+            nbytes / self.wire_bandwidth, nbytes / self.stream_peak
+        )
+
+    def packet_stream_cost(self, packet_bytes: int) -> float:
+        if packet_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {packet_bytes}")
+        cpu = self.stream_per_msg
+        wire = packet_bytes / min(self.stream_peak, self.wire_bandwidth)
+        return max(cpu, wire)
+
+    def wire_costs(self, nbytes: int) -> WireCosts:
+        self._check_size(nbytes)
+        return WireCosts(
+            setup_time=self.request_setup,
+            wire_bytes=float(nbytes),
+            rate_cap=self.stream_peak,
+        )

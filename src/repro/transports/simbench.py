@@ -1,0 +1,101 @@
+"""Cross-validation: transport models inside the simulated cluster.
+
+The analytic models (:mod:`repro.transports.microbench`) answer "what
+does one message cost on an idle network"; the DES consumes the same
+models through :meth:`~repro.transports.base.Transport.wire_costs` plus
+the shared-network flow machinery.  This module runs the ping-pong
+*through the simulated cluster* and checks the two planes agree — the
+glue test that justifies pricing the Hadoop shuffle with these models.
+
+Also provides :func:`contended_transfer_time`, which the ablation and
+teaching examples use to show how contention bends each transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simnet.cluster import Cluster, ClusterSpec
+from repro.simnet.kernel import Simulator
+from repro.transports.base import Transport
+
+
+@dataclass(frozen=True)
+class SimPingPong:
+    """One simulated ping-pong measurement."""
+
+    transport: str
+    nbytes: int
+    sim_latency: float  # half round-trip, simulated cluster
+    model_latency: float  # transport.latency(nbytes), analytic
+
+
+def sim_ping_pong(
+    transport: Transport,
+    nbytes: int,
+    cluster_spec: ClusterSpec | None = None,
+) -> SimPingPong:
+    """Half round-trip of one message between two idle cluster nodes.
+
+    The simulated time decomposes the transport's ``wire_costs`` onto the
+    cluster fabric: setup before the bytes, payload through the shared
+    links capped at the protocol rate.
+    """
+    spec = cluster_spec or ClusterSpec(num_nodes=2)
+    sim = Simulator()
+    cluster = Cluster(sim, spec)
+    done_at = {}
+
+    def one_way(src: int, dst: int):
+        wc = transport.wire_costs(nbytes)
+        yield cluster.send(
+            src, dst, wc.wire_bytes, extra_latency=wc.setup_time, rate_cap=wc.rate_cap
+        )
+
+    def pingpong(sim_):
+        yield sim.process(one_way(0, 1))
+        yield sim.process(one_way(1, 0))
+        done_at["t"] = sim.now
+
+    sim.process(pingpong(sim))
+    sim.run()
+    return SimPingPong(
+        transport=transport.name,
+        nbytes=nbytes,
+        sim_latency=done_at["t"] / 2.0,
+        model_latency=transport.latency(nbytes),
+    )
+
+
+def contended_transfer_time(
+    transport: Transport,
+    nbytes: int,
+    concurrent_senders: int,
+    cluster_spec: ClusterSpec | None = None,
+) -> float:
+    """Makespan of ``concurrent_senders`` nodes each pushing ``nbytes``
+    to one receiver — the fan-in pattern of a shuffle fetch wave."""
+    if concurrent_senders < 1:
+        raise ValueError(f"need at least one sender, got {concurrent_senders}")
+    spec = cluster_spec or ClusterSpec(num_nodes=concurrent_senders + 1)
+    if spec.num_nodes < concurrent_senders + 1:
+        raise ValueError("cluster too small for the requested senders")
+    sim = Simulator()
+    cluster = Cluster(sim, spec)
+    wc = transport.wire_costs(nbytes)
+
+    def sender(src: int):
+        yield cluster.send(
+            src, 0, wc.wire_bytes, extra_latency=wc.setup_time, rate_cap=wc.rate_cap
+        )
+
+    procs = [
+        sim.process(sender(src), name=f"tx{src}")
+        for src in range(1, concurrent_senders + 1)
+    ]
+
+    def waiter(sim_):
+        yield sim.all_of(procs)
+
+    sim.process(waiter(sim))
+    return sim.run()

@@ -1,0 +1,59 @@
+"""Shared utilities: units, stable hashing, serialization, RNG discipline.
+
+Everything in this package is dependency-free (stdlib + numpy) and safe to
+import from any other subpackage; nothing here imports the rest of
+:mod:`repro`.
+"""
+
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    TB,
+    KiB,
+    MiB,
+    GiB,
+    US,
+    MS,
+    SECOND,
+    fmt_bytes,
+    fmt_time,
+    parse_size,
+)
+from repro.util.hashing import stable_hash, fnv1a_64, java_string_hash
+from repro.util.serde import (
+    encode_kv,
+    decode_kv,
+    encoded_kv_size,
+    encode_record,
+    decode_record,
+    serialized_size,
+)
+from repro.util.rng import make_rng, derive_seed
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "KiB",
+    "MiB",
+    "GiB",
+    "US",
+    "MS",
+    "SECOND",
+    "fmt_bytes",
+    "fmt_time",
+    "parse_size",
+    "stable_hash",
+    "fnv1a_64",
+    "java_string_hash",
+    "encode_kv",
+    "decode_kv",
+    "encoded_kv_size",
+    "encode_record",
+    "decode_record",
+    "serialized_size",
+    "make_rng",
+    "derive_seed",
+]

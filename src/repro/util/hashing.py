@@ -1,0 +1,74 @@
+"""Deterministic hashing.
+
+Python's built-in ``hash`` on ``str``/``bytes`` is randomised per process
+(PYTHONHASHSEED), which would make partition assignment — and therefore
+every simulated shuffle — nondeterministic across runs.  All partitioning
+in this repository goes through :func:`stable_hash` instead.
+
+:func:`java_string_hash` reimplements ``java.lang.String.hashCode`` because
+Hadoop's ``HashPartitioner`` computes ``(key.hashCode() & MAX_VALUE) %
+numReduceTasks``; using it keeps our simulated partition skew comparable to
+real Hadoop's for string keys.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_FNV_OFFSET_64 = 0xCBF29CE484222325
+_FNV_PRIME_64 = 0x100000001B3
+_MASK_64 = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a_64(data: bytes) -> int:
+    """64-bit FNV-1a hash of ``data``; deterministic across processes."""
+    h = _FNV_OFFSET_64
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME_64) & _MASK_64
+    return h
+
+
+def java_string_hash(s: str) -> int:
+    """``java.lang.String.hashCode()``: signed 32-bit ``h = 31*h + c``."""
+    h = 0
+    for ch in s:
+        h = (31 * h + ord(ch)) & 0xFFFFFFFF
+    # Interpret as signed 32-bit, as Java would.
+    if h >= 0x80000000:
+        h -= 0x100000000
+    return h
+
+
+def _key_bytes(key: Any) -> bytes:
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, bool):
+        return b"\x01" if key else b"\x00"
+    if isinstance(key, int):
+        return key.to_bytes(16, "little", signed=True)
+    if isinstance(key, float):
+        import struct
+
+        return struct.pack("<d", key)
+    if isinstance(key, tuple):
+        parts = bytearray()
+        for item in key:
+            piece = _key_bytes(item)
+            parts += len(piece).to_bytes(4, "little")
+            parts += piece
+        return bytes(parts)
+    if key is None:
+        return b"\xff<none>"
+    raise TypeError(f"unhashable key type for stable_hash: {type(key).__name__}")
+
+
+def stable_hash(key: Any) -> int:
+    """Deterministic non-negative 64-bit hash for partitioning.
+
+    Supports the key types MapReduce jobs in this repository use: ``bytes``,
+    ``str``, ``int``, ``float``, ``bool``, ``None`` and tuples thereof.
+    """
+    return fnv1a_64(_key_bytes(key))

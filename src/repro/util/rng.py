@@ -1,0 +1,28 @@
+"""Seeding discipline.
+
+Every stochastic component (workload generators, jitter in cost models,
+the DES) takes an explicit seed and derives child seeds with
+:func:`derive_seed`, so an experiment is reproducible end-to-end from a
+single root seed and two components never share a stream by accident.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.hashing import fnv1a_64
+
+
+def derive_seed(root: int, *path: object) -> int:
+    """Derive a child seed from ``root`` and a label path.
+
+    ``derive_seed(7, "node", 3)`` is stable across runs and distinct from
+    ``derive_seed(7, "node", 4)`` and from ``derive_seed(8, "node", 3)``.
+    """
+    label = "/".join(str(p) for p in path)
+    return fnv1a_64(f"{root}:{label}".encode("utf-8")) & 0x7FFFFFFFFFFFFFFF
+
+
+def make_rng(root: int, *path: object) -> np.random.Generator:
+    """A numpy Generator seeded from ``derive_seed(root, *path)``."""
+    return np.random.default_rng(derive_seed(root, *path))

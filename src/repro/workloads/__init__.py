@@ -1,0 +1,25 @@
+"""Workload generators: synthetic corpora and GridMix-style records.
+
+The paper's experiments consume two inputs we cannot download: GridMix's
+JavaSort records and bulk text for WordCount.  These generators produce
+deterministic synthetic equivalents: Zipf-distributed text (word
+frequencies in real corpora are Zipfian, which drives combiner
+effectiveness) and fixed-layout sort records.
+"""
+
+from repro.workloads.textgen import ZipfTextGenerator, generate_corpus
+from repro.workloads.gridmix import SortRecordGenerator, generate_sort_records
+from repro.workloads.gridmix_suite import GRIDMIX_SUITE, GridmixEntry, suite_by_name
+from repro.workloads.splits import split_evenly, split_by_bytes
+
+__all__ = [
+    "ZipfTextGenerator",
+    "generate_corpus",
+    "SortRecordGenerator",
+    "generate_sort_records",
+    "GRIDMIX_SUITE",
+    "GridmixEntry",
+    "suite_by_name",
+    "split_evenly",
+    "split_by_bytes",
+]

@@ -1,0 +1,115 @@
+"""The GridMix workload suite as workload profiles.
+
+The paper measures with "the JavaSort benchmark in GridMix"; GridMix is
+really a *mix* — the stock suite stresses different parts of the stack:
+
+* **streamSort / javaSort** — identity map/reduce, pure data movement;
+* **combiner** — WordCount-like aggregation with heavy map-side combine;
+* **monsterQuery** — a three-stage pipeline with shrinking data volumes;
+* **webdataScan** — filter: map keeps ~0.2% of its input, trivial reduce;
+* **webdataSort** — sort over larger records.
+
+Each entry gives a calibrated :class:`~repro.hadoop.job.WorkloadProfile`
+(JVM rates, as elsewhere) so the whole mix runs on both the simulated
+Hadoop and the MPI-D system; ``repro.experiments.gridmix`` reports the
+suite-wide comparison Figure 6 made for WordCount alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hadoop.job import WorkloadProfile
+from repro.util.units import MiB
+
+
+@dataclass(frozen=True)
+class GridmixEntry:
+    """One suite member: profile + the reducer scaling GridMix uses."""
+
+    name: str
+    profile: WorkloadProfile
+    #: reduce tasks per map task (GridMix sizes reducers off input splits).
+    reducers_per_map: float
+    description: str
+
+
+GRIDMIX_SUITE: tuple[GridmixEntry, ...] = (
+    GridmixEntry(
+        name="streamSort",
+        profile=WorkloadProfile(
+            name="streamSort",
+            map_cpu_per_byte=1.0 / (18 * MiB),  # streaming adds pipe copies
+            map_selectivity=1.0,
+            reduce_cpu_per_byte=1.0 / (40 * MiB),
+            reduce_selectivity=1.0,
+        ),
+        reducers_per_map=1.0,
+        description="sort via Hadoop streaming (extra pipe/codec cost)",
+    ),
+    GridmixEntry(
+        name="javaSort",
+        profile=WorkloadProfile(
+            name="javaSort",
+            map_cpu_per_byte=1.0 / (25 * MiB),
+            map_selectivity=1.0,
+            reduce_cpu_per_byte=1.0 / (50 * MiB),
+            reduce_selectivity=1.0,
+        ),
+        reducers_per_map=1.0,
+        description="the paper's benchmark: identity map/reduce in Java",
+    ),
+    GridmixEntry(
+        name="combiner",
+        profile=WorkloadProfile(
+            name="combiner",
+            map_cpu_per_byte=1.0 / (4 * MiB),
+            map_selectivity=1.2,
+            reduce_cpu_per_byte=1.0 / (25 * MiB),
+            reduce_selectivity=0.8,
+            combiner_reduction=0.05,
+        ),
+        reducers_per_map=0.25,
+        description="WordCount-class aggregation, combiner collapses output",
+    ),
+    GridmixEntry(
+        name="monsterQuery",
+        profile=WorkloadProfile(
+            name="monsterQuery",
+            map_cpu_per_byte=1.0 / (8 * MiB),
+            map_selectivity=0.3,
+            reduce_cpu_per_byte=1.0 / (15 * MiB),
+            reduce_selectivity=0.3,
+        ),
+        reducers_per_map=0.5,
+        description="query pipeline stage: selective map, shrinking data",
+    ),
+    GridmixEntry(
+        name="webdataScan",
+        profile=WorkloadProfile(
+            name="webdataScan",
+            map_cpu_per_byte=1.0 / (30 * MiB),
+            map_selectivity=0.002,
+            reduce_cpu_per_byte=1.0 / (30 * MiB),
+            reduce_selectivity=1.0,
+        ),
+        reducers_per_map=0.1,
+        description="filter: keep ~0.2% of the input",
+    ),
+    GridmixEntry(
+        name="webdataSort",
+        profile=WorkloadProfile(
+            name="webdataSort",
+            map_cpu_per_byte=1.0 / (20 * MiB),
+            map_selectivity=1.0,
+            reduce_cpu_per_byte=1.0 / (40 * MiB),
+            reduce_selectivity=1.0,
+        ),
+        reducers_per_map=1.0,
+        description="sort over large web-data records",
+    ),
+)
+
+
+def suite_by_name() -> dict[str, GridmixEntry]:
+    return {entry.name: entry for entry in GRIDMIX_SUITE}

@@ -1,0 +1,40 @@
+"""Input splitting helpers (the FileInputFormat analogue for lists)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+
+def split_evenly(records: Sequence[Any], n_splits: int) -> list[list[Any]]:
+    """Round-robin split preserving per-split order."""
+    if n_splits < 1:
+        raise ValueError(f"need at least one split, got {n_splits}")
+    splits: list[list[Any]] = [[] for _ in range(n_splits)]
+    for i, rec in enumerate(records):
+        splits[i % n_splits].append(rec)
+    return splits
+
+
+def split_by_bytes(
+    records: Sequence[Any],
+    split_bytes: int,
+    size_of: Callable[[Any], int] = lambda r: len(r),
+) -> list[list[Any]]:
+    """Greedy contiguous splits of at most ``split_bytes`` each (a record
+    larger than the budget still gets its own split — splits never break
+    records, like HDFS never breaks lines across record readers)."""
+    if split_bytes < 1:
+        raise ValueError(f"split size must be >= 1 byte, got {split_bytes}")
+    splits: list[list[Any]] = []
+    current: list[Any] = []
+    used = 0
+    for rec in records:
+        size = size_of(rec)
+        if current and used + size > split_bytes:
+            splits.append(current)
+            current, used = [], 0
+        current.append(rec)
+        used += size
+    if current:
+        splits.append(current)
+    return splits

@@ -1,0 +1,108 @@
+"""Zipf-distributed synthetic text for WordCount-style jobs.
+
+Real text has Zipfian word frequencies; that skew is what makes
+WordCount's combiner collapse map output by orders of magnitude (the
+paper's WordCount profile assumes it), so the generator must reproduce
+it rather than emit uniform random words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+_CONSONANTS = "bcdfghjklmnpqrstvwz"
+_VOWELS = "aeiou"
+
+
+def _synth_word(index: int) -> str:
+    """Deterministic pronounceable word for vocabulary slot ``index``."""
+    chars = []
+    n = index + 1
+    alphabet = (_CONSONANTS, _VOWELS)
+    pos = 0
+    while n > 0:
+        alpha = alphabet[pos % 2]
+        n, rem = divmod(n, len(alpha))
+        chars.append(alpha[rem])
+        pos += 1
+    return "".join(chars)
+
+
+@dataclass
+class ZipfTextGenerator:
+    """Lines of space-separated words with Zipf(s) frequencies.
+
+    ``s`` is the Zipf exponent (~1.1 for natural language).  The
+    generator is deterministic given ``seed`` and streams lines without
+    materializing the whole corpus.
+    """
+
+    vocab_size: int = 10_000
+    words_per_line: int = 12
+    zipf_s: float = 1.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.vocab_size < 1:
+            raise ValueError(f"vocab must be >= 1, got {self.vocab_size}")
+        if self.words_per_line < 1:
+            raise ValueError(
+                f"words per line must be >= 1, got {self.words_per_line}"
+            )
+        if self.zipf_s <= 0:
+            raise ValueError(f"Zipf exponent must be positive, got {self.zipf_s}")
+        self._vocab = [_synth_word(i) for i in range(self.vocab_size)]
+        ranks = np.arange(1, self.vocab_size + 1, dtype=np.float64)
+        weights = ranks ** (-self.zipf_s)
+        self._probs = weights / weights.sum()
+        self._rng = make_rng(self.seed, "zipf-text")
+
+    @property
+    def vocabulary(self) -> list[str]:
+        return list(self._vocab)
+
+    def line(self) -> str:
+        """One line of ``words_per_line`` words."""
+        idx = self._rng.choice(self.vocab_size, size=self.words_per_line, p=self._probs)
+        return " ".join(self._vocab[i] for i in idx)
+
+    def lines(self, n: int) -> list[str]:
+        if n < 0:
+            raise ValueError(f"line count may not be negative: {n}")
+        return [self.line() for _ in range(n)]
+
+    def approx_bytes_per_line(self) -> float:
+        """Expected encoded size of one line (for sizing corpora)."""
+        mean_word = float(
+            np.dot(self._probs, np.array([len(w) for w in self._vocab]))
+        )
+        return self.words_per_line * (mean_word + 1.0)
+
+
+def generate_corpus(
+    total_bytes: int,
+    vocab_size: int = 10_000,
+    words_per_line: int = 12,
+    seed: int = 0,
+) -> list[str]:
+    """A corpus of roughly ``total_bytes`` of text (at least one line)."""
+    if total_bytes < 0:
+        raise ValueError(f"corpus size may not be negative: {total_bytes}")
+    gen = ZipfTextGenerator(
+        vocab_size=vocab_size, words_per_line=words_per_line, seed=seed
+    )
+    out: list[str] = []
+    size = 0
+    per_line = gen.approx_bytes_per_line()
+    n_estimate = max(1, int(total_bytes / per_line))
+    for _ in range(n_estimate):
+        line = gen.line()
+        out.append(line)
+        size += len(line) + 1
+        if size >= total_bytes:
+            break
+    return out

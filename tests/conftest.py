@@ -1,0 +1,16 @@
+"""Suite-wide test configuration.
+
+Hypothesis: no per-example deadline (several properties spin up real
+rank-threads or short simulations whose wall time varies with machine
+load) and a fixed derandomized profile so CI failures reproduce locally.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

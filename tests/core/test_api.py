@@ -1,0 +1,174 @@
+"""Tests for the Table-II C-style API and the pythonic context."""
+
+import pytest
+
+from repro.core.api import (
+    MPI_D_Finalize,
+    MPI_D_Init,
+    MPI_D_Recv,
+    MPI_D_Send,
+    MpiDContext,
+)
+from repro.mplib import Runtime
+
+
+def run(world_size, main, timeout=5.0):
+    return Runtime(world_size, progress_timeout=timeout).run(main)
+
+
+class TestCStyleInterface:
+    def test_wordcount_shaped_flow(self):
+        """The paper's Figure-5 WordCount written against Table II."""
+
+        corpus = ["the quick fox", "the lazy dog", "the fox"]
+
+        def main(comm):
+            if comm.rank < 3:  # mappers
+                MPI_D_Init(comm, role="mapper", reducer_ranks=[3])
+                for word in corpus[comm.rank].split():
+                    MPI_D_Send(word, 1)
+                MPI_D_Finalize()
+                return None
+            MPI_D_Init(comm, role="reducer", num_mappers=3, partition=0)
+            counts = {}
+            while True:
+                item = MPI_D_Recv()
+                if item is None:
+                    break
+                key, values = item
+                counts[key] = sum(values)
+            MPI_D_Finalize()
+            return counts
+
+        results = run(4, main)
+        assert results[3] == {
+            "the": 3,
+            "quick": 1,
+            "fox": 2,
+            "lazy": 1,
+            "dog": 1,
+        }
+
+    def test_double_init_rejected(self):
+        def main(comm):
+            MPI_D_Init(comm, role="mapper", reducer_ranks=[0])
+            with pytest.raises(RuntimeError, match="twice"):
+                MPI_D_Init(comm, role="mapper", reducer_ranks=[0])
+            MPI_D_Finalize()
+            # Drain our own EOS so nothing lingers.
+            comm.recv(source=0)
+            return "ok"
+
+        assert run(1, main) == ["ok"]
+
+    def test_send_without_init(self):
+        def main(comm):
+            with pytest.raises(RuntimeError, match="MPI_D_Init"):
+                MPI_D_Send("k", 1)
+            return "ok"
+
+        assert run(1, main) == ["ok"]
+
+    def test_finalize_without_init(self):
+        def main(comm):
+            with pytest.raises(RuntimeError, match="MPI_D_Init"):
+                MPI_D_Finalize()
+            return "ok"
+
+        assert run(1, main) == ["ok"]
+
+    def test_init_returns_context_and_releases(self):
+        def main(comm):
+            ctx = MPI_D_Init(comm, role="mapper", reducer_ranks=[0])
+            assert isinstance(ctx, MpiDContext)
+            MPI_D_Finalize()
+            ctx2 = MPI_D_Init(comm, role="mapper", reducer_ranks=[0])
+            MPI_D_Finalize()
+            comm.recv(source=0)
+            comm.recv(source=0)
+            return "ok"
+
+        assert run(1, main) == ["ok"]
+
+
+class TestContextObject:
+    def test_role_validation(self):
+        def main(comm):
+            with pytest.raises(ValueError, match="role"):
+                MpiDContext(comm, role="coordinator")
+            with pytest.raises(ValueError, match="reducer_ranks"):
+                MpiDContext(comm, role="mapper")
+            with pytest.raises(ValueError, match="num_mappers"):
+                MpiDContext(comm, role="reducer")
+            return "ok"
+
+        assert run(1, main) == ["ok"]
+
+    def test_wrong_side_calls(self):
+        def main(comm):
+            if comm.rank == 0:
+                ctx = MpiDContext(comm, role="mapper", reducer_ranks=[1])
+                with pytest.raises(RuntimeError, match="mapper context"):
+                    ctx.recv()
+                ctx.finalize()
+                return "ok"
+            ctx = MpiDContext(comm, role="reducer", num_mappers=1, partition=0)
+            with pytest.raises(RuntimeError, match="reducer context"):
+                ctx.send("k", 1)
+            list_all = []
+            while True:
+                item = ctx.recv()
+                if item is None:
+                    break
+                list_all.append(item)
+            return list_all
+
+        results = run(2, main)
+        assert results == ["ok", []]
+
+    def test_context_manager_finalizes(self):
+        def main(comm):
+            if comm.rank == 0:
+                with MpiDContext(comm, role="mapper", reducer_ranks=[1]) as ctx:
+                    ctx.send("x", 1)
+                # exiting the with-block must have sent EOS
+                return ctx.stats
+            ctx = MpiDContext(comm, role="reducer", num_mappers=1, partition=0)
+            out = []
+            while (item := ctx.recv()) is not None:
+                out.append(item)
+            return out
+
+        results = run(2, main)
+        assert results[0]["records_sent"] == 1
+        assert results[1] == [("x", [1])]
+
+    def test_send_after_context_finalize(self):
+        def main(comm):
+            if comm.rank == 0:
+                ctx = MpiDContext(comm, role="mapper", reducer_ranks=[1])
+                ctx.finalize()
+                with pytest.raises(RuntimeError):
+                    ctx.send("k", 1)
+                return "ok"
+            ctx = MpiDContext(comm, role="reducer", num_mappers=1, partition=0)
+            while ctx.recv() is not None:
+                pass
+            return "ok"
+
+        assert run(2, main) == ["ok", "ok"]
+
+    def test_stats_shapes(self):
+        def main(comm):
+            if comm.rank == 0:
+                with MpiDContext(comm, role="mapper", reducer_ranks=[1]) as ctx:
+                    ctx.send("a", 1)
+                return set(ctx.stats)
+            ctx = MpiDContext(comm, role="reducer", num_mappers=1, partition=0)
+            while ctx.recv() is not None:
+                pass
+            return set(ctx.stats)
+
+        mstats, rstats = run(2, main)
+        assert {"records_sent", "bytes_sent", "messages_sent", "spills"} == mstats
+        assert {"arrays_received", "bytes_received", "senders_done"} == rstats

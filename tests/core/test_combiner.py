@@ -1,0 +1,100 @@
+"""Combiner algebra tests, including the associativity property that
+makes results independent of spill timing."""
+
+import operator
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.combiner import (
+    GroupingCombiner,
+    ReducingCombiner,
+    SummingCombiner,
+    make_combiner,
+)
+
+
+class TestGroupingCombiner:
+    def test_paper_example(self):
+        """<K1,V1>, <K1,V1'> -> <K1, {V1, V1'}>."""
+        c = GroupingCombiner()
+        state = c.unit("V1")
+        state = c.add(state, "V1'")
+        assert c.finalize(state) == ["V1", "V1'"]
+
+    def test_merge_concatenates_in_order(self):
+        c = GroupingCombiner()
+        assert c.merge([1, 2], [3]) == [1, 2, 3]
+
+    @given(st.lists(st.integers(), min_size=1), st.lists(st.integers(), min_size=1))
+    def test_merge_equals_sequential_adds(self, xs, ys):
+        c = GroupingCombiner()
+
+        def fold(values):
+            state = c.unit(values[0])
+            for v in values[1:]:
+                state = c.add(state, v)
+            return state
+
+        assert c.merge(fold(list(xs)), fold(list(ys))) == xs + ys
+
+
+class TestReducingCombiner:
+    def test_sum(self):
+        c = SummingCombiner()
+        state = c.unit(3)
+        state = c.add(state, 4)
+        assert c.finalize(state) == [7]
+
+    def test_merge(self):
+        c = SummingCombiner()
+        assert c.merge(10, 5) == 15
+
+    def test_custom_fn(self):
+        c = ReducingCombiner(max)
+        state = c.unit(2)
+        state = c.add(state, 9)
+        state = c.add(state, 4)
+        assert c.finalize(state) == [9]
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(TypeError):
+            ReducingCombiner("not-a-function")
+
+    @given(st.lists(st.integers(), min_size=2, max_size=20), st.integers(1, 10))
+    def test_split_invariance(self, values, cut_raw):
+        """Folding values in one go == folding two halves then merging —
+        the property that makes spill timing irrelevant."""
+        cut = cut_raw % len(values)
+        if cut == 0:
+            cut = 1
+        c = SummingCombiner()
+
+        def fold(vals):
+            state = c.unit(vals[0])
+            for v in vals[1:]:
+                state = c.add(state, v)
+            return state
+
+        whole = fold(values)
+        merged = c.merge(fold(values[:cut]), fold(values[cut:]))
+        assert whole == merged == sum(values)
+
+
+class TestMakeCombiner:
+    def test_none_gives_grouping(self):
+        assert isinstance(make_combiner(None), GroupingCombiner)
+
+    def test_callable_wrapped(self):
+        c = make_combiner(operator.add)
+        assert isinstance(c, ReducingCombiner)
+        assert c.finalize(c.add(c.unit(1), 2)) == [3]
+
+    def test_combiner_passthrough(self):
+        c = SummingCombiner()
+        assert make_combiner(c) is c
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            make_combiner(42)

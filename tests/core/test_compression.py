@@ -1,0 +1,59 @@
+"""Spill compression (the §IV-A realignment improvement) tests."""
+
+from collections import Counter
+
+from repro.core import MapReduceJob, MpiDConfig, run_job
+
+# Repetitive text compresses well — the interesting case.
+CORPUS = ["alpha beta gamma delta " * 8] * 12
+
+
+def _job(compress: bool, **cfg_kw):
+    return MapReduceJob(
+        mapper=lambda k, v, emit: [emit(w, 1) for w in v.split()],
+        reducer=lambda k, vs, emit: emit(k, sum(vs)),
+        num_mappers=3,
+        num_reducers=2,
+        config=MpiDConfig(compress=compress, **cfg_kw),
+    )
+
+
+def expected():
+    c = Counter()
+    for line in CORPUS:
+        c.update(line.split())
+    return dict(c)
+
+
+class TestCompression:
+    def test_same_answer(self):
+        plain = run_job(_job(False), inputs=CORPUS)
+        packed = run_job(_job(True), inputs=CORPUS)
+        assert plain.as_dict() == packed.as_dict() == expected()
+
+    def test_fewer_wire_bytes(self):
+        plain = run_job(_job(False), inputs=CORPUS)
+        packed = run_job(_job(True), inputs=CORPUS)
+        plain_bytes = sum(s["bytes_sent"] for s in plain.mapper_stats)
+        packed_bytes = sum(s["bytes_sent"] for s in packed.mapper_stats)
+        assert packed_bytes < plain_bytes
+
+    def test_receiver_counts_wire_bytes(self):
+        packed = run_job(_job(True), inputs=CORPUS)
+        sent = sum(s["bytes_sent"] for s in packed.mapper_stats)
+        received = sum(s["bytes_received"] for s in packed.reducer_stats)
+        assert received == sent
+
+    def test_compression_composes_with_sync_sends(self):
+        result = run_job(
+            _job(True, synchronous_sends=True, spill_threshold=256),
+            inputs=CORPUS,
+        )
+        assert result.as_dict() == expected()
+
+    def test_compression_composes_with_sorted_values(self):
+        job = _job(True, sort_values=True)
+        job.reducer = lambda k, vs, emit: emit(k, vs)
+        result = run_job(job, inputs=CORPUS[:2])
+        for _, values in result.output:
+            assert values == sorted(values)

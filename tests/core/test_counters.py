@@ -1,0 +1,73 @@
+"""User-counter (Hadoop Counters analogue) tests."""
+
+from repro.core import MapReduceJob, run_job
+
+CORPUS = ["good good bad", "good skip", "bad bad bad"]
+
+
+def counting_map(key, line, emit):
+    for word in line.split():
+        if word == "skip":
+            emit.count("records.skipped")
+            continue
+        emit.count("records.mapped")
+        emit(word, 1)
+
+
+def counting_reduce(word, counts, emit):
+    emit.count("keys.reduced")
+    if sum(counts) > 2:
+        emit.count("keys.hot")
+    emit(word, sum(counts))
+
+
+def run(m=2, r=2):
+    job = MapReduceJob(
+        mapper=counting_map, reducer=counting_reduce, num_mappers=m, num_reducers=r
+    )
+    return run_job(job, inputs=CORPUS)
+
+
+class TestCounters:
+    def test_map_side_counters_aggregate(self):
+        result = run()
+        assert result.counters["records.mapped"] == 7
+        assert result.counters["records.skipped"] == 1
+
+    def test_reduce_side_counters(self):
+        result = run()
+        assert result.counters["keys.reduced"] == 2  # good, bad
+        assert result.counters["keys.hot"] == 2  # good=3, bad=4
+
+    def test_counters_independent_of_parallelism(self):
+        assert run(1, 1).counters == run(4, 3).counters
+
+    def test_no_counters_means_empty_dict(self):
+        job = MapReduceJob(
+            mapper=lambda k, v, emit: emit(v, 1),
+            reducer=lambda k, vs, emit: emit(k, sum(vs)),
+            num_mappers=2,
+            num_reducers=1,
+        )
+        assert run_job(job, inputs=CORPUS).counters == {}
+
+    def test_custom_amount(self):
+        job = MapReduceJob(
+            mapper=lambda k, v, emit: emit.count("bytes", len(v)),
+            reducer=lambda k, vs, emit: None,
+            num_mappers=2,
+            num_reducers=1,
+        )
+        result = run_job(job, inputs=CORPUS)
+        assert result.counters["bytes"] == sum(len(line) for line in CORPUS)
+
+    def test_emit_still_plain_callable(self):
+        """Old-style jobs that never touch counters keep working."""
+        job = MapReduceJob(
+            mapper=lambda k, v, emit: [emit(w, 1) for w in v.split()],
+            reducer=lambda k, vs, emit: emit(k, sum(vs)),
+            num_mappers=2,
+            num_reducers=2,
+        )
+        result = run_job(job, inputs=CORPUS)
+        assert result.as_dict()["bad"] == 4

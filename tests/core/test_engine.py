@@ -1,0 +1,166 @@
+"""Engine tests: the full send->wire->recv pipeline on the real runtime."""
+
+import pytest
+
+from repro.core.config import MpiDConfig
+from repro.core.combiner import SummingCombiner
+from repro.core.engine import MapOutputEngine, ReduceInputEngine
+from repro.mplib import Runtime
+
+
+def run(world_size, main, timeout=5.0):
+    return Runtime(world_size, progress_timeout=timeout).run(main)
+
+
+def _pipeline(num_mappers, num_reducers, pairs_for_mapper, config=None, combiner=None):
+    """World: mappers are ranks [0..M), reducers [M..M+R)."""
+    config = config or MpiDConfig()
+
+    def main(comm):
+        reducer_ranks = list(range(num_mappers, num_mappers + num_reducers))
+        if comm.rank < num_mappers:
+            eng = MapOutputEngine(
+                comm, reducer_ranks, config=config, combiner=combiner
+            )
+            for k, v in pairs_for_mapper(comm.rank):
+                eng.send(k, v)
+            eng.finalize()
+            return ("mapper", eng.records_sent, eng.messages_sent)
+        eng = ReduceInputEngine(
+            comm,
+            num_senders=num_mappers,
+            partition=comm.rank - num_mappers,
+            config=config,
+            combiner=combiner,
+        )
+        return ("reducer", list(eng))
+
+    return run(num_mappers + num_reducers, main)
+
+
+class TestSingleReducer:
+    def test_all_pairs_arrive_grouped(self):
+        results = _pipeline(
+            2, 1, lambda r: [("a", r), ("b", r * 10)]
+        )
+        kind, items = results[2]
+        assert kind == "reducer"
+        d = dict(items)
+        assert sorted(d["a"]) == [0, 1]
+        assert sorted(d["b"]) == [0, 10]
+
+    def test_sorted_key_order(self):
+        results = _pipeline(1, 1, lambda r: [("z", 1), ("a", 1), ("m", 1)])
+        _, items = results[1]
+        assert [k for k, _ in items] == ["a", "m", "z"]
+
+    def test_unsorted_when_disabled(self):
+        cfg = MpiDConfig(sort_keys=False)
+        results = _pipeline(
+            1, 1, lambda r: [("z", 1), ("a", 1)], config=cfg
+        )
+        _, items = results[1]
+        assert {k for k, _ in items} == {"a", "z"}
+
+    def test_empty_mapper_still_terminates(self):
+        results = _pipeline(3, 1, lambda r: [])
+        assert results[3] == ("reducer", [])
+
+
+class TestMultiReducer:
+    def test_keys_partitioned_consistently(self):
+        results = _pipeline(
+            3, 4, lambda r: [(f"key{i}", r) for i in range(20)]
+        )
+        seen = {}
+        for out in results[3:]:
+            _, items = out
+            for k, values in items:
+                assert k not in seen, "key appeared on two reducers"
+                seen[k] = values
+        assert len(seen) == 20
+        for k, values in seen.items():
+            assert sorted(values) == [0, 1, 2]
+
+    def test_spill_many_small_partitions(self):
+        """Tiny spill threshold and partition arrays force many messages."""
+        cfg = MpiDConfig(spill_threshold=64, partition_bytes=64)
+        results = _pipeline(
+            2, 2, lambda r: [(f"k{i}", "v" * 20) for i in range(50)], config=cfg
+        )
+        _, _, messages = results[0]
+        assert messages > 10  # really did fragment into many arrays
+        total = sum(len(items) for _, items in results[2:])
+        assert total == 50
+
+    def test_combiner_reduces_wire_traffic(self):
+        def pairs(r):
+            return [("word", 1)] * 500
+
+        plain = _pipeline(1, 1, pairs)
+        combined = _pipeline(1, 1, pairs, combiner=SummingCombiner())
+        # Same answer...
+        assert dict(plain[1][1])["word"] == [1] * 500
+        assert dict(combined[1][1])["word"] == [500]
+        # ...fewer messages with combining.
+        assert combined[0][2] <= plain[0][2]
+
+
+class TestEngineErrors:
+    def test_send_after_finalize(self):
+        def main(comm):
+            if comm.rank == 0:
+                eng = MapOutputEngine(comm, [1])
+                eng.finalize()
+                with pytest.raises(RuntimeError, match="Finalize"):
+                    eng.send("k", 1)
+                return "checked"
+            eng = ReduceInputEngine(comm, num_senders=1, partition=0)
+            return list(eng)
+
+        assert run(2, main)[0] == "checked"
+
+    def test_finalize_idempotent(self):
+        def main(comm):
+            if comm.rank == 0:
+                eng = MapOutputEngine(comm, [1])
+                eng.send("k", 1)
+                eng.finalize()
+                eng.finalize()
+                return eng.messages_sent
+            eng = ReduceInputEngine(comm, num_senders=1, partition=0)
+            return list(eng)
+
+        results = run(2, main)
+        assert results[0] == 2  # one data array + one EOS, not two EOS
+        assert results[1] == [("k", [1])]
+
+    def test_validation(self):
+        def main(comm):
+            with pytest.raises(ValueError, match="reducer rank"):
+                MapOutputEngine(comm, [])
+            with pytest.raises(ValueError, match="duplicate"):
+                MapOutputEngine(comm, [0, 0])
+            with pytest.raises(ValueError, match="sender"):
+                ReduceInputEngine(comm, num_senders=0, partition=0)
+            return "ok"
+
+        assert run(1, main) == ["ok"]
+
+    def test_stats_accounting(self):
+        def main(comm):
+            if comm.rank == 0:
+                eng = MapOutputEngine(comm, [1])
+                for i in range(10):
+                    eng.send(f"k{i}", i)
+                eng.finalize()
+                return (eng.records_sent, eng.bytes_sent)
+            eng = ReduceInputEngine(comm, num_senders=1, partition=0)
+            items = list(eng)
+            return (len(items), eng.bytes_received, eng.arrays_received)
+
+        sent, received = run(2, main)
+        assert sent[0] == 10
+        assert received[0] == 10
+        assert received[1] == sent[1]  # bytes in == bytes out
+        assert received[2] >= 1

@@ -1,0 +1,91 @@
+"""Failure injection: user code that crashes must fail fast and clean."""
+
+import pytest
+
+from repro.core import MapReduceJob, run_job
+
+CORPUS = ["a b", "c d", "e f"] * 3
+
+
+class TestMapperFailures:
+    def test_mapper_exception_propagates(self):
+        def bad_map(k, v, emit):
+            raise ValueError("mapper blew up")
+
+        job = MapReduceJob(
+            mapper=bad_map,
+            reducer=lambda k, vs, emit: emit(k, vs),
+            num_mappers=2,
+            num_reducers=1,
+        )
+        with pytest.raises(ValueError, match="mapper blew up"):
+            run_job(job, inputs=CORPUS, progress_timeout=5.0)
+
+    def test_mapper_fails_on_specific_record(self):
+        def flaky_map(k, v, emit):
+            if v == "c d":
+                raise RuntimeError("poison record")
+            emit(v, 1)
+
+        job = MapReduceJob(
+            mapper=flaky_map,
+            reducer=lambda k, vs, emit: emit(k, sum(vs)),
+            num_mappers=3,
+            num_reducers=2,
+        )
+        with pytest.raises(RuntimeError, match="poison record"):
+            run_job(job, inputs=CORPUS, progress_timeout=5.0)
+
+
+class TestReducerFailures:
+    def test_reducer_exception_propagates(self):
+        def bad_reduce(k, vs, emit):
+            raise KeyError("reducer blew up")
+
+        job = MapReduceJob(
+            mapper=lambda k, v, emit: emit(v, 1),
+            reducer=bad_reduce,
+            num_mappers=2,
+            num_reducers=2,
+        )
+        with pytest.raises(KeyError, match="reducer blew up"):
+            run_job(job, inputs=CORPUS, progress_timeout=5.0)
+
+
+class TestCombinerFailures:
+    def test_combiner_exception_propagates(self):
+        def bad_combine(a, b):
+            raise ArithmeticError("combiner blew up")
+
+        job = MapReduceJob(
+            mapper=lambda k, v, emit: [emit(w, 1) for w in v.split()],
+            reducer=lambda k, vs, emit: emit(k, sum(vs)),
+            combiner=bad_combine,
+            num_mappers=2,
+            num_reducers=1,
+        )
+        with pytest.raises(ArithmeticError, match="combiner blew up"):
+            run_job(job, inputs=CORPUS, progress_timeout=5.0)
+
+
+class TestEmitMisuse:
+    def test_unserializable_key_fails_loudly(self):
+        # Keys must be stable-hashable for partitioning.
+        job = MapReduceJob(
+            mapper=lambda k, v, emit: emit({"dict": "key"}, 1),
+            reducer=lambda k, vs, emit: emit(k, vs),
+            num_mappers=1,
+            num_reducers=2,  # >1 so the partitioner must hash the key
+        )
+        with pytest.raises(TypeError):
+            run_job(job, inputs=["x"], progress_timeout=5.0)
+
+    def test_mapper_emitting_nothing_is_fine(self):
+        job = MapReduceJob(
+            mapper=lambda k, v, emit: None,
+            reducer=lambda k, vs, emit: emit(k, vs),
+            num_mappers=2,
+            num_reducers=2,
+        )
+        result = run_job(job, inputs=CORPUS)
+        assert result.output == []

@@ -1,0 +1,139 @@
+"""Iterative MapReduce tests, including PageRank vs networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.core import MapReduceJob, l1_delta_below, run_iterative_job
+
+DAMPING = 0.85
+
+
+def _counting_job():
+    """A job whose output equals its input (identity), for loop tests."""
+    return MapReduceJob(
+        mapper=lambda k, v, emit: emit(k, v),
+        reducer=lambda k, vs, emit: emit(k, vs[0]),
+        num_mappers=2,
+        num_reducers=1,
+    )
+
+
+class TestDriverLoop:
+    def test_runs_max_rounds_without_predicate(self):
+        out = run_iterative_job(_counting_job(), inputs=[("a", 1)], max_rounds=3)
+        assert out.rounds == 3
+        assert not out.converged
+
+    def test_converges_early(self):
+        # Identity job: round 2 output == round 1 output -> L1 delta 0.
+        out = run_iterative_job(
+            _counting_job(),
+            inputs=[("a", 1.0), ("b", 2.0)],
+            max_rounds=10,
+            converged=l1_delta_below(1e-9),
+        )
+        assert out.converged
+        assert out.rounds == 2
+
+    def test_history_kept_on_request(self):
+        out = run_iterative_job(
+            _counting_job(), inputs=[("a", 1)], max_rounds=3, keep_history=True
+        )
+        assert len(out.history) == 3
+        out2 = run_iterative_job(_counting_job(), inputs=[("a", 1)], max_rounds=2)
+        assert out2.history == []
+
+    def test_next_inputs_transform(self):
+        doubler = MapReduceJob(
+            mapper=lambda k, v, emit: emit(k, v),
+            reducer=lambda k, vs, emit: emit(k, vs[0] * 2),
+            num_mappers=1,
+            num_reducers=1,
+        )
+        out = run_iterative_job(doubler, inputs=[("x", 1)], max_rounds=4)
+        assert out.final.as_dict() == {"x": 16}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_iterative_job(_counting_job(), inputs=[], max_rounds=0)
+        with pytest.raises(ValueError):
+            l1_delta_below(0)
+
+    def test_l1_checks_key_set_changes(self):
+        check = l1_delta_below(0.5)
+
+        class Fake:
+            def __init__(self, output):
+                self.output = output
+
+        # Same values but a key disappeared: its magnitude counts.
+        assert not check(Fake([("a", 1.0)]), Fake([("a", 1.0), ("b", 2.0)]))
+        assert check(Fake([("a", 1.0)]), Fake([("a", 1.1)]))
+
+
+class TestPageRank:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        g = nx.gnp_random_graph(30, 0.15, seed=9, directed=True)
+        for node in list(g.nodes):
+            if g.out_degree(node) == 0:
+                g.add_edge(node, (node + 1) % 30)
+        return g
+
+    def test_matches_networkx(self, graph):
+        n = graph.number_of_nodes()
+
+        def pr_map(node, state, emit):
+            rank, neighbours = state
+            for nbr in neighbours:
+                emit(nbr, ("share", rank / len(neighbours)))
+            emit(node, ("adj", neighbours))
+
+        def pr_reduce(node, values, emit):
+            incoming = sum(v for kind, v in values if kind == "share")
+            neighbours = next(v for kind, v in values if kind == "adj")
+            emit(node, ((1 - DAMPING) / n + DAMPING * incoming, neighbours))
+
+        job = MapReduceJob(
+            mapper=pr_map, reducer=pr_reduce, num_mappers=3, num_reducers=2
+        )
+        initial = [
+            (node, (1.0 / n, sorted(graph.successors(node))))
+            for node in graph.nodes
+        ]
+        out = run_iterative_job(
+            job,
+            inputs=initial,
+            max_rounds=80,
+            converged=l1_delta_below(1e-9, value_of=lambda s: s[0]),
+        )
+        assert out.converged
+        ours = {node: s[0] for node, s in out.final.output}
+        ref = nx.pagerank(graph, alpha=DAMPING, tol=1e-11)
+        assert max(abs(ours[v] - ref[v]) for v in graph.nodes) < 1e-7
+
+    def test_rank_mass_conserved(self, graph):
+        """After any number of rounds, ranks sum to ~1."""
+        n = graph.number_of_nodes()
+
+        def pr_map(node, state, emit):
+            rank, neighbours = state
+            for nbr in neighbours:
+                emit(nbr, ("share", rank / len(neighbours)))
+            emit(node, ("adj", neighbours))
+
+        def pr_reduce(node, values, emit):
+            incoming = sum(v for kind, v in values if kind == "share")
+            neighbours = next(v for kind, v in values if kind == "adj")
+            emit(node, ((1 - DAMPING) / n + DAMPING * incoming, neighbours))
+
+        job = MapReduceJob(
+            mapper=pr_map, reducer=pr_reduce, num_mappers=2, num_reducers=2
+        )
+        initial = [
+            (node, (1.0 / n, sorted(graph.successors(node))))
+            for node in graph.nodes
+        ]
+        out = run_iterative_job(job, inputs=initial, max_rounds=5)
+        total = sum(s[0] for _, s in out.final.output)
+        assert total == pytest.approx(1.0, abs=1e-6)

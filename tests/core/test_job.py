@@ -1,0 +1,186 @@
+"""Integration tests: full MapReduce jobs through MPI-D vs serial reference."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import MapReduceJob, MpiDConfig, SummingCombiner, run_job
+
+
+def wc_map(key, value, emit):
+    for word in value.split():
+        emit(word, 1)
+
+
+def wc_reduce(key, values, emit):
+    emit(key, sum(values))
+
+
+def wordcount_job(**kw):
+    defaults = dict(mapper=wc_map, reducer=wc_reduce, num_mappers=3, num_reducers=2)
+    defaults.update(kw)
+    return MapReduceJob(**defaults)
+
+
+CORPUS = [
+    "the quick brown fox jumps over the lazy dog",
+    "the dog barks",
+    "a quick brown dog",
+    "",
+    "fox fox fox",
+]
+
+
+def serial_wordcount(lines):
+    c = Counter()
+    for line in lines:
+        c.update(line.split())
+    return dict(c)
+
+
+class TestWordCount:
+    def test_matches_serial_reference(self):
+        result = run_job(wordcount_job(), inputs=CORPUS)
+        assert result.as_dict() == serial_wordcount(CORPUS)
+
+    def test_with_summing_combiner(self):
+        result = run_job(
+            wordcount_job(combiner=SummingCombiner()), inputs=CORPUS
+        )
+        assert result.as_dict() == serial_wordcount(CORPUS)
+
+    def test_with_callable_combiner(self):
+        result = run_job(
+            wordcount_job(combiner=lambda a, b: a + b), inputs=CORPUS
+        )
+        assert result.as_dict() == serial_wordcount(CORPUS)
+
+    @pytest.mark.parametrize("m,r", [(1, 1), (2, 3), (5, 1), (4, 4)])
+    def test_any_parallelism_same_answer(self, m, r):
+        result = run_job(
+            wordcount_job(num_mappers=m, num_reducers=r), inputs=CORPUS
+        )
+        assert result.as_dict() == serial_wordcount(CORPUS)
+
+    def test_output_sorted_by_key(self):
+        result = run_job(wordcount_job(), inputs=CORPUS)
+        keys = [k for k, _ in result.output]
+        assert keys == sorted(keys)
+
+    def test_tiny_spill_threshold_same_answer(self):
+        cfg = MpiDConfig(spill_threshold=32, partition_bytes=64)
+        result = run_job(wordcount_job(config=cfg), inputs=CORPUS)
+        assert result.as_dict() == serial_wordcount(CORPUS)
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        lines=st.lists(
+            st.text(alphabet="ab c", max_size=30), min_size=0, max_size=12
+        ),
+        m=st.integers(1, 4),
+        r=st.integers(1, 3),
+    )
+    def test_property_equivalence_with_serial(self, lines, m, r):
+        result = run_job(
+            wordcount_job(num_mappers=m, num_reducers=r), inputs=lines
+        )
+        assert result.as_dict() == serial_wordcount(lines)
+
+
+class TestOtherJobs:
+    def test_inverted_index(self):
+        docs = [("doc1", "apple banana"), ("doc2", "banana cherry"), ("doc3", "apple")]
+
+        def imap(doc_id, text, emit):
+            for word in text.split():
+                emit(word, doc_id)
+
+        def ireduce(word, doc_ids, emit):
+            emit(word, sorted(set(doc_ids)))
+
+        job = MapReduceJob(mapper=imap, reducer=ireduce, num_mappers=2, num_reducers=2)
+        result = run_job(job, inputs=docs)
+        assert result.as_dict() == {
+            "apple": ["doc1", "doc3"],
+            "banana": ["doc1", "doc2"],
+            "cherry": ["doc2"],
+        }
+
+    def test_sort_values_option(self):
+        job = MapReduceJob(
+            mapper=lambda k, v, emit: emit("all", v),
+            reducer=lambda k, vs, emit: emit(k, vs),
+            num_mappers=1,
+            num_reducers=1,
+            config=MpiDConfig(sort_values=True),
+        )
+        result = run_job(job, inputs=[5, 3, 9, 1])
+        assert result.as_dict()["all"] == [1, 3, 5, 9]
+
+    def test_explicit_splits(self):
+        job = wordcount_job(num_mappers=2, num_reducers=1)
+        result = run_job(
+            job, splits=[[(0, "x y")], [(1, "y z")]]
+        )
+        assert result.as_dict() == {"x": 1, "y": 2, "z": 1}
+
+    def test_numeric_aggregation(self):
+        """Average temperature per station — a classic MR pattern."""
+        readings = [("sta", 10.0), ("stb", 20.0), ("sta", 30.0), ("stb", 40.0)]
+
+        def rmap(k, v, emit):
+            emit(k, v)
+
+        def rreduce(k, vs, emit):
+            emit(k, sum(vs) / len(vs))
+
+        job = MapReduceJob(mapper=rmap, reducer=rreduce, num_mappers=2, num_reducers=2)
+        assert run_job(job, inputs=readings).as_dict() == {"sta": 20.0, "stb": 30.0}
+
+
+class TestJobValidation:
+    def test_bad_parallelism(self):
+        with pytest.raises(ValueError):
+            MapReduceJob(mapper=wc_map, reducer=wc_reduce, num_mappers=0)
+        with pytest.raises(ValueError):
+            MapReduceJob(mapper=wc_map, reducer=wc_reduce, num_reducers=0)
+
+    def test_non_callable(self):
+        with pytest.raises(TypeError):
+            MapReduceJob(mapper="nope", reducer=wc_reduce)
+
+    def test_inputs_xor_splits(self):
+        job = wordcount_job()
+        with pytest.raises(ValueError, match="exactly one"):
+            run_job(job)
+        with pytest.raises(ValueError, match="exactly one"):
+            run_job(job, inputs=[], splits=[])
+
+    def test_split_count_mismatch(self):
+        with pytest.raises(ValueError, match="splits"):
+            run_job(wordcount_job(num_mappers=3), splits=[[], []])
+
+    def test_world_layout(self):
+        job = wordcount_job(num_mappers=3, num_reducers=2)
+        assert job.world_size == 6
+        assert job.mapper_ranks == [1, 2, 3]
+        assert job.reducer_ranks == [4, 5]
+
+    def test_empty_input(self):
+        result = run_job(wordcount_job(), inputs=[])
+        assert result.output == []
+        assert len(result) == 0
+
+    def test_result_stats_populated(self):
+        result = run_job(wordcount_job(), inputs=CORPUS)
+        assert len(result.mapper_stats) == 3
+        assert len(result.reducer_stats) == 2
+        assert sum(s["records_sent"] for s in result.mapper_stats) == sum(
+            len(line.split()) for line in CORPUS
+        )

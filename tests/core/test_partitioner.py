@@ -1,0 +1,55 @@
+"""Partitioner tests: range, determinism, balance, Hadoop compatibility."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.partitioner import HashPartitioner, ModPartitioner
+
+keys = st.one_of(st.text(max_size=32), st.integers(), st.binary(max_size=16))
+
+
+@pytest.mark.parametrize("cls", [HashPartitioner, ModPartitioner])
+class TestCommon:
+    @given(key=keys, n=st.integers(1, 100))
+    def test_in_range(self, cls, key, n):
+        assert 0 <= cls().partition(key, n) < n
+
+    @given(key=keys, n=st.integers(1, 100))
+    def test_deterministic(self, cls, key, n):
+        p = cls()
+        assert p.partition(key, n) == p.partition(key, n)
+
+    def test_single_partition(self, cls):
+        assert cls().partition("anything", 1) == 0
+
+    def test_zero_partitions_rejected(self, cls):
+        with pytest.raises(ValueError):
+            cls().partition("k", 0)
+
+
+class TestBalance:
+    def test_hash_partitioner_roughly_uniform(self):
+        """10k distinct string keys over 8 partitions: no partition may be
+        empty or hold more than twice its fair share."""
+        p = HashPartitioner()
+        counts = [0] * 8
+        for i in range(10_000):
+            counts[p.partition(f"key-{i}", 8)] += 1
+        assert min(counts) > 0
+        assert max(counts) < 2 * (10_000 / 8)
+
+
+class TestModPartitioner:
+    def test_matches_java_hashcode_mod(self):
+        # "hello".hashCode() == 99162322; 99162322 % 7 == 4.
+        assert ModPartitioner().partition("hello", 7) == 99162322 % 7
+
+    def test_negative_hashcode_masked(self):
+        # "polygenelubricants".hashCode() == Integer.MIN_VALUE; after the
+        # & MAX_VALUE mask Hadoop uses, the partition is 0 for any n that
+        # divides 0... the mask makes it 0, so partition == 0 % n == 0.
+        assert ModPartitioner().partition("polygenelubricants", 5) == 0
+
+    def test_non_string_keys_fall_back(self):
+        assert 0 <= ModPartitioner().partition(12345, 9) < 9

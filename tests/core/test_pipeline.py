@@ -1,0 +1,82 @@
+"""Job-chain (multi-stage pipeline) tests."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import JobChain, MapReduceJob, top_k_chain
+
+CORPUS = [
+    "apple banana apple cherry",
+    "banana apple banana",
+    "cherry apple",
+]
+
+
+class TestTopKChain:
+    def test_top_1(self):
+        result = top_k_chain(1).run(CORPUS)
+        assert result.final.as_dict() == {"apple": 4}
+
+    def test_top_2_ordering(self):
+        result = top_k_chain(2).run(CORPUS)
+        assert result.final.as_dict() == {"apple": 4, "banana": 3}
+
+    def test_k_larger_than_vocabulary(self):
+        result = top_k_chain(10).run(CORPUS)
+        counts = Counter(w for line in CORPUS for w in line.split())
+        assert result.final.as_dict() == dict(counts)
+
+    def test_intermediate_stage_preserved(self):
+        result = top_k_chain(1).run(CORPUS)
+        assert len(result) == 2
+        wordcount = result.stages[0].as_dict()
+        assert wordcount["cherry"] == 2
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            top_k_chain(0)
+
+
+class TestJobChain:
+    def _identity_job(self, name="stage"):
+        return MapReduceJob(
+            mapper=lambda k, v, emit: emit(k, v),
+            reducer=lambda k, vs, emit: emit(k, vs[0]),
+            num_mappers=2,
+            num_reducers=1,
+            name=name,
+        )
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError, match="no stages"):
+            JobChain().run([("a", 1)])
+
+    def test_transform_between_stages(self):
+        chain = JobChain()
+        chain.add(
+            self._identity_job("first"),
+            transform=lambda res: [(k, v * 10) for k, v in res.output],
+        )
+        chain.add(self._identity_job("second"))
+        result = chain.run([("x", 1), ("y", 2)])
+        assert result.final.as_dict() == {"x": 10, "y": 20}
+
+    def test_add_returns_self(self):
+        chain = JobChain()
+        assert chain.add(self._identity_job()) is chain
+
+    def test_three_stage_chain(self):
+        chain = JobChain()
+        for i in range(3):
+            chain.add(
+                MapReduceJob(
+                    mapper=lambda k, v, emit: emit(k, v + 1),
+                    reducer=lambda k, vs, emit: emit(k, vs[0]),
+                    num_mappers=1,
+                    num_reducers=1,
+                )
+            )
+        result = chain.run([("n", 0)])
+        assert result.final.as_dict() == {"n": 3}
+        assert len(result) == 3

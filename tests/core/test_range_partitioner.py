@@ -1,0 +1,96 @@
+"""RangePartitioner tests: ordering, boundaries, sampling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import MapReduceJob, RangePartitioner, run_job
+
+
+class TestBoundaries:
+    def test_routing_by_bisect(self):
+        p = RangePartitioner(boundaries=[10, 20])
+        assert p.partition(5, 3) == 0
+        assert p.partition(10, 3) == 1  # boundary key goes right
+        assert p.partition(15, 3) == 1
+        assert p.partition(99, 3) == 2
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            RangePartitioner(boundaries=[20, 10])
+
+    def test_duplicate_boundaries_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            RangePartitioner(boundaries=[5, 5])
+
+    def test_too_few_partitions_rejected(self):
+        p = RangePartitioner(boundaries=[1, 2, 3])
+        with pytest.raises(ValueError, match="boundaries"):
+            p.partition(0, 3)
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=50), st.integers())
+    def test_order_preservation(self, sample, key):
+        """k1 <= k2 implies partition(k1) <= partition(k2)."""
+        p = RangePartitioner.from_sample(sample, 4)
+        n = 4
+        assert p.partition(key, n) <= p.partition(key + 1, n)
+
+
+class TestFromSample:
+    def test_even_sample_even_cuts(self):
+        p = RangePartitioner.from_sample(list(range(100)), 4)
+        assert len(p.boundaries) == 3
+
+    def test_single_partition_no_boundaries(self):
+        p = RangePartitioner.from_sample([1, 2, 3], 1)
+        assert p.boundaries == []
+        assert p.partition(99, 1) == 0
+
+    def test_skewed_sample_collapses_duplicates(self):
+        p = RangePartitioner.from_sample([7] * 100, 4)
+        assert len(p.boundaries) <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RangePartitioner.from_sample([1, 2], 0)
+
+    @given(
+        st.lists(st.integers(0, 10_000), min_size=10, max_size=200),
+        st.integers(2, 8),
+    )
+    def test_rough_balance_on_uniform_sample(self, sample, n):
+        p = RangePartitioner.from_sample(sample, n)
+        counts = [0] * n
+        for k in sample:
+            counts[p.partition(k, n)] += 1
+        assert sum(counts) == len(sample)
+
+
+class TestEndToEnd:
+    def test_reducer_ranges_disjoint(self):
+        import random
+
+        rng = random.Random(3)
+        records = [(rng.randrange(10_000), None) for _ in range(500)]
+        part = RangePartitioner.from_sample([k for k, _ in records[:100]], 3)
+        per_reducer = {}
+
+        def smap(k, v, emit):
+            emit(k, v)
+
+        def sreduce(k, vs, emit):
+            emit(k, None)
+
+        job = MapReduceJob(
+            mapper=smap,
+            reducer=sreduce,
+            num_mappers=3,
+            num_reducers=3,
+            partitioner=part,
+        )
+        result = run_job(job, inputs=records)
+        for key, _ in result.output:
+            per_reducer.setdefault(part.partition(key, 3), []).append(key)
+        present = sorted(per_reducer)
+        for a, b in zip(present, present[1:]):
+            assert max(per_reducer[a]) < min(per_reducer[b])

@@ -1,0 +1,124 @@
+"""Data realignment tests: fixed-size arrays, roundtrip, value sorting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioner import HashPartitioner
+from repro.core.realign import PartitionWriter, realign, reverse_realign
+
+kv_lists = st.lists(
+    st.tuples(st.text(max_size=12), st.lists(st.integers(), max_size=5)),
+    max_size=30,
+)
+
+
+class TestPartitionWriter:
+    def test_single_record(self):
+        w = PartitionWriter(capacity=1024)
+        w.append("k", [1])
+        arrays = w.close()
+        assert len(arrays) == 1
+        assert list(reverse_realign(arrays[0])) == [("k", [1])]
+
+    def test_respects_capacity(self):
+        w = PartitionWriter(capacity=64)
+        for i in range(20):
+            w.append(f"key{i}", "v" * 10)
+        arrays = w.close()
+        assert len(arrays) > 1
+        # Every array except oversized singletons fits the capacity.
+        for a in arrays:
+            records = list(reverse_realign(a))
+            if len(records) > 1:
+                assert len(a) <= 64
+
+    def test_oversized_record_gets_own_array(self):
+        w = PartitionWriter(capacity=32)
+        w.append("big", "x" * 500)
+        w.append("small", "y")
+        arrays = w.close()
+        assert len(arrays) == 2
+        assert list(reverse_realign(arrays[0]))[0][0] == "big"
+
+    def test_close_is_drainig(self):
+        w = PartitionWriter(capacity=128)
+        w.append("a", 1)
+        assert len(w.close()) == 1
+        assert w.close() == []
+
+    def test_counters(self):
+        w = PartitionWriter(capacity=1024)
+        w.append("a", 1)
+        w.append("b", 2)
+        assert w.records_written == 2
+        assert w.bytes_written > 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PartitionWriter(0)
+
+
+class TestRealign:
+    def test_partition_count(self):
+        arrays = realign([("a", [1])], HashPartitioner(), 4, 1024)
+        assert len(arrays) == 4
+        non_empty = [p for p in arrays if p]
+        assert len(non_empty) == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(items=kv_lists, n=st.integers(1, 8))
+    def test_roundtrip_preserves_everything(self, items, n):
+        """Realign + reverse realign across all partitions loses nothing
+        and invents nothing (multiset equality)."""
+        arrays = realign(items, HashPartitioner(), n, partition_bytes=128)
+        recovered = [
+            rec for plist in arrays for a in plist for rec in reverse_realign(a)
+        ]
+        key_fn = lambda kv: (kv[0], kv[1])
+        assert sorted(recovered, key=repr) == sorted(items, key=repr)
+
+    @settings(max_examples=30, deadline=None)
+    @given(items=kv_lists, n=st.integers(1, 8))
+    def test_records_land_in_their_hash_partition(self, items, n):
+        part = HashPartitioner()
+        arrays = realign(items, part, n, partition_bytes=256)
+        for p, plist in enumerate(arrays):
+            for a in plist:
+                for key, _ in reverse_realign(a):
+                    assert part.partition(key, n) == p
+
+    def test_sort_values(self):
+        arrays = realign(
+            [("k", [3, 1, 2])], HashPartitioner(), 1, 1024, sort_values=True
+        )
+        assert list(reverse_realign(arrays[0][0])) == [("k", [1, 2, 3])]
+
+    def test_sort_values_with_key(self):
+        arrays = realign(
+            [("k", ["bb", "a", "ccc"])],
+            HashPartitioner(),
+            1,
+            1024,
+            sort_values=True,
+            value_sort_key=len,
+        )
+        assert list(reverse_realign(arrays[0][0])) == [("k", ["a", "bb", "ccc"])]
+
+    def test_sort_values_ignores_non_lists(self):
+        arrays = realign(
+            [("k", 42)], HashPartitioner(), 1, 1024, sort_values=True
+        )
+        assert list(reverse_realign(arrays[0][0])) == [("k", 42)]
+
+    def test_zero_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            realign([], HashPartitioner(), 0, 1024)
+
+    def test_bad_partitioner_detected(self):
+        class Broken(HashPartitioner):
+            def partition(self, key, n):
+                return n  # out of range
+
+        with pytest.raises(ValueError, match="outside"):
+            realign([("k", 1)], Broken(), 2, 1024)

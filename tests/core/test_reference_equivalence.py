@@ -1,0 +1,138 @@
+"""Property: MPI-D jobs agree with a serial reference MapReduce.
+
+The reference implementation below is the obviously-correct semantics
+(group all values by key, in emission order per mapper, then reduce).
+Hypothesis drives randomized records, parallelism, and engine
+configuration (spill threshold, partition size, compression) against
+it — any divergence is a shuffle/combine/realign bug.
+"""
+
+from collections import defaultdict
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import MapReduceJob, MpiDConfig, run_job
+from repro.core.job import _sort_token
+
+
+def reference_mapreduce(records, mapper, reducer):
+    """Serial ground truth with grouped-by-key semantics."""
+    intermediate = defaultdict(list)
+
+    def map_emit(k, v):
+        intermediate[k].append(v)
+
+    for k, v in records:
+        mapper(k, v, map_emit)
+    output = []
+
+    def red_emit(k, v):
+        output.append((k, v))
+
+    for key in sorted(intermediate, key=_sort_token):
+        reducer(key, intermediate[key], red_emit)
+    return output
+
+
+def sum_map(k, v, emit):
+    emit(v % 7, v)
+
+
+def sum_reduce(k, values, emit):
+    emit(k, sum(values))
+
+
+def multi_emit_map(k, v, emit):
+    emit(str(v % 3), 1)
+    emit(str(v % 5), 2)
+
+
+def count_reduce(k, values, emit):
+    emit(k, (len(values), sum(values)))
+
+
+records_strategy = st.lists(
+    st.tuples(st.integers(0, 50), st.integers(-1000, 1000)), max_size=60
+)
+
+
+class TestReferenceEquivalence:
+    @settings(
+        max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(records=records_strategy, m=st.integers(1, 4), r=st.integers(1, 3))
+    def test_sum_job_matches_reference(self, records, m, r):
+        job = MapReduceJob(
+            mapper=sum_map, reducer=sum_reduce, num_mappers=m, num_reducers=r
+        )
+        got = run_job(job, inputs=records).output
+        want = reference_mapreduce(records, sum_map, sum_reduce)
+        assert got == want
+
+    @settings(
+        max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(records=records_strategy)
+    def test_multi_emit_matches_reference(self, records):
+        job = MapReduceJob(
+            mapper=multi_emit_map,
+            reducer=count_reduce,
+            num_mappers=3,
+            num_reducers=2,
+        )
+        got = run_job(job, inputs=records).output
+        want = reference_mapreduce(records, multi_emit_map, count_reduce)
+        assert got == want
+
+    @settings(
+        max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(
+        records=records_strategy,
+        spill=st.integers(32, 4096),
+        partition=st.integers(64, 2048),
+        compress=st.booleans(),
+    )
+    def test_engine_config_invariance(self, records, spill, partition, compress):
+        """Spill timing, array size and compression must never change
+        the answer — only the wire traffic."""
+        job = MapReduceJob(
+            mapper=sum_map,
+            reducer=sum_reduce,
+            num_mappers=3,
+            num_reducers=2,
+            config=MpiDConfig(
+                spill_threshold=spill,
+                partition_bytes=partition,
+                compress=compress,
+            ),
+        )
+        got = run_job(job, inputs=records).output
+        want = reference_mapreduce(records, sum_map, sum_reduce)
+        assert got == want
+
+    @settings(
+        max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(records=records_strategy)
+    def test_combiner_invariance(self, records):
+        """An associative combiner must not change the reduce result for
+        a sum-style reducer."""
+        plain = run_job(
+            MapReduceJob(
+                mapper=sum_map, reducer=sum_reduce, num_mappers=2, num_reducers=2
+            ),
+            inputs=records,
+        ).output
+        combined = run_job(
+            MapReduceJob(
+                mapper=sum_map,
+                reducer=sum_reduce,
+                combiner=lambda a, b: a + b,
+                num_mappers=2,
+                num_reducers=2,
+            ),
+            inputs=records,
+        ).output
+        assert plain == combined

@@ -1,0 +1,56 @@
+"""Secondary sort: custom value ordering through MpiDConfig.value_sort_key."""
+
+from repro.core import MapReduceJob, MpiDConfig, run_job
+
+
+class TestSecondarySort:
+    def test_values_sorted_by_custom_key(self):
+        """Classic pattern: per-station readings ordered by timestamp."""
+        readings = [
+            ("sta", (3, 30.0)),
+            ("sta", (1, 10.0)),
+            ("stb", (2, 99.0)),
+            ("sta", (2, 20.0)),
+            ("stb", (1, 11.0)),
+        ]
+        job = MapReduceJob(
+            mapper=lambda k, v, emit: emit(k, v),
+            reducer=lambda k, vs, emit: emit(k, vs),
+            num_mappers=2,
+            num_reducers=2,
+            config=MpiDConfig(sort_values=True, value_sort_key=lambda r: r[0]),
+        )
+        result = run_job(job, inputs=readings)
+        out = result.as_dict()
+        assert out["sta"] == [(1, 10.0), (2, 20.0), (3, 30.0)]
+        assert out["stb"] == [(1, 11.0), (2, 99.0)]
+
+    def test_reverse_order_via_key(self):
+        job = MapReduceJob(
+            mapper=lambda k, v, emit: emit("all", v),
+            reducer=lambda k, vs, emit: emit(k, vs),
+            num_mappers=3,
+            num_reducers=1,
+            config=MpiDConfig(sort_values=True, value_sort_key=lambda v: -v),
+        )
+        result = run_job(job, inputs=[5, 1, 9, 3])
+        assert result.as_dict()["all"] == [9, 5, 3, 1]
+
+    def test_key_survives_spill_fragmentation(self):
+        """Tiny spills split value lists across messages; the reducer-side
+        re-sort must still produce the global custom order."""
+        job = MapReduceJob(
+            mapper=lambda k, v, emit: emit("k", v),
+            reducer=lambda k, vs, emit: emit(k, vs),
+            num_mappers=2,
+            num_reducers=1,
+            config=MpiDConfig(
+                sort_values=True,
+                value_sort_key=len,
+                spill_threshold=16,
+                partition_bytes=64,
+            ),
+        )
+        words = ["dddd", "a", "ccc", "bb", "eeeee"]
+        result = run_job(job, inputs=words)
+        assert result.as_dict()["k"] == ["a", "bb", "ccc", "dddd", "eeeee"]

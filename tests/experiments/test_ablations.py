@@ -1,0 +1,85 @@
+"""Tests for the ablation and scalability experiments."""
+
+import pytest
+
+from repro.experiments.ablation_combiner import format_report as comb_report
+from repro.experiments.ablation_combiner import run as comb_run
+from repro.experiments.ablation_partition import format_report as part_report
+from repro.experiments.ablation_partition import run as part_run
+from repro.experiments.ablation_scheduling import format_report as sched_report
+from repro.experiments.ablation_scheduling import run as sched_run
+from repro.experiments.scalability import format_report as scale_report
+from repro.experiments.scalability import run as scale_run
+from repro.util.units import KiB
+
+
+class TestCombinerAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return comb_run(corpus_bytes=20_000, sim_gb=2)
+
+    def test_answers_identical(self, result):
+        assert result.answers_equal
+
+    def test_combining_reduces_bytes(self, result):
+        assert result.combined_bytes < result.plain_bytes
+        assert result.byte_reduction > 0.5
+
+    def test_combining_reduces_sim_time(self, result):
+        assert result.sim_combined_s < result.sim_plain_s
+
+    def test_report_renders(self, result):
+        assert "combining removed" in comb_report(result)
+
+
+class TestPartitionAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return part_run(sizes=(1 * KiB, 64 * KiB), sim_gb=1)
+
+    def test_correctness_size_independent(self, result):
+        assert result.all_answers_equal
+
+    def test_smaller_arrays_more_messages(self, result):
+        assert result.messages[1 * KiB] > result.messages[64 * KiB]
+
+    def test_report_renders(self, result):
+        assert "partition-array size" in part_report(result)
+
+
+class TestSchedulingAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sched_run(small_gb=1, large_gb=2, grid=((1, 3.0), (8, 1.0)))
+
+    def test_grid_covered(self, result):
+        assert set(result.cells) == {(1, 3.0), (8, 1.0)}
+
+    def test_aggressive_scheduling_helps_small_jobs(self, result):
+        slow = result.cells[(1, 3.0)][0]
+        fast = result.cells[(8, 1.0)][0]
+        assert fast < slow
+
+    def test_report_renders(self, result):
+        assert "heartbeat" in sched_report(result)
+
+
+class TestScalability:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return scale_run(node_counts=(3, 6), input_gb=4)
+
+    def test_more_nodes_faster(self, result):
+        assert result.hadoop[6] < result.hadoop[3]
+        assert result.mpid[6] < result.mpid[3]
+
+    def test_mpid_wins_at_every_scale(self, result):
+        for n in result.node_counts:
+            assert result.mpid[n] < result.hadoop[n]
+
+    def test_speedup_baseline_is_one(self, result):
+        assert result.speedup("hadoop")[3] == pytest.approx(1.0)
+        assert result.speedup("mpid")[3] == pytest.approx(1.0)
+
+    def test_report_renders(self, result):
+        assert "Scalability" in scale_report(result)

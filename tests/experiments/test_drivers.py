@@ -1,0 +1,130 @@
+"""Experiment driver tests: each figure/table regenerates with the
+paper's shape at reduced scale."""
+
+import pytest
+
+from repro.experiments import paper
+from repro.experiments.fig1_shuffle import format_report as fig1_report
+from repro.experiments.fig1_shuffle import run as fig1_run
+from repro.experiments.fig2_latency import Fig2Result, format_report as fig2_report
+from repro.experiments.fig2_latency import panel_sizes, run as fig2_run
+from repro.experiments.fig3_bandwidth import format_report as fig3_report
+from repro.experiments.fig3_bandwidth import run as fig3_run
+from repro.experiments.fig6_wordcount import format_report as fig6_report
+from repro.experiments.fig6_wordcount import run as fig6_run
+from repro.experiments.table1_copy_pct import format_report as t1_report
+from repro.experiments.table1_copy_pct import run as t1_run
+from repro.util.units import GiB, KiB, MiB
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self) -> Fig2Result:
+        return fig2_run(trials=30)
+
+    def test_panels_cover_paper_ranges(self):
+        assert panel_sizes("a")[0] == 1
+        assert panel_sizes("a")[-1] == 1 * KiB
+        assert panel_sizes("c")[-1] == 64 * MiB
+
+    def test_ratio_shape(self, result):
+        assert result.ratio(1) == pytest.approx(paper.FIG2_RATIO_1B, rel=0.15)
+        assert result.ratio(1 * MiB) == pytest.approx(paper.FIG2_RATIO_1MB, rel=0.15)
+        assert result.ratio(512 * KiB) > 90
+
+    def test_report_renders(self, result):
+        out = fig2_report(result)
+        assert "Figure 2(a)" in out and "Figure 2(c)" in out
+        assert "RPC/MPI" in out
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3_run(jitter=False)
+
+    def test_peaks_match_paper(self, result):
+        assert result.peak("Hadoop RPC") < 2e6
+        assert result.peak("HTTP/Jetty") == pytest.approx(paper.FIG3_JETTY_PEAK, rel=0.05)
+        assert result.peak("MPICH2") == pytest.approx(paper.FIG3_MPICH_PEAK, rel=0.05)
+
+    def test_mpich_beats_jetty_slightly(self, result):
+        assert 1.0 < result.peak("MPICH2") / result.peak("HTTP/Jetty") < 1.06
+
+    def test_nio_series_optional(self):
+        with_nio = fig3_run(include_nio=True, jitter=False)
+        assert "Socket/NIO" in with_nio.series
+
+    def test_report_renders(self, result):
+        out = fig3_report(result)
+        assert "MPICH2" in out and "peak" in out
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        return fig1_run(input_bytes=4 * GiB)
+
+    def test_sort_stage_tiny(self, metrics):
+        assert float(metrics.sort_times().mean()) < 0.1
+
+    def test_copy_exceeds_sort_everywhere(self, metrics):
+        assert (metrics.copy_times() > metrics.sort_times()).all()
+
+    def test_report_renders(self, metrics):
+        out = fig1_report(metrics)
+        assert "copy" in out and "reducers" in out
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return t1_run(sizes_gb=(1, 4))
+
+    def test_grid_shape(self, result):
+        assert set(result.cells) == {1, 4}
+        assert set(result.cells[1]) == {"4/2", "4/4", "8/8", "16/16"}
+
+    def test_copy_share_grows_with_size(self, result):
+        for cfg in ("4/4", "8/8"):
+            assert result.cells[4][cfg] > result.cells[1][cfg]
+
+    def test_fractions_in_range(self, result):
+        for row in result.cells.values():
+            for v in row.values():
+                assert 0.0 < v < 1.0
+
+    def test_report_renders(self, result):
+        out = t1_report(result)
+        assert "Table I" in out and "Paper's Table I" in out
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_run(sizes_gb=(1, 4))
+
+    def test_mpid_faster_everywhere(self, result):
+        for gb in result.sizes_gb:
+            assert result.mpid[gb] < result.hadoop[gb]
+
+    def test_ratio_rises_with_scale(self, result):
+        assert result.ratio(1) < result.ratio(4)
+
+    def test_report_renders(self, result):
+        out = fig6_report(result)
+        assert "WordCount" in out and "MPI-D/Hadoop" in out
+
+
+class TestMains:
+    def test_fig2_main_runs(self, capsys):
+        from repro.experiments.fig2_latency import main
+
+        assert main(["--trials", "5"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_fig3_main_runs(self, capsys):
+        from repro.experiments.fig3_bandwidth import main
+
+        assert main(["--no-jitter"]) == 0
+        assert "Figure 3" in capsys.readouterr().out

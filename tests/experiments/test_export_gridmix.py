@@ -1,0 +1,92 @@
+"""Tests for the CSV export module and the GridMix suite."""
+
+import csv
+
+import pytest
+
+from repro.experiments.export import (
+    fig2_csv,
+    fig3_csv,
+    fig6_csv,
+    render_csv,
+    table1_csv,
+)
+from repro.experiments.fig6_wordcount import run as fig6_run
+from repro.experiments.gridmix import format_report, run as gridmix_run
+from repro.experiments.table1_copy_pct import run as t1_run
+from repro.workloads.gridmix_suite import GRIDMIX_SUITE, suite_by_name
+
+
+class TestCsvExports:
+    def test_fig2_csv_shape(self):
+        header, rows = fig2_csv()
+        assert header == ["size_bytes", "hadoop_rpc_s", "mpich2_s", "ratio"]
+        assert all(len(r) == 4 for r in rows)
+        assert rows[0][0] == 1
+
+    def test_fig3_csv_has_all_series(self):
+        header, rows = fig3_csv()
+        assert "Hadoop_RPC" in header and "MPICH2" in header
+        assert "Socket_NIO" in header  # exported with the NIO series
+        assert len(rows) == 27  # packet sizes 2^0..2^26
+
+    def test_table1_csv_roundtrips_through_csv_module(self):
+        header, rows = table1_csv(t1_run(sizes_gb=(1, 2)))
+        text = render_csv(header, rows)
+        parsed = list(csv.reader(text.splitlines()))
+        assert parsed[0] == header
+        assert len(parsed) == 3
+
+    def test_fig6_csv(self):
+        header, rows = fig6_csv(fig6_run(sizes_gb=(1,)))
+        assert rows[0][0] == 1
+        assert rows[0][3] < 1.0  # MPI-D faster
+
+    def test_export_all_writes_files(self, tmp_path):
+        # Only check the cheap exporters through the file path; patch the
+        # registry down to two to keep the test fast.
+        from repro.experiments import export as mod
+
+        small = {
+            "fig2_latency.csv": mod.fig2_csv,
+            "fig3_bandwidth.csv": mod.fig3_csv,
+        }
+        original = mod.EXPORTS
+        mod.EXPORTS = small
+        try:
+            written = mod.export_all(tmp_path / "out")
+        finally:
+            mod.EXPORTS = original
+        assert len(written) == 2
+        for path in written:
+            assert path.exists() and path.stat().st_size > 0
+
+
+class TestGridmixSuite:
+    def test_suite_members(self):
+        names = {e.name for e in GRIDMIX_SUITE}
+        assert {"javaSort", "streamSort", "combiner", "webdataScan"} <= names
+
+    def test_suite_by_name(self):
+        assert suite_by_name()["javaSort"].profile.map_selectivity == 1.0
+
+    def test_profiles_valid(self):
+        for entry in GRIDMIX_SUITE:
+            assert entry.profile.map_cpu_per_byte > 0
+            assert entry.reducers_per_map > 0
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        subset = tuple(e for e in GRIDMIX_SUITE if e.name in ("javaSort", "webdataScan"))
+        return gridmix_run(input_gb=1, suite=subset)
+
+    def test_mpid_wins_suite_wide(self, result):
+        for name in result.times:
+            assert result.ratio(name) < 1.0
+
+    def test_scan_beats_sort_ratio(self, result):
+        """Filter workloads (tiny shuffle) favour MPI-D even more."""
+        assert result.ratio("webdataScan") <= result.ratio("javaSort") + 0.05
+
+    def test_report_renders(self, result):
+        assert "GridMix" in format_report(result)

@@ -1,0 +1,60 @@
+"""Reporting helper tests."""
+
+import pytest
+
+from repro.experiments.reporting import Table, banner, compare_to_paper, format_series
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        t = Table(headers=("a", "bbbb"))
+        t.add_row(1, 2)
+        t.add_row(100, 200)
+        out = t.render()
+        lines = out.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all same width
+
+    def test_title_included(self):
+        t = Table(headers=("x",), title="My Table")
+        t.add_row(1)
+        assert t.render().startswith("My Table")
+
+    def test_row_length_checked(self):
+        t = Table(headers=("a", "b"))
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_float_formatting(self):
+        t = Table(headers=("v",))
+        t.add_row(0.00001)
+        t.add_row(123456.0)
+        t.add_row(1.5)
+        out = t.render()
+        assert "1e-05" in out
+        assert "1.5" in out
+
+
+class TestCompare:
+    def test_ratio_column(self):
+        out = compare_to_paper([("x", 2.0, 4.0)])
+        assert "0.50x" in out
+
+    def test_missing_paper_value(self):
+        out = compare_to_paper([("x", 2.0, None)])
+        assert "-" in out
+
+    def test_zero_paper_value(self):
+        out = compare_to_paper([("x", 2.0, 0.0)])
+        assert "x" not in out.splitlines()[-1].split("|")[-1]
+
+
+class TestMisc:
+    def test_banner(self):
+        b = banner("Hello")
+        lines = b.splitlines()
+        assert lines[1] == "Hello"
+        assert set(lines[0]) == {"="}
+
+    def test_format_series(self):
+        out = format_series("lat", [(1024, 0.001)])
+        assert "lat" in out and "1.0 KB" in out and "1.00 ms" in out

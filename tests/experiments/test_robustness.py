@@ -1,0 +1,31 @@
+"""Tests for the seed-robustness experiment."""
+
+import pytest
+
+from repro.experiments.robustness import format_report, run
+
+
+class TestRobustness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run(seeds=(1, 2, 3), input_gb=1)
+
+    def test_one_entry_per_seed(self, result):
+        assert len(result.fig6_ratios) == 3
+        assert len(result.table1_fracs) == 3
+        assert len(result.localities) == 3
+
+    def test_mpid_wins_for_every_seed(self, result):
+        assert all(r < 1.0 for r in result.fig6_ratios)
+
+    def test_copy_fraction_stable(self, result):
+        mean, std = result.stats(result.table1_fracs)
+        assert 0 < mean < 1
+        assert std < 0.15  # placement noise, not regime change
+
+    def test_locality_high_with_replication(self, result):
+        assert min(result.localities) > 0.8
+
+    def test_report_renders(self, result):
+        out = format_report(result)
+        assert "placement" in out and "mean" in out

@@ -1,0 +1,102 @@
+"""Partition-skew experiment and weighted-partition model tests."""
+
+import pytest
+
+from repro.experiments.skew import (
+    format_report,
+    measure_zipf_imbalance,
+    run,
+    skewed_weights,
+)
+from repro.hadoop import JAVASORT_PROFILE, JobSpec, run_hadoop_job
+from repro.mrmpi import MrMpiConfig, run_mpid_job
+from repro.util.units import GiB, MiB
+
+
+class TestSkewedWeights:
+    def test_shape(self):
+        w = skewed_weights(4, 0.4)
+        assert len(w) == 4
+        assert w[0] == pytest.approx(0.4)
+        assert sum(w) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            skewed_weights(4, 0.0)
+        with pytest.raises(ValueError):
+            skewed_weights(4, 1.0)
+
+
+class TestJobSpecWeights:
+    def test_normalized(self):
+        spec = JobSpec(
+            "s",
+            input_bytes=GiB,
+            profile=JAVASORT_PROFILE,
+            num_reduce_tasks=2,
+            partition_weights=(3.0, 1.0),
+        )
+        assert spec.normalized_weights(2) == [0.75, 0.25]
+
+    def test_default_uniform(self):
+        spec = JobSpec("s", input_bytes=GiB, profile=JAVASORT_PROFILE)
+        assert spec.normalized_weights(4) == [0.25] * 4
+
+    def test_length_mismatch(self):
+        spec = JobSpec(
+            "s",
+            input_bytes=GiB,
+            profile=JAVASORT_PROFILE,
+            num_reduce_tasks=2,
+            partition_weights=(1.0, 1.0),
+        )
+        with pytest.raises(ValueError, match="weights"):
+            spec.normalized_weights(3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(
+                "s",
+                input_bytes=GiB,
+                profile=JAVASORT_PROFILE,
+                partition_weights=(-1.0, 2.0),
+            )
+
+
+class TestSkewedExecution:
+    def test_hadoop_hot_reducer_shuffles_more(self):
+        spec = JobSpec(
+            "s",
+            input_bytes=512 * MiB,
+            profile=JAVASORT_PROFILE,
+            num_reduce_tasks=4,
+            partition_weights=skewed_weights(4, 0.6),
+        )
+        m = run_hadoop_job(spec)
+        shuffled = {r.task_id: r.shuffled_bytes for r in m.reduce_tasks}
+        assert shuffled[0] > 2 * max(v for k, v in shuffled.items() if k != 0)
+
+    def test_mpid_hot_reducer_receives_more(self):
+        spec = JobSpec(
+            "s",
+            input_bytes=512 * MiB,
+            profile=JAVASORT_PROFILE,
+            num_reduce_tasks=4,
+            partition_weights=skewed_weights(4, 0.6),
+        )
+        m = run_mpid_job(spec, config=MrMpiConfig(num_mappers=8, num_reducers=4))
+        received = [r.received_bytes for r in m.reducers]
+        assert received[0] > 2 * max(received[1:])
+
+    def test_skew_slows_both_systems(self):
+        result = run(input_gb=1, num_reduces=4, hot_shares=(0.25, 0.6))
+        assert result.times[0.6][0] > result.times[0.25][0]
+        assert result.times[0.6][1] > result.times[0.25][1]
+
+    def test_zipf_imbalance_measurable(self):
+        share = measure_zipf_imbalance(num_partitions=8, lines=500)
+        assert 1.0 / 8 < share < 0.9
+
+    def test_report_renders(self):
+        result = run(input_gb=1, num_reduces=4, hot_shares=(0.25, 0.5))
+        assert "skew" in format_report(result)

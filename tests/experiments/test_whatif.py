@@ -1,0 +1,47 @@
+"""Interconnect x storage what-if tests."""
+
+import pytest
+
+from repro.experiments.interconnect_whatif import (
+    FABRICS,
+    STORAGE,
+    format_report,
+    run,
+)
+from repro.util.units import MiB
+
+
+class TestWhatIf:
+    @pytest.fixture(scope="class")
+    def result(self):
+        fabrics = {k: FABRICS[k] for k in ("GigE (paper)", "IB DDR")}
+        return run(input_gb=2, fabrics=fabrics)
+
+    def test_grid_complete(self, result):
+        assert len(result.times) == 4
+
+    def test_ssd_much_faster_than_hdd(self, result):
+        for fabric in ("GigE (paper)", "IB DDR"):
+            hdd = result.times[(fabric, "SATA HDD (paper)")]
+            ssd = result.times[(fabric, "SSD")]
+            assert ssd < hdd * 0.75
+
+    def test_fabric_never_hurts(self, result):
+        for disk in STORAGE:
+            gige = result.times[("GigE (paper)", disk)]
+            ib = result.times[("IB DDR", disk)]
+            assert ib <= gige * 1.001
+
+    def test_fabric_effect_small_under_overlap(self, result):
+        """MPI-D overlaps communication: IB gains < 20% on this workload."""
+        gige = result.times[("GigE (paper)", "SSD")]
+        ib = result.times[("IB DDR", "SSD")]
+        assert ib > gige * 0.8
+
+    def test_speedup_baseline(self, result):
+        speed = result.speedup_vs_paper()
+        assert speed[("GigE (paper)", "SATA HDD (paper)")] == pytest.approx(1.0)
+
+    def test_report_renders(self, result):
+        out = format_report(result)
+        assert "What-if" in out and "SSD" in out

@@ -1,0 +1,157 @@
+"""HDFS namespace tests: block math, placement, locality."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hadoop.hdfs import Block, HdfsNamespace
+from repro.util.units import MiB
+
+
+def ns(nodes=7, block=64 * MiB, repl=3, seed=1):
+    return HdfsNamespace(nodes, block_size=block, replication=repl, seed=seed)
+
+
+class TestBlock:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Block(0, -1, (0,))
+        with pytest.raises(ValueError):
+            Block(0, 10, ())
+        with pytest.raises(ValueError):
+            Block(0, 10, (1, 1))
+
+    def test_locality(self):
+        b = Block(0, 10, (2, 5))
+        assert b.is_local_to(2) and b.is_local_to(5)
+        assert not b.is_local_to(3)
+
+
+class TestCreateFile:
+    def test_exact_multiple(self):
+        f = ns().create_file("a", 640 * MiB)
+        assert f.num_blocks == 10
+        assert all(b.size == 64 * MiB for b in f.blocks)
+        assert f.size == 640 * MiB
+
+    def test_partial_tail_block(self):
+        f = ns().create_file("a", 100 * MiB)
+        assert f.num_blocks == 2
+        assert f.blocks[-1].size == 36 * MiB
+        assert f.size == 100 * MiB
+
+    def test_empty_file(self):
+        f = ns().create_file("a", 0)
+        assert f.num_blocks == 0
+
+    def test_tiny_file(self):
+        f = ns().create_file("a", 1)
+        assert f.num_blocks == 1
+        assert f.blocks[0].size == 1
+
+    def test_duplicate_name_rejected(self):
+        space = ns()
+        space.create_file("a", 1)
+        with pytest.raises(ValueError, match="exists"):
+            space.create_file("a", 1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ns().create_file("a", -1)
+
+    def test_lookup(self):
+        space = ns()
+        space.create_file("a", MiB)
+        assert space.lookup("a").name == "a"
+        assert space.exists("a")
+        assert not space.exists("b")
+        with pytest.raises(FileNotFoundError):
+            space.lookup("b")
+
+
+class TestPlacement:
+    def test_replication_count(self):
+        f = ns(repl=3).create_file("a", 640 * MiB)
+        for b in f.blocks:
+            assert len(b.replicas) == 3
+            assert len(set(b.replicas)) == 3
+
+    def test_replication_capped_by_nodes(self):
+        f = ns(nodes=2, repl=3).create_file("a", 64 * MiB)
+        assert len(f.blocks[0].replicas) == 2
+
+    def test_round_robin_spreads_first_replicas(self):
+        f = ns(nodes=7, repl=1).create_file("a", 7 * 64 * MiB)
+        firsts = [b.replicas[0] for b in f.blocks]
+        assert sorted(firsts) == list(range(7))
+
+    def test_writer_affinity(self):
+        f = ns().create_file("a", 640 * MiB, writer_node=3)
+        assert all(b.replicas[0] == 3 for b in f.blocks)
+
+    def test_bad_writer(self):
+        with pytest.raises(ValueError, match="not a datanode"):
+            ns(nodes=3).create_file("a", MiB, writer_node=9)
+
+    def test_custom_node_ids(self):
+        space = HdfsNamespace([10, 20, 30], block_size=MiB, replication=2, seed=0)
+        f = space.create_file("a", 5 * MiB)
+        for b in f.blocks:
+            assert set(b.replicas) <= {10, 20, 30}
+
+    def test_duplicate_node_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            HdfsNamespace([1, 1], block_size=MiB, replication=1)
+
+    def test_deterministic_given_seed(self):
+        f1 = ns(seed=5).create_file("a", 640 * MiB)
+        f2 = ns(seed=5).create_file("a", 640 * MiB)
+        assert [b.replicas for b in f1.blocks] == [b.replicas for b in f2.blocks]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        size=st.integers(1, 50 * MiB),
+        nodes=st.integers(1, 10),
+        repl=st.integers(1, 4),
+    )
+    def test_block_sizes_sum_to_file_size(self, size, nodes, repl):
+        space = HdfsNamespace(nodes, block_size=4 * MiB, replication=repl, seed=0)
+        f = space.create_file("f", size)
+        assert f.size == size
+        assert all(0 < b.size <= 4 * MiB for b in f.blocks)
+
+
+class TestReplicationTargets:
+    def test_excludes_writer(self):
+        space = ns(repl=3)
+        for _ in range(20):
+            targets = space.pick_replication_targets(4)
+            assert 4 not in targets
+            assert len(targets) == 2
+
+    def test_single_node_no_targets(self):
+        assert ns(nodes=1, repl=3).pick_replication_targets(0) == []
+
+    def test_replication_one_no_targets(self):
+        assert ns(repl=1).pick_replication_targets(0) == []
+
+
+class TestLocalityFraction:
+    def test_all_local(self):
+        space = ns(repl=1)
+        f = space.create_file("a", 5 * 64 * MiB)
+        assignment = {b.block_id: b.replicas[0] for b in f.blocks}
+        assert space.locality_fraction("a", assignment) == 1.0
+
+    def test_none_local(self):
+        space = ns(nodes=3, repl=1)
+        f = space.create_file("a", 3 * 64 * MiB)
+        assignment = {
+            b.block_id: (b.replicas[0] + 1) % 3 for b in f.blocks
+        }
+        assert space.locality_fraction("a", assignment) == 0.0
+
+    def test_empty_file_is_trivially_local(self):
+        space = ns()
+        space.create_file("a", 0)
+        assert space.locality_fraction("a", {}) == 1.0

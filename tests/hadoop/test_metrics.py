@@ -1,0 +1,80 @@
+"""Direct tests of the metrics dataclasses (the simulated Hadoop logs)."""
+
+import numpy as np
+import pytest
+
+from repro.hadoop.metrics import JobMetrics, MapTaskMetrics, ReduceTaskMetrics
+
+
+def _map(task_id=0, start=0.0, end=10.0, node=1, local=True):
+    return MapTaskMetrics(
+        task_id=task_id,
+        node=node,
+        started_at=start,
+        finished_at=end,
+        data_local=local,
+    )
+
+
+def _reduce(task_id=0, start=0.0, copy=50.0, sort=50.01, end=60.0):
+    return ReduceTaskMetrics(
+        task_id=task_id,
+        node=1,
+        started_at=start,
+        copy_done_at=copy,
+        sort_done_at=sort,
+        finished_at=end,
+    )
+
+
+class TestPhaseArithmetic:
+    def test_map_duration(self):
+        assert _map(start=2.0, end=12.5).duration == 10.5
+
+    def test_reduce_phases(self):
+        r = _reduce()
+        assert r.copy_time == 50.0
+        assert r.sort_time == pytest.approx(0.01)
+        assert r.reduce_time == pytest.approx(9.99)
+        assert r.duration == 60.0
+
+
+class TestJobAggregates:
+    def _job(self):
+        m = JobMetrics(job_name="j", submitted_at=0.0, finished_at=100.0)
+        m.map_tasks = [_map(i, 0, 10) for i in range(4)]
+        m.reduce_tasks = [_reduce(i) for i in range(2)]
+        return m
+
+    def test_elapsed(self):
+        assert self._job().elapsed == 100.0
+
+    def test_copy_fraction(self):
+        m = self._job()
+        # copy = 2 * 50; total = 4 * 10 + 2 * 60
+        assert m.copy_fraction == pytest.approx(100.0 / 160.0)
+
+    def test_copy_fraction_no_tasks(self):
+        assert JobMetrics(job_name="empty").copy_fraction == 0.0
+
+    def test_time_arrays(self):
+        m = self._job()
+        assert isinstance(m.copy_times(), np.ndarray)
+        assert m.copy_times().tolist() == [50.0, 50.0]
+
+    def test_summary_fields(self):
+        s = self._job().summary()
+        assert s["maps"] == 4 and s["reduces"] == 2
+        assert "avg_copy" in s and "copy_fraction" in s
+
+    def test_summary_without_reducers(self):
+        m = JobMetrics(job_name="maponly")
+        m.map_tasks = [_map()]
+        s = m.summary()
+        assert "avg_copy" not in s
+
+    def test_data_locality(self):
+        m = JobMetrics(job_name="j")
+        m.map_tasks = [_map(local=True), _map(local=False)]
+        assert m.data_locality() == 0.5
+        assert JobMetrics(job_name="none").data_locality() == 1.0

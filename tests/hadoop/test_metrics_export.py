@@ -1,0 +1,39 @@
+"""JSON-export tests for both planes' metrics."""
+
+import json
+
+from repro.hadoop import JAVASORT_PROFILE, JobSpec, run_hadoop_job
+from repro.mrmpi import MrMpiConfig, run_mpid_job
+from repro.util.units import MiB
+
+
+class TestJobMetricsToDict:
+    def test_json_serializable(self):
+        m = run_hadoop_job(
+            JobSpec("s", input_bytes=256 * MiB, profile=JAVASORT_PROFILE)
+        )
+        blob = json.dumps(m.to_dict())
+        parsed = json.loads(blob)
+        assert parsed["summary"]["maps"] == 4
+        assert len(parsed["map_tasks"]) == 4
+        assert len(parsed["reduce_tasks"]) == 4
+
+    def test_phase_fields_present(self):
+        m = run_hadoop_job(
+            JobSpec("s", input_bytes=128 * MiB, profile=JAVASORT_PROFILE)
+        )
+        r = m.to_dict()["reduce_tasks"][0]
+        assert {"copy_time", "sort_time", "reduce_time", "fetches"} <= set(r)
+
+
+class TestMrMpiMetricsToDict:
+    def test_json_serializable(self):
+        m = run_mpid_job(
+            JobSpec("s", input_bytes=256 * MiB, profile=JAVASORT_PROFILE,
+                    num_reduce_tasks=2),
+            config=MrMpiConfig(num_mappers=4, num_reducers=2),
+        )
+        parsed = json.loads(json.dumps(m.to_dict()))
+        assert parsed["summary"]["mappers"] == 4
+        assert len(parsed["reducers"]) == 2
+        assert parsed["mappers"][0]["sent_bytes"] > 0

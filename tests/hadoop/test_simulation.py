@@ -1,0 +1,156 @@
+"""End-to-end simulated-Hadoop tests: invariants, scaling, Table-I shape."""
+
+import pytest
+
+from repro.hadoop import (
+    HadoopConfig,
+    HadoopSimulation,
+    JAVASORT_PROFILE,
+    WORDCOUNT_PROFILE,
+    JobSpec,
+    run_hadoop_job,
+)
+from repro.simnet.cluster import ClusterSpec
+from repro.util.units import GB, MiB
+
+
+def sort_job(mb=256, **kw):
+    return JobSpec(
+        name=f"sort-{mb}mb",
+        input_bytes=mb * MiB,
+        profile=JAVASORT_PROFILE,
+        **kw,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    """One shared 256 MB JavaSort run (4 maps / 4 reduces)."""
+    return run_hadoop_job(sort_job(256))
+
+
+class TestTimelineInvariants:
+    def test_job_finishes(self, small_run):
+        assert small_run.elapsed > 0
+        assert len(small_run.map_tasks) == 4
+        assert len(small_run.reduce_tasks) == 4
+
+    def test_map_phase_ordering(self, small_run):
+        for m in small_run.map_tasks:
+            assert m.scheduled_at <= m.started_at <= m.finished_at
+
+    def test_reduce_phase_ordering(self, small_run):
+        for r in small_run.reduce_tasks:
+            assert r.started_at <= r.copy_done_at <= r.sort_done_at <= r.finished_at
+
+    def test_phases_partition_duration(self, small_run):
+        for r in small_run.reduce_tasks:
+            total = r.copy_time + r.sort_time + r.reduce_time
+            # JVM startup sits between started_at and copy; duration covers it.
+            assert total <= r.duration + 1e-9
+
+    def test_copy_fraction_in_unit_interval(self, small_run):
+        assert 0.0 <= small_run.copy_fraction <= 1.0
+
+    def test_copy_waits_for_map_outputs(self, small_run):
+        last_map = max(m.finished_at for m in small_run.map_tasks)
+        # No reducer can finish copying everything before the last map is
+        # announced (one heartbeat after it finishes).
+        for r in small_run.reduce_tasks:
+            assert r.copy_done_at >= last_map
+
+    def test_shuffled_bytes_conservation(self, small_run):
+        total_map_output = sum(m.output_bytes for m in small_run.map_tasks)
+        total_shuffled = sum(r.shuffled_bytes for r in small_run.reduce_tasks)
+        assert total_shuffled == pytest.approx(total_map_output, rel=0.01)
+
+    def test_all_fetches_happened(self, small_run):
+        for r in small_run.reduce_tasks:
+            assert r.fetches == len(small_run.map_tasks)
+
+    def test_locality_high_with_triple_replication(self, small_run):
+        assert small_run.data_locality() >= 0.5
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = run_hadoop_job(sort_job(128), seed=5)
+        b = run_hadoop_job(sort_job(128), seed=5)
+        assert a.elapsed == b.elapsed
+        assert a.copy_fraction == b.copy_fraction
+
+
+class TestScalingShape:
+    def test_copy_fraction_grows_with_input(self):
+        """The heart of Table I: bigger input => copy dominates more."""
+        small = run_hadoop_job(sort_job(256))
+        big = run_hadoop_job(sort_job(2048))
+        assert big.copy_fraction > small.copy_fraction
+
+    def test_sort_stage_near_zero(self, small_run):
+        # Paper: average sort 0.0102 s.
+        assert float(small_run.sort_times().mean()) < 0.1
+
+    def test_copy_dominates_reduce_at_scale(self):
+        m = run_hadoop_job(sort_job(9 * 1024))
+        assert float(m.copy_times().mean()) > float(m.reduce_times().mean())
+
+    def test_elapsed_grows_superlinearly_never_shrinks(self):
+        t1 = run_hadoop_job(sort_job(128)).elapsed
+        t2 = run_hadoop_job(sort_job(512)).elapsed
+        assert t2 > t1
+
+    def test_more_slots_change_schedule(self):
+        lo = run_hadoop_job(sort_job(1024), config=HadoopConfig().with_slots(4, 2))
+        hi = run_hadoop_job(sort_job(1024), config=HadoopConfig().with_slots(16, 16))
+        assert lo.elapsed != hi.elapsed
+
+
+class TestWordCount:
+    def test_single_reducer_wordcount(self):
+        m = run_hadoop_job(
+            JobSpec(
+                "wc",
+                input_bytes=1 * GB,
+                profile=WORDCOUNT_PROFILE,
+                num_reduce_tasks=1,
+            ),
+            config=HadoopConfig(map_slots=7, reduce_slots=7),
+        )
+        assert len(m.reduce_tasks) == 1
+        assert len(m.map_tasks) == 16
+        # Paper's Figure 6 anchor: ~49 s at 1 GB (ours must land nearby).
+        assert 30 <= m.elapsed <= 70
+
+    def test_combiner_shrinks_shuffle(self):
+        m = run_hadoop_job(
+            JobSpec(
+                "wc",
+                input_bytes=512 * MiB,
+                profile=WORDCOUNT_PROFILE,
+                num_reduce_tasks=1,
+            )
+        )
+        total_input = sum(t.input_bytes for t in m.map_tasks)
+        total_shuffled = sum(r.shuffled_bytes for r in m.reduce_tasks)
+        assert total_shuffled < 0.1 * total_input
+
+
+class TestSimulationValidation:
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError, match="master plus"):
+            HadoopSimulation(
+                spec=sort_job(64), cluster_spec=ClusterSpec(num_nodes=1)
+            )
+
+    def test_truncated_run_reports_progress(self):
+        sim = HadoopSimulation(spec=sort_job(2048))
+        with pytest.raises(RuntimeError, match="did not finish"):
+            sim.run(until=10.0)
+
+    def test_custom_cluster_size(self):
+        m = run_hadoop_job(
+            sort_job(256), cluster_spec=ClusterSpec(num_nodes=4)
+        )
+        nodes = {t.node for t in m.map_tasks}
+        assert nodes <= {1, 2, 3}

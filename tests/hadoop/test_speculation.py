@@ -1,0 +1,98 @@
+"""Straggler injection + speculative execution tests."""
+
+import pytest
+
+from repro.experiments.stragglers import format_report, run as straggler_run
+from repro.hadoop import (
+    HadoopConfig,
+    HadoopSimulation,
+    JAVASORT_PROFILE,
+    JobSpec,
+    run_hadoop_job,
+)
+from repro.util.units import GiB, MiB
+
+
+def sort_spec(mb=1024):
+    return JobSpec(name="sort", input_bytes=mb * MiB, profile=JAVASORT_PROFILE)
+
+
+class TestStragglerInjection:
+    def test_slow_disk_slows_job(self):
+        healthy = run_hadoop_job(sort_spec(), seed=3)
+        degraded = run_hadoop_job(sort_spec(), seed=3, disk_slowdown={2: 8.0})
+        assert degraded.elapsed > healthy.elapsed * 1.2
+
+    def test_slowdown_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            HadoopSimulation(spec=sort_spec(), disk_slowdown={1: 0})
+
+    def test_speedup_factor_below_one_is_speedup(self):
+        fast = run_hadoop_job(sort_spec(), seed=3, disk_slowdown={2: 0.5})
+        base = run_hadoop_job(sort_spec(), seed=3)
+        assert fast.elapsed <= base.elapsed
+
+
+class TestSpeculativeExecution:
+    def test_off_by_default(self):
+        m = run_hadoop_job(sort_spec(), seed=3)
+        assert m.speculative_attempts == 0
+
+    def test_speculation_attempts_happen_with_straggler(self):
+        cfg = HadoopConfig(speculative_execution=True)
+        m = run_hadoop_job(
+            sort_spec(2048), config=cfg, seed=3, disk_slowdown={2: 8.0}
+        )
+        assert m.speculative_attempts > 0
+        assert m.speculative_wins <= m.speculative_attempts
+
+    def test_speculation_helps_with_straggler(self):
+        degraded = run_hadoop_job(
+            sort_spec(2048), seed=3, disk_slowdown={2: 8.0}
+        )
+        speculative = run_hadoop_job(
+            sort_spec(2048),
+            config=HadoopConfig(speculative_execution=True),
+            seed=3,
+            disk_slowdown={2: 8.0},
+        )
+        assert speculative.elapsed < degraded.elapsed
+
+    def test_no_speculation_on_healthy_homogeneous_cluster(self):
+        """Without stragglers the slowness threshold should rarely trip."""
+        cfg = HadoopConfig(speculative_execution=True)
+        m = run_hadoop_job(sort_spec(), config=cfg, seed=3)
+        # Allow a couple of borderline duplicates but nothing systematic.
+        assert m.speculative_attempts <= len(m.map_tasks) * 0.1
+
+    def test_all_maps_complete_exactly_once(self):
+        cfg = HadoopConfig(speculative_execution=True)
+        m = run_hadoop_job(
+            sort_spec(2048), config=cfg, seed=3, disk_slowdown={2: 8.0}
+        )
+        ids = [t.task_id for t in m.map_tasks]
+        assert sorted(ids) == list(range(len(ids)))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="slowness"):
+            HadoopConfig(speculative_slowness=1.0)
+
+
+class TestStragglerExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return straggler_run(input_gb=1, slowdown=6.0)
+
+    def test_ordering(self, result):
+        assert (
+            result.healthy.elapsed
+            < result.speculative.elapsed
+            < result.degraded.elapsed
+        )
+
+    def test_recovery_fraction_in_range(self, result):
+        assert 0.0 <= result.recovered <= 1.0
+
+    def test_report_renders(self, result):
+        out = format_report(result)
+        assert "speculation recovered" in out

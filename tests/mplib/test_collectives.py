@@ -1,0 +1,189 @@
+"""Collective operation tests across several world sizes."""
+
+import operator
+
+import pytest
+
+from repro.mplib import Runtime
+
+SIZES = [1, 2, 3, 4, 5, 8]
+
+
+def run(world_size, main):
+    return Runtime(world_size, progress_timeout=5.0).run(main)
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_barrier_completes(self, p):
+        def main(comm):
+            comm.barrier()
+            return comm.rank
+
+        assert run(p, main) == list(range(p))
+
+    def test_barrier_actually_synchronizes(self):
+        import time
+
+        def main(comm):
+            if comm.rank == 0:
+                time.sleep(0.3)
+            comm.barrier()
+            return time.monotonic()
+
+        times = run(4, main)
+        assert max(times) - min(times) < 0.25  # all released together
+
+    def test_back_to_back_barriers(self):
+        def main(comm):
+            for _ in range(10):
+                comm.barrier()
+            return "done"
+
+        assert run(4, main) == ["done"] * 4
+
+
+class TestBcast:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_bcast_from_zero(self, p):
+        def main(comm):
+            return comm.bcast({"data": 7} if comm.rank == 0 else None, root=0)
+
+        assert run(p, main) == [{"data": 7}] * p
+
+    @pytest.mark.parametrize("root", [0, 1, 2])
+    def test_bcast_nonzero_root(self, root):
+        def main(comm):
+            return comm.bcast(comm.rank * 100 if comm.rank == root else None, root)
+
+        assert run(3, main) == [root * 100] * 3
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_gather(self, p):
+        def main(comm):
+            return comm.gather(comm.rank**2, root=0)
+
+        results = run(p, main)
+        assert results[0] == [r**2 for r in range(p)]
+        assert all(r is None for r in results[1:])
+
+    def test_gather_nonzero_root(self):
+        def main(comm):
+            return comm.gather(chr(ord("a") + comm.rank), root=2)
+
+        assert run(4, main)[2] == ["a", "b", "c", "d"]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_scatter(self, p):
+        def main(comm):
+            data = [f"item{i}" for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(data, root=0)
+
+        assert run(p, main) == [f"item{i}" for i in range(p)]
+
+    def test_scatter_wrong_length(self):
+        def main(comm):
+            if comm.rank == 0:
+                with pytest.raises(ValueError, match="exactly"):
+                    comm.scatter([1, 2, 3], root=0)
+                with pytest.raises(ValueError, match="exactly"):
+                    comm.scatter(None, root=0)
+            return "ok"
+
+        assert run(1, main) == ["ok"]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_allgather(self, p):
+        def main(comm):
+            return comm.allgather(comm.rank)
+
+        assert run(p, main) == [list(range(p))] * p
+
+
+class TestReduce:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_sum_reduce(self, p):
+        def main(comm):
+            return comm.reduce(comm.rank + 1, root=0)
+
+        results = run(p, main)
+        assert results[0] == p * (p + 1) // 2
+
+    def test_custom_op(self):
+        def main(comm):
+            return comm.reduce(comm.rank + 1, op=operator.mul, root=0)
+
+        assert run(4, main)[0] == 24
+
+    def test_noncommutative_associative_op_rank_order(self):
+        """List concatenation: result must be in rank order for root=0."""
+
+        def main(comm):
+            return comm.reduce([comm.rank], op=operator.add, root=0)
+
+        assert run(5, main)[0] == [0, 1, 2, 3, 4]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_allreduce(self, p):
+        def main(comm):
+            return comm.allreduce(comm.rank)
+
+        assert run(p, main) == [sum(range(p))] * p
+
+    def test_reduce_max(self):
+        def main(comm):
+            return comm.reduce(comm.rank * 3, op=max, root=0)
+
+        assert run(4, main)[0] == 9
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_alltoall_transpose(self, p):
+        """Row i sends slot j to row j: the classic matrix transpose."""
+
+        def main(comm):
+            row = [(comm.rank, j) for j in range(comm.size)]
+            return comm.alltoall(row)
+
+        results = run(p, main)
+        for j, got in enumerate(results):
+            assert got == [(i, j) for i in range(p)]
+
+    def test_alltoall_wrong_length(self):
+        def main(comm):
+            with pytest.raises(ValueError):
+                comm.alltoall([1, 2, 3])
+            comm.barrier()
+            return "ok"
+
+        assert run(2, main) == ["ok", "ok"]
+
+
+class TestMixedTraffic:
+    def test_collectives_do_not_eat_user_messages(self):
+        """A user message queued before a collective survives it."""
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("user-data", dest=1, tag=11)
+            comm.barrier()
+            comm.bcast("payload", root=0)
+            if comm.rank == 1:
+                return comm.recv(source=0, tag=11)
+            return None
+
+        assert run(3, main)[1] == "user-data"
+
+    def test_interleaved_collectives_and_p2p(self):
+        def main(comm):
+            total = comm.allreduce(1)
+            if comm.rank == 0:
+                for peer in range(1, comm.size):
+                    comm.send(total * peer, dest=peer, tag=0)
+                return total
+            return comm.recv(source=0, tag=0)
+
+        assert run(4, main) == [4, 4, 8, 12]

@@ -1,0 +1,89 @@
+"""Pack/unpack (MPI_Pack analogue) tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mplib.datatypes import Packer, Unpacker, pack_records, unpack_records
+
+scalar = st.one_of(
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=32),
+    st.binary(max_size=32),
+    st.none(),
+)
+
+
+class TestPacker:
+    def test_cursor_tracks_size(self):
+        p = Packer()
+        assert p.size == 0
+        n = p.pack("hello")
+        assert p.size == n > 0
+
+    def test_pack_many(self):
+        p = Packer()
+        total = p.pack_many(["a", "b", "c"])
+        assert total == p.size
+
+    def test_getbuffer_concatenates(self):
+        p = Packer()
+        p.pack(1)
+        p.pack(2)
+        buf = p.getbuffer()
+        u = Unpacker(buf)
+        assert u.unpack() == 1
+        assert u.unpack() == 2
+
+    def test_clear(self):
+        p = Packer()
+        p.pack("x")
+        p.clear()
+        assert p.size == 0
+        assert p.getbuffer() == b""
+
+    def test_getbuffer_idempotent(self):
+        p = Packer()
+        p.pack("x")
+        assert p.getbuffer() == p.getbuffer()
+
+
+class TestUnpacker:
+    def test_position_advances(self):
+        p = Packer()
+        p.pack("ab")
+        p.pack("cd")
+        u = Unpacker(p.getbuffer())
+        assert u.position == 0
+        u.unpack()
+        assert 0 < u.position < len(p.getbuffer())
+
+    def test_iteration(self):
+        p = Packer()
+        p.pack_many([10, 20, 30])
+        assert list(Unpacker(p.getbuffer())) == [10, 20, 30]
+
+    def test_unpack_past_end(self):
+        u = Unpacker(b"")
+        with pytest.raises(EOFError):
+            u.unpack()
+
+    @given(st.lists(scalar, max_size=20))
+    def test_roundtrip(self, values):
+        p = Packer()
+        p.pack_many(values)
+        assert list(Unpacker(p.getbuffer())) == values
+
+
+class TestRecordHelpers:
+    @given(st.lists(st.tuples(scalar, scalar), max_size=16))
+    def test_record_roundtrip(self, records):
+        buf = pack_records(records)
+        assert list(unpack_records(buf)) == records
+
+    def test_dangling_key_detected(self):
+        p = Packer()
+        p.pack("key-without-value")
+        with pytest.raises(ValueError, match="dangling key"):
+            list(unpack_records(p.getbuffer()))

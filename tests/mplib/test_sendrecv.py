@@ -1,0 +1,50 @@
+"""MPI_Sendrecv tests."""
+
+import pytest
+
+from repro.mplib import Runtime, TagError
+
+
+def run(world_size, main, timeout=5.0):
+    return Runtime(world_size, progress_timeout=timeout).run(main)
+
+
+class TestSendrecv:
+    def test_pairwise_exchange(self):
+        def main(comm):
+            partner = comm.rank ^ 1
+            return comm.sendrecv(f"from-{comm.rank}", dest=partner, source=partner)
+
+        assert run(4, main) == ["from-1", "from-0", "from-3", "from-2"]
+
+    def test_ring_shift(self):
+        def main(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=right, source=left)
+
+        assert run(5, main) == [4, 0, 1, 2, 3]
+
+    def test_tags_respected(self):
+        def main(comm):
+            partner = comm.rank ^ 1
+            # Two concurrent exchanges on distinct tags.
+            a = comm.sendrecv(
+                ("a", comm.rank), dest=partner, source=partner, sendtag=1, recvtag=1
+            )
+            b = comm.sendrecv(
+                ("b", comm.rank), dest=partner, source=partner, sendtag=2, recvtag=2
+            )
+            return (a, b)
+
+        results = run(2, main)
+        assert results[0] == (("a", 1), ("b", 1))
+        assert results[1] == (("a", 0), ("b", 0))
+
+    def test_negative_sendtag_rejected(self):
+        def main(comm):
+            with pytest.raises(TagError):
+                comm.sendrecv("x", dest=0, sendtag=-1)
+            return "ok"  # tag validated before anything was posted
+
+        assert run(1, main) == ["ok"]

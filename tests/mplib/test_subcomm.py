@@ -1,0 +1,156 @@
+"""Sub-communicator (Comm.split) and request-helper tests."""
+
+import pytest
+
+from repro.mplib import ANY_SOURCE, RankError, Runtime, waitall, waitany
+
+
+def run(world_size, main, timeout=5.0):
+    return Runtime(world_size, progress_timeout=timeout).run(main)
+
+
+class TestSplit:
+    def test_even_odd_split(self):
+        def main(comm):
+            sub = comm.split(color=comm.rank % 2)
+            return (sub.rank, sub.size)
+
+        results = run(6, main)
+        # Three even ranks {0,2,4} -> sub ranks 0,1,2; same for odd.
+        assert results == [(0, 3), (0, 3), (1, 3), (1, 3), (2, 3), (2, 3)]
+
+    def test_group_world_ranks(self):
+        def main(comm):
+            sub = comm.split(color=0 if comm.rank < 2 else 1)
+            return sub.group_world_ranks
+
+        results = run(4, main)
+        assert results[0] == [0, 1]
+        assert results[3] == [2, 3]
+
+    def test_key_reorders_ranks(self):
+        def main(comm):
+            # Reverse rank order inside the single group.
+            sub = comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        assert run(3, main) == [2, 1, 0]
+
+    def test_undefined_color_opts_out(self):
+        def main(comm):
+            sub = comm.split(color=None if comm.rank == 0 else 7)
+            if sub is None:
+                return "out"
+            return sub.size
+
+        results = run(3, main)
+        assert results == ["out", 2, 2]
+
+    def test_p2p_within_subcomm_uses_local_ranks(self):
+        def main(comm):
+            sub = comm.split(color=comm.rank % 2)
+            if sub.rank == 0:
+                sub.send(f"from-{comm.rank}", dest=1, tag=3)
+                return None
+            if sub.rank == 1:
+                return sub.recv(source=0, tag=3)
+            return None
+
+        results = run(4, main)
+        assert results[2] == "from-0"  # world rank 2 = even-group rank 1
+        assert results[3] == "from-1"
+
+    def test_isolation_from_parent_traffic(self):
+        """Same tag on parent and sub-communicator must not cross."""
+
+        def main(comm):
+            sub = comm.split(color=0)
+            if comm.rank == 0:
+                comm.send("parent-msg", dest=1, tag=5)
+                sub.send("sub-msg", dest=1, tag=5)
+                return None
+            if comm.rank == 1:
+                from_sub = sub.recv(source=0, tag=5)
+                from_parent = comm.recv(source=0, tag=5)
+                return (from_sub, from_parent)
+            return None
+
+        results = run(2, main)
+        assert results[1] == ("sub-msg", "parent-msg")
+
+    def test_collectives_on_subcomm(self):
+        def main(comm):
+            sub = comm.split(color=comm.rank % 2)
+            return sub.allreduce(comm.rank)
+
+        results = run(6, main)
+        assert results[0] == results[2] == results[4] == 0 + 2 + 4
+        assert results[1] == results[3] == results[5] == 1 + 3 + 5
+
+    def test_nested_split(self):
+        def main(comm):
+            half = comm.split(color=comm.rank // 2)  # pairs
+            solo = half.split(color=half.rank)  # singletons
+            return (half.size, solo.size, solo.allreduce(1))
+
+        assert run(4, main) == [(2, 1, 1)] * 4
+
+    def test_wildcard_recv_scoped_to_subcomm(self):
+        def main(comm):
+            sub = comm.split(color=comm.rank % 2)
+            if comm.rank == 0:
+                comm.send("world", dest=2, tag=0)  # parent ctx
+                sub.send("group", dest=1, tag=0)  # to world rank 2
+                return None
+            if comm.rank == 2:
+                got_sub = sub.recv(source=ANY_SOURCE, tag=0)
+                got_world = comm.recv(source=ANY_SOURCE, tag=0)
+                return (got_sub, got_world)
+            return None
+
+        results = run(4, main)
+        assert results[2] == ("group", "world")
+
+    def test_subcomm_rank_validation(self):
+        def main(comm):
+            sub = comm.split(color=comm.rank % 2)
+            with pytest.raises(RankError):
+                sub.send("x", dest=sub.size)  # out of the group
+            comm.barrier()
+            return "ok"
+
+        assert run(4, main) == ["ok"] * 4
+
+
+class TestWaitHelpers:
+    def test_waitall(self):
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(3):
+                    comm.send(i * 10, dest=1, tag=i)
+                return None
+            reqs = [comm.irecv(source=0, tag=i) for i in range(3)]
+            return waitall(reqs)
+
+        assert run(2, main)[1] == [0, 10, 20]
+
+    def test_waitany_returns_first(self):
+        import time
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("fast", dest=1, tag=7)
+                time.sleep(0.2)
+                comm.send("slow", dest=1, tag=8)
+                return None
+            slow = comm.irecv(source=0, tag=8)
+            fast = comm.irecv(source=0, tag=7)
+            idx, value = waitany([slow, fast])
+            slow.wait()
+            return (idx, value)
+
+        assert run(2, main)[1] == (1, "fast")
+
+    def test_waitany_empty_rejected(self):
+        with pytest.raises(ValueError):
+            waitany([])

@@ -1,0 +1,56 @@
+"""Tests for the mrmpi compression cost model."""
+
+import pytest
+
+from repro.hadoop.job import JAVASORT_PROFILE, JobSpec
+from repro.mrmpi import MrMpiConfig, run_mpid_job
+from repro.util.units import GiB
+
+
+def spec(gb=2):
+    return JobSpec(
+        "sort", input_bytes=gb * GiB, profile=JAVASORT_PROFILE, num_reduce_tasks=7
+    )
+
+
+class TestCompressionModel:
+    def test_compression_shrinks_wire_bytes(self):
+        base = run_mpid_job(spec(), config=MrMpiConfig(num_mappers=14, num_reducers=7))
+        packed = run_mpid_job(
+            spec(),
+            config=MrMpiConfig(num_mappers=14, num_reducers=7, compress=True),
+        )
+        assert packed.total_sent_bytes < base.total_sent_bytes
+        assert packed.total_sent_bytes == pytest.approx(
+            base.total_sent_bytes * 0.4, rel=0.01
+        )
+
+    def test_codec_cpu_charged(self):
+        """On a disk-bound sort, compression costs more CPU than the
+        bandwidth it saves: job time must not improve."""
+        base = run_mpid_job(spec(), config=MrMpiConfig(num_mappers=14, num_reducers=7))
+        packed = run_mpid_job(
+            spec(),
+            config=MrMpiConfig(num_mappers=14, num_reducers=7, compress=True),
+        )
+        assert packed.elapsed >= base.elapsed
+
+    def test_free_codec_with_full_ratio_is_noop_on_bytes(self):
+        cfg = MrMpiConfig(
+            num_mappers=14,
+            num_reducers=7,
+            compress=True,
+            compression_ratio=1.0,
+            compress_cpu_per_byte=0.0,
+            decompress_cpu_per_byte=0.0,
+        )
+        base = run_mpid_job(spec(), config=MrMpiConfig(num_mappers=14, num_reducers=7))
+        noop = run_mpid_job(spec(), config=cfg)
+        assert noop.total_sent_bytes == pytest.approx(base.total_sent_bytes)
+        assert noop.elapsed == pytest.approx(base.elapsed)
+
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError, match="compression ratio"):
+            MrMpiConfig(compression_ratio=0.0)
+        with pytest.raises(ValueError, match="compression ratio"):
+            MrMpiConfig(compression_ratio=1.5)

@@ -1,0 +1,93 @@
+"""Per-flow rate caps in the max-min allocator."""
+
+import pytest
+
+from repro.simnet.kernel import Simulator
+from repro.simnet.network import Network
+
+
+class TestRateCaps:
+    def test_capped_flow_takes_cap_time(self):
+        sim = Simulator()
+        net = Network(sim)
+        link = net.add_link("l", 100.0)
+
+        def proc(sim):
+            yield net.transfer((link,), 100.0, rate_cap=10.0)
+
+        sim.process(proc(sim))
+        assert sim.run() == pytest.approx(10.0)
+
+    def test_capped_flow_releases_capacity_to_others(self):
+        sim = Simulator()
+        net = Network(sim)
+        link = net.add_link("l", 100.0)
+        done = {}
+
+        def proc(sim, tag, cap):
+            yield net.transfer((link,), 100.0, rate_cap=cap)
+            done[tag] = sim.now
+
+        sim.process(proc(sim, "capped", 10.0))
+        sim.process(proc(sim, "free", float("inf")))
+        sim.run()
+        # Capped at 10 B/s -> t=10; the free flow gets the other 90 B/s
+        # and finishes at 100/90 = 1.11s.
+        assert done["capped"] == pytest.approx(10.0)
+        assert done["free"] == pytest.approx(100.0 / 90.0)
+
+    def test_cap_above_link_is_harmless(self):
+        sim = Simulator()
+        net = Network(sim)
+        link = net.add_link("l", 100.0)
+
+        def proc(sim):
+            yield net.transfer((link,), 100.0, rate_cap=1e9)
+
+        sim.process(proc(sim))
+        assert sim.run() == pytest.approx(1.0)
+
+    def test_local_transfer_with_cap_takes_time(self):
+        sim = Simulator()
+        net = Network(sim)
+
+        def proc(sim):
+            yield net.transfer((), 50.0, latency=0.5, rate_cap=10.0)
+
+        sim.process(proc(sim))
+        assert sim.run() == pytest.approx(0.5 + 5.0)
+
+    def test_local_transfer_uncapped_instant(self):
+        sim = Simulator()
+        net = Network(sim)
+
+        def proc(sim):
+            yield net.transfer((), 1e12, latency=0.25)
+
+        sim.process(proc(sim))
+        assert sim.run() == pytest.approx(0.25)
+
+    def test_cap_validation(self):
+        sim = Simulator()
+        net = Network(sim)
+        link = net.add_link("l", 100.0)
+        with pytest.raises(ValueError, match="rate cap"):
+            net.transfer((link,), 10.0, rate_cap=0)
+
+    def test_many_capped_flows_fill_link(self):
+        """10 flows capped at 20 B/s on a 100 B/s link: aggregate limited
+        by the link, max-min still fair."""
+        sim = Simulator()
+        net = Network(sim)
+        link = net.add_link("l", 100.0)
+        done = []
+
+        def proc(sim):
+            yield net.transfer((link,), 100.0, rate_cap=20.0)
+            done.append(sim.now)
+
+        for _ in range(10):
+            sim.process(proc(sim))
+        sim.run()
+        # 10 flows want 20 each = 200 > 100: link-fair share is 10 B/s.
+        assert done == pytest.approx([10.0] * 10)

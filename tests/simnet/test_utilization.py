@@ -1,0 +1,101 @@
+"""Utilization accounting tests for devices, links and the cluster report."""
+
+import pytest
+
+from repro.simnet.cluster import Cluster, ClusterSpec
+from repro.simnet.kernel import Simulator
+from repro.simnet.network import Network
+from repro.simnet.resources import RateDevice
+
+
+class TestDeviceUtilization:
+    def test_fully_busy(self):
+        sim = Simulator()
+        disk = RateDevice(sim, rate=100.0)
+
+        def proc(sim):
+            yield disk.transfer(500.0)
+
+        sim.process(proc(sim))
+        elapsed = sim.run()
+        assert disk.utilization(elapsed) == pytest.approx(1.0)
+        assert disk.bytes_served == pytest.approx(500.0)
+        assert disk.jobs_completed == 1
+
+    def test_half_busy(self):
+        sim = Simulator()
+        disk = RateDevice(sim, rate=100.0)
+
+        def proc(sim):
+            yield sim.timeout(5.0)
+            yield disk.transfer(500.0)
+
+        sim.process(proc(sim))
+        elapsed = sim.run()
+        assert elapsed == pytest.approx(10.0)
+        assert disk.utilization(elapsed) == pytest.approx(0.5)
+
+    def test_shared_service_counts_all_bytes(self):
+        sim = Simulator()
+        disk = RateDevice(sim, rate=100.0)
+
+        def proc(sim):
+            yield disk.transfer(100.0)
+
+        sim.process(proc(sim))
+        sim.process(proc(sim))
+        sim.run()
+        assert disk.bytes_served == pytest.approx(200.0)
+        assert disk.jobs_completed == 2
+
+    def test_zero_elapsed(self):
+        sim = Simulator()
+        disk = RateDevice(sim, rate=10.0)
+        assert disk.utilization(0.0) == 0.0
+
+
+class TestLinkUtilization:
+    def test_saturated_link(self):
+        sim = Simulator()
+        net = Network(sim)
+        link = net.add_link("l", 100.0)
+
+        def proc(sim):
+            yield net.transfer((link,), 300.0)
+
+        sim.process(proc(sim))
+        elapsed = sim.run()
+        assert link.utilization(elapsed) == pytest.approx(1.0)
+        assert link.bytes_carried == pytest.approx(300.0)
+
+    def test_capped_flow_underutilizes(self):
+        sim = Simulator()
+        net = Network(sim)
+        link = net.add_link("l", 100.0)
+
+        def proc(sim):
+            yield net.transfer((link,), 100.0, rate_cap=10.0)
+
+        sim.process(proc(sim))
+        elapsed = sim.run()
+        assert link.utilization(elapsed) == pytest.approx(0.1)
+        assert link.busy_time == pytest.approx(elapsed)
+
+
+class TestClusterReport:
+    def test_report_structure(self):
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterSpec(num_nodes=3, link_bandwidth=100.0))
+
+        def proc(sim):
+            yield cluster.send(0, 1, 100.0)
+            yield cluster.node(1).disk_write(50.0)
+
+        sim.process(proc(sim))
+        elapsed = sim.run()
+        report = cluster.utilization_report(elapsed)
+        assert set(report) == {"node0", "node1", "node2"}
+        assert report["node0"]["uplink"] > 0
+        assert report["node1"]["downlink"] > 0
+        assert report["node1"]["disk_bytes"] > 0
+        assert report["node2"]["disk"] == 0.0

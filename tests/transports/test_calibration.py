@@ -1,0 +1,75 @@
+"""Tests for the log-log interpolator and calibration constants."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.transports.calibration import (
+    HADOOP_RPC_LATENCY_ANCHORS,
+    MPICH_LATENCY_0,
+    MPICH_RNDV_BANDWIDTH,
+    LogLogInterpolator,
+)
+from repro.util.units import MiB
+
+
+class TestLogLogInterpolator:
+    def test_hits_anchors_exactly(self):
+        interp = LogLogInterpolator([(1, 2.0), (100, 5.0), (10000, 80.0)])
+        assert interp(1) == pytest.approx(2.0)
+        assert interp(100) == pytest.approx(5.0)
+        assert interp(10000) == pytest.approx(80.0)
+
+    def test_power_law_between_anchors(self):
+        # Anchors on y = x**2 must interpolate exactly on that law.
+        interp = LogLogInterpolator([(1, 1.0), (10, 100.0)])
+        assert interp(3) == pytest.approx(9.0)
+
+    def test_extrapolates_with_edge_slope(self):
+        interp = LogLogInterpolator([(1, 1.0), (10, 10.0)])  # y = x
+        assert interp(100) == pytest.approx(100.0)
+        assert interp(0.1) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogLogInterpolator([(1, 1.0)])
+        with pytest.raises(ValueError):
+            LogLogInterpolator([(1, 1.0), (1, 2.0)])
+        with pytest.raises(ValueError):
+            LogLogInterpolator([(0, 1.0), (1, 2.0)])
+        with pytest.raises(ValueError):
+            LogLogInterpolator([(1, -1.0), (2, 2.0)])
+        interp = LogLogInterpolator([(1, 1.0), (2, 2.0)])
+        with pytest.raises(ValueError):
+            interp(0)
+
+    @given(st.floats(1e-3, 1e9))
+    def test_monotone_anchor_set_gives_monotone_curve(self, x):
+        anchors = [(1, 1.0), (1e3, 7.0), (1e6, 5000.0)]
+        interp = LogLogInterpolator(anchors)
+        # Monotone increasing anchors (in log-log) => monotone curve.
+        assert interp(x * 1.01) >= interp(x) - 1e-12
+
+
+class TestPaperAnchors:
+    def test_rpc_anchor_floor(self):
+        sizes = [s for s, _ in HADOOP_RPC_LATENCY_ANCHORS]
+        assert sizes == sorted(sizes)
+        assert HADOOP_RPC_LATENCY_ANCHORS[0][1] == pytest.approx(1.3e-3)
+
+    def test_rpc_64mb_anchor(self):
+        by_size = dict(HADOOP_RPC_LATENCY_ANCHORS)
+        assert by_size[64 * MiB] == pytest.approx(56.827)
+
+    def test_mpich_1byte_is_2p49x_below_rpc(self):
+        assert 1.3e-3 / MPICH_LATENCY_0 == pytest.approx(2.49)
+
+    def test_mpich_rndv_bandwidth_near_gige(self):
+        # Must land near (but below) the 125 MB/s GigE wire rate.
+        assert 90e6 < MPICH_RNDV_BANDWIDTH < 125e6
+
+    def test_constants_positive(self):
+        assert MPICH_LATENCY_0 > 0
+        assert not math.isnan(MPICH_RNDV_BANDWIDTH)

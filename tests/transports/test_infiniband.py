@@ -1,0 +1,49 @@
+"""InfiniBand transport model tests (future-work item 4)."""
+
+import pytest
+
+from repro.transports import MpichTransport
+from repro.transports.infiniband import InfinibandTransport
+from repro.util.units import KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def ib():
+    return InfinibandTransport()
+
+
+class TestInfiniband:
+    def test_microsecond_small_message_latency(self, ib):
+        assert ib.latency(1) < 5e-6
+
+    def test_orders_of_magnitude_below_gige_mpi(self, ib):
+        gige = MpichTransport()
+        assert gige.latency(1) / ib.latency(1) > 100
+
+    def test_saturates_around_1p5_gbps(self, ib):
+        bw = ib.bandwidth(128 * MiB, 4 * MiB)
+        assert bw == pytest.approx(1.5e9, rel=0.05)
+
+    def test_monotone_latency(self, ib):
+        sizes = [2**i for i in range(0, 27)]
+        lats = [ib.latency(n) for n in sizes]
+        assert all(b >= a for a, b in zip(lats, lats[1:]))
+
+    def test_rendezvous_adds_handshake(self, ib):
+        below = ib.latency(ib.eager_limit)
+        above = ib.latency(ib.eager_limit + 1)
+        assert above > below
+
+    def test_wire_costs(self, ib):
+        wc = ib.wire_costs(1 * MiB)
+        assert wc.rate_cap == pytest.approx(1.5e9)
+        assert wc.setup_time > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InfinibandTransport(latency_0=0)
+        with pytest.raises(ValueError):
+            InfinibandTransport(peak_bandwidth=-1)
+        ib = InfinibandTransport()
+        with pytest.raises(ValueError):
+            ib.packet_stream_cost(0)

@@ -1,0 +1,85 @@
+"""Tests for the micro-benchmark harness (paper methodology)."""
+
+import pytest
+
+from repro.transports import (
+    BandwidthBench,
+    HadoopRpcTransport,
+    LatencyBench,
+    MpichTransport,
+)
+from repro.transports.microbench import (
+    default_bandwidth_packets,
+    default_latency_sizes,
+)
+from repro.util.units import MiB
+
+
+class TestLatencyBench:
+    def test_deterministic_given_seed(self):
+        b1 = LatencyBench(MpichTransport(), trials=20, seed=1)
+        b2 = LatencyBench(MpichTransport(), trials=20, seed=1)
+        assert b1.measure(1024).latency == b2.measure(1024).latency
+
+    def test_different_seed_different_noise(self):
+        b1 = LatencyBench(MpichTransport(), trials=20, seed=1)
+        b2 = LatencyBench(MpichTransport(), trials=20, seed=2)
+        assert b1.measure(1024).latency != b2.measure(1024).latency
+
+    def test_mean_close_to_model(self):
+        bench = LatencyBench(MpichTransport(), trials=100)
+        model = MpichTransport().latency(4096)
+        assert bench.measure(4096).latency == pytest.approx(model, rel=0.05)
+
+    def test_drops_jvm_warmup_trials(self):
+        rpc = HadoopRpcTransport()
+        bench = LatencyBench(rpc, trials=100)
+        res = bench.measure(1024)
+        assert res.dropped == 5
+        # Without dropping, warmup inflates the mean.
+        raw = LatencyBench(rpc, trials=100, drop_first=0).measure(1024)
+        assert raw.latency > res.latency
+
+    def test_mpi_not_dropped(self):
+        res = LatencyBench(MpichTransport(), trials=50).measure(64)
+        assert res.dropped == 0
+
+    def test_sweep_covers_default_sizes(self):
+        bench = LatencyBench(MpichTransport(), trials=5)
+        results = bench.sweep([1, 16, 1024])
+        assert [r.nbytes for r in results] == [1, 16, 1024]
+
+    def test_trials_validation(self):
+        bench = LatencyBench(MpichTransport(), trials=0)
+        with pytest.raises(ValueError):
+            bench.measure(1)
+
+
+class TestBandwidthBench:
+    def test_deterministic(self):
+        b = BandwidthBench(MpichTransport(), seed=9)
+        assert b.measure(4096).bandwidth == BandwidthBench(
+            MpichTransport(), seed=9
+        ).measure(4096).bandwidth
+
+    def test_bandwidth_equals_total_over_elapsed(self):
+        res = BandwidthBench(MpichTransport(), jitter=False).measure(1 * MiB)
+        assert res.bandwidth == pytest.approx(res.total_bytes / res.elapsed)
+
+    def test_no_jitter_matches_model(self):
+        t = MpichTransport()
+        res = BandwidthBench(t, jitter=False).measure(64 * MiB)
+        assert res.bandwidth == pytest.approx(t.bandwidth(128 * MiB, 64 * MiB))
+
+    def test_sweep(self):
+        res = BandwidthBench(MpichTransport(), jitter=False).sweep([256, 4096])
+        assert [r.packet_bytes for r in res] == [256, 4096]
+
+
+class TestDefaults:
+    def test_size_grids_span_paper_range(self):
+        sizes = default_latency_sizes()
+        assert sizes[0] == 1
+        assert sizes[-1] == 64 * MiB
+        packets = default_bandwidth_packets()
+        assert packets[0] == 1 and packets[-1] == 64 * MiB

@@ -1,0 +1,207 @@
+"""Tests that the three transport models reproduce the paper's Section II-B.
+
+These are the quantitative heart of Figures 2 and 3: the *ratios* between
+transports at the published message sizes.  Tolerances are loose (the
+paper reports rounded numbers) but the ordering and orders of magnitude
+are asserted tightly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transports import (
+    HadoopRpcTransport,
+    JettyHttpTransport,
+    MpichTransport,
+    NioSocketTransport,
+)
+from repro.util.units import KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def mpich():
+    return MpichTransport()
+
+
+@pytest.fixture(scope="module")
+def rpc():
+    return HadoopRpcTransport()
+
+
+@pytest.fixture(scope="module")
+def jetty():
+    return JettyHttpTransport()
+
+
+@pytest.fixture(scope="module")
+def nio():
+    return NioSocketTransport()
+
+
+ALL_TRANSPORTS = [
+    MpichTransport(),
+    HadoopRpcTransport(),
+    JettyHttpTransport(),
+    NioSocketTransport(),
+]
+
+
+class TestMpichLatency:
+    def test_small_messages_under_1ms(self, mpich):
+        # "the latency of MPICH2 does not exceed 1 ms" for 1 B - 1 KB.
+        for n in (1, 16, 256, 1024):
+            assert mpich.latency(n) < 1e-3
+
+    def test_1mb_near_paper(self, mpich):
+        # Paper: 10.2-10.3 ms at 1 MB.
+        assert mpich.latency(1 * MiB) == pytest.approx(10.3e-3, rel=0.15)
+
+    def test_64mb_near_paper(self, mpich):
+        # Paper: 572 ms at 64 MB.
+        assert mpich.latency(64 * MiB) == pytest.approx(0.572, rel=0.05)
+
+    def test_eager_rendezvous_continuity_order(self, mpich):
+        # Rendezvous adds a handshake: latency is still monotone overall.
+        below = mpich.latency(mpich.eager_limit)
+        above = mpich.latency(mpich.eager_limit + 1)
+        assert above > 0 and below > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MpichTransport(latency_0=-1)
+        with pytest.raises(ValueError):
+            MpichTransport(eager_limit=-5)
+        m = MpichTransport()
+        with pytest.raises(ValueError):
+            m.latency(-1)
+        with pytest.raises(ValueError):
+            m.packet_stream_cost(0)
+
+
+class TestRpcLatency:
+    def test_small_message_plateau(self, rpc):
+        # "when the message size varies from 1 byte to 16 bytes, the
+        # latency of Hadoop RPC is about 1.3 ms".
+        assert rpc.latency(1) == pytest.approx(1.3e-3, rel=0.01)
+        assert rpc.latency(16) == pytest.approx(1.3e-3, rel=0.01)
+
+    def test_1kb_anchor(self, rpc):
+        assert rpc.latency(1 * KiB) == pytest.approx(8.9e-3, rel=0.01)
+
+    def test_1mb_anchor(self, rpc):
+        assert rpc.latency(1 * MiB) == pytest.approx(1.259, rel=0.01)
+
+    def test_64mb_anchor(self, rpc):
+        assert rpc.latency(64 * MiB) == pytest.approx(56.827, rel=0.01)
+
+    def test_zero_bytes_same_floor_as_one(self, rpc):
+        assert rpc.latency(0) == rpc.latency(1)
+
+
+class TestPaperRatios:
+    """The headline comparisons of Section II-B."""
+
+    def test_1byte_ratio_2p49(self, rpc, mpich):
+        ratio = rpc.latency(1) / mpich.latency(1)
+        assert ratio == pytest.approx(2.49, rel=0.05)
+
+    def test_1kb_ratio_about_15(self, rpc, mpich):
+        ratio = rpc.latency(1 * KiB) / mpich.latency(1 * KiB)
+        assert 12 <= ratio <= 18  # paper: 15.1
+
+    def test_beyond_256kb_ratio_over_100(self, rpc, mpich):
+        for n in (256 * KiB, 512 * KiB, 1 * MiB, 4 * MiB):
+            assert rpc.latency(n) / mpich.latency(n) >= 90
+
+    def test_1mb_ratio_peak_about_123(self, rpc, mpich):
+        ratio = rpc.latency(1 * MiB) / mpich.latency(1 * MiB)
+        assert ratio == pytest.approx(123, rel=0.15)
+
+    def test_latency_two_orders_of_magnitude_at_large_sizes(self, rpc, mpich):
+        # "the message latency of MPI is about 100 times less than Hadoop
+        # primitives"
+        assert rpc.latency(1 * MiB) / mpich.latency(1 * MiB) > 100
+
+
+class TestBandwidth:
+    def test_rpc_peak_about_1p4_mbps(self, rpc):
+        # "The largest bandwidth achieved by the Hadoop RPC is only
+        # 1.4 MB per second."
+        peaks = [rpc.bandwidth(128 * MiB, p) for p in (8 * MiB, 32 * MiB, 64 * MiB)]
+        assert max(peaks) < 2.0e6
+        assert max(peaks) > 0.8e6
+
+    def test_jetty_effective_beyond_256_bytes(self, jetty):
+        # "about 80 MB per second to more than 100 MB per second"
+        assert jetty.bandwidth(128 * MiB, 256) >= 75e6
+        assert jetty.bandwidth(128 * MiB, 64 * MiB) >= 100e6
+
+    def test_jetty_peak_about_108(self, jetty):
+        assert jetty.bandwidth(128 * MiB, 64 * MiB) == pytest.approx(108e6, rel=0.02)
+
+    def test_mpich_peak_about_111(self, mpich):
+        assert mpich.bandwidth(128 * MiB, 64 * MiB) == pytest.approx(111e6, rel=0.02)
+
+    def test_mpich_2_to_3_percent_above_jetty(self, mpich, jetty):
+        m = mpich.bandwidth(128 * MiB, 64 * MiB)
+        j = jetty.bandwidth(128 * MiB, 64 * MiB)
+        assert 1.01 <= m / j <= 1.05  # paper: 2-3%
+
+    def test_mpich_100x_rpc(self, mpich, rpc):
+        m = mpich.bandwidth(128 * MiB, 64 * MiB)
+        r = rpc.bandwidth(128 * MiB, 64 * MiB)
+        assert m / r > 50  # "about 100 times"
+
+    def test_mpich_60mbps_at_small_packets(self, mpich):
+        assert mpich.bandwidth(128 * MiB, 256) == pytest.approx(60e6, rel=0.1)
+
+    def test_nio_between_jetty_and_mpich_for_latency(self, nio, jetty, mpich):
+        # NIO skips HTTP framing: cheaper setup than Jetty, dearer than MPI.
+        assert mpich.latency(1) < nio.latency(1) < jetty.latency(1)
+
+
+class TestTransportInvariants:
+    @pytest.mark.parametrize("t", ALL_TRANSPORTS, ids=lambda t: t.name)
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(1, 64 * MiB))
+    def test_latency_positive(self, t, n):
+        assert t.latency(n) > 0
+
+    @pytest.mark.parametrize("t", ALL_TRANSPORTS, ids=lambda t: t.name)
+    def test_latency_monotone_nondecreasing(self, t):
+        sizes = [2**i for i in range(0, 27)]
+        lats = [t.latency(n) for n in sizes]
+        for a, b in zip(lats, lats[1:]):
+            assert b >= a - 1e-12
+
+    @pytest.mark.parametrize("t", ALL_TRANSPORTS, ids=lambda t: t.name)
+    @settings(max_examples=20, deadline=None)
+    @given(p=st.integers(1, 64 * MiB))
+    def test_bandwidth_below_wire_rate(self, t, p):
+        # Nothing beats the 125 MB/s GigE wire.
+        assert t.bandwidth(128 * MiB, p) <= 125e6 * 1.001
+
+    @pytest.mark.parametrize("t", ALL_TRANSPORTS, ids=lambda t: t.name)
+    def test_ping_pong_is_twice_latency(self, t):
+        assert t.ping_pong(1024) == pytest.approx(2 * t.latency(1024))
+
+    @pytest.mark.parametrize("t", ALL_TRANSPORTS, ids=lambda t: t.name)
+    def test_stream_time_charges_partial_packet(self, t):
+        # 100 bytes in 64-byte packets = one full + one 36-byte packet.
+        full = t.packet_stream_cost(64) + t.packet_stream_cost(36)
+        assert t.stream_time(100, 64) == pytest.approx(full)
+
+    @pytest.mark.parametrize("t", ALL_TRANSPORTS, ids=lambda t: t.name)
+    def test_wire_costs_valid(self, t):
+        wc = t.wire_costs(1 * MiB)
+        assert wc.setup_time >= 0
+        assert wc.wire_bytes >= 1 * MiB
+        assert wc.rate_cap > 0
+
+    def test_stream_time_validation(self, ):
+        t = MpichTransport()
+        with pytest.raises(ValueError):
+            t.stream_time(100, 0)
+        with pytest.raises(ValueError):
+            t.stream_time(-1, 64)

@@ -1,0 +1,49 @@
+"""Cross-plane validation: transport models through the simulated cluster."""
+
+import pytest
+
+from repro.transports import (
+    HadoopRpcTransport,
+    JettyHttpTransport,
+    MpichTransport,
+    contended_transfer_time,
+    sim_ping_pong,
+)
+from repro.util.units import KiB, MiB
+
+TRANSPORTS = [MpichTransport(), JettyHttpTransport(), HadoopRpcTransport()]
+
+
+class TestSimPingPong:
+    @pytest.mark.parametrize("t", TRANSPORTS, ids=lambda t: t.name)
+    @pytest.mark.parametrize("n", [1, 1 * KiB, 1 * MiB])
+    def test_sim_close_to_model(self, t, n):
+        """The DES decomposition must agree with the analytic latency to
+        within ~25% (framing/latency charging differs slightly)."""
+        res = sim_ping_pong(t, n)
+        assert res.sim_latency == pytest.approx(res.model_latency, rel=0.25)
+
+    def test_ordering_preserved_in_sim(self):
+        """MPI < Jetty < RPC at 1 MB, in the simulated plane too."""
+        lat = {
+            t.name: sim_ping_pong(t, 1 * MiB).sim_latency for t in TRANSPORTS
+        }
+        assert lat["MPICH2"] < lat["HTTP/Jetty"] < lat["Hadoop RPC"]
+
+
+class TestContention:
+    def test_fan_in_slows_transfers(self):
+        solo = contended_transfer_time(MpichTransport(), 4 * MiB, 1)
+        crowded = contended_transfer_time(MpichTransport(), 4 * MiB, 7)
+        assert crowded > solo * 3  # 7 senders share one downlink
+
+    def test_rpc_unaffected_by_contention(self):
+        """Hadoop RPC is protocol-bound at ~1.4 MB/s: seven senders fit
+        in a GigE downlink without touching each other."""
+        solo = contended_transfer_time(HadoopRpcTransport(), 1 * MiB, 1)
+        crowded = contended_transfer_time(HadoopRpcTransport(), 1 * MiB, 7)
+        assert crowded == pytest.approx(solo, rel=0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            contended_transfer_time(MpichTransport(), 1024, 0)

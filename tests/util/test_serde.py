@@ -1,0 +1,104 @@
+"""Unit + property tests for the length-prefixed K/V encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.serde import (
+    decode_kv,
+    decode_record,
+    encode_kv,
+    encode_record,
+    encoded_kv_size,
+    iter_records,
+    serialized_size,
+)
+
+scalar = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=64),
+    st.binary(max_size=64),
+)
+value = st.recursive(
+    scalar,
+    lambda inner: st.lists(inner, max_size=4) | st.tuples(inner, inner),
+    max_leaves=8,
+)
+
+
+def _norm(obj):
+    """bool encodes through the int branch: normalize for equality checks."""
+    if isinstance(obj, bool):
+        return int(obj)
+    if isinstance(obj, bytearray):
+        return bytes(obj)
+    if isinstance(obj, list):
+        return [_norm(x) for x in obj]
+    if isinstance(obj, tuple):
+        return tuple(_norm(x) for x in obj)
+    return obj
+
+
+class TestRoundtrip:
+    @given(value)
+    def test_roundtrip(self, obj):
+        buf = encode_kv(obj)
+        decoded, end = decode_kv(buf)
+        assert end == len(buf)
+        assert decoded == _norm(obj)
+
+    @given(scalar, scalar)
+    def test_record_roundtrip(self, k, v):
+        buf = encode_record(k, v)
+        key, val, end = decode_record(buf)
+        assert (key, val) == (_norm(k), _norm(v))
+        assert end == len(buf)
+
+    def test_pickle_fallback(self):
+        obj = {"a": 1, "b": [2, 3]}
+        decoded, _ = decode_kv(encode_kv(obj))
+        assert decoded == obj
+
+    def test_big_int(self):
+        n = 2**200 + 17
+        assert decode_kv(encode_kv(n))[0] == n
+        assert decode_kv(encode_kv(-n))[0] == -n
+
+
+class TestSizes:
+    @given(value)
+    def test_size_matches_encoding(self, obj):
+        assert encoded_kv_size(obj) == len(encode_kv(obj))
+
+    @given(scalar, scalar)
+    def test_serialized_size_is_record_size(self, k, v):
+        assert serialized_size(k, v) == len(encode_record(k, v))
+
+    def test_header_overhead_is_five_bytes(self):
+        assert encoded_kv_size(b"") == 5
+        assert encoded_kv_size(b"xy") == 7
+
+
+class TestStreams:
+    @given(st.lists(st.tuples(scalar, scalar), max_size=16))
+    def test_iter_records(self, records):
+        buf = b"".join(encode_record(k, v) for k, v in records)
+        got = list(iter_records(buf))
+        assert got == [(_norm(k), _norm(v)) for k, v in records]
+
+    def test_truncated_header(self):
+        buf = encode_kv("hello")
+        with pytest.raises(ValueError, match="truncated"):
+            decode_kv(buf[:3])
+
+    def test_truncated_payload(self):
+        buf = encode_kv("hello world")
+        with pytest.raises(ValueError, match="truncated"):
+            decode_kv(buf[:-2])
+
+    def test_unknown_tag(self):
+        with pytest.raises(ValueError, match="unknown tag"):
+            decode_kv(b"\xee\x00\x00\x00\x00")

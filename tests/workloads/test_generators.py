@@ -1,0 +1,137 @@
+"""Workload generator tests: determinism, distributions, splitting."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    SortRecordGenerator,
+    ZipfTextGenerator,
+    generate_corpus,
+    generate_sort_records,
+    split_by_bytes,
+    split_evenly,
+)
+from repro.workloads.textgen import _synth_word
+
+
+class TestSynthWords:
+    def test_distinct(self):
+        words = [_synth_word(i) for i in range(5000)]
+        assert len(set(words)) == 5000
+
+    def test_nonempty_lowercase(self):
+        for i in (0, 1, 100, 99999):
+            w = _synth_word(i)
+            assert w and w.islower() and w.isalpha()
+
+
+class TestZipfText:
+    def test_deterministic(self):
+        a = ZipfTextGenerator(seed=3).lines(10)
+        b = ZipfTextGenerator(seed=3).lines(10)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert ZipfTextGenerator(seed=1).lines(5) != ZipfTextGenerator(seed=2).lines(5)
+
+    def test_line_shape(self):
+        gen = ZipfTextGenerator(words_per_line=7, seed=0)
+        for line in gen.lines(20):
+            assert len(line.split()) == 7
+
+    def test_words_from_vocabulary(self):
+        gen = ZipfTextGenerator(vocab_size=50, seed=0)
+        vocab = set(gen.vocabulary)
+        for line in gen.lines(30):
+            assert set(line.split()) <= vocab
+
+    def test_zipf_skew(self):
+        """The most frequent word must dominate a uniform share."""
+        gen = ZipfTextGenerator(vocab_size=1000, seed=0)
+        counts = Counter(w for line in gen.lines(2000) for w in line.split())
+        top = counts.most_common(1)[0][1]
+        total = sum(counts.values())
+        assert top / total > 5 / 1000  # >> uniform 1/1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfTextGenerator(vocab_size=0)
+        with pytest.raises(ValueError):
+            ZipfTextGenerator(words_per_line=0)
+        with pytest.raises(ValueError):
+            ZipfTextGenerator(zipf_s=0)
+        with pytest.raises(ValueError):
+            ZipfTextGenerator().lines(-1)
+
+    def test_corpus_size_close_to_request(self):
+        corpus = generate_corpus(20_000, seed=1)
+        size = sum(len(line) + 1 for line in corpus)
+        assert 0.5 * 20_000 <= size <= 1.5 * 20_000
+
+    def test_corpus_minimum_one_line(self):
+        assert len(generate_corpus(1)) == 1
+
+
+class TestSortRecords:
+    def test_record_layout(self):
+        for k, v in generate_sort_records(10):
+            assert len(k) == 10 and len(v) == 90
+
+    def test_deterministic(self):
+        assert generate_sort_records(5, seed=9) == generate_sort_records(5, seed=9)
+
+    def test_keys_mostly_unique(self):
+        keys = [k for k, _ in generate_sort_records(1000)]
+        assert len(set(keys)) > 990
+
+    def test_records_for_bytes_rounds_up(self):
+        gen = SortRecordGenerator(seed=0)
+        recs = list(gen.records_for_bytes(250))
+        assert len(recs) == 3  # 100-byte records
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SortRecordGenerator(key_bytes=0)
+        with pytest.raises(ValueError):
+            list(SortRecordGenerator().records(-1))
+        with pytest.raises(ValueError):
+            list(SortRecordGenerator().records_for_bytes(-1))
+
+
+class TestSplits:
+    @given(st.lists(st.integers(), max_size=50), st.integers(1, 8))
+    def test_split_evenly_conserves(self, records, n):
+        splits = split_evenly(records, n)
+        assert len(splits) == n
+        merged = []
+        idx = [0] * n
+        for i in range(len(records)):
+            merged.append(splits[i % n][idx[i % n]])
+            idx[i % n] += 1
+        assert merged == records
+
+    def test_split_evenly_validation(self):
+        with pytest.raises(ValueError):
+            split_evenly([1], 0)
+
+    def test_split_by_bytes_respects_budget(self):
+        recs = ["x" * 10] * 10
+        splits = split_by_bytes(recs, 25)
+        assert all(sum(len(r) for r in s) <= 25 for s in splits)
+        assert [r for s in splits for r in s] == recs
+
+    def test_split_by_bytes_oversized_record(self):
+        splits = split_by_bytes(["tiny", "x" * 100, "small"], 20)
+        assert ["x" * 100] in splits
+
+    def test_split_by_bytes_validation(self):
+        with pytest.raises(ValueError):
+            split_by_bytes([], 0)
+
+    def test_split_by_bytes_custom_sizer(self):
+        recs = [(b"k", b"v" * 50), (b"k2", b"v" * 50)]
+        splits = split_by_bytes(recs, 60, size_of=lambda r: len(r[0]) + len(r[1]))
+        assert len(splits) == 2
