@@ -18,6 +18,7 @@ COMMANDS = [
     ("repro.experiments.scalability", "scalability sweep (future work 3)"),
     ("repro.experiments.interconnect_whatif", "IB/SSD what-if (future work 4)"),
     ("repro.experiments.robustness", "seed-robustness of the headline results"),
+    ("repro.experiments.fault_tolerance", "node churn: Hadoop recovery vs MPI-D rerun"),
     ("repro.experiments.export", "write per-figure CSVs (--out results/)"),
     ("repro.experiments.all", "everything above, back to back"),
 ]

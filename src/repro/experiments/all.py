@@ -16,6 +16,7 @@ from repro.experiments import (
     ablation_compression,
     ablation_partition,
     ablation_scheduling,
+    fault_tolerance,
     fig1_shuffle,
     fig2_latency,
     fig3_bandwidth,
@@ -63,6 +64,12 @@ def main(argv: list[str] | None = None) -> int:
         )
         sections.append(ablation_scheduling.format_report(ablation_scheduling.run()))
         sections.append(stragglers.format_report(stragglers.run()))
+        ft_gb = 10 if args.full else 4
+        sections.append(
+            fault_tolerance.format_report(
+                fault_tolerance.run(input_gb=ft_gb, seeds=(2011, 2012))
+            )
+        )
         sections.append(scalability.format_report(scalability.run()))
         sections.append(gridmix.format_report(gridmix.run()))
         sections.append(

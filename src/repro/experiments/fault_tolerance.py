@@ -1,0 +1,323 @@
+"""Fault tolerance: where does Hadoop's recovery beat MPI-D's rerun?
+
+The paper's Section V names fault tolerance as the open problem of the
+MPI-D approach: Hadoop re-executes the tasks of a lost node and keeps
+going, while an MPI job aborts wholesale when any rank dies and must be
+resubmitted.  This experiment quantifies that trade on the Figure-6
+WordCount comparison: both systems face the *identical* seed-derived
+Poisson node-crash timeline (crash, down ``restart_after`` seconds,
+rejoin), swept over per-node failure rates.
+
+At low rates MPI-D keeps its clean-run advantage — a rerun of a short
+job is cheap.  As the rate climbs, the chance that a 7-worker MPI job
+sees no crash for a full makespan decays exponentially and reruns pile
+up, while Hadoop pays for each crash only the heartbeat-expiry detection
+plus the lost attempts.  The report finds the **crossover failure
+rate** where the Hadoop line dips below the MPI-D line.
+
+Calibration note: Hadoop 0.20.2's default tasktracker expiry (600 s) is
+longer than these whole jobs; like any sane operator of short jobs we
+lower it (default 60 s) so detection isn't the entire story, and say so
+in the report.
+
+Run: ``python -m repro.experiments.fault_tolerance [--gb N] [--seeds a,b]
+[--rates r1,r2,...] [--checkpoint SECS] [--full]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.experiments.reporting import Table, banner
+from repro.hadoop import (
+    HadoopConfig,
+    JobFailedError,
+    JobSpec,
+    WORDCOUNT_PROFILE,
+    run_hadoop_job,
+)
+from repro.mrmpi import MrMpiConfig, run_mpid_job, run_mpid_job_under_faults
+from repro.simnet.cluster import ClusterSpec
+from repro.simnet.faults import CrashRate, FaultPlan
+from repro.util.units import GiB
+
+#: Per-node crash rates, in crashes per node-hour.
+DEFAULT_RATES = (2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0)
+FULL_RATES = (1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0)
+DEFAULT_SEEDS = (2011, 2012, 2013)
+
+
+@dataclass
+class FaultToleranceResult:
+    """Mean elapsed per failure rate for both systems, plus recovery cost."""
+
+    input_gb: int
+    rates_per_hour: tuple[float, ...]
+    seeds: tuple[int, ...]
+    expiry_interval: float
+    restart_after: float
+    checkpoint_interval: Optional[float]
+    hadoop_clean: float = 0.0
+    mpid_clean: float = 0.0
+    hadoop: dict[float, float] = field(default_factory=dict)
+    mpid: dict[float, float] = field(default_factory=dict)
+    #: How many of the seeds' Hadoop runs died outright (out of attempts /
+    #: master lost) at each rate; a rate where all died reports inf above.
+    hadoop_dnf: dict[float, int] = field(default_factory=dict)
+    mpid_dnf: dict[float, int] = field(default_factory=dict)
+    hadoop_faults: dict[float, dict] = field(default_factory=dict)
+    mpid_restarts: dict[float, float] = field(default_factory=dict)
+
+    def crossover_rate(self) -> Optional[float]:
+        """Lowest rate where Hadoop's mean time beats MPI-D's, linearly
+        interpolated between the bracketing sweep points; None if the
+        lines never cross in the swept range."""
+        prev_rate: Optional[float] = None
+        prev_diff: Optional[float] = None
+        for rate in self.rates_per_hour:
+            h, m = self.hadoop[rate], self.mpid[rate]
+            if math.isinf(h):
+                prev_rate, prev_diff = None, None  # Hadoop DNF: no win here
+                continue
+            diff = m - h  # positive once Hadoop is faster
+            if diff > 0:
+                if prev_diff is None or prev_rate is None:
+                    return rate
+                if math.isinf(diff):
+                    return rate
+                span = diff - prev_diff
+                frac = -prev_diff / span if span > 0 else 0.0
+                return prev_rate + (rate - prev_rate) * frac
+            prev_rate, prev_diff = rate, diff
+        return None
+
+
+def _spec(gb: int) -> JobSpec:
+    return JobSpec(
+        name=f"wordcount-{gb}g",
+        input_bytes=gb * GiB,
+        profile=WORDCOUNT_PROFILE,
+        num_reduce_tasks=1,
+    )
+
+
+def run(
+    input_gb: int = 10,
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+    rates_per_hour: tuple[float, ...] = DEFAULT_RATES,
+    restart_after: float = 30.0,
+    expiry_interval: float = 60.0,
+    checkpoint_interval: Optional[float] = None,
+) -> FaultToleranceResult:
+    cluster_spec = ClusterSpec()
+    workers = tuple(range(1, cluster_spec.num_nodes))
+    hadoop_cfg = HadoopConfig(
+        map_slots=7, reduce_slots=7, tasktracker_expiry_interval=expiry_interval
+    )
+    mpid_cfg = MrMpiConfig(
+        num_mappers=49,
+        num_reducers=1,
+        checkpoint_interval=checkpoint_interval,
+    )
+    spec = _spec(input_gb)
+    result = FaultToleranceResult(
+        input_gb=input_gb,
+        rates_per_hour=tuple(rates_per_hour),
+        seeds=tuple(seeds),
+        expiry_interval=expiry_interval,
+        restart_after=restart_after,
+        checkpoint_interval=checkpoint_interval,
+    )
+    result.hadoop_clean = float(
+        np.mean([run_hadoop_job(spec, config=hadoop_cfg, seed=s).elapsed for s in seeds])
+    )
+    # MPI-D has no placement randomness: one clean run, reused everywhere.
+    result.mpid_clean = run_mpid_job(
+        spec, config=mpid_cfg, cluster_spec=cluster_spec
+    ).elapsed
+
+    for rate in result.rates_per_hour:
+        h_times, m_times, m_restarts = [], [], []
+        h_dnf = m_dnf = 0
+        fault_acc: dict[str, float] = {
+            "lost_trackers": 0.0,
+            "maps_reexecuted": 0.0,
+            "wasted_task_seconds": 0.0,
+        }
+        for seed in seeds:
+            plan = FaultPlan(
+                specs=(
+                    CrashRate(
+                        rate=rate / 3600.0,
+                        nodes=workers,
+                        restart_after=restart_after,
+                    ),
+                ),
+                seed=seed,
+            )
+            try:
+                hm = run_hadoop_job(
+                    spec, config=hadoop_cfg, seed=seed, fault_plan=plan
+                )
+                h_times.append(hm.elapsed)
+            except JobFailedError as err:
+                hm = err.metrics
+                h_times.append(float("inf"))
+                h_dnf += 1
+            for key in fault_acc:
+                fault_acc[key] += getattr(hm, key)
+            mm = run_mpid_job_under_faults(
+                spec,
+                plan,
+                config=mpid_cfg,
+                cluster_spec=cluster_spec,
+                nodes=workers,
+                clean_elapsed=result.mpid_clean,
+            )
+            m_times.append(mm.elapsed)
+            m_restarts.append(mm.restarts)
+            if not mm.completed:
+                m_dnf += 1
+        result.hadoop[rate] = float(np.mean(h_times))
+        result.mpid[rate] = float(np.mean(m_times))
+        result.hadoop_dnf[rate] = h_dnf
+        result.mpid_dnf[rate] = m_dnf
+        result.hadoop_faults[rate] = {
+            k: v / len(seeds) for k, v in fault_acc.items()
+        }
+        result.mpid_restarts[rate] = float(np.mean(m_restarts))
+    return result
+
+
+def _fmt_time(seconds: float, dnf: int, total: int) -> str:
+    if math.isinf(seconds):
+        return f"DNF ({dnf}/{total})"
+    if dnf:
+        return f"{seconds:.1f}*"
+    return f"{seconds:.1f}"
+
+
+def format_report(result: FaultToleranceResult) -> str:
+    n = len(result.seeds)
+    table = Table(
+        headers=(
+            "crashes/node-hr",
+            "Hadoop (s)",
+            "MPI-D (s)",
+            "lost trackers",
+            "maps re-run",
+            "wasted task-s",
+            "MPI-D restarts",
+        ),
+        title=(
+            f"WordCount {result.input_gb} GB under Poisson node churn "
+            f"(mean of {n} seeds; down {result.restart_after:.0f}s per crash)"
+        ),
+    )
+    table.add_row(
+        "0 (clean)", f"{result.hadoop_clean:.1f}", f"{result.mpid_clean:.1f}",
+        0.0, 0.0, 0.0, 0.0,
+    )
+    for rate in result.rates_per_hour:
+        f = result.hadoop_faults[rate]
+        table.add_row(
+            f"{rate:g}",
+            _fmt_time(result.hadoop[rate], result.hadoop_dnf[rate], n),
+            _fmt_time(result.mpid[rate], result.mpid_dnf[rate], n),
+            f["lost_trackers"],
+            f["maps_reexecuted"],
+            f["wasted_task_seconds"],
+            result.mpid_restarts[rate],
+        )
+    notes = [
+        f"tasktracker expiry lowered to {result.expiry_interval:.0f}s "
+        f"(0.20.2 default 600s dwarfs these short jobs); "
+        f"both systems replay the identical per-seed crash timeline",
+    ]
+    if result.checkpoint_interval is not None:
+        notes.append(
+            f"MPI-D checkpointing every {result.checkpoint_interval:.0f}s of progress"
+        )
+    cross = result.crossover_rate()
+    if cross is not None:
+        headline = (
+            f"crossover ≈ {cross:.1f} crashes/node-hour: below it MPI-D's "
+            f"clean-run speed wins despite whole-job reruns; above it "
+            f"Hadoop's task-level recovery wins — the Section-V trade, "
+            f"quantified"
+        )
+    else:
+        headline = (
+            "no crossover in the swept range: MPI-D's rerun cost never "
+            "exceeded Hadoop's recovery cost here (sweep higher rates or "
+            "larger inputs)"
+        )
+    return "\n\n".join(
+        [
+            banner("Fault tolerance: recovery (Hadoop) vs rerun (MPI-D)"),
+            table.render(),
+            "; ".join(notes),
+            headline,
+        ]
+    )
+
+
+def _parse_floats(text: str) -> tuple[float, ...]:
+    return tuple(float(tok) for tok in text.split(",") if tok.strip())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gb", type=int, default=10, help="WordCount input size")
+    parser.add_argument(
+        "--seeds",
+        type=str,
+        default=None,
+        help="comma-separated fault/placement seeds (default 2011,2012,2013)",
+    )
+    parser.add_argument(
+        "--rates",
+        type=str,
+        default=None,
+        help="comma-separated crash rates per node-hour",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=float,
+        default=None,
+        help="enable MPI-D checkpointing with this progress interval (s)",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="wider rate sweep (slower)"
+    )
+    args = parser.parse_args(argv)
+    seeds = (
+        tuple(int(t) for t in args.seeds.split(",") if t.strip())
+        if args.seeds
+        else DEFAULT_SEEDS
+    )
+    rates = (
+        _parse_floats(args.rates)
+        if args.rates
+        else (FULL_RATES if args.full else DEFAULT_RATES)
+    )
+    print(
+        format_report(
+            run(
+                input_gb=args.gb,
+                seeds=seeds,
+                rates_per_hour=rates,
+                checkpoint_interval=args.checkpoint,
+            )
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -78,8 +78,18 @@ def format_report(result: RobustnessResult) -> str:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--gb", type=int, default=2)
+    parser.add_argument(
+        "--seeds",
+        type=str,
+        default=None,
+        help="comma-separated placement seeds (default 1,2,3,4,5)",
+    )
     args = parser.parse_args(argv)
-    print(format_report(run(input_gb=args.gb)))
+    if args.seeds:
+        seeds = tuple(int(tok) for tok in args.seeds.split(",") if tok.strip())
+        print(format_report(run(seeds=seeds, input_gb=args.gb)))
+    else:
+        print(format_report(run(input_gb=args.gb)))
     return 0
 
 

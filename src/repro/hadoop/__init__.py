@@ -24,7 +24,7 @@ from repro.hadoop.config import HadoopConfig
 from repro.hadoop.hdfs import HdfsNamespace, HdfsFile, Block
 from repro.hadoop.job import JobSpec, WorkloadProfile, JAVASORT_PROFILE, WORDCOUNT_PROFILE
 from repro.hadoop.metrics import JobMetrics, MapTaskMetrics, ReduceTaskMetrics
-from repro.hadoop.simulation import HadoopSimulation, run_hadoop_job
+from repro.hadoop.simulation import HadoopSimulation, JobFailedError, run_hadoop_job
 
 __all__ = [
     "HadoopConfig",
@@ -39,5 +39,6 @@ __all__ = [
     "MapTaskMetrics",
     "ReduceTaskMetrics",
     "HadoopSimulation",
+    "JobFailedError",
     "run_hadoop_job",
 ]

@@ -51,6 +51,14 @@ class HadoopConfig:
     #: multiple of the average completed-map duration.
     speculative_slowness: float = 1.5
 
+    # -- fault tolerance -----------------------------------------------------
+    #: ``mapred.tasktracker.expiry.interval``: a TaskTracker that has not
+    #: heartbeated for this long is declared lost (0.20.2 default: 10 min).
+    tasktracker_expiry_interval: float = 600.0
+    #: ``mapred.map.max.attempts`` / ``mapred.reduce.max.attempts``: a task
+    #: whose attempts all fail this many times fails the whole job.
+    max_attempts: int = 4
+
     # -- misc --------------------------------------------------------------------
     job_setup_time: float = 5.0  # job client + setup/cleanup tasks
     rpc_status_bytes: int = 512  # serialized heartbeat payload
@@ -74,6 +82,12 @@ class HadoopConfig:
             raise ValueError(
                 f"speculative slowness must exceed 1.0: {self.speculative_slowness}"
             )
+        if self.tasktracker_expiry_interval <= 0:
+            raise ValueError(
+                f"expiry interval must be positive: {self.tasktracker_expiry_interval}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(f"max attempts must be >= 1: {self.max_attempts}")
 
     def with_slots(self, map_slots: int, reduce_slots: int) -> "HadoopConfig":
         """The Table-I sweep helper: same config, different slot counts."""

@@ -38,6 +38,7 @@ class MapTaskInfo:
     metrics: Optional[MapTaskMetrics] = None  # winning attempt's metrics
     attempts: int = 0
     first_started: Optional[float] = None
+    failed_attempts: int = 0
 
     @property
     def preferred_nodes(self) -> tuple[int, ...]:
@@ -66,6 +67,8 @@ class ReduceTaskInfo:
     state: str = _PENDING
     node: Optional[int] = None
     metrics: Optional[ReduceTaskMetrics] = None
+    attempts: int = 0
+    failed_attempts: int = 0
 
 
 @dataclass
@@ -117,8 +120,26 @@ class JobTracker:
         self.speculative_wins = 0
         self._completed_durations: list[float] = []
         #: Announcement log, append-only; reducers poll with a cursor so a
-        #: poll costs O(new events), like TaskCompletionEvents paging.
+        #: poll costs O(new events), like TaskCompletionEvents paging.  A
+        #: re-executed map is appended *again* on its second completion;
+        #: reducers dedupe by map id.
         self._announced_order: list[MapTaskInfo] = []
+        # -- fault-tolerance state -------------------------------------------
+        self.last_heartbeat: dict[int, float] = {}
+        self.blacklisted: set[int] = set()
+        self.job_failed = False
+        self.failure_reason: Optional[str] = None
+        self._requeued_reduces: list[ReduceTaskInfo] = []
+        # node -> attempts/reduces currently executing there, so a lost
+        # tracker can be unwound attempt-by-attempt.
+        self._running_attempts: dict[int, list[MapAttempt]] = {}
+        self._running_reduce_map: dict[int, list[ReduceTaskInfo]] = {}
+        self.lost_trackers = 0
+        self.failed_map_attempts = 0
+        self.failed_reduce_attempts = 0
+        self.maps_reexecuted = 0
+        self.fetch_failures = 0
+        self.wasted_task_seconds = 0.0
 
     # -- queries --------------------------------------------------------------
     @property
@@ -157,13 +178,17 @@ class JobTracker:
         """
         weight = self.partition_weights[partition]
         log = self._announced_order
+        # An invalidated map (its node died with the output) leaves its
+        # stale log entry behind with ``node`` reset to None; skip those —
+        # the re-execution appends a fresh entry on re-completion.
         refs = [
             MapOutputRef(
                 map_id=task.task_id,
-                node=task.node,  # type: ignore[arg-type]
+                node=task.node,
                 partition_bytes=task.output_bytes * weight,
             )
             for task in log[cursor:]
+            if task.node is not None
         ]
         return refs, len(log)
 
@@ -177,6 +202,9 @@ class JobTracker:
         now: float,
     ) -> tuple[list[MapAttempt], list[ReduceTaskInfo]]:
         """One tracker's heartbeat: report completions, receive work."""
+        if node in self.blacklisted:
+            return [], []
+        self.last_heartbeat[node] = now
         for mid in completed_map_ids:
             task = self.maps[mid]
             if not task.announced:
@@ -197,7 +225,9 @@ class JobTracker:
             metrics = MapTaskMetrics(task_id=task.task_id, node=node, scheduled_at=now)
             metrics.data_local = node in task.preferred_nodes
             task.metrics = metrics
-            assigned_maps.append(MapAttempt(task=task, node=node, metrics=metrics))
+            attempt = MapAttempt(task=task, node=node, metrics=metrics)
+            self._running_attempts.setdefault(node, []).append(attempt)
+            assigned_maps.append(attempt)
             budget -= 1
 
         if (
@@ -207,6 +237,7 @@ class JobTracker:
         ):
             attempt = self._speculate(node, now)
             if attempt is not None:
+                self._running_attempts.setdefault(node, []).append(attempt)
                 assigned_maps.append(attempt)
 
         assigned_reduces: list[ReduceTaskInfo] = []
@@ -214,14 +245,21 @@ class JobTracker:
             budget = min(
                 self.config.reduces_per_heartbeat, max(0, free_reduce_slots)
             )
-            while budget > 0 and self._next_reduce < self.num_reduces:
-                task = self.reduces[self._next_reduce]
-                self._next_reduce += 1
+            while budget > 0:
+                if self._requeued_reduces:
+                    task = self._requeued_reduces.pop(0)
+                elif self._next_reduce < self.num_reduces:
+                    task = self.reduces[self._next_reduce]
+                    self._next_reduce += 1
+                else:
+                    break
                 task.state = _RUNNING
                 task.node = node
+                task.attempts += 1
                 task.metrics = ReduceTaskMetrics(
                     task_id=task.task_id, node=node, scheduled_at=now
                 )
+                self._running_reduce_map.setdefault(node, []).append(task)
                 assigned_reduces.append(task)
                 budget -= 1
 
@@ -280,6 +318,7 @@ class JobTracker:
         slightly pessimistic slot usage).
         """
         task = attempt.task
+        self._drop_running_attempt(attempt)
         if task.state == _DONE:
             return False
         if task.state != _RUNNING:
@@ -300,5 +339,156 @@ class JobTracker:
             raise RuntimeError(
                 f"reduce {task.task_id} finished in state {task.state}"
             )
+        if task.node is not None:
+            running = self._running_reduce_map.get(task.node)
+            if running and task in running:
+                running.remove(task)
         task.state = _DONE
         self.reduces_completed += 1
+
+    # -- failure handling & recovery ------------------------------------------
+    def fail_job(self, reason: str) -> None:
+        """Mark the whole job failed; trackers drain at their next beat."""
+        if not self.job_failed:
+            self.job_failed = True
+            self.failure_reason = reason
+
+    def tracker_registered(self, node: int, now: float) -> None:
+        """A TaskTracker (re)connected — the start of its heartbeat stream.
+
+        A tracker that re-registers while the JobTracker still holds
+        state for its previous incarnation (crash + restart inside the
+        expiry window) is handled like Hadoop's re-initialized tracker:
+        the old incarnation's running attempts and map outputs are gone,
+        so they are unwound first, then the node is taken off the
+        blacklist and may receive work again.
+        """
+        if node in self.blacklisted:
+            self.blacklisted.discard(node)
+        elif self._tracker_holds_state(node):
+            self.lost_tasktracker(node, now)
+            self.blacklisted.discard(node)
+        self.last_heartbeat[node] = now
+
+    def _tracker_holds_state(self, node: int) -> bool:
+        return bool(
+            self._running_attempts.get(node)
+            or self._running_reduce_map.get(node)
+            or any(t.state == _DONE and t.node == node for t in self.maps)
+        )
+
+    def find_expired(self, now: float, interval: float) -> list[int]:
+        """Nodes whose last heartbeat is older than ``interval``."""
+        return [
+            node
+            for node, beat in sorted(self.last_heartbeat.items())
+            if now - beat > interval and node not in self.blacklisted
+        ]
+
+    def lost_tasktracker(self, node: int, now: float) -> None:
+        """Heartbeat expiry: unwind everything the dead tracker held.
+
+        Mirrors ``JobTracker.lostTaskTracker``: running attempts on the
+        node fail (and reschedule unless a twin attempt survives
+        elsewhere), *completed* map outputs stored there are lost and the
+        maps re-execute (their output lived in mapred.local.dir, not
+        HDFS), and the node is blacklisted until it re-registers.
+        """
+        if node in self.blacklisted:
+            return
+        self.blacklisted.add(node)
+        self.lost_trackers += 1
+        self.last_heartbeat.pop(node, None)
+        for attempt in self._running_attempts.pop(node, []):
+            self._map_attempt_lost(attempt, now)
+        if not self.job_done:
+            for task in self.maps:
+                if task.state == _DONE and task.node == node:
+                    self._invalidate_map_output(task, now)
+        for rtask in self._running_reduce_map.pop(node, []):
+            self._reduce_attempt_lost(rtask, now)
+
+    def map_attempt_failed(self, attempt: MapAttempt, now: float) -> None:
+        """One attempt died on a live node (e.g. its input became
+        unreadable); the tracker reports it instead of a completion."""
+        self._drop_running_attempt(attempt)
+        self._map_attempt_lost(attempt, now)
+
+    def fetch_failed(
+        self, map_ids: list[int], src_node: int, now: float
+    ) -> None:
+        """A reducer could not pull map output from ``src_node``.
+
+        Real Hadoop re-executes the map after three reducers complain;
+        we re-execute on the first failure (the simulator has no
+        transient fetch errors — a failed fetch means the node is gone).
+        """
+        for mid in map_ids:
+            self.fetch_failures += 1
+            task = self.maps[mid]
+            if task.state == _DONE and task.node == src_node and not self.job_done:
+                self._invalidate_map_output(task, now)
+
+    # -- recovery internals ---------------------------------------------------
+    def _drop_running_attempt(self, attempt: MapAttempt) -> None:
+        running = self._running_attempts.get(attempt.node)
+        if running and attempt in running:
+            running.remove(attempt)
+
+    def _map_attempt_lost(self, attempt: MapAttempt, now: float) -> None:
+        task = attempt.task
+        self.failed_map_attempts += 1
+        task.failed_attempts += 1
+        self.wasted_task_seconds += max(0.0, now - attempt.metrics.scheduled_at)
+        if task.state != _RUNNING:
+            return  # already completed elsewhere, or already requeued
+        if any(
+            a.task is task
+            for atts in self._running_attempts.values()
+            for a in atts
+        ):
+            return  # a twin (speculative) attempt is still alive
+        if task.failed_attempts >= self.config.max_attempts:
+            self.fail_job(
+                f"map {task.task_id} failed {task.failed_attempts} attempts"
+            )
+            return
+        task.state = _PENDING
+        task.node = None
+        self._requeue_map(task)
+
+    def _reduce_attempt_lost(self, task: ReduceTaskInfo, now: float) -> None:
+        if task.state != _RUNNING:
+            return
+        self.failed_reduce_attempts += 1
+        task.failed_attempts += 1
+        if task.metrics is not None:
+            self.wasted_task_seconds += max(0.0, now - task.metrics.scheduled_at)
+        if task.failed_attempts >= self.config.max_attempts:
+            self.fail_job(
+                f"reduce {task.task_id} failed {task.failed_attempts} attempts"
+            )
+            return
+        task.state = _PENDING
+        task.node = None
+        self._requeued_reduces.append(task)
+
+    def _invalidate_map_output(self, task: MapTaskInfo, now: float) -> None:
+        """A completed map's output died with its node: run it again."""
+        task.state = _PENDING
+        task.node = None
+        task.output_bytes = 0.0
+        task.completed_at = None
+        self.maps_completed -= 1
+        if task.announced:
+            task.announced = False
+            self.maps_announced -= 1
+        self.maps_reexecuted += 1
+        if task.metrics is not None:
+            self.wasted_task_seconds += task.metrics.duration
+        self._requeue_map(task)
+
+    def _requeue_map(self, task: MapTaskInfo) -> None:
+        self._pending_maps.append(task)
+        for node in task.preferred_nodes:
+            self._local_index.setdefault(node, []).append(task)

@@ -9,17 +9,42 @@ merged with one extra read+write pass.
 All I/O goes through the node's processor-shared disk and the max-min
 shared network, so concurrent tasks and shuffle fetches contend exactly
 where they do on real hardware.
+
+Under fault injection two extra things can happen: the attempt's own
+node dies (the kernel throws :class:`Interrupt` into this process — it
+simply stops; the JobTracker recovers via heartbeat expiry), or the
+remote datanode holding the input block dies (the attempt waits for a
+live replica and gives up after the expiry interval, reporting a failed
+attempt).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.hadoop.jobtracker import MapAttempt
+from repro.simnet.kernel import Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hadoop.simulation import HadoopSimulation
     from repro.hadoop.tasktracker import TaskTracker
+
+
+def _await_live_replica(env: "HadoopSimulation", block) -> Optional[int]:
+    """Poll until some replica of ``block`` is on a live node.
+
+    Returns the replica's node id, or None when none came back within a
+    tasktracker-expiry interval (the attempt then fails).
+    """
+    sim = env.sim
+    deadline = sim.now + env.config.tasktracker_expiry_interval
+    while True:
+        for replica in block.replicas:
+            if not env.is_node_dead(replica):
+                return replica
+        if sim.now >= deadline:
+            return None
+        yield sim.timeout(env.config.completion_poll_interval)
 
 
 def map_task_process(
@@ -35,46 +60,65 @@ def map_task_process(
     metrics.input_bytes = task.block.size
     node = env.cluster.node(attempt.node)
 
-    yield sim.timeout(cfg.task_jvm_startup)
-
-    # --- input ----------------------------------------------------------
-    if task.block.is_local_to(attempt.node):
-        yield node.disk_read(task.block.size)
-    else:
-        # Remote read streams: source disk and the network pipeline in
-        # parallel; both must finish.
-        src = env.cluster.node(task.block.replicas[0])
-        nio = env.nio.wire_costs(task.block.size)
-        yield sim.all_of(
-            [
-                src.disk_read(task.block.size),
-                env.cluster.send(
-                    src.node_id,
-                    attempt.node,
-                    nio.wire_bytes,
-                    extra_latency=nio.setup_time,
-                    rate_cap=nio.rate_cap,
-                ),
-            ]
-        )
-
-    # --- user map + collect on one core -----------------------------------
-    cpu_time = task.block.size * profile.map_cpu_per_byte
-    yield node.cpus.acquire()
     try:
-        yield sim.timeout(cpu_time)
-    finally:
-        node.cpus.release()
+        yield sim.timeout(cfg.task_jvm_startup)
 
-    # --- sort & spill --------------------------------------------------------
-    output = profile.map_output_bytes(task.block.size)
-    metrics.output_bytes = int(output)
-    yield node.disk_write(output)
-    if output > cfg.io_sort_mb:
-        # Multiple spills: merge pass re-reads and re-writes everything.
-        yield node.disk_read(output, sequential=False)
+        # --- input ----------------------------------------------------------
+        if task.block.is_local_to(attempt.node):
+            yield node.disk_read(task.block.size)
+        else:
+            src_id = task.block.replicas[0]
+            if env.injector is not None:
+                src_id = yield from _await_live_replica(env, task.block)
+                if src_id is None:
+                    env.jobtracker.map_attempt_failed(attempt, sim.now)
+                    tracker.map_failed(attempt)
+                    return
+            # Remote read streams: source disk and the network pipeline in
+            # parallel; both must finish.
+            src = env.cluster.node(src_id)
+            epoch = env.node_epoch(src_id)
+            nio = env.nio.wire_costs(task.block.size)
+            yield sim.all_of(
+                [
+                    src.disk_read(task.block.size),
+                    env.cluster.send(
+                        src.node_id,
+                        attempt.node,
+                        nio.wire_bytes,
+                        extra_latency=nio.setup_time,
+                        rate_cap=nio.rate_cap,
+                    ),
+                ]
+            )
+            if env.injector is not None and (
+                env.is_node_dead(src_id) or env.node_epoch(src_id) != epoch
+            ):
+                # The datanode died mid-stream: the read is garbage.
+                env.jobtracker.map_attempt_failed(attempt, sim.now)
+                tracker.map_failed(attempt)
+                return
+
+        # --- user map + collect on one core -----------------------------------
+        cpu_time = task.block.size * profile.map_cpu_per_byte
+        core = node.cpus.acquire()
+        try:
+            yield core
+            yield sim.timeout(cpu_time)
+        finally:
+            node.cpus.cancel(core)
+
+        # --- sort & spill --------------------------------------------------------
+        output = profile.map_output_bytes(task.block.size)
+        metrics.output_bytes = int(output)
         yield node.disk_write(output)
+        if output > cfg.io_sort_mb:
+            # Multiple spills: merge pass re-reads and re-writes everything.
+            yield node.disk_read(output, sequential=False)
+            yield node.disk_write(output)
 
-    metrics.finished_at = sim.now
-    env.jobtracker.map_finished(attempt, output_bytes=output, now=sim.now)
-    tracker.map_completed(attempt)
+        metrics.finished_at = sim.now
+        env.jobtracker.map_finished(attempt, output_bytes=output, now=sim.now)
+        tracker.map_completed(attempt)
+    except Interrupt:
+        return  # this node crashed; recovery is the JobTracker's problem

@@ -77,6 +77,17 @@ class JobMetrics:
     reduce_tasks: list[ReduceTaskMetrics] = field(default_factory=list)
     speculative_attempts: int = 0
     speculative_wins: int = 0
+    # -- fault-tolerance accounting (all zero on a fault-free run) ------------
+    lost_trackers: int = 0
+    failed_map_attempts: int = 0
+    failed_reduce_attempts: int = 0
+    maps_reexecuted: int = 0
+    fetch_failures: int = 0
+    #: Simulated seconds of task work thrown away by failures (killed
+    #: attempts plus re-executed completed maps) — the "wasted work" axis.
+    wasted_task_seconds: float = 0.0
+    job_failed: bool = False
+    failure_reason: Optional[str] = None
 
     @property
     def elapsed(self) -> float:
@@ -127,7 +138,27 @@ class JobMetrics:
                 avg_sort=float(self.sort_times().mean()),
                 avg_reduce=float(self.reduce_times().mean()),
             )
+        if self.lost_trackers or self.failed_map_attempts or self.fetch_failures:
+            out.update(
+                lost_trackers=self.lost_trackers,
+                failed_map_attempts=self.failed_map_attempts,
+                maps_reexecuted=self.maps_reexecuted,
+                wasted_task_seconds=self.wasted_task_seconds,
+            )
         return out
+
+    def fault_summary(self) -> dict:
+        """The recovery-cost counters as one record."""
+        return {
+            "lost_trackers": self.lost_trackers,
+            "failed_map_attempts": self.failed_map_attempts,
+            "failed_reduce_attempts": self.failed_reduce_attempts,
+            "maps_reexecuted": self.maps_reexecuted,
+            "fetch_failures": self.fetch_failures,
+            "wasted_task_seconds": self.wasted_task_seconds,
+            "job_failed": self.job_failed,
+            "failure_reason": self.failure_reason,
+        }
 
     def data_locality(self) -> float:
         """Fraction of map tasks that read a local replica."""
@@ -142,6 +173,7 @@ class JobMetrics:
             "summary": self.summary(),
             "speculative_attempts": self.speculative_attempts,
             "speculative_wins": self.speculative_wins,
+            "faults": self.fault_summary(),
             "map_tasks": [
                 {
                     "task_id": m.task_id,

@@ -11,10 +11,17 @@ copy time *includes waiting for maps that haven't finished* — that is
 how Hadoop's counters measure it and why Figure 1's first-wave reducers
 dominate.
 
+Under fault injection a fetch can fail (the serving node died with the
+map output in its local dir): the reducer notifies the JobTracker, which
+re-executes the map; the re-completion is re-announced, and the reducer
+fetches the segment from the map's new home.  Already-fetched segments
+survive, exactly like real shuffle files on the reducer's side.
+
 The **sort stage** is the final merge: near-zero when segments fit the
 shuffle memory (the paper measures 0.0102 s on average), plus disk merge
 passes when they don't.  The **reduce stage** runs the user function and
-writes output through the HDFS replication pipeline.
+writes output through the HDFS replication pipeline (skipping datanodes
+that are currently dead).
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ import math
 from typing import TYPE_CHECKING
 
 from repro.hadoop.jobtracker import MapOutputRef, ReduceTaskInfo
+from repro.simnet.kernel import Interrupt
 from repro.simnet.resources import SlotPool
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -36,12 +44,24 @@ IN_MEMORY_MERGE_TIME = 0.01
 class _ShuffleState:
     """Mutable counters shared between a reducer and its fetch processes."""
 
-    __slots__ = ("shuffled_bytes", "fetches", "spilled_to_disk")
+    __slots__ = (
+        "shuffled_bytes",
+        "fetches",
+        "spilled_to_disk",
+        "initiated",
+        "completed_ids",
+        "inflight_ids",
+    )
 
     def __init__(self) -> None:
         self.shuffled_bytes = 0.0
         self.fetches = 0
         self.spilled_to_disk = False
+        #: Number of distinct map outputs fetched or in flight; a failed
+        #: fetch gives its share back so the poll loop resumes.
+        self.initiated = 0
+        self.completed_ids: set[int] = set()
+        self.inflight_ids: set[int] = set()
 
 
 def reduce_task_process(
@@ -53,80 +73,101 @@ def reduce_task_process(
     jt = env.jobtracker
     metrics = task.metrics
     assert metrics is not None
-    metrics.started_at = sim.now
-    node = env.cluster.node(task.node)
-
-    yield sim.timeout(cfg.task_jvm_startup)
-
-    # ---------------- copy stage ------------------------------------------
-    state = _ShuffleState()
-    copiers = SlotPool(sim, cfg.parallel_copies, name=f"copiers-r{task.task_id}")
-    cursor = 0
-    initiated = 0
-    inflight = []
-    total_maps = jt.total_maps
-    while initiated < total_maps:
-        refs, cursor = jt.poll_map_outputs(cursor, task.partition)
-        if refs:
-            by_node: dict[int, list[MapOutputRef]] = {}
-            for ref in refs:
-                by_node.setdefault(ref.node, []).append(ref)
-            for src, group in by_node.items():
-                proc = sim.process(
-                    _fetch_batch(env, task, copiers, src, group, state),
-                    name=f"fetch-r{task.task_id}-n{src}",
-                )
-                inflight.append(proc)
-                initiated += len(group)
-        if initiated < total_maps:
-            yield sim.timeout(cfg.completion_poll_interval)
-    if inflight:
-        yield sim.all_of(inflight)
-    metrics.copy_done_at = sim.now
-    metrics.shuffled_bytes = int(state.shuffled_bytes)
-    metrics.fetches = state.fetches
-
-    # ---------------- sort stage -------------------------------------------
-    yield sim.timeout(IN_MEMORY_MERGE_TIME)
-    if state.spilled_to_disk and total_maps > cfg.io_sort_factor:
-        passes = max(0, math.ceil(math.log(total_maps, cfg.io_sort_factor)) - 1)
-        for _ in range(passes):
-            yield node.disk_read(state.shuffled_bytes, sequential=False)
-            yield node.disk_write(state.shuffled_bytes)
-    metrics.sort_done_at = sim.now
-
-    # ---------------- reduce stage --------------------------------------------
-    if state.spilled_to_disk:
-        yield node.disk_read(state.shuffled_bytes)
-    cpu_time = state.shuffled_bytes * env.spec.profile.reduce_cpu_per_byte
-    yield node.cpus.acquire()
     try:
-        yield sim.timeout(cpu_time)
-    finally:
-        node.cpus.release()
+        metrics.started_at = sim.now
+        node = env.cluster.node(task.node)
 
-    output = env.spec.profile.reduce_output_bytes(state.shuffled_bytes)
-    waits = [node.disk_write(output)]
-    if output > 0:
-        targets = env.hdfs.pick_replication_targets(task.node)
-        for t in targets:
-            t_node = env.cluster.node(t)
-            nio = env.nio.wire_costs(int(output))
-            waits.append(
-                env.cluster.send(
-                    task.node,
-                    t_node.node_id,
-                    nio.wire_bytes,
-                    extra_latency=nio.setup_time,
-                    rate_cap=nio.rate_cap,
+        yield sim.timeout(cfg.task_jvm_startup)
+
+        # ---------------- copy stage ------------------------------------------
+        state = _ShuffleState()
+        copiers = SlotPool(sim, cfg.parallel_copies, name=f"copiers-r{task.task_id}")
+        cursor = 0
+        inflight = []
+        total_maps = jt.total_maps
+        while True:
+            while state.initiated < total_maps and not jt.job_failed:
+                refs, cursor = jt.poll_map_outputs(cursor, task.partition)
+                if env.injector is not None:
+                    # Re-announcements can repeat a map id; fetch each once.
+                    refs = [
+                        r
+                        for r in refs
+                        if r.map_id not in state.completed_ids
+                        and r.map_id not in state.inflight_ids
+                    ]
+                if refs:
+                    by_node: dict[int, list[MapOutputRef]] = {}
+                    for ref in refs:
+                        by_node.setdefault(ref.node, []).append(ref)
+                    for src, group in by_node.items():
+                        proc = env.spawn_on_node(
+                            task.node,
+                            _fetch_batch(env, task, copiers, src, group, state),
+                            name=f"fetch-r{task.task_id}-n{src}",
+                        )
+                        inflight.append(proc)
+                        state.initiated += len(group)
+                        state.inflight_ids.update(r.map_id for r in group)
+                if state.initiated < total_maps and not jt.job_failed:
+                    yield sim.timeout(cfg.completion_poll_interval)
+            if inflight:
+                procs, inflight = inflight, []
+                yield sim.all_of(procs)
+            if jt.job_failed:
+                return
+            if state.initiated >= total_maps:
+                break  # every fetch landed (failures decrement initiated)
+        metrics.copy_done_at = sim.now
+        metrics.shuffled_bytes = int(state.shuffled_bytes)
+        metrics.fetches = state.fetches
+
+        # ---------------- sort stage -------------------------------------------
+        yield sim.timeout(IN_MEMORY_MERGE_TIME)
+        if state.spilled_to_disk and total_maps > cfg.io_sort_factor:
+            passes = max(0, math.ceil(math.log(total_maps, cfg.io_sort_factor)) - 1)
+            for _ in range(passes):
+                yield node.disk_read(state.shuffled_bytes, sequential=False)
+                yield node.disk_write(state.shuffled_bytes)
+        metrics.sort_done_at = sim.now
+
+        # ---------------- reduce stage --------------------------------------------
+        if state.spilled_to_disk:
+            yield node.disk_read(state.shuffled_bytes)
+        cpu_time = state.shuffled_bytes * env.spec.profile.reduce_cpu_per_byte
+        core = node.cpus.acquire()
+        try:
+            yield core
+            yield sim.timeout(cpu_time)
+        finally:
+            node.cpus.cancel(core)
+
+        output = env.spec.profile.reduce_output_bytes(state.shuffled_bytes)
+        waits = [node.disk_write(output)]
+        if output > 0:
+            targets = env.hdfs.pick_replication_targets(task.node)
+            if env.injector is not None:
+                targets = [t for t in targets if not env.is_node_dead(t)]
+            for t in targets:
+                t_node = env.cluster.node(t)
+                nio = env.nio.wire_costs(int(output))
+                waits.append(
+                    env.cluster.send(
+                        task.node,
+                        t_node.node_id,
+                        nio.wire_bytes,
+                        extra_latency=nio.setup_time,
+                        rate_cap=nio.rate_cap,
+                    )
                 )
-            )
-            waits.append(t_node.disk_write(output))
-    yield sim.all_of(waits)
+                waits.append(t_node.disk_write(output))
+        yield sim.all_of(waits)
 
-    metrics.finished_at = sim.now
-    jt.reduce_finished(task)
-    tracker.reduce_completed(task)
+        metrics.finished_at = sim.now
+        jt.reduce_finished(task)
+        tracker.reduce_completed(task)
+    except Interrupt:
+        return  # this node crashed; the JobTracker reschedules the reduce
 
 
 def _fetch_batch(
@@ -142,11 +183,20 @@ def _fetch_batch(
     One HTTP request per segment (setup each), pipelined over one
     connection per host pair — the real scheduler's one-fetch-per-host
     rule makes per-host batching the faithful granularity.
+
+    A fetch from a node that is dead — or that dies and loses its local
+    dirs while the bytes stream — fails: the reducer's share is handed
+    back and the JobTracker is told so it can re-execute the maps.
     """
     sim = env.sim
     cfg = env.config
-    yield copiers.acquire()
+    slot = copiers.acquire()
     try:
+        yield slot
+        epoch = env.node_epoch(src_node) if env.injector is not None else 0
+        if env.injector is not None and env.is_node_dead(src_node):
+            _fetch_failed(env, group, src_node, state)
+            return
         total = sum(ref.partition_bytes for ref in group)
         setup = env.jetty.request_setup * len(group)
         headers = env.jetty.header_bytes * len(group)
@@ -164,11 +214,34 @@ def _fetch_batch(
             rate_cap=env.jetty.stream_peak,
         )
         yield sim.all_of([serve, wire])
+        if env.injector is not None and (
+            env.is_node_dead(src_node) or env.node_epoch(src_node) != epoch
+        ):
+            _fetch_failed(env, group, src_node, state)
+            return
         state.shuffled_bytes += total
         state.fetches += len(group)
+        state.completed_ids.update(r.map_id for r in group)
+        state.inflight_ids.difference_update(r.map_id for r in group)
         if state.shuffled_bytes > cfg.shuffle_memory_bytes:
             state.spilled_to_disk = True
         if state.spilled_to_disk and total > 0:
             yield env.cluster.node(task.node).disk_write(total)
+    except Interrupt:
+        return  # the reducer's own node died mid-fetch
     finally:
-        copiers.release()
+        copiers.cancel(slot)
+
+
+def _fetch_failed(
+    env: "HadoopSimulation",
+    group: list[MapOutputRef],
+    src_node: int,
+    state: _ShuffleState,
+) -> None:
+    """Give the failed segments back to the poll loop and tell the master."""
+    state.initiated -= len(group)
+    state.inflight_ids.difference_update(r.map_id for r in group)
+    env.jobtracker.fetch_failed(
+        [r.map_id for r in group], src_node, env.sim.now
+    )

@@ -6,6 +6,14 @@ nodes are workers (TaskTracker + DataNode), matching the paper's
 spread across all workers; the job then runs to completion under the
 DES, and :class:`~repro.hadoop.metrics.JobMetrics` comes back with the
 phase timings Figures 1/6 and Table I are built from.
+
+Fault injection: pass a :class:`~repro.simnet.faults.FaultPlan` and the
+driver becomes the plan's host — a crashed worker has every process it
+was running interrupted (tracker loop, task processes, in-flight
+fetches), the JobTracker notices via heartbeat expiry and recovers, and
+a restarted node rejoins with a fresh TaskTracker.  With no plan (or an
+empty one) none of the fault machinery is instantiated and the event
+sequence is bit-for-bit the fault-free one.
 """
 
 from __future__ import annotations
@@ -22,10 +30,24 @@ from repro.hadoop.metrics import JobMetrics
 from repro.hadoop.reducetask import reduce_task_process
 from repro.hadoop.tasktracker import TaskTracker
 from repro.simnet.cluster import Cluster, ClusterSpec
-from repro.simnet.kernel import Simulator
+from repro.simnet.faults import FaultInjector, FaultPlan
+from repro.simnet.kernel import Interrupt, Process, Simulator
 from repro.transports.hadoop_rpc import HadoopRpcTransport
 from repro.transports.jetty import JettyHttpTransport
 from repro.transports.nio import NioSocketTransport
+
+
+class JobFailedError(RuntimeError):
+    """The simulated job died (task out of attempts, master lost, ...).
+
+    Carries the partial :class:`JobMetrics` so experiments can still
+    account the wasted work of a run that never finished.
+    """
+
+    def __init__(self, reason: str, metrics: JobMetrics):
+        super().__init__(f"hadoop job failed: {reason}")
+        self.reason = reason
+        self.metrics = metrics
 
 
 @dataclass
@@ -38,6 +60,8 @@ class HadoopSimulation:
     seed: int = 2011
     #: Straggler injection: node id -> disk slowdown factor (>1 = slower).
     disk_slowdown: Optional[dict[int, float]] = None
+    #: Fault injection; None or an empty plan leaves the run untouched.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.cluster_spec.num_nodes < 2:
@@ -63,6 +87,23 @@ class HadoopSimulation:
             self.spec, self.config, self._file, num_workers=self.num_workers
         )
         self.metrics = JobMetrics(job_name=self.spec.name)
+        # -- fault-injection state (inert without a plan) --------------------
+        self.dead_nodes: set[int] = set()
+        self._epoch: dict[int, int] = {}
+        self._node_procs: dict[int, list[Process]] = {}
+        self._tracker_procs: list[Process] = []
+        self._topology_event = None
+        self.injector: Optional[FaultInjector] = None
+        if self.fault_plan:  # an empty plan is falsy: nothing to inject
+            self.injector = FaultInjector(
+                self.sim,
+                self.cluster,
+                self.fault_plan,
+                host=self,
+                default_nodes=tuple(
+                    self.worker_node_id(w) for w in range(self.num_workers)
+                ),
+            )
 
     # -- id mapping -----------------------------------------------------------
     def worker_node_id(self, worker_index: int) -> int:
@@ -79,38 +120,161 @@ class HadoopSimulation:
     def run_reduce_task(self, task: ReduceTaskInfo, tracker: TaskTracker):
         return reduce_task_process(self, task, tracker)
 
+    # -- fault-injection plumbing -------------------------------------------------
+    def is_node_dead(self, node_id: int) -> bool:
+        return node_id in self.dead_nodes
+
+    def node_epoch(self, node_id: int) -> int:
+        """Incarnation counter: bumped on every crash, so a transfer can
+        detect that its peer died *and came back* while the bytes flowed."""
+        return self._epoch.get(node_id, 0)
+
+    def spawn_on_node(self, node_id: int, gen, name: str = "") -> Process:
+        """``sim.process`` plus crash bookkeeping: under fault injection
+        the process is registered as running on ``node_id`` so a crash
+        can interrupt it (and deregistered once it finishes)."""
+        proc = self.sim.process(gen, name=name)
+        if self.injector is not None:
+            self._node_procs.setdefault(node_id, []).append(proc)
+            proc.callbacks.append(lambda ev: self._forget_proc(node_id, proc))
+        return proc
+
+    def _forget_proc(self, node_id: int, proc: Process) -> None:
+        bucket = self._node_procs.get(node_id)
+        if bucket is not None:
+            try:
+                bucket.remove(proc)
+            except ValueError:
+                pass
+
+    # -- FaultHost hooks ---------------------------------------------------------
+    def crash_node(self, node_id: int, now: float) -> None:
+        """A node dies: every process it hosts is interrupted.  Detection
+        is *not* instantaneous — the JobTracker learns via heartbeat
+        expiry, exactly like the real one."""
+        if node_id == 0:
+            # The JobTracker/NameNode is a single point of failure in
+            # Hadoop 0.20.2: losing the master kills the job outright.
+            self.jobtracker.fail_job("master node 0 lost (JobTracker is a SPOF)")
+            return
+        if node_id in self.dead_nodes:
+            return
+        self.dead_nodes.add(node_id)
+        self._epoch[node_id] = self._epoch.get(node_id, 0) + 1
+        for proc in self._node_procs.pop(node_id, []):
+            if proc.is_alive:
+                proc.interrupt(f"node {node_id} crashed")
+
+    def restart_node(self, node_id: int, now: float) -> None:
+        """The node rejoins with empty local state: a fresh TaskTracker
+        registers with the JobTracker (which unwinds anything it still
+        attributes to the previous incarnation)."""
+        self.dead_nodes.discard(node_id)
+        jt = self.jobtracker
+        if node_id == 0 or jt.job_done or jt.job_failed:
+            return
+        tracker = TaskTracker(self, self.node_worker_index(node_id))
+        proc = self.spawn_on_node(
+            node_id,
+            tracker.run(),
+            name=f"tracker{node_id}.{self.node_epoch(node_id)}",
+        )
+        self._tracker_procs.append(proc)
+        self._wake_topology()
+
+    def _wake_topology(self) -> None:
+        ev = self._topology_event
+        if ev is not None and not ev.triggered:
+            self._topology_event = None
+            ev.succeed(None)
+
+    def _expiry_loop(self):
+        """DES process: the JobTracker's lost-tracker sweep."""
+        sim = self.sim
+        jt = self.jobtracker
+        interval = self.config.tasktracker_expiry_interval
+        try:
+            while not (jt.job_done or jt.job_failed):
+                yield sim.timeout(interval / 3.0)
+                for node in jt.find_expired(sim.now, interval):
+                    jt.lost_tasktracker(node, sim.now)
+        except Interrupt:
+            return
+
     # -- driver ----------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> JobMetrics:
-        """Execute the job; returns the collected metrics."""
+        """Execute the job; returns the collected metrics.
+
+        Raises :class:`JobFailedError` when fault injection killed the
+        job (the exception carries the partial metrics)."""
         sim = self.sim
+        jt = self.jobtracker
 
         def job(sim_):
+            expiry_proc = None
+            if self.injector is not None:
+                self.injector.start()
+                expiry_proc = sim.process(self._expiry_loop(), name="expiry-sweep")
             yield sim.timeout(self.config.job_setup_time)
             self.metrics.submitted_at = 0.0
             trackers = [TaskTracker(self, w) for w in range(self.num_workers)]
-            procs = [
-                sim.process(t.run(), name=f"tracker{t.node_id}") for t in trackers
+            self._tracker_procs = [
+                self.spawn_on_node(t.node_id, t.run(), name=f"tracker{t.node_id}")
+                for t in trackers
+                if self.injector is None or t.node_id not in self.dead_nodes
             ]
-            yield sim.all_of(procs)
+            if self.injector is None:
+                yield sim.all_of(self._tracker_procs)
+                self.metrics.finished_at = sim.now
+                return
+            # Fault-aware wait: the set of live trackers changes as nodes
+            # crash and restart, so re-evaluate it whenever the topology
+            # event fires.  All trackers dead with none restarting within
+            # an expiry interval means nobody will ever beat again.
+            while not (jt.job_done or jt.job_failed):
+                ev = self._topology_event = sim.event()
+                live = [p for p in self._tracker_procs if p.is_alive]
+                if live:
+                    yield sim.any_of([sim.all_of(live), ev])
+                else:
+                    yield sim.any_of(
+                        [ev, sim.timeout(self.config.tasktracker_expiry_interval)]
+                    )
+                    if not ev.triggered and not (jt.job_done or jt.job_failed):
+                        jt.fail_job("all tasktrackers lost and none restarted")
             self.metrics.finished_at = sim.now
+            self.injector.stop()
+            if expiry_proc is not None and expiry_proc.is_alive:
+                expiry_proc.interrupt("job over")
 
         sim.process(job(sim), name="job")
         sim.run(until=until)
-        if not self.jobtracker.job_done:
+        self._finalize_metrics()
+        if jt.job_failed:
+            raise JobFailedError(jt.failure_reason or "unknown failure", self.metrics)
+        if not jt.job_done:
             raise RuntimeError(
                 f"job did not finish (simulated until {sim.now:.1f}s): "
-                f"{self.jobtracker.maps_completed}/{self.jobtracker.total_maps} maps, "
-                f"{self.jobtracker.reduces_completed}/{self.jobtracker.num_reduces} reduces"
+                f"{jt.maps_completed}/{jt.total_maps} maps, "
+                f"{jt.reduces_completed}/{jt.num_reduces} reduces"
             )
-        self.metrics.map_tasks = [
-            t.metrics for t in self.jobtracker.maps if t.metrics is not None
-        ]
-        self.metrics.reduce_tasks = [
-            t.metrics for t in self.jobtracker.reduces if t.metrics is not None
-        ]
-        self.metrics.speculative_attempts = self.jobtracker.speculative_attempts
-        self.metrics.speculative_wins = self.jobtracker.speculative_wins
         return self.metrics
+
+    def _finalize_metrics(self) -> None:
+        jt = self.jobtracker
+        m = self.metrics
+        m.map_tasks = [t.metrics for t in jt.maps if t.metrics is not None]
+        m.reduce_tasks = [t.metrics for t in jt.reduces if t.metrics is not None]
+        m.speculative_attempts = jt.speculative_attempts
+        m.speculative_wins = jt.speculative_wins
+        m.lost_trackers = jt.lost_trackers
+        m.failed_map_attempts = jt.failed_map_attempts
+        m.failed_reduce_attempts = jt.failed_reduce_attempts
+        m.maps_reexecuted = jt.maps_reexecuted
+        m.fetch_failures = jt.fetch_failures
+        m.wasted_task_seconds = jt.wasted_task_seconds
+        m.job_failed = jt.job_failed
+        m.failure_reason = jt.failure_reason
 
 
 def run_hadoop_job(
@@ -119,6 +283,7 @@ def run_hadoop_job(
     cluster_spec: Optional[ClusterSpec] = None,
     seed: int = 2011,
     disk_slowdown: Optional[dict[int, float]] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> JobMetrics:
     """Convenience: build the default (paper) cluster and run one job."""
     sim = HadoopSimulation(
@@ -127,5 +292,6 @@ def run_hadoop_job(
         cluster_spec=cluster_spec or ClusterSpec(),
         seed=seed,
         disk_slowdown=disk_slowdown,
+        fault_plan=fault_plan,
     )
     return sim.run()

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.hadoop.jobtracker import JobTracker, MapAttempt, ReduceTaskInfo
+from repro.simnet.kernel import Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hadoop.simulation import HadoopSimulation
@@ -44,42 +45,55 @@ class TaskTracker:
         self.running_maps -= 1
         self._completed_unreported.append(attempt.task_id)
 
+    def map_failed(self, attempt: MapAttempt) -> None:
+        """An attempt died on this (live) node; the slot frees, nothing
+        is reported — the JobTracker was told directly."""
+        self.running_maps -= 1
+
     def reduce_completed(self, task: ReduceTaskInfo) -> None:
         self.running_reduces -= 1
 
     # -- the heartbeat loop -------------------------------------------------------
     def run(self):
-        """DES process: beat until the job is done."""
+        """DES process: beat until the job is done (or this node dies)."""
         env = self.env
         sim = env.sim
         jt: JobTracker = env.jobtracker
+        jt.tracker_registered(self.node_id, sim.now)
         # Stagger first beats so 7 trackers don't align artificially.
         stagger = (self.worker_index / max(1, env.num_workers)) * (
             self.config.heartbeat_interval
         )
-        yield sim.timeout(stagger)
-        while not jt.job_done:
-            # The status RPC: request to the master and response back.
-            yield sim.timeout(env.rpc.latency(self.config.rpc_status_bytes))
-            completions = self._completed_unreported
-            self._completed_unreported = []
-            maps, reduces = jt.heartbeat(
-                node=self.node_id,
-                free_map_slots=self.free_map_slots,
-                free_reduce_slots=self.free_reduce_slots,
-                completed_map_ids=completions,
-                now=sim.now,
-            )
-            yield sim.timeout(env.rpc.latency(self.config.rpc_status_bytes))
-            for attempt in maps:
-                self.running_maps += 1
-                sim.process(
-                    env.run_map_task(attempt, self), name=f"map{attempt.task_id}"
+        try:
+            yield sim.timeout(stagger)
+            while not (jt.job_done or jt.job_failed):
+                # The status RPC: request to the master and response back.
+                yield sim.timeout(env.rpc.latency(self.config.rpc_status_bytes))
+                completions = self._completed_unreported
+                self._completed_unreported = []
+                maps, reduces = jt.heartbeat(
+                    node=self.node_id,
+                    free_map_slots=self.free_map_slots,
+                    free_reduce_slots=self.free_reduce_slots,
+                    completed_map_ids=completions,
+                    now=sim.now,
                 )
-            for task in reduces:
-                self.running_reduces += 1
-                sim.process(
-                    env.run_reduce_task(task, self), name=f"red{task.task_id}"
-                )
-            self.heartbeats_sent += 1
-            yield sim.timeout(self.config.heartbeat_interval)
+                yield sim.timeout(env.rpc.latency(self.config.rpc_status_bytes))
+                for attempt in maps:
+                    self.running_maps += 1
+                    env.spawn_on_node(
+                        self.node_id,
+                        env.run_map_task(attempt, self),
+                        name=f"map{attempt.task_id}",
+                    )
+                for task in reduces:
+                    self.running_reduces += 1
+                    env.spawn_on_node(
+                        self.node_id,
+                        env.run_reduce_task(task, self),
+                        name=f"red{task.task_id}",
+                    )
+                self.heartbeats_sent += 1
+                yield sim.timeout(self.config.heartbeat_interval)
+        except Interrupt:
+            return  # node crashed; the JobTracker learns via heartbeat expiry

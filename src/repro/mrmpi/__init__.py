@@ -11,6 +11,21 @@ against the simulated Hadoop of :mod:`repro.hadoop`.
 """
 
 from repro.mrmpi.config import MrMpiConfig
-from repro.mrmpi.simulator import MrMpiSimulation, MrMpiMetrics, run_mpid_job
+from repro.mrmpi.simulator import (
+    MrMpiFaultMetrics,
+    MrMpiMetrics,
+    MrMpiSimulation,
+    replay_restarts,
+    run_mpid_job,
+    run_mpid_job_under_faults,
+)
 
-__all__ = ["MrMpiConfig", "MrMpiSimulation", "MrMpiMetrics", "run_mpid_job"]
+__all__ = [
+    "MrMpiConfig",
+    "MrMpiSimulation",
+    "MrMpiMetrics",
+    "MrMpiFaultMetrics",
+    "replay_restarts",
+    "run_mpid_job",
+    "run_mpid_job_under_faults",
+]

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.util.units import KiB, MiB
 
@@ -48,6 +49,21 @@ class MrMpiConfig:
     #: (no HDFS replication pipeline).
     output_replication: int = 1
 
+    # -- failure semantics (Section V discussion) -----------------------------
+    #: MPI has no task-level recovery: any rank failure aborts the whole
+    #: job, which is then resubmitted.  ``restart_overhead`` is the
+    #: resubmission + relaunch cost paid before work resumes.
+    restart_overhead: float = 5.0
+    #: Optional coordinated checkpointing: every ``checkpoint_interval``
+    #: seconds of progress a snapshot costing ``checkpoint_cost`` seconds
+    #: is taken; a restart resumes from the last complete snapshot
+    #: instead of from scratch.  ``None`` disables checkpointing (the
+    #: prototype's actual behaviour).
+    checkpoint_interval: Optional[float] = None
+    checkpoint_cost: float = 2.0
+    #: Give up after this many restarts (the job is declared failed).
+    max_restarts: int = 100
+
     def __post_init__(self) -> None:
         if self.num_mappers < 1 or self.num_reducers < 1:
             raise ValueError(
@@ -68,3 +84,18 @@ class MrMpiConfig:
             raise ValueError(
                 f"compression ratio must be in (0, 1]: {self.compression_ratio}"
             )
+        if self.restart_overhead < 0:
+            raise ValueError(
+                f"restart overhead may not be negative: {self.restart_overhead}"
+            )
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ValueError(
+                f"checkpoint interval must be positive (or None): "
+                f"{self.checkpoint_interval}"
+            )
+        if self.checkpoint_cost < 0:
+            raise ValueError(
+                f"checkpoint cost may not be negative: {self.checkpoint_cost}"
+            )
+        if self.max_restarts < 0:
+            raise ValueError(f"max_restarts may not be negative: {self.max_restarts}")

@@ -293,3 +293,149 @@ def run_mpid_job(
         config=config or MrMpiConfig(),
         cluster_spec=cluster_spec or ClusterSpec(),
     ).run()
+
+
+# -- failure semantics --------------------------------------------------------
+#
+# MPI-D has no task-level fault tolerance: MPICH2 aborts the whole job
+# when any rank dies, and the only recovery is resubmission (optionally
+# from a coordinated checkpoint).  Because a clean rerun is *identical*
+# to the first attempt — same static splits, same schedule, no
+# heartbeat randomness — re-running the DES per attempt would reproduce
+# the same number every time.  We therefore run the DES once for the
+# clean makespan and replay the (deterministic, seed-derived) crash
+# timeline analytically over it.  This is the same timeline the Hadoop
+# injector plays out, so a comparison sees both systems hit by the
+# identical failure sequence.
+
+
+@dataclass
+class MrMpiFaultMetrics:
+    """Accounting of one MPI-D job run under a fault plan."""
+
+    job_name: str
+    #: Makespan of one undisturbed attempt (DES-measured).
+    clean_elapsed: float
+    #: Wall-clock until the job finally completed; ``inf`` if it never did.
+    elapsed: float = 0.0
+    restarts: int = 0
+    #: Progress seconds thrown away by aborts (work re-done on restart).
+    lost_work_seconds: float = 0.0
+    #: Extra seconds spent writing checkpoints (0 without checkpointing).
+    checkpoint_overhead_seconds: float = 0.0
+    completed: bool = True
+    checkpointed: bool = False
+
+    @property
+    def slowdown(self) -> float:
+        """Faulty / clean makespan ratio (inf when the job never finished)."""
+        return self.elapsed / self.clean_elapsed if self.clean_elapsed > 0 else 1.0
+
+    def summary(self) -> dict:
+        return {
+            "job": self.job_name,
+            "clean_elapsed": self.clean_elapsed,
+            "elapsed": self.elapsed,
+            "restarts": self.restarts,
+            "lost_work_seconds": self.lost_work_seconds,
+            "checkpoint_overhead_seconds": self.checkpoint_overhead_seconds,
+            "completed": self.completed,
+            "checkpointed": self.checkpointed,
+        }
+
+
+def replay_restarts(
+    job_name: str,
+    work: float,
+    crashes: list[float],
+    restart_overhead: float,
+    checkpoint_interval: Optional[float] = None,
+    checkpoint_cost: float = 0.0,
+    max_restarts: int = 100,
+) -> MrMpiFaultMetrics:
+    """Replay a crash timeline over a job needing ``work`` clean seconds.
+
+    Pure function of its inputs.  Without checkpointing every crash
+    restarts the job from zero progress; with it, execution pays
+    ``checkpoint_cost`` per ``checkpoint_interval`` of progress (an
+    overhead rate of ``1 + cost/interval``) and a crash resumes from the
+    last *complete* interval.  Crashes landing inside a restart window
+    hit a job that is not yet running and are absorbed by it.
+    """
+    if work < 0:
+        raise ValueError(f"work may not be negative: {work}")
+    out = MrMpiFaultMetrics(
+        job_name=job_name,
+        clean_elapsed=work,
+        checkpointed=checkpoint_interval is not None,
+    )
+    rate = 1.0
+    if checkpoint_interval is not None:
+        rate += checkpoint_cost / checkpoint_interval
+    t = 0.0  # wall clock
+    done = 0.0  # progress (clean-work seconds) safely banked
+    for c in sorted(crashes):
+        finish = t + (work - done) * rate
+        if c >= finish:
+            break  # the job beat this crash
+        if c < t:
+            continue  # during a restart window: nothing running to kill
+        progress = done + (c - t) / rate
+        if checkpoint_interval is not None:
+            keep = min(progress, (progress // checkpoint_interval) * checkpoint_interval)
+        else:
+            keep = 0.0
+        out.lost_work_seconds += progress - keep
+        done = keep
+        t = c + restart_overhead
+        out.restarts += 1
+        if out.restarts > max_restarts:
+            out.completed = False
+            out.elapsed = float("inf")
+            return out
+    out.elapsed = t + (work - done) * rate
+    # Every progress second executed (banked or later lost) paid the
+    # checkpoint tax of (rate - 1) wall seconds.
+    out.checkpoint_overhead_seconds = (rate - 1.0) * (work + out.lost_work_seconds)
+    return out
+
+
+def run_mpid_job_under_faults(
+    spec: JobSpec,
+    plan,
+    config: Optional[MrMpiConfig] = None,
+    cluster_spec: Optional[ClusterSpec] = None,
+    nodes: Optional[tuple[int, ...]] = None,
+    clean_elapsed: Optional[float] = None,
+) -> MrMpiFaultMetrics:
+    """One MPI-D job under a :class:`~repro.simnet.faults.FaultPlan`.
+
+    ``nodes`` is the set whose crashes hit the job (default: every node
+    in the cluster — any rank's host dying aborts an MPI job).  Pass a
+    cached ``clean_elapsed`` to skip re-running the DES when sweeping
+    many fault rates over the same job.
+    """
+    cfg = config or MrMpiConfig()
+    cspec = cluster_spec or ClusterSpec()
+    if nodes is None:
+        nodes = tuple(range(cspec.num_nodes))
+    if clean_elapsed is None:
+        clean_elapsed = run_mpid_job(spec, config=cfg, cluster_spec=cspec).elapsed
+    # Adaptive horizon: the crash timeline must cover the (unknown)
+    # faulty makespan.  Prefix consistency of ``crash_times`` makes
+    # doubling safe — earlier crashes never move.
+    horizon = max(4.0 * clean_elapsed, 600.0)
+    while True:
+        crashes = plan.crash_times(nodes, horizon)
+        result = replay_restarts(
+            spec.name,
+            clean_elapsed,
+            crashes,
+            restart_overhead=cfg.restart_overhead,
+            checkpoint_interval=cfg.checkpoint_interval,
+            checkpoint_cost=cfg.checkpoint_cost,
+            max_restarts=cfg.max_restarts,
+        )
+        if not result.completed or result.elapsed <= horizon:
+            return result
+        horizon *= 2.0

@@ -26,6 +26,15 @@ from repro.simnet.kernel import (
 from repro.simnet.resources import SlotPool, RateDevice, Store
 from repro.simnet.network import Link, Network, Flow
 from repro.simnet.cluster import Node, Cluster, ClusterSpec, paper_cluster
+from repro.simnet.faults import (
+    FaultPlan,
+    FaultInjector,
+    NodeCrash,
+    CrashRate,
+    DiskDegradation,
+    LinkDegradation,
+    Straggler,
+)
 
 __all__ = [
     "Simulator",
@@ -46,4 +55,11 @@ __all__ = [
     "Cluster",
     "ClusterSpec",
     "paper_cluster",
+    "FaultPlan",
+    "FaultInjector",
+    "NodeCrash",
+    "CrashRate",
+    "DiskDegradation",
+    "LinkDegradation",
+    "Straggler",
 ]

@@ -1,0 +1,325 @@
+"""Declarative, seed-deterministic fault injection for the simulators.
+
+A :class:`FaultPlan` is a frozen description of everything that goes
+wrong during a run — node crashes (one-shot at time *t*, or Poisson
+churn at rate λ per node), disk and link degradation, whole-node
+straggler slowdown.  The plan itself is pure data: the same plan and
+seed always produce the same fault timeline, so a faulty run is exactly
+as reproducible as a clean one.
+
+Two consumers exist:
+
+* :class:`FaultInjector` turns the plan into kernel processes on a
+  :class:`~repro.simnet.cluster.Cluster`.  Crash specs call back into a
+  *host* (``crash_node``/``restart_node``), which interrupts the victim
+  processes via the kernel's :class:`~repro.simnet.kernel.Interrupt`
+  machinery; degradation specs rescale the victim's disk and links in
+  place.
+* :meth:`FaultPlan.crash_times` materializes the same crash timeline as
+  a plain sorted list of times — the analytic form the MPI-D restart
+  model consumes, guaranteeing both systems in a comparison see the
+  *identical* failure sequence.
+
+Validation is eager (mirroring ``HadoopConfig.validate``): malformed
+specs raise at construction, topology mismatches (crash of a
+nonexistent node) raise from :meth:`FaultPlan.validate` before any
+simulated time passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Protocol, Union
+
+from repro.simnet.cluster import Cluster, Node
+from repro.simnet.kernel import Interrupt, Process, Simulator
+from repro.util.rng import make_rng
+
+
+# -- fault specifications ----------------------------------------------------
+@dataclass(frozen=True)
+class NodeCrash:
+    """Node ``node`` fails at time ``at``; optionally restarts later.
+
+    ``restart_after=None`` is a permanent loss; otherwise the node comes
+    back ``restart_after`` seconds after the crash with empty local
+    state (task processes are gone, disk contents survive — the Hadoop
+    DataNode model).
+    """
+
+    node: int
+    at: float
+    restart_after: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"crash of negative node id: {self.node}")
+        if self.at < 0:
+            raise ValueError(f"crash time may not be negative: {self.at}")
+        if self.restart_after is not None and self.restart_after <= 0:
+            raise ValueError(
+                f"restart_after must be positive (or None): {self.restart_after}"
+            )
+
+
+@dataclass(frozen=True)
+class CrashRate:
+    """Poisson crash/restart churn: each node fails at rate λ (per second).
+
+    Inter-failure gaps are exponential with mean ``1/rate``, sampled per
+    node from a stream derived from the plan seed — so two runs with the
+    same plan see the same crash times, and adding node 5's stream never
+    perturbs node 3's.  After each crash the node is down for
+    ``restart_after`` seconds, then rejoins; the next failure gap starts
+    after the restart.  ``nodes=None`` targets the host's default
+    injectable set (the worker nodes, for the Hadoop simulation).
+    """
+
+    rate: float
+    nodes: Optional[tuple[int, ...]] = None
+    restart_after: float = 30.0
+    start: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"crash rate must be positive: {self.rate}")
+        if self.restart_after <= 0:
+            raise ValueError(f"restart_after must be positive: {self.restart_after}")
+        if self.start < 0:
+            raise ValueError(f"start time may not be negative: {self.start}")
+        if self.nodes is not None:
+            if not self.nodes:
+                raise ValueError("empty node tuple (use None for the default set)")
+            for node in self.nodes:
+                if node < 0:
+                    raise ValueError(f"negative node id in crash set: {node}")
+
+
+@dataclass(frozen=True)
+class _Degradation:
+    """Common shape of the slowdown specs."""
+
+    node: int
+    at: float
+    factor: float
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"degradation of negative node id: {self.node}")
+        if self.at < 0:
+            raise ValueError(f"degradation time may not be negative: {self.at}")
+        if self.factor < 1.0:
+            raise ValueError(
+                f"slowdown factor must be >= 1 (got {self.factor}); a fault "
+                f"never makes hardware faster"
+            )
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(
+                f"duration must be positive (or None for permanent): {self.duration}"
+            )
+
+
+class DiskDegradation(_Degradation):
+    """Disk service rate divided by ``factor`` (a dying SATA drive)."""
+
+
+class LinkDegradation(_Degradation):
+    """Both NIC links' capacity divided by ``factor`` (a flaky port)."""
+
+
+class Straggler(_Degradation):
+    """Whole-node slowdown: disk *and* links divided by ``factor``."""
+
+
+FaultSpec = Union[NodeCrash, CrashRate, DiskDegradation, LinkDegradation, Straggler]
+
+
+# -- the plan ----------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable collection of fault specs plus the injection seed."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 2011
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if not isinstance(
+                spec, (NodeCrash, CrashRate, DiskDegradation, LinkDegradation, Straggler)
+            ):
+                raise TypeError(f"not a fault spec: {spec!r}")
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def validate(self, num_nodes: int) -> None:
+        """Check every spec against the target topology; raises ValueError."""
+        if num_nodes < 1:
+            raise ValueError(f"cluster must have at least one node: {num_nodes}")
+        for spec in self.specs:
+            if isinstance(spec, CrashRate):
+                for node in spec.nodes or ():
+                    if node >= num_nodes:
+                        raise ValueError(
+                            f"crash-rate targets node {node}, but the cluster "
+                            f"has only nodes 0..{num_nodes - 1}"
+                        )
+            elif spec.node >= num_nodes:
+                raise ValueError(
+                    f"{type(spec).__name__} targets node {spec.node}, but the "
+                    f"cluster has only nodes 0..{num_nodes - 1}"
+                )
+
+    # -- the analytic view ----------------------------------------------------
+    def crash_times(
+        self, nodes: Iterable[int], horizon: float
+    ) -> list[float]:
+        """All crash instants hitting ``nodes`` within ``[0, horizon]``.
+
+        Deterministic in (plan, seed): the per-node Poisson streams here
+        are byte-identical to the ones :class:`FaultInjector` plays out
+        on the DES, and extending ``horizon`` only appends later times —
+        prefixes never change.
+        """
+        if horizon < 0:
+            raise ValueError(f"horizon may not be negative: {horizon}")
+        targets = set(nodes)
+        times: list[float] = []
+        for spec in self.specs:
+            if isinstance(spec, NodeCrash):
+                if spec.node in targets and spec.at <= horizon:
+                    times.append(spec.at)
+            elif isinstance(spec, CrashRate):
+                churn = spec.nodes if spec.nodes is not None else tuple(sorted(targets))
+                for node in churn:
+                    if node not in targets:
+                        continue
+                    rng = make_rng(self.seed, "faults", "crash-rate", node)
+                    t = spec.start
+                    while True:
+                        t += float(rng.exponential(1.0 / spec.rate))
+                        if t > horizon:
+                            break
+                        times.append(t)
+                        t += spec.restart_after  # down while restarting
+        return sorted(times)
+
+
+class FaultHost(Protocol):
+    """What the injector needs from the simulation driving it."""
+
+    def crash_node(self, node_id: int, now: float) -> None: ...
+
+    def restart_node(self, node_id: int, now: float) -> None: ...
+
+
+class FaultInjector:
+    """Plays a :class:`FaultPlan` out as processes on one simulator.
+
+    Crash specs call ``host.crash_node`` / ``host.restart_node`` (the
+    host interrupts its victim processes); degradations rescale the
+    node's disk rate and link capacities directly.  ``stop()`` tears the
+    injector down once the observed job is over, so open-ended churn
+    processes never keep the event heap alive.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        plan: FaultPlan,
+        host: FaultHost,
+        default_nodes: Optional[Iterable[int]] = None,
+    ):
+        plan.validate(len(cluster))
+        self.sim = sim
+        self.cluster = cluster
+        self.plan = plan
+        self.host = host
+        self.default_nodes = (
+            tuple(default_nodes)
+            if default_nodes is not None
+            else tuple(range(len(cluster)))
+        )
+        self._procs: list[Process] = []
+        self._started = False
+        self.crashes_injected = 0
+        self.restarts_injected = 0
+        self.degradations_applied = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Spawn one kernel process per fault spec (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for i, spec in enumerate(self.plan.specs):
+            if isinstance(spec, NodeCrash):
+                self._spawn(self._crash_proc(spec), f"fault-crash-n{spec.node}")
+            elif isinstance(spec, CrashRate):
+                for node in spec.nodes or self.default_nodes:
+                    self._spawn(self._churn_proc(spec, node), f"fault-churn-n{node}")
+            else:
+                self._spawn(self._degrade_proc(spec), f"fault-degrade{i}-n{spec.node}")
+
+    def stop(self) -> None:
+        """Interrupt every live fault process (job over; churn must die)."""
+        for proc in self._procs:
+            if proc.is_alive:
+                proc.interrupt("fault injection stopped")
+
+    def _spawn(self, gen, name: str) -> None:
+        self._procs.append(self.sim.process(gen, name=name))
+
+    # -- processes --------------------------------------------------------------
+    def _crash_proc(self, spec: NodeCrash):
+        sim = self.sim
+        try:
+            yield sim.timeout(spec.at)
+            self.crashes_injected += 1
+            self.host.crash_node(spec.node, sim.now)
+            if spec.restart_after is not None:
+                yield sim.timeout(spec.restart_after)
+                self.restarts_injected += 1
+                self.host.restart_node(spec.node, sim.now)
+        except Interrupt:
+            return
+
+    def _churn_proc(self, spec: CrashRate, node: int):
+        sim = self.sim
+        rng = make_rng(self.plan.seed, "faults", "crash-rate", node)
+        try:
+            yield sim.timeout(spec.start)
+            while True:
+                yield sim.timeout(float(rng.exponential(1.0 / spec.rate)))
+                self.crashes_injected += 1
+                self.host.crash_node(node, sim.now)
+                yield sim.timeout(spec.restart_after)
+                self.restarts_injected += 1
+                self.host.restart_node(node, sim.now)
+        except Interrupt:
+            return
+
+    def _degrade_proc(self, spec: _Degradation):
+        sim = self.sim
+        node = self.cluster.node(spec.node)
+        try:
+            yield sim.timeout(spec.at)
+            self._scale_node(node, spec, 1.0 / spec.factor)
+            self.degradations_applied += 1
+            if spec.duration is None:
+                return
+            yield sim.timeout(spec.duration)
+            self._scale_node(node, spec, spec.factor)
+        except Interrupt:
+            return
+
+    def _scale_node(self, node: Node, spec: _Degradation, scale: float) -> None:
+        if isinstance(spec, (DiskDegradation, Straggler)):
+            node.disk.set_rate(node.disk.rate * scale)
+        if isinstance(spec, (LinkDegradation, Straggler)):
+            network = self.cluster.network
+            network.set_link_capacity(node.uplink, node.uplink.capacity * scale)
+            network.set_link_capacity(node.downlink, node.downlink.capacity * scale)

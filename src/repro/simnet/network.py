@@ -121,6 +121,19 @@ class Network:
     def link(self, name: str) -> Link:
         return self._links[name]
 
+    def set_link_capacity(self, link: Link, capacity: float) -> None:
+        """Change one link's capacity mid-simulation (fault injection).
+
+        In-flight flows keep the bytes they have already moved; the
+        max-min allocation is recomputed at the new capacity and stale
+        completion timers are superseded by the token bump.
+        """
+        if capacity <= 0:
+            raise ValueError(f"link capacity must be positive, got {capacity}")
+        self._advance()
+        link.capacity = float(capacity)
+        self._reallocate()
+
     # -- transfers --------------------------------------------------------------
     def transfer(
         self,

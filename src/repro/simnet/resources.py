@@ -59,6 +59,22 @@ class SlotPool:
         else:
             self._in_use -= 1
 
+    def cancel(self, request: Event) -> None:
+        """End one ``acquire()`` request, whatever state it reached.
+
+        A queued request is withdrawn; a granted one is released.  This
+        is the safe companion to ``acquire()`` for interruptible holders
+        (fault injection): calling it exactly once per request — in a
+        ``finally`` — never leaks a slot and never double-releases.
+        """
+        try:
+            self._waiters.remove(request)
+            return  # withdrawn before a slot was ever granted
+        except ValueError:
+            pass
+        if request.triggered:
+            self.release()
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<SlotPool {self.name} {self._in_use}/{self.capacity}>"
 
@@ -104,6 +120,19 @@ class RateDevice:
     @property
     def active_jobs(self) -> int:
         return len(self._jobs)
+
+    def set_rate(self, rate: float) -> None:
+        """Change the service rate mid-simulation (fault injection).
+
+        Work already served stays served: the device is advanced to the
+        current time at the old rate, then in-flight jobs are re-timed at
+        the new one (the token bump supersedes the stale timer).
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self._advance()
+        self.rate = float(rate)
+        self._reschedule()
 
     def transfer(self, nbytes: float) -> Event:
         """Serve ``nbytes``; the returned event's value is the nbytes served."""

@@ -1,0 +1,179 @@
+"""Hadoop failure recovery: heartbeat expiry, attempt retry, map
+re-execution, blacklisting — and bit-for-bit cleanliness without faults."""
+
+import pytest
+
+from repro.hadoop import HadoopConfig, JobFailedError, JobSpec, WORDCOUNT_PROFILE
+from repro.hadoop.simulation import HadoopSimulation, run_hadoop_job
+from repro.simnet.faults import CrashRate, FaultPlan, NodeCrash
+
+
+def _spec(gb=2):
+    return JobSpec(
+        name="wc",
+        input_bytes=gb * 10**9,
+        profile=WORDCOUNT_PROFILE,
+        num_reduce_tasks=7,
+    )
+
+
+def _cfg(**kw):
+    kw.setdefault("tasktracker_expiry_interval", 60.0)
+    return HadoopConfig(**kw)
+
+
+@pytest.fixture(scope="module")
+def clean_metrics():
+    return run_hadoop_job(_spec(), config=_cfg())
+
+
+# -- the acceptance-critical invariant ----------------------------------------
+class TestEmptyPlanIsBitForBit:
+    def test_empty_plan_reproduces_clean_run_exactly(self, clean_metrics):
+        m = run_hadoop_job(_spec(), config=_cfg(), fault_plan=FaultPlan())
+        assert m.elapsed == clean_metrics.elapsed
+        assert m.to_dict() == clean_metrics.to_dict()
+
+    def test_none_plan_reproduces_clean_run_exactly(self, clean_metrics):
+        m = run_hadoop_job(_spec(), config=_cfg(), fault_plan=None)
+        assert m.to_dict() == clean_metrics.to_dict()
+
+    def test_clean_run_reports_no_faults(self, clean_metrics):
+        f = clean_metrics.fault_summary()
+        assert not f["job_failed"]
+        assert f["lost_trackers"] == 0
+        assert f["wasted_task_seconds"] == 0.0
+
+
+# -- heartbeat expiry detection (unit level) ----------------------------------
+class TestHeartbeatExpiry:
+    def _jt(self):
+        return HadoopSimulation(spec=_spec(), config=_cfg()).jobtracker
+
+    def test_expiry_detects_silent_trackers(self):
+        jt = self._jt()
+        jt.tracker_registered(1, 0.0)
+        jt.tracker_registered(2, 0.0)
+        assert jt.find_expired(now=50.0, interval=60.0) == []
+        assert jt.find_expired(now=61.0, interval=60.0) == [1, 2]
+
+    def test_heartbeat_refreshes_expiry(self):
+        jt = self._jt()
+        jt.tracker_registered(1, 0.0)
+        jt.heartbeat(node=1, free_map_slots=0, free_reduce_slots=0,
+                     completed_map_ids=[], now=50.0)
+        assert jt.find_expired(now=100.0, interval=60.0) == []
+        assert jt.find_expired(now=111.0, interval=60.0) == [1]
+
+    def test_lost_tracker_blacklists_and_starves(self):
+        jt = self._jt()
+        jt.tracker_registered(1, 0.0)
+        jt.lost_tasktracker(1, 61.0)
+        assert 1 in jt.blacklisted
+        assert jt.lost_trackers == 1
+        maps, reduces = jt.heartbeat(node=1, free_map_slots=7, free_reduce_slots=7,
+                                     completed_map_ids=[], now=62.0)
+        assert maps == [] and reduces == []
+        # A blacklisted node no longer shows up as expired.
+        assert jt.find_expired(now=200.0, interval=60.0) == []
+
+    def test_lost_tracker_idempotent(self):
+        jt = self._jt()
+        jt.tracker_registered(1, 0.0)
+        jt.lost_tasktracker(1, 61.0)
+        jt.lost_tasktracker(1, 62.0)
+        assert jt.lost_trackers == 1
+
+    def test_reregistration_unblacklists(self):
+        jt = self._jt()
+        jt.tracker_registered(1, 0.0)
+        jt.lost_tasktracker(1, 61.0)
+        jt.tracker_registered(1, 90.0)
+        assert 1 not in jt.blacklisted
+        maps, _ = jt.heartbeat(node=1, free_map_slots=7, free_reduce_slots=7,
+                               completed_map_ids=[], now=91.0)
+        assert maps  # assignable again
+
+
+# -- recovery through the full DES -------------------------------------------
+class TestRecovery:
+    def test_crash_with_restart_recovers_and_costs_time(self, clean_metrics):
+        t = clean_metrics.elapsed * 0.4
+        plan = FaultPlan(specs=(NodeCrash(node=3, at=t, restart_after=30.0),))
+        m = run_hadoop_job(_spec(), config=_cfg(), fault_plan=plan)
+        assert not m.job_failed
+        assert m.lost_trackers == 1
+        assert m.failed_map_attempts > 0
+        assert m.wasted_task_seconds > 0
+        assert m.elapsed > clean_metrics.elapsed
+
+    def test_permanent_crash_recovers_without_the_node(self, clean_metrics):
+        t = clean_metrics.elapsed * 0.4
+        plan = FaultPlan(specs=(NodeCrash(node=3, at=t),))
+        m = run_hadoop_job(_spec(), config=_cfg(), fault_plan=plan)
+        assert not m.job_failed
+        assert m.lost_trackers == 1
+
+    def test_completed_maps_reexecute_after_late_crash(self, clean_metrics):
+        """A node dying *after* its maps finished loses their output
+        (mapred.local.dir, not HDFS): those maps must run again."""
+        t = clean_metrics.elapsed * 0.9
+        plan = FaultPlan(specs=(NodeCrash(node=3, at=t, restart_after=20.0),))
+        m = run_hadoop_job(_spec(), config=_cfg(), fault_plan=plan)
+        assert not m.job_failed
+        assert m.maps_reexecuted > 0
+
+    def test_faulty_run_is_deterministic(self, clean_metrics):
+        t = clean_metrics.elapsed * 0.5
+        plan = FaultPlan(specs=(NodeCrash(node=2, at=t, restart_after=25.0),))
+        a = run_hadoop_job(_spec(), config=_cfg(), fault_plan=plan)
+        b = run_hadoop_job(_spec(), config=_cfg(), fault_plan=plan)
+        assert a.to_dict() == b.to_dict()
+
+    def test_churn_run_completes(self):
+        plan = FaultPlan(
+            specs=(CrashRate(rate=1 / 400.0, restart_after=30.0),), seed=7
+        )
+        m = run_hadoop_job(_spec(), config=_cfg(), fault_plan=plan)
+        assert not m.job_failed
+        assert m.lost_trackers >= 1
+
+
+class TestJobFailure:
+    def test_master_loss_fails_the_job(self, clean_metrics):
+        plan = FaultPlan(
+            specs=(NodeCrash(node=0, at=clean_metrics.elapsed * 0.3),)
+        )
+        with pytest.raises(JobFailedError, match="master"):
+            run_hadoop_job(_spec(), config=_cfg(), fault_plan=plan)
+
+    def test_all_workers_lost_fails_instead_of_hanging(self):
+        plan = FaultPlan(specs=tuple(NodeCrash(node=n, at=5.0) for n in range(1, 8)))
+        with pytest.raises(JobFailedError, match="all tasktrackers"):
+            run_hadoop_job(_spec(), config=_cfg(), fault_plan=plan)
+
+    def test_max_attempts_exhaustion_fails_the_job(self, clean_metrics):
+        """With max_attempts=1 the first killed attempt is fatal."""
+        t = clean_metrics.elapsed * 0.3
+        plan = FaultPlan(specs=(NodeCrash(node=3, at=t, restart_after=30.0),))
+        with pytest.raises(JobFailedError, match="attempts"):
+            run_hadoop_job(_spec(), config=_cfg(max_attempts=1), fault_plan=plan)
+
+    def test_failure_metrics_ride_the_exception(self):
+        plan = FaultPlan(specs=tuple(NodeCrash(node=n, at=5.0) for n in range(1, 8)))
+        with pytest.raises(JobFailedError) as exc_info:
+            run_hadoop_job(_spec(), config=_cfg(), fault_plan=plan)
+        m = exc_info.value.metrics
+        assert m.job_failed
+        assert m.failure_reason
+        assert m.fault_summary()["job_failed"]
+
+
+class TestConfigValidation:
+    def test_expiry_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HadoopConfig(tasktracker_expiry_interval=0.0)
+
+    def test_max_attempts_at_least_one(self):
+        with pytest.raises(ValueError):
+            HadoopConfig(max_attempts=0)

@@ -1,0 +1,159 @@
+"""MPI-D failure semantics: whole-job restart replay and checkpointing."""
+
+import math
+
+import pytest
+
+from repro.hadoop import JobSpec, WORDCOUNT_PROFILE
+from repro.mrmpi import (
+    MrMpiConfig,
+    replay_restarts,
+    run_mpid_job,
+    run_mpid_job_under_faults,
+)
+from repro.simnet.faults import CrashRate, FaultPlan, NodeCrash
+
+
+def _spec():
+    return JobSpec(
+        name="wc",
+        input_bytes=2 * 10**9,
+        profile=WORDCOUNT_PROFILE,
+        num_reduce_tasks=1,
+    )
+
+
+class TestReplayRestarts:
+    def test_no_crashes_no_overhead(self):
+        r = replay_restarts("j", 100.0, [], restart_overhead=5.0)
+        assert r.elapsed == 100.0
+        assert r.restarts == 0 and r.lost_work_seconds == 0.0
+        assert r.completed
+
+    def test_single_crash_loses_all_progress(self):
+        r = replay_restarts("j", 100.0, [40.0], restart_overhead=5.0)
+        assert r.elapsed == pytest.approx(145.0)  # 40 lost + 5 restart + 100
+        assert r.restarts == 1
+        assert r.lost_work_seconds == pytest.approx(40.0)
+
+    def test_crash_after_finish_is_ignored(self):
+        r = replay_restarts("j", 100.0, [150.0], restart_overhead=5.0)
+        assert r.elapsed == 100.0 and r.restarts == 0
+
+    def test_crash_during_restart_window_absorbed(self):
+        r = replay_restarts("j", 100.0, [40.0, 42.0], restart_overhead=5.0)
+        assert r.restarts == 1
+        assert r.elapsed == pytest.approx(145.0)
+
+    def test_checkpoint_bounds_lost_work(self):
+        """With interval I the work lost per crash is < I plus the
+        partial stretch — never the whole job."""
+        r = replay_restarts(
+            "j", 100.0, [47.0], restart_overhead=5.0,
+            checkpoint_interval=10.0, checkpoint_cost=1.0,
+        )
+        # Overhead rate 1.1: progress at the crash is 47/1.1 ~ 42.7,
+        # the last complete snapshot is at 40.
+        assert r.lost_work_seconds == pytest.approx(47.0 / 1.1 - 40.0)
+        assert r.lost_work_seconds < 10.0
+        assert r.elapsed == pytest.approx(52.0 + 60.0 * 1.1)
+        assert r.checkpoint_overhead_seconds > 0
+
+    def test_checkpointing_costs_overhead_when_clean(self):
+        r = replay_restarts(
+            "j", 100.0, [], restart_overhead=5.0,
+            checkpoint_interval=10.0, checkpoint_cost=1.0,
+        )
+        assert r.elapsed == pytest.approx(110.0)
+        assert r.checkpoint_overhead_seconds == pytest.approx(10.0)
+
+    def test_max_restarts_gives_up(self):
+        r = replay_restarts(
+            "j", 100.0, [10.0, 20.0, 30.0], restart_overhead=5.0, max_restarts=2
+        )
+        assert not r.completed
+        assert math.isinf(r.elapsed)
+        assert math.isinf(r.slowdown)
+
+    def test_pure_function_of_inputs(self):
+        args = ("j", 80.0, [10.0, 33.0, 64.0], 4.0)
+        assert replay_restarts(*args).summary() == replay_restarts(*args).summary()
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            replay_restarts("j", -1.0, [], restart_overhead=5.0)
+
+
+class TestRunUnderFaults:
+    def test_empty_plan_matches_clean_run(self):
+        clean = run_mpid_job(_spec()).elapsed
+        r = run_mpid_job_under_faults(_spec(), FaultPlan())
+        assert r.elapsed == clean
+        assert r.restarts == 0
+
+    def test_cached_clean_elapsed_skips_des(self):
+        r = run_mpid_job_under_faults(_spec(), FaultPlan(), clean_elapsed=42.0)
+        assert r.clean_elapsed == 42.0 and r.elapsed == 42.0
+
+    def test_any_rank_failure_restarts_whole_job(self):
+        clean = run_mpid_job(_spec()).elapsed
+        plan = FaultPlan(specs=(NodeCrash(node=5, at=clean * 0.5),))
+        r = run_mpid_job_under_faults(
+            _spec(), plan, nodes=tuple(range(1, 8)), clean_elapsed=clean
+        )
+        assert r.restarts == 1
+        assert r.elapsed > clean
+
+    def test_deterministic_under_churn(self):
+        plan = FaultPlan(specs=(CrashRate(rate=1 / 100.0, restart_after=10.0),), seed=5)
+        kw = dict(nodes=tuple(range(1, 8)), clean_elapsed=50.0)
+        a = run_mpid_job_under_faults(_spec(), plan, **kw)
+        b = run_mpid_job_under_faults(_spec(), plan, **kw)
+        assert a.summary() == b.summary()
+        assert a.restarts >= 1
+
+    def test_adaptive_horizon_covers_long_tails(self):
+        """A rate harsh enough to stretch the run far past 4x clean still
+        accounts every crash (the horizon doubles as needed)."""
+        plan = FaultPlan(specs=(CrashRate(rate=1 / 40.0, restart_after=5.0),), seed=11)
+        r = run_mpid_job_under_faults(
+            _spec(), plan, nodes=(1, 2, 3, 4, 5, 6, 7), clean_elapsed=30.0
+        )
+        if r.completed:
+            assert r.elapsed >= 30.0
+        else:
+            assert math.isinf(r.elapsed)
+
+    def test_checkpointing_tames_harsh_churn(self):
+        plan = FaultPlan(specs=(CrashRate(rate=1 / 60.0, restart_after=5.0),), seed=3)
+        kw = dict(nodes=tuple(range(1, 8)), clean_elapsed=60.0)
+        bare = run_mpid_job_under_faults(_spec(), plan, **kw)
+        ck = run_mpid_job_under_faults(
+            _spec(),
+            plan,
+            config=MrMpiConfig(checkpoint_interval=10.0, checkpoint_cost=1.0),
+            **kw,
+        )
+        assert ck.checkpointed
+        if bare.completed and ck.completed:
+            assert ck.elapsed <= bare.elapsed
+        else:
+            assert ck.completed or not bare.completed
+
+
+class TestConfigValidation:
+    def test_negative_restart_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            MrMpiConfig(restart_overhead=-1.0)
+
+    def test_nonpositive_checkpoint_interval_rejected(self):
+        with pytest.raises(ValueError):
+            MrMpiConfig(checkpoint_interval=0.0)
+
+    def test_negative_checkpoint_cost_rejected(self):
+        with pytest.raises(ValueError):
+            MrMpiConfig(checkpoint_cost=-0.1)
+
+    def test_negative_max_restarts_rejected(self):
+        with pytest.raises(ValueError):
+            MrMpiConfig(max_restarts=-1)

@@ -1,0 +1,368 @@
+"""Fault-injection subsystem: plans, injector processes, kernel Interrupt
+safety under randomized schedules."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.cluster import Cluster, ClusterSpec
+from repro.simnet.faults import (
+    CrashRate,
+    DiskDegradation,
+    FaultInjector,
+    FaultPlan,
+    LinkDegradation,
+    NodeCrash,
+    Straggler,
+)
+from repro.simnet.kernel import Interrupt, Simulator
+from repro.simnet.resources import RateDevice, SlotPool
+
+
+# -- spec validation (eager, mirrors HadoopConfig.validate) -------------------
+class TestSpecValidation:
+    def test_negative_crash_time_rejected(self):
+        with pytest.raises(ValueError):
+            NodeCrash(node=1, at=-1.0)
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValueError):
+            NodeCrash(node=-1, at=1.0)
+
+    def test_zero_restart_rejected(self):
+        with pytest.raises(ValueError):
+            NodeCrash(node=1, at=1.0, restart_after=0.0)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError):
+            CrashRate(rate=0.0)
+        with pytest.raises(ValueError):
+            CrashRate(rate=-0.5)
+
+    def test_empty_node_tuple_rejected(self):
+        with pytest.raises(ValueError):
+            CrashRate(rate=0.1, nodes=())
+
+    def test_speedup_factor_rejected(self):
+        with pytest.raises(ValueError):
+            DiskDegradation(node=1, at=0.0, factor=0.5)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Straggler(node=1, at=0.0, factor=2.0, duration=0.0)
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(TypeError):
+            FaultPlan(specs=("not a spec",))
+
+    def test_crash_of_nonexistent_node(self):
+        plan = FaultPlan(specs=(NodeCrash(node=9, at=1.0),))
+        with pytest.raises(ValueError, match="nodes 0..7"):
+            plan.validate(num_nodes=8)
+
+    def test_crash_rate_of_nonexistent_node(self):
+        plan = FaultPlan(specs=(CrashRate(rate=0.1, nodes=(3, 12)),))
+        with pytest.raises(ValueError, match="node 12"):
+            plan.validate(num_nodes=8)
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan(specs=(NodeCrash(node=1, at=1.0),))
+
+
+# -- the analytic crash timeline ---------------------------------------------
+class TestCrashTimes:
+    def test_one_shot_crashes_within_horizon(self):
+        plan = FaultPlan(
+            specs=(NodeCrash(node=1, at=5.0), NodeCrash(node=2, at=50.0))
+        )
+        assert plan.crash_times([1, 2], horizon=10.0) == [5.0]
+        assert plan.crash_times([1, 2], horizon=100.0) == [5.0, 50.0]
+        assert plan.crash_times([2], horizon=100.0) == [50.0]
+
+    def test_rate_timeline_deterministic(self):
+        plan = FaultPlan(specs=(CrashRate(rate=0.01, restart_after=10.0),), seed=42)
+        a = plan.crash_times([1, 2, 3], horizon=1000.0)
+        b = plan.crash_times([1, 2, 3], horizon=1000.0)
+        assert a == b and len(a) > 0
+
+    def test_rate_timeline_prefix_consistent(self):
+        """Extending the horizon only appends — earlier crashes never move."""
+        plan = FaultPlan(specs=(CrashRate(rate=0.02, restart_after=5.0),), seed=7)
+        short = plan.crash_times([1, 2], horizon=500.0)
+        long = plan.crash_times([1, 2], horizon=2000.0)
+        assert long[: len(short)] == short
+        assert len(long) > len(short)
+
+    def test_per_node_streams_independent(self):
+        """Adding node 5 to the target set never perturbs node 3's times."""
+        plan = FaultPlan(specs=(CrashRate(rate=0.02, restart_after=5.0),), seed=7)
+        without = plan.crash_times([3], horizon=1000.0)
+        with_extra = plan.crash_times([3, 5], horizon=1000.0)
+        assert set(without) <= set(with_extra)
+
+    def test_seed_changes_timeline(self):
+        mk = lambda s: FaultPlan(
+            specs=(CrashRate(rate=0.02, restart_after=5.0),), seed=s
+        ).crash_times([1], horizon=1000.0)
+        assert mk(1) != mk(2)
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().crash_times([1], horizon=-1.0)
+
+
+# -- kernel Interrupt safety: the property the whole subsystem leans on -------
+class TestInterruptSafety:
+    def test_randomized_interrupts_keep_time_monotonic(self):
+        """Interrupting processes mid-yield at random times never makes the
+        clock step backwards or corrupts the run."""
+        for seed in range(25):
+            rng = np.random.default_rng(seed)
+            sim = Simulator()
+            log: list[float] = []
+            delays = rng.uniform(0.1, 2.0, size=(6, 5))
+
+            def worker(i, row):
+                try:
+                    for d in row:
+                        yield sim.timeout(float(d))
+                        log.append(sim.now)
+                except Interrupt:
+                    log.append(sim.now)
+
+            procs = [sim.process(worker(i, delays[i])) for i in range(6)]
+
+            def chaos():
+                for _ in range(4):
+                    yield sim.timeout(float(rng.uniform(0.05, 2.0)))
+                    victim = procs[int(rng.integers(6))]
+                    if victim.is_alive:
+                        victim.interrupt("chaos")
+
+            sim.process(chaos())
+            sim.run()
+            assert log == sorted(log), f"clock went backwards (seed {seed})"
+            assert all(p.triggered for p in procs)
+
+    def test_interrupt_preserves_fifo_of_survivors(self):
+        """Same-time timeouts of surviving processes still fire in creation
+        (FIFO) order after an unrelated process is interrupted mid-wait."""
+        for victim in range(8):
+            sim = Simulator()
+            order: list[int] = []
+
+            def waiter(i):
+                try:
+                    yield sim.timeout(1.0)
+                    order.append(i)
+                except Interrupt:
+                    pass
+
+            procs = [sim.process(waiter(i)) for i in range(8)]
+
+            def chaos():
+                yield sim.timeout(0.5)
+                procs[victim].interrupt("die")
+
+            sim.process(chaos())
+            sim.run()
+            assert order == [i for i in range(8) if i != victim]
+
+    def test_interrupted_acquire_does_not_leak_slot(self):
+        """The cancel() pattern: killing a process queued on a full pool
+        leaves the pool's capacity intact for everyone else."""
+        sim = Simulator()
+        pool = SlotPool(sim, 1)
+        held: list[str] = []
+
+        def holder():
+            req = pool.acquire()
+            try:
+                yield req
+                held.append("holder")
+                yield sim.timeout(10.0)
+            finally:
+                pool.cancel(req)
+
+        def doomed():
+            req = pool.acquire()
+            try:
+                yield req
+                held.append("doomed")
+            except Interrupt:
+                pass
+            finally:
+                pool.cancel(req)
+
+        def late():
+            yield sim.timeout(5.0)
+            req = pool.acquire()
+            try:
+                yield req
+                held.append("late")
+            finally:
+                pool.cancel(req)
+
+        sim.process(holder())
+        victim = sim.process(doomed())
+
+        def chaos():
+            yield sim.timeout(1.0)
+            victim.interrupt("die")
+
+        sim.process(chaos())
+        sim.process(late())
+        sim.run()
+        assert held == ["holder", "late"]
+        assert pool.in_use == 0
+
+
+# -- the injector on a real cluster ------------------------------------------
+class _RecordingHost:
+    def __init__(self):
+        self.events: list[tuple[str, int, float]] = []
+
+    def crash_node(self, node_id, now):
+        self.events.append(("crash", node_id, now))
+
+    def restart_node(self, node_id, now):
+        self.events.append(("restart", node_id, now))
+
+
+def _cluster():
+    sim = Simulator()
+    return sim, Cluster(sim, ClusterSpec(num_nodes=4))
+
+
+class TestFaultInjector:
+    def test_one_shot_crash_and_restart(self):
+        sim, cluster = _cluster()
+        host = _RecordingHost()
+        plan = FaultPlan(specs=(NodeCrash(node=2, at=3.0, restart_after=4.0),))
+        inj = FaultInjector(sim, cluster, plan, host)
+        inj.start()
+        sim.run()
+        assert host.events == [("crash", 2, 3.0), ("restart", 2, 7.0)]
+        assert inj.crashes_injected == 1 and inj.restarts_injected == 1
+
+    def test_injector_validates_plan_against_cluster(self):
+        sim, cluster = _cluster()
+        plan = FaultPlan(specs=(NodeCrash(node=7, at=1.0),))
+        with pytest.raises(ValueError):
+            FaultInjector(sim, cluster, plan, _RecordingHost())
+
+    def test_churn_matches_analytic_timeline(self):
+        """The DES injector fires at exactly the instants crash_times()
+        predicts — the contract that keeps Hadoop and MPI-D comparable."""
+        sim, cluster = _cluster()
+        host = _RecordingHost()
+        plan = FaultPlan(
+            specs=(CrashRate(rate=0.05, nodes=(1, 2, 3), restart_after=7.0),),
+            seed=13,
+        )
+        inj = FaultInjector(sim, cluster, plan, host)
+        inj.start()
+
+        def stopper():
+            yield sim.timeout(200.0)
+            inj.stop()
+
+        sim.process(stopper())
+        sim.run()
+        observed = sorted(t for kind, _, t in host.events if kind == "crash")
+        expected = [t for t in plan.crash_times((1, 2, 3), horizon=1000.0) if t <= 200.0]
+        assert observed == pytest.approx(expected)
+
+    def test_stop_kills_open_ended_churn(self):
+        sim, cluster = _cluster()
+        plan = FaultPlan(specs=(CrashRate(rate=0.01),), seed=3)
+        inj = FaultInjector(sim, cluster, plan, _RecordingHost())
+        inj.start()
+
+        def stopper():
+            yield sim.timeout(10.0)
+            inj.stop()
+
+        sim.process(stopper())
+        sim.run()  # would never drain if churn processes survived stop()
+
+    def test_disk_degradation_slows_then_recovers(self):
+        sim, cluster = _cluster()
+        plan = FaultPlan(
+            specs=(DiskDegradation(node=1, at=5.0, factor=2.0, duration=10.0),)
+        )
+        inj = FaultInjector(sim, cluster, plan, _RecordingHost())
+        inj.start()
+        disk = cluster.node(1).disk
+        base = disk.rate
+        rates: list[float] = []
+
+        def probe():
+            yield sim.timeout(6.0)
+            rates.append(disk.rate)
+            yield sim.timeout(20.0)
+            rates.append(disk.rate)
+
+        sim.process(probe())
+        sim.run()
+        assert rates[0] == pytest.approx(base / 2.0)
+        assert rates[1] == pytest.approx(base)
+        assert inj.degradations_applied == 1
+
+    def test_straggler_scales_links_too(self):
+        sim, cluster = _cluster()
+        node = cluster.node(2)
+        up, down = node.uplink.capacity, node.downlink.capacity
+        disk = node.disk.rate
+        plan = FaultPlan(specs=(Straggler(node=2, at=1.0, factor=4.0),))
+        inj = FaultInjector(sim, cluster, plan, _RecordingHost())
+        inj.start()
+        sim.run()
+        assert node.uplink.capacity == pytest.approx(up / 4.0)
+        assert node.downlink.capacity == pytest.approx(down / 4.0)
+        assert node.disk.rate == pytest.approx(disk / 4.0)
+
+    def test_link_degradation_affects_transfer_time(self):
+        sim, cluster = _cluster()
+        plan = FaultPlan(specs=(LinkDegradation(node=1, at=0.0, factor=2.0),))
+        FaultInjector(sim, cluster, plan, _RecordingHost()).start()
+        done: list[float] = []
+
+        def sender():
+            yield sim.timeout(1.0)  # after the degradation lands
+            flow = cluster.send(1, 2, 100 * 1024 * 1024)
+            yield flow
+            done.append(sim.now)
+
+        sim.process(sender())
+        sim.run()
+        # Halved uplink => the same bytes take twice the clean wire time.
+        clean = 100 * 1024 * 1024 / ClusterSpec().link_bandwidth
+        assert done[0] - 1.0 == pytest.approx(2.0 * clean, rel=0.05)
+
+
+class TestRateDeviceSetRate:
+    def test_set_rate_conserves_served_work(self):
+        sim = Simulator()
+        dev = RateDevice(sim, rate=100.0)
+        finished: list[float] = []
+
+        def job():
+            ev = dev.transfer(1000.0)
+            yield ev
+            finished.append(sim.now)
+
+        def slowdown():
+            yield sim.timeout(5.0)  # 500 bytes served at rate 100
+            dev.set_rate(50.0)  # remaining 500 at rate 50 => 10 more seconds
+
+        sim.process(job())
+        sim.process(slowdown())
+        sim.run()
+        assert finished[0] == pytest.approx(15.0)
+
+    def test_set_rate_validates(self):
+        sim = Simulator()
+        dev = RateDevice(sim, rate=100.0)
+        with pytest.raises(ValueError):
+            dev.set_rate(0.0)
