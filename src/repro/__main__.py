@@ -1,6 +1,12 @@
-"""Command index: ``python -m repro`` lists every runnable experiment."""
+"""Command index: ``python -m repro`` lists every runnable experiment.
+
+``python -m repro trace <experiment>`` runs one observed experiment and
+writes a Perfetto trace (see :mod:`repro.obs.cli`).
+"""
 
 from __future__ import annotations
+
+import sys
 
 COMMANDS = [
     ("repro.experiments.fig1_shuffle", "Figure 1: per-reducer copy/sort/reduce"),
@@ -19,12 +25,17 @@ COMMANDS = [
     ("repro.experiments.interconnect_whatif", "IB/SSD what-if (future work 4)"),
     ("repro.experiments.robustness", "seed-robustness of the headline results"),
     ("repro.experiments.fault_tolerance", "node churn: Hadoop recovery vs MPI-D rerun"),
-    ("repro.experiments.export", "write per-figure CSVs (--out results/)"),
+    ("repro.experiments.export", "write per-figure CSVs/JSONs (--out results/)"),
     ("repro.experiments.all", "everything above, back to back"),
 ]
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "trace":
+        from repro.obs.cli import main as trace_main
+
+        return trace_main(argv[1:])
     from repro import __version__
 
     print(f"repro {__version__} — Can MPI Benefit Hadoop and MapReduce Applications? (ICPP 2011)\n")
@@ -32,7 +43,8 @@ def main() -> int:
     width = max(len(mod) for mod, _ in COMMANDS)
     for mod, desc in COMMANDS:
         print(f"  {mod:<{width}}  {desc}")
-    print("\nexamples: see examples/*.py; tests: pytest tests/;")
+    print("\ntracing: python -m repro trace {fig6,fig1,fault} --size 1GB --trace-out trace.json")
+    print("examples: see examples/*.py; tests: pytest tests/;")
     print("benchmarks: pytest benchmarks/ --benchmark-only")
     return 0
 

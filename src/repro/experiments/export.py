@@ -1,10 +1,15 @@
-"""Export experiment results as CSV files for external plotting.
+"""Export experiment results as CSV/JSON files for external plotting.
 
 ``python -m repro.experiments.export --out results/`` writes one CSV per
 figure/table with exactly the series the plots need (a column per curve,
 a row per x value), so any plotting stack — gnuplot, matplotlib,
 spreadsheets — can regenerate the paper's graphics from this repo's
 numbers without rerunning the simulations.
+
+Two JSON exports ride along: ``fig6_wordcount.json`` and
+``fault_tolerance.json`` carry the *full* per-task phase records
+(``JobMetrics.to_dict()`` — the machine-readable job history), which the
+CSVs' aggregate rows deliberately drop.
 """
 
 from __future__ import annotations
@@ -12,7 +17,9 @@ from __future__ import annotations
 import argparse
 import csv
 import io
+import json
 import math
+from functools import lru_cache
 from pathlib import Path
 from typing import Sequence
 
@@ -26,6 +33,18 @@ def _write_csv(path: Path, header: Sequence[str], rows: Sequence[Sequence]) -> N
         writer = csv.writer(fh)
         writer.writerow(header)
         writer.writerows(rows)
+
+
+@lru_cache(maxsize=1)
+def _default_fig6():
+    """One shared default fig6 run (CSV and JSON exporters both use it)."""
+    return fig6_wordcount.run()
+
+
+@lru_cache(maxsize=1)
+def _default_fault():
+    """One shared default fault sweep, with per-task records retained."""
+    return fault_tolerance.run(input_gb=4, seeds=(2011,), keep_task_records=True)
 
 
 def fig1_csv(metrics=None, input_bytes: int = 16 * GiB) -> tuple[list[str], list[list]]:
@@ -63,10 +82,21 @@ def table1_csv(result=None) -> tuple[list[str], list[list]]:
 
 
 def fig6_csv(result=None) -> tuple[list[str], list[list]]:
-    r = result or fig6_wordcount.run()
+    r = result or _default_fig6()
     header = ["input_gb", "hadoop_s", "mpid_s", "ratio"]
     rows = [[gb, r.hadoop[gb], r.mpid[gb], r.ratio(gb)] for gb in r.sizes_gb]
     return header, rows
+
+
+def fig6_json(result=None) -> dict:
+    """Full per-task phase records for every Figure-6 size."""
+    r = result or _default_fig6()
+    return {
+        "experiment": "fig6_wordcount",
+        "sizes_gb": list(r.sizes_gb),
+        "hadoop": {str(gb): r.hadoop_metrics[gb] for gb in r.sizes_gb},
+        "mpid": {str(gb): r.mpid_metrics[gb] for gb in r.sizes_gb},
+    }
 
 
 def fault_tolerance_csv(result=None) -> tuple[list[str], list[list]]:
@@ -77,7 +107,7 @@ def fault_tolerance_csv(result=None) -> tuple[list[str], list[list]]:
     the full-resolution table.  Runs that never finished export an empty
     elapsed cell rather than ``inf``.
     """
-    r = result or fault_tolerance.run(input_gb=4, seeds=(2011,))
+    r = result or _default_fault()
 
     def cell(x: float):
         return "" if math.isinf(x) else x
@@ -92,9 +122,10 @@ def fault_tolerance_csv(result=None) -> tuple[list[str], list[list]]:
         "maps_reexecuted",
         "wasted_task_s",
         "mpid_restarts",
+        "mpid_wasted_task_s",
     ]
     rows: list[list] = [
-        [0.0, r.hadoop_clean, r.mpid_clean, 0, 0, 0.0, 0.0, 0.0, 0.0]
+        [0.0, r.hadoop_clean, r.mpid_clean, 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0]
     ]
     for rate in r.rates_per_hour:
         f = r.hadoop_faults[rate]
@@ -109,9 +140,39 @@ def fault_tolerance_csv(result=None) -> tuple[list[str], list[list]]:
                 f["maps_reexecuted"],
                 f["wasted_task_seconds"],
                 r.mpid_restarts[rate],
+                r.mpid_wasted.get(rate, 0.0),
             ]
         )
     return header, rows
+
+
+def fault_tolerance_json(result=None) -> dict:
+    """Per-seed job histories of the fault sweep (rate 0.0 = clean)."""
+    r = result or _default_fault()
+    return {
+        "experiment": "fault_tolerance",
+        "input_gb": r.input_gb,
+        "seeds": list(r.seeds),
+        "rates_per_hour": list(r.rates_per_hour),
+        "hadoop_task_records": {
+            str(rate): records for rate, records in r.hadoop_task_records.items()
+        },
+        "mpid_faults": {str(rate): f for rate, f in r.mpid_faults.items()},
+        "mpid_wasted_task_seconds": {
+            str(rate): w for rate, w in r.mpid_wasted.items()
+        },
+    }
+
+
+def obs_metrics_csv(observer) -> tuple[list[str], list[list]]:
+    """One row per metric of a live :class:`~repro.obs.Observer`."""
+    header, rows = observer.metrics.rows()
+    return list(header), [list(row) for row in rows]
+
+
+def obs_metrics_json(observer) -> dict:
+    """Full metric dump (counters, gauges, histogram aggregates)."""
+    return observer.metrics.to_dict()
 
 
 EXPORTS = {
@@ -123,6 +184,11 @@ EXPORTS = {
     "fault_tolerance.csv": fault_tolerance_csv,
 }
 
+JSON_EXPORTS = {
+    "fig6_wordcount.json": fig6_json,
+    "fault_tolerance.json": fault_tolerance_json,
+}
+
 
 def export_all(out_dir: Path) -> list[Path]:
     """Run every exporter; returns the written paths."""
@@ -132,6 +198,12 @@ def export_all(out_dir: Path) -> list[Path]:
         header, rows = maker()
         path = out_dir / filename
         _write_csv(path, header, rows)
+        written.append(path)
+    for filename, maker in JSON_EXPORTS.items():
+        path = out_dir / filename
+        with path.open("w") as fh:
+            json.dump(maker(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
         written.append(path)
     return written
 

@@ -72,6 +72,14 @@ class FaultToleranceResult:
     mpid_dnf: dict[float, int] = field(default_factory=dict)
     hadoop_faults: dict[float, dict] = field(default_factory=dict)
     mpid_restarts: dict[float, float] = field(default_factory=dict)
+    #: Mean MPI-D wasted seconds per rate (lost work + downtime +
+    #: checkpoint tax) — symmetric with Hadoop's ``wasted_task_seconds``.
+    mpid_wasted: dict[float, float] = field(default_factory=dict)
+    #: Mean MPI-D fault counters per rate (``fault_summary`` records).
+    mpid_faults: dict[float, dict] = field(default_factory=dict)
+    #: Full per-task records when ``keep_task_records=True``:
+    #: rate -> [JobMetrics.to_dict() per seed] (rate 0.0 = clean runs).
+    hadoop_task_records: dict[float, list[dict]] = field(default_factory=dict)
 
     def crossover_rate(self) -> Optional[float]:
         """Lowest rate where Hadoop's mean time beats MPI-D's, linearly
@@ -113,6 +121,7 @@ def run(
     restart_after: float = 30.0,
     expiry_interval: float = 60.0,
     checkpoint_interval: Optional[float] = None,
+    keep_task_records: bool = False,
 ) -> FaultToleranceResult:
     cluster_spec = ClusterSpec()
     workers = tuple(range(1, cluster_spec.num_nodes))
@@ -133,22 +142,25 @@ def run(
         restart_after=restart_after,
         checkpoint_interval=checkpoint_interval,
     )
-    result.hadoop_clean = float(
-        np.mean([run_hadoop_job(spec, config=hadoop_cfg, seed=s).elapsed for s in seeds])
-    )
+    clean_metrics = [run_hadoop_job(spec, config=hadoop_cfg, seed=s) for s in seeds]
+    result.hadoop_clean = float(np.mean([m.elapsed for m in clean_metrics]))
+    if keep_task_records:
+        result.hadoop_task_records[0.0] = [m.to_dict() for m in clean_metrics]
     # MPI-D has no placement randomness: one clean run, reused everywhere.
     result.mpid_clean = run_mpid_job(
         spec, config=mpid_cfg, cluster_spec=cluster_spec
     ).elapsed
 
     for rate in result.rates_per_hour:
-        h_times, m_times, m_restarts = [], [], []
+        h_times, m_times, m_restarts, m_wasted = [], [], [], []
         h_dnf = m_dnf = 0
         fault_acc: dict[str, float] = {
             "lost_trackers": 0.0,
             "maps_reexecuted": 0.0,
             "wasted_task_seconds": 0.0,
         }
+        m_fault_acc: dict[str, float] = {}
+        rate_records: list[dict] = []
         for seed in seeds:
             plan = FaultPlan(
                 specs=(
@@ -171,6 +183,8 @@ def run(
                 h_dnf += 1
             for key in fault_acc:
                 fault_acc[key] += getattr(hm, key)
+            if keep_task_records:
+                rate_records.append(hm.to_dict())
             mm = run_mpid_job_under_faults(
                 spec,
                 plan,
@@ -181,6 +195,9 @@ def run(
             )
             m_times.append(mm.elapsed)
             m_restarts.append(mm.restarts)
+            m_wasted.append(mm.wasted_task_seconds)
+            for key, value in mm.fault_summary().items():
+                m_fault_acc[key] = m_fault_acc.get(key, 0.0) + value
             if not mm.completed:
                 m_dnf += 1
         result.hadoop[rate] = float(np.mean(h_times))
@@ -191,6 +208,12 @@ def run(
             k: v / len(seeds) for k, v in fault_acc.items()
         }
         result.mpid_restarts[rate] = float(np.mean(m_restarts))
+        result.mpid_wasted[rate] = float(np.mean(m_wasted))
+        result.mpid_faults[rate] = {
+            k: v / len(seeds) for k, v in m_fault_acc.items()
+        }
+        if keep_task_records:
+            result.hadoop_task_records[rate] = rate_records
     return result
 
 
@@ -213,6 +236,7 @@ def format_report(result: FaultToleranceResult) -> str:
             "maps re-run",
             "wasted task-s",
             "MPI-D restarts",
+            "MPI-D wasted-s",
         ),
         title=(
             f"WordCount {result.input_gb} GB under Poisson node churn "
@@ -221,7 +245,7 @@ def format_report(result: FaultToleranceResult) -> str:
     )
     table.add_row(
         "0 (clean)", f"{result.hadoop_clean:.1f}", f"{result.mpid_clean:.1f}",
-        0.0, 0.0, 0.0, 0.0,
+        0.0, 0.0, 0.0, 0.0, 0.0,
     )
     for rate in result.rates_per_hour:
         f = result.hadoop_faults[rate]
@@ -233,6 +257,7 @@ def format_report(result: FaultToleranceResult) -> str:
             f["maps_reexecuted"],
             f["wasted_task_seconds"],
             result.mpid_restarts[rate],
+            result.mpid_wasted.get(rate, 0.0),
         )
     notes = [
         f"tasktracker expiry lowered to {result.expiry_interval:.0f}s "
@@ -267,6 +292,70 @@ def format_report(result: FaultToleranceResult) -> str:
     )
 
 
+def write_traced_run(
+    trace_out,
+    input_gb: int = 1,
+    seed: int = 2011,
+    rate_per_hour: float = 40.0,
+    restart_after: float = 30.0,
+    expiry_interval: float = 60.0,
+):
+    """One observed faulted Hadoop run; writes trace + manifest sidecar.
+
+    The trace shows the fault instants, the killed task attempts
+    (aborted spans) and the re-executions — the recovery story of one
+    churned run, loadable in Perfetto.
+    """
+    import time as _time
+
+    from pathlib import Path
+
+    from repro.hadoop.simulation import HadoopSimulation
+    from repro.obs import build_manifest, write_trace
+
+    plan = FaultPlan(
+        specs=(
+            CrashRate(
+                rate=rate_per_hour / 3600.0,
+                nodes=tuple(range(1, ClusterSpec().num_nodes)),
+                restart_after=restart_after,
+            ),
+        ),
+        seed=seed,
+    )
+    sim = HadoopSimulation(
+        spec=_spec(input_gb),
+        config=HadoopConfig(
+            map_slots=7, reduce_slots=7, tasktracker_expiry_interval=expiry_interval
+        ),
+        seed=seed,
+        fault_plan=plan,
+        observe=True,
+    )
+    t0 = _time.perf_counter()
+    try:
+        metrics = sim.run()
+    except JobFailedError as err:
+        metrics = err.metrics
+    observers = [(f"hadoop-faulted-{input_gb}g", sim.obs)]
+    manifest = build_manifest(
+        experiment="fault_tolerance",
+        config={
+            "input_gb": input_gb,
+            "rate_per_hour": rate_per_hour,
+            "restart_after": restart_after,
+            "expiry_interval": expiry_interval,
+        },
+        seed=seed,
+        observers=observers,
+        wall_seconds=_time.perf_counter() - t0,
+        sim_elapsed={"hadoop": metrics.elapsed},
+    )
+    write_trace(observers, trace_out, manifest=manifest)
+    manifest.write(Path(f"{trace_out}.manifest.json"))
+    return metrics
+
+
 def _parse_floats(text: str) -> tuple[float, ...]:
     return tuple(float(tok) for tok in text.split(",") if tok.strip())
 
@@ -295,6 +384,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--full", action="store_true", help="wider rate sweep (slower)"
     )
+    parser.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        help="also run one traced faulted 1 GB job; write Perfetto JSON here",
+    )
     args = parser.parse_args(argv)
     seeds = (
         tuple(int(t) for t in args.seeds.split(",") if t.strip())
@@ -316,6 +411,9 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
     )
+    if args.trace_out is not None:
+        write_traced_run(args.trace_out)
+        print(f"\nwrote {args.trace_out} (+ {args.trace_out}.manifest.json)")
     return 0
 
 

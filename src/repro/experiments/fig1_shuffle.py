@@ -31,6 +31,41 @@ def run(input_bytes: int = 16 * GiB, seed: int = 2011) -> JobMetrics:
     return run_hadoop_job(spec, config=HadoopConfig(map_slots=8, reduce_slots=8), seed=seed)
 
 
+def write_traced_run(trace_out, input_bytes: int = 16 * GiB, seed: int = 2011) -> JobMetrics:
+    """One observed JavaSort run; writes trace + manifest sidecar."""
+    import time
+    from pathlib import Path
+
+    from repro.hadoop.simulation import HadoopSimulation
+    from repro.obs import build_manifest, write_trace
+
+    spec = JobSpec(
+        name=f"javasort-{input_bytes // GiB}g",
+        input_bytes=input_bytes,
+        profile=JAVASORT_PROFILE,
+    )
+    sim = HadoopSimulation(
+        spec=spec,
+        config=HadoopConfig(map_slots=8, reduce_slots=8),
+        seed=seed,
+        observe=True,
+    )
+    t0 = time.perf_counter()
+    metrics = sim.run()
+    observers = [(spec.name, sim.obs)]
+    manifest = build_manifest(
+        experiment="fig1_shuffle",
+        config={"input_bytes": input_bytes, "seed": seed},
+        seed=seed,
+        observers=observers,
+        wall_seconds=time.perf_counter() - t0,
+        sim_elapsed={"hadoop": metrics.elapsed},
+    )
+    write_trace(observers, trace_out, manifest=manifest)
+    manifest.write(Path(f"{trace_out}.manifest.json"))
+    return metrics
+
+
 def format_report(metrics: JobMetrics, show_reducers: int = 12) -> str:
     copy = metrics.copy_times()
     sort = metrics.sort_times()
@@ -87,9 +122,18 @@ def main(argv: list[str] | None = None) -> int:
         "--full", action="store_true", help="run the paper's 150 GB input"
     )
     parser.add_argument("--gb", type=int, default=None, help="input size in GiB")
+    parser.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        help="also run once observed; write Perfetto JSON here",
+    )
     args = parser.parse_args(argv)
     gb = 150 if args.full else (args.gb or 16)
     print(format_report(run(input_bytes=gb * GiB)))
+    if args.trace_out is not None:
+        write_traced_run(args.trace_out, input_bytes=gb * GiB)
+        print(f"\nwrote {args.trace_out} (+ {args.trace_out}.manifest.json)")
     return 0
 
 

@@ -5,18 +5,26 @@ map/reduce slots on Hadoop; on the MPI-D side 49 mapper processes, 1
 reducer, 1 master.  Input from 1 GB to 100 GB.  The headline: MPI-D
 reduces execution time to 8% / 48% / 56% of Hadoop at 1 / 10 / 100 GB.
 
-Run: ``python -m repro.experiments.fig6_wordcount [--full]``
+Run: ``python -m repro.experiments.fig6_wordcount [--full]
+[--trace-out trace.json]`` — the latter re-runs the smallest size with
+the observer attached and writes a Perfetto-loadable trace plus a
+``<trace-out>.manifest.json`` sidecar.
 """
 
 from __future__ import annotations
 
 import argparse
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.experiments import paper
 from repro.experiments.reporting import Table, banner, compare_to_paper
-from repro.hadoop import HadoopConfig, JobSpec, WORDCOUNT_PROFILE, run_hadoop_job
-from repro.mrmpi import MrMpiConfig, run_mpid_job
+from repro.hadoop import HadoopConfig, JobSpec, WORDCOUNT_PROFILE
+from repro.hadoop.simulation import HadoopSimulation
+from repro.mrmpi import MrMpiConfig
+from repro.mrmpi.simulator import MrMpiSimulation
+from repro.obs import build_manifest, write_trace
 from repro.util.units import GiB
 
 DEFAULT_SIZES_GB = (1, 4, 10)
@@ -30,6 +38,12 @@ class Fig6Result:
     sizes_gb: tuple[int, ...]
     hadoop: dict[int, float] = field(default_factory=dict)
     mpid: dict[int, float] = field(default_factory=dict)
+    #: Full per-task phase records (``JobMetrics.to_dict()`` /
+    #: ``MrMpiMetrics.to_dict()``) per size — the JSON export's payload.
+    hadoop_metrics: dict[int, dict] = field(default_factory=dict)
+    mpid_metrics: dict[int, dict] = field(default_factory=dict)
+    #: ``[(name, Observer), ...]`` when the run was observed, else empty.
+    traces: list = field(default_factory=list)
 
     def ratio(self, gb: int) -> float:
         return self.mpid[gb] / self.hadoop[gb]
@@ -44,13 +58,28 @@ def _spec(gb: int) -> JobSpec:
     )
 
 
-def run(sizes_gb: tuple[int, ...] = DEFAULT_SIZES_GB, seed: int = 2011) -> Fig6Result:
+def run(
+    sizes_gb: tuple[int, ...] = DEFAULT_SIZES_GB,
+    seed: int = 2011,
+    observe: bool = False,
+) -> Fig6Result:
     hadoop_cfg = HadoopConfig(map_slots=7, reduce_slots=7)
     mpid_cfg = MrMpiConfig(num_mappers=49, num_reducers=1)
     result = Fig6Result(sizes_gb=tuple(sizes_gb))
     for gb in sizes_gb:
-        result.hadoop[gb] = run_hadoop_job(_spec(gb), config=hadoop_cfg, seed=seed).elapsed
-        result.mpid[gb] = run_mpid_job(_spec(gb), config=mpid_cfg).elapsed
+        hsim = HadoopSimulation(
+            spec=_spec(gb), config=hadoop_cfg, seed=seed, observe=observe
+        )
+        hm = hsim.run()
+        result.hadoop[gb] = hm.elapsed
+        result.hadoop_metrics[gb] = hm.to_dict()
+        msim = MrMpiSimulation(spec=_spec(gb), config=mpid_cfg, observe=observe)
+        mm = msim.run()
+        result.mpid[gb] = mm.elapsed
+        result.mpid_metrics[gb] = mm.to_dict()
+        if observe:
+            result.traces.append((f"hadoop-{gb}g", hsim.obs))
+            result.traces.append((f"mpid-{gb}g", msim.obs))
     return result
 
 
@@ -95,14 +124,43 @@ def format_report(result: Fig6Result) -> str:
     )
 
 
+def write_traced_run(
+    trace_out: Path, sizes_gb: tuple[int, ...], seed: int = 2011
+) -> Fig6Result:
+    """One observed run of the smallest size; writes trace + manifest."""
+    gb = min(sizes_gb)
+    t0 = time.perf_counter()
+    result = run(sizes_gb=(gb,), seed=seed, observe=True)
+    manifest = build_manifest(
+        experiment="fig6_wordcount",
+        config={"sizes_gb": [gb], "seed": seed},
+        seed=seed,
+        observers=result.traces,
+        wall_seconds=time.perf_counter() - t0,
+        sim_elapsed={"hadoop": result.hadoop[gb], "mpid": result.mpid[gb]},
+    )
+    write_trace(result.traces, trace_out, manifest=manifest)
+    manifest.write(Path(f"{trace_out}.manifest.json"))
+    return result
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--full", action="store_true", help="run the paper's 1/10/100 GB points"
     )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="also run the smallest size observed; write Perfetto JSON here",
+    )
     args = parser.parse_args(argv)
     sizes = FULL_SIZES_GB if args.full else DEFAULT_SIZES_GB
     print(format_report(run(sizes_gb=sizes)))
+    if args.trace_out is not None:
+        write_traced_run(args.trace_out, sizes)
+        print(f"\nwrote {args.trace_out} (+ {args.trace_out}.manifest.json)")
     return 0
 
 

@@ -59,11 +59,19 @@ def map_task_process(
     metrics.started_at = sim.now
     metrics.input_bytes = task.block.size
     node = env.cluster.node(attempt.node)
+    tr = sim.obs.tracer
+    sid = tr.begin(
+        "hadoop.map",
+        f"map{task.task_id}" + (".spec" if attempt.speculative else ""),
+        node=attempt.node,
+        input_bytes=task.block.size,
+    )
 
     try:
         yield sim.timeout(cfg.task_jvm_startup)
 
         # --- input ----------------------------------------------------------
+        read_sid = tr.begin("hadoop.map", "read", parent=sid)
         if task.block.is_local_to(attempt.node):
             yield node.disk_read(task.block.size)
         else:
@@ -73,6 +81,7 @@ def map_task_process(
                 if src_id is None:
                     env.jobtracker.map_attempt_failed(attempt, sim.now)
                     tracker.map_failed(attempt)
+                    tr.abort(sid, outcome="failed:no-replica")
                     return
             # Remote read streams: source disk and the network pipeline in
             # parallel; both must finish.
@@ -97,28 +106,38 @@ def map_task_process(
                 # The datanode died mid-stream: the read is garbage.
                 env.jobtracker.map_attempt_failed(attempt, sim.now)
                 tracker.map_failed(attempt)
+                tr.abort(sid, outcome="failed:datanode-died")
                 return
+        tr.end(read_sid)
 
         # --- user map + collect on one core -----------------------------------
         cpu_time = task.block.size * profile.map_cpu_per_byte
+        map_sid = tr.begin("hadoop.map", "map", parent=sid)
         core = node.cpus.acquire()
         try:
             yield core
             yield sim.timeout(cpu_time)
         finally:
             node.cpus.cancel(core)
+        tr.end(map_sid)
 
         # --- sort & spill --------------------------------------------------------
         output = profile.map_output_bytes(task.block.size)
         metrics.output_bytes = int(output)
+        spill_sid = tr.begin("hadoop.map", "spill", parent=sid, output_bytes=output)
         yield node.disk_write(output)
         if output > cfg.io_sort_mb:
             # Multiple spills: merge pass re-reads and re-writes everything.
             yield node.disk_read(output, sequential=False)
             yield node.disk_write(output)
+        tr.end(spill_sid)
 
         metrics.finished_at = sim.now
         env.jobtracker.map_finished(attempt, output_bytes=output, now=sim.now)
         tracker.map_completed(attempt)
+        tr.end(sid, outcome="done")
+        if sid:
+            sim.obs.metrics.counter("hadoop.maps_finished").add()
     except Interrupt:
+        tr.abort(sid, outcome="interrupted")
         return  # this node crashed; recovery is the JobTracker's problem

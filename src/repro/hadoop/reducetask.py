@@ -73,6 +73,8 @@ def reduce_task_process(
     jt = env.jobtracker
     metrics = task.metrics
     assert metrics is not None
+    tr = sim.obs.tracer
+    sid = tr.begin("hadoop.reduce", f"reduce{task.task_id}", node=task.node)
     try:
         metrics.started_at = sim.now
         node = env.cluster.node(task.node)
@@ -80,6 +82,7 @@ def reduce_task_process(
         yield sim.timeout(cfg.task_jvm_startup)
 
         # ---------------- copy stage ------------------------------------------
+        copy_sid = tr.begin("hadoop.reduce", "copy", parent=sid)
         state = _ShuffleState()
         copiers = SlotPool(sim, cfg.parallel_copies, name=f"copiers-r{task.task_id}")
         cursor = 0
@@ -115,14 +118,19 @@ def reduce_task_process(
                 procs, inflight = inflight, []
                 yield sim.all_of(procs)
             if jt.job_failed:
+                tr.abort(sid, outcome="job-failed")
                 return
             if state.initiated >= total_maps:
                 break  # every fetch landed (failures decrement initiated)
         metrics.copy_done_at = sim.now
         metrics.shuffled_bytes = int(state.shuffled_bytes)
         metrics.fetches = state.fetches
+        tr.end(copy_sid, shuffled_bytes=state.shuffled_bytes, fetches=state.fetches)
+        if sid:
+            sim.obs.metrics.counter("hadoop.bytes_shuffled").add(state.shuffled_bytes)
 
         # ---------------- sort stage -------------------------------------------
+        sort_sid = tr.begin("hadoop.reduce", "sort", parent=sid)
         yield sim.timeout(IN_MEMORY_MERGE_TIME)
         if state.spilled_to_disk and total_maps > cfg.io_sort_factor:
             passes = max(0, math.ceil(math.log(total_maps, cfg.io_sort_factor)) - 1)
@@ -130,8 +138,10 @@ def reduce_task_process(
                 yield node.disk_read(state.shuffled_bytes, sequential=False)
                 yield node.disk_write(state.shuffled_bytes)
         metrics.sort_done_at = sim.now
+        tr.end(sort_sid)
 
         # ---------------- reduce stage --------------------------------------------
+        reduce_sid = tr.begin("hadoop.reduce", "reduce", parent=sid)
         if state.spilled_to_disk:
             yield node.disk_read(state.shuffled_bytes)
         cpu_time = state.shuffled_bytes * env.spec.profile.reduce_cpu_per_byte
@@ -166,7 +176,12 @@ def reduce_task_process(
         metrics.finished_at = sim.now
         jt.reduce_finished(task)
         tracker.reduce_completed(task)
+        tr.end(reduce_sid)
+        tr.end(sid, outcome="done")
+        if sid:
+            sim.obs.metrics.counter("hadoop.reduces_finished").add()
     except Interrupt:
+        tr.abort(sid, outcome="interrupted")
         return  # this node crashed; the JobTracker reschedules the reduce
 
 
@@ -190,6 +205,8 @@ def _fetch_batch(
     """
     sim = env.sim
     cfg = env.config
+    obs = sim.obs
+    fetch_sid = 0
     slot = copiers.acquire()
     try:
         yield slot
@@ -198,6 +215,15 @@ def _fetch_batch(
             _fetch_failed(env, group, src_node, state)
             return
         total = sum(ref.partition_bytes for ref in group)
+        fetch_sid = obs.tracer.begin(
+            "transport.jetty",
+            f"fetch r{task.task_id}<-n{src_node}",
+            segments=len(group),
+            nbytes=total,
+        )
+        if fetch_sid:
+            obs.metrics.counter("transport.jetty.requests").add(len(group))
+            obs.metrics.counter("transport.jetty.bytes").add(total)
         setup = env.jetty.request_setup * len(group)
         headers = env.jetty.header_bytes * len(group)
         src = env.cluster.node(src_node)
@@ -218,6 +244,9 @@ def _fetch_batch(
             env.is_node_dead(src_node) or env.node_epoch(src_node) != epoch
         ):
             _fetch_failed(env, group, src_node, state)
+            obs.tracer.abort(fetch_sid, outcome="failed:source-died")
+            obs.metrics.counter("transport.jetty.failed_fetches").add(len(group))
+            fetch_sid = 0
             return
         state.shuffled_bytes += total
         state.fetches += len(group)
@@ -227,9 +256,12 @@ def _fetch_batch(
             state.spilled_to_disk = True
         if state.spilled_to_disk and total > 0:
             yield env.cluster.node(task.node).disk_write(total)
+        obs.tracer.end(fetch_sid)
+        fetch_sid = 0
     except Interrupt:
         return  # the reducer's own node died mid-fetch
     finally:
+        obs.tracer.abort(fetch_sid, outcome="interrupted")
         copiers.cancel(slot)
 
 

@@ -29,6 +29,7 @@ from repro.hadoop.maptask import map_task_process
 from repro.hadoop.metrics import JobMetrics
 from repro.hadoop.reducetask import reduce_task_process
 from repro.hadoop.tasktracker import TaskTracker
+from repro.obs import Observer
 from repro.simnet.cluster import Cluster, ClusterSpec
 from repro.simnet.faults import FaultInjector, FaultPlan
 from repro.simnet.kernel import Interrupt, Process, Simulator
@@ -62,11 +63,17 @@ class HadoopSimulation:
     disk_slowdown: Optional[dict[int, float]] = None
     #: Fault injection; None or an empty plan leaves the run untouched.
     fault_plan: Optional[FaultPlan] = None
+    #: Observability: True attaches an :class:`~repro.obs.Observer` to the
+    #: simulator before any model is built.  Off by default — an untraced
+    #: run is bit-for-bit identical to the uninstrumented code.
+    observe: bool = False
 
     def __post_init__(self) -> None:
         if self.cluster_spec.num_nodes < 2:
             raise ValueError("need a master plus at least one worker node")
         self.sim = Simulator()
+        # Attach before Cluster: SlotPool/RateDevice bind metrics at init.
+        self.obs = Observer.attach(self.sim) if self.observe else self.sim.obs
         self.cluster = Cluster(self.sim, self.cluster_spec)
         for node_id, factor in (self.disk_slowdown or {}).items():
             if factor <= 0:
@@ -209,6 +216,14 @@ class HadoopSimulation:
         job (the exception carries the partial metrics)."""
         sim = self.sim
         jt = self.jobtracker
+        job_sid = sim.obs.tracer.begin(
+            "hadoop.job",
+            self.spec.name,
+            track="hadoop:job",
+            input_bytes=self.spec.input_bytes,
+            maps=jt.total_maps,
+            reduces=jt.num_reduces,
+        )
 
         def job(sim_):
             expiry_proc = None
@@ -249,6 +264,7 @@ class HadoopSimulation:
 
         sim.process(job(sim), name="job")
         sim.run(until=until)
+        sim.obs.tracer.end(job_sid, done=jt.job_done, failed=jt.job_failed)
         self._finalize_metrics()
         if jt.job_failed:
             raise JobFailedError(jt.failure_reason or "unknown failure", self.metrics)

@@ -94,6 +94,20 @@ class TaskTracker:
                         name=f"red{task.task_id}",
                     )
                 self.heartbeats_sent += 1
+                obs = sim.obs
+                if obs.enabled:
+                    obs.metrics.counter("transport.rpc.heartbeats").add()
+                    obs.metrics.counter("transport.rpc.bytes").add(
+                        2 * self.config.rpc_status_bytes
+                    )
+                    if maps or reduces:
+                        obs.tracer.instant(
+                            "transport.rpc",
+                            f"assign n{self.node_id}",
+                            track=f"rpc:n{self.node_id}",
+                            maps=len(maps),
+                            reduces=len(reduces),
+                        )
                 yield sim.timeout(self.config.heartbeat_interval)
         except Interrupt:
             return  # node crashed; the JobTracker learns via heartbeat expiry

@@ -25,6 +25,7 @@ from typing import Optional
 
 from repro.hadoop.job import JobSpec
 from repro.mrmpi.config import MrMpiConfig
+from repro.obs import Observer
 from repro.simnet.cluster import Cluster, ClusterSpec
 from repro.simnet.kernel import Event, Simulator
 from repro.transports.mpich import MpichTransport
@@ -128,11 +129,16 @@ class MrMpiSimulation:
     spec: JobSpec
     config: MrMpiConfig = field(default_factory=MrMpiConfig)
     cluster_spec: ClusterSpec = field(default_factory=ClusterSpec)
+    #: Observability: True attaches an :class:`~repro.obs.Observer`; off by
+    #: default so an untraced run matches the uninstrumented code exactly.
+    observe: bool = False
 
     def __post_init__(self) -> None:
         if self.cluster_spec.num_nodes < 2:
             raise ValueError("need a master plus at least one worker node")
         self.sim = Simulator()
+        # Attach before Cluster: resources bind their metrics at init.
+        self.obs = Observer.attach(self.sim) if self.observe else self.sim.obs
         self.cluster = Cluster(self.sim, self.cluster_spec)
         self.mpich = MpichTransport()
         self.num_workers = self.cluster_spec.num_nodes - 1
@@ -170,6 +176,10 @@ class MrMpiSimulation:
         self.metrics.mappers.append(m)
         yield sim.timeout(cfg.startup_time)
         m.started_at = sim.now
+        tr = sim.obs.tracer
+        sid = tr.begin(
+            "mpid.map", f"mapper{rank}", node=node_id, input_bytes=split_bytes
+        )
 
         remaining = split_bytes
         # Chunk size chosen so one chunk's raw map output fills the spill
@@ -178,22 +188,29 @@ class MrMpiSimulation:
         while remaining > 0:
             chunk = min(chunk_in, remaining)
             remaining -= chunk
+            read_sid = tr.begin("mpid.map", "read", parent=sid)
             yield node.disk_read(chunk)
+            tr.end(read_sid)
             cpu = self._user_cpu(profile.map_cpu_per_byte, chunk)
+            map_sid = tr.begin("mpid.map", "map", parent=sid)
             yield node.cpus.acquire()
             try:
                 yield sim.timeout(cpu)
             finally:
                 node.cpus.release()
+            tr.end(map_sid)
             # Spill: realign + eager sends of fixed-size partition arrays.
             out = profile.map_output_bytes(chunk)
             if out <= 0:
                 continue
             m.spills += 1
+            realign_sid = tr.begin("mpid.map", "realign", parent=sid)
             yield sim.timeout(out * cfg.realign_cpu_per_byte)
             if cfg.compress:
                 yield sim.timeout(out * cfg.compress_cpu_per_byte)
                 out *= cfg.compression_ratio
+            tr.end(realign_sid)
+            send_sid = tr.begin("mpid.map", "send", parent=sid)
             for r, rnode in enumerate(self.reducer_nodes):
                 share = out * self.partition_weights[r]
                 if share <= 0:
@@ -209,7 +226,13 @@ class MrMpiSimulation:
                 self._sent_per_reducer[r] += share
                 m.sent_bytes += share
                 m.messages += n_msgs
+                obs = sim.obs
+                if obs.enabled:
+                    obs.metrics.counter("transport.mpich.messages").add(n_msgs)
+                    obs.metrics.counter("transport.mpich.bytes").add(share)
+            tr.end(send_sid, sent_bytes=m.sent_bytes)
         m.finished_at = sim.now
+        tr.end(sid, messages=m.messages, spills=m.spills)
         self._mappers_done += 1
         if self._mappers_done == cfg.num_mappers:
             assert self._all_mappers_done is not None
@@ -224,15 +247,19 @@ class MrMpiSimulation:
         self.metrics.reducers.append(r)
         yield sim.timeout(cfg.startup_time)
         r.started_at = sim.now
+        tr = sim.obs.tracer
+        sid = tr.begin("mpid.reduce", f"reducer{index}", node=node_id)
 
         # Wildcard reception: wait until every mapper finished emitting,
         # then for every in-flight array destined here.
+        recv_sid = tr.begin("mpid.reduce", "recv", parent=sid)
         yield self._all_mappers_done
         flows = self._reducer_flows[index]
         if flows:
             yield sim.all_of(flows)
         r.received_bytes = self._sent_per_reducer[index]
         r.copy_done_at = sim.now
+        tr.end(recv_sid, received_bytes=r.received_bytes)
 
         # Reverse realignment (+ decompression) + merge + user reduce.
         raw_bytes = r.received_bytes
@@ -242,15 +269,20 @@ class MrMpiSimulation:
             decompress_cpu = raw_bytes * cfg.decompress_cpu_per_byte
         merge_cpu = self._user_cpu(profile.reduce_cpu_per_byte, raw_bytes)
         realign_cpu = raw_bytes * cfg.realign_cpu_per_byte + decompress_cpu
+        merge_sid = tr.begin("mpid.reduce", "merge", parent=sid)
         yield node.cpus.acquire()
         try:
             yield sim.timeout(merge_cpu + realign_cpu)
         finally:
             node.cpus.release()
+        tr.end(merge_sid)
         output = profile.reduce_output_bytes(raw_bytes)
+        write_sid = tr.begin("mpid.reduce", "write", parent=sid, output_bytes=output)
         for _ in range(cfg.output_replication):
             yield node.disk_write(output)
+        tr.end(write_sid)
         r.finished_at = sim.now
+        tr.end(sid, received_bytes=r.received_bytes)
 
     # -- driver --------------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> MrMpiMetrics:
@@ -258,6 +290,14 @@ class MrMpiSimulation:
         cfg = self.config
         self._all_mappers_done = sim.event()
         split = self.spec.input_bytes / cfg.num_mappers
+        job_sid = sim.obs.tracer.begin(
+            "mpid.job",
+            self.spec.name,
+            track="mpid:job",
+            input_bytes=self.spec.input_bytes,
+            mappers=cfg.num_mappers,
+            reducers=cfg.num_reducers,
+        )
 
         procs = []
         for rank, node_id in enumerate(self.mapper_nodes, start=1):
@@ -277,6 +317,7 @@ class MrMpiSimulation:
 
         sim.process(job(sim), name="job")
         sim.run(until=until)
+        sim.obs.tracer.end(job_sid)
         if self.metrics.elapsed == 0.0 and until is not None:
             raise RuntimeError(f"job did not finish by t={until}")
         return self.metrics
@@ -323,6 +364,8 @@ class MrMpiFaultMetrics:
     lost_work_seconds: float = 0.0
     #: Extra seconds spent writing checkpoints (0 without checkpointing).
     checkpoint_overhead_seconds: float = 0.0
+    #: Seconds spent in restart windows (job down, nothing running).
+    restart_overhead_seconds: float = 0.0
     completed: bool = True
     checkpointed: bool = False
 
@@ -330,6 +373,21 @@ class MrMpiFaultMetrics:
     def slowdown(self) -> float:
         """Faulty / clean makespan ratio (inf when the job never finished)."""
         return self.elapsed / self.clean_elapsed if self.clean_elapsed > 0 else 1.0
+
+    @property
+    def wasted_task_seconds(self) -> float:
+        """Total seconds spent on work that did not advance the job.
+
+        The MPI-D counterpart of Hadoop's ``JobMetrics.wasted_task_seconds``:
+        re-executed progress, downtime between abort and restart, and the
+        checkpoint tax all count — so the two systems' fault overheads are
+        reported in the same unit.
+        """
+        return (
+            self.lost_work_seconds
+            + self.restart_overhead_seconds
+            + self.checkpoint_overhead_seconds
+        )
 
     def summary(self) -> dict:
         return {
@@ -339,8 +397,20 @@ class MrMpiFaultMetrics:
             "restarts": self.restarts,
             "lost_work_seconds": self.lost_work_seconds,
             "checkpoint_overhead_seconds": self.checkpoint_overhead_seconds,
+            "restart_overhead_seconds": self.restart_overhead_seconds,
+            "wasted_task_seconds": self.wasted_task_seconds,
             "completed": self.completed,
             "checkpointed": self.checkpointed,
+        }
+
+    def fault_summary(self) -> dict:
+        """The counter set experiments report symmetrically with Hadoop."""
+        return {
+            "restarts": self.restarts,
+            "lost_work_seconds": self.lost_work_seconds,
+            "restart_overhead_seconds": self.restart_overhead_seconds,
+            "checkpoint_overhead_seconds": self.checkpoint_overhead_seconds,
+            "wasted_task_seconds": self.wasted_task_seconds,
         }
 
 
@@ -389,6 +459,7 @@ def replay_restarts(
         done = keep
         t = c + restart_overhead
         out.restarts += 1
+        out.restart_overhead_seconds += restart_overhead
         if out.restarts > max_restarts:
             out.completed = False
             out.elapsed = float("inf")

@@ -1,0 +1,56 @@
+"""Simulation-wide observability: spans, metrics, exporters, manifests.
+
+The layer has three moving parts, all reachable from any model through
+the :class:`~repro.simnet.kernel.Simulator` they already hold:
+
+* :class:`SpanTracer` — span-based tracing with explicit span IDs,
+  nesting and categories (kernel events, network transfers, transport
+  sends, map/reduce phases, MPI-D phases, fault injections);
+* :class:`MetricsRegistry` — counters, gauges and time-weighted
+  histograms sampled in *simulated* time (link utilization, queue
+  depths, slot occupancy, bytes shuffled);
+* exporters — Chrome/Perfetto ``trace_event`` JSON
+  (:func:`trace_events` / :func:`write_trace`), an ASCII Gantt renderer
+  (:func:`ascii_gantt`) and per-run manifests (:func:`build_manifest`).
+
+An :class:`Observer` bundles one tracer plus one registry and attaches
+to a simulator (``Observer.attach(sim)``); every instrumented model
+reads ``sim.obs``.  The default is :data:`NULL_OBS`, a no-op whose
+methods never schedule events, never consume randomness, and never
+allocate — a run with observability off is bit-for-bit identical to a
+run of the uninstrumented code.
+"""
+
+from repro.obs.gantt import ascii_gantt
+from repro.obs.manifest import RunManifest, build_manifest, config_hash, git_revision
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    TimeWeightedHistogram,
+)
+from repro.obs.observer import NULL_OBS, NullObserver, Observer
+from repro.obs.perfetto import trace_events, validate_trace, write_trace
+from repro.obs.tracer import Instant, Span, SpanTracer, TraceError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Instant",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NullObserver",
+    "Observer",
+    "RunManifest",
+    "Span",
+    "SpanTracer",
+    "TimeWeightedHistogram",
+    "TraceError",
+    "ascii_gantt",
+    "build_manifest",
+    "config_hash",
+    "git_revision",
+    "trace_events",
+    "validate_trace",
+    "write_trace",
+]

@@ -1,0 +1,213 @@
+"""``python -m repro trace <experiment>`` — run one observed experiment.
+
+The fastest path from "what is the simulator doing?" to a timeline: one
+command runs a small experiment with the observer attached and writes
+
+* a Chrome/Perfetto ``trace_event`` JSON (open at https://ui.perfetto.dev
+  or ``chrome://tracing``) with one process per simulated system and one
+  thread per track (task attempt, flow, node),
+* a ``<trace-out>.manifest.json`` sidecar (config hash, seed, git rev,
+  wall-clock, event counts),
+* optionally a metrics dump (``--metrics-out``, CSV or JSON by
+  extension) and an ASCII Gantt of the phase spans (``--gantt``).
+
+Experiments:
+
+* ``fig6``  — WordCount, Hadoop and MPI-D side by side (two pids).
+* ``fig1``  — JavaSort shuffle anatomy on Hadoop.
+* ``fault`` — one Hadoop run under Poisson node churn (fault instants,
+  aborted attempts, re-executions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.obs.gantt import ascii_gantt
+from repro.obs.manifest import build_manifest
+from repro.obs.perfetto import write_trace
+from repro.util.units import fmt_bytes, parse_size
+
+_EXPERIMENTS = ("fig6", "fig1", "fault")
+
+
+def _wordcount_spec(nbytes: int):
+    from repro.hadoop import JobSpec, WORDCOUNT_PROFILE
+
+    return JobSpec(
+        name=f"wordcount-{fmt_bytes(nbytes)}",
+        input_bytes=nbytes,
+        profile=WORDCOUNT_PROFILE,
+        num_reduce_tasks=1,
+    )
+
+
+def _run_fig6(nbytes: int, seed: int):
+    from repro.hadoop import HadoopConfig
+    from repro.hadoop.simulation import HadoopSimulation
+    from repro.mrmpi import MrMpiConfig
+    from repro.mrmpi.simulator import MrMpiSimulation
+
+    spec = _wordcount_spec(nbytes)
+    hsim = HadoopSimulation(
+        spec=spec,
+        config=HadoopConfig(map_slots=7, reduce_slots=7),
+        seed=seed,
+        observe=True,
+    )
+    hm = hsim.run()
+    msim = MrMpiSimulation(
+        spec=spec, config=MrMpiConfig(num_mappers=49, num_reducers=1), observe=True
+    )
+    mm = msim.run()
+    observers = [("hadoop", hsim.obs), ("mpid", msim.obs)]
+    return observers, {"hadoop": hm.elapsed, "mpid": mm.elapsed}
+
+
+def _run_fig1(nbytes: int, seed: int):
+    from repro.hadoop import HadoopConfig, JAVASORT_PROFILE, JobSpec
+    from repro.hadoop.simulation import HadoopSimulation
+
+    spec = JobSpec(
+        name=f"javasort-{fmt_bytes(nbytes)}",
+        input_bytes=nbytes,
+        profile=JAVASORT_PROFILE,
+    )
+    sim = HadoopSimulation(
+        spec=spec,
+        config=HadoopConfig(map_slots=8, reduce_slots=8),
+        seed=seed,
+        observe=True,
+    )
+    metrics = sim.run()
+    return [("hadoop", sim.obs)], {"hadoop": metrics.elapsed}
+
+
+def _run_fault(nbytes: int, seed: int, rate_per_hour: float = 40.0):
+    from repro.hadoop import HadoopConfig, JobFailedError
+    from repro.hadoop.simulation import HadoopSimulation
+    from repro.simnet.cluster import ClusterSpec
+    from repro.simnet.faults import CrashRate, FaultPlan
+
+    plan = FaultPlan(
+        specs=(
+            CrashRate(
+                rate=rate_per_hour / 3600.0,
+                nodes=tuple(range(1, ClusterSpec().num_nodes)),
+                restart_after=30.0,
+            ),
+        ),
+        seed=seed,
+    )
+    sim = HadoopSimulation(
+        spec=_wordcount_spec(nbytes),
+        config=HadoopConfig(
+            map_slots=7, reduce_slots=7, tasktracker_expiry_interval=60.0
+        ),
+        seed=seed,
+        fault_plan=plan,
+        observe=True,
+    )
+    try:
+        metrics = sim.run()
+    except JobFailedError as err:
+        metrics = err.metrics
+    return [("hadoop-faulted", sim.obs)], {"hadoop-faulted": metrics.elapsed}
+
+
+def _write_metrics(path: Path, observers) -> None:
+    """Metrics dump: ``.json`` gets the full registry, else CSV rows."""
+    if path.suffix == ".json":
+        payload = {name: obs.metrics.to_dict() for name, obs in observers}
+        with path.open("w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return
+    import csv
+
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["system", "metric", "type", "value", "mean", "min", "max", "events"])
+        for name, obs in observers:
+            _header, rows = obs.metrics.rows()
+            for row in rows:
+                writer.writerow([name, *row])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace", description=__doc__
+    )
+    parser.add_argument("experiment", choices=_EXPERIMENTS)
+    parser.add_argument(
+        "--size", type=str, default="1GB", help="input size (e.g. 256MB, 1GB)"
+    )
+    parser.add_argument("--seed", type=int, default=2011)
+    parser.add_argument(
+        "--rate", type=float, default=40.0, help="fault: crashes per node-hour"
+    )
+    parser.add_argument(
+        "--trace-out", type=Path, default=Path("trace.json"),
+        help="Perfetto trace_event JSON output path",
+    )
+    parser.add_argument(
+        "--metrics-out", type=Path, default=None,
+        help="also dump the metrics registry (CSV, or JSON by extension)",
+    )
+    parser.add_argument(
+        "--gantt", action="store_true", help="print an ASCII Gantt timeline"
+    )
+    args = parser.parse_args(argv)
+
+    nbytes = parse_size(args.size)
+    t0 = time.perf_counter()
+    if args.experiment == "fig6":
+        observers, sim_elapsed = _run_fig6(nbytes, args.seed)
+    elif args.experiment == "fig1":
+        observers, sim_elapsed = _run_fig1(nbytes, args.seed)
+    else:
+        observers, sim_elapsed = _run_fault(nbytes, args.seed, args.rate)
+    wall = time.perf_counter() - t0
+
+    manifest = build_manifest(
+        experiment=args.experiment,
+        config={"size": args.size, "seed": args.seed, "rate": args.rate},
+        seed=args.seed,
+        observers=observers,
+        wall_seconds=wall,
+        sim_elapsed=sim_elapsed,
+    )
+    write_trace(observers, args.trace_out, manifest=manifest)
+    manifest.write(Path(f"{args.trace_out}.manifest.json"))
+    print(f"wrote {args.trace_out} (+ {args.trace_out}.manifest.json)")
+    for name, obs in observers:
+        counts = obs.event_counts()
+        print(
+            f"  {name}: {sim_elapsed[name]:.2f} simulated seconds, "
+            f"{counts['spans']} spans, {counts['instants']} instants, "
+            f"{counts['metrics']} metrics"
+        )
+    if args.metrics_out is not None:
+        _write_metrics(args.metrics_out, observers)
+        print(f"wrote {args.metrics_out}")
+    if args.gantt:
+        for name, obs in observers:
+            print()
+            print(
+                ascii_gantt(
+                    obs,
+                    categories={
+                        "hadoop.job", "hadoop.map", "hadoop.reduce",
+                        "mpid.job", "mpid.map", "mpid.reduce", "fault",
+                    },
+                    title=name,
+                )
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""ASCII Gantt timeline renderer for terminals.
+
+One row per span track, bars over a shared simulated-time axis — the
+quick look that answers "where did the time go" without leaving the
+shell.  Perfetto is for zooming; this is for glancing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.observer import Observer
+
+_BAR = "█"
+_PARTIAL = "▏"
+
+
+def ascii_gantt(
+    obs: Observer,
+    width: int = 72,
+    categories: Optional[set[str]] = None,
+    max_rows: int = 36,
+    label_width: int = 26,
+    title: str = "",
+) -> str:
+    """Render the observer's spans as a fixed-width Gantt chart.
+
+    ``categories`` filters which span categories draw (None = all).
+    Tracks render in order of first activity; when there are more than
+    ``max_rows`` the middle is elided, never the first or last wave.
+    """
+    spans = [
+        s
+        for s in obs.tracer.spans
+        if categories is None or s.category in categories
+    ]
+    if not spans:
+        return "(no spans recorded)"
+    t_end = obs.final_time()
+    t_max = max(t_end, max(s.t1 if s.t1 is not None else s.t0 for s in spans))
+    if t_max <= 0:
+        t_max = 1.0
+
+    tracks: dict[str, list] = {}
+    for s in spans:
+        tracks.setdefault(s.track, []).append(s)
+    ordered = sorted(tracks.items(), key=lambda kv: min(s.t0 for s in kv[1]))
+
+    if len(ordered) > max_rows:
+        head = ordered[: max_rows - max_rows // 3]
+        tail = ordered[-(max_rows // 3) :]
+        elided = len(ordered) - len(head) - len(tail)
+        ordered = head + [(f"... {elided} more tracks ...", [])] + tail
+
+    lines = []
+    if title:
+        lines.append(title)
+    axis = f"{'':<{label_width}} 0s{'':<{width - 12}}{t_max:.2f}s"
+    lines.append(axis)
+    lines.append(f"{'':<{label_width}} {'-' * width}")
+    for track, ss in ordered:
+        label = track if len(track) <= label_width else track[: label_width - 1] + "…"
+        if not ss:
+            lines.append(f"{label:<{label_width}}")
+            continue
+        cells = [" "] * width
+        for s in ss:
+            t1 = s.t1 if s.t1 is not None else t_max
+            c0 = int(s.t0 / t_max * (width - 1))
+            c1 = int(t1 / t_max * (width - 1))
+            for c in range(c0, c1 + 1):
+                cells[c] = _BAR
+            if c1 == c0 and cells[c0] != _BAR:
+                cells[c0] = _PARTIAL
+        lines.append(f"{label:<{label_width}} {''.join(cells)}")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Per-experiment run manifests: what produced this result file?
+
+A :class:`RunManifest` is the reproducibility sidecar written next to
+every trace/metrics dump: the experiment name and knob values, a stable
+hash of those knobs (so two result files from the same configuration
+can be matched mechanically), the seed, the git revision the code ran
+at, wall-clock accounting, and the trace's event volumes.
+
+The simulated results themselves are deterministic in (code, config,
+seed); the manifest records exactly that triple plus the only
+non-deterministic fact worth keeping — when and how long the run took
+on the host.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro._version import __version__
+from repro.util.hashing import fnv1a_64
+
+
+def config_hash(config: dict) -> str:
+    """Stable 64-bit hex digest of a configuration mapping.
+
+    Canonical JSON (sorted keys, default=str for exotic values) through
+    FNV-1a — deterministic across processes and platforms, unlike
+    ``hash()``.
+    """
+    canonical = json.dumps(config, sort_keys=True, default=str)
+    return f"{fnv1a_64(canonical.encode('utf-8')):016x}"
+
+
+def git_revision() -> Optional[str]:
+    """The repository HEAD revision, or None outside a git checkout."""
+    root = Path(__file__).resolve().parents[3]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to re-run (and trust) one experiment output."""
+
+    experiment: str
+    config: dict = field(default_factory=dict)
+    config_hash: str = ""
+    seed: Optional[int] = None
+    git_rev: Optional[str] = None
+    created_at: str = ""
+    wall_seconds: float = 0.0
+    sim_elapsed: dict = field(default_factory=dict)
+    event_counts: dict = field(default_factory=dict)
+    version: str = __version__
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+
+def build_manifest(
+    experiment: str,
+    config: dict,
+    seed: Optional[int] = None,
+    observers: Optional[list] = None,
+    wall_seconds: float = 0.0,
+    sim_elapsed: Optional[dict] = None,
+) -> RunManifest:
+    """Assemble a manifest from an experiment's run context.
+
+    ``observers`` is the ``[(name, Observer), ...]`` list handed to the
+    trace exporter; each contributes its event counts under its name.
+    """
+    counts = {}
+    for name, obs in observers or []:
+        counts[name] = obs.event_counts()
+    return RunManifest(
+        experiment=experiment,
+        config=config,
+        config_hash=config_hash(config),
+        seed=seed,
+        git_rev=git_revision(),
+        created_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        wall_seconds=wall_seconds,
+        sim_elapsed=sim_elapsed or {},
+        event_counts=counts,
+    )

@@ -1,0 +1,310 @@
+"""Metrics sampled in simulated time: counters, gauges, time-weighted stats.
+
+Three metric kinds cover what the simulators need to report:
+
+* :class:`Counter` — monotonically accumulated totals (bytes shuffled,
+  heartbeats sent, messages injected);
+* :class:`Gauge` — a sampled time series of (time, value) points, the
+  shape Chrome's counter tracks (``"ph": "C"``) render;
+* :class:`TimeWeightedHistogram` — statistics of a piecewise-constant
+  signal weighted by how long each value held: link active-flow counts,
+  slot occupancy, device queue depths.  ``set(3)`` at t=2 then ``set(0)``
+  at t=5 contributes value 3 for three seconds; the mean is the time
+  integral over the observation window, which is what "average queue
+  depth" actually means (an arithmetic mean of the transition values
+  would weight a microsecond blip like an hour-long plateau).
+
+All metrics read the clock only when updated — they never schedule
+simulator events, so measurement cannot perturb the simulation.  The
+``Null*`` twins make disabled runs allocation-free.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Callable, Optional, Sequence
+
+
+class Counter:
+    """A float total plus the number of ``add`` calls."""
+
+    __slots__ = ("name", "value", "events")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.events = 0
+
+    def add(self, n: float = 1.0) -> None:
+        self.value += n
+        self.events += 1
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value, "events": self.events}
+
+
+class Gauge:
+    """A sampled time series; keeps every (time, value) transition."""
+
+    __slots__ = ("name", "_clock", "value", "samples")
+
+    def __init__(self, name: str, clock: Callable[[], float]):
+        self.name = name
+        self._clock = clock
+        self.value = 0.0
+        self.samples: list[tuple[float, float]] = []
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.samples.append((self._clock(), self.value))
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "gauge",
+            "value": self.value,
+            "samples": len(self.samples),
+            "max": max((v for _, v in self.samples), default=0.0),
+        }
+
+
+class TimeWeightedHistogram:
+    """Time-weighted statistics of a piecewise-constant signal.
+
+    The signal starts at 0 at construction time.  ``set``/``add`` move
+    it; every moment between transitions is credited to the value that
+    held.  Optional ``bounds`` add a duration histogram: ``bounds=(1, 4)``
+    tracks seconds spent in value ranges [0,1), [1,4), [4,inf).
+    """
+
+    __slots__ = (
+        "name",
+        "_clock",
+        "_t0",
+        "_t",
+        "value",
+        "integral",
+        "sq_integral",
+        "vmin",
+        "vmax",
+        "bounds",
+        "bucket_seconds",
+        "transitions",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        clock: Callable[[], float],
+        bounds: Sequence[float] = (),
+    ):
+        self.name = name
+        self._clock = clock
+        self._t0 = self._t = clock()
+        self.value = 0.0
+        self.integral = 0.0
+        self.sq_integral = 0.0
+        self.vmin = 0.0
+        self.vmax = 0.0
+        self.bounds = tuple(sorted(bounds))
+        self.bucket_seconds = [0.0] * (len(self.bounds) + 1)
+        self.transitions = 0
+
+    def _accumulate(self, until: Optional[float] = None) -> None:
+        now = self._clock() if until is None else until
+        dt = now - self._t
+        if dt > 0:
+            self.integral += self.value * dt
+            self.sq_integral += self.value * self.value * dt
+            self.bucket_seconds[bisect_right(self.bounds, self.value)] += dt
+            self._t = now
+
+    def set(self, value: float) -> None:
+        self._accumulate()
+        self.value = float(value)
+        self.vmin = min(self.vmin, self.value)
+        self.vmax = max(self.vmax, self.value)
+        self.transitions += 1
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    # -- statistics -----------------------------------------------------------
+    def elapsed(self, until: Optional[float] = None) -> float:
+        now = self._clock() if until is None else until
+        return now - self._t0
+
+    def mean(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean over the whole observation window."""
+        now = self._clock() if until is None else until
+        span = now - self._t0
+        if span <= 0:
+            return self.value
+        tail = self.value * max(0.0, now - self._t)
+        return (self.integral + tail) / span
+
+    def distribution(self, until: Optional[float] = None) -> list[tuple[str, float]]:
+        """Seconds spent per value bucket (only useful with ``bounds``)."""
+        self._accumulate(until)
+        edges = ["-inf", *[f"{b:g}" for b in self.bounds], "+inf"]
+        return [
+            (f"[{edges[i]}, {edges[i + 1]})", self.bucket_seconds[i])
+            for i in range(len(self.bucket_seconds))
+        ]
+
+    def to_dict(self, until: Optional[float] = None) -> dict:
+        out = {
+            "type": "histogram",
+            "mean": self.mean(until),
+            "min": self.vmin,
+            "max": self.vmax,
+            "last": self.value,
+            "transitions": self.transitions,
+        }
+        if self.bounds:
+            out["bucket_seconds"] = {
+                label: secs for label, secs in self.distribution(until)
+            }
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create home of every named metric in one simulation."""
+
+    def __init__(self, clock: Callable[[], float]):
+        self._clock = clock
+        self.enabled = True
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, kind: type, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name, self._clock))
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = ()
+    ) -> TimeWeightedHistogram:
+        return self._get(
+            name,
+            TimeWeightedHistogram,
+            lambda: TimeWeightedHistogram(name, self._clock, bounds),
+        )
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def to_dict(self, until: Optional[float] = None) -> dict:
+        """JSON-serializable snapshot of every metric."""
+        out = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, TimeWeightedHistogram):
+                out[name] = metric.to_dict(until)
+            else:
+                out[name] = metric.to_dict()  # type: ignore[attr-defined]
+        return out
+
+    def rows(self, until: Optional[float] = None) -> tuple[list[str], list[list]]:
+        """CSV-shaped dump: one row per metric with its headline stats."""
+        header = ["metric", "type", "value", "mean", "min", "max", "events"]
+        rows: list[list] = []
+        for name in self.names():
+            m = self._metrics[name]
+            if isinstance(m, Counter):
+                rows.append([name, "counter", m.value, "", "", "", m.events])
+            elif isinstance(m, Gauge):
+                vmax = max((v for _, v in m.samples), default=0.0)
+                rows.append([name, "gauge", m.value, "", "", vmax, len(m.samples)])
+            else:
+                assert isinstance(m, TimeWeightedHistogram)
+                rows.append(
+                    [name, "histogram", m.value, m.mean(until), m.vmin, m.vmax,
+                     m.transitions]
+                )
+        return header, rows
+
+
+class _NullMetric:
+    """Shared sink for every metric call on a disabled registry."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+    events = 0
+    samples: tuple = ()
+    bounds: tuple = ()
+    vmin = 0.0
+    vmax = 0.0
+    transitions = 0
+
+    def add(self, n: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def mean(self, until=None) -> float:
+        return 0.0
+
+    def elapsed(self, until=None) -> float:
+        return 0.0
+
+    def distribution(self, until=None) -> list:
+        return []
+
+    def to_dict(self, until=None) -> dict:
+        return {}
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """The disabled registry: every lookup returns the shared no-op metric."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, bounds: Sequence[float] = ()) -> _NullMetric:
+        return _NULL_METRIC
+
+    def names(self) -> list[str]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def to_dict(self, until=None) -> dict:
+        return {}
+
+    def rows(self, until=None) -> tuple[list[str], list[list]]:
+        return ["metric", "type", "value", "mean", "min", "max", "events"], []
+
+
+NULL_REGISTRY = NullRegistry()

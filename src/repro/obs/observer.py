@@ -1,0 +1,85 @@
+"""The Observer: one tracer + one metrics registry bound to a simulator.
+
+``Observer.attach(sim)`` is the single switch that turns observability
+on: it sets ``sim.obs`` so every model holding the simulator reaches the
+same tracer and registry without any plumbing.  Attach *before* building
+the cluster/models — resources bind their metrics at construction.
+
+When nothing is attached, ``sim.obs`` is :data:`NULL_OBS`: ``enabled``
+is False, the tracer's ``begin`` returns 0, and every metric call hits a
+shared no-op object.  The null path performs no allocation, schedules no
+events and consumes no randomness, which is what makes an untraced run
+bit-for-bit identical to the uninstrumented code.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, SpanTracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; no runtime kernel import
+    from repro.simnet.kernel import Simulator
+
+
+class Observer:
+    """Live observability for one simulation run."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        sim: Optional["Simulator"] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if clock is None:
+            clock = (lambda: sim.now) if sim is not None else (lambda: 0.0)
+        self.sim = sim
+        self.clock = clock
+        self.tracer = SpanTracer(clock)
+        self.metrics = MetricsRegistry(clock)
+
+    @classmethod
+    def attach(cls, sim: "Simulator") -> "Observer":
+        """Create an observer and make it the simulator's ``obs``."""
+        obs = cls(sim)
+        sim.obs = obs
+        return obs
+
+    def final_time(self) -> float:
+        """Latest simulated time known to tracer or simulator."""
+        t = self.tracer.last_time()
+        if self.sim is not None:
+            t = max(t, self.sim.now)
+        return t
+
+    def event_counts(self) -> dict:
+        """Headline volumes for run manifests."""
+        open_spans = len(self.tracer.open_spans())
+        return {
+            "spans": len(self.tracer.spans),
+            "open_spans": open_spans,
+            "instants": len(self.tracer.instants),
+            "metrics": len(self.metrics),
+            "categories": sorted(self.tracer.categories()),
+        }
+
+
+class NullObserver:
+    """The detached default: observability off."""
+
+    enabled = False
+    sim = None
+    tracer: NullTracer = NULL_TRACER
+    metrics: NullRegistry = NULL_REGISTRY
+
+    def final_time(self) -> float:
+        return 0.0
+
+    def event_counts(self) -> dict:
+        return {"spans": 0, "open_spans": 0, "instants": 0, "metrics": 0,
+                "categories": []}
+
+
+NULL_OBS = NullObserver()

@@ -1,0 +1,194 @@
+"""Chrome/Perfetto ``trace_event`` JSON export.
+
+The format is the Trace Event Format that both ``chrome://tracing`` and
+https://ui.perfetto.dev load directly: a JSON object with a
+``traceEvents`` array of events.  We emit
+
+* ``"ph": "M"`` metadata naming each process (one per observer — e.g.
+  the Hadoop run and the MPI-D run of a comparison) and each thread
+  (one per span track);
+* ``"ph": "X"`` complete events for spans (``ts``/``dur`` in
+  microseconds of *simulated* time);
+* ``"ph": "i"`` instant events for point occurrences (faults, sends);
+* ``"ph": "C"`` counter events for every gauge sample.
+
+Spans still open at export time (a task killed by fault injection) are
+closed at the trace's final timestamp and flagged ``"unfinished"`` —
+Perfetto has no notion of a half-open complete event.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+from repro.obs.metrics import Gauge
+from repro.obs.observer import Observer
+
+#: Simulated seconds -> trace microseconds.
+_US = 1e6
+
+ObserverSet = Union[Observer, Sequence[Tuple[str, Observer]]]
+
+
+def _normalize(observers: ObserverSet) -> list[tuple[str, Observer]]:
+    if isinstance(observers, Observer):
+        return [("sim", observers)]
+    return list(observers)
+
+
+def trace_events(obs: Observer, pid: int = 1, pid_name: str = "sim") -> list[dict]:
+    """All trace events of one observer under process id ``pid``.
+
+    Track (thread) ids are assigned in first-begin order, so two runs of
+    the same seeded simulation export byte-identical event lists.
+    """
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": pid_name},
+        }
+    ]
+    tids: dict[str, int] = {}
+
+    def tid_of(track: str) -> int:
+        tid = tids.get(track)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[track] = tid
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        return tid
+
+    end_time = obs.final_time()
+    for span in obs.tracer.spans:
+        t1 = span.t1
+        args = dict(span.args)
+        if t1 is None:
+            t1 = end_time
+            args["unfinished"] = True
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.category,
+                "ts": span.t0 * _US,
+                "dur": (t1 - span.t0) * _US,
+                "pid": pid,
+                "tid": tid_of(span.track),
+                "args": args,
+            }
+        )
+    for inst in obs.tracer.instants:
+        events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "name": inst.name,
+                "cat": inst.category,
+                "ts": inst.time * _US,
+                "pid": pid,
+                "tid": tid_of(inst.track),
+                "args": dict(inst.args),
+            }
+        )
+    for name in obs.metrics.names():
+        metric = obs.metrics._metrics[name]
+        if not isinstance(metric, Gauge):
+            continue
+        for t, v in metric.samples:
+            events.append(
+                {
+                    "ph": "C",
+                    "name": name,
+                    "cat": "metrics",
+                    "ts": t * _US,
+                    "pid": pid,
+                    "args": {name.rsplit(".", 1)[-1]: v},
+                }
+            )
+    return events
+
+
+def trace_dict(observers: ObserverSet, manifest=None) -> dict:
+    """The full JSON-object form of one or many observers' traces.
+
+    ``manifest`` may be a plain dict or a
+    :class:`~repro.obs.manifest.RunManifest`; it lands in ``otherData``.
+    """
+    merged: list[dict] = []
+    for i, (name, obs) in enumerate(_normalize(observers), start=1):
+        merged.extend(trace_events(obs, pid=i, pid_name=name))
+    out: dict = {"traceEvents": merged, "displayTimeUnit": "ms"}
+    if manifest is not None:
+        if hasattr(manifest, "to_dict"):
+            manifest = manifest.to_dict()
+        out["otherData"] = manifest
+    return out
+
+
+def write_trace(
+    observers: ObserverSet,
+    path: Union[str, Path],
+    manifest=None,
+) -> Path:
+    """Write a Perfetto-loadable trace file; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        json.dump(trace_dict(observers, manifest=manifest), fh)
+    return path
+
+
+_REQUIRED_BY_PHASE = {
+    "X": ("name", "cat", "ts", "dur", "pid", "tid"),
+    "i": ("name", "cat", "ts", "pid", "tid"),
+    "C": ("name", "ts", "pid"),
+    "M": ("name", "pid"),
+}
+
+
+def validate_trace(data: Union[dict, str, Path]) -> list[dict]:
+    """Schema-check a trace file/dict; returns the events on success.
+
+    Raises :class:`ValueError` on the first malformed event.  Used by
+    the CI smoke job and the test suite, so "the trace loads in
+    Perfetto" is asserted mechanically, not anecdotally.
+    """
+    if not isinstance(data, dict):
+        with Path(data).open() as fh:
+            data = json.load(fh)
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("trace has no traceEvents array (or it is empty)")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i} is not an object: {ev!r}")
+        ph = ev.get("ph")
+        if ph not in _REQUIRED_BY_PHASE:
+            raise ValueError(f"event {i} has unsupported phase {ph!r}")
+        for key in _REQUIRED_BY_PHASE[ph]:
+            if key not in ev:
+                raise ValueError(f"{ph!r} event {i} is missing {key!r}: {ev}")
+        if ph == "X":
+            if ev["dur"] < 0:
+                raise ValueError(f"event {i} has negative duration: {ev}")
+            if ev["ts"] < 0:
+                raise ValueError(f"event {i} has negative timestamp: {ev}")
+    return events
+
+
+def categories_in(events: Iterable[dict]) -> set[str]:
+    """Distinct categories present (for acceptance checks)."""
+    return {ev["cat"] for ev in events if "cat" in ev}

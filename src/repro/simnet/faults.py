@@ -274,15 +274,26 @@ class FaultInjector:
         self._procs.append(self.sim.process(gen, name=name))
 
     # -- processes --------------------------------------------------------------
+    def _record(self, kind: str, node: int) -> None:
+        """Fault instants + counters on the simulator's observer."""
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.tracer.instant(
+                "fault", f"{kind} node{node}", track=f"faults:n{node}", node=node
+            )
+            obs.metrics.counter(f"faults.{kind}").add()
+
     def _crash_proc(self, spec: NodeCrash):
         sim = self.sim
         try:
             yield sim.timeout(spec.at)
             self.crashes_injected += 1
+            self._record("crash", spec.node)
             self.host.crash_node(spec.node, sim.now)
             if spec.restart_after is not None:
                 yield sim.timeout(spec.restart_after)
                 self.restarts_injected += 1
+                self._record("restart", spec.node)
                 self.host.restart_node(spec.node, sim.now)
         except Interrupt:
             return
@@ -295,9 +306,11 @@ class FaultInjector:
             while True:
                 yield sim.timeout(float(rng.exponential(1.0 / spec.rate)))
                 self.crashes_injected += 1
+                self._record("crash", node)
                 self.host.crash_node(node, sim.now)
                 yield sim.timeout(spec.restart_after)
                 self.restarts_injected += 1
+                self._record("restart", node)
                 self.host.restart_node(node, sim.now)
         except Interrupt:
             return
@@ -305,13 +318,23 @@ class FaultInjector:
     def _degrade_proc(self, spec: _Degradation):
         sim = self.sim
         node = self.cluster.node(spec.node)
+        kind = type(spec).__name__
         try:
             yield sim.timeout(spec.at)
             self._scale_node(node, spec, 1.0 / spec.factor)
             self.degradations_applied += 1
+            sid = sim.obs.tracer.begin(
+                "fault",
+                f"{kind} node{spec.node} /{spec.factor:g}",
+                track=f"faults:n{spec.node}",
+                factor=spec.factor,
+            )
+            sim.obs.metrics.counter("faults.degradation").add()
             if spec.duration is None:
+                sim.obs.tracer.end(sid, permanent=True)
                 return
             yield sim.timeout(spec.duration)
+            sim.obs.tracer.end(sid)
             self._scale_node(node, spec, spec.factor)
         except Interrupt:
             return

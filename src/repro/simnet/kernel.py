@@ -21,6 +21,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.obs.observer import NULL_OBS
+
 
 class SimError(RuntimeError):
     """Base class for kernel errors (double trigger, deadlock, etc.)."""
@@ -306,6 +308,9 @@ class Simulator:
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._failed_events: list[Event] = []
+        #: Observability hook; :meth:`repro.obs.Observer.attach` replaces
+        #: the null default.  Models read ``sim.obs`` — never store it.
+        self.obs = NULL_OBS
 
     @property
     def now(self) -> float:
@@ -320,7 +325,17 @@ class Simulator:
         return Timeout(self, delay, value)
 
     def process(self, gen: ProcessGen, name: str = "") -> Process:
-        return Process(self, gen, name=name)
+        proc = Process(self, gen, name=name)
+        obs = self.obs
+        if obs.enabled:
+            # One kernel-category span per process lifetime.  The extra
+            # completion callback appends after any existing ones, so it
+            # never reorders simulation callbacks; with obs disabled this
+            # branch is a single attribute test.
+            sid = obs.tracer.begin("kernel", proc.name)
+            proc.callbacks.append(lambda ev, s=sid, t=obs.tracer: t.end(s))
+            obs.metrics.counter("kernel.processes").add()
+        return proc
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)

@@ -62,6 +62,7 @@ class Flow:
         "nbytes",
         "started_at",
         "seq",
+        "sid",
     )
 
     def __init__(
@@ -80,6 +81,7 @@ class Flow:
         self.done: Event = network.sim.event()
         self.started_at = network.sim.now
         self.seq = network._next_seq()
+        self.sid = 0  # tracer span id once the flow starts (0 = untraced)
 
 
 class Network:
@@ -189,6 +191,14 @@ class Network:
         self._flows.add(flow)
         for link in flow.path:
             link._flows.add(flow)
+        obs = self.sim.obs
+        if obs.enabled:
+            route = "->".join(link.name for link in flow.path)
+            flow.sid = obs.tracer.begin(
+                "net", f"xfer {route}", nbytes=flow.nbytes
+            )
+            for link in flow.path:
+                obs.metrics.histogram(f"net.link.{link.name}.flows").add(1)
         self._reallocate()
 
     def _advance(self) -> None:
@@ -212,6 +222,13 @@ class Network:
         for link in flow.path:
             link._flows.discard(flow)
         self.bytes_delivered += flow.nbytes
+        if flow.sid:
+            obs = self.sim.obs
+            obs.tracer.end(flow.sid)
+            obs.metrics.counter("net.bytes_delivered").add(flow.nbytes)
+            for link in flow.path:
+                obs.metrics.histogram(f"net.link.{link.name}.flows").add(-1)
+                obs.metrics.counter(f"net.link.{link.name}.bytes").add(flow.nbytes)
         flow.done.succeed(flow.nbytes)
 
     def _reallocate(self) -> None:

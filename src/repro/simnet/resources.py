@@ -32,6 +32,9 @@ class SlotPool:
         self.name = name
         self._in_use = 0
         self._waiters: deque[Event] = deque()
+        # Bound at construction: attach the Observer before building models.
+        self._occupancy = sim.obs.metrics.histogram(f"slots.{name}.in_use")
+        self._queued = sim.obs.metrics.histogram(f"slots.{name}.queued")
 
     @property
     def in_use(self) -> int:
@@ -45,9 +48,11 @@ class SlotPool:
         ev = self.sim.event()
         if self._in_use < self.capacity:
             self._in_use += 1
+            self._occupancy.set(self._in_use)
             ev.succeed(self)
         else:
             self._waiters.append(ev)
+            self._queued.set(len(self._waiters))
         return ev
 
     def release(self) -> None:
@@ -56,8 +61,10 @@ class SlotPool:
         if self._waiters:
             # Hand the slot straight to the next waiter; in_use unchanged.
             self._waiters.popleft().succeed(self)
+            self._queued.set(len(self._waiters))
         else:
             self._in_use -= 1
+            self._occupancy.set(self._in_use)
 
     def cancel(self, request: Event) -> None:
         """End one ``acquire()`` request, whatever state it reached.
@@ -69,6 +76,7 @@ class SlotPool:
         """
         try:
             self._waiters.remove(request)
+            self._queued.set(len(self._waiters))
             return  # withdrawn before a slot was ever granted
         except ValueError:
             pass
@@ -110,6 +118,8 @@ class RateDevice:
         self.bytes_served = 0.0
         self.busy_time = 0.0
         self.jobs_completed = 0
+        self._depth = sim.obs.metrics.histogram(f"device.{name}.jobs")
+        self._served = sim.obs.metrics.counter(f"device.{name}.bytes")
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` the device spent with work queued."""
@@ -144,6 +154,8 @@ class RateDevice:
             return ev
         self._advance()
         self._jobs.append(_PSJob(float(nbytes), ev))
+        self._depth.set(len(self._jobs))
+        self._served.add(nbytes)
         self._reschedule()
         return ev
 
@@ -170,6 +182,7 @@ class RateDevice:
         if done:
             self._jobs = [j for j in self._jobs if j.remaining > self._EPS]
             self.jobs_completed += len(done)
+            self._depth.set(len(self._jobs))
             for job in done:
                 job.event.succeed(None)
         if not self._jobs:

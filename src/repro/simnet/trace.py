@@ -1,8 +1,21 @@
-"""Lightweight tracing of simulation activity.
+"""Back-compat tracing facade over :mod:`repro.obs.tracer`.
 
-A :class:`Tracer` collects ``(time, category, label, payload)`` tuples;
-experiments use it to extract per-task phase timings (the data behind
-Figure 1) without threading measurement code through the models.
+Historically this module was a standalone ``(time, category, label)``
+log whose :meth:`Tracer.spans` paired ``<label>:start`` / ``<label>:end``
+records by string matching.  That pairing had two real bugs: an ``:end``
+with no ``:start`` was silently dropped, and re-entrant labels (two
+attempts of ``map3``) clobbered each other.
+
+The log now feeds a :class:`repro.obs.tracer.SpanTracer` under the hood:
+
+* every ``<label>:start`` opens a real span (one per occurrence — two
+  retries of a label are two spans, paired LIFO);
+* an unmatched ``:end`` is surfaced in :attr:`Tracer.unmatched_ends`
+  instead of vanishing;
+* :meth:`spans` keeps its old last-wins ``dict`` shape for existing
+  callers; :meth:`span_list` returns *every* completed span.
+
+New code should use ``sim.obs.tracer`` (explicit span IDs) directly.
 """
 
 from __future__ import annotations
@@ -10,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterator
 
+from repro.obs.tracer import SpanTracer
 from repro.simnet.kernel import Simulator
 
 
@@ -22,29 +36,53 @@ class TraceEvent:
 
 
 class Tracer:
-    """Append-only event log keyed by category."""
+    """Append-only event log keyed by category (span-backed)."""
 
     def __init__(self, sim: Simulator):
         self.sim = sim
         self.events: list[TraceEvent] = []
         self.enabled = True
+        #: ``(time, category, label)`` of every ``:end`` with no open span.
+        self.unmatched_ends: list[tuple[float, str, str]] = []
+        self._spans = SpanTracer(lambda: sim.now)
+        # Open sids per (category, base label), LIFO for re-entrant labels.
+        self._open: dict[tuple[str, str], list[int]] = {}
 
     def record(self, category: str, label: str, payload: Any = None) -> None:
-        if self.enabled:
-            self.events.append(TraceEvent(self.sim.now, category, label, payload))
+        if not self.enabled:
+            return
+        self.events.append(TraceEvent(self.sim.now, category, label, payload))
+        if label.endswith(":start"):
+            base = label[: -len(":start")]
+            sid = self._spans.begin(category, base)
+            self._open.setdefault((category, base), []).append(sid)
+        elif label.endswith(":end"):
+            base = label[: -len(":end")]
+            stack = self._open.get((category, base))
+            if stack:
+                self._spans.end(stack.pop())
+            else:
+                self.unmatched_ends.append((self.sim.now, category, base))
 
     def by_category(self, category: str) -> Iterator[TraceEvent]:
         return (ev for ev in self.events if ev.category == category)
 
     def spans(self, category: str) -> dict[str, tuple[float, float]]:
-        """Pair ``<label>:start`` / ``<label>:end`` records into (t0, t1) spans."""
-        start: dict[str, float] = {}
-        out: dict[str, tuple[float, float]] = {}
-        for ev in self.by_category(category):
-            if ev.label.endswith(":start"):
-                start[ev.label[: -len(":start")]] = ev.time
-            elif ev.label.endswith(":end"):
-                base = ev.label[: -len(":end")]
-                if base in start:
-                    out[base] = (start[base], ev.time)
-        return out
+        """Completed ``label -> (t0, t1)`` spans (last occurrence wins).
+
+        The historical shape; use :meth:`span_list` when a label repeats
+        and every occurrence matters.
+        """
+        return {
+            s.name: (s.t0, s.t1)
+            for s in self._spans.by_category(category)
+            if s.t1 is not None
+        }
+
+    def span_list(self, category: str) -> list[tuple[str, float, float]]:
+        """Every completed ``(label, t0, t1)`` span, in begin order."""
+        return [
+            (s.name, s.t0, s.t1)
+            for s in self._spans.by_category(category)
+            if s.t1 is not None
+        ]

@@ -51,12 +51,12 @@ class TestCsvExports:
             "fig2_latency.csv": mod.fig2_csv,
             "fig3_bandwidth.csv": mod.fig3_csv,
         }
-        original = mod.EXPORTS
-        mod.EXPORTS = small
+        original, original_json = mod.EXPORTS, mod.JSON_EXPORTS
+        mod.EXPORTS, mod.JSON_EXPORTS = small, {}
         try:
             written = mod.export_all(tmp_path / "out")
         finally:
-            mod.EXPORTS = original
+            mod.EXPORTS, mod.JSON_EXPORTS = original, original_json
         assert len(written) == 2
         for path in written:
             assert path.exists() and path.stat().st_size > 0

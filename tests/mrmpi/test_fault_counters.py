@@ -1,0 +1,96 @@
+"""Tests for MPI-D fault accounting: wasted seconds symmetric with Hadoop."""
+
+import pytest
+
+from repro.mrmpi.simulator import MrMpiFaultMetrics, replay_restarts
+
+
+class TestWastedTaskSeconds:
+    def test_sums_all_three_overheads(self):
+        m = MrMpiFaultMetrics(
+            job_name="j",
+            clean_elapsed=100.0,
+            lost_work_seconds=40.0,
+            restart_overhead_seconds=60.0,
+            checkpoint_overhead_seconds=5.0,
+        )
+        assert m.wasted_task_seconds == pytest.approx(105.0)
+
+    def test_clean_run_wastes_nothing(self):
+        m = replay_restarts("j", work=100.0, crashes=[], restart_overhead=30.0)
+        assert m.elapsed == 100.0
+        assert m.restarts == 0
+        assert m.wasted_task_seconds == 0.0
+
+    def test_summary_and_fault_summary_expose_it(self):
+        m = replay_restarts("j", work=100.0, crashes=[50.0], restart_overhead=30.0)
+        assert m.summary()["wasted_task_seconds"] == m.wasted_task_seconds
+        fs = m.fault_summary()
+        assert set(fs) == {
+            "restarts",
+            "lost_work_seconds",
+            "restart_overhead_seconds",
+            "checkpoint_overhead_seconds",
+            "wasted_task_seconds",
+        }
+        assert fs["wasted_task_seconds"] == m.wasted_task_seconds
+
+
+class TestReplayRestartOverhead:
+    def test_single_crash_accounting(self):
+        # Crash at t=50 of a 100 s job: 50 s of progress lost, 30 s of
+        # downtime, then a full rerun -> finishes at 50 + 30 + 100 = 180.
+        m = replay_restarts("j", work=100.0, crashes=[50.0], restart_overhead=30.0)
+        assert m.restarts == 1
+        assert m.lost_work_seconds == pytest.approx(50.0)
+        assert m.restart_overhead_seconds == pytest.approx(30.0)
+        assert m.elapsed == pytest.approx(180.0)
+        assert m.wasted_task_seconds == pytest.approx(80.0)
+
+    def test_overhead_accumulates_per_restart(self):
+        m = replay_restarts(
+            "j", work=100.0, crashes=[50.0, 150.0], restart_overhead=30.0
+        )
+        assert m.restarts == 2
+        assert m.restart_overhead_seconds == pytest.approx(60.0)
+        # Second crash at t=150: 70 s into the rerun (started at t=80).
+        assert m.lost_work_seconds == pytest.approx(50.0 + 70.0)
+        assert m.elapsed == pytest.approx(280.0)
+
+    def test_crash_inside_restart_window_is_absorbed(self):
+        # Second crash at t=60 lands while the job is still down
+        # (restarting until t=80): nothing running, nothing to kill.
+        m = replay_restarts(
+            "j", work=100.0, crashes=[50.0, 60.0], restart_overhead=30.0
+        )
+        assert m.restarts == 1
+        assert m.restart_overhead_seconds == pytest.approx(30.0)
+
+    def test_checkpointing_trades_lost_work_for_overhead(self):
+        m = replay_restarts(
+            "j",
+            work=100.0,
+            crashes=[50.0],
+            restart_overhead=30.0,
+            checkpoint_interval=10.0,
+            checkpoint_cost=2.5,
+        )
+        assert m.checkpointed
+        # Progress at the crash: 50 / 1.25 = 40, all banked at the
+        # 10-second checkpoint boundary -> zero lost work.
+        assert m.lost_work_seconds == pytest.approx(0.0)
+        assert m.checkpoint_overhead_seconds > 0.0
+        assert m.wasted_task_seconds == pytest.approx(
+            m.restart_overhead_seconds + m.checkpoint_overhead_seconds
+        )
+
+    def test_gives_up_after_max_restarts(self):
+        m = replay_restarts(
+            "j",
+            work=100.0,
+            crashes=[10.0 + 120.0 * i for i in range(5)],
+            restart_overhead=30.0,
+            max_restarts=2,
+        )
+        assert not m.completed
+        assert m.elapsed == float("inf")

@@ -1,0 +1,65 @@
+"""End-to-end tests for ``python -m repro trace``."""
+
+import csv
+import json
+
+from repro.obs.cli import main as trace_main
+from repro.obs.perfetto import categories_in, validate_trace
+
+
+class TestTraceCli:
+    def test_fig6_writes_trace_manifest_metrics_gantt(self, tmp_path, capsys):
+        trace = tmp_path / "out.json"
+        metrics = tmp_path / "metrics.csv"
+        rc = trace_main(
+            [
+                "fig6",
+                "--size", "64MB",
+                "--trace-out", str(trace),
+                "--metrics-out", str(metrics),
+                "--gantt",
+            ]
+        )
+        assert rc == 0
+
+        events = validate_trace(trace)
+        cats = categories_in(events)
+        assert {"kernel", "net", "hadoop.map", "hadoop.reduce",
+                "mpid.map", "mpid.reduce"} <= cats
+        # Two processes: the Hadoop run and the MPI-D run.
+        assert {ev["pid"] for ev in events} == {1, 2}
+
+        manifest = json.loads((tmp_path / "out.json.manifest.json").read_text())
+        assert manifest["experiment"] == "fig6"
+        assert manifest["seed"] == 2011
+        assert set(manifest["event_counts"]) == {"hadoop", "mpid"}
+        assert manifest["event_counts"]["hadoop"]["spans"] > 0
+
+        with metrics.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0][:2] == ["system", "metric"]
+        assert {r[0] for r in rows[1:]} == {"hadoop", "mpid"}
+
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert "simulated seconds" in out
+
+    def test_fault_experiment_records_fault_instants(self, tmp_path):
+        trace = tmp_path / "fault.json"
+        rc = trace_main(
+            ["fault", "--size", "64MB", "--rate", "200",
+             "--trace-out", str(trace)]
+        )
+        assert rc == 0
+        events = validate_trace(trace)
+        assert "fault" in categories_in(events)
+
+
+class TestMainDispatch:
+    def test_bare_invocation_lists_commands(self, capsys):
+        from repro.__main__ import main
+
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "python -m repro trace" in out
+        assert "fig6_wordcount" in out

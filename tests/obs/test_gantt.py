@@ -1,0 +1,63 @@
+"""Tests for the ASCII Gantt renderer."""
+
+from repro.obs.gantt import ascii_gantt
+from repro.obs.observer import Observer
+
+
+class Clock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def make_obs(num_tracks: int = 2) -> Observer:
+    clock = Clock()
+    obs = Observer(clock=clock)
+    for i in range(num_tracks):
+        clock.t = float(i)
+        sid = obs.tracer.begin("hadoop.map", f"map{i}", track=f"attempt{i}")
+        clock.t = float(i + 2)
+        obs.tracer.end(sid)
+    return obs
+
+
+class TestAsciiGantt:
+    def test_renders_one_row_per_track(self):
+        out = ascii_gantt(make_obs(3), title="demo")
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        for i in range(3):
+            assert any(line.startswith(f"attempt{i}") for line in lines)
+        assert "█" in out
+
+    def test_axis_shows_time_extent(self):
+        out = ascii_gantt(make_obs(2))
+        assert "0s" in out
+        assert "3.00s" in out  # last span runs [1, 3]
+
+    def test_empty_observer(self):
+        obs = Observer(clock=lambda: 0.0)
+        assert ascii_gantt(obs) == "(no spans recorded)"
+
+    def test_category_filter(self):
+        obs = make_obs(1)
+        assert ascii_gantt(obs, categories={"net"}) == "(no spans recorded)"
+        assert "attempt0" in ascii_gantt(obs, categories={"hadoop.map"})
+
+    def test_elides_middle_tracks_beyond_max_rows(self):
+        out = ascii_gantt(make_obs(12), max_rows=6)
+        assert "more tracks ..." in out
+        assert "attempt0" in out  # first wave kept
+        assert "attempt11" in out  # last wave kept
+
+    def test_long_track_names_truncated(self):
+        clock = Clock()
+        obs = Observer(clock=clock)
+        sid = obs.tracer.begin("c", "s", track="x" * 60)
+        clock.t = 1.0
+        obs.tracer.end(sid)
+        out = ascii_gantt(obs, label_width=10)
+        assert "…" in out
+        assert "x" * 60 not in out

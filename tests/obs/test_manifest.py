@@ -1,0 +1,63 @@
+"""Tests for run manifests: config hashing, git revision, round-trips."""
+
+import json
+import re
+
+from repro.obs.manifest import RunManifest, build_manifest, config_hash, git_revision
+from repro.obs.observer import Observer
+
+
+class TestConfigHash:
+    def test_stable_across_key_order(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert config_hash({"size": "1GB"}) != config_hash({"size": "2GB"})
+
+    def test_sixteen_hex_chars(self):
+        assert re.fullmatch(r"[0-9a-f]{16}", config_hash({"seed": 2011}))
+
+    def test_handles_non_json_values(self):
+        # Paths, tuples-as-values, etc. go through default=str.
+        from pathlib import Path
+
+        assert config_hash({"out": Path("/tmp/x")})
+
+
+class TestGitRevision:
+    def test_returns_hex_rev_in_this_checkout(self):
+        rev = git_revision()
+        assert rev is None or re.fullmatch(r"[0-9a-f]{40}", rev)
+
+
+class TestRunManifest:
+    def test_write_round_trips(self, tmp_path):
+        m = RunManifest(
+            experiment="fig6",
+            config={"size": "1GB"},
+            config_hash=config_hash({"size": "1GB"}),
+            seed=2011,
+            wall_seconds=1.5,
+        )
+        path = m.write(tmp_path / "run.manifest.json")
+        data = json.loads(path.read_text())
+        assert data["experiment"] == "fig6"
+        assert data["seed"] == 2011
+        assert data["config_hash"] == config_hash({"size": "1GB"})
+        assert data["version"]  # package version is stamped
+
+    def test_build_manifest_collects_event_counts(self):
+        obs = Observer(clock=lambda: 0.0)
+        obs.tracer.instant("fault", "crash")
+        m = build_manifest(
+            experiment="fault",
+            config={"rate": 40.0},
+            seed=7,
+            observers=[("hadoop", obs)],
+            wall_seconds=0.1,
+            sim_elapsed={"hadoop": 94.9},
+        )
+        assert m.config_hash == config_hash({"rate": 40.0})
+        assert m.event_counts["hadoop"]["instants"] == 1
+        assert m.sim_elapsed == {"hadoop": 94.9}
+        assert m.created_at  # timestamped

@@ -1,0 +1,178 @@
+"""Tests for counters, gauges, time-weighted histograms and the registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    TimeWeightedHistogram,
+)
+
+
+class Clock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestCounter:
+    def test_accumulates_value_and_events(self):
+        c = Counter("bytes")
+        c.add(10)
+        c.add(5.5)
+        c.add()
+        assert c.value == 16.5
+        assert c.events == 3
+        assert c.to_dict() == {"type": "counter", "value": 16.5, "events": 3}
+
+
+class TestGauge:
+    def test_keeps_every_sample(self):
+        clock = Clock()
+        g = Gauge("depth", clock)
+        g.set(2)
+        clock.t = 3.0
+        g.set(7)
+        clock.t = 4.0
+        g.set(1)
+        assert g.samples == [(0.0, 2.0), (3.0, 7.0), (4.0, 1.0)]
+        assert g.to_dict() == {"type": "gauge", "value": 1.0, "samples": 3, "max": 7.0}
+
+
+class TestTimeWeightedHistogram:
+    def test_mean_is_time_weighted(self):
+        # Value 0 for 2s, then 3 for 1s: mean = (0*2 + 3*1) / 3 = 1.0 —
+        # an arithmetic mean of the transition values would say 1.5.
+        clock = Clock()
+        h = TimeWeightedHistogram("q", clock)
+        clock.t = 2.0
+        h.set(3)
+        clock.t = 3.0
+        assert h.mean() == pytest.approx(1.0)
+        assert h.elapsed() == 3.0
+
+    def test_mean_includes_tail_since_last_transition(self):
+        clock = Clock()
+        h = TimeWeightedHistogram("q", clock)
+        h.set(4)  # at t=0, never touched again
+        clock.t = 10.0
+        assert h.mean() == pytest.approx(4.0)
+
+    def test_mean_at_explicit_until(self):
+        clock = Clock()
+        h = TimeWeightedHistogram("q", clock)
+        h.set(2)
+        clock.t = 100.0  # clock moved on, but evaluate at t=4
+        assert h.mean(until=4.0) == pytest.approx(2.0)
+
+    def test_add_is_relative_set(self):
+        clock = Clock()
+        h = TimeWeightedHistogram("q", clock)
+        h.add(2)
+        h.add(3)
+        h.add(-4)
+        assert h.value == 1.0
+        assert (h.vmin, h.vmax) == (0.0, 5.0)
+        assert h.transitions == 3
+
+    def test_bucket_seconds_by_bounds(self):
+        clock = Clock()
+        h = TimeWeightedHistogram("q", clock, bounds=(1, 4))
+        clock.t = 2.0
+        h.set(3)  # value 0 held [0, 2)
+        clock.t = 3.0
+        h.set(5)  # value 3 held [2, 3)
+        clock.t = 3.5
+        dist = dict(h.distribution())  # value 5 held [3, 3.5)
+        assert dist == {
+            "[-inf, 1)": pytest.approx(2.0),
+            "[1, 4)": pytest.approx(1.0),
+            "[4, +inf)": pytest.approx(0.5),
+        }
+
+    def test_to_dict_shape(self):
+        clock = Clock()
+        h = TimeWeightedHistogram("q", clock, bounds=(1,))
+        clock.t = 1.0
+        h.set(2)
+        clock.t = 2.0
+        d = h.to_dict()
+        assert d["type"] == "histogram"
+        assert d["mean"] == pytest.approx(1.0)
+        assert (d["min"], d["max"], d["last"], d["transitions"]) == (0.0, 2.0, 2.0, 1)
+        assert set(d["bucket_seconds"]) == {"[-inf, 1)", "[1, +inf)"}
+
+    def test_mean_with_zero_span_returns_current_value(self):
+        h = TimeWeightedHistogram("q", Clock(5.0))
+        h.set(3)
+        assert h.mean() == 3.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry(Clock())
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry(Clock())
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_names_sorted_and_membership(self):
+        reg = MetricsRegistry(Clock())
+        reg.counter("b")
+        reg.counter("a")
+        assert reg.names() == ["a", "b"]
+        assert "a" in reg and "zzz" not in reg
+        assert len(reg) == 2
+
+    def test_to_dict_covers_every_kind(self):
+        clock = Clock()
+        reg = MetricsRegistry(clock)
+        reg.counter("c").add(2)
+        reg.gauge("g").set(1)
+        reg.histogram("h").set(4)
+        clock.t = 2.0
+        d = reg.to_dict()
+        assert d["c"]["type"] == "counter"
+        assert d["g"]["type"] == "gauge"
+        assert d["h"]["type"] == "histogram"
+
+    def test_rows_shape(self):
+        clock = Clock()
+        reg = MetricsRegistry(clock)
+        reg.counter("c").add(3)
+        reg.gauge("g").set(7)
+        reg.histogram("h").set(1)
+        clock.t = 1.0
+        header, rows = reg.rows()
+        assert header == ["metric", "type", "value", "mean", "min", "max", "events"]
+        assert [r[0] for r in rows] == ["c", "g", "h"]
+        assert all(len(r) == len(header) for r in rows)
+
+
+class TestNullRegistry:
+    def test_every_lookup_is_shared_noop(self):
+        c = NULL_REGISTRY.counter("a")
+        assert c is NULL_REGISTRY.gauge("b") is NULL_REGISTRY.histogram("c")
+        c.add(5)
+        c.set(3)
+        assert c.value == 0.0
+        assert NULL_REGISTRY.to_dict() == {}
+        assert len(NULL_REGISTRY) == 0
+        assert not NULL_REGISTRY.enabled
+
+    def test_rows_header_matches_live_registry(self):
+        live_header, _ = MetricsRegistry(Clock()).rows()
+        null_header, null_rows = NULL_REGISTRY.rows()
+        assert null_header == live_header
+        assert null_rows == []

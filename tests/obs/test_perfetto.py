@@ -1,0 +1,150 @@
+"""Tests for the Chrome/Perfetto trace_event exporter and validator."""
+
+import json
+
+import pytest
+
+from repro.obs.manifest import RunManifest
+from repro.obs.observer import Observer
+from repro.obs.perfetto import (
+    categories_in,
+    trace_dict,
+    trace_events,
+    validate_trace,
+    write_trace,
+)
+
+
+class Clock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@pytest.fixture
+def observed():
+    """An observer with one closed span, one open, an instant, a gauge."""
+    clock = Clock()
+    obs = Observer(clock=clock)
+    done = obs.tracer.begin("net", "xfer", track="link0", nbytes=64)
+    clock.t = 2.0
+    obs.tracer.end(done)
+    obs.tracer.begin("hadoop.map", "map0", track="attempt0")  # left open
+    clock.t = 3.0
+    obs.tracer.instant("fault", "crash", track="faults")
+    obs.metrics.gauge("net.flows").set(2)
+    return obs
+
+
+class TestTraceEvents:
+    def test_process_metadata_first(self, observed):
+        events = trace_events(observed, pid=7, pid_name="hadoop")
+        assert events[0] == {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 7,
+            "tid": 0,
+            "args": {"name": "hadoop"},
+        }
+        assert all(ev["pid"] == 7 for ev in events)
+
+    def test_thread_metadata_per_track(self, observed):
+        events = trace_events(observed)
+        names = {
+            ev["tid"]: ev["args"]["name"]
+            for ev in events
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        assert set(names.values()) == {"link0", "attempt0", "faults"}
+
+    def test_span_timestamps_in_microseconds(self, observed):
+        events = trace_events(observed)
+        xfer = next(ev for ev in events if ev["ph"] == "X" and ev["name"] == "xfer")
+        assert (xfer["ts"], xfer["dur"]) == (0.0, 2.0e6)
+        assert xfer["args"]["nbytes"] == 64
+
+    def test_open_span_closed_at_final_time_and_flagged(self, observed):
+        events = trace_events(observed)
+        map0 = next(ev for ev in events if ev["name"] == "map0")
+        # Opened at t=2, trace ends at t=3 (the instant).
+        assert map0["dur"] == pytest.approx(1.0e6)
+        assert map0["args"]["unfinished"] is True
+
+    def test_instant_and_counter_events(self, observed):
+        events = trace_events(observed)
+        inst = next(ev for ev in events if ev["ph"] == "i")
+        assert (inst["name"], inst["s"]) == ("crash", "t")
+        ctr = next(ev for ev in events if ev["ph"] == "C")
+        assert (ctr["name"], ctr["args"]) == ("net.flows", {"flows": 2.0})
+
+    def test_deterministic(self, observed):
+        assert trace_events(observed) == trace_events(observed)
+
+
+class TestTraceDict:
+    def test_single_observer_shorthand(self, observed):
+        d = trace_dict(observed)
+        assert d["displayTimeUnit"] == "ms"
+        assert "otherData" not in d
+
+    def test_multiple_observers_get_distinct_pids(self, observed):
+        d = trace_dict([("hadoop", observed), ("mpid", observed)])
+        assert {ev["pid"] for ev in d["traceEvents"]} == {1, 2}
+
+    def test_manifest_object_is_serialized_into_other_data(self, observed):
+        manifest = RunManifest(experiment="fig6", config={"size": "1GB"})
+        d = trace_dict(observed, manifest=manifest)
+        assert d["otherData"]["experiment"] == "fig6"
+        json.dumps(d)  # the whole dict must be JSON-serializable
+
+
+class TestValidateTrace:
+    def test_round_trip_through_file(self, observed, tmp_path):
+        path = write_trace(observed, tmp_path / "trace.json")
+        events = validate_trace(path)
+        assert categories_in(events) >= {"net", "hadoop.map", "fault"}
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="no traceEvents"):
+            validate_trace({"traceEvents": []})
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError, match="unsupported phase"):
+            validate_trace({"traceEvents": [{"ph": "Z"}]})
+
+    def test_missing_key_rejected(self):
+        ev = {"ph": "X", "name": "s", "cat": "c", "ts": 0, "pid": 1, "tid": 1}
+        with pytest.raises(ValueError, match="missing 'dur'"):
+            validate_trace({"traceEvents": [ev]})
+
+    def test_negative_duration_rejected(self):
+        ev = {"ph": "X", "name": "s", "cat": "c", "ts": 0, "dur": -1,
+              "pid": 1, "tid": 1}
+        with pytest.raises(ValueError, match="negative duration"):
+            validate_trace({"traceEvents": [ev]})
+
+
+class TestSimulatedTraceDeterminism:
+    def test_same_seed_same_trace(self):
+        from repro.hadoop import HadoopConfig, JobSpec, WORDCOUNT_PROFILE
+        from repro.hadoop.simulation import HadoopSimulation
+        from repro.util.units import MiB
+
+        def trace():
+            sim = HadoopSimulation(
+                spec=JobSpec(
+                    name="wc",
+                    input_bytes=256 * MiB,
+                    profile=WORDCOUNT_PROFILE,
+                    num_reduce_tasks=1,
+                ),
+                config=HadoopConfig(map_slots=4, reduce_slots=4),
+                seed=7,
+                observe=True,
+            )
+            sim.run()
+            return trace_events(sim.obs)
+
+        assert trace() == trace()

@@ -1,0 +1,91 @@
+"""Observability must be free: traced and untraced runs agree bit-for-bit.
+
+The observer never schedules simulator events and never consumes
+randomness, so ``observe=True`` may not move a single simulated
+timestamp.  These tests pin that: the headline Figure-6 numbers are
+*exactly* equal (``==`` on floats, no tolerance) with tracing on and
+off, and the untraced numbers match the values the seed produced before
+the observability subsystem existed.
+"""
+
+import pytest
+
+from repro.hadoop import HadoopConfig, JobSpec, WORDCOUNT_PROFILE
+from repro.hadoop.simulation import HadoopSimulation
+from repro.mrmpi import MrMpiConfig
+from repro.mrmpi.simulator import MrMpiSimulation
+from repro.simnet.kernel import Simulator
+from repro.util.units import GiB
+
+# Figure-6 1 GB WordCount makespans of the pre-observability seed.
+HADOOP_1GB = 45.882213377859564
+MPID_1GB = 7.795975713962058
+
+
+def _spec() -> JobSpec:
+    return JobSpec(
+        name="wordcount-1g",
+        input_bytes=GiB,
+        profile=WORDCOUNT_PROFILE,
+        num_reduce_tasks=1,
+    )
+
+
+def _hadoop(observe: bool) -> float:
+    sim = HadoopSimulation(
+        spec=_spec(),
+        config=HadoopConfig(map_slots=7, reduce_slots=7),
+        seed=2011,
+        observe=observe,
+    )
+    return sim.run().elapsed
+
+
+def _mpid(observe: bool) -> float:
+    sim = MrMpiSimulation(
+        spec=_spec(),
+        config=MrMpiConfig(num_mappers=49, num_reducers=1),
+        observe=observe,
+    )
+    return sim.run().elapsed
+
+
+class TestZeroCostWhenDisabled:
+    def test_simulator_defaults_to_null_observer(self):
+        sim = Simulator()
+        assert sim.obs.enabled is False
+        assert sim.obs.tracer.begin("c", "s") == 0
+
+    def test_hadoop_bit_for_bit(self):
+        off, on = _hadoop(observe=False), _hadoop(observe=True)
+        assert off == on  # exact float equality, not approx
+        assert off == HADOOP_1GB
+
+    def test_mpid_bit_for_bit(self):
+        off, on = _mpid(observe=False), _mpid(observe=True)
+        assert off == on
+        assert off == MPID_1GB
+
+    def test_untraced_run_records_nothing(self):
+        sim = HadoopSimulation(
+            spec=_spec(),
+            config=HadoopConfig(map_slots=7, reduce_slots=7),
+            seed=2011,
+        )
+        sim.run()
+        assert len(sim.sim.obs.tracer) == 0
+        assert len(sim.sim.obs.metrics) == 0
+
+    def test_traced_run_records_every_layer(self):
+        sim = HadoopSimulation(
+            spec=_spec(),
+            config=HadoopConfig(map_slots=7, reduce_slots=7),
+            seed=2011,
+            observe=True,
+        )
+        sim.run()
+        obs = sim.obs
+        assert {"kernel", "net", "hadoop.job", "hadoop.map", "hadoop.reduce",
+                "transport.jetty"} <= obs.tracer.categories()
+        assert obs.tracer.open_spans() == []  # everything closed at job end
+        assert obs.metrics.counter("hadoop.maps_finished").value == pytest.approx(16)

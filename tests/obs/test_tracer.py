@@ -1,0 +1,160 @@
+"""Tests for the span tracer: IDs, nesting, tracks, abort semantics."""
+
+import pytest
+
+from repro.obs.tracer import NULL_TRACER, Instant, Span, SpanTracer, TraceError
+
+
+class Clock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return SpanTracer(clock)
+
+
+class TestBeginEnd:
+    def test_basic_span(self, tracer, clock):
+        sid = tracer.begin("net", "xfer", track="link0")
+        clock.t = 2.5
+        tracer.end(sid)
+        (span,) = tracer.spans
+        assert span.sid == sid == 1
+        assert (span.t0, span.t1) == (0.0, 2.5)
+        assert span.duration == 2.5
+        assert not span.open
+
+    def test_sids_are_one_based_begin_order(self, tracer):
+        sids = [tracer.begin("c", f"s{i}") for i in range(3)]
+        assert sids == [1, 2, 3]
+        assert len(tracer) == 3
+
+    def test_args_merge_begin_and_end(self, tracer):
+        sid = tracer.begin("c", "s", track="t", nbytes=10)
+        tracer.end(sid, outcome="done")
+        assert tracer.spans[0].args == {"nbytes": 10, "outcome": "done"}
+
+    def test_auto_track_is_unique_per_span(self, tracer):
+        a = tracer.begin("c", "map3")
+        tracer.end(a)
+        b = tracer.begin("c", "map3")
+        assert tracer.track_of(a) != tracer.track_of(b)
+
+    def test_duration_of_open_span_raises(self, tracer):
+        sid = tracer.begin("c", "s")
+        with pytest.raises(TraceError):
+            tracer.spans[sid - 1].duration
+
+    def test_end_zero_is_noop(self, tracer):
+        tracer.end(0)
+        assert len(tracer) == 0
+
+    def test_end_unknown_sid_raises(self, tracer):
+        with pytest.raises(TraceError):
+            tracer.end(7)
+
+    def test_double_end_raises(self, tracer):
+        sid = tracer.begin("c", "s")
+        tracer.end(sid)
+        with pytest.raises(TraceError):
+            tracer.end(sid)
+
+
+class TestNesting:
+    def test_implicit_nesting_on_shared_track(self, tracer):
+        outer = tracer.begin("c", "outer", track="t")
+        inner = tracer.begin("c", "inner", track="t")
+        assert tracer.spans[inner - 1].parent == outer
+
+    def test_explicit_parent_inherits_track(self, tracer):
+        outer = tracer.begin("c", "outer")
+        inner = tracer.begin("c", "inner", parent=outer)
+        assert tracer.track_of(inner) == tracer.track_of(outer)
+        assert tracer.spans[inner - 1].parent == outer
+
+    def test_unknown_parent_raises(self, tracer):
+        with pytest.raises(TraceError):
+            tracer.begin("c", "s", parent=9)
+
+    def test_reentrant_names_are_distinct_spans(self, tracer, clock):
+        a = tracer.begin("hadoop.map", "map3", track="attempts")
+        clock.t = 1.0
+        tracer.end(a)
+        b = tracer.begin("hadoop.map", "map3", track="attempts")
+        clock.t = 3.0
+        tracer.end(b)
+        spans = list(tracer.by_category("hadoop.map"))
+        assert [(s.t0, s.t1) for s in spans] == [(0.0, 1.0), (1.0, 3.0)]
+        # The second is NOT a child of the first: it had already closed.
+        assert spans[1].parent == 0
+
+
+class TestAbort:
+    def test_abort_closes_open_descendants_lifo(self, tracer, clock):
+        task = tracer.begin("c", "task", track="t")
+        phase = tracer.begin("c", "phase", track="t")
+        sub = tracer.begin("c", "sub", track="t")
+        clock.t = 5.0
+        tracer.abort(task, outcome="crashed")
+        assert tracer.open_spans() == []
+        for sid in (task, phase, sub):
+            span = tracer.spans[sid - 1]
+            assert span.t1 == 5.0
+            assert span.args["outcome"] == "crashed"
+
+    def test_abort_already_closed_is_silent(self, tracer):
+        sid = tracer.begin("c", "s")
+        tracer.end(sid)
+        tracer.abort(sid)  # no TraceError
+
+    def test_abort_zero_is_noop(self, tracer):
+        tracer.abort(0)
+
+    def test_abort_unknown_sid_raises(self, tracer):
+        with pytest.raises(TraceError):
+            tracer.abort(4)
+
+    def test_abort_leaves_siblings_on_other_tracks_open(self, tracer):
+        a = tracer.begin("c", "a", track="t1")
+        b = tracer.begin("c", "b", track="t2")
+        tracer.abort(a)
+        assert [s.sid for s in tracer.open_spans()] == [b]
+
+
+class TestQueries:
+    def test_instants_and_categories(self, tracer, clock):
+        clock.t = 4.0
+        tracer.instant("fault", "crash node3", track="faults", node=3)
+        tracer.begin("net", "xfer")
+        assert tracer.categories() == {"fault", "net"}
+        inst = tracer.instants[0]
+        assert isinstance(inst, Instant)
+        assert (inst.time, inst.args["node"]) == (4.0, 3)
+
+    def test_last_time_covers_open_spans_and_instants(self, tracer, clock):
+        tracer.begin("c", "s")  # open: contributes its t0
+        clock.t = 9.0
+        tracer.instant("c", "i")
+        assert tracer.last_time() == 9.0
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        assert NULL_TRACER.begin("c", "s", nbytes=1) == 0
+        NULL_TRACER.end(0)
+        NULL_TRACER.abort(0)
+        NULL_TRACER.instant("c", "i")
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.spans == ()
+        assert NULL_TRACER.categories() == set()
+        assert not NULL_TRACER.enabled

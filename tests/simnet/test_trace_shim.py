@@ -1,0 +1,95 @@
+"""Tests for the back-compat tracing facade in ``repro.simnet.trace``.
+
+The historical label-matching pairing had two silent-data bugs this
+shim fixes: unmatched ``:end`` records vanished, and re-entrant labels
+(two attempts of the same task) clobbered each other in ``spans()``.
+"""
+
+from repro.simnet.trace import TraceEvent, Tracer
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+class TestSpanPairing:
+    def test_basic_start_end_pair(self):
+        sim = FakeSim()
+        tr = Tracer(sim)
+        tr.record("task", "map0:start")
+        sim.now = 3.0
+        tr.record("task", "map0:end")
+        assert tr.spans("task") == {"map0": (0.0, 3.0)}
+
+    def test_reentrant_label_yields_two_spans(self):
+        sim = FakeSim()
+        tr = Tracer(sim)
+        tr.record("task", "map3:start")
+        sim.now = 1.0
+        tr.record("task", "map3:end")
+        sim.now = 2.0
+        tr.record("task", "map3:start")
+        sim.now = 5.0
+        tr.record("task", "map3:end")
+        # Old dict shape: the last occurrence wins...
+        assert tr.spans("task") == {"map3": (2.0, 5.0)}
+        # ...but both occurrences survive in span_list.
+        assert tr.span_list("task") == [("map3", 0.0, 1.0), ("map3", 2.0, 5.0)]
+
+    def test_nested_same_label_pairs_lifo(self):
+        sim = FakeSim()
+        tr = Tracer(sim)
+        tr.record("io", "read:start")
+        sim.now = 1.0
+        tr.record("io", "read:start")
+        sim.now = 2.0
+        tr.record("io", "read:end")  # closes the inner (t0=1)
+        sim.now = 4.0
+        tr.record("io", "read:end")  # closes the outer (t0=0)
+        assert sorted(tr.span_list("io"), key=lambda s: s[1]) == [
+            ("read", 0.0, 4.0),
+            ("read", 1.0, 2.0),
+        ]
+
+    def test_unmatched_end_is_surfaced_not_dropped(self):
+        sim = FakeSim()
+        sim.now = 7.0
+        tr = Tracer(sim)
+        tr.record("task", "ghost:end")
+        assert tr.unmatched_ends == [(7.0, "task", "ghost")]
+        assert tr.spans("task") == {}
+
+    def test_open_span_excluded_until_ended(self):
+        tr = Tracer(FakeSim())
+        tr.record("task", "map0:start")
+        assert tr.spans("task") == {}
+
+    def test_plain_records_are_not_spans(self):
+        sim = FakeSim()
+        tr = Tracer(sim)
+        tr.record("sched", "heartbeat", payload={"node": 3})
+        assert tr.spans("sched") == {}
+        (ev,) = list(tr.by_category("sched"))
+        assert ev == TraceEvent(0.0, "sched", "heartbeat", {"node": 3})
+
+    def test_disabled_tracer_records_nothing(self):
+        tr = Tracer(FakeSim())
+        tr.enabled = False
+        tr.record("task", "map0:start")
+        tr.record("task", "map0:end")
+        assert tr.events == []
+        assert tr.spans("task") == {}
+        assert tr.unmatched_ends == []
+
+    def test_categories_are_independent(self):
+        sim = FakeSim()
+        tr = Tracer(sim)
+        tr.record("a", "x:start")
+        sim.now = 1.0
+        tr.record("b", "x:start")
+        sim.now = 2.0
+        tr.record("a", "x:end")
+        tr.record("b", "x:end")
+        assert tr.spans("a") == {"x": (0.0, 2.0)}
+        assert tr.spans("b") == {"x": (1.0, 2.0)}
