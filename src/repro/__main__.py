@@ -25,6 +25,7 @@ COMMANDS = [
     ("repro.experiments.interconnect_whatif", "IB/SSD what-if (future work 4)"),
     ("repro.experiments.robustness", "seed-robustness of the headline results"),
     ("repro.experiments.fault_tolerance", "node churn: Hadoop recovery vs MPI-D rerun"),
+    ("repro.experiments.network_faults", "lossy links: shuffle retries vs abort-and-rerun"),
     ("repro.experiments.export", "write per-figure CSVs/JSONs (--out results/)"),
     ("repro.experiments.all", "everything above, back to back"),
 ]

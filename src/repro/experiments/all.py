@@ -23,6 +23,7 @@ from repro.experiments import (
     fig6_wordcount,
     gridmix,
     interconnect_whatif,
+    network_faults,
     scalability,
     stragglers,
     table1_copy_pct,
@@ -69,6 +70,10 @@ def main(argv: list[str] | None = None) -> int:
             fault_tolerance.format_report(
                 fault_tolerance.run(input_gb=ft_gb, seeds=(2011, 2012))
             )
+        )
+        nf_gb = 2.0 if args.full else 1.0
+        sections.append(
+            network_faults.format_report(network_faults.run(input_gb=nf_gb))
         )
         sections.append(scalability.format_report(scalability.run()))
         sections.append(gridmix.format_report(gridmix.run()))

@@ -24,7 +24,8 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.experiments import fault_tolerance, fig1_shuffle, fig2_latency
-from repro.experiments import fig3_bandwidth, fig6_wordcount, table1_copy_pct
+from repro.experiments import fig3_bandwidth, fig6_wordcount, network_faults
+from repro.experiments import table1_copy_pct
 from repro.util.units import GiB
 
 
@@ -45,6 +46,17 @@ def _default_fig6():
 def _default_fault():
     """One shared default fault sweep, with per-task records retained."""
     return fault_tolerance.run(input_gb=4, seeds=(2011,), keep_task_records=True)
+
+
+@lru_cache(maxsize=1)
+def _default_netfault():
+    """One shared default lossy-network sweep (small, so exports stay quick)."""
+    return network_faults.run(
+        input_gb=1.0,
+        seeds=(2011, 2012),
+        rates_per_link_hour=(120.0, 900.0, 1800.0),
+        partition_durations=(5.0, 15.0),
+    )
 
 
 def fig1_csv(metrics=None, input_bytes: int = 16 * GiB) -> tuple[list[str], list[list]]:
@@ -112,6 +124,15 @@ def fault_tolerance_csv(result=None) -> tuple[list[str], list[list]]:
     def cell(x: float):
         return "" if math.isinf(x) else x
 
+    def why(rate: float) -> str:
+        """One compact cell per rate: which runs died, where and when."""
+        return "; ".join(
+            f"seed{f['seed']}:node{f['node']}"
+            f"@t{f['time']:.1f}" + (f":task{f['task']}" if f["task"] is not None else "")
+            for f in r.hadoop_failures.get(rate, [])
+            if f["time"] is not None
+        )
+
     header = [
         "crashes_per_node_hour",
         "hadoop_s",
@@ -123,9 +144,10 @@ def fault_tolerance_csv(result=None) -> tuple[list[str], list[list]]:
         "wasted_task_s",
         "mpid_restarts",
         "mpid_wasted_task_s",
+        "hadoop_failure_why",
     ]
     rows: list[list] = [
-        [0.0, r.hadoop_clean, r.mpid_clean, 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0]
+        [0.0, r.hadoop_clean, r.mpid_clean, 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, ""]
     ]
     for rate in r.rates_per_hour:
         f = r.hadoop_faults[rate]
@@ -141,6 +163,7 @@ def fault_tolerance_csv(result=None) -> tuple[list[str], list[list]]:
                 f["wasted_task_seconds"],
                 r.mpid_restarts[rate],
                 r.mpid_wasted.get(rate, 0.0),
+                why(rate),
             ]
         )
     return header, rows
@@ -157,9 +180,100 @@ def fault_tolerance_json(result=None) -> dict:
         "hadoop_task_records": {
             str(rate): records for rate, records in r.hadoop_task_records.items()
         },
+        "hadoop_failures": {
+            str(rate): records for rate, records in r.hadoop_failures.items()
+        },
         "mpid_faults": {str(rate): f for rate, f in r.mpid_faults.items()},
         "mpid_wasted_task_seconds": {
             str(rate): w for rate, w in r.mpid_wasted.items()
+        },
+    }
+
+
+def network_faults_csv(result=None) -> tuple[list[str], list[list]]:
+    """Loss-rate sweep rows (the lossy-network degradation curves).
+
+    DNF runs export an empty elapsed cell rather than ``inf``; the
+    partition sweep lives in the JSON export (different x-axis)."""
+    r = result or _default_netfault()
+
+    def cell(x: float):
+        return "" if math.isinf(x) else x
+
+    header = [
+        "kills_per_link_hour",
+        "hadoop_s",
+        "mpid_s",
+        "mpid_reliable_s",
+        "hadoop_dnf",
+        "mpid_dnf",
+        "fetch_retries",
+        "fetch_failures",
+        "maps_reexecuted_for_fetch",
+        "mpid_restarts",
+        "mpid_retransmits",
+    ]
+    rows: list[list] = [
+        [0.0, r.hadoop_clean, r.mpid_clean, r.mpid_clean, 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0]
+    ]
+    for rate in r.rates_per_link_hour:
+        s = r.hadoop_shuffle[rate]
+        rows.append(
+            [
+                rate,
+                cell(r.hadoop[rate]),
+                cell(r.mpid[rate]),
+                cell(r.mpid_reliable[rate]),
+                r.hadoop_dnf[rate],
+                r.mpid_dnf[rate],
+                s["fetch_retries"],
+                s["fetch_failures"],
+                s["maps_reexecuted_for_fetch"],
+                r.mpid_restarts[rate],
+                r.mpid_retransmits[rate],
+            ]
+        )
+    return header, rows
+
+
+def network_faults_json(result=None) -> dict:
+    """Both sweeps (loss rate + partition duration) with the crossover."""
+    r = result or _default_netfault()
+
+    def clean(x: float):
+        return None if math.isinf(x) else x
+
+    return {
+        "experiment": "network_faults",
+        "input_gb": r.input_gb,
+        "seeds": list(r.seeds),
+        "rates_per_link_hour": list(r.rates_per_link_hour),
+        "partition_durations": list(r.partition_durations),
+        "partition_at": r.partition_at,
+        "hadoop_clean": r.hadoop_clean,
+        "mpid_clean": r.mpid_clean,
+        "crossover_rate_per_link_hour": r.crossover_rate(),
+        "loss": {
+            str(rate): {
+                "hadoop_s": clean(r.hadoop[rate]),
+                "mpid_s": clean(r.mpid[rate]),
+                "mpid_reliable_s": clean(r.mpid_reliable[rate]),
+                "hadoop_dnf": r.hadoop_dnf[rate],
+                "mpid_dnf": r.mpid_dnf[rate],
+                "hadoop_shuffle": r.hadoop_shuffle[rate],
+                "mpid_restarts": r.mpid_restarts[rate],
+                "mpid_retransmits": r.mpid_retransmits[rate],
+            }
+            for rate in r.rates_per_link_hour
+        },
+        "partition": {
+            str(duration): {
+                "hadoop_s": clean(r.hadoop_partition[duration]),
+                "mpid_s": clean(r.mpid_partition[duration]),
+                "hadoop_fetch_retries": r.hadoop_partition_retries[duration],
+                "mpid_restarts": r.mpid_partition_restarts[duration],
+            }
+            for duration in r.partition_durations
         },
     }
 
@@ -182,11 +296,13 @@ EXPORTS = {
     "table1_copy_pct.csv": table1_csv,
     "fig6_wordcount.csv": fig6_csv,
     "fault_tolerance.csv": fault_tolerance_csv,
+    "network_faults.csv": network_faults_csv,
 }
 
 JSON_EXPORTS = {
     "fig6_wordcount.json": fig6_json,
     "fault_tolerance.json": fault_tolerance_json,
+    "network_faults.json": network_faults_json,
 }
 
 

@@ -80,6 +80,10 @@ class FaultToleranceResult:
     #: Full per-task records when ``keep_task_records=True``:
     #: rate -> [JobMetrics.to_dict() per seed] (rate 0.0 = clean runs).
     hadoop_task_records: dict[float, list[dict]] = field(default_factory=dict)
+    #: Why each Hadoop DNF died: rate -> one record per failed seed with
+    #: the seed, the reason string, and the structured (node, task, time)
+    #: triple behind it — a DNF cell stops being a mystery number.
+    hadoop_failures: dict[float, list[dict]] = field(default_factory=dict)
 
     def crossover_rate(self) -> Optional[float]:
         """Lowest rate where Hadoop's mean time beats MPI-D's, linearly
@@ -181,6 +185,15 @@ def run(
                 hm = err.metrics
                 h_times.append(float("inf"))
                 h_dnf += 1
+                result.hadoop_failures.setdefault(rate, []).append(
+                    {
+                        "seed": seed,
+                        "reason": hm.failure_reason,
+                        "node": hm.failure_node,
+                        "task": hm.failure_task,
+                        "time": hm.failure_time,
+                    }
+                )
             for key in fault_acc:
                 fault_acc[key] += getattr(hm, key)
             if keep_task_records:

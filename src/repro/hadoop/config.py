@@ -42,6 +42,25 @@ class HadoopConfig:
     shuffle_memory_bytes: int = 140 * MiB  # ~0.7 of a 200 MB reduce JVM
     completion_poll_interval: float = 1.0  # reducer's map-event poll period
 
+    # -- shuffle robustness (lossy networks) ----------------------------------
+    # These knobs only matter when the run's FaultPlan contains network
+    # faults; with a reliable network the copy stage never consults them,
+    # keeping clean runs bit-for-bit identical.
+    #: ``mapred.shuffle.read.timeout``-style cap: a fetch whose bytes have
+    #: not all arrived after this long is cancelled and retried.
+    fetch_timeout: float = 30.0
+    #: Attempts per fetch batch against one host before the copier gives
+    #: up on that host for the round and reports it unreachable.
+    fetch_retries: int = 4
+    #: Exponential backoff between fetch retries: base * 2^(k-1) capped
+    #: at the max, with ±50% jitter from the run's seeded RNG.  The same
+    #: progression drives the per-host penalty box.
+    fetch_backoff_base: float = 1.0
+    fetch_backoff_max: float = 30.0
+    #: Fetch-failure reports against one map output before the JobTracker
+    #: re-executes the map (0.20's three-strikes rule).
+    fetch_failure_threshold: int = 3
+
     # -- speculative execution ------------------------------------------------
     #: Re-run straggling maps on another node (0.20.2 ships with this on;
     #: our default keeps it off so the paper-calibration experiments are
@@ -78,6 +97,23 @@ class HadoopConfig:
             raise ValueError("intervals must be positive")
         if self.parallel_copies < 1:
             raise ValueError(f"parallel copies must be >= 1: {self.parallel_copies}")
+        if self.fetch_timeout <= 0:
+            raise ValueError(f"fetch timeout must be positive: {self.fetch_timeout}")
+        if self.fetch_retries < 1:
+            raise ValueError(f"fetch retries must be >= 1: {self.fetch_retries}")
+        if self.fetch_backoff_base <= 0:
+            raise ValueError(
+                f"fetch backoff base must be positive: {self.fetch_backoff_base}"
+            )
+        if self.fetch_backoff_max < self.fetch_backoff_base:
+            raise ValueError(
+                f"fetch backoff cap ({self.fetch_backoff_max}) below the "
+                f"base ({self.fetch_backoff_base})"
+            )
+        if self.fetch_failure_threshold < 1:
+            raise ValueError(
+                f"fetch failure threshold must be >= 1: {self.fetch_failure_threshold}"
+            )
         if self.speculative_slowness <= 1.0:
             raise ValueError(
                 f"speculative slowness must exceed 1.0: {self.speculative_slowness}"

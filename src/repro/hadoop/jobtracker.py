@@ -140,6 +140,18 @@ class JobTracker:
         self.maps_reexecuted = 0
         self.fetch_failures = 0
         self.wasted_task_seconds = 0.0
+        # -- shuffle-robustness state (lossy networks) ------------------------
+        #: Retry attempts reducers performed after transient fetch failures.
+        self.fetch_retries = 0
+        #: Maps re-executed because reducers hit the fetch-failure threshold
+        #: (distinct from maps_reexecuted via dead nodes, which it feeds).
+        self.maps_reexecuted_for_fetch = 0
+        #: map id -> transient fetch-failure strikes (0.20's three-strikes).
+        self._fetch_fail_counts: dict[int, int] = {}
+        # Structured failure record (who/when/what), for post-mortems.
+        self.failure_node: Optional[int] = None
+        self.failure_time: Optional[float] = None
+        self.failure_task: Optional[int] = None
 
     # -- queries --------------------------------------------------------------
     @property
@@ -347,11 +359,26 @@ class JobTracker:
         self.reduces_completed += 1
 
     # -- failure handling & recovery ------------------------------------------
-    def fail_job(self, reason: str) -> None:
-        """Mark the whole job failed; trackers drain at their next beat."""
+    def fail_job(
+        self,
+        reason: str,
+        *,
+        node: Optional[int] = None,
+        task_id: Optional[int] = None,
+        at: Optional[float] = None,
+    ) -> None:
+        """Mark the whole job failed; trackers drain at their next beat.
+
+        The keyword fields pin *why*: the node involved, the task whose
+        attempts ran out, and the failure time — only the first failure
+        is recorded (later ones are consequences).
+        """
         if not self.job_failed:
             self.job_failed = True
             self.failure_reason = reason
+            self.failure_node = node
+            self.failure_task = task_id
+            self.failure_time = at
 
     def tracker_registered(self, node: int, now: float) -> None:
         """A TaskTracker (re)connected — the start of its heartbeat stream.
@@ -415,19 +442,41 @@ class JobTracker:
         self._map_attempt_lost(attempt, now)
 
     def fetch_failed(
-        self, map_ids: list[int], src_node: int, now: float
+        self, map_ids: list[int], src_node: int, now: float, definite: bool = True
     ) -> None:
         """A reducer could not pull map output from ``src_node``.
 
-        Real Hadoop re-executes the map after three reducers complain;
-        we re-execute on the first failure (the simulator has no
-        transient fetch errors — a failed fetch means the node is gone).
+        ``definite=True`` is the node-is-gone report (the source died
+        mid-fetch): the output is certainly lost, so the map re-executes
+        immediately, as before.  ``definite=False`` is the lossy-network
+        report — the host may merely be unreachable right now — so the
+        JobTracker counts strikes per map and re-executes only once
+        ``fetch_failure_threshold`` reducers have complained (Hadoop
+        0.20's three-strikes rule).
         """
         for mid in map_ids:
             self.fetch_failures += 1
             task = self.maps[mid]
-            if task.state == _DONE and task.node == src_node and not self.job_done:
+            if task.state != _DONE or task.node != src_node or self.job_done:
+                continue
+            if definite:
                 self._invalidate_map_output(task, now)
+                continue
+            strikes = self._fetch_fail_counts.get(mid, 0) + 1
+            self._fetch_fail_counts[mid] = strikes
+            if strikes >= self.config.fetch_failure_threshold:
+                self.maps_reexecuted_for_fetch += 1
+                self._invalidate_map_output(task, now)
+
+    def reduce_attempt_failed(self, task: ReduceTaskInfo, now: float) -> None:
+        """One reduce attempt gave up on a live node (e.g. its output
+        replication could not get through the network faults); the
+        attempt is unwound and the reduce requeued like any lost one."""
+        if task.node is not None:
+            running = self._running_reduce_map.get(task.node)
+            if running and task in running:
+                running.remove(task)
+        self._reduce_attempt_lost(task, now)
 
     # -- recovery internals ---------------------------------------------------
     def _drop_running_attempt(self, attempt: MapAttempt) -> None:
@@ -450,7 +499,10 @@ class JobTracker:
             return  # a twin (speculative) attempt is still alive
         if task.failed_attempts >= self.config.max_attempts:
             self.fail_job(
-                f"map {task.task_id} failed {task.failed_attempts} attempts"
+                f"map {task.task_id} failed {task.failed_attempts} attempts",
+                node=attempt.node,
+                task_id=task.task_id,
+                at=now,
             )
             return
         task.state = _PENDING
@@ -466,7 +518,10 @@ class JobTracker:
             self.wasted_task_seconds += max(0.0, now - task.metrics.scheduled_at)
         if task.failed_attempts >= self.config.max_attempts:
             self.fail_job(
-                f"reduce {task.task_id} failed {task.failed_attempts} attempts"
+                f"reduce {task.task_id} failed {task.failed_attempts} attempts",
+                node=task.node,
+                task_id=task.task_id,
+                at=now,
             )
             return
         task.state = _PENDING
@@ -475,6 +530,7 @@ class JobTracker:
 
     def _invalidate_map_output(self, task: MapTaskInfo, now: float) -> None:
         """A completed map's output died with its node: run it again."""
+        self._fetch_fail_counts.pop(task.task_id, None)
         task.state = _PENDING
         task.node = None
         task.output_bytes = 0.0

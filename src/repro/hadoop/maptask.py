@@ -24,6 +24,8 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.hadoop.jobtracker import MapAttempt
 from repro.simnet.kernel import Interrupt
+from repro.simnet.network import FlowFailed
+from repro.util.rng import make_rng
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hadoop.simulation import HadoopSimulation
@@ -88,18 +90,43 @@ def map_task_process(
             src = env.cluster.node(src_id)
             epoch = env.node_epoch(src_id)
             nio = env.nio.wire_costs(task.block.size)
-            yield sim.all_of(
-                [
-                    src.disk_read(task.block.size),
-                    env.cluster.send(
+            if env.net_faults:
+                # Lossy network: the stream restarts on a killed flow
+                # (TCP-like DFS recovery); exhausting the retry budget
+                # burns the whole attempt.
+                rng = make_rng(
+                    env.seed, "map-read-retry", task.task_id, task.failed_attempts
+                )
+                wire = env.spawn_on_node(
+                    attempt.node,
+                    env.reliable_send(
                         src.node_id,
                         attempt.node,
                         nio.wire_bytes,
                         extra_latency=nio.setup_time,
                         rate_cap=nio.rate_cap,
+                        rng=rng,
+                        label=f"hdfs-m{task.task_id}",
                     ),
-                ]
-            )
+                    name=f"read-m{task.task_id}",
+                )
+            else:
+                wire = env.cluster.send(
+                    src.node_id,
+                    attempt.node,
+                    nio.wire_bytes,
+                    extra_latency=nio.setup_time,
+                    rate_cap=nio.rate_cap,
+                )
+            try:
+                yield sim.all_of([src.disk_read(task.block.size), wire])
+            except FlowFailed:
+                # Retries exhausted: fail the attempt; the JobTracker
+                # re-schedules it (possibly at another replica).
+                env.jobtracker.map_attempt_failed(attempt, sim.now)
+                tracker.map_failed(attempt)
+                tr.abort(sid, outcome="failed:read-lost")
+                return
             if env.injector is not None and (
                 env.is_node_dead(src_id) or env.node_epoch(src_id) != epoch
             ):

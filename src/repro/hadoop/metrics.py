@@ -46,6 +46,8 @@ class ReduceTaskMetrics:
     finished_at: float = 0.0
     shuffled_bytes: int = 0
     fetches: int = 0
+    #: Re-fetch attempts after transient failures (lossy network only).
+    fetch_retries: int = 0
 
     @property
     def copy_time(self) -> float:
@@ -83,11 +85,19 @@ class JobMetrics:
     failed_reduce_attempts: int = 0
     maps_reexecuted: int = 0
     fetch_failures: int = 0
+    #: Shuffle retry pipeline (lossy networks): re-fetch attempts, and
+    #: maps re-executed because the fetch-failure threshold tripped.
+    fetch_retries: int = 0
+    maps_reexecuted_for_fetch: int = 0
     #: Simulated seconds of task work thrown away by failures (killed
     #: attempts plus re-executed completed maps) — the "wasted work" axis.
     wasted_task_seconds: float = 0.0
     job_failed: bool = False
     failure_reason: Optional[str] = None
+    # Structured failure record: the node/task/time behind failure_reason.
+    failure_node: Optional[int] = None
+    failure_task: Optional[int] = None
+    failure_time: Optional[float] = None
 
     @property
     def elapsed(self) -> float:
@@ -155,9 +165,14 @@ class JobMetrics:
             "failed_reduce_attempts": self.failed_reduce_attempts,
             "maps_reexecuted": self.maps_reexecuted,
             "fetch_failures": self.fetch_failures,
+            "fetch_retries": self.fetch_retries,
+            "maps_reexecuted_for_fetch": self.maps_reexecuted_for_fetch,
             "wasted_task_seconds": self.wasted_task_seconds,
             "job_failed": self.job_failed,
             "failure_reason": self.failure_reason,
+            "failure_node": self.failure_node,
+            "failure_task": self.failure_task,
+            "failure_time": self.failure_time,
         }
 
     def data_locality(self) -> float:
@@ -197,6 +212,7 @@ class JobMetrics:
                     "reduce_time": r.reduce_time,
                     "shuffled_bytes": r.shuffled_bytes,
                     "fetches": r.fetches,
+                    "fetch_retries": r.fetch_retries,
                 }
                 for r in self.reduce_tasks
             ],

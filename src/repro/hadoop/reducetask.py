@@ -29,9 +29,12 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING
 
+from repro.hadoop.jobtracker import _DONE as _DONE_STATE
 from repro.hadoop.jobtracker import MapOutputRef, ReduceTaskInfo
 from repro.simnet.kernel import Interrupt
+from repro.simnet.network import FlowFailed
 from repro.simnet.resources import SlotPool
+from repro.util.rng import make_rng
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hadoop.simulation import HadoopSimulation
@@ -51,6 +54,10 @@ class _ShuffleState:
         "initiated",
         "completed_ids",
         "inflight_ids",
+        "retries",
+        "rng",
+        "host_failures",
+        "penalty_until",
     )
 
     def __init__(self) -> None:
@@ -62,6 +69,13 @@ class _ShuffleState:
         self.initiated = 0
         self.completed_ids: set[int] = set()
         self.inflight_ids: set[int] = set()
+        # -- retry pipeline (populated only under network faults) ------------
+        self.retries = 0
+        self.rng = None  # this reducer's jitter stream
+        #: node -> consecutive failed fetch attempts (clears on success).
+        self.host_failures: dict[int, int] = {}
+        #: Penalty box: node -> earliest time it may be contacted again.
+        self.penalty_until: dict[int, float] = {}
 
 
 def reduce_task_process(
@@ -84,6 +98,12 @@ def reduce_task_process(
         # ---------------- copy stage ------------------------------------------
         copy_sid = tr.begin("hadoop.reduce", "copy", parent=sid)
         state = _ShuffleState()
+        fetcher = _fetch_batch
+        if env.net_faults:
+            # Lossy network: the retry/backoff pipeline, with this
+            # attempt's own jitter stream so re-attempts re-draw.
+            fetcher = _fetch_batch_robust
+            state.rng = make_rng(env.seed, "shuffle", task.task_id, task.attempts)
         copiers = SlotPool(sim, cfg.parallel_copies, name=f"copiers-r{task.task_id}")
         cursor = 0
         inflight = []
@@ -106,7 +126,7 @@ def reduce_task_process(
                     for src, group in by_node.items():
                         proc = env.spawn_on_node(
                             task.node,
-                            _fetch_batch(env, task, copiers, src, group, state),
+                            fetcher(env, task, copiers, src, group, state),
                             name=f"fetch-r{task.task_id}-n{src}",
                         )
                         inflight.append(proc)
@@ -125,6 +145,7 @@ def reduce_task_process(
         metrics.copy_done_at = sim.now
         metrics.shuffled_bytes = int(state.shuffled_bytes)
         metrics.fetches = state.fetches
+        metrics.fetch_retries = state.retries
         tr.end(copy_sid, shuffled_bytes=state.shuffled_bytes, fetches=state.fetches)
         if sid:
             sim.obs.metrics.counter("hadoop.bytes_shuffled").add(state.shuffled_bytes)
@@ -161,15 +182,34 @@ def reduce_task_process(
             for t in targets:
                 t_node = env.cluster.node(t)
                 nio = env.nio.wire_costs(int(output))
-                waits.append(
-                    env.cluster.send(
-                        task.node,
-                        t_node.node_id,
-                        nio.wire_bytes,
-                        extra_latency=nio.setup_time,
-                        rate_cap=nio.rate_cap,
+                if env.net_faults:
+                    # DFS pipeline streams resend through killed flows;
+                    # exhaustion fails this attempt (caught below).
+                    waits.append(
+                        env.spawn_on_node(
+                            task.node,
+                            env.reliable_send(
+                                task.node,
+                                t_node.node_id,
+                                nio.wire_bytes,
+                                extra_latency=nio.setup_time,
+                                rate_cap=nio.rate_cap,
+                                rng=state.rng,
+                                label=f"hdfs-r{task.task_id}",
+                            ),
+                            name=f"repl-r{task.task_id}-n{t}",
+                        )
                     )
-                )
+                else:
+                    waits.append(
+                        env.cluster.send(
+                            task.node,
+                            t_node.node_id,
+                            nio.wire_bytes,
+                            extra_latency=nio.setup_time,
+                            rate_cap=nio.rate_cap,
+                        )
+                    )
                 waits.append(t_node.disk_write(output))
         yield sim.all_of(waits)
 
@@ -183,6 +223,13 @@ def reduce_task_process(
     except Interrupt:
         tr.abort(sid, outcome="interrupted")
         return  # this node crashed; the JobTracker reschedules the reduce
+    except FlowFailed:
+        # Output replication could not beat the network faults even with
+        # resends: this attempt fails on its live node and is requeued.
+        jt.reduce_attempt_failed(task, sim.now)
+        tracker.reduce_failed(task)
+        tr.abort(sid, outcome="replication-failed")
+        return
 
 
 def _fetch_batch(
@@ -272,8 +319,207 @@ def _fetch_failed(
     state: _ShuffleState,
 ) -> None:
     """Give the failed segments back to the poll loop and tell the master."""
-    state.initiated -= len(group)
-    state.inflight_ids.difference_update(r.map_id for r in group)
+    _give_back(group, state)
     env.jobtracker.fetch_failed(
         [r.map_id for r in group], src_node, env.sim.now
     )
+
+
+def _give_back(group: list[MapOutputRef], state: _ShuffleState) -> None:
+    """Return segments to the poll loop (undo their initiated share)."""
+    state.initiated -= len(group)
+    state.inflight_ids.difference_update(r.map_id for r in group)
+
+
+def _drop_moved(
+    env: "HadoopSimulation",
+    group: list[MapOutputRef],
+    src_node: int,
+    state: _ShuffleState,
+) -> list[MapOutputRef]:
+    """Hand back segments whose map no longer lives on ``src_node``.
+
+    While a fetch process was backing off, the strike threshold (tripped
+    by this reducer or another) may have re-executed some of its maps
+    elsewhere; those segments return to the poll loop, which will see
+    the new completions' announcements.
+    """
+    jt = env.jobtracker
+    keep: list[MapOutputRef] = []
+    moved: list[MapOutputRef] = []
+    for ref in group:
+        task = jt.maps[ref.map_id]
+        if task.state == _DONE_STATE and task.node == src_node:
+            keep.append(ref)
+        else:
+            moved.append(ref)
+    if moved:
+        _give_back(moved, state)
+    return keep
+
+
+def _backoff(
+    env: "HadoopSimulation",
+    task: ReduceTaskInfo,
+    src_node: int,
+    delay: float,
+    label: str,
+):
+    """Wait out a retry/penalty delay under its own span category, so the
+    gantt visually separates *waiting to retry* from *transferring*."""
+    tr = env.sim.obs.tracer
+    sid = tr.begin(
+        "hadoop.shuffle.backoff",
+        f"{label} r{task.task_id}<-n{src_node}",
+        delay=delay,
+    )
+    try:
+        yield env.sim.timeout(delay)
+    except Interrupt:
+        tr.abort(sid, outcome="interrupted")
+        raise
+    tr.end(sid)
+
+
+def _fetch_batch_robust(
+    env: "HadoopSimulation",
+    task: ReduceTaskInfo,
+    copiers: SlotPool,
+    src_node: int,
+    group: list[MapOutputRef],
+    state: _ShuffleState,
+):
+    """The lossy-network twin of :func:`_fetch_batch`.
+
+    Same request anatomy (per-host batch, Jetty setup, mapper-side disk
+    service, shared wire), wrapped in Hadoop 0.20's ShuffleScheduler
+    semantics:
+
+    * a **fetch timeout** cancels a stuck transfer;
+    * a failed attempt retries against the same host after an
+      exponentially backed-off, jittered delay;
+    * hosts that keep failing sit in a per-reducer **penalty box**;
+    * once ``fetch_retries`` attempts are exhausted the reducer reports
+      a fetch-failure **strike** per map to the JobTracker, which
+      re-executes the map when ``fetch_failure_threshold`` strikes
+      accumulate — re-announcement then routes the segments to the
+      map's new home.
+
+    Dead-node fetches keep the definite-failure fast path (immediate
+    re-execution), identical to the reliable-network pipeline.
+    """
+    sim = env.sim
+    cfg = env.config
+    jt = env.jobtracker
+    obs = sim.obs
+    policy = env.fetch_retry_policy
+    src = env.cluster.node(src_node)
+    fetch_sid = 0
+    slot = copiers.acquire()
+    try:
+        yield slot
+        wait = state.penalty_until.get(src_node, 0.0) - sim.now
+        if wait > 0:
+            yield from _backoff(env, task, src_node, wait, "penalty")
+        attempt = 0
+        while True:
+            group = _drop_moved(env, group, src_node, state)
+            if not group:
+                return
+            if jt.job_failed:
+                _give_back(group, state)
+                return
+            if env.is_node_dead(src_node):
+                _fetch_failed(env, group, src_node, state)
+                return
+            epoch = env.node_epoch(src_node)
+            total = sum(ref.partition_bytes for ref in group)
+            fetch_sid = obs.tracer.begin(
+                "transport.jetty",
+                f"fetch r{task.task_id}<-n{src_node}",
+                segments=len(group),
+                nbytes=total,
+                attempt=attempt,
+            )
+            if fetch_sid:
+                obs.metrics.counter("transport.jetty.requests").add(len(group))
+            setup = env.jetty.request_setup * len(group)
+            headers = env.jetty.header_bytes * len(group)
+            seek_bytes = src.spec.disk_seek * src.disk.rate
+            serve = src.disk.transfer(total + len(group) * seek_bytes)
+            flow = env.cluster.send_flow(
+                src_node,
+                task.node,
+                total + headers,
+                extra_latency=setup,
+                rate_cap=env.jetty.stream_peak,
+            )
+            done = sim.all_of([serve, flow.done])
+            failure = None
+            try:
+                yield sim.any_of([done, sim.timeout(cfg.fetch_timeout)])
+            except FlowFailed:
+                failure = "flow-lost"
+            else:
+                if not done.triggered:
+                    env.cluster.network.cancel_flow(flow, reason="fetch-timeout")
+                    failure = "timeout"
+                elif not done.ok:
+                    failure = "flow-lost"
+            if failure is None and (
+                env.is_node_dead(src_node) or env.node_epoch(src_node) != epoch
+            ):
+                _fetch_failed(env, group, src_node, state)
+                obs.tracer.abort(fetch_sid, outcome="failed:source-died")
+                obs.metrics.counter("transport.jetty.failed_fetches").add(len(group))
+                fetch_sid = 0
+                return
+            if failure is None:
+                state.shuffled_bytes += total
+                state.fetches += len(group)
+                state.completed_ids.update(r.map_id for r in group)
+                state.inflight_ids.difference_update(r.map_id for r in group)
+                state.host_failures.pop(src_node, None)
+                state.penalty_until.pop(src_node, None)
+                if fetch_sid:
+                    obs.metrics.counter("transport.jetty.bytes").add(total)
+                if state.shuffled_bytes > cfg.shuffle_memory_bytes:
+                    state.spilled_to_disk = True
+                if state.spilled_to_disk and total > 0:
+                    yield env.cluster.node(task.node).disk_write(total)
+                obs.tracer.end(fetch_sid)
+                fetch_sid = 0
+                return
+            # One failed attempt: count it, grow the host's penalty,
+            # back off, try again.
+            obs.tracer.abort(fetch_sid, outcome=f"failed:{failure}")
+            obs.metrics.counter("transport.jetty.failed_fetches").add(len(group))
+            fetch_sid = 0
+            attempt += 1
+            state.retries += 1
+            jt.fetch_retries += 1
+            fails = state.host_failures.get(src_node, 0) + 1
+            state.host_failures[src_node] = fails
+            state.penalty_until[src_node] = sim.now + policy.delay(
+                min(fails, policy.retries + 1)
+            )
+            if attempt > policy.retries:
+                # Exhausted against this host: one strike per map (the
+                # 0.20 "too many fetch failures" report), then a fresh
+                # round after a max-length wait.  The JobTracker
+                # re-executes the maps at the strike threshold, at which
+                # point _drop_moved hands the segments back.
+                jt.fetch_failed(
+                    [r.map_id for r in group], src_node, sim.now, definite=False
+                )
+                attempt = 0
+                delay = policy.delay(policy.retries + 1, state.rng)
+                yield from _backoff(env, task, src_node, delay, "strike-wait")
+            else:
+                delay = policy.delay(attempt, state.rng)
+                yield from _backoff(env, task, src_node, delay, f"retry{attempt}")
+    except Interrupt:
+        return  # the reducer's own node died mid-fetch
+    finally:
+        obs.tracer.abort(fetch_sid, outcome="interrupted")
+        copiers.cancel(slot)

@@ -33,9 +33,11 @@ from repro.obs import Observer
 from repro.simnet.cluster import Cluster, ClusterSpec
 from repro.simnet.faults import FaultInjector, FaultPlan
 from repro.simnet.kernel import Interrupt, Process, Simulator
+from repro.simnet.network import FlowFailed
 from repro.transports.hadoop_rpc import HadoopRpcTransport
 from repro.transports.jetty import JettyHttpTransport
 from repro.transports.nio import NioSocketTransport
+from repro.transports.retry import RetryPolicy
 
 
 class JobFailedError(RuntimeError):
@@ -101,6 +103,11 @@ class HadoopSimulation:
         self._tracker_procs: list[Process] = []
         self._topology_event = None
         self.injector: Optional[FaultInjector] = None
+        #: True when the plan can fail flows: switches the shuffle into
+        #: its retry/backoff pipeline and wraps DFS streams in resends.
+        #: False keeps every transfer on the original (infallible) path,
+        #: so crash-only and clean runs stay bit-for-bit unchanged.
+        self.net_faults = False
         if self.fault_plan:  # an empty plan is falsy: nothing to inject
             self.injector = FaultInjector(
                 self.sim,
@@ -111,6 +118,21 @@ class HadoopSimulation:
                     self.worker_node_id(w) for w in range(self.num_workers)
                 ),
             )
+            self.net_faults = self.fault_plan.has_network_faults()
+        #: Backoff schedule shared by the shuffle's fetch retries; DFS
+        #: streams (map-side remote reads, reduce output replication) use
+        #: a more patient variant of the same progression, since a task
+        #: that gives up on DFS burns a whole attempt.
+        self.fetch_retry_policy = RetryPolicy(
+            base=self.config.fetch_backoff_base,
+            max_delay=self.config.fetch_backoff_max,
+            retries=self.config.fetch_retries,
+        )
+        self.dfs_retry_policy = RetryPolicy(
+            base=self.config.fetch_backoff_base,
+            max_delay=self.config.fetch_backoff_max,
+            retries=2 * self.config.fetch_retries,
+        )
 
     # -- id mapping -----------------------------------------------------------
     def worker_node_id(self, worker_index: int) -> int:
@@ -154,6 +176,49 @@ class HadoopSimulation:
             except ValueError:
                 pass
 
+    def reliable_send(
+        self,
+        src: int,
+        dst: int,
+        nbytes: float,
+        extra_latency: float = 0.0,
+        rate_cap: float = float("inf"),
+        rng=None,
+        label: str = "dfs",
+    ):
+        """Generator: a :meth:`Cluster.send` that survives killed flows.
+
+        TCP-like recovery for DFS streams — on :class:`FlowFailed` the
+        transfer restarts from scratch after an exponential backoff
+        (jittered from ``rng``), up to ``dfs_retry_policy.retries``
+        times; exhaustion re-raises for the caller's task-level
+        recovery.  Spawn via :meth:`spawn_on_node` (or ``yield from``)
+        so crash interrupts still reach the waiter.
+        """
+        sim = self.sim
+        policy = self.dfs_retry_policy
+        attempt = 0
+        try:
+            while True:
+                flow = self.cluster.send_flow(src, dst, nbytes, extra_latency, rate_cap)
+                try:
+                    yield flow.done
+                    return
+                except FlowFailed:
+                    attempt += 1
+                    if attempt > policy.retries:
+                        raise
+                    tr = sim.obs.tracer
+                    sid = tr.begin(
+                        "hadoop.shuffle.backoff",
+                        f"{label}-retry n{src}->n{dst}",
+                        attempt=attempt,
+                    )
+                    yield sim.timeout(policy.delay(attempt, rng))
+                    tr.end(sid)
+        except Interrupt:
+            return  # our node crashed; the task-level recovery owns cleanup
+
     # -- FaultHost hooks ---------------------------------------------------------
     def crash_node(self, node_id: int, now: float) -> None:
         """A node dies: every process it hosts is interrupted.  Detection
@@ -162,7 +227,9 @@ class HadoopSimulation:
         if node_id == 0:
             # The JobTracker/NameNode is a single point of failure in
             # Hadoop 0.20.2: losing the master kills the job outright.
-            self.jobtracker.fail_job("master node 0 lost (JobTracker is a SPOF)")
+            self.jobtracker.fail_job(
+                "master node 0 lost (JobTracker is a SPOF)", node=0, at=now
+            )
             return
         if node_id in self.dead_nodes:
             return
@@ -256,7 +323,9 @@ class HadoopSimulation:
                         [ev, sim.timeout(self.config.tasktracker_expiry_interval)]
                     )
                     if not ev.triggered and not (jt.job_done or jt.job_failed):
-                        jt.fail_job("all tasktrackers lost and none restarted")
+                        jt.fail_job(
+                            "all tasktrackers lost and none restarted", at=sim.now
+                        )
             self.metrics.finished_at = sim.now
             self.injector.stop()
             if expiry_proc is not None and expiry_proc.is_alive:
@@ -288,9 +357,14 @@ class HadoopSimulation:
         m.failed_reduce_attempts = jt.failed_reduce_attempts
         m.maps_reexecuted = jt.maps_reexecuted
         m.fetch_failures = jt.fetch_failures
+        m.fetch_retries = jt.fetch_retries
+        m.maps_reexecuted_for_fetch = jt.maps_reexecuted_for_fetch
         m.wasted_task_seconds = jt.wasted_task_seconds
         m.job_failed = jt.job_failed
         m.failure_reason = jt.failure_reason
+        m.failure_node = jt.failure_node
+        m.failure_task = jt.failure_task
+        m.failure_time = jt.failure_time
 
 
 def run_hadoop_job(

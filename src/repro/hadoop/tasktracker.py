@@ -53,6 +53,11 @@ class TaskTracker:
     def reduce_completed(self, task: ReduceTaskInfo) -> None:
         self.running_reduces -= 1
 
+    def reduce_failed(self, task: ReduceTaskInfo) -> None:
+        """A reduce attempt gave up on this (live) node; the slot frees —
+        the JobTracker was told directly (``reduce_attempt_failed``)."""
+        self.running_reduces -= 1
+
     # -- the heartbeat loop -------------------------------------------------------
     def run(self):
         """DES process: beat until the job is done (or this node dies)."""

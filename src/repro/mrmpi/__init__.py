@@ -12,12 +12,14 @@ against the simulated Hadoop of :mod:`repro.hadoop`.
 
 from repro.mrmpi.config import MrMpiConfig
 from repro.mrmpi.simulator import (
+    MpiJobAborted,
     MrMpiFaultMetrics,
     MrMpiMetrics,
     MrMpiSimulation,
     replay_restarts,
     run_mpid_job,
     run_mpid_job_under_faults,
+    run_mpid_job_under_net_faults,
 )
 
 __all__ = [
@@ -25,7 +27,9 @@ __all__ = [
     "MrMpiSimulation",
     "MrMpiMetrics",
     "MrMpiFaultMetrics",
+    "MpiJobAborted",
     "replay_restarts",
     "run_mpid_job",
     "run_mpid_job_under_faults",
+    "run_mpid_job_under_net_faults",
 ]

@@ -54,6 +54,12 @@ class MrMpiConfig:
     #: job, which is then resubmitted.  ``restart_overhead`` is the
     #: resubmission + relaunch cost paid before work resumes.
     restart_overhead: float = 5.0
+    #: On a lossy network, plain MPICH treats a lost stream as a fatal
+    #: error (connection reset -> MPI_Abort).  ``reliable_transport=True``
+    #: instead retransmits the killed array after a TCP-RTO-style backoff
+    #: (``MpichTransport.reliable_policy``), aborting only when the
+    #: retransmission budget is exhausted.
+    reliable_transport: bool = False
     #: Optional coordinated checkpointing: every ``checkpoint_interval``
     #: seconds of progress a snapshot costing ``checkpoint_cost`` seconds
     #: is taken; a restart resumes from the last complete snapshot

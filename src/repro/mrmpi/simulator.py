@@ -20,15 +20,18 @@ output locally.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.hadoop.job import JobSpec
 from repro.mrmpi.config import MrMpiConfig
 from repro.obs import Observer
 from repro.simnet.cluster import Cluster, ClusterSpec
+from repro.simnet.faults import NETWORK_FAULT_SPECS, FaultInjector, FaultPlan
 from repro.simnet.kernel import Event, Simulator
+from repro.simnet.network import FlowFailed
 from repro.transports.mpich import MpichTransport
+from repro.util.rng import derive_seed, make_rng
 
 
 @dataclass
@@ -73,6 +76,15 @@ class MrMpiMetrics:
     elapsed: float = 0.0
     mappers: list[MapperMetrics] = field(default_factory=list)
     reducers: list[ReducerMetrics] = field(default_factory=list)
+    # -- lossy-network accounting (all zero on a loss-free run) ---------------
+    #: Killed flows observed by the network during this attempt.
+    flows_lost: int = 0
+    #: Arrays resent by the reliable-transport mode.
+    retransmits: int = 0
+    #: True when a lost stream was fatal (baseline MPICH: MPI_Abort).
+    aborted: bool = False
+    aborted_at: Optional[float] = None
+    abort_reason: Optional[str] = None
 
     @property
     def total_sent_bytes(self) -> float:
@@ -92,10 +104,21 @@ class MrMpiMetrics:
             "messages": self.total_messages,
         }
 
+    def fault_summary(self) -> dict:
+        """The lossy-network counters as one record (Hadoop-symmetric)."""
+        return {
+            "flows_lost": self.flows_lost,
+            "retransmits": self.retransmits,
+            "aborted": self.aborted,
+            "aborted_at": self.aborted_at,
+            "abort_reason": self.abort_reason,
+        }
+
     def to_dict(self) -> dict:
         """JSON-serializable dump: summary plus per-process records."""
         return {
             "summary": self.summary(),
+            "faults": self.fault_summary(),
             "mappers": [
                 {
                     "rank": m.rank,
@@ -122,6 +145,31 @@ class MrMpiMetrics:
         }
 
 
+class MpiJobAborted(RuntimeError):
+    """The whole MPI job died (MPICH2's reaction to a fatal stream loss).
+
+    Carries the abort instant and the attempt's partial metrics so the
+    restart loop can account for the thrown-away progress.
+    """
+
+    def __init__(self, reason: str, at: float, metrics: MrMpiMetrics):
+        super().__init__(f"MPI job aborted at t={at:.3f}s: {reason}")
+        self.reason = reason
+        self.at = at
+        self.metrics = metrics
+
+
+class _NetworkOnlyHost:
+    """FaultHost stub for MPI-D: crash specs are rejected up front, so
+    these hooks must never fire."""
+
+    def crash_node(self, node_id: int, now: float) -> None:
+        raise AssertionError("crash spec reached a network-only injector")
+
+    def restart_node(self, node_id: int, now: float) -> None:
+        raise AssertionError("restart reached a network-only injector")
+
+
 @dataclass
 class MrMpiSimulation:
     """One MPI-D MapReduce job on a freshly built simulated cluster."""
@@ -129,6 +177,13 @@ class MrMpiSimulation:
     spec: JobSpec
     config: MrMpiConfig = field(default_factory=MrMpiConfig)
     cluster_spec: ClusterSpec = field(default_factory=ClusterSpec)
+    #: Network-fault plan (LinkFlap/NetworkPartition/FlowLossRate only —
+    #: node crashes are modeled analytically by
+    #: :func:`run_mpid_job_under_faults`, because a crash kills the whole
+    #: MPI job and a clean rerun is deterministic anyway).
+    fault_plan: Optional[FaultPlan] = None
+    #: Seed for the reliable-transport retransmission jitter streams.
+    seed: int = 2011
     #: Observability: True attaches an :class:`~repro.obs.Observer`; off by
     #: default so an untraced run matches the uninstrumented code exactly.
     observe: bool = False
@@ -161,6 +216,20 @@ class MrMpiSimulation:
         self._sent_per_reducer = [0.0] * cfg.num_reducers
         self._mappers_done = 0
         self._all_mappers_done: Optional[Event] = None
+        self.injector: Optional[FaultInjector] = None
+        self.net_faults = False
+        if self.fault_plan:
+            for fspec in self.fault_plan.specs:
+                if not isinstance(fspec, NETWORK_FAULT_SPECS):
+                    raise ValueError(
+                        f"MrMpiSimulation only injects network faults; "
+                        f"{type(fspec).__name__} is covered by the analytic "
+                        f"restart model (run_mpid_job_under_faults)"
+                    )
+            self.injector = FaultInjector(
+                self.sim, self.cluster, self.fault_plan, host=_NetworkOnlyHost()
+            )
+            self.net_faults = True
 
     # -- cost helpers -----------------------------------------------------------
     def _user_cpu(self, per_byte: float, nbytes: float) -> float:
@@ -219,9 +288,19 @@ class MrMpiSimulation:
                 send_cpu = n_msgs * self.mpich.stream_per_msg
                 yield sim.timeout(send_cpu)  # not overlapped: injection cost
                 wc = self.mpich.wire_costs(int(share))
-                flow = self.cluster.send(
-                    node_id, rnode, share, extra_latency=wc.setup_time
-                )
+                if self.net_faults and self.config.reliable_transport:
+                    # Each array gets its own retransmission process; the
+                    # reducer waits on it exactly like a bare flow.
+                    flow = sim.process(
+                        self._retransmit_proc(
+                            node_id, rnode, share, wc.setup_time, rank, r, m.spills
+                        ),
+                        name=f"retx-m{rank}-r{r}.{m.spills}",
+                    )
+                else:
+                    flow = self.cluster.send(
+                        node_id, rnode, share, extra_latency=wc.setup_time
+                    )
                 self._reducer_flows[r].append(flow)
                 self._sent_per_reducer[r] += share
                 m.sent_bytes += share
@@ -237,6 +316,59 @@ class MrMpiSimulation:
         if self._mappers_done == cfg.num_mappers:
             assert self._all_mappers_done is not None
             self._all_mappers_done.succeed()
+
+    def _retransmit_proc(
+        self,
+        src: int,
+        dst: int,
+        nbytes: float,
+        setup: float,
+        rank: int,
+        reducer: int,
+        seq: int,
+    ):
+        """One array under reliable transport: resend on a killed flow.
+
+        The backoff jitter stream is fixed by (seed, sender rank,
+        reducer, spill number), so a run's retransmission timeline is
+        reproducible.  Exhausting the budget re-raises — the reducer's
+        wait then aborts the job, same as the baseline.
+        """
+        sim = self.sim
+        policy = self.mpich.reliable_policy()
+        rng = make_rng(self.seed, "mpid-retransmit", rank, reducer, seq)
+        attempt = 0
+        while True:
+            flow = self.cluster.send_flow(src, dst, nbytes, extra_latency=setup)
+            try:
+                yield flow.done
+                return
+            except FlowFailed:
+                attempt += 1
+                if attempt > policy.retries:
+                    raise
+                self.metrics.retransmits += 1
+                tr = sim.obs.tracer
+                sid = tr.begin(
+                    "mpid.retransmit",
+                    f"retx n{src}->n{dst}",
+                    attempt=attempt,
+                )
+                if sid:
+                    sim.obs.metrics.counter("transport.mpich.retransmits").add()
+                yield sim.timeout(policy.delay(attempt, rng))
+                tr.end(sid)
+
+    def _record_abort(self, reason: str) -> None:
+        """First fatal loss wins; the abort instant is when the network
+        actually killed the stream, not when the reducer noticed."""
+        m = self.metrics
+        if m.aborted:
+            return
+        m.aborted = True
+        m.abort_reason = reason
+        at = self.cluster.network.first_flow_failure_at
+        m.aborted_at = at if at is not None else self.sim.now
 
     def _reducer_proc(self, index: int, node_id: int):
         sim = self.sim
@@ -256,7 +388,14 @@ class MrMpiSimulation:
         yield self._all_mappers_done
         flows = self._reducer_flows[index]
         if flows:
-            yield sim.all_of(flows)
+            try:
+                yield sim.all_of(flows)
+            except FlowFailed as exc:
+                # Fatal stream loss: MPICH2 takes the whole job down.
+                self._record_abort(str(exc))
+                tr.abort(recv_sid, outcome="aborted")
+                tr.abort(sid, outcome="aborted")
+                return
         r.received_bytes = self._sent_per_reducer[index]
         r.copy_done_at = sim.now
         tr.end(recv_sid, received_bytes=r.received_bytes)
@@ -311,13 +450,26 @@ class MrMpiSimulation:
                 sim.process(self._reducer_proc(i, node_id), name=f"reducer{i}")
             )
 
+        if self.injector is not None:
+            self.injector.start()
+
         def job(sim_):
             yield sim.all_of(procs)
             self.metrics.elapsed = sim.now
+            if self.injector is not None:
+                # Open-ended loss streams must not keep the heap alive.
+                self.injector.stop()
 
         sim.process(job(sim), name="job")
         sim.run(until=until)
-        sim.obs.tracer.end(job_sid)
+        sim.obs.tracer.end(job_sid, aborted=self.metrics.aborted)
+        self.metrics.flows_lost = self.cluster.network.flows_failed
+        if self.metrics.aborted:
+            raise MpiJobAborted(
+                self.metrics.abort_reason or "stream lost",
+                self.metrics.aborted_at or sim.now,
+                self.metrics,
+            )
         if self.metrics.elapsed == 0.0 and until is not None:
             raise RuntimeError(f"job did not finish by t={until}")
         return self.metrics
@@ -368,6 +520,9 @@ class MrMpiFaultMetrics:
     restart_overhead_seconds: float = 0.0
     completed: bool = True
     checkpointed: bool = False
+    # -- lossy-network accounting (DES-measured; zero for crash plans) --------
+    flows_lost: int = 0
+    retransmits: int = 0
 
     @property
     def slowdown(self) -> float:
@@ -411,6 +566,8 @@ class MrMpiFaultMetrics:
             "restart_overhead_seconds": self.restart_overhead_seconds,
             "checkpoint_overhead_seconds": self.checkpoint_overhead_seconds,
             "wasted_task_seconds": self.wasted_task_seconds,
+            "flows_lost": self.flows_lost,
+            "retransmits": self.retransmits,
         }
 
 
@@ -510,3 +667,70 @@ def run_mpid_job_under_faults(
         if not result.completed or result.elapsed <= horizon:
             return result
         horizon *= 2.0
+
+
+def run_mpid_job_under_net_faults(
+    spec: JobSpec,
+    plan: FaultPlan,
+    config: Optional[MrMpiConfig] = None,
+    cluster_spec: Optional[ClusterSpec] = None,
+) -> MrMpiFaultMetrics:
+    """One MPI-D job on a lossy network, restarts included.
+
+    Unlike node crashes (deterministic rerun -> analytic replay),
+    network faults interact with the traffic, so every attempt is a real
+    DES run.  The baseline transport aborts on the first killed stream
+    and the job is resubmitted from scratch (the paper's Section-V
+    criticism made concrete); ``config.reliable_transport`` retransmits
+    instead and usually completes in one attempt.
+
+    Attempt 0 runs under ``plan`` exactly as Hadoop would see it —
+    identical kill timeline for the head-to-head comparison.  Each
+    resubmission re-derives the plan seed (a restarted job re-rolls the
+    network's dice), so the restart sequence is still a pure function of
+    (spec, plan, config).
+    """
+    cfg = config or MrMpiConfig()
+    cspec = cluster_spec or ClusterSpec()
+    clean = run_mpid_job(spec, config=cfg, cluster_spec=cspec).elapsed
+    out = MrMpiFaultMetrics(job_name=spec.name, clean_elapsed=clean)
+    wall = 0.0
+    attempt = 0
+    while True:
+        # A resubmission starts ``wall`` seconds into the fault timeline:
+        # one-shot outages it outlived never recur, and the re-rolled
+        # seed keeps the loss streams independent across attempts.
+        p = (
+            plan
+            if attempt == 0
+            else replace(
+                plan.shifted(wall),
+                seed=derive_seed(plan.seed, "mpid-net-attempt", attempt),
+            )
+        )
+        sim = MrMpiSimulation(
+            spec=spec,
+            config=cfg,
+            cluster_spec=cspec,
+            fault_plan=p,
+            seed=p.seed,
+        )
+        try:
+            m = sim.run()
+        except MpiJobAborted as exc:
+            out.restarts += 1
+            out.lost_work_seconds += exc.at
+            out.restart_overhead_seconds += cfg.restart_overhead
+            out.flows_lost += exc.metrics.flows_lost
+            out.retransmits += exc.metrics.retransmits
+            wall += exc.at + cfg.restart_overhead
+            if out.restarts > cfg.max_restarts:
+                out.completed = False
+                out.elapsed = float("inf")
+                return out
+            attempt += 1
+            continue
+        out.flows_lost += m.flows_lost
+        out.retransmits += m.retransmits
+        out.elapsed = wall + m.elapsed
+        return out

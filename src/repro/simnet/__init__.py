@@ -24,7 +24,7 @@ from repro.simnet.kernel import (
     SimError,
 )
 from repro.simnet.resources import SlotPool, RateDevice, Store
-from repro.simnet.network import Link, Network, Flow
+from repro.simnet.network import Link, Network, Flow, FlowFailed
 from repro.simnet.cluster import Node, Cluster, ClusterSpec, paper_cluster
 from repro.simnet.faults import (
     FaultPlan,
@@ -34,6 +34,9 @@ from repro.simnet.faults import (
     DiskDegradation,
     LinkDegradation,
     Straggler,
+    LinkFlap,
+    NetworkPartition,
+    FlowLossRate,
 )
 
 __all__ = [
@@ -51,6 +54,7 @@ __all__ = [
     "Link",
     "Network",
     "Flow",
+    "FlowFailed",
     "Node",
     "Cluster",
     "ClusterSpec",
@@ -62,4 +66,7 @@ __all__ = [
     "DiskDegradation",
     "LinkDegradation",
     "Straggler",
+    "LinkFlap",
+    "NetworkPartition",
+    "FlowLossRate",
 ]

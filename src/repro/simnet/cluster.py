@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.simnet.kernel import Event, Simulator
-from repro.simnet.network import Link, Network
+from repro.simnet.network import Flow, Link, Network
 from repro.simnet.resources import RateDevice, SlotPool
 from repro.util.units import GiB, MiB
 
@@ -122,12 +122,25 @@ class Cluster:
         the protocol, not the wire, is the bottleneck — loopback doesn't
         make Hadoop RPC fast).
         """
+        return self.send_flow(src, dst, nbytes, extra_latency, rate_cap).done
+
+    def send_flow(
+        self,
+        src: int,
+        dst: int,
+        nbytes: float,
+        extra_latency: float = 0.0,
+        rate_cap: float = float("inf"),
+    ) -> Flow:
+        """:meth:`send` returning the :class:`Flow` handle instead of the
+        event — for callers that may need to cancel it (fetch timeouts)
+        or that retry on :class:`~repro.simnet.network.FlowFailed`."""
         if src == dst:
-            return self.network.transfer(
+            return self.network.transfer_flow(
                 (), nbytes, latency=extra_latency, rate_cap=rate_cap
             )
         path = (self.nodes[src].uplink, self.nodes[dst].downlink)
-        return self.network.transfer(
+        return self.network.transfer_flow(
             path,
             nbytes,
             latency=self.spec.link_latency + extra_latency,

@@ -28,7 +28,7 @@ simulated time passes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Optional, Protocol, Union
 
 from repro.simnet.cluster import Cluster, Node
@@ -132,7 +132,120 @@ class Straggler(_Degradation):
     """Whole-node slowdown: disk *and* links divided by ``factor``."""
 
 
-FaultSpec = Union[NodeCrash, CrashRate, DiskDegradation, LinkDegradation, Straggler]
+@dataclass(frozen=True)
+class LinkFlap:
+    """Node ``node``'s NIC goes dark at ``at`` for ``duration`` seconds.
+
+    Both directions drop: in-flight flows over either link die with
+    :class:`~repro.simnet.network.FlowFailed` and new flows fail at
+    start until the link comes back.  ``flaps > 1`` repeats the outage
+    every ``period`` seconds (a wedged switch port cycling), so
+    ``period`` must exceed ``duration``.
+    """
+
+    node: int
+    at: float
+    duration: float
+    flaps: int = 1
+    period: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"link flap of negative node id: {self.node}")
+        if self.at < 0:
+            raise ValueError(f"flap time may not be negative: {self.at}")
+        if self.duration <= 0:
+            raise ValueError(f"flap duration must be positive: {self.duration}")
+        if self.flaps < 1:
+            raise ValueError(f"flap count must be >= 1: {self.flaps}")
+        if self.flaps > 1:
+            if self.period is None:
+                raise ValueError("repeated flaps need a period")
+            if self.period <= self.duration:
+                raise ValueError(
+                    f"flap period ({self.period}) must exceed the outage "
+                    f"duration ({self.duration})"
+                )
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """The cluster splits in two at ``at`` for ``duration`` seconds.
+
+    ``nodes`` is one side of the cut (the other side is everyone else);
+    flows crossing the cut die and new cross-cut flows fail at start
+    until the partition heals.  Traffic *within* either side is
+    untouched — that asymmetry is the whole point of modeling a
+    partition rather than N link flaps.
+    """
+
+    nodes: tuple[int, ...]
+    at: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", tuple(sorted(set(self.nodes))))
+        if not self.nodes:
+            raise ValueError("partition needs at least one node on the cut side")
+        if self.nodes[0] < 0:
+            raise ValueError(f"negative node id in partition: {self.nodes[0]}")
+        if self.at < 0:
+            raise ValueError(f"partition time may not be negative: {self.at}")
+        if self.duration <= 0:
+            raise ValueError(f"partition duration must be positive: {self.duration}")
+
+
+@dataclass(frozen=True)
+class FlowLossRate:
+    """Kill in-flight flows at a seeded Poisson rate (a lossy network).
+
+    ``rate`` is expected kills per *link*-second on each of the targeted
+    nodes' links (``nodes=None`` = every node); each kill picks a
+    uniformly random victim among the flows crossing that link at that
+    instant (idle links lose nothing).  Victims' waiters see
+    :class:`~repro.simnet.network.FlowFailed` — this is the fault that
+    exercises shuffle fetch retries and MPI retransmission.  The loss
+    window is ``[start, start + duration)``; ``duration=None`` is
+    open-ended.
+    """
+
+    rate: float
+    nodes: Optional[tuple[int, ...]] = None
+    start: float = 0.0
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"loss rate must be positive: {self.rate}")
+        if self.start < 0:
+            raise ValueError(f"start time may not be negative: {self.start}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(
+                f"duration must be positive (or None for open-ended): {self.duration}"
+            )
+        if self.nodes is not None:
+            if not self.nodes:
+                raise ValueError("empty node tuple (use None for all nodes)")
+            for node in self.nodes:
+                if node < 0:
+                    raise ValueError(f"negative node id in loss set: {node}")
+
+
+FaultSpec = Union[
+    NodeCrash,
+    CrashRate,
+    DiskDegradation,
+    LinkDegradation,
+    Straggler,
+    LinkFlap,
+    NetworkPartition,
+    FlowLossRate,
+]
+
+#: Specs consumed by the network layer (vs. node/disk faults).  Plans
+#: containing any of these switch the Hadoop shuffle into its
+#: retry/backoff pipeline and make MPI sends fallible.
+NETWORK_FAULT_SPECS = (LinkFlap, NetworkPartition, FlowLossRate)
 
 
 # -- the plan ----------------------------------------------------------------
@@ -147,30 +260,131 @@ class FaultPlan:
         object.__setattr__(self, "specs", tuple(self.specs))
         for spec in self.specs:
             if not isinstance(
-                spec, (NodeCrash, CrashRate, DiskDegradation, LinkDegradation, Straggler)
+                spec,
+                (
+                    NodeCrash,
+                    CrashRate,
+                    DiskDegradation,
+                    LinkDegradation,
+                    Straggler,
+                    LinkFlap,
+                    NetworkPartition,
+                    FlowLossRate,
+                ),
             ):
                 raise TypeError(f"not a fault spec: {spec!r}")
 
     def __bool__(self) -> bool:
         return bool(self.specs)
 
+    def has_network_faults(self) -> bool:
+        """True when any spec can fail flows (the consumers' mode switch)."""
+        return any(isinstance(spec, NETWORK_FAULT_SPECS) for spec in self.specs)
+
+    def _spec_targets(self, spec: FaultSpec) -> tuple[int, ...]:
+        """The node ids a spec names explicitly (empty = default set)."""
+        if isinstance(spec, (CrashRate, FlowLossRate)):
+            return spec.nodes or ()
+        if isinstance(spec, NetworkPartition):
+            return spec.nodes
+        # NodeCrash, the degradations, and LinkFlap all name one node.
+        return (spec.node,)
+
     def validate(self, num_nodes: int) -> None:
-        """Check every spec against the target topology; raises ValueError."""
+        """Check every spec against the target topology; raises ValueError.
+
+        Uniformly eager: *every* spec type's node references are checked
+        (value-range errors like negative factors already raised at spec
+        construction), so a bad plan fails before any simulated time
+        passes regardless of which fault kind carries the mistake.
+        """
         if num_nodes < 1:
             raise ValueError(f"cluster must have at least one node: {num_nodes}")
         for spec in self.specs:
-            if isinstance(spec, CrashRate):
-                for node in spec.nodes or ():
-                    if node >= num_nodes:
-                        raise ValueError(
-                            f"crash-rate targets node {node}, but the cluster "
-                            f"has only nodes 0..{num_nodes - 1}"
-                        )
-            elif spec.node >= num_nodes:
+            name = type(spec).__name__
+            for node in self._spec_targets(spec):
+                if node >= num_nodes:
+                    raise ValueError(
+                        f"{name} targets node {node}, but the cluster "
+                        f"has only nodes 0..{num_nodes - 1}"
+                    )
+            if isinstance(spec, NetworkPartition) and len(spec.nodes) >= num_nodes:
                 raise ValueError(
-                    f"{type(spec).__name__} targets node {spec.node}, but the "
-                    f"cluster has only nodes 0..{num_nodes - 1}"
+                    f"{name} puts all {num_nodes} nodes on one side; a "
+                    f"partition needs nodes on both sides of the cut"
                 )
+
+    def shifted(self, offset: float) -> "FaultPlan":
+        """The plan as seen by a run starting ``offset`` seconds into the
+        fault timeline.
+
+        A resubmitted job does not reset the world: a partition scheduled
+        at t=40 hits a job restarted at t=30 ten seconds in, and one that
+        already healed never recurs.  One-shot specs move earlier (and
+        are dropped once fully in the past), in-progress outages keep
+        only their remainder, and rate specs keep running with their
+        window clipped.
+        """
+        if offset < 0:
+            raise ValueError(f"offset may not be negative: {offset}")
+        if offset == 0:
+            return self
+        specs: list[FaultSpec] = []
+        for spec in self.specs:
+            if isinstance(spec, NodeCrash):
+                at = spec.at - offset
+                if at >= 0:  # a crash in the past does not recur
+                    specs.append(replace(spec, at=at))
+            elif isinstance(spec, CrashRate):
+                specs.append(replace(spec, start=max(0.0, spec.start - offset)))
+            elif isinstance(spec, FlowLossRate):
+                start = max(0.0, spec.start - offset)
+                if spec.duration is None:
+                    specs.append(replace(spec, start=start))
+                else:
+                    end = spec.start + spec.duration - offset
+                    if end > start:
+                        specs.append(
+                            replace(spec, start=start, duration=end - start)
+                        )
+            elif isinstance(spec, NetworkPartition):
+                at = spec.at - offset
+                if at >= 0:
+                    specs.append(replace(spec, at=at))
+                elif spec.duration + at > 0:  # mid-outage: the remainder
+                    specs.append(replace(spec, at=0.0, duration=spec.duration + at))
+            elif isinstance(spec, LinkFlap):
+                at = spec.at - offset
+                flaps = spec.flaps
+                while flaps > 1 and at + spec.duration <= 0:
+                    assert spec.period is not None
+                    at += spec.period
+                    flaps -= 1
+                if at >= 0:
+                    specs.append(replace(spec, at=at, flaps=flaps))
+                elif spec.duration + at > 0:
+                    # Mid-outage: the remainder now, later flaps unchanged.
+                    specs.append(
+                        LinkFlap(spec.node, 0.0, spec.duration + at)
+                    )
+                    if flaps > 1:
+                        assert spec.period is not None
+                        specs.append(
+                            replace(
+                                spec, at=at + spec.period, flaps=flaps - 1
+                            )
+                        )
+            else:  # the degradations
+                at = spec.at - offset
+                if at >= 0:
+                    specs.append(replace(spec, at=at))
+                elif spec.duration is None:
+                    specs.append(replace(spec, at=0.0))
+                elif spec.duration + at > 0:
+                    specs.append(
+                        replace(spec, at=0.0, duration=spec.duration + at)
+                    )
+        return FaultPlan(specs=tuple(specs), seed=self.seed)
 
     # -- the analytic view ----------------------------------------------------
     def crash_times(
@@ -248,6 +462,9 @@ class FaultInjector:
         self.crashes_injected = 0
         self.restarts_injected = 0
         self.degradations_applied = 0
+        self.flows_killed = 0
+        self.link_flaps = 0
+        self.partitions = 0
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> None:
@@ -261,6 +478,18 @@ class FaultInjector:
             elif isinstance(spec, CrashRate):
                 for node in spec.nodes or self.default_nodes:
                     self._spawn(self._churn_proc(spec, node), f"fault-churn-n{node}")
+            elif isinstance(spec, LinkFlap):
+                self._spawn(self._flap_proc(spec), f"fault-flap-n{spec.node}")
+            elif isinstance(spec, NetworkPartition):
+                self._spawn(self._partition_proc(spec), f"fault-partition{i}")
+            elif isinstance(spec, FlowLossRate):
+                for node in spec.nodes or self.default_nodes:
+                    n = self.cluster.node(node)
+                    for link in (n.uplink, n.downlink):
+                        self._spawn(
+                            self._flow_loss_proc(spec, node, link),
+                            f"fault-loss-{link.name}",
+                        )
             else:
                 self._spawn(self._degrade_proc(spec), f"fault-degrade{i}-n{spec.node}")
 
@@ -336,6 +565,86 @@ class FaultInjector:
             yield sim.timeout(spec.duration)
             sim.obs.tracer.end(sid)
             self._scale_node(node, spec, spec.factor)
+        except Interrupt:
+            return
+
+    def _record_net(self, kind: str, detail: str) -> None:
+        """Network-fault instants live on one shared track."""
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.tracer.instant("fault", f"{kind} {detail}", track="faults:net")
+            obs.metrics.counter(f"faults.{kind}").add()
+
+    def _flap_proc(self, spec: LinkFlap):
+        sim = self.sim
+        net = self.cluster.network
+        node = self.cluster.node(spec.node)
+        try:
+            yield sim.timeout(spec.at)
+            for i in range(spec.flaps):
+                if i:
+                    yield sim.timeout(spec.period - spec.duration)
+                self.link_flaps += 1
+                self._record_net("link-down", f"node{spec.node}")
+                net.set_link_down(node.uplink)
+                net.set_link_down(node.downlink)
+                yield sim.timeout(spec.duration)
+                self._record_net("link-up", f"node{spec.node}")
+                net.set_link_up(node.uplink)
+                net.set_link_up(node.downlink)
+        except Interrupt:
+            # Stopped mid-outage: never strand the links down.
+            net.set_link_up(node.uplink)
+            net.set_link_up(node.downlink)
+            return
+
+    def _partition_proc(self, spec: NetworkPartition):
+        sim = self.sim
+        net = self.cluster.network
+        cut = set(spec.nodes)
+        groups: dict = {}
+        for node in self.cluster.nodes:
+            side = 1 if node.node_id in cut else 0
+            groups[node.uplink] = side
+            groups[node.downlink] = side
+        try:
+            yield sim.timeout(spec.at)
+            self.partitions += 1
+            self._record_net("partition", f"nodes{list(spec.nodes)}")
+            net.set_partition(groups)
+            yield sim.timeout(spec.duration)
+            self._record_net("partition-heal", f"nodes{list(spec.nodes)}")
+            net.clear_partition()
+        except Interrupt:
+            net.clear_partition()
+            return
+
+    def _flow_loss_proc(self, spec: FlowLossRate, node_id: int, link):
+        """One Poisson kill stream per targeted link.
+
+        The stream's gaps are fixed by (seed, link name) alone, so a kill
+        landing on an idle link is simply absorbed — loss does not shift
+        to a later, busier instant, and two runs draw identical
+        timelines regardless of traffic.
+        """
+        sim = self.sim
+        net = self.cluster.network
+        rng = make_rng(self.plan.seed, "faults", "flow-loss", link.name)
+        end = None if spec.duration is None else spec.start + spec.duration
+        try:
+            yield sim.timeout(spec.start)
+            while True:
+                gap = float(rng.exponential(1.0 / spec.rate))
+                if end is not None and sim.now + gap > end:
+                    return
+                yield sim.timeout(gap)
+                flows = net.flows_on(link)
+                if not flows:
+                    continue
+                victim = flows[int(rng.integers(len(flows)))]
+                self.flows_killed += 1
+                self._record_net("flow-loss", link.name)
+                net.fail_flow(victim, reason=f"loss:{link.name}")
         except Interrupt:
             return
 

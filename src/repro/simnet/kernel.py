@@ -156,16 +156,23 @@ class _Condition(Event):
 
 
 class AllOf(_Condition):
-    """Fires when every child event has fired; value is the list of values."""
+    """Fires when every child event has fired; value is the list of values.
+
+    A child that fails *after* the condition resolved (a second lost
+    flow, a timeout loser) is absorbed: the condition already delivered
+    its outcome, so the late failure is defused rather than left to
+    raise at ``run()`` end with nobody waiting on it.
+    """
 
     __slots__ = ()
 
     def _check(self, ev: Event) -> None:
-        if self._triggered:
-            return
         if not ev._ok:
             ev.defuse()
-            self.fail(ev._value)
+            if not self._triggered:
+                self.fail(ev._value)
+            return
+        if self._triggered:
             return
         self._n_done += 1
         if self._n_done == len(self.events):
@@ -173,16 +180,22 @@ class AllOf(_Condition):
 
 
 class AnyOf(_Condition):
-    """Fires when the first child event fires; value is that event's value."""
+    """Fires when the first child event fires; value is that event's value.
+
+    Losers that fail after the race resolved are defused (see
+    :class:`AllOf`) — racing a transfer against a timeout must not turn
+    the abandoned transfer's failure into a simulation error.
+    """
 
     __slots__ = ()
 
     def _check(self, ev: Event) -> None:
-        if self._triggered:
-            return
         if not ev._ok:
             ev.defuse()
-            self.fail(ev._value)
+            if not self._triggered:
+                self.fail(ev._value)
+            return
+        if self._triggered:
             return
         self.succeed(ev._value)
 

@@ -21,10 +21,24 @@ from typing import Iterable, Optional
 from repro.simnet.kernel import Event, Simulator
 
 
+class FlowFailed(RuntimeError):
+    """Raised in processes waiting on a flow that was killed in flight.
+
+    Carries the :class:`Flow` and a short reason string (``"loss:..."``,
+    ``"link-down:..."``, ``"partitioned"``, ``"fetch-timeout"`` ...) so
+    retry layers can distinguish loss from cancellation they requested.
+    """
+
+    def __init__(self, flow: "Flow", reason: str):
+        super().__init__(f"flow #{flow.seq} failed: {reason}")
+        self.flow = flow
+        self.reason = reason
+
+
 class Link:
     """A unidirectional link with a fixed capacity in bytes/second."""
 
-    __slots__ = ("name", "capacity", "_flows", "bytes_carried", "busy_time")
+    __slots__ = ("name", "capacity", "_flows", "bytes_carried", "busy_time", "up")
 
     def __init__(self, name: str, capacity: float):
         if capacity <= 0:
@@ -34,6 +48,7 @@ class Link:
         self._flows: set["Flow"] = set()
         self.bytes_carried = 0.0
         self.busy_time = 0.0
+        self.up = True
 
     @property
     def active_flows(self) -> int:
@@ -107,6 +122,12 @@ class Network:
         self._timer_token = 0
         self._flow_seq = 0
         self.bytes_delivered = 0.0
+        #: Partition map: link -> group id.  Links in different groups
+        #: cannot appear on the same path; empty dict = no partition.
+        self._link_group: dict[Link, int] = {}
+        self.flows_failed = 0
+        self.flows_cancelled = 0
+        self.first_flow_failure_at: Optional[float] = None
 
     def _next_seq(self) -> int:
         self._flow_seq += 1
@@ -151,6 +172,21 @@ class Network:
         charged.  ``rate_cap`` bounds this flow below link speed — the
         knob protocol-bound transports (Hadoop RPC) use.
         """
+        return self.transfer_flow(path, nbytes, latency=latency, rate_cap=rate_cap).done
+
+    def transfer_flow(
+        self,
+        path: Iterable[Link],
+        nbytes: float,
+        latency: float = 0.0,
+        rate_cap: float = float("inf"),
+    ) -> Flow:
+        """Like :meth:`transfer` but returns the :class:`Flow` itself.
+
+        Callers that need the handle — to :meth:`cancel_flow` on a fetch
+        timeout, or to be a fault injector's victim — use this; everyone
+        else keeps the event-only :meth:`transfer`.
+        """
         path_t = tuple(path)
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
@@ -164,10 +200,117 @@ class Network:
             start.callbacks.append(lambda ev: self._start_flow(flow))
         else:
             self._start_flow(flow)
-        return flow.done
+        return flow
+
+    # -- failing flows -----------------------------------------------------------
+    def fail_flow(self, flow: Flow, reason: str = "lost") -> bool:
+        """Kill an in-flight flow: waiters get :class:`FlowFailed`.
+
+        The flow leaves every link it occupied and the max-min shares
+        recompute immediately.  Returns False (no-op) when the flow had
+        already finished — fault injection racing a completion is not an
+        error.  The failure is pre-defused: a killed flow nobody waits on
+        must not crash ``run()``, the *waiters* are who must cope.
+        """
+        return self._kill_flow(flow, reason, cancelled=False)
+
+    def cancel_flow(self, flow: Flow, reason: str = "cancelled") -> bool:
+        """Same mechanics as :meth:`fail_flow` but requested by the caller
+        (fetch timeout, task abort) rather than inflicted by a fault —
+        kept out of the loss counters."""
+        return self._kill_flow(flow, reason, cancelled=True)
+
+    def _kill_flow(self, flow: Flow, reason: str, cancelled: bool) -> bool:
+        if flow.done.triggered:
+            return False
+        started = flow in self._flows
+        if started:
+            self._advance()
+            self._flows.discard(flow)
+            for link in flow.path:
+                link._flows.discard(flow)
+        if cancelled:
+            self.flows_cancelled += 1
+        else:
+            self.flows_failed += 1
+            if self.first_flow_failure_at is None:
+                self.first_flow_failure_at = self.sim.now
+        if flow.sid:
+            obs = self.sim.obs
+            obs.tracer.abort(flow.sid, outcome=f"failed:{reason}")
+            obs.metrics.counter(
+                "net.flows_cancelled" if cancelled else "net.flows_failed"
+            ).add()
+            for link in flow.path:
+                obs.metrics.histogram(f"net.link.{link.name}.flows").add(-1)
+            flow.sid = 0
+        flow.done.fail(FlowFailed(flow, reason))
+        flow.done.defuse()
+        if started:
+            self._reallocate()
+        return True
+
+    # -- link state / partitions ---------------------------------------------------
+    def set_link_down(self, link: Link) -> None:
+        """Take a link down: every flow crossing it dies (FlowFailed) and
+        new flows over it fail at start until :meth:`set_link_up`."""
+        if not link.up:
+            return
+        link.up = False
+        for flow in sorted(link._flows, key=lambda f: f.seq):
+            self._kill_flow(flow, f"link-down:{link.name}", cancelled=False)
+
+    def set_link_up(self, link: Link) -> None:
+        link.up = True
+
+    def set_partition(self, groups: dict[Link, int]) -> None:
+        """Install a network partition described as a link -> group map.
+
+        Flows whose path spans two groups die immediately; new cross-group
+        flows fail at start.  A later call replaces the whole map (the
+        model supports one partition at a time); :meth:`clear_partition`
+        heals it.
+        """
+        self._link_group = dict(groups)
+        for flow in sorted(self._flows, key=lambda f: f.seq):
+            if self._spans_partition(flow.path):
+                self._kill_flow(flow, "partitioned", cancelled=False)
+
+    def clear_partition(self) -> None:
+        self._link_group = {}
+
+    def flows_on(self, link: Link) -> list[Flow]:
+        """Active flows crossing ``link`` in deterministic (start) order."""
+        return sorted(link._flows, key=lambda f: f.seq)
+
+    def _spans_partition(self, path: tuple[Link, ...]) -> bool:
+        if not self._link_group:
+            return False
+        seen: set[int] = set()
+        for link in path:
+            group = self._link_group.get(link)
+            if group is not None:
+                seen.add(group)
+        return len(seen) > 1
+
+    def _blocked(self, path: tuple[Link, ...]) -> Optional[str]:
+        for link in path:
+            if not link.up:
+                return f"link-down:{link.name}"
+        if self._spans_partition(path):
+            return "partitioned"
+        return None
 
     # -- internals ----------------------------------------------------------------
     def _start_flow(self, flow: Flow) -> None:
+        if flow.done.triggered:
+            # Killed while paying latency (link flap, cancel): nothing to start.
+            return
+        if flow.path:
+            reason = self._blocked(flow.path)
+            if reason is not None:
+                self._kill_flow(flow, reason, cancelled=False)
+                return
         if flow.remaining <= self._EPS:
             self.bytes_delivered += flow.nbytes
             flow.done.succeed(flow.nbytes)

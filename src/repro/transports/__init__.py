@@ -19,6 +19,7 @@ methodology on top of the models.
 """
 
 from repro.transports.base import Transport, WireCosts
+from repro.transports.retry import RetryPolicy
 from repro.transports.mpich import MpichTransport
 from repro.transports.hadoop_rpc import HadoopRpcTransport
 from repro.transports.jetty import JettyHttpTransport
@@ -38,6 +39,7 @@ from repro.transports.simbench import (
 __all__ = [
     "Transport",
     "WireCosts",
+    "RetryPolicy",
     "MpichTransport",
     "HadoopRpcTransport",
     "JettyHttpTransport",

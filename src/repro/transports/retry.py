@@ -1,0 +1,60 @@
+"""Shared retry/backoff policy for fallible transfers.
+
+Both recovery layers built in this repo — the Hadoop shuffle's fetch
+retries (0.20's ``ShuffleScheduler`` semantics) and the optional
+reliable-transport mode of the MPI-D simulator — follow the same
+textbook scheme: capped exponential backoff with multiplicative jitter
+drawn from the run's seeded RNG.  :class:`RetryPolicy` is that scheme as
+frozen data, so a policy can live on a config object and two subsystems
+can be compared under identical retry behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff: ``min(max_delay, base * factor**(k-1))``.
+
+    ``retries`` counts the attempts *after* the first (so a policy with
+    ``retries=4`` allows five tries total).  ``jitter`` spreads each
+    delay uniformly over ``[1-jitter, 1+jitter]`` times the nominal
+    value when an RNG is supplied — deterministic runs pass the run's
+    derived stream, analytic callers pass None for the nominal delay.
+    """
+
+    base: float = 1.0
+    factor: float = 2.0
+    max_delay: float = 30.0
+    retries: int = 4
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ValueError(f"backoff base must be positive: {self.base}")
+        if self.factor < 1.0:
+            raise ValueError(f"backoff factor must be >= 1: {self.factor}")
+        if self.max_delay < self.base:
+            raise ValueError(
+                f"max delay ({self.max_delay}) below the base delay ({self.base})"
+            )
+        if self.retries < 0:
+            raise ValueError(f"retry count may not be negative: {self.retries}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1): {self.jitter}")
+
+    def delay(self, attempt: int, rng: Optional[object] = None) -> float:
+        """Backoff before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"retry attempts are 1-based: {attempt}")
+        nominal = min(self.max_delay, self.base * self.factor ** (attempt - 1))
+        if rng is not None and self.jitter > 0.0:
+            nominal *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return nominal
+
+    def total_delay(self, rng: Optional[object] = None) -> float:
+        """Sum of every backoff a fully exhausted retry loop would wait."""
+        return sum(self.delay(k, rng) for k in range(1, self.retries + 1))

@@ -52,10 +52,11 @@ class TestFig6Json:
 class TestFaultToleranceExports:
     def test_csv_has_mpid_wasted_column(self, fault_result):
         header, rows = fault_tolerance_csv(fault_result)
-        assert header[-1] == "mpid_wasted_task_s"
+        wasted = header.index("mpid_wasted_task_s")
+        assert header[-1] == "hadoop_failure_why"
         assert all(len(r) == len(header) for r in rows)
         clean, faulted = rows[0], rows[1]
-        assert clean[0] == 0.0 and clean[-1] == 0.0
+        assert clean[0] == 0.0 and clean[wasted] == 0.0 and clean[-1] == ""
         assert faulted[0] == 40.0
 
     def test_json_shape(self, fault_result):

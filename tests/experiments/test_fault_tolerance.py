@@ -112,7 +112,9 @@ class TestCsvExport:
         for row in rows:
             assert len(row) == len(header)
             for cell in row:  # inf must never leak into the CSV
-                assert cell == "" or not math.isinf(float(cell))
+                if isinstance(cell, str):
+                    continue  # DNF blanks and the failure-why text
+                assert not math.isinf(cell)
         text = render_csv(header, rows)
         assert text.splitlines()[0].startswith("crashes_per_node_hour,")
         assert "inf" not in text

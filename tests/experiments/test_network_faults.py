@@ -1,0 +1,101 @@
+"""The lossy-network sweep: structure, determinism, and its exporters."""
+
+import math
+
+from repro.experiments import export, network_faults
+
+_KW = dict(
+    input_gb=0.5,
+    seeds=(2011,),
+    rates_per_link_hour=(900.0,),
+    partition_durations=(2.0,),
+)
+
+
+def _tiny():
+    return network_faults.run(**_KW)
+
+
+class TestSweep:
+    def test_structure_and_degradation(self):
+        r = _tiny()
+        assert r.hadoop_clean > 0 and r.mpid_clean > 0
+        assert set(r.hadoop) == set(r.mpid) == set(r.mpid_reliable) == {900.0}
+        assert set(r.hadoop_partition) == {2.0}
+        # Faults never speed a run up.
+        assert r.hadoop[900.0] >= r.hadoop_clean
+        assert r.hadoop_degradation(900.0) >= 1.0
+        if not math.isinf(r.mpid[900.0]):
+            assert r.mpid_degradation(900.0) >= 1.0
+        shuffle = r.hadoop_shuffle[900.0]
+        assert set(shuffle) == {
+            "fetch_retries",
+            "fetch_failures",
+            "maps_reexecuted_for_fetch",
+        }
+        assert shuffle["fetch_retries"] > 0
+        assert r.partition_at > 0
+
+    def test_sweep_is_deterministic(self):
+        a = export.network_faults_json(_tiny())
+        b = export.network_faults_json(_tiny())
+        assert a == b
+
+    def test_report_renders(self):
+        text = network_faults.format_report(_tiny())
+        assert "lossy network" in text
+        assert "900" in text
+
+
+class TestCrossover:
+    def _result(self, hadoop, mpid):
+        r = network_faults.NetworkFaultsResult(
+            input_gb=1.0,
+            rates_per_link_hour=tuple(sorted(hadoop)),
+            partition_durations=(),
+            seeds=(1,),
+        )
+        r.hadoop, r.mpid = hadoop, mpid
+        return r
+
+    def test_interpolated_crossover(self):
+        r = self._result(
+            hadoop={10.0: 30.0, 20.0: 30.0}, mpid={10.0: 25.0, 20.0: 45.0}
+        )
+        # diff = mpid - hadoop: -5 at 10, +15 at 20 -> zero 1/4 in.
+        assert r.crossover_rate() == 12.5
+
+    def test_no_crossover(self):
+        r = self._result(
+            hadoop={10.0: 30.0, 20.0: 35.0}, mpid={10.0: 25.0, 20.0: 30.0}
+        )
+        assert r.crossover_rate() is None
+
+    def test_dnf_hadoop_resets_bracket(self):
+        inf = float("inf")
+        r = self._result(
+            hadoop={10.0: inf, 20.0: 30.0}, mpid={10.0: 25.0, 20.0: 50.0}
+        )
+        # No finite left bracket: the crossover snaps to the first rate
+        # where Hadoop finishes and wins.
+        assert r.crossover_rate() == 20.0
+
+
+class TestExporters:
+    def test_csv_rows_match_header(self):
+        header, rows = export.network_faults_csv(_tiny())
+        assert header[0] == "kills_per_link_hour"
+        assert rows[0][0] == 0.0  # the clean row leads
+        assert all(len(row) == len(header) for row in rows)
+        assert len(rows) == 2
+
+    def test_json_shape(self):
+        doc = export.network_faults_json(_tiny())
+        assert doc["experiment"] == "network_faults"
+        assert set(doc["loss"]) == {"900.0"}
+        assert set(doc["partition"]) == {"2.0"}
+        assert doc["crossover_rate_per_link_hour"] is None or (
+            doc["crossover_rate_per_link_hour"] > 0
+        )
+        row = doc["loss"]["900.0"]
+        assert row["hadoop_s"] is None or row["hadoop_s"] > 0

@@ -1,0 +1,138 @@
+"""The lossy-network shuffle pipeline: per-fetch timeout/retry/backoff,
+the 0.20 three-strikes rule, and the clean-path bit-for-bit guarantee."""
+
+import pytest
+
+from repro.hadoop.config import HadoopConfig
+from repro.hadoop.hdfs import HdfsNamespace
+from repro.hadoop.job import JAVASORT_PROFILE, JobSpec
+from repro.hadoop.jobtracker import JobTracker
+from repro.hadoop.simulation import HadoopSimulation, run_hadoop_job
+from repro.simnet.faults import FaultPlan, FlowLossRate, NodeCrash
+from repro.util.units import GiB, MiB
+
+
+def _spec(gb=1.0):
+    return JobSpec("sort", input_bytes=int(gb * GiB), profile=JAVASORT_PROFILE)
+
+
+def _make_jt(config=None, nodes=4):
+    config = config or HadoopConfig()
+    hdfs = HdfsNamespace(
+        list(range(1, nodes + 1)),
+        block_size=config.block_size,
+        replication=min(config.replication, nodes),
+        seed=7,
+    )
+    f = hdfs.create_file("in", 640 * MiB)
+    spec = JobSpec("t", input_bytes=640 * MiB, profile=JAVASORT_PROFILE)
+    return JobTracker(spec, config, f, num_workers=nodes)
+
+
+def _complete_one_map(jt, node=1):
+    maps, _ = jt.heartbeat(node, 8, 8, [], now=0.0)
+    attempt = maps[0]
+    jt.map_finished(attempt, output_bytes=1000.0, now=1.0)
+    return attempt.task
+
+
+# -- the JobTracker's three-strikes rule --------------------------------------
+class TestFetchFailureStrikes:
+    def test_indefinite_reports_accumulate_to_threshold(self):
+        jt = _make_jt(config=HadoopConfig(fetch_failure_threshold=3))
+        task = _complete_one_map(jt, node=1)
+        for _ in range(2):
+            jt.fetch_failed([task.task_id], src_node=1, now=2.0, definite=False)
+            assert task.state == "done"
+            assert jt.maps_reexecuted_for_fetch == 0
+        jt.fetch_failed([task.task_id], src_node=1, now=2.0, definite=False)
+        assert task.state == "pending"
+        assert jt.maps_reexecuted_for_fetch == 1
+        assert jt.fetch_failures == 3
+
+    def test_strike_count_resets_on_reexecution(self):
+        jt = _make_jt(config=HadoopConfig(fetch_failure_threshold=2))
+        task = _complete_one_map(jt, node=1)
+        jt.fetch_failed([task.task_id], src_node=1, now=2.0, definite=False)
+        jt.fetch_failed([task.task_id], src_node=1, now=2.0, definite=False)
+        assert jt._fetch_fail_counts.get(task.task_id) is None
+
+    def test_definite_report_reexecutes_immediately(self):
+        jt = _make_jt()
+        task = _complete_one_map(jt, node=1)
+        jt.fetch_failed([task.task_id], src_node=1, now=2.0, definite=True)
+        assert task.state == "pending"
+        # The definite path is the node-loss one, not the strike counter.
+        assert jt.maps_reexecuted_for_fetch == 0
+
+    def test_stale_report_ignored(self):
+        """A strike naming the wrong source node (the map moved since the
+        reducer picked its target) must not damage the fresh output."""
+        jt = _make_jt(config=HadoopConfig(fetch_failure_threshold=1))
+        task = _complete_one_map(jt, node=1)
+        jt.fetch_failed([task.task_id], src_node=2, now=2.0, definite=False)
+        assert task.state == "done"
+        assert jt.maps_reexecuted_for_fetch == 0
+        assert jt.fetch_failures == 1  # still counted as a complaint
+
+
+# -- the robust copy stage end to end -----------------------------------------
+class TestLossyShuffle:
+    def test_loss_causes_retries_but_job_completes(self):
+        clean = run_hadoop_job(_spec(), seed=2011)
+        plan = FaultPlan(specs=(FlowLossRate(rate=0.2),), seed=2011)
+        lossy = run_hadoop_job(_spec(), seed=2011, fault_plan=plan)
+        assert lossy.fetch_retries > 0
+        # Retries can hide off the critical path (other fetches overlap
+        # the backoff), but they can never make the job *faster*.
+        assert lossy.elapsed >= clean.elapsed
+        # Moderate loss: every fetch succeeds within its retry budget, so
+        # no map crosses the strike threshold.
+        assert lossy.maps_reexecuted_for_fetch == 0
+
+    def test_lossy_run_is_deterministic(self):
+        plan = FaultPlan(specs=(FlowLossRate(rate=0.2),), seed=2011)
+        a = run_hadoop_job(_spec(), seed=2011, fault_plan=plan)
+        b = run_hadoop_job(_spec(), seed=2011, fault_plan=plan)
+        assert a.elapsed == b.elapsed
+        assert a.fetch_retries == b.fetch_retries
+        assert a.fetch_failures == b.fetch_failures
+
+    def test_backoff_waits_are_traced(self):
+        plan = FaultPlan(specs=(FlowLossRate(rate=0.3),), seed=2011)
+        env = HadoopSimulation(
+            spec=_spec(), config=HadoopConfig(), fault_plan=plan, observe=True
+        )
+        metrics = env.run()
+        spans = list(env.obs.tracer.by_category("hadoop.shuffle.backoff"))
+        assert metrics.fetch_retries > 0
+        assert len(spans) >= metrics.fetch_retries  # one wait per retry
+
+
+# -- the clean-path guarantee -------------------------------------------------
+class TestCleanPathRegression:
+    def test_empty_plan_is_bit_identical_to_no_plan(self):
+        clean = run_hadoop_job(_spec(), seed=2011)
+        empty = run_hadoop_job(_spec(), seed=2011, fault_plan=FaultPlan())
+        assert empty.elapsed == clean.elapsed
+        assert empty.fetch_retries == 0
+
+    def test_loss_free_network_plan_is_bit_identical(self):
+        """The retry pipeline engages (net-fault mode) but zero kills land:
+        timings must match the legacy fetch path exactly, not approximately."""
+        clean = run_hadoop_job(_spec(), seed=2011)
+        plan = FaultPlan(
+            specs=(FlowLossRate(rate=1e-6, duration=0.001),), seed=2011
+        )
+        quiet = run_hadoop_job(_spec(), seed=2011, fault_plan=plan)
+        assert quiet.fetch_retries == 0
+        assert quiet.fetch_failures == 0
+        assert quiet.elapsed == clean.elapsed
+
+    def test_never_firing_crash_plan_is_bit_identical(self):
+        """Crash-only plans keep the legacy fetch path; one scheduled far
+        past the job's end must not perturb anything."""
+        clean = run_hadoop_job(_spec(), seed=2011)
+        plan = FaultPlan(specs=(NodeCrash(node=1, at=1e6),), seed=2011)
+        idle = run_hadoop_job(_spec(), seed=2011, fault_plan=plan)
+        assert idle.elapsed == clean.elapsed

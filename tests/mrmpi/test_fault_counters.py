@@ -32,6 +32,8 @@ class TestWastedTaskSeconds:
             "restart_overhead_seconds",
             "checkpoint_overhead_seconds",
             "wasted_task_seconds",
+            "flows_lost",
+            "retransmits",
         }
         assert fs["wasted_task_seconds"] == m.wasted_task_seconds
 

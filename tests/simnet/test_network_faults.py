@@ -1,0 +1,447 @@
+"""Network-level faults: flow kill/cancel semantics, link flaps,
+partitions, seeded flow-loss streams, and plan time-shifting."""
+
+import pytest
+
+from repro.simnet.cluster import Cluster, ClusterSpec
+from repro.simnet.faults import (
+    NETWORK_FAULT_SPECS,
+    DiskDegradation,
+    FaultInjector,
+    FaultPlan,
+    FlowLossRate,
+    LinkFlap,
+    NetworkPartition,
+    NodeCrash,
+)
+from repro.simnet.kernel import Interrupt, Simulator
+from repro.simnet.network import FlowFailed, Network
+
+
+# -- spec validation ----------------------------------------------------------
+class TestNetworkSpecValidation:
+    def test_flap_needs_positive_duration(self):
+        with pytest.raises(ValueError):
+            LinkFlap(node=1, at=0.0, duration=0.0)
+
+    def test_repeated_flaps_need_period(self):
+        with pytest.raises(ValueError, match="period"):
+            LinkFlap(node=1, at=0.0, duration=2.0, flaps=3)
+
+    def test_flap_period_must_exceed_duration(self):
+        with pytest.raises(ValueError, match="exceed"):
+            LinkFlap(node=1, at=0.0, duration=5.0, flaps=2, period=5.0)
+        LinkFlap(node=1, at=0.0, duration=5.0, flaps=2, period=5.1)  # ok
+
+    def test_partition_nodes_deduped_and_sorted(self):
+        spec = NetworkPartition(nodes=(5, 3, 5), at=1.0, duration=2.0)
+        assert spec.nodes == (3, 5)
+
+    def test_partition_needs_a_cut_side(self):
+        with pytest.raises(ValueError):
+            NetworkPartition(nodes=(), at=1.0, duration=2.0)
+
+    def test_partition_of_whole_cluster_rejected(self):
+        plan = FaultPlan(
+            specs=(NetworkPartition(nodes=(0, 1, 2, 3), at=1.0, duration=2.0),)
+        )
+        with pytest.raises(ValueError, match="both sides"):
+            plan.validate(num_nodes=4)
+
+    def test_loss_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlowLossRate(rate=0.0)
+
+    def test_loss_empty_node_tuple_rejected(self):
+        with pytest.raises(ValueError):
+            FlowLossRate(rate=0.1, nodes=())
+
+    def test_loss_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            FlowLossRate(rate=0.1, duration=0.0)
+
+    def test_network_fault_targets_validated_against_topology(self):
+        for spec in (
+            LinkFlap(node=9, at=0.0, duration=1.0),
+            NetworkPartition(nodes=(1, 9), at=0.0, duration=1.0),
+            FlowLossRate(rate=0.1, nodes=(9,)),
+        ):
+            with pytest.raises(ValueError, match="node 9"):
+                FaultPlan(specs=(spec,)).validate(num_nodes=8)
+
+    def test_has_network_faults(self):
+        assert not FaultPlan().has_network_faults()
+        assert not FaultPlan(
+            specs=(NodeCrash(node=1, at=1.0),)
+        ).has_network_faults()
+        for cls, spec in zip(
+            NETWORK_FAULT_SPECS,
+            (
+                LinkFlap(node=1, at=0.0, duration=1.0),
+                NetworkPartition(nodes=(1,), at=0.0, duration=1.0),
+                FlowLossRate(rate=0.1),
+            ),
+        ):
+            assert isinstance(spec, cls)
+            assert FaultPlan(specs=(spec,)).has_network_faults()
+
+
+# -- failing and cancelling flows ---------------------------------------------
+class TestFailFlow:
+    def test_waiter_sees_flow_failed_and_share_recomputes(self):
+        """Killing one of two flows delivers FlowFailed to its waiter and
+        doubles the survivor's rate the same instant."""
+        sim = Simulator()
+        net = Network(sim)
+        link = net.add_link("l", 100.0)
+        events = {}
+        victim = net.transfer_flow((link,), 1000.0)
+
+        def victim_waiter():
+            try:
+                yield victim.done
+                events["victim"] = ("done", sim.now)
+            except FlowFailed as exc:
+                events["victim"] = (exc.reason, sim.now)
+
+        def survivor():
+            yield net.transfer((link,), 200.0)
+            events["survivor"] = sim.now
+
+        def killer():
+            yield sim.timeout(1.0)
+            assert net.fail_flow(victim, reason="loss:l")
+
+        sim.process(victim_waiter())
+        sim.process(survivor())
+        sim.process(killer())
+        sim.run()
+        assert events["victim"] == ("loss:l", 1.0)
+        # Shared 50/50 for 1s (50 bytes moved), then full 100 B/s for the
+        # remaining 150 bytes -> t = 1 + 1.5.
+        assert events["survivor"] == pytest.approx(2.5)
+        assert net.flows_failed == 1
+        assert net.first_flow_failure_at == pytest.approx(1.0)
+        assert link._flows == set()
+
+    def test_fail_after_completion_is_noop(self):
+        sim = Simulator()
+        net = Network(sim)
+        link = net.add_link("l", 100.0)
+        flow = net.transfer_flow((link,), 100.0)
+
+        def proc():
+            yield flow.done
+            assert not net.fail_flow(flow)
+
+        sim.process(proc())
+        sim.run()
+        assert net.flows_failed == 0
+
+    def test_cancel_counts_separately_from_loss(self):
+        sim = Simulator()
+        net = Network(sim)
+        link = net.add_link("l", 100.0)
+        flow = net.transfer_flow((link,), 1000.0)
+        flow.done.defuse()  # nobody waits; cancellation must not crash run()
+
+        def canceller():
+            yield sim.timeout(1.0)
+            net.cancel_flow(flow, reason="fetch-timeout")
+
+        sim.process(canceller())
+        sim.run()
+        assert net.flows_cancelled == 1
+        assert net.flows_failed == 0
+        assert net.first_flow_failure_at is None
+
+    def test_unwaited_killed_flow_does_not_crash_run(self):
+        """fail_flow pre-defuses: a kill nobody observes is not an error."""
+        sim = Simulator()
+        net = Network(sim)
+        link = net.add_link("l", 100.0)
+        flow = net.transfer_flow((link,), 1000.0)
+
+        def killer():
+            yield sim.timeout(0.5)
+            net.fail_flow(flow)
+
+        sim.process(killer())
+        sim.run()  # must not raise at drain time
+
+
+class TestLinkDownAndPartition:
+    def _cluster(self, nodes=4):
+        sim = Simulator()
+        return sim, Cluster(sim, ClusterSpec(num_nodes=nodes))
+
+    def test_link_down_kills_crossing_flows_and_blocks_new(self):
+        sim, cluster = self._cluster()
+        net = cluster.network
+        node = cluster.node(1)
+        outcomes = []
+
+        def sender(src, dst, delay):
+            yield sim.timeout(delay)
+            try:
+                yield cluster.send(src, dst, 50 * 1024 * 1024)
+                outcomes.append((src, dst, "ok"))
+            except FlowFailed as exc:
+                outcomes.append((src, dst, exc.reason))
+
+        sim.process(sender(1, 2, 0.0))  # in flight when the link drops
+        sim.process(sender(3, 2, 0.0))  # does not touch node 1's links
+        sim.process(sender(1, 3, 1.0))  # starts while the link is down
+
+        def flapper():
+            yield sim.timeout(0.1)
+            net.set_link_down(node.uplink)
+            net.set_link_down(node.downlink)
+            yield sim.timeout(5.0)
+            net.set_link_up(node.uplink)
+            net.set_link_up(node.downlink)
+
+        sim.process(flapper())
+        sim.run()
+        by_pair = {(s, d): r for s, d, r in outcomes}
+        assert by_pair[(1, 2)].startswith("link-down:")
+        assert by_pair[(1, 3)].startswith("link-down:")
+        assert by_pair[(3, 2)] == "ok"
+        assert node.uplink._flows == set() and node.downlink._flows == set()
+
+    def test_partition_kills_cross_cut_only_and_heals(self):
+        sim, cluster = self._cluster(nodes=6)
+        plan = FaultPlan(
+            specs=(NetworkPartition(nodes=(4, 5), at=0.05, duration=3.0),)
+        )
+        inj = FaultInjector(sim, cluster, plan, host=None)
+        inj.start()
+        outcomes = {}
+
+        def sender(tag, src, dst, delay):
+            yield sim.timeout(delay)
+            try:
+                yield cluster.send(src, dst, 10 * 1024 * 1024)
+                outcomes[tag] = "ok"
+            except FlowFailed as exc:
+                outcomes[tag] = exc.reason
+
+        sim.process(sender("cross-inflight", 4, 1, 0.0))
+        sim.process(sender("within-minority", 4, 5, 0.0))
+        sim.process(sender("within-majority", 0, 1, 0.0))
+        sim.process(sender("cross-during", 1, 5, 1.0))
+        sim.process(sender("cross-after-heal", 1, 5, 4.0))
+        sim.run()
+        assert outcomes == {
+            "cross-inflight": "partitioned",
+            "within-minority": "ok",
+            "within-majority": "ok",
+            "cross-during": "partitioned",
+            "cross-after-heal": "ok",
+        }
+        assert inj.partitions == 1
+
+    def test_flap_spec_drops_both_directions_n_times(self):
+        sim, cluster = self._cluster()
+        plan = FaultPlan(
+            specs=(LinkFlap(node=2, at=1.0, duration=0.5, flaps=3, period=2.0),)
+        )
+        inj = FaultInjector(sim, cluster, plan, host=None)
+        inj.start()
+        node = cluster.node(2)
+        states = []
+
+        def probe():
+            for t in (0.5, 1.2, 1.8, 3.2, 3.8, 5.2, 5.8):
+                yield sim.timeout(t - sim.now)
+                states.append((t, node.uplink.up and node.downlink.up))
+
+        sim.process(probe())
+        sim.run()
+        assert states == [
+            (0.5, True),
+            (1.2, False),
+            (1.8, True),
+            (3.2, False),
+            (3.8, True),
+            (5.2, False),
+            (5.8, True),
+        ]
+        assert inj.link_flaps == 3
+
+
+class TestFlowLossStream:
+    def _run_traffic(self, seed, rate=0.5, senders=20):
+        """A fixed traffic pattern under a seeded loss stream; returns the
+        (kill-count, failure-times) signature of the run."""
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterSpec(num_nodes=4))
+        plan = FaultPlan(specs=(FlowLossRate(rate=rate),), seed=seed)
+        inj = FaultInjector(sim, cluster, plan, host=None)
+        inj.start()
+        failures = []
+
+        def sender(i):
+            yield sim.timeout(0.3 * i)
+            try:
+                yield cluster.send(i % 3, 3, 20 * 1024 * 1024)
+            except FlowFailed:
+                failures.append(round(sim.now, 9))
+
+        for i in range(senders):
+            sim.process(sender(i))
+
+        def stopper():
+            yield sim.timeout(30.0)
+            inj.stop()
+
+        sim.process(stopper())
+        sim.run()
+        return inj.flows_killed, failures
+
+    def test_same_seed_same_kill_timeline(self):
+        a = self._run_traffic(seed=11)
+        b = self._run_traffic(seed=11)
+        assert a == b
+        assert a[0] > 0, "rate 0.5/link-s over 30s must kill something"
+
+    def test_seed_changes_kill_timeline(self):
+        assert self._run_traffic(seed=11) != self._run_traffic(seed=12)
+
+    def test_kills_on_idle_links_absorbed(self):
+        """No traffic, aggressive loss: the stream draws and discards, so
+        nothing fails and the window closes on its own."""
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterSpec(num_nodes=4))
+        plan = FaultPlan(specs=(FlowLossRate(rate=2.0, duration=10.0),), seed=3)
+        inj = FaultInjector(sim, cluster, plan, host=None)
+        inj.start()
+        sim.run()
+        assert inj.flows_killed == 0
+        assert cluster.network.flows_failed == 0
+
+
+# -- Interrupt into a process blocked on an in-flight flow --------------------
+class TestInterruptOnInflightFlow:
+    def test_interrupted_waiter_cancels_without_leaking(self):
+        """The task-abort pattern: a process blocked on flow.done gets
+        interrupted, cancels its flow, and no link keeps a ghost entry —
+        the survivor immediately claims the whole capacity."""
+        sim = Simulator()
+        net = Network(sim)
+        link = net.add_link("l", 100.0)
+        done = {}
+
+        def fetcher():
+            flow = net.transfer_flow((link,), 1000.0)
+            try:
+                yield flow.done
+                done["fetcher"] = "finished"
+            except Interrupt:
+                net.cancel_flow(flow, reason="task-aborted")
+                done["fetcher"] = "aborted"
+
+        def survivor():
+            yield net.transfer((link,), 200.0)
+            done["survivor"] = sim.now
+
+        victim = sim.process(fetcher())
+        sim.process(survivor())
+
+        def chaos():
+            yield sim.timeout(1.0)
+            victim.interrupt("node lost")
+
+        sim.process(chaos())
+        sim.run()
+        assert done["fetcher"] == "aborted"
+        # 50/50 for 1s, then the survivor's last 150 bytes at full rate.
+        assert done["survivor"] == pytest.approx(2.5)
+        assert link._flows == set()
+        assert net._flows == set()
+
+    def test_uncancelled_flow_of_interrupted_waiter_still_completes(self):
+        """Interrupting the waiter does not kill the flow itself: the bytes
+        keep moving and the link drains when they arrive."""
+        sim = Simulator()
+        net = Network(sim)
+        link = net.add_link("l", 100.0)
+        flow = net.transfer_flow((link,), 100.0)
+        flow.done.defuse()  # the interrupted waiter walks away from it
+
+        def fetcher():
+            try:
+                yield flow.done
+            except Interrupt:
+                pass
+
+        victim = sim.process(fetcher())
+
+        def chaos():
+            yield sim.timeout(0.2)
+            victim.interrupt("rebalance")
+
+        sim.process(chaos())
+        end = sim.run()
+        assert flow.done.triggered and flow.done.ok
+        assert end == pytest.approx(1.0)
+        assert link._flows == set()
+
+
+# -- FaultPlan.shifted --------------------------------------------------------
+class TestShiftedPlan:
+    def test_zero_offset_is_identity(self):
+        plan = FaultPlan(specs=(NodeCrash(node=1, at=5.0),))
+        assert plan.shifted(0.0) is plan
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().shifted(-1.0)
+
+    def test_past_crash_dropped_future_crash_moved(self):
+        plan = FaultPlan(
+            specs=(NodeCrash(node=1, at=5.0), NodeCrash(node=2, at=40.0))
+        )
+        shifted = plan.shifted(10.0)
+        assert [type(s).__name__ for s in shifted.specs] == ["NodeCrash"]
+        assert shifted.specs[0].node == 2 and shifted.specs[0].at == 30.0
+
+    def test_partition_mid_outage_keeps_remainder(self):
+        plan = FaultPlan(
+            specs=(NetworkPartition(nodes=(1,), at=20.0, duration=15.0),)
+        )
+        mid = plan.shifted(25.0).specs[0]
+        assert (mid.at, mid.duration) == (0.0, 10.0)
+        assert plan.shifted(35.0).specs == ()  # fully healed: never recurs
+
+    def test_loss_window_clipped(self):
+        plan = FaultPlan(
+            specs=(FlowLossRate(rate=0.1, start=10.0, duration=20.0),)
+        )
+        clipped = plan.shifted(15.0).specs[0]
+        assert (clipped.start, clipped.duration) == (0.0, 15.0)
+        assert plan.shifted(30.0).specs == ()
+        open_ended = FaultPlan(specs=(FlowLossRate(rate=0.1, start=10.0),))
+        assert open_ended.shifted(100.0).specs[0].start == 0.0
+
+    def test_flap_train_advances_whole_periods(self):
+        plan = FaultPlan(
+            specs=(LinkFlap(node=1, at=5.0, duration=2.0, flaps=4, period=10.0),)
+        )
+        # Offset 18: flap 1 (t=5-7) and flap 2 (t=15-17) are history,
+        # flap 3 was due at t=25 -> now at 7 with two flaps left.
+        adv = plan.shifted(18.0).specs[0]
+        assert (adv.at, adv.flaps) == (7.0, 2)
+        # Offset 16: mid second outage (15-17) -> 1s remainder now, then
+        # the remaining train picks up at its own schedule.
+        mid = plan.shifted(16.0).specs
+        assert (mid[0].at, mid[0].duration, mid[0].flaps) == (0.0, 1.0, 1)
+        assert mid[1].flaps == 2
+
+    def test_permanent_degradation_survives_any_offset(self):
+        plan = FaultPlan(specs=(DiskDegradation(node=1, at=5.0, factor=2.0),))
+        assert plan.shifted(100.0).specs[0].at == 0.0
+
+    def test_shift_preserves_seed(self):
+        plan = FaultPlan(specs=(NodeCrash(node=1, at=50.0),), seed=99)
+        assert plan.shifted(10.0).seed == 99
