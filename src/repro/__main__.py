@@ -2,6 +2,9 @@
 
 ``python -m repro trace <experiment>`` runs one observed experiment and
 writes a Perfetto trace (see :mod:`repro.obs.cli`).
+
+``python -m repro bench`` runs the engine perf harness and writes
+``BENCH_engine.json`` (see :mod:`repro.bench.cli`).
 """
 
 from __future__ import annotations
@@ -37,6 +40,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
     from repro import __version__
 
     print(f"repro {__version__} — Can MPI Benefit Hadoop and MapReduce Applications? (ICPP 2011)\n")
@@ -45,6 +52,7 @@ def main(argv: list[str] | None = None) -> int:
     for mod, desc in COMMANDS:
         print(f"  {mod:<{width}}  {desc}")
     print("\ntracing: python -m repro trace {fig6,fig1,fault} --size 1GB --trace-out trace.json")
+    print("engine bench: python -m repro bench [--quick] [--out BENCH_engine.json]")
     print("examples: see examples/*.py; tests: pytest tests/;")
     print("benchmarks: pytest benchmarks/ --benchmark-only")
     return 0

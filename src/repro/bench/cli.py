@@ -1,0 +1,96 @@
+"""``python -m repro bench`` — run the engine bench harness.
+
+Writes ``BENCH_engine.json``: a :class:`repro.bench.engine.BenchReport`
+with a :mod:`repro.obs` run manifest attached (config hash, git rev,
+wall-clock), and exits non-zero if any fast-vs-reference comparison
+diverged — the same contract the CI ``bench-smoke`` job enforces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.engine import run_bench
+from repro.obs.manifest import build_manifest
+
+
+def _parse_sizes(text: str) -> tuple[float, ...]:
+    return tuple(float(tok) for tok in text.split(",") if tok.strip())
+
+
+def _fmt_speedup(entry: dict) -> str:
+    mark = "ok " if entry.get("identical", True) else "DIVERGED"
+    if "speedup" not in entry:
+        return f"{'-':>7}  {mark}"
+    return f"{entry['speedup']:6.2f}x  {mark}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench", description=__doc__
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced scale for CI smoke (small fig6 size, fewer flows/timers)",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=str,
+        default=None,
+        help="comma-separated Figure-6 sizes in GB (default 1,10,100; quick: 1)",
+    )
+    parser.add_argument("--seed", type=int, default=2011)
+    parser.add_argument(
+        "--out",
+        type=str,
+        default="BENCH_engine.json",
+        help="output path (default BENCH_engine.json)",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = _parse_sizes(args.sizes) if args.sizes else None
+    t0 = time.perf_counter()
+    report = run_bench(
+        quick=args.quick,
+        seed=args.seed,
+        sizes_gb=sizes,
+        progress=lambda msg: print(f"[bench] {msg}", flush=True),
+    )
+    wall = time.perf_counter() - t0
+    report.manifest = build_manifest(
+        experiment="bench_engine",
+        config={
+            "quick": args.quick,
+            "seed": args.seed,
+            "sizes_gb": list(sizes) if sizes else None,
+        },
+        seed=args.seed,
+        wall_seconds=wall,
+    ).to_dict()
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w") as fh:
+        json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(f"\nengine bench ({wall:.1f}s wall) -> {out}")
+    for section in ("micro", "macro"):
+        for name, entry in getattr(report, section).items():
+            print(f"  {section}/{name:<16} {_fmt_speedup(entry)}")
+    if report.divergence:
+        print(
+            "\nFAIL: fast-path results diverged from the reference solver",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

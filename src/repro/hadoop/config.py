@@ -99,8 +99,10 @@ class HadoopConfig:
             raise ValueError(f"parallel copies must be >= 1: {self.parallel_copies}")
         if self.fetch_timeout <= 0:
             raise ValueError(f"fetch timeout must be positive: {self.fetch_timeout}")
-        if self.fetch_retries < 1:
-            raise ValueError(f"fetch retries must be >= 1: {self.fetch_retries}")
+        if self.fetch_retries < 0:
+            # 0 is legal: every failed fetch escalates straight to a
+            # fetch-failure strike instead of re-trying the same host.
+            raise ValueError(f"fetch retries must be >= 0: {self.fetch_retries}")
         if self.fetch_backoff_base <= 0:
             raise ValueError(
                 f"fetch backoff base must be positive: {self.fetch_backoff_base}"

@@ -455,9 +455,10 @@ def _fetch_batch_robust(
                 rate_cap=env.jetty.stream_peak,
             )
             done = sim.all_of([serve, flow.done])
+            deadline = sim.timeout(cfg.fetch_timeout)
             failure = None
             try:
-                yield sim.any_of([done, sim.timeout(cfg.fetch_timeout)])
+                yield sim.any_of([done, deadline])
             except FlowFailed:
                 failure = "flow-lost"
             else:
@@ -466,6 +467,9 @@ def _fetch_batch_robust(
                     failure = "timeout"
                 elif not done.ok:
                     failure = "flow-lost"
+            # The race is settled either way: tombstone the deadline so the
+            # kernel never has to dispatch a dead timer (no-op if it fired).
+            deadline.cancel()
             if failure is None and (
                 env.is_node_dead(src_node) or env.node_epoch(src_node) != epoch
             ):

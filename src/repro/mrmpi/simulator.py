@@ -254,6 +254,17 @@ class MrMpiSimulation:
         # Chunk size chosen so one chunk's raw map output fills the spill
         # buffer — each iteration is exactly one spill cycle.
         chunk_in = max(1.0, cfg.spill_threshold / max(profile.map_selectivity, 1e-9))
+        # Hot-loop locals: the send loop below runs once per reducer per
+        # spill, so attribute chains are hoisted out of it.
+        reducer_nodes = self.reducer_nodes
+        weights = self.partition_weights
+        reducer_flows = self._reducer_flows
+        sent_per_reducer = self._sent_per_reducer
+        mpich = self.mpich
+        partition_bytes = cfg.partition_bytes
+        stream_per_msg = mpich.stream_per_msg
+        reliable = self.net_faults and self.config.reliable_transport
+        obs = sim.obs
         while remaining > 0:
             chunk = min(chunk_in, remaining)
             remaining -= chunk
@@ -280,15 +291,15 @@ class MrMpiSimulation:
                 out *= cfg.compression_ratio
             tr.end(realign_sid)
             send_sid = tr.begin("mpid.map", "send", parent=sid)
-            for r, rnode in enumerate(self.reducer_nodes):
-                share = out * self.partition_weights[r]
+            for r, rnode in enumerate(reducer_nodes):
+                share = out * weights[r]
                 if share <= 0:
                     continue
-                n_msgs = max(1, int(share // cfg.partition_bytes) + 1)
-                send_cpu = n_msgs * self.mpich.stream_per_msg
+                n_msgs = max(1, int(share // partition_bytes) + 1)
+                send_cpu = n_msgs * stream_per_msg
                 yield sim.timeout(send_cpu)  # not overlapped: injection cost
-                wc = self.mpich.wire_costs(int(share))
-                if self.net_faults and self.config.reliable_transport:
+                wc = mpich.wire_costs(int(share))
+                if reliable:
                     # Each array gets its own retransmission process; the
                     # reducer waits on it exactly like a bare flow.
                     flow = sim.process(
@@ -301,11 +312,10 @@ class MrMpiSimulation:
                     flow = self.cluster.send(
                         node_id, rnode, share, extra_latency=wc.setup_time
                     )
-                self._reducer_flows[r].append(flow)
-                self._sent_per_reducer[r] += share
+                reducer_flows[r].append(flow)
+                sent_per_reducer[r] += share
                 m.sent_bytes += share
                 m.messages += n_msgs
-                obs = sim.obs
                 if obs.enabled:
                     obs.metrics.counter("transport.mpich.messages").add(n_msgs)
                     obs.metrics.counter("transport.mpich.bytes").add(share)

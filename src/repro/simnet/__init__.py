@@ -24,7 +24,7 @@ from repro.simnet.kernel import (
     SimError,
 )
 from repro.simnet.resources import SlotPool, RateDevice, Store
-from repro.simnet.network import Link, Network, Flow, FlowFailed
+from repro.simnet.network import Link, Network, Flow, FlowFailed, use_solver
 from repro.simnet.cluster import Node, Cluster, ClusterSpec, paper_cluster
 from repro.simnet.faults import (
     FaultPlan,
@@ -55,6 +55,7 @@ __all__ = [
     "Network",
     "Flow",
     "FlowFailed",
+    "use_solver",
     "Node",
     "Cluster",
     "ClusterSpec",

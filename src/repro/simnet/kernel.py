@@ -14,11 +14,26 @@ Invariants the kernel maintains (property-tested in
 * an event fires at most once; triggering a fired event raises;
 * a failed event that is never yielded-on raises at ``run()`` end
   (no silently swallowed simulation errors).
+
+Two fast paths keep the hot loop cheap at scale (benchmarked by
+``python -m repro bench``):
+
+* **lazy cancellation** — :meth:`Event.cancel` tombstones a scheduled
+  event instead of rebuilding the heap; the popped tombstone still
+  advances the clock (so drain semantics are unchanged) but dispatches
+  nothing.  The network's superseded completion timers and the shuffle's
+  resolved fetch-deadline timers use this.
+* an optional **slotted timer wheel** (``Simulator(timer_slot=...)``)
+  that buckets timeout entries by expiry slot and sorts each bucket
+  lazily on first pop — O(1) amortized scheduling for the retry/backoff
+  timer clouds, while preserving the heap's exact (time, seq) total
+  order (property-tested in ``tests/simnet/test_kernel_fastpath.py``).
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.obs.observer import NULL_OBS
@@ -44,7 +59,15 @@ class Event:
     simulation time.  Processes wait on events by yielding them.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_defused")
+    __slots__ = (
+        "sim",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_triggered",
+        "_defused",
+        "_cancelled",
+    )
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -53,6 +76,7 @@ class Event:
         self._ok: Optional[bool] = None
         self._triggered = False
         self._defused = False
+        self._cancelled = False
 
     # -- state ------------------------------------------------------------
     @property
@@ -108,6 +132,26 @@ class Event:
         """Mark a failed event as handled so ``run()`` won't re-raise it."""
         self._defused = True
 
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Tombstone a scheduled event: its callbacks will never run.
+
+        Lazy cancellation — the heap entry stays where it is and still
+        advances the clock when popped, but nothing is dispatched, so
+        cancelling is O(1) instead of a heap rebuild.  Only the event's
+        *exclusive owner* may cancel: a process yielding on a cancelled
+        event is a programming error (the kernel raises).  Cancelling an
+        event that already ran is a harmless no-op.
+        """
+        if self.callbacks is None:
+            return  # already dispatched (or already cancelled)
+        self._cancelled = True
+        self.callbacks = None
+        self.sim.events_cancelled += 1
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "pending"
         if self._triggered:
@@ -143,6 +187,8 @@ class _Condition(Event):
         for ev in self.events:
             if ev.sim is not sim:
                 raise SimError("cannot mix events from different simulators")
+            if ev._cancelled:
+                raise SimError("cannot wait on a cancelled event")
             if ev.callbacks is None:  # already processed
                 self._check(ev)
             else:
@@ -198,6 +244,88 @@ class AnyOf(_Condition):
         if self._triggered:
             return
         self.succeed(ev._value)
+
+
+class _TimerWheel:
+    """A slotted calendar queue for timeout entries.
+
+    Entries are ``(when, seq, event)`` tuples bucketed by
+    ``int(when / width)``.  Buckets are kept unsorted until their slot
+    becomes the head, then sorted once — so pushing N timers into the
+    same slot costs O(N) + one sort instead of N heap sifts.  Pops come
+    out in exact ``(when, seq)`` order, byte-identical to the heap's:
+
+    * the head bucket is consumed through a cursor; entries pushed into
+      the head slot *after* it was sorted are insorted — monotonic time
+      and sequence numbers guarantee they land at or after the cursor;
+    * a push into an *earlier* slot than the current head (a short timer
+      scheduled while a long-range bucket is head) demotes the head
+      bucket back into the calendar before the earlier one is loaded.
+    """
+
+    __slots__ = ("width", "_buckets", "_slots", "_head_slot", "_head", "_idx", "size")
+
+    def __init__(self, width: float):
+        if width <= 0:
+            raise ValueError(f"timer slot width must be positive: {width}")
+        self.width = float(width)
+        self._buckets: dict[int, list[tuple[float, int, "Event"]]] = {}
+        self._slots: list[int] = []  # min-heap of bucket indices (may hold stales)
+        self._head_slot: Optional[int] = None
+        self._head: list[tuple[float, int, "Event"]] = []
+        self._idx = 0
+        self.size = 0
+
+    def push(self, when: float, seq: int, ev: "Event") -> None:
+        slot = int(when / self.width)
+        if slot == self._head_slot:
+            insort(self._head, (when, seq, ev))
+        else:
+            bucket = self._buckets.get(slot)
+            if bucket is None:
+                self._buckets[slot] = [(when, seq, ev)]
+                heapq.heappush(self._slots, slot)
+            else:
+                bucket.append((when, seq, ev))
+        self.size += 1
+
+    def _load_head(self) -> bool:
+        """Make the earliest pending bucket the head; False when empty."""
+        while True:
+            if self._head_slot is not None and self._idx < len(self._head):
+                if self._slots and self._slots[0] < self._head_slot:
+                    # An earlier slot appeared: demote the head remainder.
+                    rest = self._head[self._idx :]
+                    bucket = self._buckets.get(self._head_slot)
+                    if bucket is None:
+                        self._buckets[self._head_slot] = rest
+                        heapq.heappush(self._slots, self._head_slot)
+                    else:  # pragma: no cover - defensive; pushes go to head
+                        bucket.extend(rest)
+                    self._head_slot, self._head, self._idx = None, [], 0
+                    continue
+                return True
+            if not self._slots:
+                self._head_slot, self._head, self._idx = None, [], 0
+                return False
+            slot = heapq.heappop(self._slots)
+            bucket = self._buckets.pop(slot, None)
+            if not bucket:
+                continue  # stale slot entry (bucket already drained)
+            bucket.sort()
+            self._head_slot, self._head, self._idx = slot, bucket, 0
+
+    def peek(self) -> Optional[tuple[float, int, "Event"]]:
+        if not self._load_head():
+            return None
+        return self._head[self._idx]
+
+    def pop(self) -> tuple[float, int, "Event"]:
+        entry = self.peek()
+        assert entry is not None, "pop from an empty timer wheel"
+        self._idx += 1
+        self.size -= 1
+        return entry
 
 
 ProcessGen = Generator[Event, Any, Any]
@@ -290,6 +418,14 @@ class Process(Event):
         if target.sim is not self.sim:
             self.fail(SimError("yielded an event from a different simulator"))
             return
+        if target._cancelled:
+            self.fail(
+                SimError(
+                    f"process {self.name!r} yielded a cancelled event; only "
+                    f"an event's exclusive owner may cancel it"
+                )
+            )
+            return
         self._waiting_on = target
         if target.callbacks is None:
             # Already processed: resume immediately (at the current time).
@@ -316,11 +452,21 @@ class Simulator:
         assert sim.now == 1.5 and proc.value == "done"
     """
 
-    def __init__(self) -> None:
+    def __init__(self, timer_slot: Optional[float] = None) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._failed_events: list[Event] = []
+        #: Optional slotted timer wheel: delayed events (timeouts) are
+        #: bucketed by ``timer_slot`` seconds instead of heap-pushed.
+        #: Fire order is identical either way; None keeps the pure heap.
+        self._wheel: Optional[_TimerWheel] = (
+            _TimerWheel(timer_slot) if timer_slot is not None else None
+        )
+        #: Dispatch volume counters (plain ints — free when obs is off);
+        #: the bench harness derives events/sec from these.
+        self.events_dispatched = 0
+        self.events_cancelled = 0
         #: Observability hook; :meth:`repro.obs.Observer.attach` replaces
         #: the null default.  Models read ``sim.obs`` — never store it.
         self.obs = NULL_OBS
@@ -358,16 +504,42 @@ class Simulator:
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, ev: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._heap, (self._now + delay, self._seq, ev))
+        if delay > 0.0 and self._wheel is not None:
+            self._wheel.push(self._now + delay, self._seq, ev)
+        else:
+            heapq.heappush(self._heap, (self._now + delay, self._seq, ev))
         self._seq += 1
 
+    def _next_entry(self) -> Optional[tuple[float, int, Event]]:
+        """The globally-earliest pending entry across heap and wheel."""
+        head = self._heap[0] if self._heap else None
+        wheel = self._wheel
+        if wheel is None or wheel.size == 0:
+            return head
+        wtop = wheel.peek()
+        if head is None or (wtop[0], wtop[1]) < (head[0], head[1]):
+            return wtop
+        return head
+
     def _pop(self) -> None:
-        when, _seq, ev = heapq.heappop(self._heap)
+        wheel = self._wheel
+        if wheel is not None and wheel.size:
+            wtop = wheel.peek()
+            head = self._heap[0] if self._heap else None
+            if head is None or (wtop[0], wtop[1]) < (head[0], head[1]):
+                when, _seq, ev = wheel.pop()
+            else:
+                when, _seq, ev = heapq.heappop(self._heap)
+        else:
+            when, _seq, ev = heapq.heappop(self._heap)
         if when < self._now - 1e-15:
             raise SimError(f"time went backwards: {when} < {self._now}")
         self._now = when if when > self._now else self._now
+        # A cancelled event is a tombstone: it advanced the clock exactly
+        # as it would have, but dispatches nothing (callbacks is None).
         callbacks, ev.callbacks = ev.callbacks, None
         if callbacks:
+            self.events_dispatched += 1
             for cb in callbacks:
                 cb(ev)
 
@@ -377,11 +549,38 @@ class Simulator:
         Raises the exception of any failed event that no process handled.
         Returns the final simulated time.
         """
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        if self._wheel is None:
+            # Hot loop for the default configuration: pure heap, pop
+            # inlined (no per-event wheel checks).  ``heap`` stays a
+            # valid alias because _schedule mutates the list in place.
+            heap = self._heap
+            heappop = heapq.heappop
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    self._now = until
+                    return self._finish_run()
+                when, _seq, ev = heappop(heap)
+                if when < self._now - 1e-15:
+                    raise SimError(f"time went backwards: {when} < {self._now}")
+                if when > self._now:
+                    self._now = when
+                callbacks, ev.callbacks = ev.callbacks, None
+                if callbacks:
+                    self.events_dispatched += 1
+                    for cb in callbacks:
+                        cb(ev)
+            return self._finish_run()
+        while True:
+            entry = self._next_entry()
+            if entry is None:
+                break
+            if until is not None and entry[0] > until:
                 self._now = until
                 break
             self._pop()
+        return self._finish_run()
+
+    def _finish_run(self) -> float:
         for ev in self._failed_events:
             if not ev._defused:
                 exc = ev._value
@@ -390,11 +589,12 @@ class Simulator:
 
     def step(self) -> bool:
         """Process a single event; returns False when the heap is empty."""
-        if not self._heap:
+        if self._next_entry() is None:
             return False
         self._pop()
         return True
 
     def peek(self) -> Optional[float]:
         """Time of the next scheduled event, or None when drained."""
-        return self._heap[0][0] if self._heap else None
+        entry = self._next_entry()
+        return entry[0] if entry is not None else None

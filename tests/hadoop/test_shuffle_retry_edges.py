@@ -1,0 +1,188 @@
+"""Edge cases of the lossy-shuffle retry pipeline (PR 3 hardening).
+
+Three corners the end-to-end sweeps don't pin:
+
+* a fetch that completes **exactly at the deadline** — the tie is
+  resolved by kernel scheduling order, and both resolutions must be
+  safe (no double-kill, no double-credit);
+* a **zero-retry** configuration — every failure escalates straight to
+  a fetch-failure strike, and the job must still converge;
+* the **last-host-blacklisted** scenario — when every host the reducer
+  still needs sits in its penalty box, the copier waits the penalty out
+  instead of deadlocking or spinning.
+"""
+
+from __future__ import annotations
+
+from repro.hadoop.config import HadoopConfig
+from repro.hadoop.job import JAVASORT_PROFILE, JobSpec
+from repro.hadoop.reducetask import _ShuffleState, _fetch_batch_robust
+from repro.hadoop.simulation import HadoopSimulation, run_hadoop_job
+from repro.simnet.faults import FaultPlan, FlowLossRate
+from repro.simnet.kernel import Simulator
+from repro.simnet.network import Network
+from repro.simnet.resources import SlotPool
+from repro.util.units import GiB
+
+
+def _spec(gb=0.25):
+    return JobSpec("sort", input_bytes=int(gb * GiB), profile=JAVASORT_PROFILE)
+
+
+# -- the deadline tie, in the exact shape _fetch_batch_robust races it --------
+class TestDeadlineTie:
+    @staticmethod
+    def _race(completion_before_deadline: bool):
+        """One fetch race: serve + flow vs deadline, all resolving at t=10."""
+        sim = Simulator()
+        flow_done = sim.event()
+        outcome = []
+        if completion_before_deadline:
+            # Steady flow: its completion timer was scheduled when the
+            # transfer started, i.e. before the deadline existed.
+            completion = sim.timeout(10.0)
+        serve = sim.timeout(1.0)
+        done = sim.all_of([serve, flow_done])
+        deadline = sim.timeout(10.0)
+        if not completion_before_deadline:
+            # Reallocated flow: a rate change superseded the original
+            # timer with one scheduled after the deadline.
+            completion = sim.timeout(10.0)
+        completion.callbacks.append(lambda ev: flow_done.succeed())
+
+        def fetcher():
+            yield sim.any_of([done, deadline])
+            outcome.append("ok" if done.triggered else "timeout")
+            deadline.cancel()
+
+        sim.process(fetcher(), name="fetcher")
+        sim.run()
+        return outcome[0]
+
+    def test_steady_flow_finishing_at_deadline_counts_as_success(self):
+        assert self._race(completion_before_deadline=True) == "ok"
+
+    def test_reallocated_flow_finishing_at_deadline_counts_as_timeout(self):
+        # The bytes still land (flow_done fires), but the copier already
+        # classified the attempt: it must cancel and refetch — which is
+        # only safe because cancelling a finished flow is a no-op below.
+        assert self._race(completion_before_deadline=False) == "timeout"
+
+    def test_cancelling_a_finished_flow_is_a_noop(self):
+        sim = Simulator()
+        net = Network(sim)
+        a = net.add_link("a", 1e6)
+        b = net.add_link("b", 1e6)
+        f = net.transfer_flow((a, b), 1e6)
+        sim.run()
+        assert f.done.ok
+        assert net.cancel_flow(f, reason="fetch-timeout") is False
+        assert net.bytes_delivered == 1e6  # credit unchanged
+
+
+# -- zero-retry configuration -------------------------------------------------
+class TestZeroRetries:
+    def test_every_failure_escalates_to_a_strike_and_job_converges(self):
+        cfg = HadoopConfig(fetch_retries=0, fetch_failure_threshold=1)
+        plan = FaultPlan(specs=(FlowLossRate(rate=0.25),), seed=2011)
+        lossy = run_hadoop_job(_spec(), seed=2011, config=cfg, fault_plan=plan)
+        clean = run_hadoop_job(_spec(), seed=2011, config=cfg)
+        assert lossy.fetch_retries > 0
+        # retries == 0: a failed attempt never re-tries the same host
+        # silently; each one is reported, so strikes == failed attempts.
+        assert lossy.fetch_failures == lossy.fetch_retries
+        # threshold == 1: a single strike re-executes the map.
+        assert lossy.maps_reexecuted_for_fetch > 0
+        assert lossy.elapsed >= clean.elapsed
+
+    def test_zero_retry_clean_network_is_untouched(self):
+        cfg = HadoopConfig(fetch_retries=0, fetch_failure_threshold=1)
+        base = run_hadoop_job(_spec(), seed=2011)
+        zero = run_hadoop_job(_spec(), seed=2011, config=cfg)
+        assert zero.fetch_retries == 0
+        assert zero.elapsed == base.elapsed
+
+
+# -- penalty box: every needed host blacklisted -------------------------------
+class TestPenaltyBox:
+    @staticmethod
+    def _one_map_one_reduce(cfg):
+        """A live env with one announced map output and one reducer."""
+        env = HadoopSimulation(spec=_spec(), config=cfg, observe=True)
+        jt = env.jobtracker
+        maps, _ = jt.heartbeat(1, 8, 8, [], now=0.0)
+        jt.map_finished(maps[0], output_bytes=1_000_000.0, now=0.0)
+        _, reduces = jt.heartbeat(2, 0, 1, [maps[0].task.task_id], now=0.0)
+        task = reduces[0]
+        refs, _ = jt.poll_map_outputs(0, partition=task.partition)
+        return env, task, refs
+
+    def test_last_host_blacklisted_is_waited_out_not_deadlocked(self):
+        # The reducer's only remaining source host sits in the penalty
+        # box.  The copier must serve the penalty time, then fetch —
+        # never spin, never give up.
+        cfg = HadoopConfig()
+        env, task, refs = self._one_map_one_reduce(cfg)
+        sim = env.sim
+        state = _ShuffleState()
+        state.penalty_until = {1: 7.5}
+        state.initiated = len(refs)
+        state.inflight_ids.update(r.map_id for r in refs)
+        copiers = SlotPool(sim, cfg.parallel_copies, name="copiers")
+        fetch = env.spawn_on_node(
+            task.node,
+            _fetch_batch_robust(env, task, copiers, 1, refs, state),
+            name="fetch",
+        )
+        sim.run()
+        assert fetch.ok
+        assert state.fetches == len(refs)
+        assert state.shuffled_bytes == sum(r.partition_bytes for r in refs)
+        waits = [
+            (s.name, s.args.get("delay"))
+            for s in env.obs.tracer.by_category("hadoop.shuffle.backoff")
+        ]
+        assert waits == [("penalty r0<-n1", 7.5)]
+
+    def test_expired_penalty_is_not_served(self):
+        cfg = HadoopConfig()
+        env, task, refs = self._one_map_one_reduce(cfg)
+        sim = env.sim
+        state = _ShuffleState()
+        state.penalty_until = {1: -1.0}  # long expired
+        state.initiated = len(refs)
+        state.inflight_ids.update(r.map_id for r in refs)
+        copiers = SlotPool(sim, cfg.parallel_copies, name="copiers")
+        env.spawn_on_node(
+            task.node,
+            _fetch_batch_robust(env, task, copiers, 1, refs, state),
+            name="fetch",
+        )
+        sim.run()
+        assert state.fetches == len(refs)
+        waits = list(env.obs.tracer.by_category("hadoop.shuffle.backoff"))
+        assert waits == []
+
+    def test_exhausted_rounds_strike_wait_and_job_converges(self):
+        # A strike threshold too high to ever re-execute: the segments
+        # never move off their lossy hosts, so the only way the job can
+        # finish is by waiting out strike-length pauses and re-fetching.
+        cfg = HadoopConfig(
+            fetch_retries=1,
+            fetch_failure_threshold=10_000,
+            fetch_backoff_base=0.5,
+            fetch_backoff_max=4.0,
+        )
+        plan = FaultPlan(specs=(FlowLossRate(rate=1.0),), seed=2011)
+        env = HadoopSimulation(
+            spec=_spec(), config=cfg, fault_plan=plan, observe=True
+        )
+        metrics = env.run()
+        assert metrics.elapsed > 0  # ran to completion
+        assert metrics.fetch_retries > 0
+        assert metrics.maps_reexecuted_for_fetch == 0  # nothing moved
+        waits = [
+            s.name
+            for s in env.obs.tracer.by_category("hadoop.shuffle.backoff")
+        ]
+        assert any(name.startswith("strike-wait") for name in waits)

@@ -1,0 +1,296 @@
+"""Tests for the kernel fast paths: lazy cancellation and the timer wheel.
+
+Covers the two engine-level optimisations behind ``python -m repro
+bench``:
+
+* **tombstone cancellation** — ``Event.cancel()`` must keep drain
+  semantics (a popped tombstone still advances the clock) while
+  dispatching nothing, and yielding on a cancelled event must be a hard
+  error, not a silent hang;
+* **timer wheel** — ``Simulator(timer_slot=...)`` must fire every event
+  at exactly the same time and in exactly the same order as the pure
+  heap, including the earlier-slot hazard (a short timer scheduled while
+  a far-future bucket is already loaded as the wheel head).
+
+Plus the regression for the stale-completion-timer bug: a flow killed
+and replaced in the same timestep must not be finished early (or
+crashed) by the dead flow's still-queued timer.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.kernel import SimError, Simulator, _TimerWheel
+from repro.simnet.network import FlowFailed, Network
+
+# ---------------------------------------------------------------------------
+# lazy cancellation
+# ---------------------------------------------------------------------------
+
+
+def test_cancelled_timer_still_advances_clock():
+    sim = Simulator()
+    fired = []
+    keep = sim.timeout(2.0)
+    keep.callbacks.append(lambda ev: fired.append(sim.now))
+    sim.timeout(5.0).cancel()
+    assert sim.run() == 5.0  # tombstone drained the clock to 5.0
+    assert fired == [2.0]
+    assert sim.events_cancelled == 1
+    assert sim.events_dispatched == 1  # the tombstone dispatched nothing
+
+
+def test_cancel_after_dispatch_is_noop():
+    sim = Simulator()
+    t = sim.timeout(1.0)
+    sim.run()
+    t.cancel()
+    assert not t.cancelled  # already processed: nothing to tombstone
+
+
+def test_yielding_cancelled_event_is_an_error():
+    sim = Simulator()
+    t = sim.timeout(1.0)
+    t.cancel()
+
+    def proc():
+        yield t
+
+    sim.process(proc(), name="bad-waiter")
+    with pytest.raises(SimError, match="cancelled"):
+        sim.run()
+
+
+def test_condition_over_cancelled_event_is_an_error():
+    sim = Simulator()
+    t = sim.timeout(1.0)
+    t.cancel()
+    with pytest.raises(SimError, match="cancelled"):
+        sim.any_of([t, sim.timeout(2.0)])
+    with pytest.raises(SimError, match="cancelled"):
+        sim.all_of([t])
+
+
+def test_cancel_storm_keeps_survivors_ordering():
+    sim = Simulator()
+    rng = random.Random(11)
+    fired = []
+    timers = []
+    for i in range(300):
+        t = sim.timeout(rng.uniform(0.0, 30.0), value=i)
+        t.callbacks.append(lambda ev: fired.append(ev.value))
+        timers.append(t)
+    survivors = [t for i, t in enumerate(timers) if i % 3 == 0]
+    for i, t in enumerate(timers):
+        if i % 3:
+            t.cancel()
+    sim.run()
+    expect = [
+        t._value for t in sorted(survivors, key=lambda t: (t.delay, t._value))
+    ]
+    assert fired == expect
+    assert sim.events_cancelled == 200
+    assert sim.events_dispatched == 100
+
+
+# ---------------------------------------------------------------------------
+# timer wheel == heap, exactly
+# ---------------------------------------------------------------------------
+
+
+def _storm_log(timer_slot, seed, n=150):
+    """Seeded timer storm with follow-up scheduling and cancels."""
+    sim = Simulator(timer_slot=timer_slot)
+    rng = random.Random(seed)
+    log = []
+
+    def fire(ev):
+        log.append((sim.now, ev.value))
+        if ev.value < n:  # follow-ups, some very short (earlier-slot hazard)
+            t = sim.timeout(
+                rng.choice([0.001, 0.4, 3.0, 45.0]), value=ev.value + n
+            )
+            t.callbacks.append(fire)
+
+    timers = []
+    for i in range(n):
+        t = sim.timeout(rng.uniform(0.0, 60.0), value=i)
+        t.callbacks.append(fire)
+        timers.append(t)
+    for i, t in enumerate(timers):
+        if i % 7 == 3:
+            t.cancel()
+    end = sim.run()
+    return log, end
+
+
+@pytest.mark.parametrize("width", [0.05, 1.0, 7.5, 100.0])
+def test_wheel_matches_heap_storm(width):
+    heap_log, heap_end = _storm_log(None, seed=2011)
+    wheel_log, wheel_end = _storm_log(width, seed=2011)
+    assert wheel_log == heap_log  # same floats, same order
+    assert wheel_end == heap_end
+
+
+@given(
+    delays=st.lists(
+        st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=60
+    ),
+    width=st.floats(0.05, 25.0, allow_nan=False),
+)
+@settings(max_examples=80)
+def test_wheel_matches_heap_static(delays, width):
+    logs = []
+    for slot in (None, width):
+        sim = Simulator(timer_slot=slot)
+        log = []
+        for i, d in enumerate(delays):
+            sim.timeout(d, value=i).callbacks.append(
+                lambda ev: log.append((sim.now, ev.value))
+            )
+        sim.run()
+        logs.append(log)
+    assert logs[0] == logs[1]
+
+
+def test_wheel_earlier_slot_demotes_head():
+    # Load a far-future bucket as the wheel head (via peek on the first
+    # pop), then schedule an earlier timer from a heap event's callback:
+    # the wheel must demote the loaded head and fire in global order.
+    sim = Simulator(timer_slot=10.0)
+    log = []
+
+    def fire(ev):
+        log.append((sim.now, ev.value))
+
+    for when, val in ((55.0, "a"), (58.0, "b")):
+        sim.timeout(when, value=val).callbacks.append(fire)
+    kick = sim.event()  # zero-delay: lands in the heap, not the wheel
+
+    def on_kick(ev):
+        t = sim.timeout(12.0, value="early")  # slot 1 < loaded head slot 5
+        t.callbacks.append(fire)
+
+    kick.callbacks.append(on_kick)
+    kick.succeed()
+    sim.run()
+    assert log == [(12.0, "early"), (55.0, "a"), (58.0, "b")]
+
+
+def test_wheel_run_until_and_peek():
+    for slot in (None, 4.0):
+        sim = Simulator(timer_slot=slot)
+        fired = []
+        for d in (1.0, 9.0, 21.0):
+            sim.timeout(d, value=d).callbacks.append(
+                lambda ev: fired.append(ev.value)
+            )
+        assert sim.peek() == 1.0
+        assert sim.run(until=10.0) == 10.0
+        assert fired == [1.0, 9.0]
+        assert sim.peek() == 21.0
+        assert sim.run() == 21.0
+        assert fired == [1.0, 9.0, 21.0]
+
+
+def test_wheel_validation():
+    with pytest.raises(ValueError):
+        _TimerWheel(0.0)
+    with pytest.raises(ValueError):
+        Simulator(timer_slot=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# stale-completion-timer regressions (flow killed + replaced, same timestep)
+# ---------------------------------------------------------------------------
+
+
+def test_local_capped_flow_killed_mid_drain_then_reposted():
+    # The dead flow's drain timer (t=1.0) is tombstoned by the kill; if
+    # it fired anyway it would double-trigger done / credit phantom bytes.
+    sim = Simulator()
+    net = Network(sim)
+    finished = []
+
+    def driver():
+        f1 = net.transfer_flow((), 1e6, rate_cap=1e6)  # drains in 1 s
+        f1.done.defuse()
+        yield sim.timeout(0.5)
+        assert net.fail_flow(f1, reason="test-kill")
+        f2 = net.transfer_flow((), 2e6, rate_cap=1e6)  # same timestep
+        got = yield f2.done
+        finished.append((sim.now, got))
+
+    sim.process(driver(), name="driver")
+    sim.run()
+    assert finished == [(2.5, 2e6)]
+    assert net.bytes_delivered == 2e6  # the killed flow credited nothing
+
+
+def test_link_flow_killed_then_reposted_same_timestep():
+    # f1 (would finish at t=1.0) dies at t=0.25; f2 starts in the same
+    # timestep over the same links.  f1's superseded completion timer
+    # must not finish f2 early: f2 completes on its own timeline.
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_link("a", 1e6)
+    b = net.add_link("b", 1e6)
+    finished = []
+
+    def driver():
+        f1 = net.transfer_flow((a, b), 1e6)
+        f1.done.defuse()
+        yield sim.timeout(0.25)
+        assert net.fail_flow(f1, reason="test-kill")
+        f2 = net.transfer_flow((a, b), 1e6)
+        got = yield f2.done
+        finished.append((sim.now, got))
+
+    sim.process(driver(), name="driver")
+    sim.run()
+    assert finished == [(1.25, 1e6)]
+    assert net.bytes_delivered == 1e6
+
+
+def test_killed_flow_failure_is_pre_defused():
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_link("a", 1e6)
+    b = net.add_link("b", 1e6)
+
+    def driver():
+        f = net.transfer_flow((a, b), 1e9)
+        yield sim.timeout(0.1)
+        net.fail_flow(f, reason="nobody-waits")
+
+    sim.process(driver(), name="driver")
+    sim.run()  # must not raise FlowFailed at drain
+
+
+def test_waiter_on_killed_flow_sees_flowfailed():
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_link("a", 1e6)
+    b = net.add_link("b", 1e6)
+    caught = []
+
+    def waiter(f):
+        try:
+            yield f.done
+        except FlowFailed as exc:
+            caught.append(str(exc))
+
+    def killer(f):
+        yield sim.timeout(0.1)
+        net.fail_flow(f, reason="chaos")
+
+    f = net.transfer_flow((a, b), 1e9)
+    sim.process(waiter(f), name="waiter")
+    sim.process(killer(f), name="killer")
+    sim.run()
+    assert caught and "chaos" in caught[0]

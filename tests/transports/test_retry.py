@@ -1,0 +1,84 @@
+"""Unit tests for :mod:`repro.transports.retry` (exponential backoff).
+
+PR 3 introduced the policy but leaned on end-to-end fault-sweep tests;
+these pin the arithmetic and validation directly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.transports.retry import RetryPolicy
+
+
+def test_defaults_expose_paper_style_backoff():
+    p = RetryPolicy()
+    assert p.base == 1.0
+    assert p.factor == 2.0
+    assert p.max_delay == 30.0
+    assert p.retries == 4
+    assert p.jitter == 0.5
+
+
+def test_delay_is_one_based_geometric_without_jitter():
+    p = RetryPolicy(base=0.5, factor=3.0, max_delay=100.0, retries=6, jitter=0.0)
+    assert p.delay(1) == 0.5
+    assert p.delay(2) == 1.5
+    assert p.delay(3) == 4.5
+    assert p.delay(4) == 13.5
+
+
+def test_delay_clamps_at_max_delay():
+    p = RetryPolicy(base=1.0, factor=2.0, max_delay=5.0, retries=10, jitter=0.0)
+    assert [p.delay(a) for a in range(1, 6)] == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+
+def test_delay_rejects_bad_attempt_numbers():
+    p = RetryPolicy(jitter=0.0)
+    with pytest.raises(ValueError):
+        p.delay(0)
+    with pytest.raises(ValueError):
+        p.delay(-1)
+
+
+def test_jitter_bounds_and_determinism():
+    p = RetryPolicy(base=2.0, factor=2.0, max_delay=60.0, retries=5, jitter=0.5)
+    rng = random.Random(7)
+    for attempt in range(1, 6):
+        nominal = min(60.0, 2.0 * 2.0 ** (attempt - 1))
+        for _ in range(50):
+            d = p.delay(attempt, rng)
+            assert nominal * 0.5 <= d <= nominal * 1.5
+    # Same seed -> same jittered schedule (simulation determinism).
+    a = [p.delay(i, random.Random(42)) for i in range(1, 6)]
+    b = [p.delay(i, random.Random(42)) for i in range(1, 6)]
+    assert a == b
+
+
+def test_total_delay_sums_the_full_schedule():
+    p = RetryPolicy(base=1.0, factor=2.0, max_delay=30.0, retries=4, jitter=0.0)
+    assert p.total_delay() == 1.0 + 2.0 + 4.0 + 8.0
+
+
+def test_zero_retries_means_no_backoff_budget():
+    p = RetryPolicy(retries=0, jitter=0.0)
+    assert p.total_delay() == 0.0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"base": 0.0},
+        {"base": -1.0},
+        {"factor": 0.5},
+        {"max_delay": 0.5},  # < base
+        {"retries": -1},
+        {"jitter": 1.0},
+        {"jitter": -0.1},
+    ],
+)
+def test_validation_rejects_bad_configs(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)
