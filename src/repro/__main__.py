@@ -29,6 +29,7 @@ COMMANDS = [
     ("repro.experiments.robustness", "seed-robustness of the headline results"),
     ("repro.experiments.fault_tolerance", "node churn: Hadoop recovery vs MPI-D rerun"),
     ("repro.experiments.network_faults", "lossy links: shuffle retries vs abort-and-rerun"),
+    ("repro.experiments.critical_path", "critical-path blame + causal what-if validation"),
     ("repro.experiments.export", "write per-figure CSVs/JSONs (--out results/)"),
     ("repro.experiments.all", "everything above, back to back"),
 ]
@@ -40,6 +41,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        from repro.obs.analyze_cli import main as analyze_main
+
+        return analyze_main(argv[1:])
     if argv and argv[0] == "bench":
         from repro.bench.cli import main as bench_main
 
@@ -52,7 +57,8 @@ def main(argv: list[str] | None = None) -> int:
     for mod, desc in COMMANDS:
         print(f"  {mod:<{width}}  {desc}")
     print("\ntracing: python -m repro trace {fig6,fig1,fault} --size 1GB --trace-out trace.json")
-    print("engine bench: python -m repro bench [--quick] [--out BENCH_engine.json]")
+    print("analysis: python -m repro analyze trace.json [--validate] [--json report.json]")
+    print("engine bench: python -m repro bench [--quick] [--compare] [--out BENCH_engine.json]")
     print("examples: see examples/*.py; tests: pytest tests/;")
     print("benchmarks: pytest benchmarks/ --benchmark-only")
     return 0

@@ -4,6 +4,11 @@ Writes ``BENCH_engine.json``: a :class:`repro.bench.engine.BenchReport`
 with a :mod:`repro.obs` run manifest attached (config hash, git rev,
 wall-clock), and exits non-zero if any fast-vs-reference comparison
 diverged — the same contract the CI ``bench-smoke`` job enforces.
+
+``--compare`` additionally diffs the run against the history file
+(``BENCH_history.jsonl``; see :mod:`repro.bench.history`), appends the
+fresh entry, and exits non-zero when a gated metric (a fast-vs-
+reference speedup ratio) regressed beyond ``--threshold``.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.bench import history as history_mod
 from repro.bench.engine import run_bench
 from repro.obs.manifest import build_manifest
 
@@ -51,6 +57,34 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_engine.json",
         help="output path (default BENCH_engine.json)",
     )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="diff against the history file and gate on speedup regressions",
+    )
+    parser.add_argument(
+        "--history",
+        type=str,
+        default="BENCH_history.jsonl",
+        help="bench history JSONL (default BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help=f"gated-metric noise threshold (default {history_mod.DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--no-append",
+        action="store_true",
+        help="with --compare: don't record this run in the history file",
+    )
+    parser.add_argument(
+        "--compare-json",
+        type=str,
+        default=None,
+        help="with --compare: also write the per-metric deltas as JSON",
+    )
     args = parser.parse_args(argv)
 
     sizes = _parse_sizes(args.sizes) if args.sizes else None
@@ -83,13 +117,50 @@ def main(argv: list[str] | None = None) -> int:
     for section in ("micro", "macro"):
         for name, entry in getattr(report, section).items():
             print(f"  {section}/{name:<16} {_fmt_speedup(entry)}")
+    status = 0
     if report.divergence:
         print(
             "\nFAIL: fast-path results diverged from the reference solver",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        status = 1
+
+    if args.compare:
+        threshold = (
+            args.threshold
+            if args.threshold is not None
+            else history_mod.DEFAULT_THRESHOLD
+        )
+        entry = history_mod.make_entry(report.to_dict())
+        past = history_mod.load_history(args.history)
+        deltas, prev = history_mod.compare(entry, past, threshold=threshold)
+        print()
+        print(history_mod.render_comparison(deltas, prev, threshold))
+        if args.compare_json:
+            cmp_out = Path(args.compare_json)
+            with cmp_out.open("w") as fh:
+                json.dump(
+                    {
+                        "threshold": threshold,
+                        "previous_rev": (prev or {}).get("git_rev"),
+                        "deltas": [d.to_dict() for d in deltas],
+                    },
+                    fh,
+                    indent=2,
+                    sort_keys=True,
+                )
+                fh.write("\n")
+            print(f"wrote {cmp_out}")
+        if not args.no_append:
+            history_mod.append_history(args.history, entry)
+            print(f"appended to {args.history}")
+        if any(d.regressed for d in deltas):
+            print(
+                f"\nFAIL: gated bench metric regressed beyond -{threshold:.0%}",
+                file=sys.stderr,
+            )
+            status = status or 2
+    return status
 
 
 if __name__ == "__main__":

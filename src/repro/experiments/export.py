@@ -23,9 +23,11 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Sequence
 
+from repro.experiments import critical_path as critical_path_exp
 from repro.experiments import fault_tolerance, fig1_shuffle, fig2_latency
 from repro.experiments import fig3_bandwidth, fig6_wordcount, network_faults
 from repro.experiments import table1_copy_pct
+from repro.obs.analysis import STAGES
 from repro.util.units import GiB
 
 
@@ -278,6 +280,55 @@ def network_faults_json(result=None) -> dict:
     }
 
 
+@lru_cache(maxsize=1)
+def _default_critical_path():
+    """One shared small blame sweep (kept small so exports stay quick)."""
+    return critical_path_exp.run(sizes_gb=(1.0, 4.0))
+
+
+def critical_path_csv(result=None) -> tuple[list[str], list[list]]:
+    """Per-size ``hadoop.phase`` blame rows: causal critical-path share
+    per stage plus the Table-I counter share (spans vs JobMetrics)."""
+    r = result or _default_critical_path()
+    header = (
+        ["input_gb", "makespan_s"]
+        + [f"{stage}_blame_pct" for stage in STAGES]
+        + ["copy_pct_spans", "copy_pct_counters"]
+    )
+    rows = [
+        [
+            row.input_bytes / GiB,
+            row.makespan,
+            *[row.cp_blame_pct.get(stage, 0.0) for stage in STAGES],
+            row.span_copy_pct,
+            row.counter_copy_pct,
+        ]
+        for row in r.rows
+    ]
+    return header, rows
+
+
+def critical_path_json(result=None) -> dict:
+    """The same blame sweep with the cross-check deltas spelled out."""
+    r = result or _default_critical_path()
+    return {
+        "experiment": "critical_path",
+        "seed": r.seed,
+        "stages": list(STAGES),
+        "rows": [
+            {
+                "input_gb": row.input_bytes / GiB,
+                "makespan_s": row.makespan,
+                "blame_pct": row.cp_blame_pct,
+                "copy_pct_spans": row.span_copy_pct,
+                "copy_pct_counters": row.counter_copy_pct,
+                "cross_check_delta_pts": row.cross_check_delta,
+            }
+            for row in r.rows
+        ],
+    }
+
+
 def obs_metrics_csv(observer) -> tuple[list[str], list[list]]:
     """One row per metric of a live :class:`~repro.obs.Observer`."""
     header, rows = observer.metrics.rows()
@@ -297,12 +348,14 @@ EXPORTS = {
     "fig6_wordcount.csv": fig6_csv,
     "fault_tolerance.csv": fault_tolerance_csv,
     "network_faults.csv": network_faults_csv,
+    "critical_path.csv": critical_path_csv,
 }
 
 JSON_EXPORTS = {
     "fig6_wordcount.json": fig6_json,
     "fault_tolerance.json": fault_tolerance_json,
     "network_faults.json": network_faults_json,
+    "critical_path.json": critical_path_json,
 }
 
 

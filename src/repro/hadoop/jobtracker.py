@@ -43,6 +43,10 @@ class MapTaskInfo:
     attempts: int = 0
     first_started: Optional[float] = None
     failed_attempts: int = 0
+    #: Winning attempt's tracer span id (0 = untraced); lets reducers
+    #: record shuffle happens-before edges back to the map that produced
+    #: each fetched output.
+    span_sid: int = 0
 
     @property
     def preferred_nodes(self) -> tuple[int, ...]:
@@ -82,6 +86,7 @@ class MapOutputRef:
     map_id: int
     node: int
     partition_bytes: float
+    span_sid: int = 0  # producing map attempt's span (0 = untraced)
 
 
 class JobTracker:
@@ -202,6 +207,7 @@ class JobTracker:
                 map_id=task.task_id,
                 node=task.node,
                 partition_bytes=task.output_bytes * weight,
+                span_sid=task.span_sid,
             )
             for task in log[cursor:]
             if task.node is not None
@@ -537,6 +543,7 @@ class JobTracker:
         self._fetch_fail_counts.pop(task.task_id, None)
         task.state = _PENDING
         task.node = None
+        task.span_sid = 0  # the output (and its producing span) is gone
         task.output_bytes = 0.0
         task.completed_at = None
         self.maps_completed -= 1

@@ -107,6 +107,7 @@ def map_task_process(
                         rate_cap=nio.rate_cap,
                         rng=rng,
                         label=f"hdfs-m{task.task_id}",
+                        waiter_sid=read_sid,
                     ),
                     name=f"read-m{task.task_id}",
                 )
@@ -117,6 +118,7 @@ def map_task_process(
                     nio.wire_bytes,
                     extra_latency=nio.setup_time,
                     rate_cap=nio.rate_cap,
+                    waiter_sid=read_sid,
                 )
             try:
                 yield sim.all_of([src.disk_read(task.block.size), wire])
@@ -160,9 +162,12 @@ def map_task_process(
         tr.end(spill_sid)
 
         metrics.finished_at = sim.now
-        env.jobtracker.map_finished(attempt, output_bytes=output, now=sim.now)
+        won = env.jobtracker.map_finished(attempt, output_bytes=output, now=sim.now)
+        if won:
+            task.span_sid = sid  # winner: reducers draw shuffle edges to us
+            tr.edge(sid, env.job_sid, "complete")
         tracker.map_completed(attempt)
-        tr.end(sid, outcome="done")
+        tr.end(sid, outcome="done", won=won)
         if sid:
             sim.obs.metrics.counter("hadoop.maps_finished").add()
     except Interrupt:

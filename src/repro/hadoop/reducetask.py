@@ -58,11 +58,15 @@ class _ShuffleState:
         "rng",
         "host_failures",
         "penalty_until",
+        "copy_sid",
     )
 
     def __init__(self) -> None:
         self.shuffled_bytes = 0.0
         self.fetches = 0
+        #: The owning reducer's copy-phase span (0 = untraced); fetch
+        #: processes draw gather edges back to it.
+        self.copy_sid = 0
         self.spilled_to_disk = False
         #: Number of distinct map outputs fetched or in flight; a failed
         #: fetch gives its share back so the poll loop resumes.
@@ -98,6 +102,7 @@ def reduce_task_process(
         # ---------------- copy stage ------------------------------------------
         copy_sid = tr.begin("hadoop.reduce", "copy", parent=sid)
         state = _ShuffleState()
+        state.copy_sid = copy_sid
         fetcher = _fetch_batch
         if env.net_faults:
             # Lossy network: the retry/backoff pipeline, with this
@@ -196,6 +201,7 @@ def reduce_task_process(
                                 rate_cap=nio.rate_cap,
                                 rng=state.rng,
                                 label=f"hdfs-r{task.task_id}",
+                                waiter_sid=reduce_sid,
                             ),
                             name=f"repl-r{task.task_id}-n{t}",
                         )
@@ -208,6 +214,7 @@ def reduce_task_process(
                             nio.wire_bytes,
                             extra_latency=nio.setup_time,
                             rate_cap=nio.rate_cap,
+                            waiter_sid=reduce_sid,
                         )
                     )
                 waits.append(t_node.disk_write(output))
@@ -217,6 +224,7 @@ def reduce_task_process(
         jt.reduce_finished(task)
         tracker.reduce_completed(task)
         tr.end(reduce_sid)
+        tr.edge(sid, env.job_sid, "complete")
         tr.end(sid, outcome="done")
         if sid:
             sim.obs.metrics.counter("hadoop.reduces_finished").add()
@@ -271,6 +279,14 @@ def _fetch_batch(
         if fetch_sid:
             obs.metrics.counter("transport.jetty.requests").add(len(group))
             obs.metrics.counter("transport.jetty.bytes").add(total)
+            for ref in group:
+                # This fetch exists because those maps produced output;
+                # the copy phase as a whole was gated on the same maps
+                # (the "avail" edge is the one the critical-path walk can
+                # descend through — a map always ends before its fetch
+                # begins, so the map->fetch edge alone is unreachable).
+                obs.tracer.edge(ref.span_sid, fetch_sid, "shuffle", map_id=ref.map_id)
+                obs.tracer.edge(ref.span_sid, state.copy_sid, "avail", map_id=ref.map_id)
         setup = env.jetty.request_setup * len(group)
         headers = env.jetty.header_bytes * len(group)
         src = env.cluster.node(src_node)
@@ -285,6 +301,7 @@ def _fetch_batch(
             total + headers,
             extra_latency=setup,
             rate_cap=env.jetty.stream_peak,
+            waiter_sid=fetch_sid,
         )
         yield sim.all_of([serve, wire])
         if env.injector is not None and (
@@ -303,6 +320,7 @@ def _fetch_batch(
             state.spilled_to_disk = True
         if state.spilled_to_disk and total > 0:
             yield env.cluster.node(task.node).disk_write(total)
+        obs.tracer.edge(fetch_sid, state.copy_sid, "gather")
         obs.tracer.end(fetch_sid)
         fetch_sid = 0
     except Interrupt:
@@ -443,6 +461,14 @@ def _fetch_batch_robust(
             )
             if fetch_sid:
                 obs.metrics.counter("transport.jetty.requests").add(len(group))
+                for ref in group:
+                    obs.tracer.edge(
+                        ref.span_sid, fetch_sid, "shuffle", map_id=ref.map_id
+                    )
+                    if attempt == 0:  # retries re-fetch the same output
+                        obs.tracer.edge(
+                            ref.span_sid, state.copy_sid, "avail", map_id=ref.map_id
+                        )
             setup = env.jetty.request_setup * len(group)
             headers = env.jetty.header_bytes * len(group)
             seek_bytes = src.spec.disk_seek * src.disk.rate
@@ -453,6 +479,7 @@ def _fetch_batch_robust(
                 total + headers,
                 extra_latency=setup,
                 rate_cap=env.jetty.stream_peak,
+                waiter_sid=fetch_sid,
             )
             done = sim.all_of([serve, flow.done])
             deadline = sim.timeout(cfg.fetch_timeout)
@@ -491,6 +518,7 @@ def _fetch_batch_robust(
                     state.spilled_to_disk = True
                 if state.spilled_to_disk and total > 0:
                     yield env.cluster.node(task.node).disk_write(total)
+                obs.tracer.edge(fetch_sid, state.copy_sid, "gather")
                 obs.tracer.end(fetch_sid)
                 fetch_sid = 0
                 return

@@ -133,6 +133,8 @@ class HadoopSimulation:
             max_delay=self.config.fetch_backoff_max,
             retries=2 * self.config.fetch_retries,
         )
+        #: The job span's tracer id (set by :meth:`run`; 0 = untraced).
+        self.job_sid = 0
 
     # -- id mapping -----------------------------------------------------------
     def worker_node_id(self, worker_index: int) -> int:
@@ -185,6 +187,7 @@ class HadoopSimulation:
         rate_cap: float = float("inf"),
         rng=None,
         label: str = "dfs",
+        waiter_sid: int = 0,
     ):
         """Generator: a :meth:`Cluster.send` that survives killed flows.
 
@@ -200,7 +203,9 @@ class HadoopSimulation:
         attempt = 0
         try:
             while True:
-                flow = self.cluster.send_flow(src, dst, nbytes, extra_latency, rate_cap)
+                flow = self.cluster.send_flow(
+                    src, dst, nbytes, extra_latency, rate_cap, waiter_sid=waiter_sid
+                )
                 try:
                     yield flow.done
                     return
@@ -291,6 +296,8 @@ class HadoopSimulation:
             maps=jt.total_maps,
             reduces=jt.num_reduces,
         )
+        #: Task processes draw completion edges back to the job span.
+        self.job_sid = job_sid
 
         def job(sim_):
             expiry_proc = None

@@ -216,6 +216,16 @@ class MrMpiSimulation:
         self._sent_per_reducer = [0.0] * cfg.num_reducers
         self._mappers_done = 0
         self._all_mappers_done: Optional[Event] = None
+        # -- trace-DAG bookkeeping (all zeros when tracing is off) ------------
+        #: Each reducer's recv-phase span, so mapper sends can name the
+        #: span that waits on their flows (recv begins before the first
+        #: send can leave: both sides pay the same startup_time, and a
+        #: mapper reads+computes before emitting).
+        self._recv_sids = [0] * cfg.num_reducers
+        #: Finished mapper spans; reducers draw barrier edges from them.
+        self._mapper_sids: list[int] = []
+        #: The job span's tracer id (set by :meth:`run`).
+        self.job_sid = 0
         self.injector: Optional[FaultInjector] = None
         self.net_faults = False
         if self.fault_plan:
@@ -310,7 +320,11 @@ class MrMpiSimulation:
                     )
                 else:
                     flow = self.cluster.send(
-                        node_id, rnode, share, extra_latency=wc.setup_time
+                        node_id,
+                        rnode,
+                        share,
+                        extra_latency=wc.setup_time,
+                        waiter_sid=self._recv_sids[r],
                     )
                 reducer_flows[r].append(flow)
                 sent_per_reducer[r] += share
@@ -322,6 +336,8 @@ class MrMpiSimulation:
             tr.end(send_sid, sent_bytes=m.sent_bytes)
         m.finished_at = sim.now
         tr.end(sid, messages=m.messages, spills=m.spills)
+        if sid:
+            self._mapper_sids.append(sid)
         self._mappers_done += 1
         if self._mappers_done == cfg.num_mappers:
             assert self._all_mappers_done is not None
@@ -349,7 +365,13 @@ class MrMpiSimulation:
         rng = make_rng(self.seed, "mpid-retransmit", rank, reducer, seq)
         attempt = 0
         while True:
-            flow = self.cluster.send_flow(src, dst, nbytes, extra_latency=setup)
+            flow = self.cluster.send_flow(
+                src,
+                dst,
+                nbytes,
+                extra_latency=setup,
+                waiter_sid=self._recv_sids[reducer],
+            )
             try:
                 yield flow.done
                 return
@@ -395,7 +417,12 @@ class MrMpiSimulation:
         # Wildcard reception: wait until every mapper finished emitting,
         # then for every in-flight array destined here.
         recv_sid = tr.begin("mpid.reduce", "recv", parent=sid)
+        self._recv_sids[index] = recv_sid
         yield self._all_mappers_done
+        for mapper_sid in self._mapper_sids:
+            # The wildcard recv cannot return before every mapper is done
+            # emitting — the paper's all-senders barrier, as edges.
+            tr.edge(mapper_sid, recv_sid, "barrier")
         flows = self._reducer_flows[index]
         if flows:
             try:
@@ -431,6 +458,7 @@ class MrMpiSimulation:
             yield node.disk_write(output)
         tr.end(write_sid)
         r.finished_at = sim.now
+        tr.edge(sid, self.job_sid, "complete")
         tr.end(sid, received_bytes=r.received_bytes)
 
     # -- driver --------------------------------------------------------------------------
@@ -447,6 +475,7 @@ class MrMpiSimulation:
             mappers=cfg.num_mappers,
             reducers=cfg.num_reducers,
         )
+        self.job_sid = job_sid
 
         procs = []
         for rank, node_id in enumerate(self.mapper_nodes, start=1):

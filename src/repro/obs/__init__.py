@@ -31,10 +31,11 @@ from repro.obs.metrics import (
 )
 from repro.obs.observer import NULL_OBS, NullObserver, Observer
 from repro.obs.perfetto import trace_events, validate_trace, write_trace
-from repro.obs.tracer import Instant, Span, SpanTracer, TraceError
+from repro.obs.tracer import Edge, Instant, Span, SpanTracer, TraceError
 
 __all__ = [
     "Counter",
+    "Edge",
     "Gauge",
     "Instant",
     "MetricsRegistry",

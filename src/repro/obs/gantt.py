@@ -55,22 +55,30 @@ def ascii_gantt(
     lines = []
     if title:
         lines.append(title)
-    axis = f"{'':<{label_width}} 0s{'':<{width - 12}}{t_max:.2f}s"
+    # Every line below is exactly label_width + 1 + width characters, so
+    # the axis, the rule, and the bar rows stay column-aligned no matter
+    # how wide the time label prints.
+    end_label = f"{t_max:.2f}s"
+    axis = f"{'':<{label_width}} 0s{end_label:>{width - 2}}"
     lines.append(axis)
     lines.append(f"{'':<{label_width}} {'-' * width}")
     for track, ss in ordered:
         label = track if len(track) <= label_width else track[: label_width - 1] + "…"
         if not ss:
-            lines.append(f"{label:<{label_width}}")
+            lines.append(f"{label:<{label_width}} {'':<{width}}")
             continue
         cells = [" "] * width
         for s in ss:
             t1 = s.t1 if s.t1 is not None else t_max
-            c0 = int(s.t0 / t_max * (width - 1))
-            c1 = int(t1 / t_max * (width - 1))
-            for c in range(c0, c1 + 1):
-                cells[c] = _BAR
-            if c1 == c0 and cells[c0] != _BAR:
-                cells[c0] = _PARTIAL
+            c0 = min(max(int(s.t0 / t_max * (width - 1)), 0), width - 1)
+            c1 = min(max(int(t1 / t_max * (width - 1)), c0), width - 1)
+            if c1 == c0:
+                # Zero-duration (or sub-cell) span: a tick mark, never
+                # overwriting a real bar already in the cell.
+                if cells[c0] == " ":
+                    cells[c0] = _PARTIAL if t1 <= s.t0 else _BAR
+            else:
+                for c in range(c0, c1 + 1):
+                    cells[c] = _BAR
         lines.append(f"{label:<{label_width}} {''.join(cells)}")
     return "\n".join(lines)

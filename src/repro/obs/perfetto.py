@@ -8,9 +8,14 @@ https://ui.perfetto.dev load directly: a JSON object with a
   the Hadoop run and the MPI-D run of a comparison) and each thread
   (one per span track);
 * ``"ph": "X"`` complete events for spans (``ts``/``dur`` in
-  microseconds of *simulated* time);
+  microseconds of *simulated* time); each carries its tracer span id
+  and parent id in ``args`` so a trace file round-trips losslessly
+  back into a dependency DAG (:mod:`repro.obs.analysis`);
 * ``"ph": "i"`` instant events for point occurrences (faults, sends);
-* ``"ph": "C"`` counter events for every gauge sample.
+* ``"ph": "C"`` counter events for every gauge sample;
+* ``"ph": "s"`` / ``"ph": "f"`` flow-event pairs for every explicit
+  happens-before edge (``Tracer.edge``) — Perfetto draws these as
+  arrows between the two spans.
 
 Spans still open at export time (a task killed by fault injection) are
 closed at the trace's final timestamp and flagged ``"unfinished"`` —
@@ -72,12 +77,16 @@ def trace_events(obs: Observer, pid: int = 1, pid_name: str = "sim") -> list[dic
         return tid
 
     end_time = obs.final_time()
+    close_at: dict[int, float] = {}
     for span in obs.tracer.spans:
         t1 = span.t1
         args = dict(span.args)
         if t1 is None:
             t1 = end_time
             args["unfinished"] = True
+        close_at[span.sid] = t1
+        args["sid"] = span.sid
+        args["parent"] = span.parent
         events.append(
             {
                 "ph": "X",
@@ -88,6 +97,39 @@ def trace_events(obs: Observer, pid: int = 1, pid_name: str = "sim") -> list[dic
                 "pid": pid,
                 "tid": tid_of(span.track),
                 "args": args,
+            }
+        )
+    for k, edge in enumerate(obs.tracer.edges, start=1):
+        src = obs.tracer.spans[edge.src - 1]
+        dst = obs.tracer.spans[edge.dst - 1]
+        flow_args = {"src": edge.src, "dst": edge.dst, **edge.args}
+        # The start binds inside the source span, the finish inside the
+        # destination span at the moment the dependency resolved.
+        t_start = close_at[edge.src]
+        t_finish = min(max(dst.t0, t_start), close_at[edge.dst])
+        events.append(
+            {
+                "ph": "s",
+                "id": k,
+                "name": edge.kind,
+                "cat": "edge",
+                "ts": t_start * _US,
+                "pid": pid,
+                "tid": tid_of(src.track),
+                "args": flow_args,
+            }
+        )
+        events.append(
+            {
+                "ph": "f",
+                "bp": "e",
+                "id": k,
+                "name": edge.kind,
+                "cat": "edge",
+                "ts": t_finish * _US,
+                "pid": pid,
+                "tid": tid_of(dst.track),
+                "args": flow_args,
             }
         )
     for inst in obs.tracer.instants:
@@ -156,6 +198,8 @@ _REQUIRED_BY_PHASE = {
     "i": ("name", "cat", "ts", "pid", "tid"),
     "C": ("name", "ts", "pid"),
     "M": ("name", "pid"),
+    "s": ("name", "cat", "id", "ts", "pid", "tid"),
+    "f": ("name", "cat", "id", "ts", "pid", "tid"),
 }
 
 

@@ -66,6 +66,26 @@ class Instant:
     args: dict = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class Edge:
+    """An explicit happens-before edge between two spans.
+
+    Parent/child nesting covers most structure for free, but some
+    dependencies cross tracks: a shuffle fetch depends on the map
+    attempt whose output it pulls, a copy phase gathers from many
+    fetches, an MPI-D recv waits on flows issued by remote mappers.
+    ``kind`` names the dependency ("shuffle", "flow", "barrier", ...)
+    so the DAG builder and critical-path walker can attribute wait
+    time to it.
+    """
+
+    src: int  #: the span that must finish first
+    dst: int  #: the span that (partly) waits on it
+    kind: str
+    time: float  #: simulated time the edge was recorded
+    args: dict = field(default_factory=dict)
+
+
 class SpanTracer:
     """Collects spans and instants against a simulated-time clock."""
 
@@ -75,6 +95,7 @@ class SpanTracer:
         #: Spans in begin order; ``sid`` is the 1-based index into this list.
         self.spans: list[Span] = []
         self.instants: list[Instant] = []
+        self.edges: list[Edge] = []
         self._open_by_track: dict[str, list[int]] = {}
 
     # -- recording ------------------------------------------------------------
@@ -158,6 +179,24 @@ class SpanTracer:
             return
         self.instants.append(Instant(self._clock(), category, name, track, args))
 
+    def edge(self, src: int, dst: int, kind: str = "dep", **args: Any) -> None:
+        """Record that span ``dst`` causally waits on span ``src``.
+
+        Either sid being 0 (a span begun while tracing was off, or a
+        dependency the caller could not resolve) makes this a no-op, so
+        instrumented code never branches on whether tracing is on.
+        """
+        if not self.enabled or src == 0 or dst == 0:
+            return
+        n = len(self.spans)
+        if not 1 <= src <= n:
+            raise TraceError(f"unknown edge source span id {src}")
+        if not 1 <= dst <= n:
+            raise TraceError(f"unknown edge destination span id {dst}")
+        if src == dst:
+            raise TraceError(f"edge from span {src} to itself")
+        self.edges.append(Edge(src, dst, kind, self._clock(), args))
+
     # -- queries ----------------------------------------------------------------
     def track_of(self, sid: int) -> Optional[str]:
         """The track a span lives on (None for the disabled sid 0)."""
@@ -195,6 +234,7 @@ class NullTracer:
     enabled = False
     spans: tuple = ()
     instants: tuple = ()
+    edges: tuple = ()
 
     def begin(self, category, name, *, track=None, parent=0, **args) -> int:
         return 0
@@ -206,6 +246,9 @@ class NullTracer:
         pass
 
     def instant(self, category, name, *, track="events", **args) -> None:
+        pass
+
+    def edge(self, src, dst, kind="dep", **args) -> None:
         pass
 
     def track_of(self, sid):

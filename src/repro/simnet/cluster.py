@@ -114,15 +114,20 @@ class Cluster:
         nbytes: float,
         extra_latency: float = 0.0,
         rate_cap: float = float("inf"),
+        waiter_sid: int = 0,
     ) -> Event:
         """Move ``nbytes`` from ``src`` to ``dst``; returns the completion event.
 
         A node-local transfer (``src == dst``) bypasses the switch and is
         charged only ``extra_latency`` (plus ``rate_cap`` drain time when
         the protocol, not the wire, is the bottleneck — loopback doesn't
-        make Hadoop RPC fast).
+        make Hadoop RPC fast).  ``waiter_sid`` optionally names the span
+        that waits on this transfer so the tracer can record a
+        happens-before edge (see :meth:`Network.transfer`).
         """
-        return self.send_flow(src, dst, nbytes, extra_latency, rate_cap).done
+        return self.send_flow(
+            src, dst, nbytes, extra_latency, rate_cap, waiter_sid=waiter_sid
+        ).done
 
     def send_flow(
         self,
@@ -131,13 +136,18 @@ class Cluster:
         nbytes: float,
         extra_latency: float = 0.0,
         rate_cap: float = float("inf"),
+        waiter_sid: int = 0,
     ) -> Flow:
         """:meth:`send` returning the :class:`Flow` handle instead of the
         event — for callers that may need to cancel it (fetch timeouts)
         or that retry on :class:`~repro.simnet.network.FlowFailed`."""
         if src == dst:
             return self.network.transfer_flow(
-                (), nbytes, latency=extra_latency, rate_cap=rate_cap
+                (),
+                nbytes,
+                latency=extra_latency,
+                rate_cap=rate_cap,
+                waiter_sid=waiter_sid,
             )
         path = (self.nodes[src].uplink, self.nodes[dst].downlink)
         return self.network.transfer_flow(
@@ -145,6 +155,7 @@ class Cluster:
             nbytes,
             latency=self.spec.link_latency + extra_latency,
             rate_cap=rate_cap,
+            waiter_sid=waiter_sid,
         )
 
     def utilization_report(self, elapsed: float) -> dict:

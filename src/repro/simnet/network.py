@@ -132,6 +132,7 @@ class Flow:
         "started_at",
         "seq",
         "sid",
+        "waiter_sid",
         "_local_timer",
     )
 
@@ -141,6 +142,7 @@ class Flow:
         path: tuple[Link, ...],
         nbytes: float,
         rate_cap: float = float("inf"),
+        waiter_sid: int = 0,
     ):
         self.network = network
         self.path = path
@@ -152,6 +154,9 @@ class Flow:
         self.started_at = network.sim.now
         self.seq = network._next_seq()
         self.sid = 0  # tracer span id once the flow starts (0 = untraced)
+        #: Span that waits on this flow (0 = unknown); when both sids are
+        #: live the tracer records a happens-before edge flow -> waiter.
+        self.waiter_sid = waiter_sid
         self._local_timer: Optional[Timeout] = None  # node-local drain timer
 
 
@@ -238,15 +243,20 @@ class Network:
         nbytes: float,
         latency: float = 0.0,
         rate_cap: float = float("inf"),
+        waiter_sid: int = 0,
     ) -> Event:
         """Move ``nbytes`` along ``path`` after ``latency``; returns the done event.
 
         A zero-byte transfer still pays the latency (a ping is not free).
         An empty path models a node-local transfer: only latency is
         charged.  ``rate_cap`` bounds this flow below link speed — the
-        knob protocol-bound transports (Hadoop RPC) use.
+        knob protocol-bound transports (Hadoop RPC) use.  ``waiter_sid``
+        names the span that will wait on this transfer; the tracer then
+        records a flow -> waiter happens-before edge for the DAG builder.
         """
-        return self.transfer_flow(path, nbytes, latency=latency, rate_cap=rate_cap).done
+        return self.transfer_flow(
+            path, nbytes, latency=latency, rate_cap=rate_cap, waiter_sid=waiter_sid
+        ).done
 
     def transfer_flow(
         self,
@@ -254,6 +264,7 @@ class Network:
         nbytes: float,
         latency: float = 0.0,
         rate_cap: float = float("inf"),
+        waiter_sid: int = 0,
     ) -> Flow:
         """Like :meth:`transfer` but returns the :class:`Flow` itself.
 
@@ -268,7 +279,7 @@ class Network:
             raise ValueError(f"negative latency: {latency}")
         if rate_cap <= 0:
             raise ValueError(f"rate cap must be positive: {rate_cap}")
-        flow = Flow(self, path_t, nbytes, rate_cap=rate_cap)
+        flow = Flow(self, path_t, nbytes, rate_cap=rate_cap, waiter_sid=waiter_sid)
         if latency > 0:
             start = self.sim.timeout(latency)
             start.callbacks.append(lambda ev: self._start_flow(flow))
@@ -426,6 +437,7 @@ class Network:
             flow.sid = obs.tracer.begin(
                 "net", f"xfer {route}", nbytes=flow.nbytes
             )
+            obs.tracer.edge(flow.sid, flow.waiter_sid, "flow")
             for link in flow.path:
                 obs.metrics.histogram(f"net.link.{link.name}.flows").add(1)
         self._reallocate()

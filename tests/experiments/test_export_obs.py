@@ -102,3 +102,37 @@ class TestObsMetricsDumps:
         data = obs_metrics_json(observer)
         assert data["net.bytes"] == {"type": "counter", "value": 64.0, "events": 1}
         assert data["slots"]["mean"] == pytest.approx(3.0)
+
+
+class TestCriticalPathExport:
+    @pytest.fixture(scope="class")
+    def cp_result(self):
+        from repro.experiments import critical_path
+
+        return critical_path.run(sizes_gb=(0.25,))
+
+    def test_csv_rows_carry_phase_blame(self, cp_result):
+        from repro.experiments.export import critical_path_csv
+
+        header, rows = critical_path_csv(cp_result)
+        assert header[:2] == ["input_gb", "makespan_s"]
+        assert "copy_blame_pct" in header and "map_blame_pct" in header
+        (row,) = rows
+        blame = dict(zip(header, row))
+        total = sum(
+            v for k, v in blame.items() if k.endswith("_blame_pct")
+        )
+        assert total == pytest.approx(100.0)
+
+    def test_json_cross_check_is_tight(self, cp_result):
+        from repro.experiments.export import critical_path_json
+
+        data = critical_path_json(cp_result)
+        assert data["experiment"] == "critical_path"
+        (row,) = data["rows"]
+        # Span-measured Table-I copy share must match the JobMetrics
+        # counters (the ISSUE's +-2 pts acceptance bound).
+        assert row["cross_check_delta_pts"] < 2.0
+        assert row["copy_pct_spans"] == pytest.approx(
+            row["copy_pct_counters"], abs=2.0
+        )

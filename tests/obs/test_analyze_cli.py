@@ -1,0 +1,52 @@
+"""End-to-end tests for ``python -m repro analyze``."""
+
+import json
+
+import pytest
+
+from repro.obs.analyze_cli import main as analyze_main
+from repro.obs.cli import main as trace_main
+
+
+@pytest.fixture(scope="module")
+def fig6_trace(tmp_path_factory):
+    out = tmp_path_factory.mktemp("trace") / "fig6.json"
+    assert trace_main(["fig6", "--size", "64MB", "--trace-out", str(out)]) == 0
+    return out
+
+
+class TestAnalyzeCli:
+    def test_reports_both_systems(self, fig6_trace, capsys):
+        assert analyze_main([str(fig6_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "== hadoop:" in out
+        assert "== mpid:" in out
+        assert "critical-path blame" in out
+        assert "what-if" in out
+
+    def test_blame_pcts_sum_to_100(self, fig6_trace, tmp_path):
+        report_path = tmp_path / "report.json"
+        assert analyze_main([str(fig6_trace), "--json", str(report_path)]) == 0
+        reports = json.loads(report_path.read_text())
+        assert set(reports) == {"hadoop", "mpid"}
+        for name, report in reports.items():
+            pcts = report["critical_path"]["blame_pct"]
+            assert sum(pcts.values()) == pytest.approx(100.0), name
+            assert report["makespan"] > 0
+            assert report["phase_breakdown"]["system"] == name
+
+    def test_system_filter(self, fig6_trace, capsys):
+        assert analyze_main([str(fig6_trace), "--system", "mpid"]) == 0
+        out = capsys.readouterr().out
+        assert "== mpid:" in out
+        assert "== hadoop:" not in out
+
+    def test_unknown_system_errors(self, fig6_trace):
+        with pytest.raises(SystemExit):
+            analyze_main([str(fig6_trace), "--system", "nope"])
+
+    def test_validate_without_manifest_fails_loudly(self, fig6_trace, tmp_path):
+        bare = tmp_path / "bare.json"
+        bare.write_text(fig6_trace.read_text())
+        with pytest.raises(FileNotFoundError, match="manifest"):
+            analyze_main([str(bare), "--validate"])

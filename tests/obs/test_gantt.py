@@ -61,3 +61,53 @@ class TestAsciiGantt:
         out = ascii_gantt(obs, label_width=10)
         assert "…" in out
         assert "x" * 60 not in out
+
+
+class TestAlignment:
+    """Regression: every rendered line must be the same width — the old
+    axis line sized itself with a fixed-width assumption about the time
+    label and drifted off the bar columns for large/small t_max."""
+
+    def _line_widths(self, out: str) -> set[int]:
+        return {len(line) for line in out.splitlines()}
+
+    def test_all_lines_equal_width(self):
+        assert len(self._line_widths(ascii_gantt(make_obs(3)))) == 1
+
+    def test_alignment_survives_wide_time_labels(self):
+        clock = Clock()
+        obs = Observer(clock=clock)
+        sid = obs.tracer.begin("c", "s", track="t")
+        clock.t = 12345.678  # 9-char time label
+        obs.tracer.end(sid)
+        out = ascii_gantt(obs)
+        assert len(self._line_widths(out)) == 1
+        assert "12345.68s" in out
+
+    def test_alignment_survives_elided_rows(self):
+        out = ascii_gantt(make_obs(12), max_rows=6)
+        assert len(self._line_widths(out)) == 1
+
+    def test_zero_duration_span_renders_a_tick(self):
+        clock = Clock()
+        obs = Observer(clock=clock)
+        sid = obs.tracer.begin("c", "instant", track="t0")
+        obs.tracer.end(sid)  # zero duration
+        sid = obs.tracer.begin("c", "long", track="t1")
+        clock.t = 100.0
+        obs.tracer.end(sid)
+        out = ascii_gantt(obs)
+        row = next(l for l in out.splitlines() if l.startswith("t0"))
+        assert "▏" in row
+
+    def test_zero_duration_does_not_erase_a_real_bar(self):
+        clock = Clock()
+        obs = Observer(clock=clock)
+        a = obs.tracer.begin("c", "long", track="t0")
+        clock.t = 100.0
+        obs.tracer.end(a)
+        b = obs.tracer.begin("c", "instant", track="t0")  # same track, t=100
+        obs.tracer.end(b)
+        out = ascii_gantt(obs)
+        row = next(l for l in out.splitlines() if l.startswith("t0"))
+        assert "▏" not in row  # the bar under it wins

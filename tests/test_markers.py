@@ -1,0 +1,25 @@
+"""The ``slow`` marker contract.
+
+Tier-1 CI runs ``pytest`` with the default addopts (``-m 'not slow'``);
+the slow suite is opted into explicitly with ``-m slow``.  Both halves
+of that contract live in ``pyproject.toml`` — these tests pin them so a
+config refactor can't silently start running (or losing) the slow
+tests.
+"""
+
+
+def _ini_list(pytestconfig, name: str) -> list[str]:
+    value = pytestconfig.getini(name)
+    return list(value) if isinstance(value, (list, tuple)) else str(value).split()
+
+
+def test_slow_marker_is_registered(pytestconfig):
+    names = [m.split(":", 1)[0].strip() for m in pytestconfig.getini("markers")]
+    assert "slow" in names, "the slow marker must stay registered in pyproject.toml"
+
+
+def test_default_run_excludes_slow(pytestconfig):
+    addopts = " ".join(_ini_list(pytestconfig, "addopts"))
+    assert "not slow" in addopts, (
+        "tier-1 default addopts must deselect slow tests (-m 'not slow')"
+    )
