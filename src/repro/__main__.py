@@ -29,6 +29,7 @@ COMMANDS = [
     ("repro.experiments.robustness", "seed-robustness of the headline results"),
     ("repro.experiments.fault_tolerance", "node churn: Hadoop recovery vs MPI-D rerun"),
     ("repro.experiments.network_faults", "lossy links: shuffle retries vs abort-and-rerun"),
+    ("repro.experiments.durability", "dying disks: HDFS re-replication vs static input"),
     ("repro.experiments.critical_path", "critical-path blame + causal what-if validation"),
     ("repro.experiments.export", "write per-figure CSVs/JSONs (--out results/)"),
     ("repro.experiments.all", "everything above, back to back"),

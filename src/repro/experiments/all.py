@@ -16,6 +16,7 @@ from repro.experiments import (
     ablation_compression,
     ablation_partition,
     ablation_scheduling,
+    durability,
     fault_tolerance,
     fig1_shuffle,
     fig2_latency,
@@ -74,6 +75,12 @@ def main(argv: list[str] | None = None) -> int:
         nf_gb = 2.0 if args.full else 1.0
         sections.append(
             network_faults.format_report(network_faults.run(input_gb=nf_gb))
+        )
+        dur_gb = 4.0 if args.full else 1.0
+        sections.append(
+            durability.format_report(
+                durability.run(input_gb=dur_gb, seeds=(2011, 2012))
+            )
         )
         sections.append(scalability.format_report(scalability.run()))
         sections.append(gridmix.format_report(gridmix.run()))

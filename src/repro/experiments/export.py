@@ -24,9 +24,9 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.experiments import critical_path as critical_path_exp
-from repro.experiments import fault_tolerance, fig1_shuffle, fig2_latency
-from repro.experiments import fig3_bandwidth, fig6_wordcount, network_faults
-from repro.experiments import table1_copy_pct
+from repro.experiments import durability, fault_tolerance, fig1_shuffle
+from repro.experiments import fig2_latency, fig3_bandwidth, fig6_wordcount
+from repro.experiments import network_faults, table1_copy_pct
 from repro.obs.analysis import STAGES
 from repro.util.units import GiB
 
@@ -127,9 +127,11 @@ def fault_tolerance_csv(result=None) -> tuple[list[str], list[list]]:
         return "" if math.isinf(x) else x
 
     def why(rate: float) -> str:
-        """One compact cell per rate: which runs died, where and when."""
+        """One compact cell per rate: which runs died, of what, where and
+        when.  The kind tag distinguishes computation loss (attempts ran
+        out, master died) from data loss (``block_lost:<file>:<block>``)."""
         return "; ".join(
-            f"seed{f['seed']}:node{f['node']}"
+            f"seed{f['seed']}:{f.get('kind', 'unknown')}:node{f['node']}"
             f"@t{f['time']:.1f}" + (f":task{f['task']}" if f["task"] is not None else "")
             for f in r.hadoop_failures.get(rate, [])
             if f["time"] is not None
@@ -281,6 +283,127 @@ def network_faults_json(result=None) -> dict:
 
 
 @lru_cache(maxsize=1)
+def _default_durability():
+    """One shared small durability sweep (1 GB, one seed, two rates).
+
+    Replication 2 is where this seed shows the crossover: Hadoop repairs
+    through rates whose very first relevant disk death permanently DNFs
+    MPI-D."""
+    return durability.run(
+        input_gb=1.0,
+        seeds=(2011,),
+        rates_per_hour=(30.0, 120.0),
+        replications=(1, 2, 3),
+    )
+
+
+def durability_csv(result=None) -> tuple[list[str], list[list]]:
+    """Replication x disk-failure-rate rows (the durability crossover).
+
+    One row per (replication, rate) cell; runs where no seed finished
+    export an empty elapsed cell rather than ``inf``."""
+    r = result or _default_durability()
+
+    def cell(x: float):
+        return "" if math.isinf(x) else x
+
+    def why(cell_failures: list[dict]) -> str:
+        return "; ".join(
+            f"seed{f['seed']}:{f.get('kind', 'unknown')}@t{f['time']:.1f}"
+            for f in cell_failures
+            if f["time"] is not None
+        )
+
+    header = [
+        "replication",
+        "disk_fails_per_node_hour",
+        "hadoop_s",
+        "mpid_s",
+        "hadoop_survival",
+        "mpid_survival",
+        "repair_bytes_x_input",
+        "blocks_repaired",
+        "blocks_lost",
+        "read_failovers",
+        "mpid_restarts",
+        "mpid_data_lost",
+        "hadoop_failure_why",
+    ]
+    rows: list[list] = []
+    for repl in r.replications:
+        rows.append(
+            [repl, 0.0, r.hadoop_clean[repl], r.mpid_clean, 1.0, 1.0,
+             0.0, 0.0, 0.0, 0.0, 0.0, 0, ""]
+        )
+        for rate in r.rates_per_hour:
+            h = r.hadoop[(repl, rate)]
+            m = r.mpid[(repl, rate)]
+            rows.append(
+                [
+                    repl,
+                    rate,
+                    cell(h.elapsed),
+                    cell(m.elapsed),
+                    h.survival,
+                    m.survival,
+                    h.repair_overhead,
+                    h.blocks_repaired,
+                    h.blocks_lost,
+                    h.read_failovers,
+                    m.restarts,
+                    m.data_lost,
+                    why(h.failures),
+                ]
+            )
+    return header, rows
+
+
+def durability_json(result=None) -> dict:
+    """The full durability sweep with per-cell records and crossovers."""
+    r = result or _default_durability()
+
+    def clean(x: float):
+        return None if math.isinf(x) else x
+
+    return {
+        "experiment": "durability",
+        "input_gb": r.input_gb,
+        "seeds": list(r.seeds),
+        "replications": list(r.replications),
+        "rates_per_hour": list(r.rates_per_hour),
+        "repair_bandwidth_cap": r.repair_bandwidth_cap,
+        "hadoop_clean": {str(k): v for k, v in r.hadoop_clean.items()},
+        "mpid_clean": r.mpid_clean,
+        "crossover_rate_per_node_hour": {
+            str(repl): r.crossover_rate(repl) for repl in r.replications
+        },
+        "cells": {
+            f"{repl}x{rate:g}": {
+                "hadoop": {
+                    "elapsed_s": clean(h.elapsed),
+                    "survival": h.survival,
+                    "repair_bytes_x_input": h.repair_overhead,
+                    "blocks_repaired": h.blocks_repaired,
+                    "blocks_lost": h.blocks_lost,
+                    "read_failovers": h.read_failovers,
+                    "failures": h.failures,
+                },
+                "mpid": {
+                    "elapsed_s": clean(m.elapsed),
+                    "survival": m.survival,
+                    "restarts": m.restarts,
+                    "read_failovers": m.read_failovers,
+                    "data_lost": m.data_lost,
+                },
+            }
+            for repl in r.replications
+            for rate in r.rates_per_hour
+            for h, m in [(r.hadoop[(repl, rate)], r.mpid[(repl, rate)])]
+        },
+    }
+
+
+@lru_cache(maxsize=1)
 def _default_critical_path():
     """One shared small blame sweep (kept small so exports stay quick)."""
     return critical_path_exp.run(sizes_gb=(1.0, 4.0))
@@ -348,6 +471,7 @@ EXPORTS = {
     "fig6_wordcount.csv": fig6_csv,
     "fault_tolerance.csv": fault_tolerance_csv,
     "network_faults.csv": network_faults_csv,
+    "durability.csv": durability_csv,
     "critical_path.csv": critical_path_csv,
 }
 
@@ -355,6 +479,7 @@ JSON_EXPORTS = {
     "fig6_wordcount.json": fig6_json,
     "fault_tolerance.json": fault_tolerance_json,
     "network_faults.json": network_faults_json,
+    "durability.json": durability_json,
     "critical_path.json": critical_path_json,
 }
 

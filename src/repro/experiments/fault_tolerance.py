@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import math
+import re
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -109,6 +110,39 @@ class FaultToleranceResult:
         return None
 
 
+def classify_failure(reason: Optional[str]) -> str:
+    """Compress a ``JobMetrics.failure_reason`` string into a stable kind.
+
+    Storage-loss reasons (``block_lost:<file>:<block>``) pass through
+    verbatim — the lost block *is* the diagnosis.  The free-text reasons
+    the JobTracker writes become compact machine-readable tags, so sweep
+    exports can group DNFs by cause instead of by prose.
+    """
+    if not reason:
+        return "unknown"
+    if reason.startswith("block_lost:"):
+        return reason
+    m = re.match(r"(map|reduce) (\d+) failed (\d+) attempts", reason)
+    if m:
+        return f"{m.group(1)}_attempts:{m.group(3)}"
+    if reason.startswith("master node 0 lost"):
+        return "master_lost"
+    if reason.startswith("all tasktrackers lost"):
+        return "all_trackers_lost"
+    return "other"
+
+
+def _failure_record(seed: int, hm) -> dict:
+    return {
+        "seed": seed,
+        "reason": hm.failure_reason,
+        "kind": classify_failure(hm.failure_reason),
+        "node": hm.failure_node,
+        "task": hm.failure_task,
+        "time": hm.failure_time,
+    }
+
+
 def _spec(gb: int) -> JobSpec:
     return JobSpec(
         name=f"wordcount-{gb}g",
@@ -186,13 +220,7 @@ def run(
                 h_times.append(float("inf"))
                 h_dnf += 1
                 result.hadoop_failures.setdefault(rate, []).append(
-                    {
-                        "seed": seed,
-                        "reason": hm.failure_reason,
-                        "node": hm.failure_node,
-                        "task": hm.failure_task,
-                        "time": hm.failure_time,
-                    }
+                    _failure_record(seed, hm)
                 )
             for key in fault_acc:
                 fault_acc[key] += getattr(hm, key)

@@ -25,6 +25,7 @@ from repro.hadoop.hdfs import HdfsNamespace, HdfsFile, Block
 from repro.hadoop.job import JobSpec, WorkloadProfile, JAVASORT_PROFILE, WORDCOUNT_PROFILE
 from repro.hadoop.metrics import JobMetrics, MapTaskMetrics, ReduceTaskMetrics
 from repro.hadoop.simulation import HadoopSimulation, JobFailedError, run_hadoop_job
+from repro.hadoop.storage import BlockLostError, StorageManager
 
 __all__ = [
     "HadoopConfig",
@@ -40,5 +41,7 @@ __all__ = [
     "ReduceTaskMetrics",
     "HadoopSimulation",
     "JobFailedError",
+    "BlockLostError",
+    "StorageManager",
     "run_hadoop_job",
 ]

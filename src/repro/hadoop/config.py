@@ -70,6 +70,17 @@ class HadoopConfig:
     #: multiple of the average completed-map duration.
     speculative_slowness: float = 1.5
 
+    # -- HDFS repair (storage faults only) ------------------------------------
+    # These knobs only matter when the run's FaultPlan contains storage
+    # specs; without them no StorageManager is built and clean runs stay
+    # bit-for-bit identical.
+    #: ``dfs.balance/replication`` bandwidth cap per repair stream, in
+    #: bytes/s — re-replication competes with the shuffle on the same
+    #: links but is throttled like real HDFS balancer traffic.
+    repair_bandwidth_cap: float = 10 * MiB
+    #: ``dfs.namenode.replication.max-streams``: concurrent repair copies.
+    repair_max_streams: int = 2
+
     # -- fault tolerance -----------------------------------------------------
     #: ``mapred.tasktracker.expiry.interval``: a TaskTracker that has not
     #: heartbeated for this long is declared lost (0.20.2 default: 10 min).
@@ -119,6 +130,14 @@ class HadoopConfig:
         if self.speculative_slowness <= 1.0:
             raise ValueError(
                 f"speculative slowness must exceed 1.0: {self.speculative_slowness}"
+            )
+        if self.repair_bandwidth_cap <= 0:
+            raise ValueError(
+                f"repair bandwidth cap must be positive: {self.repair_bandwidth_cap}"
+            )
+        if self.repair_max_streams < 1:
+            raise ValueError(
+                f"repair max streams must be >= 1: {self.repair_max_streams}"
             )
         if self.tasktracker_expiry_interval <= 0:
             raise ValueError(

@@ -12,7 +12,7 @@ first replica on the writer's node, the rest on distinct random nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -83,6 +83,9 @@ class HdfsNamespace:
         self._files: dict[str, HdfsFile] = {}
         self._next_block_id = 0
         self._rng = make_rng(seed, "hdfs")
+        # Times a write pipeline wanted more targets than live datanodes
+        # could supply and was clamped (warning counter, never raises).
+        self.clamped_placements = 0
         # Round-robin pointer so big files spread evenly (the paper
         # "distribute[s] all input data across all nodes").
         self._rr = 0
@@ -144,17 +147,36 @@ class HdfsNamespace:
     def exists(self, name: str) -> bool:
         return name in self._files
 
-    def pick_replication_targets(self, writer_node: int) -> list[int]:
-        """Datanodes for a new block's 2nd..Nth replicas (pipeline targets)."""
-        others = [n for n in self.datanodes if n != writer_node]
+    def pick_replication_targets(
+        self, writer_node: int, live: Optional[Iterable[int]] = None
+    ) -> list[int]:
+        """Datanodes for a new block's 2nd..Nth replicas (pipeline targets).
+
+        ``live`` restricts the candidate pool to the given datanodes (the
+        simulation passes the currently-alive, non-decommissioning set so
+        a dead node is never chosen); ``live=None`` keeps the static
+        behavior — and draws from the RNG identically, so clean runs are
+        bit-for-bit unchanged.  A replication factor exceeding the pool
+        clamps and bumps :attr:`clamped_placements` instead of
+        mis-placing.
+        """
+        if live is None:
+            pool = self.datanodes
+        else:
+            allowed = set(live)
+            pool = [n for n in self.datanodes if n in allowed]
+        others = [n for n in pool if n != writer_node]
         k = self.replication - 1
-        if k <= 0 or not others:
+        if k <= 0:
             return []
+        if not others:
+            self.clamped_placements += 1
+            return []
+        if k > len(others):
+            self.clamped_placements += 1
+            k = len(others)
         return list(
-            map(
-                int,
-                self._rng.choice(others, size=min(k, len(others)), replace=False),
-            )
+            map(int, self._rng.choice(others, size=k, replace=False))
         )
 
     def locality_fraction(self, name: str, assignment: dict[int, int]) -> float:

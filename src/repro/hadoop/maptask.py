@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.hadoop.jobtracker import MapAttempt
+from repro.hadoop.storage import BlockLostError
 from repro.simnet.kernel import Interrupt
 from repro.simnet.network import FlowFailed
 from repro.util.rng import make_rng
@@ -47,6 +48,109 @@ def _await_live_replica(env: "HadoopSimulation", block) -> Optional[int]:
         if sim.now >= deadline:
             return None
         yield sim.timeout(env.config.completion_poll_interval)
+
+
+def _read_block_with_failover(
+    env: "HadoopSimulation", attempt: MapAttempt, tracker: "TaskTracker",
+    sid: int, read_sid: int
+):
+    """Storage-aware input read: verify checksums, fail over across
+    replicas (locality-ordered), raise :class:`BlockLostError` only when
+    every replica is gone.
+
+    Returns True once good bytes landed; False when the attempt failed
+    (already reported to the JobTracker).  Only runs when the fault plan
+    has storage specs — the static path below stays byte-identical
+    otherwise.
+    """
+    sim = env.sim
+    storage = env.storage
+    assert storage is not None
+    task = attempt.task
+    block = task.block
+    bid = block.block_id
+    tr = sim.obs.tracer
+    node = env.cluster.node(attempt.node)
+    deadline = None
+    while True:
+        candidates = [
+            n
+            for n in storage.read_candidates(block, attempt.node)
+            if not env.is_node_dead(n)
+        ]
+        if not candidates:
+            if storage.block_lost(bid):
+                raise BlockLostError(*storage.block_name(bid))
+            # Replicas exist but their holders are down: wait for one to
+            # come back (or a repair to land elsewhere); give up after
+            # an expiry interval, like _await_live_replica.
+            if deadline is None:
+                deadline = sim.now + env.config.tasktracker_expiry_interval
+            if sim.now >= deadline:
+                env.jobtracker.map_attempt_failed(attempt, sim.now)
+                tracker.map_failed(attempt)
+                tr.abort(sid, outcome="failed:no-replica")
+                return False
+            yield sim.timeout(env.config.completion_poll_interval)
+            continue
+        deadline = None
+        for src_id in candidates:
+            epoch = storage.read_epoch(src_id)
+            node_ep = env.node_epoch(src_id)
+            if src_id == attempt.node:
+                yield node.disk_read(block.size)
+            else:
+                src = env.cluster.node(src_id)
+                nio = env.nio.wire_costs(block.size)
+                if env.net_faults:
+                    rng = make_rng(
+                        env.seed, "map-read-retry", task.task_id,
+                        task.failed_attempts,
+                    )
+                    wire = env.spawn_on_node(
+                        attempt.node,
+                        env.reliable_send(
+                            src.node_id,
+                            attempt.node,
+                            nio.wire_bytes,
+                            extra_latency=nio.setup_time,
+                            rate_cap=nio.rate_cap,
+                            rng=rng,
+                            label=f"hdfs-m{task.task_id}",
+                            waiter_sid=read_sid,
+                        ),
+                        name=f"read-m{task.task_id}",
+                    )
+                else:
+                    wire = env.cluster.send(
+                        src.node_id,
+                        attempt.node,
+                        nio.wire_bytes,
+                        extra_latency=nio.setup_time,
+                        rate_cap=nio.rate_cap,
+                        waiter_sid=read_sid,
+                    )
+                try:
+                    yield sim.all_of([src.disk_read(block.size), wire])
+                except FlowFailed:
+                    env.jobtracker.map_attempt_failed(attempt, sim.now)
+                    tracker.map_failed(attempt)
+                    tr.abort(sid, outcome="failed:read-lost")
+                    return False
+            # Checksum verification: did the replica survive the read?
+            if storage.is_corrupt(bid, src_id):
+                storage.note_failover("corrupt", bid, src_id)
+                storage.report_corruption(bid, src_id, sim.now)
+                continue
+            if (
+                storage.read_ok(bid, src_id, epoch)
+                and env.node_epoch(src_id) == node_ep
+                and not env.is_node_dead(src_id)
+            ):
+                return True
+            storage.note_failover("replica-gone", bid, src_id)
+        # Every candidate of this round went bad mid-read: recompute —
+        # repair may have landed a fresh copy meanwhile.
 
 
 def map_task_process(
@@ -74,7 +178,13 @@ def map_task_process(
 
         # --- input ----------------------------------------------------------
         read_sid = tr.begin("hadoop.map", "read", parent=sid)
-        if task.block.is_local_to(attempt.node):
+        if env.storage is not None:
+            ok = yield from _read_block_with_failover(
+                env, attempt, tracker, sid, read_sid
+            )
+            if not ok:
+                return
+        elif task.block.is_local_to(attempt.node):
             yield node.disk_read(task.block.size)
         else:
             src_id = task.block.replicas[0]
@@ -170,6 +280,16 @@ def map_task_process(
         tr.end(sid, outcome="done", won=won)
         if sid:
             sim.obs.metrics.counter("hadoop.maps_finished").add()
+    except BlockLostError as lost:
+        # Every replica of the input block is gone: no amount of task
+        # re-execution brings the data back — the job is dead.
+        env.jobtracker.fail_job(
+            lost.reason, node=attempt.node, task_id=task.task_id, at=sim.now
+        )
+        env.jobtracker.map_attempt_failed(attempt, sim.now)
+        tracker.map_failed(attempt)
+        tr.abort(sid, outcome="failed:block-lost")
+        return
     except Interrupt:
         tr.abort(sid, outcome="interrupted")
         return  # this node crashed; recovery is the JobTracker's problem

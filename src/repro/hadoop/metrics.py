@@ -92,6 +92,18 @@ class JobMetrics:
     #: Simulated seconds of task work thrown away by failures (killed
     #: attempts plus re-executed completed maps) — the "wasted work" axis.
     wasted_task_seconds: float = 0.0
+    #: Storage-fault accounting (all zero without storage specs): disk
+    #: deaths, NameNode re-replication work, reader failovers, and blocks
+    #: that ran out of replicas entirely.
+    disk_failures: int = 0
+    blocks_repaired: int = 0
+    repair_bytes: float = 0.0
+    blocks_lost: int = 0
+    read_failovers: int = 0
+    corrupt_replicas_dropped: int = 0
+    #: Write pipelines that wanted more replication targets than live
+    #: datanodes could supply (clamped, not mis-placed).
+    replication_clamped: int = 0
     job_failed: bool = False
     failure_reason: Optional[str] = None
     # Structured failure record: the node/task/time behind failure_reason.
@@ -168,6 +180,13 @@ class JobMetrics:
             "fetch_retries": self.fetch_retries,
             "maps_reexecuted_for_fetch": self.maps_reexecuted_for_fetch,
             "wasted_task_seconds": self.wasted_task_seconds,
+            "disk_failures": self.disk_failures,
+            "blocks_repaired": self.blocks_repaired,
+            "repair_bytes": self.repair_bytes,
+            "blocks_lost": self.blocks_lost,
+            "read_failovers": self.read_failovers,
+            "corrupt_replicas_dropped": self.corrupt_replicas_dropped,
+            "replication_clamped": self.replication_clamped,
             "job_failed": self.job_failed,
             "failure_reason": self.failure_reason,
             "failure_node": self.failure_node,

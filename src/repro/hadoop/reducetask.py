@@ -181,9 +181,15 @@ def reduce_task_process(
         output = env.spec.profile.reduce_output_bytes(state.shuffled_bytes)
         waits = [node.disk_write(output)]
         if output > 0:
-            targets = env.hdfs.pick_replication_targets(task.node)
-            if env.injector is not None:
-                targets = [t for t in targets if not env.is_node_dead(t)]
+            # Under fault injection the pipeline is planned against the
+            # currently-live pool (clamping when it is short) rather than
+            # drawn from the static map and filtered after the fact —
+            # filtering post-draw silently under-replicated whenever a
+            # chosen target happened to be dead.
+            targets = env.hdfs.pick_replication_targets(
+                task.node,
+                live=env.live_datanodes() if env.injector is not None else None,
+            )
             for t in targets:
                 t_node = env.cluster.node(t)
                 nio = env.nio.wire_costs(int(output))

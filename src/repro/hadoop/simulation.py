@@ -28,6 +28,7 @@ from repro.hadoop.jobtracker import JobTracker, MapAttempt, ReduceTaskInfo
 from repro.hadoop.maptask import map_task_process
 from repro.hadoop.metrics import JobMetrics
 from repro.hadoop.reducetask import reduce_task_process
+from repro.hadoop.storage import StorageManager
 from repro.hadoop.tasktracker import TaskTracker
 from repro.obs import Observer
 from repro.simnet.cluster import Cluster, ClusterSpec
@@ -108,7 +109,20 @@ class HadoopSimulation:
         #: False keeps every transfer on the original (infallible) path,
         #: so crash-only and clean runs stay bit-for-bit unchanged.
         self.net_faults = False
+        #: Replica liveness + repair; built only when the plan carries
+        #: storage specs, so crash/network-only runs never touch it.
+        self.storage: Optional[StorageManager] = None
         if self.fault_plan:  # an empty plan is falsy: nothing to inject
+            if self.fault_plan.has_storage_faults():
+                self.storage = StorageManager(
+                    self.sim,
+                    self.cluster,
+                    self.hdfs,
+                    seed=self.seed,
+                    repair_bandwidth_cap=self.config.repair_bandwidth_cap,
+                    repair_max_streams=self.config.repair_max_streams,
+                    is_node_dead=self.is_node_dead,
+                )
             self.injector = FaultInjector(
                 self.sim,
                 self.cluster,
@@ -117,6 +131,7 @@ class HadoopSimulation:
                 default_nodes=tuple(
                     self.worker_node_id(w) for w in range(self.num_workers)
                 ),
+                storage=self.storage,
             )
             self.net_faults = self.fault_plan.has_network_faults()
         #: Backoff schedule shared by the shuffle's fetch retries; DFS
@@ -154,6 +169,14 @@ class HadoopSimulation:
     # -- fault-injection plumbing -------------------------------------------------
     def is_node_dead(self, node_id: int) -> bool:
         return node_id in self.dead_nodes
+
+    def live_datanodes(self) -> list[int]:
+        """Datanodes currently usable as write-pipeline targets: alive
+        and not draining toward decommission."""
+        out = [n for n in self.hdfs.datanodes if n not in self.dead_nodes]
+        if self.storage is not None:
+            out = [n for n in out if not self.storage.is_decommissioning(n)]
+        return out
 
     def node_epoch(self, node_id: int) -> int:
         """Incarnation counter: bumped on every crash, so a transfer can
@@ -250,6 +273,8 @@ class HadoopSimulation:
         attributes to the previous incarnation)."""
         self.dead_nodes.discard(node_id)
         jt = self.jobtracker
+        if self.storage is not None and node_id != 0:
+            self.storage.datanode_rejoined(node_id, now)
         if node_id == 0 or jt.job_done or jt.job_failed:
             return
         tracker = TaskTracker(self, self.node_worker_index(node_id))
@@ -277,6 +302,11 @@ class HadoopSimulation:
                 yield sim.timeout(interval / 3.0)
                 for node in jt.find_expired(sim.now, interval):
                     jt.lost_tasktracker(node, sim.now)
+                    if self.storage is not None:
+                        # The DataNode stopped heartbeating with the
+                        # TaskTracker: its replicas go stale and the
+                        # NameNode starts re-replicating them.
+                        self.storage.datanode_lost(node, sim.now)
         except Interrupt:
             return
 
@@ -304,6 +334,8 @@ class HadoopSimulation:
             if self.injector is not None:
                 self.injector.start()
                 expiry_proc = sim.process(self._expiry_loop(), name="expiry-sweep")
+                if self.storage is not None:
+                    self.storage.start_repair()
             yield sim.timeout(self.config.job_setup_time)
             self.metrics.submitted_at = 0.0
             trackers = [TaskTracker(self, w) for w in range(self.num_workers)]
@@ -335,6 +367,8 @@ class HadoopSimulation:
                         )
             self.metrics.finished_at = sim.now
             self.injector.stop()
+            if self.storage is not None:
+                self.storage.stop_repair()
             if expiry_proc is not None and expiry_proc.is_alive:
                 expiry_proc.interrupt("job over")
 
@@ -372,6 +406,14 @@ class HadoopSimulation:
         m.failure_node = jt.failure_node
         m.failure_task = jt.failure_task
         m.failure_time = jt.failure_time
+        m.replication_clamped = self.hdfs.clamped_placements
+        if self.storage is not None:
+            m.disk_failures = self.storage.disk_failures
+            m.blocks_repaired = self.storage.blocks_repaired
+            m.repair_bytes = self.storage.repair_bytes
+            m.blocks_lost = self.storage.blocks_lost
+            m.read_failovers = self.storage.read_failovers
+            m.corrupt_replicas_dropped = self.storage.corrupt_replicas_dropped
 
 
 def run_hadoop_job(

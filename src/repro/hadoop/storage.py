@@ -1,0 +1,503 @@
+"""Living HDFS: replica liveness, re-replication, and block loss.
+
+:class:`~repro.hadoop.hdfs.HdfsNamespace` is a static placement map; it
+says where replicas were *written*.  This module overlays liveness on
+top of it: which replicas still exist right now, which are latently
+corrupt, which nodes are decommissioning — and a NameNode-style repair
+pipeline that copies under-replicated blocks over real simnet links so
+repair traffic competes with the shuffle.
+
+The manager is built only when the fault plan carries storage specs
+(:data:`~repro.simnet.faults.STORAGE_FAULT_SPECS`); runs without them
+never touch this code, preserving the bit-for-bit clean-run contract.
+
+Liveness vocabulary (mirrors HDFS):
+
+* **live** — the replica is on a healthy, reachable datanode.
+* **stale** — the holder stopped heartbeating (crashed); the bytes are
+  still on its disk and come back if the node rejoins, but readers
+  cannot reach them meanwhile.
+* **corrupt** — the bytes are damaged; nobody knows until a reader's
+  checksum verification fails, which drops the replica and queues a
+  repair (the HDFS client report protocol).
+* **lost** — no live *and* no stale holders remain: :class:`BlockLostError`.
+
+Repair is a prioritized queue (blocks at replication 1 before
+replication 2) drained by ``repair_max_streams`` worker processes, each
+copy throttled to ``repair_bandwidth_cap`` — the
+``dfs.namenode.replication.max-streams`` / bandwidth-cap pair of real
+HDFS.
+"""
+
+from __future__ import annotations
+
+import heapq
+from math import inf
+from typing import Callable, Optional
+
+from repro.hadoop.hdfs import Block, HdfsNamespace
+from repro.simnet.cluster import Cluster
+from repro.simnet.kernel import Event, Interrupt, Process, Simulator
+from repro.simnet.network import FlowFailed
+from repro.util.rng import make_rng
+
+
+class BlockLostError(RuntimeError):
+    """Every replica of a block is gone — the input is unrecoverable."""
+
+    def __init__(self, file_name: str, block_id: int):
+        self.file_name = file_name
+        self.block_id = block_id
+        self.reason = f"block_lost:{file_name}:{block_id}"
+        super().__init__(self.reason)
+
+
+class StorageManager:
+    """Replica liveness + repair over one namespace on one cluster.
+
+    ``repair=False`` (the MPI-D mode) keeps the liveness bookkeeping but
+    never re-replicates — MPI has no NameNode healing its input.
+    ``is_node_dead`` lets the host veto repair sources/targets that are
+    currently crashed (distinct from disk-failed).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        hdfs: HdfsNamespace,
+        *,
+        seed: int,
+        repair: bool = True,
+        repair_bandwidth_cap: float = inf,
+        repair_max_streams: int = 2,
+        repair_retry_backoff: float = 1.0,
+        is_node_dead: Optional[Callable[[int], bool]] = None,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.hdfs = hdfs
+        self.repair_enabled = repair
+        self.repair_bandwidth_cap = repair_bandwidth_cap
+        self.repair_max_streams = repair_max_streams
+        self.repair_retry_backoff = repair_retry_backoff
+        self._is_dead = is_node_dead or (lambda n: False)
+        self._rng = make_rng(seed, "hdfs-repair")
+
+        # block_id -> {node}: replicas readable right now.
+        self._live: dict[int, set[int]] = {}
+        # node -> {block_id}: inverse of _live.
+        self._on_node: dict[int, set[int]] = {}
+        # node -> {block_id} on a non-heartbeating node's intact disk.
+        self._stale: dict[int, set[int]] = {}
+        self._stale_blocks: dict[int, set[int]] = {}
+        # Latent damage: (block_id, node) pairs awaiting discovery.
+        self._corrupt: set[tuple[int, int]] = set()
+        # Permanently destroyed pairs (disk failures, dropped corruption)
+        # — the damage record MPI-D restarts carry across attempts.
+        self._destroyed: set[tuple[int, int]] = set()
+        # Disk incarnation per node: bumped on DiskFailure so a reader
+        # mid-transfer can tell its source's bytes just evaporated.
+        self._disk_epoch: dict[int, int] = {}
+        self._decommissioning: set[int] = set()
+        self._decommissioned: set[int] = set()
+        self._block_info: dict[int, tuple[str, Block]] = {}
+        self._lost: set[int] = set()
+
+        # Repair queue: (live-replica-count, seq, block_id) min-heap with
+        # lazy invalidation — only the newest seq per block is honored.
+        self._heap: list[tuple[int, int, int]] = []
+        self._queue_token: dict[int, int] = {}
+        self._seq = 0
+        self._work_event: Optional[Event] = None
+        self._workers: list[Process] = []
+
+        self.blocks_repaired = 0
+        self.repair_bytes = 0.0
+        self.repair_flows_failed = 0
+        self.blocks_lost = 0
+        self.read_failovers = 0
+        self.corrupt_replicas_dropped = 0
+        self.disk_failures = 0
+        self.excess_replicas_dropped = 0
+
+        for f in hdfs._files.values():
+            self.register_file(f.name)
+
+    # -- registration ---------------------------------------------------------
+    def register_file(self, name: str) -> None:
+        """Track liveness for every block of an existing namespace file."""
+        f = self.hdfs.lookup(name)
+        for block in f.blocks:
+            self._block_info[block.block_id] = (name, block)
+            self._live[block.block_id] = set(block.replicas)
+            for node in block.replicas:
+                self._on_node.setdefault(node, set()).add(block.block_id)
+
+    def apply_damage(
+        self, damage: tuple[frozenset[tuple[int, int]], frozenset[tuple[int, int]]]
+    ) -> None:
+        """Replay a prior attempt's damage record (MPI-D restarts: a lost
+        disk stays lost; latent corruption stays latent)."""
+        destroyed, corrupt = damage
+        for bid, node in sorted(destroyed):
+            if node in self._live.get(bid, ()):
+                self._drop_live(bid, node)
+            self._destroyed.add((bid, node))
+            self._note_if_lost(bid, 0.0)
+        self._corrupt.update(corrupt)
+
+    def damage(
+        self,
+    ) -> tuple[frozenset[tuple[int, int]], frozenset[tuple[int, int]]]:
+        return frozenset(self._destroyed), frozenset(self._corrupt)
+
+    def any_block_lost(self) -> bool:
+        return bool(self._lost)
+
+    # -- queries --------------------------------------------------------------
+    def block_name(self, block_id: int) -> tuple[str, int]:
+        return self._block_info[block_id][0], block_id
+
+    def is_decommissioning(self, node: int) -> bool:
+        return node in self._decommissioning
+
+    def read_candidates(self, block: Block, reader: int) -> list[int]:
+        """Live replica holders, locality-ordered: the reader's own copy
+        first, then the stored placement order, then repair copies.
+
+        On an undamaged block this reproduces the static read path
+        exactly (local if local, else ``replicas[0]``) — no RNG, no new
+        events.
+        """
+        live = self._live.get(block.block_id, set())
+        ordered = [n for n in block.replicas if n in live]
+        ordered += sorted(n for n in live if n not in block.replicas)
+        if reader in live:
+            ordered.remove(reader)
+            ordered.insert(0, reader)
+        return ordered
+
+    def block_lost(self, block_id: int) -> bool:
+        """No live and no stale holder anywhere — unrecoverable."""
+        return not self._live.get(block_id) and not self._stale_blocks.get(
+            block_id
+        )
+
+    def read_epoch(self, node: int) -> int:
+        return self._disk_epoch.get(node, 0)
+
+    def read_ok(self, block_id: int, node: int, epoch: int) -> bool:
+        """Did a read started at disk-incarnation ``epoch`` return good
+        bytes?  (Checksum verification, in effect.)"""
+        return (
+            node in self._live.get(block_id, ())
+            and self._disk_epoch.get(node, 0) == epoch
+            and (block_id, node) not in self._corrupt
+        )
+
+    def is_corrupt(self, block_id: int, node: int) -> bool:
+        return (block_id, node) in self._corrupt
+
+    # -- observation ----------------------------------------------------------
+    def _obs_instant(self, category: str, name: str, track: str) -> None:
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.tracer.instant(category, name, track=track)
+            obs.metrics.counter(category).add()
+
+    def note_failover(self, reason: str, block_id: int, node: int) -> None:
+        """A reader skipped a dead/corrupt replica and tried the next."""
+        self.read_failovers += 1
+        self._obs_instant(
+            "hdfs.read.failover",
+            f"blk{block_id} n{node} {reason}",
+            track="hdfs:failover",
+        )
+
+    def _note_if_lost(self, block_id: int, now: float) -> None:
+        if block_id in self._lost or not self.block_lost(block_id):
+            return
+        self._lost.add(block_id)
+        self.blocks_lost += 1
+        name, _ = self._block_info[block_id]
+        self._obs_instant(
+            "hdfs.block.lost", f"{name} blk{block_id}", track="hdfs:namenode"
+        )
+
+    # -- fault entry points (StorageFaultHost) --------------------------------
+    def disk_failed(self, node: int, now: float) -> None:
+        """The node's disk died: every replica on it is destroyed."""
+        self.disk_failures += 1
+        self._disk_epoch[node] = self._disk_epoch.get(node, 0) + 1
+        for bid in sorted(self._on_node.pop(node, set())):
+            self._live[bid].discard(node)
+            self._corrupt.discard((bid, node))
+            self._destroyed.add((bid, node))
+            self._enqueue_repair(bid)
+            self._note_if_lost(bid, now)
+        for bid in sorted(self._stale.pop(node, set())):
+            self._stale_blocks[bid].discard(node)
+            self._destroyed.add((bid, node))
+            self._note_if_lost(bid, now)
+        self._kick()
+
+    def corrupt_replica(self, node: int, now: float, rng) -> bool:
+        """Silently damage one replica on ``node``; False when it holds
+        nothing (the injector absorbs the event)."""
+        blocks = self._on_node.get(node)
+        if not blocks:
+            return False
+        ordered = sorted(blocks)
+        bid = ordered[int(rng.integers(len(ordered)))]
+        self._corrupt.add((bid, node))
+        return True
+
+    def decommission(self, node: int, now: float) -> None:
+        """Graceful drain: out of the placement pool now, replicas
+        readable until copied elsewhere."""
+        if node in self._decommissioning or node in self._decommissioned:
+            return
+        self._decommissioning.add(node)
+        for bid in sorted(self._on_node.get(node, set())):
+            if self._healthy_count(bid) >= self._target(bid):
+                self._drop_decom_replicas(bid)
+            else:
+                self._enqueue_repair(bid)
+        self._maybe_drained(node)
+        self._kick()
+
+    def report_corruption(self, block_id: int, node: int, now: float) -> None:
+        """A reader's checksum failed: drop the replica, queue a repair."""
+        self._corrupt.discard((block_id, node))
+        if node in self._live.get(block_id, ()):
+            self._drop_live(block_id, node)
+            self._destroyed.add((block_id, node))
+            self.corrupt_replicas_dropped += 1
+            self._obs_instant(
+                "hdfs.replica.corrupt",
+                f"blk{block_id} n{node}",
+                track="hdfs:namenode",
+            )
+            self._enqueue_repair(block_id)
+            self._note_if_lost(block_id, now)
+
+    # -- heartbeat-driven liveness --------------------------------------------
+    def datanode_lost(self, node: int, now: float) -> None:
+        """Heartbeat expiry: the node's replicas go stale and the
+        NameNode starts re-replicating them."""
+        blocks = self._on_node.pop(node, set())
+        if not blocks:
+            return
+        self._stale[node] = set(blocks)
+        for bid in sorted(blocks):
+            self._live[bid].discard(node)
+            self._stale_blocks.setdefault(bid, set()).add(node)
+            self._enqueue_repair(bid)
+        self._kick()
+
+    def datanode_rejoined(self, node: int, now: float) -> None:
+        """A stale node came back: its intact replicas re-register;
+        copies made redundant by repair in the meantime are deleted."""
+        returned = self._stale.pop(node, set())
+        for bid in sorted(returned):
+            self._stale_blocks[bid].discard(node)
+            live = self._live.setdefault(bid, set())
+            if len(live) >= self._target(bid):
+                self.excess_replicas_dropped += 1
+                self._corrupt.discard((bid, node))
+                continue
+            live.add(node)
+            self._on_node.setdefault(node, set()).add(bid)
+        if returned:
+            self._kick()
+
+    # -- repair pipeline ------------------------------------------------------
+    def start_repair(self) -> None:
+        """Spawn the NameNode's replication streams (idempotent)."""
+        if not self.repair_enabled or self._workers:
+            return
+        for i in range(self.repair_max_streams):
+            self._workers.append(
+                self.sim.process(self._repair_worker(i), name=f"hdfs-repair-{i}")
+            )
+
+    def stop_repair(self) -> None:
+        for proc in self._workers:
+            if proc.is_alive:
+                proc.interrupt("job over")
+
+    def _placement_pool(self) -> list[int]:
+        return [
+            n
+            for n in self.hdfs.datanodes
+            if not self._is_dead(n)
+            and n not in self._decommissioning
+            and n not in self._decommissioned
+        ]
+
+    def _target(self, block_id: int) -> int:
+        return min(self.hdfs.replication, max(1, len(self._placement_pool())))
+
+    def _healthy_count(self, block_id: int) -> int:
+        """Replicas on live, non-decommissioning nodes (what counts
+        toward the replication target)."""
+        return sum(
+            1
+            for n in self._live.get(block_id, ())
+            if n not in self._decommissioning and not self._is_dead(n)
+        )
+
+    def _needs_repair(self, block_id: int) -> bool:
+        return (
+            block_id not in self._lost
+            and bool(self._live.get(block_id))
+            and self._healthy_count(block_id) < self._target(block_id)
+        )
+
+    def _enqueue_repair(self, block_id: int) -> None:
+        if not self.repair_enabled or block_id in self._lost:
+            return
+        self._seq += 1
+        self._queue_token[block_id] = self._seq
+        heapq.heappush(
+            self._heap, (self._healthy_count(block_id), self._seq, block_id)
+        )
+
+    def _kick(self) -> None:
+        ev = self._work_event
+        if ev is not None and not ev.triggered:
+            ev.succeed()
+
+    def _pop_repair(self) -> Optional[int]:
+        while self._heap:
+            _, seq, bid = heapq.heappop(self._heap)
+            if self._queue_token.get(bid) != seq:
+                continue  # superseded entry
+            del self._queue_token[bid]
+            if self._needs_repair(bid):
+                return bid
+        return None
+
+    def _repair_worker(self, stream: int):
+        sim = self.sim
+        try:
+            while True:
+                bid = self._pop_repair()
+                if bid is None:
+                    ev = self._work_event
+                    if ev is None or ev.triggered:
+                        ev = self._work_event = sim.event()
+                    yield ev
+                    continue
+                ok = yield from self._repair_one(bid, stream)
+                if not ok:
+                    # Source vanished mid-copy or no source/target right
+                    # now: back off instead of spinning at t+0.
+                    yield sim.timeout(self.repair_retry_backoff)
+        except Interrupt:
+            return
+
+    def _repair_one(self, bid: int, stream: int = 0):
+        """Copy one replica of ``bid`` to a new node over real links.
+
+        Returns True when a replica landed (or the block no longer needs
+        repair); False asks the worker to back off before retrying.
+        ``stream`` picks the trace lane: concurrent streams must not
+        share a track, or the tracer nests their overlapping spans and an
+        abort on one closes the other.
+        """
+        sim = self.sim
+        name, block = self._block_info[bid]
+        # Deterministic source: stored placement order first (the oldest
+        # surviving replica), repair copies after; decommissioning nodes
+        # are readable and may serve as sources.
+        candidates = self.read_candidates(block, reader=-1)
+        sources = [n for n in candidates if not self._is_dead(n)]
+        pool = self._placement_pool()
+        live = self._live.get(bid, set())
+        targets = sorted(
+            n for n in pool if n not in live and bid not in self._stale.get(n, ())
+        )
+        if not sources or not targets:
+            self._enqueue_repair(bid)
+            return False
+        src = sources[0]
+        dst = int(targets[int(self._rng.integers(len(targets)))])
+        epoch = self.read_epoch(src)
+        obs = sim.obs
+        sid = 0
+        if obs.enabled:
+            sid = obs.tracer.begin(
+                "hdfs.repair",
+                f"blk{bid} n{src}->n{dst}",
+                track=f"hdfs:repair:{stream}",
+                block=bid,
+                file=name,
+                src=src,
+                dst=dst,
+                nbytes=block.size,
+            )
+        try:
+            wire = self.cluster.send(
+                src,
+                dst,
+                block.size,
+                rate_cap=self.repair_bandwidth_cap,
+                waiter_sid=sid,
+            )
+            yield sim.all_of(
+                [self.cluster.node(src).disk_read(block.size), wire]
+            )
+        except FlowFailed:
+            self.repair_flows_failed += 1
+            if sid:
+                obs.tracer.abort(sid, outcome="flow-lost")
+            self._enqueue_repair(bid)
+            return False
+        if not self.read_ok(bid, src, epoch) or self._is_dead(dst):
+            # The source evaporated mid-copy (or the target died): the
+            # bytes that landed are garbage.
+            if sid:
+                obs.tracer.abort(sid, outcome="source-lost")
+            self._enqueue_repair(bid)
+            return False
+        yield self.cluster.node(dst).disk_write(block.size)
+        self._add_replica(bid, dst)
+        self.blocks_repaired += 1
+        self.repair_bytes += block.size
+        if obs.enabled:
+            obs.tracer.end(sid)
+            obs.metrics.counter("hdfs.repair.blocks").add()
+            obs.metrics.counter("hdfs.repair.bytes").add(block.size)
+        if self._healthy_count(bid) >= self._target(bid):
+            self._drop_decom_replicas(bid)
+        if self._needs_repair(bid):
+            self._enqueue_repair(bid)
+        return True
+
+    # -- replica bookkeeping --------------------------------------------------
+    def _add_replica(self, bid: int, node: int) -> None:
+        self._live.setdefault(bid, set()).add(node)
+        self._on_node.setdefault(node, set()).add(bid)
+
+    def _drop_live(self, bid: int, node: int) -> None:
+        self._live.get(bid, set()).discard(node)
+        self._on_node.get(node, set()).discard(bid)
+        self._corrupt.discard((bid, node))
+
+    def _drop_decom_replicas(self, bid: int) -> None:
+        """The block is safe elsewhere: delete its copies on draining
+        nodes (the decommission drain step)."""
+        for node in sorted(self._live.get(bid, set())):
+            if node in self._decommissioning:
+                self._drop_live(bid, node)
+                self._maybe_drained(node)
+
+    def _maybe_drained(self, node: int) -> None:
+        if node in self._decommissioning and not self._on_node.get(node):
+            self._decommissioning.discard(node)
+            self._decommissioned.add(node)
+            self._obs_instant(
+                "hdfs.decommissioned", f"node{node} drained", track="hdfs:namenode"
+            )

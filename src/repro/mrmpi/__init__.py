@@ -20,6 +20,7 @@ from repro.mrmpi.simulator import (
     run_mpid_job,
     run_mpid_job_under_faults,
     run_mpid_job_under_net_faults,
+    run_mpid_job_under_storage_faults,
 )
 
 __all__ = [
@@ -32,4 +33,5 @@ __all__ = [
     "run_mpid_job",
     "run_mpid_job_under_faults",
     "run_mpid_job_under_net_faults",
+    "run_mpid_job_under_storage_faults",
 ]

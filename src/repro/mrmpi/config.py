@@ -49,6 +49,18 @@ class MrMpiConfig:
     #: (no HDFS replication pipeline).
     output_replication: int = 1
 
+    # -- input storage (storage-fault runs only) ------------------------------
+    #: Replication of the pre-distributed input.  The paper's MPI-D reads
+    #: its split from the local FS (replication 1, the default); the
+    #: durability experiment sweeps this against Hadoop's
+    #: ``dfs.replication`` — extra replicas live on other workers and are
+    #: read remotely after a failover.  Only consulted when the fault
+    #: plan carries storage specs.
+    input_replication: int = 1
+    #: Block size of the input layout under storage faults (the loss
+    #: granularity a disk failure destroys).
+    input_block_size: int = 64 * MiB
+
     # -- failure semantics (Section V discussion) -----------------------------
     #: MPI has no task-level recovery: any rank failure aborts the whole
     #: job, which is then resubmitted.  ``restart_overhead`` is the
@@ -85,6 +97,14 @@ class MrMpiConfig:
         if self.output_replication < 1:
             raise ValueError(
                 f"output replication must be >= 1: {self.output_replication}"
+            )
+        if self.input_replication < 1:
+            raise ValueError(
+                f"input replication must be >= 1: {self.input_replication}"
+            )
+        if self.input_block_size < 1 * MiB:
+            raise ValueError(
+                f"input block size too small: {self.input_block_size}"
             )
         if not 0 < self.compression_ratio <= 1.0:
             raise ValueError(

@@ -20,14 +20,22 @@ output locally.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.hadoop.hdfs import HdfsFile, HdfsNamespace
 from repro.hadoop.job import JobSpec
+from repro.hadoop.storage import StorageManager
 from repro.mrmpi.config import MrMpiConfig
 from repro.obs import Observer
 from repro.simnet.cluster import Cluster, ClusterSpec
-from repro.simnet.faults import NETWORK_FAULT_SPECS, FaultInjector, FaultPlan
+from repro.simnet.faults import (
+    NETWORK_FAULT_SPECS,
+    STORAGE_FAULT_SPECS,
+    FaultInjector,
+    FaultPlan,
+)
 from repro.simnet.kernel import Event, Simulator
 from repro.simnet.network import FlowFailed
 from repro.transports.mpich import MpichTransport
@@ -177,13 +185,17 @@ class MrMpiSimulation:
     spec: JobSpec
     config: MrMpiConfig = field(default_factory=MrMpiConfig)
     cluster_spec: ClusterSpec = field(default_factory=ClusterSpec)
-    #: Network-fault plan (LinkFlap/NetworkPartition/FlowLossRate only —
-    #: node crashes are modeled analytically by
-    #: :func:`run_mpid_job_under_faults`, because a crash kills the whole
-    #: MPI job and a clean rerun is deterministic anyway).
+    #: Network/storage-fault plan (node crashes are modeled analytically
+    #: by :func:`run_mpid_job_under_faults`, because a crash kills the
+    #: whole MPI job and a clean rerun is deterministic anyway).
     fault_plan: Optional[FaultPlan] = None
-    #: Seed for the reliable-transport retransmission jitter streams.
+    #: Seed for the reliable-transport retransmission jitter streams and
+    #: the input replica placement under storage faults.
     seed: int = 2011
+    #: Storage damage carried over from a previous attempt (a destroyed
+    #: replica does not come back on resubmission) — the record returned
+    #: by ``StorageManager.damage()``.
+    prior_damage: Optional[tuple] = None
     #: Observability: True attaches an :class:`~repro.obs.Observer`; off by
     #: default so an untraced run matches the uninstrumented code exactly.
     observe: bool = False
@@ -228,18 +240,56 @@ class MrMpiSimulation:
         self.job_sid = 0
         self.injector: Optional[FaultInjector] = None
         self.net_faults = False
+        #: Input replica liveness under storage faults (no repair: MPI
+        #: has no NameNode healing its input); None otherwise.
+        self.hdfs: Optional[HdfsNamespace] = None
+        self.storage: Optional[StorageManager] = None
+        self._mapper_files: dict[int, HdfsFile] = {}
         if self.fault_plan:
             for fspec in self.fault_plan.specs:
-                if not isinstance(fspec, NETWORK_FAULT_SPECS):
+                if not isinstance(
+                    fspec, NETWORK_FAULT_SPECS + STORAGE_FAULT_SPECS
+                ):
                     raise ValueError(
-                        f"MrMpiSimulation only injects network faults; "
-                        f"{type(fspec).__name__} is covered by the analytic "
-                        f"restart model (run_mpid_job_under_faults)"
+                        f"MrMpiSimulation only injects network and storage "
+                        f"faults; {type(fspec).__name__} is covered by the "
+                        f"analytic restart model (run_mpid_job_under_faults)"
                     )
+            workers = tuple(range(1, self.cluster_spec.num_nodes))
+            if self.fault_plan.has_storage_faults():
+                self._build_storage(workers)
             self.injector = FaultInjector(
-                self.sim, self.cluster, self.fault_plan, host=_NetworkOnlyHost()
+                self.sim,
+                self.cluster,
+                self.fault_plan,
+                host=_NetworkOnlyHost(),
+                storage=self.storage,
+                default_storage_nodes=workers,
             )
-            self.net_faults = True
+            self.net_faults = self.fault_plan.has_network_faults()
+
+    def _build_storage(self, workers: tuple[int, ...]) -> None:
+        """Lay the pre-distributed input out as one file per mapper with
+        its first replica on the mapper's node (the paper's "data
+        accessing locally"); extra replicas (``input_replication``) land
+        on other workers and are what failover reads after a disk dies."""
+        cfg = self.config
+        split = int(math.ceil(self.spec.input_bytes / cfg.num_mappers))
+        self.hdfs = HdfsNamespace(
+            datanodes=list(workers),
+            block_size=cfg.input_block_size,
+            replication=cfg.input_replication,
+            seed=self.seed,
+        )
+        for rank, node_id in enumerate(self.mapper_nodes, start=1):
+            self._mapper_files[rank] = self.hdfs.create_file(
+                f"{self.spec.input_file}.m{rank}", split, writer_node=node_id
+            )
+        self.storage = StorageManager(
+            self.sim, self.cluster, self.hdfs, seed=self.seed, repair=False
+        )
+        if self.prior_damage is not None:
+            self.storage.apply_damage(self.prior_damage)
 
     # -- cost helpers -----------------------------------------------------------
     def _user_cpu(self, per_byte: float, nbytes: float) -> float:
@@ -276,10 +326,26 @@ class MrMpiSimulation:
         reliable = self.net_faults and self.config.reliable_transport
         obs = sim.obs
         while remaining > 0:
+            if self.metrics.aborted:
+                # Another rank hit unrecoverable data loss: MPI_Abort
+                # takes everyone down (pure state check — adds no events
+                # on runs that never abort).
+                tr.abort(sid, outcome="aborted")
+                return
+            offset = split_bytes - remaining
             chunk = min(chunk_in, remaining)
             remaining -= chunk
             read_sid = tr.begin("mpid.map", "read", parent=sid)
-            yield node.disk_read(chunk)
+            if self.storage is None:
+                yield node.disk_read(chunk)
+            else:
+                ok = yield from self._read_chunk(
+                    rank, node, offset, chunk, read_sid
+                )
+                if not ok:
+                    tr.abort(read_sid, outcome="data-lost")
+                    tr.abort(sid, outcome="aborted")
+                    return
             tr.end(read_sid)
             cpu = self._user_cpu(profile.map_cpu_per_byte, chunk)
             map_sid = tr.begin("mpid.map", "map", parent=sid)
@@ -342,6 +408,65 @@ class MrMpiSimulation:
         if self._mappers_done == cfg.num_mappers:
             assert self._all_mappers_done is not None
             self._all_mappers_done.succeed()
+
+    def _read_chunk(self, rank: int, node, offset: float, chunk: float, read_sid: int):
+        """One chunk read against the replicated input (storage-fault runs).
+
+        Clean runs read the local replica — the placement guarantees one —
+        so an undamaged run costs exactly ``node.disk_read(chunk)``.  After
+        a disk death the DFS-client loop below fails over to a remote
+        replica (disk + wire, contending like any other flow); when every
+        replica of the covering block is gone the job aborts, because MPI-D
+        has no framework that could re-create the data (the Section-V
+        asymmetry the durability experiment measures).  Returns True when
+        the chunk was read, False after recording a fatal abort.
+        """
+        sim = self.sim
+        storage = self.storage
+        assert storage is not None
+        f = self._mapper_files[rank]
+        bidx = min(int(offset // self.config.input_block_size), len(f.blocks) - 1)
+        block = f.blocks[bidx]
+        bid = block.block_id
+        while True:
+            candidates = storage.read_candidates(block, node.node_id)
+            if not candidates:
+                name, b = storage.block_name(bid)
+                self._record_abort(f"block_lost:{name}:{b}")
+                self._stop_faults()
+                return False
+            src_id = candidates[0]
+            epoch = storage.read_epoch(src_id)
+            if src_id == node.node_id:
+                yield node.disk_read(chunk)
+            else:
+                src = self.cluster.node(src_id)
+                wire = self.cluster.send(
+                    src_id, node.node_id, chunk, waiter_sid=read_sid
+                )
+                try:
+                    yield sim.all_of([src.disk_read(chunk), wire])
+                except FlowFailed as exc:
+                    # Mixed plans only: a lossy network killed the transfer
+                    # mid-read.  Baseline MPICH treats that as fatal.
+                    self._record_abort(str(exc))
+                    self._stop_faults()
+                    return False
+            if storage.is_corrupt(bid, src_id):
+                storage.note_failover("corrupt", bid, src_id)
+                storage.report_corruption(bid, src_id, sim.now)
+                continue
+            if storage.read_ok(bid, src_id, epoch):
+                return True
+            storage.note_failover("replica-gone", bid, src_id)
+
+    def _stop_faults(self) -> None:
+        """Stop open-ended fault streams so the heap can drain after a
+        storage abort (network aborts stop them from :meth:`run`'s job
+        process instead; storage aborts leave that process blocked on
+        mappers that will never finish)."""
+        if self.injector is not None:
+            self.injector.stop()
 
     def _retransmit_proc(
         self,
@@ -562,6 +687,12 @@ class MrMpiFaultMetrics:
     # -- lossy-network accounting (DES-measured; zero for crash plans) --------
     flows_lost: int = 0
     retransmits: int = 0
+    # -- storage accounting (DES-measured; zero for crash/network plans) ------
+    #: Reads that skipped a dead/corrupt replica for another copy.
+    read_failovers: int = 0
+    #: True when every replica of some input block was destroyed — the
+    #: job can never complete, no matter how many times it restarts.
+    data_lost: bool = False
 
     @property
     def slowdown(self) -> float:
@@ -595,6 +726,8 @@ class MrMpiFaultMetrics:
             "wasted_task_seconds": self.wasted_task_seconds,
             "completed": self.completed,
             "checkpointed": self.checkpointed,
+            "read_failovers": self.read_failovers,
+            "data_lost": self.data_lost,
         }
 
     def fault_summary(self) -> dict:
@@ -607,6 +740,8 @@ class MrMpiFaultMetrics:
             "wasted_task_seconds": self.wasted_task_seconds,
             "flows_lost": self.flows_lost,
             "retransmits": self.retransmits,
+            "read_failovers": self.read_failovers,
+            "data_lost": self.data_lost,
         }
 
 
@@ -771,5 +906,83 @@ def run_mpid_job_under_net_faults(
             continue
         out.flows_lost += m.flows_lost
         out.retransmits += m.retransmits
+        out.elapsed = wall + m.elapsed
+        return out
+
+
+def run_mpid_job_under_storage_faults(
+    spec: JobSpec,
+    plan: FaultPlan,
+    config: Optional[MrMpiConfig] = None,
+    cluster_spec: Optional[ClusterSpec] = None,
+) -> MrMpiFaultMetrics:
+    """One MPI-D job over failing input disks, restarts included.
+
+    The crucial asymmetry with Hadoop (Section V): MPI-D has no NameNode
+    re-replicating lost blocks, so storage damage is *permanent* — it is
+    carried into every resubmission via ``prior_damage``.  With
+    ``input_replication=1`` the first relevant disk death dooms the job;
+    with extra replicas it survives by failing over (at remote-read cost)
+    until the last copy of some block is gone, at which point restarting
+    is pointless and the job is declared failed immediately.
+
+    The replica placement is a pure function of ``plan.seed`` and is NOT
+    re-rolled across attempts (the input layout does not change on
+    resubmission); the fault streams are re-derived per attempt just as
+    in the network-fault loop.
+    """
+    cfg = config or MrMpiConfig()
+    cspec = cluster_spec or ClusterSpec()
+    clean = run_mpid_job(spec, config=cfg, cluster_spec=cspec).elapsed
+    out = MrMpiFaultMetrics(job_name=spec.name, clean_elapsed=clean)
+    wall = 0.0
+    attempt = 0
+    damage: Optional[tuple] = None
+    while True:
+        p = (
+            plan
+            if attempt == 0
+            else replace(
+                plan.shifted(wall),
+                seed=derive_seed(plan.seed, "mpid-storage-attempt", attempt),
+            )
+        )
+        sim = MrMpiSimulation(
+            spec=spec,
+            config=cfg,
+            cluster_spec=cspec,
+            fault_plan=p,
+            seed=plan.seed,  # placement is layout, not luck: never re-rolled
+            prior_damage=damage,
+        )
+        try:
+            m = sim.run()
+        except MpiJobAborted as exc:
+            out.restarts += 1
+            out.lost_work_seconds += exc.at
+            out.restart_overhead_seconds += cfg.restart_overhead
+            out.flows_lost += exc.metrics.flows_lost
+            out.retransmits += exc.metrics.retransmits
+            if sim.storage is not None:
+                out.read_failovers += sim.storage.read_failovers
+                damage = sim.storage.damage()
+                if sim.storage.any_block_lost():
+                    # Every replica of some block is gone and nothing in
+                    # the MPI world will bring it back: permanent DNF.
+                    out.completed = False
+                    out.data_lost = True
+                    out.elapsed = float("inf")
+                    return out
+            wall += exc.at + cfg.restart_overhead
+            if out.restarts > cfg.max_restarts:
+                out.completed = False
+                out.elapsed = float("inf")
+                return out
+            attempt += 1
+            continue
+        out.flows_lost += m.flows_lost
+        out.retransmits += m.retransmits
+        if sim.storage is not None:
+            out.read_failovers += sim.storage.read_failovers
         out.elapsed = wall + m.elapsed
         return out

@@ -231,6 +231,97 @@ class FlowLossRate:
                     raise ValueError(f"negative node id in loss set: {node}")
 
 
+@dataclass(frozen=True)
+class DiskFailure:
+    """A datanode's disk dies at a seeded Poisson rate (per second).
+
+    Each failure destroys every HDFS replica the node currently holds
+    (the drive is swapped for an empty one; the node itself keeps
+    computing — this is a storage fault, not a crash).  Gaps are
+    exponential with mean ``1/rate``, sampled per node from a stream
+    derived from the plan seed, so adding node 5's stream never perturbs
+    node 3's.  ``nodes=None`` targets the host's default storage set
+    (the datanodes).  The failure window is ``[start, start + duration)``;
+    ``duration=None`` is open-ended.
+    """
+
+    rate: float
+    nodes: Optional[tuple[int, ...]] = None
+    start: float = 0.0
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"disk failure rate must be positive: {self.rate}")
+        if self.start < 0:
+            raise ValueError(f"start time may not be negative: {self.start}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(
+                f"duration must be positive (or None for open-ended): {self.duration}"
+            )
+        if self.nodes is not None:
+            if not self.nodes:
+                raise ValueError("empty node tuple (use None for the default set)")
+            for node in self.nodes:
+                if node < 0:
+                    raise ValueError(f"negative node id in disk-failure set: {node}")
+
+
+@dataclass(frozen=True)
+class BlockCorruption:
+    """Silent replica corruption at a seeded Poisson rate (per second).
+
+    Each event picks one replica currently stored on the node (uniform,
+    from the spec's own stream) and flips its bits; a node holding no
+    blocks absorbs the event, like :class:`FlowLossRate` kills on an
+    idle link.  Corruption is *latent*: nothing happens until a reader's
+    checksum verification catches it, fails over, and reports the bad
+    replica for re-replication — the HDFS client protocol.
+    """
+
+    rate: float
+    nodes: Optional[tuple[int, ...]] = None
+    start: float = 0.0
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"corruption rate must be positive: {self.rate}")
+        if self.start < 0:
+            raise ValueError(f"start time may not be negative: {self.start}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(
+                f"duration must be positive (or None for open-ended): {self.duration}"
+            )
+        if self.nodes is not None:
+            if not self.nodes:
+                raise ValueError("empty node tuple (use None for the default set)")
+            for node in self.nodes:
+                if node < 0:
+                    raise ValueError(f"negative node id in corruption set: {node}")
+
+
+@dataclass(frozen=True)
+class Decommission:
+    """Administrative datanode decommission at time ``at``.
+
+    The node leaves the placement pool immediately (no new replicas land
+    there) and its blocks are drained by the repair pipeline; existing
+    replicas stay *readable* until each has been copied elsewhere —
+    exactly HDFS's graceful decommission, and deliberately gentler than
+    :class:`DiskFailure`.
+    """
+
+    node: int
+    at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"decommission of negative node id: {self.node}")
+        if self.at < 0:
+            raise ValueError(f"decommission time may not be negative: {self.at}")
+
+
 FaultSpec = Union[
     NodeCrash,
     CrashRate,
@@ -240,12 +331,20 @@ FaultSpec = Union[
     LinkFlap,
     NetworkPartition,
     FlowLossRate,
+    DiskFailure,
+    BlockCorruption,
+    Decommission,
 ]
 
 #: Specs consumed by the network layer (vs. node/disk faults).  Plans
 #: containing any of these switch the Hadoop shuffle into its
 #: retry/backoff pipeline and make MPI sends fallible.
 NETWORK_FAULT_SPECS = (LinkFlap, NetworkPartition, FlowLossRate)
+
+#: Specs consumed by the storage layer.  Plans containing any of these
+#: make the simulations build a live replica map (StorageManager) with
+#: read-path failover and, for Hadoop, the re-replication pipeline.
+STORAGE_FAULT_SPECS = (DiskFailure, BlockCorruption, Decommission)
 
 
 # -- the plan ----------------------------------------------------------------
@@ -270,6 +369,9 @@ class FaultPlan:
                     LinkFlap,
                     NetworkPartition,
                     FlowLossRate,
+                    DiskFailure,
+                    BlockCorruption,
+                    Decommission,
                 ),
             ):
                 raise TypeError(f"not a fault spec: {spec!r}")
@@ -281,13 +383,17 @@ class FaultPlan:
         """True when any spec can fail flows (the consumers' mode switch)."""
         return any(isinstance(spec, NETWORK_FAULT_SPECS) for spec in self.specs)
 
+    def has_storage_faults(self) -> bool:
+        """True when any spec touches stored replicas (storage mode switch)."""
+        return any(isinstance(spec, STORAGE_FAULT_SPECS) for spec in self.specs)
+
     def _spec_targets(self, spec: FaultSpec) -> tuple[int, ...]:
         """The node ids a spec names explicitly (empty = default set)."""
-        if isinstance(spec, (CrashRate, FlowLossRate)):
+        if isinstance(spec, (CrashRate, FlowLossRate, DiskFailure, BlockCorruption)):
             return spec.nodes or ()
         if isinstance(spec, NetworkPartition):
             return spec.nodes
-        # NodeCrash, the degradations, and LinkFlap all name one node.
+        # NodeCrash, the degradations, LinkFlap, and Decommission name one node.
         return (spec.node,)
 
     def validate(self, num_nodes: int) -> None:
@@ -337,7 +443,7 @@ class FaultPlan:
                     specs.append(replace(spec, at=at))
             elif isinstance(spec, CrashRate):
                 specs.append(replace(spec, start=max(0.0, spec.start - offset)))
-            elif isinstance(spec, FlowLossRate):
+            elif isinstance(spec, (FlowLossRate, DiskFailure, BlockCorruption)):
                 start = max(0.0, spec.start - offset)
                 if spec.duration is None:
                     specs.append(replace(spec, start=start))
@@ -347,6 +453,10 @@ class FaultPlan:
                         specs.append(
                             replace(spec, start=start, duration=end - start)
                         )
+            elif isinstance(spec, Decommission):
+                # A decommission in the past does not un-happen: the node
+                # is still out of the pool when the job restarts.
+                specs.append(replace(spec, at=max(0.0, spec.at - offset)))
             elif isinstance(spec, NetworkPartition):
                 at = spec.at - offset
                 if at >= 0:
@@ -420,6 +530,37 @@ class FaultPlan:
                         t += spec.restart_after  # down while restarting
         return sorted(times)
 
+    def disk_failure_times(
+        self, nodes: Iterable[int], horizon: float
+    ) -> list[tuple[float, int]]:
+        """All ``(time, node)`` disk failures within ``[0, horizon]``.
+
+        The analytic twin of the injector's :class:`DiskFailure`
+        processes: identical per-node streams (seeded by the plan seed
+        and the node id), and extending ``horizon`` only appends —
+        prefixes never change.
+        """
+        if horizon < 0:
+            raise ValueError(f"horizon may not be negative: {horizon}")
+        targets = set(nodes)
+        times: list[tuple[float, int]] = []
+        for spec in self.specs:
+            if not isinstance(spec, DiskFailure):
+                continue
+            hit = spec.nodes if spec.nodes is not None else tuple(sorted(targets))
+            end = None if spec.duration is None else spec.start + spec.duration
+            for node in hit:
+                if node not in targets:
+                    continue
+                rng = make_rng(self.seed, "faults", "disk-failure", node)
+                t = spec.start
+                while True:
+                    t += float(rng.exponential(1.0 / spec.rate))
+                    if t > horizon or (end is not None and t > end):
+                        break
+                    times.append((t, node))
+        return sorted(times)
+
 
 class FaultHost(Protocol):
     """What the injector needs from the simulation driving it."""
@@ -427,6 +568,20 @@ class FaultHost(Protocol):
     def crash_node(self, node_id: int, now: float) -> None: ...
 
     def restart_node(self, node_id: int, now: float) -> None: ...
+
+
+class StorageFaultHost(Protocol):
+    """What storage specs need: a live replica map to damage.
+
+    Implemented by :class:`repro.hadoop.storage.StorageManager`; passed
+    to the injector only when the plan has storage specs.
+    """
+
+    def disk_failed(self, node_id: int, now: float) -> None: ...
+
+    def corrupt_replica(self, node_id: int, now: float, rng) -> bool: ...
+
+    def decommission(self, node_id: int, now: float) -> None: ...
 
 
 class FaultInjector:
@@ -446,16 +601,31 @@ class FaultInjector:
         plan: FaultPlan,
         host: FaultHost,
         default_nodes: Optional[Iterable[int]] = None,
+        storage: Optional[StorageFaultHost] = None,
+        default_storage_nodes: Optional[Iterable[int]] = None,
     ):
         plan.validate(len(cluster))
+        if plan.has_storage_faults() and storage is None:
+            raise ValueError(
+                "plan has storage fault specs but no storage host was given"
+            )
         self.sim = sim
         self.cluster = cluster
         self.plan = plan
         self.host = host
+        self.storage = storage
         self.default_nodes = (
             tuple(default_nodes)
             if default_nodes is not None
             else tuple(range(len(cluster)))
+        )
+        # Storage specs default to the datanode set, which may differ
+        # from the crash/loss default (e.g. MPI-D injects flow loss on
+        # every node but only workers hold HDFS blocks).
+        self.default_storage_nodes = (
+            tuple(default_storage_nodes)
+            if default_storage_nodes is not None
+            else self.default_nodes
         )
         self._procs: list[Process] = []
         self._started = False
@@ -465,6 +635,9 @@ class FaultInjector:
         self.flows_killed = 0
         self.link_flaps = 0
         self.partitions = 0
+        self.disk_failures_injected = 0
+        self.corruptions_injected = 0
+        self.decommissions_injected = 0
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> None:
@@ -490,6 +663,20 @@ class FaultInjector:
                             self._flow_loss_proc(spec, node, link),
                             f"fault-loss-{link.name}",
                         )
+            elif isinstance(spec, DiskFailure):
+                for node in spec.nodes or self.default_storage_nodes:
+                    self._spawn(
+                        self._disk_failure_proc(spec, node), f"fault-disk-n{node}"
+                    )
+            elif isinstance(spec, BlockCorruption):
+                for node in spec.nodes or self.default_storage_nodes:
+                    self._spawn(
+                        self._corruption_proc(spec, node), f"fault-corrupt-n{node}"
+                    )
+            elif isinstance(spec, Decommission):
+                self._spawn(
+                    self._decommission_proc(spec), f"fault-decom-n{spec.node}"
+                )
             else:
                 self._spawn(self._degrade_proc(spec), f"fault-degrade{i}-n{spec.node}")
 
@@ -645,6 +832,60 @@ class FaultInjector:
                 self.flows_killed += 1
                 self._record_net("flow-loss", link.name)
                 net.fail_flow(victim, reason=f"loss:{link.name}")
+        except Interrupt:
+            return
+
+    def _disk_failure_proc(self, spec: DiskFailure, node: int):
+        """One Poisson disk-death stream per targeted datanode.
+
+        Gaps are fixed by (seed, node) alone — the same discipline as
+        flow loss, and byte-identical to the analytic
+        :meth:`FaultPlan.disk_failure_times` stream.
+        """
+        sim = self.sim
+        rng = make_rng(self.plan.seed, "faults", "disk-failure", node)
+        end = None if spec.duration is None else spec.start + spec.duration
+        try:
+            yield sim.timeout(spec.start)
+            while True:
+                gap = float(rng.exponential(1.0 / spec.rate))
+                if end is not None and sim.now + gap > end:
+                    return
+                yield sim.timeout(gap)
+                self.disk_failures_injected += 1
+                self._record("disk-failure", node)
+                assert self.storage is not None
+                self.storage.disk_failed(node, sim.now)
+        except Interrupt:
+            return
+
+    def _corruption_proc(self, spec: BlockCorruption, node: int):
+        """Poisson latent-corruption stream; empty disks absorb events."""
+        sim = self.sim
+        rng = make_rng(self.plan.seed, "faults", "block-corruption", node)
+        end = None if spec.duration is None else spec.start + spec.duration
+        try:
+            yield sim.timeout(spec.start)
+            while True:
+                gap = float(rng.exponential(1.0 / spec.rate))
+                if end is not None and sim.now + gap > end:
+                    return
+                yield sim.timeout(gap)
+                assert self.storage is not None
+                if self.storage.corrupt_replica(node, sim.now, rng):
+                    self.corruptions_injected += 1
+                    self._record("block-corruption", node)
+        except Interrupt:
+            return
+
+    def _decommission_proc(self, spec: Decommission):
+        sim = self.sim
+        try:
+            yield sim.timeout(spec.at)
+            self.decommissions_injected += 1
+            self._record("decommission", spec.node)
+            assert self.storage is not None
+            self.storage.decommission(spec.node, sim.now)
         except Interrupt:
             return
 

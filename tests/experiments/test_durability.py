@@ -1,0 +1,166 @@
+"""The durability experiment: failure classification, sweep structure,
+and the CSV/JSON export shape."""
+
+import math
+
+import pytest
+
+from repro.experiments import durability
+from repro.experiments.durability import DurabilityCell, DurabilityResult
+from repro.experiments.export import (
+    durability_csv,
+    durability_json,
+    render_csv,
+)
+from repro.experiments.fault_tolerance import classify_failure
+from repro.util.units import MiB
+
+
+class TestClassifyFailure:
+    def test_block_lost_passes_through_verbatim(self):
+        assert classify_failure("block_lost:input:7") == "block_lost:input:7"
+
+    def test_map_attempts(self):
+        assert classify_failure("map 3 failed 4 attempts") == "map_attempts:4"
+
+    def test_reduce_attempts(self):
+        assert (
+            classify_failure("reduce 0 failed 4 attempts")
+            == "reduce_attempts:4"
+        )
+
+    def test_master_lost(self):
+        assert (
+            classify_failure("master node 0 lost (JobTracker is a SPOF)")
+            == "master_lost"
+        )
+
+    def test_all_trackers_lost(self):
+        assert (
+            classify_failure("all tasktrackers lost and none restarted")
+            == "all_trackers_lost"
+        )
+
+    def test_unknown_and_other(self):
+        assert classify_failure(None) == "unknown"
+        assert classify_failure("") == "unknown"
+        assert classify_failure("the magic smoke escaped") == "other"
+
+
+def _fabricated():
+    r = DurabilityResult(
+        input_gb=1.0,
+        replications=(1, 2),
+        rates_per_hour=(30.0, 120.0),
+        seeds=(1,),
+        repair_bandwidth_cap=10 * MiB,
+    )
+    r.hadoop_clean = {1: 50.0, 2: 52.0}
+    r.mpid_clean = 40.0
+    lost = {
+        "seed": 1, "reason": "block_lost:input:3",
+        "kind": "block_lost:input:3", "node": 2, "task": None, "time": 6.9,
+    }
+    for repl in r.replications:
+        for rate in r.rates_per_hour:
+            # Hadoop survives everywhere; MPI-D dies everywhere but the
+            # gentlest cell.
+            r.hadoop[(repl, rate)] = DurabilityCell(
+                survived=1, total=1, elapsed=55.0, repair_overhead=0.4,
+                blocks_repaired=3.0,
+            )
+            survives = repl == 2 and rate == 30.0
+            r.mpid[(repl, rate)] = DurabilityCell(
+                survived=int(survives),
+                total=1,
+                elapsed=41.0 if survives else float("inf"),
+                data_lost=0 if survives else 1,
+            )
+    r.hadoop[(1, 30.0)].failures.append(lost)
+    return r
+
+
+class TestCrossover:
+    def test_lowest_separating_rate(self):
+        r = _fabricated()
+        assert r.crossover_rate(1) == 30.0
+        assert r.crossover_rate(2) == 120.0
+
+    def test_none_when_never_separated(self):
+        r = _fabricated()
+        for rate in r.rates_per_hour:
+            r.mpid[(1, rate)] = DurabilityCell(
+                survived=1, total=1, elapsed=41.0
+            )
+        assert r.crossover_rate(1) is None
+
+
+class TestExportShape:
+    def test_csv_rows_and_inf_handling(self):
+        header, rows = durability_csv(_fabricated())
+        assert header[0] == "replication"
+        assert "hadoop_failure_why" in header
+        # One clean row + one row per rate, per replication.
+        assert len(rows) == 2 * (1 + 2)
+        by_key = {(row[0], row[1]): row for row in rows}
+        dnf = by_key[(1, 120.0)]
+        assert dnf[header.index("mpid_s")] == ""  # inf never leaks
+        assert dnf[header.index("mpid_data_lost")] == 1
+        why = by_key[(1, 30.0)][header.index("hadoop_failure_why")]
+        assert why == "seed1:block_lost:input:3@t6.9"
+        text = render_csv(header, rows)
+        assert text.splitlines()[0].startswith("replication,")
+
+    def test_json_cells_and_crossovers(self):
+        blob = durability_json(_fabricated())
+        assert blob["experiment"] == "durability"
+        assert blob["crossover_rate_per_node_hour"] == {"1": 30.0, "2": 120.0}
+        cell = blob["cells"]["1x120"]
+        assert cell["mpid"]["elapsed_s"] is None  # inf -> null for JSON
+        assert cell["hadoop"]["survival"] == 1.0
+        lost_cell = blob["cells"]["1x30"]
+        assert lost_cell["hadoop"]["failures"][0]["kind"].startswith(
+            "block_lost:"
+        )
+
+
+class TestSmallRealSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return durability.run(
+            input_gb=1.0,
+            seeds=(2011,),
+            rates_per_hour=(120.0,),
+            replications=(1, 3),
+        )
+
+    def test_structure(self, result):
+        assert set(result.hadoop) == set(result.mpid) == {
+            (1, 120.0), (3, 120.0)
+        }
+        assert result.hadoop_clean[1] > 0
+        assert result.mpid_clean > 0
+
+    def test_replication_buys_mpid_survival(self, result):
+        assert result.mpid[(1, 120.0)].survival == 0.0
+        assert result.mpid[(1, 120.0)].data_lost == 1
+        assert result.mpid[(3, 120.0)].survival == 1.0
+
+    def test_hadoop_pays_repair_traffic(self, result):
+        cell = result.hadoop[(3, 120.0)]
+        assert cell.survival == 1.0
+        assert cell.repair_overhead > 0
+        assert cell.blocks_repaired > 0
+
+    def test_block_lost_kind_recorded_at_replication_one(self, result):
+        cell = result.hadoop[(1, 120.0)]
+        if cell.failures:  # this seed's repl-1 run does die
+            assert any(
+                f["kind"].startswith("block_lost:") for f in cell.failures
+            )
+
+    def test_report_renders(self, result):
+        text = durability.format_report(result)
+        assert "replication 1" in text
+        assert "disk fails/node-hr" in text
+        assert not math.isnan(len(text))

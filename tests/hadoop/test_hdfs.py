@@ -135,6 +135,48 @@ class TestReplicationTargets:
     def test_replication_one_no_targets(self):
         assert ns(repl=1).pick_replication_targets(0) == []
 
+    def test_live_pool_excludes_dead_nodes(self):
+        space = ns(repl=3)
+        live = {0, 1, 2}
+        for _ in range(20):
+            targets = space.pick_replication_targets(0, live=live)
+            assert set(targets) <= {1, 2}
+            assert 0 not in targets
+
+    def test_dead_writer_never_a_target(self):
+        # The writer is excluded even when it is absent from the live set
+        # (a mid-pipeline death): no replica may land on it.
+        space = ns(repl=3)
+        for _ in range(20):
+            assert 3 not in space.pick_replication_targets(3, live={0, 1, 2})
+
+    def test_small_live_pool_clamps_with_warning_counter(self):
+        space = ns(repl=3)
+        assert space.clamped_placements == 0
+        targets = space.pick_replication_targets(0, live={0, 1})
+        assert targets == [1]
+        assert space.clamped_placements == 1
+
+    def test_empty_live_pool_clamps_to_no_targets(self):
+        space = ns(repl=3)
+        assert space.pick_replication_targets(0, live={0}) == []
+        assert space.clamped_placements == 1
+
+    def test_replication_one_never_bumps_clamp_counter(self):
+        space = ns(repl=1)
+        assert space.pick_replication_targets(0, live={0}) == []
+        assert space.clamped_placements == 0
+
+    def test_live_none_draws_identically_to_static_path(self):
+        # live=None must consume the RNG exactly like the pre-liveness
+        # code: two namespaces stay in lockstep whether or not one of
+        # them passes the full node set explicitly.
+        a, b = ns(repl=3, seed=9), ns(repl=3, seed=9)
+        for writer in range(5):
+            assert a.pick_replication_targets(
+                writer
+            ) == b.pick_replication_targets(writer, live=range(7))
+
 
 class TestLocalityFraction:
     def test_all_local(self):

@@ -1,0 +1,160 @@
+"""The living-HDFS storage layer end to end: re-replication repairs,
+read-path failover, block loss as the only unfixable failure, and the
+determinism of the whole pipeline."""
+
+import json
+
+import pytest
+
+from repro.hadoop.config import HadoopConfig
+from repro.hadoop.job import JAVASORT_PROFILE, JobSpec
+from repro.hadoop.simulation import (
+    HadoopSimulation,
+    JobFailedError,
+    run_hadoop_job,
+)
+from repro.simnet.faults import (
+    BlockCorruption,
+    Decommission,
+    DiskFailure,
+    FaultPlan,
+)
+from repro.util.units import MiB
+
+
+def _spec(mb=640):
+    return JobSpec("sort", input_bytes=mb * MiB, profile=JAVASORT_PROFILE)
+
+
+def _disk_plan(rate_per_hour, seed=2011, **kw):
+    return FaultPlan(
+        specs=(DiskFailure(rate=rate_per_hour / 3600.0, **kw),), seed=seed
+    )
+
+
+class TestRepairPipeline:
+    def test_disk_death_triggers_repair_and_job_survives(self):
+        m = run_hadoop_job(
+            _spec(), seed=2011, fault_plan=_disk_plan(rate_per_hour=60.0)
+        )
+        assert m.disk_failures > 0
+        assert m.blocks_repaired > 0
+        assert m.repair_bytes > 0
+        assert m.blocks_lost == 0
+
+    def test_repair_slower_under_tighter_bandwidth_cap(self):
+        def mean_copy_seconds(cap):
+            env = HadoopSimulation(
+                spec=_spec(),
+                config=HadoopConfig(repair_bandwidth_cap=cap),
+                fault_plan=_disk_plan(rate_per_hour=60.0),
+                observe=True,
+            )
+            m = env.run()
+            assert m.blocks_repaired > 0
+            spans = [
+                s for s in env.obs.tracer.by_category("hdfs.repair")
+                if s.t1 is not None
+            ]
+            assert spans, "expected repair copies at this failure rate"
+            return sum(s.t1 - s.t0 for s in spans) / len(spans)
+
+        # The fault *streams* are cap-independent, but a faster-repaired
+        # job ends sooner (shorter failure horizon), so compare the mean
+        # per-copy duration, not totals.
+        assert mean_copy_seconds(10 * MiB) > mean_copy_seconds(100 * MiB)
+
+    def test_repair_spans_traced_on_per_stream_tracks(self):
+        env = HadoopSimulation(
+            spec=_spec(),
+            config=HadoopConfig(),
+            fault_plan=_disk_plan(rate_per_hour=60.0),
+            observe=True,
+        )
+        m = env.run()
+        spans = list(env.obs.tracer.by_category("hdfs.repair"))
+        assert len(spans) >= m.blocks_repaired > 0
+        tracks = {s.track for s in spans}
+        assert tracks <= {f"hdfs:repair:{i}" for i in range(8)}
+
+
+class TestReadFailover:
+    def test_corruption_detected_and_failed_over(self):
+        plan = FaultPlan(specs=(BlockCorruption(rate=0.05),), seed=2011)
+        m = run_hadoop_job(_spec(), seed=2011, fault_plan=plan)
+        # Latent corruption only matters if a reader trips on it; at this
+        # rate over a 640 MiB job some do (much higher and every replica
+        # of some block rots before its reader arrives — block lost).
+        assert m.corrupt_replicas_dropped > 0
+        assert m.read_failovers > 0
+        assert m.blocks_lost == 0
+
+    def test_replication_one_disk_death_is_fatal_with_block_lost_reason(self):
+        cfg = HadoopConfig(replication=1)
+        with pytest.raises(JobFailedError) as exc:
+            run_hadoop_job(
+                _spec(),
+                config=cfg,
+                seed=2011,
+                fault_plan=_disk_plan(rate_per_hour=240.0),
+            )
+        assert exc.value.reason.startswith("block_lost:")
+        assert exc.value.metrics.blocks_lost > 0
+
+    def test_replication_three_survives_what_kills_replication_one(self):
+        plan = _disk_plan(rate_per_hour=240.0)
+        m = run_hadoop_job(
+            _spec(), config=HadoopConfig(replication=3), seed=2011,
+            fault_plan=plan,
+        )
+        # At this churn blocks may still go extinct *after* their readers
+        # got through — what matters is that the job completed.
+        assert not m.job_failed
+        with pytest.raises(JobFailedError):
+            run_hadoop_job(
+                _spec(), config=HadoopConfig(replication=1), seed=2011,
+                fault_plan=plan,
+            )
+
+
+class TestDecommission:
+    def test_decommission_drains_without_failing_job(self):
+        plan = FaultPlan(specs=(Decommission(node=2, at=1.0),), seed=2011)
+        m = run_hadoop_job(_spec(), seed=2011, fault_plan=plan)
+        # Draining generates repair traffic but loses nothing.
+        assert m.blocks_repaired > 0
+        assert m.blocks_lost == 0
+        assert m.disk_failures == 0
+
+
+class TestStorageDeterminism:
+    def test_same_plan_same_run_bit_for_bit(self):
+        plan = FaultPlan(
+            specs=(
+                DiskFailure(rate=60.0 / 3600.0),
+                BlockCorruption(rate=30.0 / 3600.0),
+            ),
+            seed=2011,
+        )
+        a = run_hadoop_job(_spec(), seed=2011, fault_plan=plan)
+        b = run_hadoop_job(_spec(), seed=2011, fault_plan=plan)
+        assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+            b.to_dict(), sort_keys=True
+        )
+
+    def test_fault_summary_carries_storage_counters(self):
+        m = run_hadoop_job(
+            _spec(), seed=2011, fault_plan=_disk_plan(rate_per_hour=60.0)
+        )
+        fs = m.fault_summary()
+        for key in (
+            "disk_failures",
+            "blocks_repaired",
+            "repair_bytes",
+            "blocks_lost",
+            "read_failovers",
+            "corrupt_replicas_dropped",
+            "replication_clamped",
+        ):
+            assert key in fs
+        assert fs["disk_failures"] == m.disk_failures > 0

@@ -34,6 +34,8 @@ class TestWastedTaskSeconds:
             "wasted_task_seconds",
             "flows_lost",
             "retransmits",
+            "read_failovers",
+            "data_lost",
         }
         assert fs["wasted_task_seconds"] == m.wasted_task_seconds
 
