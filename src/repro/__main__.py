@@ -5,6 +5,10 @@ writes a Perfetto trace (see :mod:`repro.obs.cli`).
 
 ``python -m repro bench`` runs the engine perf harness and writes
 ``BENCH_engine.json`` (see :mod:`repro.bench.cli`).
+
+``python -m repro replay <trace-or-experiment>`` folds a run into
+playback frames and writes a self-contained HTML dashboard (see
+:mod:`repro.obs.replay_cli`).
 """
 
 from __future__ import annotations
@@ -46,6 +50,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.analyze_cli import main as analyze_main
 
         return analyze_main(argv[1:])
+    if argv and argv[0] == "replay":
+        from repro.obs.replay_cli import main as replay_main
+
+        return replay_main(argv[1:])
     if argv and argv[0] == "bench":
         from repro.bench.cli import main as bench_main
 
@@ -59,6 +67,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  {mod:<{width}}  {desc}")
     print("\ntracing: python -m repro trace {fig6,fig1,fault} --size 1GB --trace-out trace.json")
     print("analysis: python -m repro analyze trace.json [--validate] [--json report.json]")
+    print("replay:  python -m repro replay {fig6,fig1,fault,sweep,<store.jsonl>,<trace.json>} [--out dashboard.html]")
     print("engine bench: python -m repro bench [--quick] [--compare] [--out BENCH_engine.json]")
     print("examples: see examples/*.py; tests: pytest tests/;")
     print("benchmarks: pytest benchmarks/ --benchmark-only")

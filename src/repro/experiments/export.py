@@ -21,7 +21,7 @@ import json
 import math
 from functools import lru_cache
 from pathlib import Path
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments import critical_path as critical_path_exp
 from repro.experiments import durability, fault_tolerance, fig1_shuffle
@@ -484,16 +484,25 @@ JSON_EXPORTS = {
 }
 
 
-def export_all(out_dir: Path) -> list[Path]:
-    """Run every exporter; returns the written paths."""
+def export_all(out_dir: Path, only: Optional[set] = None) -> list[Path]:
+    """Run every exporter (or just the ``only`` set); returns the paths."""
+    known = set(EXPORTS) | set(JSON_EXPORTS)
+    if only is not None and (unknown := only - known):
+        raise ValueError(
+            f"unknown exports {sorted(unknown)}; choose from {sorted(known)}"
+        )
     out_dir.mkdir(parents=True, exist_ok=True)
     written = []
     for filename, maker in EXPORTS.items():
+        if only is not None and filename not in only:
+            continue
         header, rows = maker()
         path = out_dir / filename
         _write_csv(path, header, rows)
         written.append(path)
     for filename, maker in JSON_EXPORTS.items():
+        if only is not None and filename not in only:
+            continue
         path = out_dir / filename
         with path.open("w") as fh:
             json.dump(maker(), fh, indent=2, sort_keys=True)
@@ -514,8 +523,13 @@ def render_csv(header: Sequence[str], rows: Sequence[Sequence]) -> str:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", type=Path, default=Path("results"))
+    parser.add_argument(
+        "--only", nargs="+", default=None, metavar="FILE",
+        help="export just these files (e.g. fig6_wordcount.csv) "
+        "instead of everything",
+    )
     args = parser.parse_args(argv)
-    for path in export_all(args.out):
+    for path in export_all(args.out, only=set(args.only) if args.only else None):
         print(f"wrote {path}")
     return 0
 

@@ -11,7 +11,12 @@ the :class:`~repro.simnet.kernel.Simulator` they already hold:
   depths, slot occupancy, bytes shuffled);
 * exporters — Chrome/Perfetto ``trace_event`` JSON
   (:func:`trace_events` / :func:`write_trace`), an ASCII Gantt renderer
-  (:func:`ascii_gantt`) and per-run manifests (:func:`build_manifest`).
+  (:func:`ascii_gantt`) and per-run manifests (:func:`build_manifest`);
+* the streaming layer — an append-as-recorded JSONL trace store
+  (:class:`TraceStoreWriter` / :func:`read_events` / :func:`load_tracer`),
+  a replay engine folding event streams into time-bucketed frames
+  (:func:`replay_events` / :func:`replay_store`), and self-contained
+  HTML dashboards (:func:`write_dashboard` / :func:`write_sweep_browser`).
 
 An :class:`Observer` bundles one tracer plus one registry and attaches
 to a simulator (``Observer.attach(sim)``); every instrumented model
@@ -21,6 +26,12 @@ allocate — a run with observability off is bit-for-bit identical to a
 run of the uninstrumented code.
 """
 
+from repro.obs.dashboard import (
+    render_dashboard,
+    render_sweep_browser,
+    write_dashboard,
+    write_sweep_browser,
+)
 from repro.obs.gantt import ascii_gantt
 from repro.obs.manifest import RunManifest, build_manifest, config_hash, git_revision
 from repro.obs.metrics import (
@@ -31,6 +42,22 @@ from repro.obs.metrics import (
 )
 from repro.obs.observer import NULL_OBS, NullObserver, Observer
 from repro.obs.perfetto import trace_events, validate_trace, write_trace
+from repro.obs.replay import (
+    Replay,
+    ReplayFrame,
+    replay_events,
+    replay_observer,
+    replay_store,
+    replays_from_perfetto,
+)
+from repro.obs.store import (
+    TraceStoreReader,
+    TraceStoreWriter,
+    events_of,
+    load_tracer,
+    read_events,
+    read_footer,
+)
 from repro.obs.tracer import Edge, Instant, Span, SpanTracer, TraceError
 
 __all__ = [
@@ -42,16 +69,31 @@ __all__ = [
     "NULL_OBS",
     "NullObserver",
     "Observer",
+    "Replay",
+    "ReplayFrame",
     "RunManifest",
     "Span",
     "SpanTracer",
     "TimeWeightedHistogram",
     "TraceError",
+    "TraceStoreReader",
+    "TraceStoreWriter",
     "ascii_gantt",
     "build_manifest",
     "config_hash",
+    "events_of",
     "git_revision",
+    "load_tracer",
+    "read_events",
+    "read_footer",
+    "render_dashboard",
+    "render_sweep_browser",
+    "replay_events",
+    "replay_observer",
+    "replay_store",
+    "replays_from_perfetto",
     "trace_events",
     "validate_trace",
-    "write_trace",
+    "write_dashboard",
+    "write_sweep_browser",
 ]

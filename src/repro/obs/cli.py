@@ -45,7 +45,7 @@ def _wordcount_spec(nbytes: int):
     )
 
 
-def _run_fig6(nbytes: int, seed: int):
+def _run_fig6(nbytes: int, seed: int, attach=None):
     from repro.hadoop import HadoopConfig
     from repro.hadoop.simulation import HadoopSimulation
     from repro.mrmpi import MrMpiConfig
@@ -58,16 +58,20 @@ def _run_fig6(nbytes: int, seed: int):
         seed=seed,
         observe=True,
     )
+    if attach is not None:
+        attach("hadoop", hsim.obs)
     hm = hsim.run()
     msim = MrMpiSimulation(
         spec=spec, config=MrMpiConfig(num_mappers=49, num_reducers=1), observe=True
     )
+    if attach is not None:
+        attach("mpid", msim.obs)
     mm = msim.run()
     observers = [("hadoop", hsim.obs), ("mpid", msim.obs)]
     return observers, {"hadoop": hm.elapsed, "mpid": mm.elapsed}
 
 
-def _run_fig1(nbytes: int, seed: int):
+def _run_fig1(nbytes: int, seed: int, attach=None):
     from repro.hadoop import HadoopConfig, JAVASORT_PROFILE, JobSpec
     from repro.hadoop.simulation import HadoopSimulation
 
@@ -82,11 +86,13 @@ def _run_fig1(nbytes: int, seed: int):
         seed=seed,
         observe=True,
     )
+    if attach is not None:
+        attach("hadoop", sim.obs)
     metrics = sim.run()
     return [("hadoop", sim.obs)], {"hadoop": metrics.elapsed}
 
 
-def _run_fault(nbytes: int, seed: int, rate_per_hour: float = 40.0):
+def _run_fault(nbytes: int, seed: int, rate_per_hour: float = 40.0, attach=None):
     from repro.hadoop import HadoopConfig, JobFailedError
     from repro.hadoop.simulation import HadoopSimulation
     from repro.simnet.cluster import ClusterSpec
@@ -111,11 +117,31 @@ def _run_fault(nbytes: int, seed: int, rate_per_hour: float = 40.0):
         fault_plan=plan,
         observe=True,
     )
+    if attach is not None:
+        attach("hadoop-faulted", sim.obs)
     try:
         metrics = sim.run()
     except JobFailedError as err:
         metrics = err.metrics
     return [("hadoop-faulted", sim.obs)], {"hadoop-faulted": metrics.elapsed}
+
+
+def run_experiment(experiment: str, nbytes: int, seed: int,
+                   rate_per_hour: float = 40.0, attach=None):
+    """Run one named experiment with observers on; shared with ``replay``.
+
+    ``attach(name, obs)`` — when given — is called for each simulation
+    after construction and *before* ``run()``, which is the window where
+    a streaming store can hook the tracer/metrics sinks and still see
+    every event.
+    """
+    if experiment == "fig6":
+        return _run_fig6(nbytes, seed, attach=attach)
+    if experiment == "fig1":
+        return _run_fig1(nbytes, seed, attach=attach)
+    if experiment == "fault":
+        return _run_fault(nbytes, seed, rate_per_hour, attach=attach)
+    raise ValueError(f"unknown experiment {experiment!r}")
 
 
 def _write_metrics(path: Path, observers) -> None:
@@ -130,9 +156,12 @@ def _write_metrics(path: Path, observers) -> None:
 
     with path.open("w", newline="") as fh:
         writer = csv.writer(fh)
-        writer.writerow(["system", "metric", "type", "value", "mean", "min", "max", "events"])
+        header_written = False
         for name, obs in observers:
-            _header, rows = obs.metrics.rows()
+            header, rows = obs.metrics.rows()
+            if not header_written:
+                writer.writerow(["system", *header])
+                header_written = True
             for row in rows:
                 writer.writerow([name, *row])
 
@@ -158,18 +187,55 @@ def main(argv: list[str] | None = None) -> int:
         help="also dump the metrics registry (CSV, or JSON by extension)",
     )
     parser.add_argument(
+        "--out-dir", type=Path, default=None,
+        help="directory for every artifact (trace, manifest, metrics, "
+        "stores, dashboard); relative output paths resolve under it",
+    )
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="also stream the raw events to a <experiment>.<system>"
+        ".store.jsonl trace store as they are recorded",
+    )
+    parser.add_argument(
+        "--dashboard", action="store_true",
+        help="also fold the run into frames and write dashboard.html",
+    )
+    parser.add_argument(
         "--gantt", action="store_true", help="print an ASCII Gantt timeline"
+    )
+    parser.add_argument(
+        "--gantt-limit", type=int, default=None, metavar="N",
+        help="cap the Gantt at N tracks (adds a '… N more tracks' footer)",
     )
     args = parser.parse_args(argv)
 
+    out_dir = args.out_dir
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    def _resolve(path: Path) -> Path:
+        return out_dir / path if out_dir is not None and not path.is_absolute() else path
+
+    trace_out = _resolve(args.trace_out)
+    writers = []
+    store_paths: list[Path] = []
+
+    def _attach(name: str, obs) -> None:
+        if not args.stream:
+            return
+        path = _resolve(Path(f"{args.experiment}.{name}.store.jsonl"))
+        writers.append(obs.stream_to(path, system=name))
+        store_paths.append(path)
+
     nbytes = parse_size(args.size)
     t0 = time.perf_counter()
-    if args.experiment == "fig6":
-        observers, sim_elapsed = _run_fig6(nbytes, args.seed)
-    elif args.experiment == "fig1":
-        observers, sim_elapsed = _run_fig1(nbytes, args.seed)
-    else:
-        observers, sim_elapsed = _run_fault(nbytes, args.seed, args.rate)
+    try:
+        observers, sim_elapsed = run_experiment(
+            args.experiment, nbytes, args.seed, args.rate, attach=_attach
+        )
+    finally:
+        for writer in writers:
+            writer.close()
     wall = time.perf_counter() - t0
 
     manifest = build_manifest(
@@ -180,9 +246,11 @@ def main(argv: list[str] | None = None) -> int:
         wall_seconds=wall,
         sim_elapsed=sim_elapsed,
     )
-    write_trace(observers, args.trace_out, manifest=manifest)
-    manifest.write(Path(f"{args.trace_out}.manifest.json"))
-    print(f"wrote {args.trace_out} (+ {args.trace_out}.manifest.json)")
+    write_trace(observers, trace_out, manifest=manifest)
+    manifest.write(Path(f"{trace_out}.manifest.json"))
+    print(f"wrote {trace_out} (+ {trace_out}.manifest.json)")
+    for path in store_paths:
+        print(f"wrote {path} (streamed trace store)")
     for name, obs in observers:
         counts = obs.event_counts()
         print(
@@ -191,8 +259,23 @@ def main(argv: list[str] | None = None) -> int:
             f"{counts['metrics']} metrics"
         )
     if args.metrics_out is not None:
-        _write_metrics(args.metrics_out, observers)
-        print(f"wrote {args.metrics_out}")
+        metrics_out = _resolve(args.metrics_out)
+        _write_metrics(metrics_out, observers)
+        print(f"wrote {metrics_out}")
+    if args.dashboard:
+        from repro.obs.dashboard import write_dashboard
+        from repro.obs.replay import replay_observer
+
+        replays = [
+            (name, replay_observer(obs, system=name)) for name, obs in observers
+        ]
+        dash = _resolve(Path("dashboard.html"))
+        write_dashboard(
+            dash, replays,
+            title=f"repro trace — {args.experiment} {args.size}",
+            manifest=manifest,
+        )
+        print(f"wrote {dash} — open it in a browser to replay this run")
     if args.gantt:
         for name, obs in observers:
             print()
@@ -204,6 +287,7 @@ def main(argv: list[str] | None = None) -> int:
                         "mpid.job", "mpid.map", "mpid.reduce", "fault",
                     },
                     title=name,
+                    max_tracks=args.gantt_limit,
                 )
             )
     return 0

@@ -22,12 +22,16 @@ def ascii_gantt(
     max_rows: int = 36,
     label_width: int = 26,
     title: str = "",
+    max_tracks: Optional[int] = None,
 ) -> str:
     """Render the observer's spans as a fixed-width Gantt chart.
 
     ``categories`` filters which span categories draw (None = all).
     Tracks render in order of first activity; when there are more than
     ``max_rows`` the middle is elided, never the first or last wave.
+    ``max_tracks`` is the harder cap (``--gantt-limit``): only the first
+    N tracks draw at all, with a "… N more tracks" footer for the rest —
+    the right shape for CI logs where the first wave is the story.
     """
     spans = [
         s
@@ -45,6 +49,12 @@ def ascii_gantt(
     for s in spans:
         tracks.setdefault(s.track, []).append(s)
     ordered = sorted(tracks.items(), key=lambda kv: min(s.t0 for s in kv[1]))
+
+    footer = ""
+    if max_tracks is not None and 0 < max_tracks < len(ordered):
+        truncated = len(ordered) - max_tracks
+        ordered = ordered[:max_tracks]
+        footer = f"… {truncated} more tracks"
 
     if len(ordered) > max_rows:
         head = ordered[: max_rows - max_rows // 3]
@@ -81,4 +91,6 @@ def ascii_gantt(
                 for c in range(c0, c1 + 1):
                     cells[c] = _BAR
         lines.append(f"{label:<{label_width}} {''.join(cells)}")
+    if footer:
+        lines.append(footer)
     return "\n".join(lines)

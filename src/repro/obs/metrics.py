@@ -46,17 +46,26 @@ class Counter:
 class Gauge:
     """A sampled time series; keeps every (time, value) transition."""
 
-    __slots__ = ("name", "_clock", "value", "samples")
+    __slots__ = ("name", "_clock", "_sink", "value", "samples")
 
-    def __init__(self, name: str, clock: Callable[[], float]):
+    def __init__(
+        self,
+        name: str,
+        clock: Callable[[], float],
+        sink: Optional[list] = None,
+    ):
         self.name = name
         self._clock = clock
+        self._sink = sink if sink is not None else [None]
         self.value = 0.0
         self.samples: list[tuple[float, float]] = []
 
     def set(self, value: float) -> None:
         self.value = float(value)
-        self.samples.append((self._clock(), self.value))
+        t = self._clock()
+        self.samples.append((t, self.value))
+        if self._sink[0] is not None:
+            self._sink[0].on_sample(self.name, t, self.value)
 
     def to_dict(self) -> dict:
         return {
@@ -79,6 +88,7 @@ class TimeWeightedHistogram:
     __slots__ = (
         "name",
         "_clock",
+        "_sink",
         "_t0",
         "_t",
         "value",
@@ -88,6 +98,7 @@ class TimeWeightedHistogram:
         "vmax",
         "bounds",
         "bucket_seconds",
+        "value_seconds",
         "transitions",
     )
 
@@ -96,9 +107,11 @@ class TimeWeightedHistogram:
         name: str,
         clock: Callable[[], float],
         bounds: Sequence[float] = (),
+        sink: Optional[list] = None,
     ):
         self.name = name
         self._clock = clock
+        self._sink = sink if sink is not None else [None]
         self._t0 = self._t = clock()
         self.value = 0.0
         self.integral = 0.0
@@ -107,6 +120,11 @@ class TimeWeightedHistogram:
         self.vmax = 0.0
         self.bounds = tuple(sorted(bounds))
         self.bucket_seconds = [0.0] * (len(self.bounds) + 1)
+        #: Seconds the signal spent at each exact value — the full
+        #: time-weighted distribution that :meth:`percentiles` reads.
+        #: Bounded by the number of *distinct* values, which for the
+        #: occupancy/queue-depth signals these track is small.
+        self.value_seconds: dict[float, float] = {}
         self.transitions = 0
 
     def _accumulate(self, until: Optional[float] = None) -> None:
@@ -116,6 +134,9 @@ class TimeWeightedHistogram:
             self.integral += self.value * dt
             self.sq_integral += self.value * self.value * dt
             self.bucket_seconds[bisect_right(self.bounds, self.value)] += dt
+            self.value_seconds[self.value] = (
+                self.value_seconds.get(self.value, 0.0) + dt
+            )
             self._t = now
 
     def set(self, value: float) -> None:
@@ -124,6 +145,8 @@ class TimeWeightedHistogram:
         self.vmin = min(self.vmin, self.value)
         self.vmax = max(self.vmax, self.value)
         self.transitions += 1
+        if self._sink[0] is not None:
+            self._sink[0].on_sample(self.name, self._t, self.value)
 
     def add(self, delta: float) -> None:
         self.set(self.value + delta)
@@ -151,12 +174,50 @@ class TimeWeightedHistogram:
             for i in range(len(self.bucket_seconds))
         ]
 
+    def percentiles(
+        self,
+        ps: Sequence[float] = (50.0, 95.0, 99.0),
+        until: Optional[float] = None,
+    ) -> dict[str, float]:
+        """Time-weighted percentiles: ``p95`` is the smallest value the
+        signal sat at or below for 95% of the observation window.
+
+        This is the duration-weighted quantile of the piecewise-constant
+        signal, not a quantile of the transition values — a microsecond
+        spike to 40 does not move p50 the way an hour-long plateau at 3
+        does.  Returns ``{"p50": v, ...}`` keyed by the (``:g``-formatted)
+        requested percentiles.
+        """
+        self._accumulate(until)
+        total = sum(self.value_seconds.values())
+        out: dict[str, float] = {}
+        if total <= 0:
+            # Nothing observed for any duration yet: every percentile is
+            # the current value.
+            return {f"p{p:g}": self.value for p in ps}
+        levels = sorted(self.value_seconds.items())
+        for p in ps:
+            need = total * min(max(p, 0.0), 100.0) / 100.0
+            acc = 0.0
+            result = levels[-1][0]
+            for value, seconds in levels:
+                acc += seconds
+                if acc >= need - 1e-12 * total:
+                    result = value
+                    break
+            out[f"p{p:g}"] = result
+        return out
+
     def to_dict(self, until: Optional[float] = None) -> dict:
+        pct = self.percentiles(until=until)
         out = {
             "type": "histogram",
             "mean": self.mean(until),
             "min": self.vmin,
             "max": self.vmax,
+            "p50": pct["p50"],
+            "p95": pct["p95"],
+            "p99": pct["p99"],
             "last": self.value,
             "transitions": self.transitions,
         }
@@ -168,12 +229,28 @@ class TimeWeightedHistogram:
 
 
 class MetricsRegistry:
-    """Get-or-create home of every named metric in one simulation."""
+    """Get-or-create home of every named metric in one simulation.
+
+    ``sample_sink`` (default None) is an optional streaming listener
+    with an ``on_sample(name, time, value)`` method, notified on every
+    gauge/histogram transition.  The cell is shared with every metric at
+    creation, so attaching a sink after metrics were handed out still
+    streams their future samples.
+    """
 
     def __init__(self, clock: Callable[[], float]):
         self._clock = clock
         self.enabled = True
         self._metrics: dict[str, object] = {}
+        self._sample_cell: list = [None]
+
+    @property
+    def sample_sink(self):
+        return self._sample_cell[0]
+
+    @sample_sink.setter
+    def sample_sink(self, sink) -> None:
+        self._sample_cell[0] = sink
 
     def _get(self, name: str, kind: type, factory):
         metric = self._metrics.get(name)
@@ -191,7 +268,9 @@ class MetricsRegistry:
         return self._get(name, Counter, lambda: Counter(name))
 
     def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge, lambda: Gauge(name, self._clock))
+        return self._get(
+            name, Gauge, lambda: Gauge(name, self._clock, self._sample_cell)
+        )
 
     def histogram(
         self, name: str, bounds: Sequence[float] = ()
@@ -199,7 +278,9 @@ class MetricsRegistry:
         return self._get(
             name,
             TimeWeightedHistogram,
-            lambda: TimeWeightedHistogram(name, self._clock, bounds),
+            lambda: TimeWeightedHistogram(
+                name, self._clock, bounds, self._sample_cell
+            ),
         )
 
     def names(self) -> list[str]:
@@ -224,20 +305,27 @@ class MetricsRegistry:
 
     def rows(self, until: Optional[float] = None) -> tuple[list[str], list[list]]:
         """CSV-shaped dump: one row per metric with its headline stats."""
-        header = ["metric", "type", "value", "mean", "min", "max", "events"]
+        header = ["metric", "type", "value", "mean", "min", "max",
+                  "p50", "p95", "p99", "events"]
         rows: list[list] = []
         for name in self.names():
             m = self._metrics[name]
             if isinstance(m, Counter):
-                rows.append([name, "counter", m.value, "", "", "", m.events])
+                rows.append(
+                    [name, "counter", m.value, "", "", "", "", "", "", m.events]
+                )
             elif isinstance(m, Gauge):
                 vmax = max((v for _, v in m.samples), default=0.0)
-                rows.append([name, "gauge", m.value, "", "", vmax, len(m.samples)])
+                rows.append(
+                    [name, "gauge", m.value, "", "", vmax, "", "", "",
+                     len(m.samples)]
+                )
             else:
                 assert isinstance(m, TimeWeightedHistogram)
+                pct = m.percentiles(until=until)
                 rows.append(
                     [name, "histogram", m.value, m.mean(until), m.vmin, m.vmax,
-                     m.transitions]
+                     pct["p50"], pct["p95"], pct["p99"], m.transitions]
                 )
         return header, rows
 
@@ -270,6 +358,9 @@ class _NullMetric:
     def distribution(self, until=None) -> list:
         return []
 
+    def percentiles(self, ps=(50.0, 95.0, 99.0), until=None) -> dict:
+        return {f"p{p:g}": 0.0 for p in ps}
+
     def to_dict(self, until=None) -> dict:
         return {}
 
@@ -281,6 +372,7 @@ class NullRegistry:
     """The disabled registry: every lookup returns the shared no-op metric."""
 
     enabled = False
+    sample_sink = None
 
     def counter(self, name: str) -> _NullMetric:
         return _NULL_METRIC
@@ -304,7 +396,8 @@ class NullRegistry:
         return {}
 
     def rows(self, until=None) -> tuple[list[str], list[list]]:
-        return ["metric", "type", "value", "mean", "min", "max", "events"], []
+        return ["metric", "type", "value", "mean", "min", "max",
+                "p50", "p95", "p99", "events"], []
 
 
 NULL_REGISTRY = NullRegistry()

@@ -47,6 +47,19 @@ class Observer:
         sim.obs = obs
         return obs
 
+    def stream_to(self, path, system: str = "sim"):
+        """Open a streaming trace store and wire this observer into it.
+
+        Everything recorded from this call on is appended to ``path`` as
+        it happens (see :mod:`repro.obs.store`).  The caller owns the
+        returned :class:`~repro.obs.store.TraceStoreWriter` and must
+        ``close()`` it (or use it as a context manager) so the footer is
+        written.
+        """
+        from repro.obs.store import TraceStoreWriter
+
+        return TraceStoreWriter(path, system=system).attach(self)
+
     def final_time(self) -> float:
         """Latest simulated time known to tracer or simulator."""
         t = self.tracer.last_time()

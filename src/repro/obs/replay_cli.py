@@ -1,0 +1,149 @@
+"""``python -m repro replay <trace-or-experiment>`` — the run dashboard.
+
+One command from a run (or an existing trace artifact) to a single
+self-contained HTML file you can open from disk: cluster heatmap,
+animated shuffle flows, stage timeline and counter sparklines over a
+playback scrubber (see :mod:`repro.obs.dashboard`).
+
+The target decides where the events come from:
+
+* ``fig6`` / ``fig1`` / ``fault`` — run that experiment now (same
+  runners as ``repro trace``) and replay the live observers;
+* ``*.jsonl`` — a streamed trace store written by ``repro trace
+  --stream`` (read chunked; memory stays O(chunk), not O(trace));
+* ``*.json``  — an existing Perfetto ``trace_event`` export;
+* ``sweep``   — no replay at all: build the cross-run sweep browser
+  from ``results/*.csv`` exports and bench history JSONL files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.util.units import parse_size
+
+#: Bench histories the sweep browser picks up when ``--bench`` is absent.
+_DEFAULT_BENCH = ("BENCH_history.jsonl", "benchmarks/BENCH_baseline.jsonl")
+
+
+def _dump_json(path: Path, replays) -> None:
+    payload = {name: r.to_dict() for name, r in replays}
+    with path.open("w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro replay", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "target",
+        help="fig6|fig1|fault (run now), a .jsonl trace store, "
+        "a Perfetto trace.json, or 'sweep'",
+    )
+    parser.add_argument(
+        "--size", type=str, default="1GB",
+        help="experiment targets: input size (e.g. 256MB, 1GB)",
+    )
+    parser.add_argument("--seed", type=int, default=2011)
+    parser.add_argument(
+        "--rate", type=float, default=40.0,
+        help="fault target: crashes per node-hour",
+    )
+    parser.add_argument(
+        "--buckets", type=int, default=120,
+        help="playback frames to fold the run into (default 120)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="HTML output path (default dashboard.html / sweep.html)",
+    )
+    parser.add_argument(
+        "--json-out", type=Path, default=None,
+        help="also dump the folded frames as JSON (headless use)",
+    )
+    parser.add_argument(
+        "--results-dir", type=Path, default=Path("results"),
+        help="sweep: directory of experiments CSV/JSON exports",
+    )
+    parser.add_argument(
+        "--bench", type=Path, nargs="*", default=None,
+        help="sweep: bench history JSONL files "
+        f"(default: {', '.join(_DEFAULT_BENCH)} when present)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.dashboard import write_dashboard, write_sweep_browser
+
+    if args.target == "sweep":
+        out = args.out or Path("sweep.html")
+        bench = (
+            args.bench
+            if args.bench is not None
+            else [p for p in map(Path, _DEFAULT_BENCH) if p.exists()]
+        )
+        results = args.results_dir if args.results_dir.is_dir() else None
+        if results is None:
+            print(f"note: {args.results_dir}/ not found — run "
+                  "`python -m repro.experiments.export` first for charts")
+        write_sweep_browser(out, results_dir=results, bench_histories=bench)
+        print(f"wrote {out} — open it in a browser")
+        return 0
+
+    from repro.obs.replay import (
+        replay_observer,
+        replay_store,
+        replays_from_perfetto,
+    )
+
+    target = args.target
+    manifest = None
+    if target in ("fig6", "fig1", "fault"):
+        from repro.obs.cli import run_experiment
+
+        observers, sim_elapsed = run_experiment(
+            target, parse_size(args.size), args.seed, args.rate
+        )
+        replays = [
+            (name, replay_observer(obs, system=name, buckets=args.buckets))
+            for name, obs in observers
+        ]
+        title = f"repro replay — {target} {args.size}"
+    elif target.endswith(".jsonl"):
+        r = replay_store(target, buckets=args.buckets)
+        replays = [(r.system, r)]
+        title = f"repro replay — {Path(target).name}"
+    elif target.endswith(".json"):
+        replays = sorted(
+            replays_from_perfetto(target, buckets=args.buckets).items()
+        )
+        if not replays:
+            parser.error(f"{target}: no replayable processes found")
+        title = f"repro replay — {Path(target).name}"
+    else:
+        parser.error(
+            f"unknown target {target!r}: expected fig6|fig1|fault|sweep, "
+            "a .jsonl store, or a .json trace"
+        )
+
+    for name, r in replays:
+        print(
+            f"  {name}: {r.t_end:.2f}s simulated -> {len(r.frames)} frames, "
+            f"{len(r.nodes)} nodes, {r.spans_seen} spans, "
+            f"{r.total_markers} markers"
+        )
+    out = args.out or Path("dashboard.html")
+    write_dashboard(out, replays, title=title, manifest=manifest)
+    print(f"wrote {out} — open it in a browser")
+    if args.json_out is not None:
+        _dump_json(args.json_out, replays)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

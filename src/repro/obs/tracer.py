@@ -87,7 +87,15 @@ class Edge:
 
 
 class SpanTracer:
-    """Collects spans and instants against a simulated-time clock."""
+    """Collects spans and instants against a simulated-time clock.
+
+    ``sink`` (default None) is an optional streaming listener — an
+    object with ``on_begin(span)``, ``on_end(sid, t1, args)``,
+    ``on_instant(instant)`` and ``on_edge(edge)`` — notified in exactly
+    the order events are recorded.  The streaming trace store
+    (:mod:`repro.obs.store`) uses it to append events to disk as they
+    happen instead of holding the whole trace in memory twice.
+    """
 
     def __init__(self, clock: Callable[[], float]):
         self._clock = clock
@@ -96,6 +104,7 @@ class SpanTracer:
         self.spans: list[Span] = []
         self.instants: list[Instant] = []
         self.edges: list[Edge] = []
+        self.sink = None
         self._open_by_track: dict[str, list[int]] = {}
 
     # -- recording ------------------------------------------------------------
@@ -129,10 +138,11 @@ class SpanTracer:
         stack = self._open_by_track.setdefault(track, [])
         if not parent and stack:
             parent = stack[-1]
-        self.spans.append(
-            Span(sid, parent, category, name, track, self._clock(), None, args)
-        )
+        span = Span(sid, parent, category, name, track, self._clock(), None, args)
+        self.spans.append(span)
         stack.append(sid)
+        if self.sink is not None:
+            self.sink.on_begin(span)
         return sid
 
     def end(self, sid: int, **args: Any) -> None:
@@ -150,6 +160,8 @@ class SpanTracer:
         stack = self._open_by_track.get(span.track)
         if stack and sid in stack:
             stack.remove(sid)
+        if self.sink is not None:
+            self.sink.on_end(sid, span.t1, args)
 
     def abort(self, sid: int, **args: Any) -> None:
         """Close ``sid`` and every open descendant on its track (LIFO).
@@ -177,7 +189,10 @@ class SpanTracer:
         """Record a point event."""
         if not self.enabled:
             return
-        self.instants.append(Instant(self._clock(), category, name, track, args))
+        inst = Instant(self._clock(), category, name, track, args)
+        self.instants.append(inst)
+        if self.sink is not None:
+            self.sink.on_instant(inst)
 
     def edge(self, src: int, dst: int, kind: str = "dep", **args: Any) -> None:
         """Record that span ``dst`` causally waits on span ``src``.
@@ -195,7 +210,10 @@ class SpanTracer:
             raise TraceError(f"unknown edge destination span id {dst}")
         if src == dst:
             raise TraceError(f"edge from span {src} to itself")
-        self.edges.append(Edge(src, dst, kind, self._clock(), args))
+        edge = Edge(src, dst, kind, self._clock(), args)
+        self.edges.append(edge)
+        if self.sink is not None:
+            self.sink.on_edge(edge)
 
     # -- queries ----------------------------------------------------------------
     def track_of(self, sid: int) -> Optional[str]:
@@ -235,6 +253,7 @@ class NullTracer:
     spans: tuple = ()
     instants: tuple = ()
     edges: tuple = ()
+    sink = None
 
     def begin(self, category, name, *, track=None, parent=0, **args) -> int:
         return 0

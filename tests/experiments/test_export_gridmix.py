@@ -61,6 +61,24 @@ class TestCsvExports:
         for path in written:
             assert path.exists() and path.stat().st_size > 0
 
+    def test_export_only_filters_and_validates(self, tmp_path):
+        from repro.experiments import export as mod
+
+        small = {
+            "fig2_latency.csv": mod.fig2_csv,
+            "fig3_bandwidth.csv": mod.fig3_csv,
+        }
+        original, original_json = mod.EXPORTS, mod.JSON_EXPORTS
+        mod.EXPORTS, mod.JSON_EXPORTS = small, {}
+        try:
+            written = mod.export_all(tmp_path / "out",
+                                     only={"fig2_latency.csv"})
+            assert [p.name for p in written] == ["fig2_latency.csv"]
+            with pytest.raises(ValueError, match="unknown exports"):
+                mod.export_all(tmp_path / "out", only={"nope.csv"})
+        finally:
+            mod.EXPORTS, mod.JSON_EXPORTS = original, original_json
+
 
 class TestGridmixSuite:
     def test_suite_members(self):

@@ -95,8 +95,16 @@ class TestObsMetricsDumps:
 
     def test_csv_rows(self, observer):
         header, rows = obs_metrics_csv(observer)
-        assert header == ["metric", "type", "value", "mean", "min", "max", "events"]
+        assert header == [
+            "metric", "type", "value", "mean", "min", "max",
+            "p50", "p95", "p99", "events",
+        ]
         assert [r[0] for r in rows] == ["net.bytes", "slots"]
+        by_name = {r[0]: dict(zip(header, r)) for r in rows}
+        # Counters carry no distribution, so the percentile cells stay blank;
+        # histograms report duration-weighted quantiles.
+        assert by_name["net.bytes"]["p50"] == ""
+        assert by_name["slots"]["p50"] == 3.0
 
     def test_json_dump(self, observer):
         data = obs_metrics_json(observer)

@@ -55,6 +55,142 @@ class TestTraceCli:
         assert "fault" in categories_in(events)
 
 
+class TestOutDirStreamDashboard:
+    def test_out_dir_collects_every_artifact(self, tmp_path, capsys):
+        out_dir = tmp_path / "run"
+        rc = trace_main(
+            [
+                "fig1",
+                "--size", "64MB",
+                "--out-dir", str(out_dir),
+                "--stream",
+                "--dashboard",
+                "--metrics-out", "metrics.csv",
+            ]
+        )
+        assert rc == 0
+        # Trace, manifest, metrics, store and dashboard all land together.
+        assert (out_dir / "trace.json").exists()
+        assert (out_dir / "trace.json.manifest.json").exists()
+        assert (out_dir / "metrics.csv").exists()
+        store = out_dir / "fig1.hadoop.store.jsonl"
+        assert store.exists()
+        assert (out_dir / "dashboard.html").exists()
+
+        from repro.obs.store import load_tracer, read_footer
+
+        footer = read_footer(store)
+        assert footer["system"] == "hadoop"
+        assert footer["counts"]["begin"] == len(load_tracer(store).spans)
+
+        out = capsys.readouterr().out
+        assert "streamed trace store" in out
+        assert "dashboard.html — open it in a browser" in out
+
+    def test_stream_writes_one_store_per_system(self, tmp_path):
+        out_dir = tmp_path / "run"
+        rc = trace_main(
+            ["fig6", "--size", "64MB", "--out-dir", str(out_dir), "--stream"]
+        )
+        assert rc == 0
+        assert (out_dir / "fig6.hadoop.store.jsonl").exists()
+        assert (out_dir / "fig6.mpid.store.jsonl").exists()
+
+    def test_metrics_csv_carries_percentile_columns(self, tmp_path):
+        out_dir = tmp_path / "run"
+        rc = trace_main(
+            ["fig1", "--size", "64MB", "--out-dir", str(out_dir),
+             "--metrics-out", "metrics.csv"]
+        )
+        assert rc == 0
+        with (out_dir / "metrics.csv").open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["system", "metric", "type", "value", "mean",
+                           "min", "max", "p50", "p95", "p99", "events"]
+        hist_rows = [r for r in rows[1:] if r[2] == "histogram"]
+        assert hist_rows  # slot/link occupancy histograms present
+        assert all(r[7] != "" for r in hist_rows)  # p50 populated
+
+    def test_gantt_limit_caps_tracks(self, tmp_path, capsys):
+        rc = trace_main(
+            ["fig6", "--size", "64MB",
+             "--trace-out", str(tmp_path / "t.json"),
+             "--gantt", "--gantt-limit", "3"]
+        )
+        assert rc == 0
+        assert "more tracks" in capsys.readouterr().out
+
+
+class TestReplayCli:
+    def test_replay_experiment_writes_dashboard(self, tmp_path, capsys):
+        from repro.obs.replay_cli import main as replay_main
+
+        out = tmp_path / "dash.html"
+        frames = tmp_path / "frames.json"
+        rc = replay_main(
+            ["fig6", "--size", "64MB", "--buckets", "40",
+             "--out", str(out), "--json-out", str(frames)]
+        )
+        assert rc == 0
+        from repro.obs.dashboard import extract_data_island
+
+        data = extract_data_island(out.read_text())
+        assert set(data["systems"]) == {"hadoop", "mpid"}
+        assert len(data["systems"]["hadoop"]["frames"]) == 40
+        payload = json.loads(frames.read_text())
+        assert set(payload) == {"hadoop", "mpid"}
+        assert "open it in a browser" in capsys.readouterr().out
+
+    def test_replay_store_file(self, tmp_path):
+        from repro.obs.replay_cli import main as replay_main
+
+        out_dir = tmp_path / "run"
+        assert trace_main(["fig1", "--size", "64MB",
+                           "--out-dir", str(out_dir), "--stream"]) == 0
+        dash = tmp_path / "store_dash.html"
+        rc = replay_main(
+            [str(out_dir / "fig1.hadoop.store.jsonl"), "--out", str(dash)]
+        )
+        assert rc == 0
+        assert "view-heatmap" in dash.read_text()
+
+    def test_replay_perfetto_trace(self, tmp_path):
+        from repro.obs.replay_cli import main as replay_main
+
+        trace = tmp_path / "t.json"
+        assert trace_main(["fig1", "--size", "64MB",
+                           "--trace-out", str(trace)]) == 0
+        dash = tmp_path / "dash.html"
+        assert replay_main([str(trace), "--out", str(dash)]) == 0
+        from repro.obs.dashboard import extract_data_island
+
+        assert "hadoop" in extract_data_island(dash.read_text())["systems"]
+
+    def test_replay_sweep_browser(self, tmp_path, capsys):
+        from repro.obs.replay_cli import main as replay_main
+
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig6_wordcount.csv").write_text(
+            "size_gb,hadoop_s,mpid_s\n1,100,40\n")
+        out = tmp_path / "sweep.html"
+        rc = replay_main(
+            ["sweep", "--results-dir", str(results), "--bench",
+             "--out", str(out)]
+        )
+        assert rc == 0
+        assert 'id="sweep-data"' in out.read_text()
+
+    def test_unknown_target_errors(self, capsys):
+        import pytest
+
+        from repro.obs.replay_cli import main as replay_main
+
+        with pytest.raises(SystemExit):
+            replay_main(["not-a-thing"])
+        assert "unknown target" in capsys.readouterr().err
+
+
 class TestMainDispatch:
     def test_bare_invocation_lists_commands(self, capsys):
         from repro.__main__ import main
@@ -62,4 +198,14 @@ class TestMainDispatch:
         assert main([]) == 0
         out = capsys.readouterr().out
         assert "python -m repro trace" in out
+        assert "python -m repro replay" in out
         assert "fig6_wordcount" in out
+
+    def test_replay_dispatch(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "sweep.html"
+        rc = main(["replay", "sweep", "--results-dir",
+                   str(tmp_path / "none"), "--bench", "--out", str(out)])
+        assert rc == 0
+        assert out.exists()

@@ -52,6 +52,22 @@ class TestAsciiGantt:
         assert "attempt0" in out  # first wave kept
         assert "attempt11" in out  # last wave kept
 
+    def test_max_tracks_caps_with_footer(self):
+        out = ascii_gantt(make_obs(12), max_tracks=4)
+        lines = out.splitlines()
+        assert lines[-1] == "… 8 more tracks"
+        assert "attempt3" in out
+        assert "attempt4" not in out  # hard cap: tail is cut, not elided
+
+    def test_max_tracks_no_footer_when_under_cap(self):
+        out = ascii_gantt(make_obs(3), max_tracks=10)
+        assert "more tracks" not in out
+
+    def test_max_tracks_composes_with_max_rows_elision(self):
+        out = ascii_gantt(make_obs(20), max_tracks=10, max_rows=6)
+        assert "more tracks ..." in out  # middle elision of the kept 10
+        assert out.splitlines()[-1] == "… 10 more tracks"
+
     def test_long_track_names_truncated(self):
         clock = Clock()
         obs = Observer(clock=clock)

@@ -112,6 +112,68 @@ class TestTimeWeightedHistogram:
         assert h.mean() == 3.0
 
 
+class TestPercentiles:
+    def test_duration_weighted_quantiles(self):
+        clock = Clock()
+        h = TimeWeightedHistogram("q", clock)
+        h.set(1)            # value 1 holds [0, 90)
+        clock.t = 90.0
+        h.set(10)           # value 10 holds [90, 96)
+        clock.t = 96.0
+        h.set(40)           # value 40 holds [96, 100)
+        clock.t = 100.0
+        pct = h.percentiles()
+        # 90% of the window sat at 1, 6% at 10, 4% at 40.
+        assert pct == {"p50": 1.0, "p95": 10.0, "p99": 40.0}
+
+    def test_spike_does_not_move_p50(self):
+        """A microsecond blip must not drag the median the way an
+        arithmetic quantile of transition values would."""
+        clock = Clock()
+        h = TimeWeightedHistogram("q", clock)
+        h.set(3)
+        clock.t = 50.0
+        h.set(1000)         # blip: holds for 1e-6 s
+        clock.t = 50.000001
+        h.set(3)
+        clock.t = 100.0
+        pct = h.percentiles()
+        assert pct["p50"] == 3.0
+        assert pct["p99"] == 3.0
+
+    def test_custom_percentile_list_and_keys(self):
+        clock = Clock()
+        h = TimeWeightedHistogram("q", clock)
+        h.set(2)
+        clock.t = 10.0
+        # The signal only ever *held* 2 (the initial 0 lasted no time),
+        # so every duration-weighted quantile — even p0 — is 2.
+        assert h.percentiles(ps=(0.0, 100.0)) == {"p0": 2.0, "p100": 2.0}
+
+    def test_no_elapsed_time_returns_current_value(self):
+        h = TimeWeightedHistogram("q", Clock(3.0))
+        h.set(7)
+        assert h.percentiles() == {"p50": 7.0, "p95": 7.0, "p99": 7.0}
+
+    def test_exact_boundary_is_inclusive(self):
+        clock = Clock()
+        h = TimeWeightedHistogram("q", clock)
+        h.set(1)            # [0, 50): exactly half the window
+        clock.t = 50.0
+        h.set(2)            # [50, 100): the other half
+        clock.t = 100.0
+        # p50 lands exactly on the cumulative edge of value 1.
+        assert h.percentiles(ps=(50.0,))["p50"] == 1.0
+
+    def test_to_dict_includes_percentiles(self):
+        clock = Clock()
+        h = TimeWeightedHistogram("q", clock)
+        h.set(4)
+        clock.t = 8.0
+        d = h.to_dict()
+        assert d["p50"] == 4.0 and d["p95"] == 4.0 and d["p99"] == 4.0
+
+
 class TestRegistry:
     def test_get_or_create_returns_same_object(self):
         reg = MetricsRegistry(Clock())
@@ -155,9 +217,15 @@ class TestRegistry:
         reg.histogram("h").set(1)
         clock.t = 1.0
         header, rows = reg.rows()
-        assert header == ["metric", "type", "value", "mean", "min", "max", "events"]
+        assert header == ["metric", "type", "value", "mean", "min", "max",
+                          "p50", "p95", "p99", "events"]
         assert [r[0] for r in rows] == ["c", "g", "h"]
         assert all(len(r) == len(header) for r in rows)
+        by_name = {r[0]: dict(zip(header, r)) for r in rows}
+        # Counters/gauges have no duration-weighted distribution — their
+        # percentile cells stay blank; histograms carry real values.
+        assert by_name["c"]["p50"] == by_name["g"]["p95"] == ""
+        assert by_name["h"]["p50"] == 1.0
 
 
 class TestNullRegistry:

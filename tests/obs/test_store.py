@@ -1,0 +1,270 @@
+"""Streaming trace store: round-trip fidelity, chunked reads, footers.
+
+The store's contract has two halves and both are pinned here:
+
+* **fidelity** — a trace streamed to disk as it was recorded folds back
+  into the *exact* in-memory ``SpanTracer`` state (bit-for-bit spans,
+  instants, edges, and open-span stacks), property-tested over random
+  begin/end/instant/edge sequences and checked end-to-end on a real
+  simulation;
+* **memory** — the chunked reader never holds more than one chunk plus
+  one carried line, no matter how large the file.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.obs.observer import Observer
+from repro.obs.store import (
+    TraceStoreReader,
+    TraceStoreWriter,
+    events_of,
+    load_tracer,
+    read_events,
+    read_footer,
+)
+
+
+class Clock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def tracer_state(tracer):
+    """Everything the round-trip guarantee covers, as comparable data."""
+    return (
+        [
+            (s.sid, s.parent, s.category, s.name, s.track, s.t0, s.t1, s.args)
+            for s in tracer.spans
+        ],
+        [(i.time, i.category, i.name, i.track, i.args) for i in tracer.instants],
+        [(e.src, e.dst, e.kind, e.time, e.args) for e in tracer.edges],
+        {k: list(v) for k, v in tracer._open_by_track.items() if v},
+    )
+
+
+# One random trace "program": a sequence of recorded operations.  Ends
+# may close any still-open span (in any order); some spans stay open.
+_op = st.sampled_from(["begin", "end", "instant", "edge"])
+_programs = st.lists(
+    st.tuples(_op, st.floats(min_value=0.0, max_value=100.0,
+                             allow_nan=False, allow_infinity=False),
+              st.integers(min_value=0, max_value=4)),
+    min_size=0, max_size=60,
+)
+
+
+def run_program(program):
+    """Drive a live observer + streaming writer through one program."""
+    clock = Clock()
+    obs = Observer(clock=clock)
+    open_sids = []
+    t = 0.0
+    for op, dt, pick in program:
+        t += dt / 10.0
+        clock.t = t
+        if op == "begin":
+            track = f"track{pick}"
+            sid = obs.tracer.begin(
+                f"cat{pick % 3}", f"span at {t:.3f}", track=track,
+                node=pick, detail=f"d{pick}",
+            )
+            open_sids.append(sid)
+        elif op == "end" and open_sids:
+            sid = open_sids.pop(pick % len(open_sids))
+            obs.tracer.end(sid, done=pick)
+        elif op == "instant":
+            obs.tracer.instant(f"icat{pick % 2}", f"inst {t:.3f}",
+                               track="marks", n=pick)
+        elif op == "edge" and len(obs.tracer.spans) >= 2:
+            n = len(obs.tracer.spans)
+            src_sid, dst_sid = 1 + pick % n, 1 + (pick // 2) % n
+            if src_sid != dst_sid:
+                obs.tracer.edge(src_sid, dst_sid, kind="dep")
+    return obs
+
+
+class TestRoundTrip:
+    @given(_programs)
+    def test_streamed_store_reconstructs_exact_tracer(self, tmp_path_factory,
+                                                      program):
+        tmp = tmp_path_factory.mktemp("store")
+        path = tmp / "trace.store.jsonl"
+        clock = Clock()
+        obs = Observer(clock=clock)
+        with TraceStoreWriter(path, system="prop") as writer:
+            writer.attach(obs)
+            # Replay the same program against the attached observer.
+            open_sids = []
+            t = 0.0
+            for op, dt, pick in program:
+                t += dt / 10.0
+                clock.t = t
+                if op == "begin":
+                    open_sids.append(obs.tracer.begin(
+                        f"cat{pick % 3}", f"span at {t:.3f}",
+                        track=f"track{pick}", node=pick, detail=f"d{pick}",
+                    ))
+                elif op == "end" and open_sids:
+                    obs.tracer.end(open_sids.pop(pick % len(open_sids)),
+                                   done=pick)
+                elif op == "instant":
+                    obs.tracer.instant(f"icat{pick % 2}", f"inst {t:.3f}",
+                                       track="marks", n=pick)
+                elif op == "edge" and len(obs.tracer.spans) >= 2:
+                    n = len(obs.tracer.spans)
+                    src_sid = 1 + pick % n
+                    dst_sid = 1 + (pick // 2) % n
+                    if src_sid != dst_sid:
+                        obs.tracer.edge(src_sid, dst_sid, kind="dep")
+        # Tiny chunks on purpose: fidelity must not depend on chunk size.
+        rebuilt = load_tracer(path, chunk_bytes=256)
+        assert tracer_state(rebuilt) == tracer_state(obs.tracer)
+
+    def test_real_simulation_round_trips_bit_for_bit(self, tmp_path):
+        from repro.hadoop import HadoopConfig, JobSpec, WORDCOUNT_PROFILE
+        from repro.hadoop.simulation import HadoopSimulation
+        from repro.util.units import MiB
+
+        spec = JobSpec(name="rt", input_bytes=128 * MiB,
+                       profile=WORDCOUNT_PROFILE, num_reduce_tasks=1)
+        sim = HadoopSimulation(spec=spec, config=HadoopConfig(), observe=True)
+        path = tmp_path / "run.store.jsonl"
+        with sim.obs.stream_to(path, system="hadoop"):
+            sim.run()
+        rebuilt = load_tracer(path)
+        assert tracer_state(rebuilt) == tracer_state(sim.obs.tracer)
+        assert rebuilt.last_time() == sim.obs.tracer.last_time()
+
+    def test_live_events_match_streamed_events(self, tmp_path):
+        """``events_of`` (live) and the file agree on spans/instants/edges."""
+        obs = run_program([("begin", 5.0, 1), ("instant", 1.0, 0),
+                           ("begin", 2.0, 2), ("edge", 0.0, 1),
+                           ("end", 3.0, 0)])
+        live = [ev for ev in events_of(obs) if ev["k"] != "sample"]
+        rebuilt = load_tracer(iter(live))
+        assert tracer_state(rebuilt) == tracer_state(obs.tracer)
+
+
+class TestChunkedReader:
+    @pytest.fixture(scope="class")
+    def big_store(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("store") / "big.store.jsonl"
+        clock = Clock()
+        obs = Observer(clock=clock)
+        with TraceStoreWriter(path, system="big", index_every=100) as w:
+            w.attach(obs)
+            for i in range(500):
+                clock.t = float(i)
+                sid = obs.tracer.begin("cat", f"span{i}", track=f"t{i % 7}")
+                clock.t = i + 0.5
+                obs.tracer.end(sid)
+                obs.metrics.gauge("g").set(i)
+        return path
+
+    def test_memory_stays_o_chunk(self, big_store):
+        chunk = 1024
+        reader = TraceStoreReader(big_store, chunk_bytes=chunk)
+        n = sum(1 for _ in reader)
+        assert n == 1500  # 500 * (begin + end + sample)
+        longest = max(len(line) for line in
+                      big_store.read_text().splitlines()) + 1
+        # One chunk plus at most one carried (partial) line — never the
+        # whole file, which is > 50 chunks here.
+        assert reader.max_buffered_bytes <= chunk + longest
+        assert reader.max_buffered_bytes < big_store.stat().st_size / 10
+
+    def test_footer_counts_index_and_tail_read(self, big_store):
+        footer = read_footer(big_store)
+        assert footer is not None
+        assert footer["events"] == 1500
+        assert footer["counts"]["begin"] == 500
+        assert footer["counts"]["sample"] == 500
+        assert footer["final_time"] == 499.5
+        assert footer["metrics"]["g"]["type"] == "gauge"
+        # Sparse index: one [event_index, byte_offset] per 100 events,
+        # each offset pointing at the start of that event's line.
+        assert [i for i, _ in footer["index"]] == list(range(0, 1500, 100))
+        raw = big_store.read_bytes()
+        for _i, offset in footer["index"][:3]:
+            assert raw[offset:offset + 1] == b"{"
+
+    def test_reader_exposes_header_and_footer(self, big_store):
+        reader = TraceStoreReader(big_store)
+        for _ in reader:
+            pass
+        assert reader.header == {"k": "header", "version": 1, "system": "big"}
+        assert reader.footer is not None and reader.footer["k"] == "footer"
+
+    def test_unclosed_store_has_no_footer(self, tmp_path):
+        path = tmp_path / "open.store.jsonl"
+        obs = Observer(clock=Clock())
+        writer = TraceStoreWriter(path, system="x").attach(obs)
+        obs.tracer.begin("cat", "s")
+        writer._fh.flush()
+        assert read_footer(path) is None
+        writer.close()
+        assert read_footer(path)["events"] == 1
+
+    def test_same_seed_stores_are_byte_identical(self, tmp_path):
+        from repro.hadoop import HadoopConfig, JobSpec, WORDCOUNT_PROFILE
+        from repro.hadoop.simulation import HadoopSimulation
+        from repro.util.units import MiB
+
+        def run(path):
+            spec = JobSpec(name="det", input_bytes=64 * MiB,
+                           profile=WORDCOUNT_PROFILE, num_reduce_tasks=1)
+            sim = HadoopSimulation(spec=spec, config=HadoopConfig(),
+                                   seed=7, observe=True)
+            with sim.obs.stream_to(path, system="hadoop"):
+                sim.run()
+
+        run(tmp_path / "a.jsonl")
+        run(tmp_path / "b.jsonl")
+        assert (tmp_path / "a.jsonl").read_bytes() == \
+            (tmp_path / "b.jsonl").read_bytes()
+
+
+class TestCorruptStores:
+    def test_begin_sid_out_of_order_raises(self):
+        with pytest.raises(ValueError, match="begin sid"):
+            load_tracer(iter([
+                {"k": "begin", "sid": 2, "parent": 0, "cat": "c", "name": "n",
+                 "track": "t", "t0": 0.0, "args": {}},
+            ]))
+
+    def test_end_of_unknown_span_raises(self):
+        with pytest.raises(ValueError, match="unknown span"):
+            load_tracer(iter([{"k": "end", "sid": 9, "t1": 1.0, "args": {}}]))
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            load_tracer(iter([{"k": "bogus"}]))
+
+    def test_detach_on_close_stops_streaming(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        obs = Observer(clock=Clock())
+        writer = TraceStoreWriter(path).attach(obs)
+        obs.tracer.instant("cat", "before")
+        writer.close()
+        obs.tracer.instant("cat", "after")  # must not hit the closed file
+        kinds = [ev["k"] for ev in read_events(path)]
+        assert kinds == ["instant"]
+        assert obs.tracer.sink is None
+        assert obs.metrics.sample_sink is None
+
+    def test_store_lines_are_valid_compact_json(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        obs = Observer(clock=Clock())
+        with TraceStoreWriter(path).attach(obs):
+            sid = obs.tracer.begin("cat", "n")
+            obs.tracer.end(sid)
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["k"] == "header"
+        assert json.loads(lines[-1])["k"] == "footer"
+        assert all(json.loads(line) for line in lines)
