@@ -1,0 +1,40 @@
+"""Multi-tenant traffic + cluster scheduling on one shared simnet kernel.
+
+``repro.cluster`` is the layer the ROADMAP's "millions of users" north
+star asks for: seeded open-loop arrival streams (:mod:`~repro.cluster.
+arrivals`), a fair-share/capacity/FIFO slot scheduler with preemption
+and admission control (:mod:`~repro.cluster.scheduler`), and the engine
+that runs tens-to-hundreds of concurrent Hadoop and MPI-D jobs on one
+shared cluster with per-tenant SLO accounting (:mod:`~repro.cluster.
+engine`).  See ``docs/SCHEDULER.md``.
+"""
+
+from repro.cluster.arrivals import (
+    Arrival,
+    TenantSpec,
+    build_arrivals,
+    offered_load_summary,
+    tenant_arrivals,
+)
+from repro.cluster.engine import JobRecord, MultiTenantEngine, percentile
+from repro.cluster.scheduler import (
+    ClusterScheduler,
+    JobSlots,
+    QueueConfig,
+    SchedulerConfig,
+)
+
+__all__ = [
+    "Arrival",
+    "ClusterScheduler",
+    "JobRecord",
+    "JobSlots",
+    "MultiTenantEngine",
+    "QueueConfig",
+    "SchedulerConfig",
+    "TenantSpec",
+    "build_arrivals",
+    "offered_load_summary",
+    "percentile",
+    "tenant_arrivals",
+]

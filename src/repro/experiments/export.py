@@ -26,7 +26,7 @@ from typing import Optional, Sequence
 from repro.experiments import critical_path as critical_path_exp
 from repro.experiments import durability, fault_tolerance, fig1_shuffle
 from repro.experiments import fig2_latency, fig3_bandwidth, fig6_wordcount
-from repro.experiments import network_faults, table1_copy_pct
+from repro.experiments import multi_tenant, network_faults, table1_copy_pct
 from repro.obs.analysis import STAGES
 from repro.util.units import GiB
 
@@ -404,6 +404,29 @@ def durability_json(result=None) -> dict:
 
 
 @lru_cache(maxsize=1)
+def _default_tenants():
+    """One shared small multi-tenant sweep (fair policy, 1x vs 2x load,
+    clean vs chaos, short horizon) so exports stay quick."""
+    return multi_tenant.run(
+        loads=(1.0, 2.0),
+        policies=("fair",),
+        seeds=(2011,),
+        horizon=600.0,
+        chaos=(False, True),
+    )
+
+
+def multi_tenant_csv(result=None) -> tuple[list[str], list[list]]:
+    """Per-(cell, seed, tenant) SLO rows of the multi-tenant sweep."""
+    return multi_tenant.to_rows(result or _default_tenants())
+
+
+def multi_tenant_json(result=None) -> dict:
+    """The full per-cell engine reports of the multi-tenant sweep."""
+    return multi_tenant.to_json(result or _default_tenants())
+
+
+@lru_cache(maxsize=1)
 def _default_critical_path():
     """One shared small blame sweep (kept small so exports stay quick)."""
     return critical_path_exp.run(sizes_gb=(1.0, 4.0))
@@ -473,6 +496,7 @@ EXPORTS = {
     "network_faults.csv": network_faults_csv,
     "durability.csv": durability_csv,
     "critical_path.csv": critical_path_csv,
+    "multi_tenant.csv": multi_tenant_csv,
 }
 
 JSON_EXPORTS = {
@@ -481,6 +505,7 @@ JSON_EXPORTS = {
     "network_faults.json": network_faults_json,
     "durability.json": durability_json,
     "critical_path.json": critical_path_json,
+    "multi_tenant.json": multi_tenant_json,
 }
 
 

@@ -17,11 +17,16 @@ Run: ``python -m repro.experiments.stragglers``
 from __future__ import annotations
 
 import argparse
+import csv
+import json
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.experiments.reporting import Table, banner
 from repro.hadoop import HadoopConfig, JAVASORT_PROFILE, JobMetrics, JobSpec, run_hadoop_job
 from repro.util.units import GiB
+
+DEFAULT_SEEDS = (2011, 2012, 2013)
 
 
 @dataclass
@@ -68,6 +73,143 @@ def run(
     )
 
 
+def sweep(
+    input_gb: int = 4,
+    slow_node: int = 3,
+    slowdown: float = 6.0,
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+) -> dict[int, StragglerResult]:
+    """The three-scenario comparison across placement seeds."""
+    return {
+        seed: run(
+            input_gb=input_gb, slow_node=slow_node, slowdown=slowdown, seed=seed
+        )
+        for seed in seeds
+    }
+
+
+def to_rows(results: dict[int, StragglerResult]) -> tuple[list[str], list[list]]:
+    """One CSV row per (seed, scenario) with the speculation counters."""
+    header = [
+        "seed",
+        "scenario",
+        "elapsed_s",
+        "avg_copy_s",
+        "spec_map_attempts",
+        "spec_map_wins",
+        "spec_reduce_attempts",
+        "spec_reduce_wins",
+        "degradation_x",
+        "recovered_frac",
+    ]
+    rows: list[list] = []
+    for seed in sorted(results):
+        r = results[seed]
+        for label, m in (
+            ("healthy", r.healthy),
+            ("degraded", r.degraded),
+            ("speculative", r.speculative),
+        ):
+            rows.append(
+                [
+                    seed,
+                    label,
+                    m.elapsed,
+                    float(m.copy_times().mean()),
+                    m.speculative_attempts,
+                    m.speculative_wins,
+                    m.speculative_reduce_attempts,
+                    m.speculative_reduce_wins,
+                    r.degradation,
+                    r.recovered,
+                ]
+            )
+    return header, rows
+
+
+def to_json(results: dict[int, StragglerResult]) -> dict:
+    """Per-seed full job histories of all three scenarios."""
+    return {
+        "experiment": "stragglers",
+        "seeds": sorted(results),
+        "runs": {
+            str(seed): {
+                "healthy": r.healthy.to_dict(),
+                "degraded": r.degraded.to_dict(),
+                "speculative": r.speculative.to_dict(),
+                "degradation_x": r.degradation,
+                "recovered_frac": r.recovered,
+            }
+            for seed, r in results.items()
+        },
+    }
+
+
+def export(results: dict[int, StragglerResult], out_dir: Path) -> list[Path]:
+    """Write stragglers.csv / stragglers.json into ``out_dir``."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    csv_path = out_dir / "stragglers.csv"
+    header, rows = to_rows(results)
+    with csv_path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+    json_path = out_dir / "stragglers.json"
+    with json_path.open("w") as fh:
+        json.dump(to_json(results), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return [csv_path, json_path]
+
+
+def write_traced_run(
+    trace_out,
+    input_gb: int = 1,
+    slow_node: int = 3,
+    slowdown: float = 6.0,
+    seed: int = 2011,
+) -> JobMetrics:
+    """One observed straggler run with speculation on; trace + manifest.
+
+    The trace shows the duplicate ``map<N>.spec`` attempts racing their
+    originals on healthy nodes while the slow disk drags its own lane.
+    """
+    import time as _time
+
+    from repro.hadoop import HadoopSimulation
+    from repro.obs import build_manifest, write_trace
+
+    sim = HadoopSimulation(
+        spec=JobSpec(
+            name=f"sort-{input_gb}g",
+            input_bytes=input_gb * GiB,
+            profile=JAVASORT_PROFILE,
+        ),
+        config=HadoopConfig(speculative_execution=True),
+        seed=seed,
+        disk_slowdown={slow_node: slowdown},
+        observe=True,
+    )
+    t0 = _time.perf_counter()
+    metrics = sim.run()
+    observers = [(f"stragglers-{input_gb}g", sim.obs)]
+    manifest = build_manifest(
+        experiment="stragglers",
+        config={
+            "input_gb": input_gb,
+            "slow_node": slow_node,
+            "slowdown": slowdown,
+            "speculative_execution": True,
+        },
+        seed=seed,
+        observers=observers,
+        wall_seconds=_time.perf_counter() - t0,
+        sim_elapsed={"hadoop": metrics.elapsed},
+    )
+    write_trace(observers, trace_out, manifest=manifest)
+    manifest.write(Path(f"{trace_out}.manifest.json"))
+    return metrics
+
+
 def format_report(result: StragglerResult) -> str:
     table = Table(
         headers=("scenario", "job time (s)", "avg copy (s)", "spec attempts", "spec wins"),
@@ -97,8 +239,44 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--gb", type=int, default=4)
     parser.add_argument("--slowdown", type=float, default=6.0)
+    parser.add_argument(
+        "--seeds",
+        type=str,
+        default=None,
+        help="comma-separated placement seeds (default 2011,2012,2013)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="also write stragglers.csv / stragglers.json here",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        help="also run one observed 1 GB speculative run; "
+        "write Perfetto JSON here",
+    )
     args = parser.parse_args(argv)
-    print(format_report(run(input_gb=args.gb, slowdown=args.slowdown)))
+    seeds = (
+        tuple(int(t) for t in args.seeds.split(",") if t.strip())
+        if args.seeds
+        else DEFAULT_SEEDS
+    )
+    results = sweep(input_gb=args.gb, slowdown=args.slowdown, seeds=seeds)
+    print(format_report(results[seeds[0]]))
+    if len(seeds) > 1:
+        recs = [results[s].recovered for s in seeds]
+        print(
+            f"\nacross seeds {','.join(map(str, seeds))}: speculation "
+            f"recovered {min(recs) * 100:.0f}%–{max(recs) * 100:.0f}% "
+            f"of the lost time"
+        )
+    if args.out is not None:
+        for path in export(results, args.out):
+            print(f"wrote {path}")
+    if args.trace_out is not None:
+        write_traced_run(args.trace_out, slowdown=args.slowdown)
+        print(f"wrote {args.trace_out} (+ {args.trace_out}.manifest.json)")
     return 0
 
 

@@ -73,10 +73,29 @@ class ReduceTaskInfo:
     task_id: int
     partition: int
     state: str = _PENDING
-    node: Optional[int] = None
-    metrics: Optional[ReduceTaskMetrics] = None
+    node: Optional[int] = None  # winning attempt's node once DONE
+    metrics: Optional[ReduceTaskMetrics] = None  # winning attempt's metrics
     attempts: int = 0
     failed_attempts: int = 0
+    first_started: Optional[float] = None
+
+
+@dataclass(eq=False)
+class ReduceAttempt:
+    """One execution attempt of a reduce task (original or speculative)."""
+
+    task: ReduceTaskInfo
+    node: int
+    metrics: ReduceTaskMetrics
+    speculative: bool = False
+
+    @property
+    def task_id(self) -> int:
+        return self.task.task_id
+
+    @property
+    def partition(self) -> int:
+        return self.task.partition
 
 
 @dataclass
@@ -127,7 +146,10 @@ class JobTracker:
         self.reduces_completed = 0
         self.speculative_attempts = 0
         self.speculative_wins = 0
+        self.speculative_reduce_attempts = 0
+        self.speculative_reduce_wins = 0
         self._completed_durations: list[float] = []
+        self._completed_reduce_durations: list[float] = []
         #: Announcement log, append-only; reducers poll with a cursor so a
         #: poll costs O(new events), like TaskCompletionEvents paging.  A
         #: re-executed map is appended *again* on its second completion;
@@ -142,13 +164,18 @@ class JobTracker:
         # node -> attempts/reduces currently executing there, so a lost
         # tracker can be unwound attempt-by-attempt.
         self._running_attempts: dict[int, list[MapAttempt]] = {}
-        self._running_reduce_map: dict[int, list[ReduceTaskInfo]] = {}
+        self._running_reduce_map: dict[int, list[ReduceAttempt]] = {}
         self.lost_trackers = 0
         self.failed_map_attempts = 0
         self.failed_reduce_attempts = 0
         self.maps_reexecuted = 0
         self.fetch_failures = 0
         self.wasted_task_seconds = 0.0
+        # -- scheduler-preemption state (multi-tenant clusters) ----------------
+        #: Attempts killed by the cluster scheduler to reclaim slots for
+        #: another tenant; the work requeues without burning a retry.
+        self.maps_preempted = 0
+        self.reduces_preempted = 0
         # -- shuffle-robustness state (lossy networks) ------------------------
         #: Retry attempts reducers performed after transient fetch failures.
         self.fetch_retries = 0
@@ -222,7 +249,7 @@ class JobTracker:
         free_reduce_slots: int,
         completed_map_ids: list[int],
         now: float,
-    ) -> tuple[list[MapAttempt], list[ReduceTaskInfo]]:
+    ) -> tuple[list[MapAttempt], list[ReduceAttempt]]:
         """One tracker's heartbeat: report completions, receive work."""
         if node in self.blacklisted:
             return [], []
@@ -262,7 +289,7 @@ class JobTracker:
                 self._running_attempts.setdefault(node, []).append(attempt)
                 assigned_maps.append(attempt)
 
-        assigned_reduces: list[ReduceTaskInfo] = []
+        assigned_reduces: list[ReduceAttempt] = []
         if self.reduces_may_start():
             budget = min(
                 self.config.reduces_per_heartbeat, max(0, free_reduce_slots)
@@ -278,12 +305,26 @@ class JobTracker:
                 task.state = _RUNNING
                 task.node = node
                 task.attempts += 1
-                task.metrics = ReduceTaskMetrics(
+                task.first_started = now
+                metrics = ReduceTaskMetrics(
                     task_id=task.task_id, node=node, scheduled_at=now
                 )
-                self._running_reduce_map.setdefault(node, []).append(task)
-                assigned_reduces.append(task)
+                task.metrics = metrics
+                attempt = ReduceAttempt(task=task, node=node, metrics=metrics)
+                self._running_reduce_map.setdefault(node, []).append(attempt)
+                assigned_reduces.append(attempt)
                 budget -= 1
+
+            if (
+                self.config.speculative_execution
+                and budget > 0
+                and not self._requeued_reduces
+                and self._next_reduce >= self.num_reduces
+            ):
+                attempt = self._speculate_reduce(node, now)
+                if attempt is not None:
+                    self._running_reduce_map.setdefault(node, []).append(attempt)
+                    assigned_reduces.append(attempt)
 
         return assigned_maps, assigned_reduces
 
@@ -328,6 +369,34 @@ class JobTracker:
         metrics.data_local = node in best.preferred_nodes
         return MapAttempt(task=best, node=node, metrics=metrics, speculative=True)
 
+    def _speculate_reduce(self, node: int, now: float) -> Optional[ReduceAttempt]:
+        """Same slowness heuristic as :meth:`_speculate`, for reduces."""
+        if not self._completed_reduce_durations:
+            return None
+        avg = sum(self._completed_reduce_durations) / len(
+            self._completed_reduce_durations
+        )
+        threshold = self.config.speculative_slowness * avg
+        best: Optional[ReduceTaskInfo] = None
+        best_elapsed = threshold
+        for task in self.reduces:
+            if (
+                task.state == _RUNNING
+                and task.attempts < 2
+                and task.node != node
+                and task.first_started is not None
+            ):
+                elapsed = now - task.first_started
+                if elapsed > best_elapsed:
+                    best = task
+                    best_elapsed = elapsed
+        if best is None:
+            return None
+        best.attempts += 1
+        self.speculative_reduce_attempts += 1
+        metrics = ReduceTaskMetrics(task_id=best.task_id, node=node, scheduled_at=now)
+        return ReduceAttempt(task=best, node=node, metrics=metrics, speculative=True)
+
     # -- completion callbacks (from task processes) ----------------------------------
     def map_finished(
         self, attempt: MapAttempt, output_bytes: float, now: float
@@ -356,17 +425,28 @@ class JobTracker:
             self.speculative_wins += 1
         return True
 
-    def reduce_finished(self, task: ReduceTaskInfo) -> None:
+    def reduce_finished(self, attempt: ReduceAttempt) -> bool:
+        """Record one reduce attempt's completion; returns True if it won.
+
+        Same first-wins rule as :meth:`map_finished`: with speculative
+        execution two attempts can race and the loser is ignored.
+        """
+        task = attempt.task
+        self._drop_running_reduce(attempt)
+        if task.state == _DONE:
+            return False
         if task.state != _RUNNING:
             raise RuntimeError(
                 f"reduce {task.task_id} finished in state {task.state}"
             )
-        if task.node is not None:
-            running = self._running_reduce_map.get(task.node)
-            if running and task in running:
-                running.remove(task)
         task.state = _DONE
+        task.node = attempt.node
+        task.metrics = attempt.metrics
         self.reduces_completed += 1
+        self._completed_reduce_durations.append(attempt.metrics.duration)
+        if attempt.speculative:
+            self.speculative_reduce_wins += 1
+        return True
 
     # -- failure handling & recovery ------------------------------------------
     def fail_job(
@@ -442,8 +522,8 @@ class JobTracker:
             for task in self.maps:
                 if task.state == _DONE and task.node == node:
                     self._invalidate_map_output(task, now)
-        for rtask in self._running_reduce_map.pop(node, []):
-            self._reduce_attempt_lost(rtask, now)
+        for rattempt in self._running_reduce_map.pop(node, []):
+            self._reduce_attempt_lost(rattempt, now)
 
     def map_attempt_failed(self, attempt: MapAttempt, now: float) -> None:
         """One attempt died on a live node (e.g. its input became
@@ -478,19 +558,63 @@ class JobTracker:
                 self.maps_reexecuted_for_fetch += 1
                 self._invalidate_map_output(task, now)
 
-    def reduce_attempt_failed(self, task: ReduceTaskInfo, now: float) -> None:
+    def reduce_attempt_failed(self, attempt: ReduceAttempt, now: float) -> None:
         """One reduce attempt gave up on a live node (e.g. its output
         replication could not get through the network faults); the
         attempt is unwound and the reduce requeued like any lost one."""
-        if task.node is not None:
-            running = self._running_reduce_map.get(task.node)
-            if running and task in running:
-                running.remove(task)
-        self._reduce_attempt_lost(task, now)
+        self._drop_running_reduce(attempt)
+        self._reduce_attempt_lost(attempt, now)
+
+    # -- scheduler preemption -------------------------------------------------
+    def map_attempt_preempted(self, attempt: MapAttempt, now: float) -> None:
+        """The cluster scheduler killed this attempt to reclaim its slot.
+
+        Unlike a failure, preemption does not burn a retry: the task goes
+        straight back on the pending queue (unless a twin attempt is
+        still running elsewhere) and can never fail the job.
+        """
+        self._drop_running_attempt(attempt)
+        self.maps_preempted += 1
+        task = attempt.task
+        self.wasted_task_seconds += max(0.0, now - attempt.metrics.scheduled_at)
+        if task.state != _RUNNING:
+            return
+        if any(
+            a.task is task
+            for atts in self._running_attempts.values()
+            for a in atts
+        ):
+            return
+        task.state = _PENDING
+        task.node = None
+        self._requeue_map(task)
+
+    def reduce_attempt_preempted(self, attempt: ReduceAttempt, now: float) -> None:
+        """Scheduler preemption of a reduce attempt; requeues retry-free."""
+        self._drop_running_reduce(attempt)
+        self.reduces_preempted += 1
+        task = attempt.task
+        self.wasted_task_seconds += max(0.0, now - attempt.metrics.scheduled_at)
+        if task.state != _RUNNING:
+            return
+        if any(
+            a.task is task
+            for atts in self._running_reduce_map.values()
+            for a in atts
+        ):
+            return
+        task.state = _PENDING
+        task.node = None
+        self._requeued_reduces.append(task)
 
     # -- recovery internals ---------------------------------------------------
     def _drop_running_attempt(self, attempt: MapAttempt) -> None:
         running = self._running_attempts.get(attempt.node)
+        if running and attempt in running:
+            running.remove(attempt)
+
+    def _drop_running_reduce(self, attempt: ReduceAttempt) -> None:
+        running = self._running_reduce_map.get(attempt.node)
         if running and attempt in running:
             running.remove(attempt)
 
@@ -519,17 +643,23 @@ class JobTracker:
         task.node = None
         self._requeue_map(task)
 
-    def _reduce_attempt_lost(self, task: ReduceTaskInfo, now: float) -> None:
-        if task.state != _RUNNING:
-            return
+    def _reduce_attempt_lost(self, attempt: ReduceAttempt, now: float) -> None:
+        task = attempt.task
         self.failed_reduce_attempts += 1
         task.failed_attempts += 1
-        if task.metrics is not None:
-            self.wasted_task_seconds += max(0.0, now - task.metrics.scheduled_at)
+        self.wasted_task_seconds += max(0.0, now - attempt.metrics.scheduled_at)
+        if task.state != _RUNNING:
+            return  # already completed elsewhere, or already requeued
+        if any(
+            a.task is task
+            for atts in self._running_reduce_map.values()
+            for a in atts
+        ):
+            return  # a twin (speculative) attempt is still alive
         if task.failed_attempts >= self.config.max_attempts:
             self.fail_job(
                 f"reduce {task.task_id} failed {task.failed_attempts} attempts",
-                node=task.node,
+                node=attempt.node,
                 task_id=task.task_id,
                 at=now,
             )

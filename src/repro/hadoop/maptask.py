@@ -188,7 +188,7 @@ def map_task_process(
             yield node.disk_read(task.block.size)
         else:
             src_id = task.block.replicas[0]
-            if env.injector is not None:
+            if env.fault_aware:
                 src_id = yield from _await_live_replica(env, task.block)
                 if src_id is None:
                     env.jobtracker.map_attempt_failed(attempt, sim.now)
@@ -239,7 +239,7 @@ def map_task_process(
                 tracker.map_failed(attempt)
                 tr.abort(sid, outcome="failed:read-lost")
                 return
-            if env.injector is not None and (
+            if env.fault_aware and (
                 env.is_node_dead(src_id) or env.node_epoch(src_id) != epoch
             ):
                 # The datanode died mid-stream: the read is garbage.

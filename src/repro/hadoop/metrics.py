@@ -79,6 +79,12 @@ class JobMetrics:
     reduce_tasks: list[ReduceTaskMetrics] = field(default_factory=list)
     speculative_attempts: int = 0
     speculative_wins: int = 0
+    speculative_reduce_attempts: int = 0
+    speculative_reduce_wins: int = 0
+    #: Attempts killed by the cluster scheduler to rebalance tenants
+    #: (multi-tenant runs only; the work requeues without burning a retry).
+    maps_preempted: int = 0
+    reduces_preempted: int = 0
     # -- fault-tolerance accounting (all zero on a fault-free run) ------------
     lost_trackers: int = 0
     failed_map_attempts: int = 0
@@ -207,6 +213,10 @@ class JobMetrics:
             "summary": self.summary(),
             "speculative_attempts": self.speculative_attempts,
             "speculative_wins": self.speculative_wins,
+            "speculative_reduce_attempts": self.speculative_reduce_attempts,
+            "speculative_reduce_wins": self.speculative_reduce_wins,
+            "maps_preempted": self.maps_preempted,
+            "reduces_preempted": self.reduces_preempted,
             "faults": self.fault_summary(),
             "map_tasks": [
                 {

@@ -30,7 +30,7 @@ import math
 from typing import TYPE_CHECKING
 
 from repro.hadoop.jobtracker import _DONE as _DONE_STATE
-from repro.hadoop.jobtracker import MapOutputRef, ReduceTaskInfo
+from repro.hadoop.jobtracker import MapOutputRef, ReduceAttempt
 from repro.simnet.kernel import Interrupt
 from repro.simnet.network import FlowFailed
 from repro.simnet.resources import SlotPool
@@ -83,19 +83,23 @@ class _ShuffleState:
 
 
 def reduce_task_process(
-    env: "HadoopSimulation", task: ReduceTaskInfo, tracker: "TaskTracker"
+    env: "HadoopSimulation", attempt: ReduceAttempt, tracker: "TaskTracker"
 ):
-    """DES process for one reduce attempt."""
+    """DES process for one reduce attempt (original or speculative)."""
     sim = env.sim
     cfg = env.config
     jt = env.jobtracker
-    metrics = task.metrics
-    assert metrics is not None
+    task = attempt.task
+    metrics = attempt.metrics
     tr = sim.obs.tracer
-    sid = tr.begin("hadoop.reduce", f"reduce{task.task_id}", node=task.node)
+    sid = tr.begin(
+        "hadoop.reduce",
+        f"reduce{task.task_id}" + (".spec" if attempt.speculative else ""),
+        node=attempt.node,
+    )
     try:
         metrics.started_at = sim.now
-        node = env.cluster.node(task.node)
+        node = env.cluster.node(attempt.node)
 
         yield sim.timeout(cfg.task_jvm_startup)
 
@@ -116,7 +120,7 @@ def reduce_task_process(
         while True:
             while state.initiated < total_maps and not jt.job_failed:
                 refs, cursor = jt.poll_map_outputs(cursor, task.partition)
-                if env.injector is not None:
+                if env.fault_aware:
                     # Re-announcements can repeat a map id; fetch each once.
                     refs = [
                         r
@@ -130,8 +134,8 @@ def reduce_task_process(
                         by_node.setdefault(ref.node, []).append(ref)
                     for src, group in by_node.items():
                         proc = env.spawn_on_node(
-                            task.node,
-                            fetcher(env, task, copiers, src, group, state),
+                            attempt.node,
+                            fetcher(env, attempt, copiers, src, group, state),
                             name=f"fetch-r{task.task_id}-n{src}",
                         )
                         inflight.append(proc)
@@ -187,8 +191,8 @@ def reduce_task_process(
             # filtering post-draw silently under-replicated whenever a
             # chosen target happened to be dead.
             targets = env.hdfs.pick_replication_targets(
-                task.node,
-                live=env.live_datanodes() if env.injector is not None else None,
+                attempt.node,
+                live=env.live_datanodes() if env.fault_aware else None,
             )
             for t in targets:
                 t_node = env.cluster.node(t)
@@ -198,9 +202,9 @@ def reduce_task_process(
                     # exhaustion fails this attempt (caught below).
                     waits.append(
                         env.spawn_on_node(
-                            task.node,
+                            attempt.node,
                             env.reliable_send(
-                                task.node,
+                                attempt.node,
                                 t_node.node_id,
                                 nio.wire_bytes,
                                 extra_latency=nio.setup_time,
@@ -215,7 +219,7 @@ def reduce_task_process(
                 else:
                     waits.append(
                         env.cluster.send(
-                            task.node,
+                            attempt.node,
                             t_node.node_id,
                             nio.wire_bytes,
                             extra_latency=nio.setup_time,
@@ -227,11 +231,12 @@ def reduce_task_process(
         yield sim.all_of(waits)
 
         metrics.finished_at = sim.now
-        jt.reduce_finished(task)
-        tracker.reduce_completed(task)
+        won = jt.reduce_finished(attempt)
+        tracker.reduce_completed(attempt)
         tr.end(reduce_sid)
-        tr.edge(sid, env.job_sid, "complete")
-        tr.end(sid, outcome="done")
+        if won:
+            tr.edge(sid, env.job_sid, "complete")
+        tr.end(sid, outcome="done", won=won)
         if sid:
             sim.obs.metrics.counter("hadoop.reduces_finished").add()
     except Interrupt:
@@ -240,15 +245,15 @@ def reduce_task_process(
     except FlowFailed:
         # Output replication could not beat the network faults even with
         # resends: this attempt fails on its live node and is requeued.
-        jt.reduce_attempt_failed(task, sim.now)
-        tracker.reduce_failed(task)
+        jt.reduce_attempt_failed(attempt, sim.now)
+        tracker.reduce_failed(attempt)
         tr.abort(sid, outcome="replication-failed")
         return
 
 
 def _fetch_batch(
     env: "HadoopSimulation",
-    task: ReduceTaskInfo,
+    attempt: ReduceAttempt,
     copiers: SlotPool,
     src_node: int,
     group: list[MapOutputRef],
@@ -271,14 +276,14 @@ def _fetch_batch(
     slot = copiers.acquire()
     try:
         yield slot
-        epoch = env.node_epoch(src_node) if env.injector is not None else 0
-        if env.injector is not None and env.is_node_dead(src_node):
+        epoch = env.node_epoch(src_node) if env.fault_aware else 0
+        if env.fault_aware and env.is_node_dead(src_node):
             _fetch_failed(env, group, src_node, state)
             return
         total = sum(ref.partition_bytes for ref in group)
         fetch_sid = obs.tracer.begin(
             "transport.jetty",
-            f"fetch r{task.task_id}<-n{src_node}",
+            f"fetch r{attempt.task_id}<-n{src_node}",
             segments=len(group),
             nbytes=total,
         )
@@ -303,14 +308,14 @@ def _fetch_batch(
         serve = src.disk.transfer(total + len(group) * seek_bytes)
         wire = env.cluster.send(
             src_node,
-            task.node,
+            attempt.node,
             total + headers,
             extra_latency=setup,
             rate_cap=env.jetty.stream_peak,
             waiter_sid=fetch_sid,
         )
         yield sim.all_of([serve, wire])
-        if env.injector is not None and (
+        if env.fault_aware and (
             env.is_node_dead(src_node) or env.node_epoch(src_node) != epoch
         ):
             _fetch_failed(env, group, src_node, state)
@@ -325,7 +330,7 @@ def _fetch_batch(
         if state.shuffled_bytes > cfg.shuffle_memory_bytes:
             state.spilled_to_disk = True
         if state.spilled_to_disk and total > 0:
-            yield env.cluster.node(task.node).disk_write(total)
+            yield env.cluster.node(attempt.node).disk_write(total)
         obs.tracer.edge(fetch_sid, state.copy_sid, "gather")
         obs.tracer.end(fetch_sid)
         fetch_sid = 0
@@ -384,7 +389,7 @@ def _drop_moved(
 
 def _backoff(
     env: "HadoopSimulation",
-    task: ReduceTaskInfo,
+    attempt: ReduceAttempt,
     src_node: int,
     delay: float,
     label: str,
@@ -394,7 +399,7 @@ def _backoff(
     tr = env.sim.obs.tracer
     sid = tr.begin(
         "hadoop.shuffle.backoff",
-        f"{label} r{task.task_id}<-n{src_node}",
+        f"{label} r{attempt.task_id}<-n{src_node}",
         delay=delay,
     )
     try:
@@ -407,7 +412,7 @@ def _backoff(
 
 def _fetch_batch_robust(
     env: "HadoopSimulation",
-    task: ReduceTaskInfo,
+    attempt: ReduceAttempt,
     copiers: SlotPool,
     src_node: int,
     group: list[MapOutputRef],
@@ -444,8 +449,8 @@ def _fetch_batch_robust(
         yield slot
         wait = state.penalty_until.get(src_node, 0.0) - sim.now
         if wait > 0:
-            yield from _backoff(env, task, src_node, wait, "penalty")
-        attempt = 0
+            yield from _backoff(env, attempt, src_node, wait, "penalty")
+        tries = 0
         while True:
             group = _drop_moved(env, group, src_node, state)
             if not group:
@@ -460,10 +465,10 @@ def _fetch_batch_robust(
             total = sum(ref.partition_bytes for ref in group)
             fetch_sid = obs.tracer.begin(
                 "transport.jetty",
-                f"fetch r{task.task_id}<-n{src_node}",
+                f"fetch r{attempt.task_id}<-n{src_node}",
                 segments=len(group),
                 nbytes=total,
-                attempt=attempt,
+                attempt=tries,
             )
             if fetch_sid:
                 obs.metrics.counter("transport.jetty.requests").add(len(group))
@@ -471,7 +476,7 @@ def _fetch_batch_robust(
                     obs.tracer.edge(
                         ref.span_sid, fetch_sid, "shuffle", map_id=ref.map_id
                     )
-                    if attempt == 0:  # retries re-fetch the same output
+                    if tries == 0:  # retries re-fetch the same output
                         obs.tracer.edge(
                             ref.span_sid, state.copy_sid, "avail", map_id=ref.map_id
                         )
@@ -481,7 +486,7 @@ def _fetch_batch_robust(
             serve = src.disk.transfer(total + len(group) * seek_bytes)
             flow = env.cluster.send_flow(
                 src_node,
-                task.node,
+                attempt.node,
                 total + headers,
                 extra_latency=setup,
                 rate_cap=env.jetty.stream_peak,
@@ -523,7 +528,7 @@ def _fetch_batch_robust(
                 if state.shuffled_bytes > cfg.shuffle_memory_bytes:
                     state.spilled_to_disk = True
                 if state.spilled_to_disk and total > 0:
-                    yield env.cluster.node(task.node).disk_write(total)
+                    yield env.cluster.node(attempt.node).disk_write(total)
                 obs.tracer.edge(fetch_sid, state.copy_sid, "gather")
                 obs.tracer.end(fetch_sid)
                 fetch_sid = 0
@@ -533,7 +538,7 @@ def _fetch_batch_robust(
             obs.tracer.abort(fetch_sid, outcome=f"failed:{failure}")
             obs.metrics.counter("transport.jetty.failed_fetches").add(len(group))
             fetch_sid = 0
-            attempt += 1
+            tries += 1
             state.retries += 1
             jt.fetch_retries += 1
             fails = state.host_failures.get(src_node, 0) + 1
@@ -541,7 +546,7 @@ def _fetch_batch_robust(
             state.penalty_until[src_node] = sim.now + policy.delay(
                 min(fails, policy.retries + 1)
             )
-            if attempt > policy.retries:
+            if tries > policy.retries:
                 # Exhausted against this host: one strike per map (the
                 # 0.20 "too many fetch failures" report), then a fresh
                 # round after a max-length wait.  The JobTracker
@@ -550,12 +555,12 @@ def _fetch_batch_robust(
                 jt.fetch_failed(
                     [r.map_id for r in group], src_node, sim.now, definite=False
                 )
-                attempt = 0
+                tries = 0
                 delay = policy.delay(policy.retries + 1, state.rng)
-                yield from _backoff(env, task, src_node, delay, "strike-wait")
+                yield from _backoff(env, attempt, src_node, delay, "strike-wait")
             else:
-                delay = policy.delay(attempt, state.rng)
-                yield from _backoff(env, task, src_node, delay, f"retry{attempt}")
+                delay = policy.delay(tries, state.rng)
+                yield from _backoff(env, attempt, src_node, delay, f"retry{tries}")
     except Interrupt:
         return  # the reducer's own node died mid-fetch
     finally:

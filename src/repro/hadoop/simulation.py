@@ -24,7 +24,12 @@ from typing import Optional
 from repro.hadoop.config import HadoopConfig
 from repro.hadoop.hdfs import HdfsNamespace
 from repro.hadoop.job import JobSpec
-from repro.hadoop.jobtracker import JobTracker, MapAttempt, ReduceTaskInfo
+from repro.hadoop.jobtracker import (
+    _RUNNING,
+    JobTracker,
+    MapAttempt,
+    ReduceAttempt,
+)
 from repro.hadoop.maptask import map_task_process
 from repro.hadoop.metrics import JobMetrics
 from repro.hadoop.reducetask import reduce_task_process
@@ -70,18 +75,43 @@ class HadoopSimulation:
     #: simulator before any model is built.  Off by default — an untraced
     #: run is bit-for-bit identical to the uninstrumented code.
     observe: bool = False
+    #: Multi-tenant mode: run against an existing kernel + cluster instead
+    #: of building a private pair.  Both must be given together; faults
+    #: are then owned by the engine (``fault_plan`` must stay None).
+    sim: Optional[Simulator] = None
+    cluster: Optional[Cluster] = None
+    #: Cluster-scheduler slot facade (a ``JobSlots``), set by the engine:
+    #: TaskTrackers consult it for slot grants and report usage to it.
+    sched: Optional[object] = None
 
     def __post_init__(self) -> None:
+        self.shared = self.sim is not None
+        if self.shared != (self.cluster is not None):
+            raise ValueError("pass sim and cluster together (or neither)")
+        if self.shared:
+            if self.fault_plan is not None:
+                raise ValueError(
+                    "per-job fault plans are not supported on a shared "
+                    "cluster; give the plan to the engine instead"
+                )
+            if self.disk_slowdown:
+                raise ValueError(
+                    "per-job disk_slowdown is not supported on a shared "
+                    "cluster; slow the shared cluster's nodes instead"
+                )
+            self.cluster_spec = self.cluster.spec
+            self.obs = self.sim.obs
+        else:
+            self.sim = Simulator()
+            # Attach before Cluster: SlotPool/RateDevice bind metrics at init.
+            self.obs = Observer.attach(self.sim) if self.observe else self.sim.obs
+            self.cluster = Cluster(self.sim, self.cluster_spec)
+            for node_id, factor in (self.disk_slowdown or {}).items():
+                if factor <= 0:
+                    raise ValueError(f"slowdown factor must be positive: {factor}")
+                self.cluster.node(node_id).disk.rate /= factor
         if self.cluster_spec.num_nodes < 2:
             raise ValueError("need a master plus at least one worker node")
-        self.sim = Simulator()
-        # Attach before Cluster: SlotPool/RateDevice bind metrics at init.
-        self.obs = Observer.attach(self.sim) if self.observe else self.sim.obs
-        self.cluster = Cluster(self.sim, self.cluster_spec)
-        for node_id, factor in (self.disk_slowdown or {}).items():
-            if factor <= 0:
-                raise ValueError(f"slowdown factor must be positive: {factor}")
-            self.cluster.node(node_id).disk.rate /= factor
         self.num_workers = self.cluster_spec.num_nodes - 1
         self.hdfs = HdfsNamespace(
             datanodes=[self.worker_node_id(w) for w in range(self.num_workers)],
@@ -104,6 +134,15 @@ class HadoopSimulation:
         self._tracker_procs: list[Process] = []
         self._topology_event = None
         self.injector: Optional[FaultInjector] = None
+        #: True when crashes can reach this job — either a private fault
+        #: plan (standalone) or the engine's cluster-wide plan (shared
+        #: mode; the engine flips it after construction).  Gates the
+        #: crash-bookkeeping paths in the task models.
+        self.fault_aware = False
+        #: Running attempts (with their processes) on the shared cluster,
+        #: so the scheduler can pick preemption victims.  Standalone runs
+        #: never populate it.
+        self._live_attempts: list = []
         #: True when the plan can fail flows: switches the shuffle into
         #: its retry/backoff pipeline and wraps DFS streams in resends.
         #: False keeps every transfer on the original (infallible) path,
@@ -134,6 +173,7 @@ class HadoopSimulation:
                 storage=self.storage,
             )
             self.net_faults = self.fault_plan.has_network_faults()
+            self.fault_aware = True
         #: Backoff schedule shared by the shuffle's fetch retries; DFS
         #: streams (map-side remote reads, reduce output replication) use
         #: a more patient variant of the same progression, since a task
@@ -163,8 +203,53 @@ class HadoopSimulation:
     def run_map_task(self, attempt: MapAttempt, tracker: TaskTracker):
         return map_task_process(self, attempt, tracker)
 
-    def run_reduce_task(self, task: ReduceTaskInfo, tracker: TaskTracker):
-        return reduce_task_process(self, task, tracker)
+    def run_reduce_task(self, attempt: ReduceAttempt, tracker: TaskTracker):
+        return reduce_task_process(self, attempt, tracker)
+
+    def note_attempt(
+        self, kind: str, attempt, proc: Process, tracker: TaskTracker
+    ) -> None:
+        """Scheduler bookkeeping for one spawned attempt (shared mode)."""
+        if self.sched is None:
+            return
+        self.sched.task_started(tracker.node_id, kind)
+        self._live_attempts.append((kind, attempt, proc, tracker))
+
+    def preempt_slots(
+        self, kind: str, count: int, nodes: Optional[set[int]] = None
+    ) -> int:
+        """Kill up to ``count`` running ``kind`` attempts for the scheduler.
+
+        Victims are the youngest attempts first (the fair scheduler's
+        kill order — least work lost), deterministically tie-broken by
+        task id.  The killed work requeues via
+        :meth:`JobTracker.map_attempt_preempted` /
+        :meth:`~JobTracker.reduce_attempt_preempted` without burning a
+        retry, and the tracker's slot frees immediately.
+        """
+        self._live_attempts = [e for e in self._live_attempts if e[2].is_alive]
+        victims = [
+            e
+            for e in self._live_attempts
+            if e[0] == kind
+            and e[1].task.state == _RUNNING
+            and (nodes is None or e[3].node_id in nodes)
+        ]
+        victims.sort(
+            key=lambda e: (e[1].metrics.scheduled_at, e[1].task_id), reverse=True
+        )
+        killed = 0
+        now = self.sim.now
+        for _, attempt, proc, tracker in victims[:count]:
+            proc.interrupt("preempted by cluster scheduler")
+            if kind == "map":
+                self.jobtracker.map_attempt_preempted(attempt, now)
+                tracker.map_failed(attempt)
+            else:
+                self.jobtracker.reduce_attempt_preempted(attempt, now)
+                tracker.reduce_failed(attempt)
+            killed += 1
+        return killed
 
     # -- fault-injection plumbing -------------------------------------------------
     def is_node_dead(self, node_id: int) -> bool:
@@ -188,7 +273,7 @@ class HadoopSimulation:
         the process is registered as running on ``node_id`` so a crash
         can interrupt it (and deregistered once it finishes)."""
         proc = self.sim.process(gen, name=name)
-        if self.injector is not None:
+        if self.fault_aware:
             self._node_procs.setdefault(node_id, []).append(proc)
             proc.callbacks.append(lambda ev: self._forget_proc(node_id, proc))
         return proc
@@ -311,14 +396,16 @@ class HadoopSimulation:
             return
 
     # -- driver ----------------------------------------------------------------------
-    def run(self, until: Optional[float] = None) -> JobMetrics:
-        """Execute the job; returns the collected metrics.
+    def start(self) -> Process:
+        """Spawn the job's driver process on the (possibly shared) kernel.
 
-        Raises :class:`JobFailedError` when fault injection killed the
-        job (the exception carries the partial metrics)."""
+        Standalone callers use :meth:`run`; the multi-tenant engine calls
+        ``start()`` at dispatch time and :meth:`complete` once the
+        returned process has finished.
+        """
         sim = self.sim
         jt = self.jobtracker
-        job_sid = sim.obs.tracer.begin(
+        self.job_sid = sim.obs.tracer.begin(
             "hadoop.job",
             self.spec.name,
             track="hadoop:job",
@@ -326,25 +413,25 @@ class HadoopSimulation:
             maps=jt.total_maps,
             reduces=jt.num_reduces,
         )
-        #: Task processes draw completion edges back to the job span.
-        self.job_sid = job_sid
 
         def job(sim_):
+            submit_t = sim.now
             expiry_proc = None
             if self.injector is not None:
                 self.injector.start()
-                expiry_proc = sim.process(self._expiry_loop(), name="expiry-sweep")
                 if self.storage is not None:
                     self.storage.start_repair()
+            if self.fault_aware:
+                expiry_proc = sim.process(self._expiry_loop(), name="expiry-sweep")
             yield sim.timeout(self.config.job_setup_time)
-            self.metrics.submitted_at = 0.0
+            self.metrics.submitted_at = submit_t
             trackers = [TaskTracker(self, w) for w in range(self.num_workers)]
             self._tracker_procs = [
                 self.spawn_on_node(t.node_id, t.run(), name=f"tracker{t.node_id}")
                 for t in trackers
-                if self.injector is None or t.node_id not in self.dead_nodes
+                if not self.fault_aware or t.node_id not in self.dead_nodes
             ]
-            if self.injector is None:
+            if not self.fault_aware:
                 yield sim.all_of(self._tracker_procs)
                 self.metrics.finished_at = sim.now
                 return
@@ -366,15 +453,20 @@ class HadoopSimulation:
                             "all tasktrackers lost and none restarted", at=sim.now
                         )
             self.metrics.finished_at = sim.now
-            self.injector.stop()
+            if self.injector is not None:
+                self.injector.stop()
             if self.storage is not None:
                 self.storage.stop_repair()
             if expiry_proc is not None and expiry_proc.is_alive:
                 expiry_proc.interrupt("job over")
 
-        sim.process(job(sim), name="job")
-        sim.run(until=until)
-        sim.obs.tracer.end(job_sid, done=jt.job_done, failed=jt.job_failed)
+        return sim.process(job(sim), name=f"job:{self.spec.name}")
+
+    def complete(self) -> JobMetrics:
+        """Finalize after the driver process ended; raises on failure."""
+        sim = self.sim
+        jt = self.jobtracker
+        sim.obs.tracer.end(self.job_sid, done=jt.job_done, failed=jt.job_failed)
         self._finalize_metrics()
         if jt.job_failed:
             raise JobFailedError(jt.failure_reason or "unknown failure", self.metrics)
@@ -386,6 +478,19 @@ class HadoopSimulation:
             )
         return self.metrics
 
+    def run(self, until: Optional[float] = None) -> JobMetrics:
+        """Execute the job; returns the collected metrics.
+
+        Raises :class:`JobFailedError` when fault injection killed the
+        job (the exception carries the partial metrics)."""
+        if self.shared:
+            raise RuntimeError(
+                "shared-cluster jobs are driven by the engine; use start()"
+            )
+        self.start()
+        self.sim.run(until=until)
+        return self.complete()
+
     def _finalize_metrics(self) -> None:
         jt = self.jobtracker
         m = self.metrics
@@ -393,6 +498,10 @@ class HadoopSimulation:
         m.reduce_tasks = [t.metrics for t in jt.reduces if t.metrics is not None]
         m.speculative_attempts = jt.speculative_attempts
         m.speculative_wins = jt.speculative_wins
+        m.speculative_reduce_attempts = jt.speculative_reduce_attempts
+        m.speculative_reduce_wins = jt.speculative_reduce_wins
+        m.maps_preempted = jt.maps_preempted
+        m.reduces_preempted = jt.reduces_preempted
         m.lost_trackers = jt.lost_trackers
         m.failed_map_attempts = jt.failed_map_attempts
         m.failed_reduce_attempts = jt.failed_reduce_attempts

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.hadoop.jobtracker import JobTracker, MapAttempt, ReduceTaskInfo
+from repro.hadoop.jobtracker import JobTracker, MapAttempt, ReduceAttempt
 from repro.simnet.kernel import Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -34,29 +34,48 @@ class TaskTracker:
 
     @property
     def free_map_slots(self) -> int:
-        return self.config.map_slots - self.running_maps
+        free = self.config.map_slots - self.running_maps
+        sched = self.env.sched
+        if sched is not None:
+            # Shared cluster: the grant also respects other tenants' usage
+            # of this node and this job's fair/capacity share.
+            free = sched.map_budget(self.node_id, free)
+        return free
 
     @property
     def free_reduce_slots(self) -> int:
-        return self.config.reduce_slots - self.running_reduces
+        free = self.config.reduce_slots - self.running_reduces
+        sched = self.env.sched
+        if sched is not None:
+            free = sched.reduce_budget(self.node_id, free)
+        return free
 
     # -- callbacks from task processes ----------------------------------------
     def map_completed(self, attempt: MapAttempt) -> None:
         self.running_maps -= 1
+        self._slot_freed("map")
         self._completed_unreported.append(attempt.task_id)
 
     def map_failed(self, attempt: MapAttempt) -> None:
         """An attempt died on this (live) node; the slot frees, nothing
         is reported — the JobTracker was told directly."""
         self.running_maps -= 1
+        self._slot_freed("map")
 
-    def reduce_completed(self, task: ReduceTaskInfo) -> None:
+    def reduce_completed(self, attempt: ReduceAttempt) -> None:
         self.running_reduces -= 1
+        self._slot_freed("reduce")
 
-    def reduce_failed(self, task: ReduceTaskInfo) -> None:
+    def reduce_failed(self, attempt: ReduceAttempt) -> None:
         """A reduce attempt gave up on this (live) node; the slot frees —
         the JobTracker was told directly (``reduce_attempt_failed``)."""
         self.running_reduces -= 1
+        self._slot_freed("reduce")
+
+    def _slot_freed(self, kind: str) -> None:
+        sched = self.env.sched
+        if sched is not None:
+            sched.task_finished(self.node_id, kind)
 
     # -- the heartbeat loop -------------------------------------------------------
     def run(self):
@@ -86,18 +105,20 @@ class TaskTracker:
                 yield sim.timeout(env.rpc.latency(self.config.rpc_status_bytes))
                 for attempt in maps:
                     self.running_maps += 1
-                    env.spawn_on_node(
+                    proc = env.spawn_on_node(
                         self.node_id,
                         env.run_map_task(attempt, self),
                         name=f"map{attempt.task_id}",
                     )
-                for task in reduces:
+                    env.note_attempt("map", attempt, proc, self)
+                for rattempt in reduces:
                     self.running_reduces += 1
-                    env.spawn_on_node(
+                    proc = env.spawn_on_node(
                         self.node_id,
-                        env.run_reduce_task(task, self),
-                        name=f"red{task.task_id}",
+                        env.run_reduce_task(rattempt, self),
+                        name=f"red{rattempt.task_id}",
                     )
+                    env.note_attempt("reduce", rattempt, proc, self)
                 self.heartbeats_sent += 1
                 obs = sim.obs
                 if obs.enabled:

@@ -36,7 +36,7 @@ from repro.simnet.faults import (
     FaultInjector,
     FaultPlan,
 )
-from repro.simnet.kernel import Event, Simulator
+from repro.simnet.kernel import Event, Interrupt, Process, Simulator
 from repro.simnet.network import FlowFailed
 from repro.transports.mpich import MpichTransport
 from repro.util.rng import derive_seed, make_rng
@@ -199,14 +199,31 @@ class MrMpiSimulation:
     #: Observability: True attaches an :class:`~repro.obs.Observer`; off by
     #: default so an untraced run matches the uninstrumented code exactly.
     observe: bool = False
+    #: Multi-tenant mode: run against an existing kernel + cluster instead
+    #: of building a private pair.  Both must be given together; faults
+    #: are then owned by the engine (``fault_plan`` must stay None).
+    sim: Optional[Simulator] = None
+    cluster: Optional[Cluster] = None
 
     def __post_init__(self) -> None:
+        self.shared = self.sim is not None
+        if self.shared != (self.cluster is not None):
+            raise ValueError("pass sim and cluster together (or neither)")
+        if self.shared:
+            if self.fault_plan is not None:
+                raise ValueError(
+                    "per-job fault plans are not supported on a shared "
+                    "cluster; give the plan to the engine instead"
+                )
+            self.cluster_spec = self.cluster.spec
+            self.obs = self.sim.obs
+        else:
+            self.sim = Simulator()
+            # Attach before Cluster: resources bind their metrics at init.
+            self.obs = Observer.attach(self.sim) if self.observe else self.sim.obs
+            self.cluster = Cluster(self.sim, self.cluster_spec)
         if self.cluster_spec.num_nodes < 2:
             raise ValueError("need a master plus at least one worker node")
-        self.sim = Simulator()
-        # Attach before Cluster: resources bind their metrics at init.
-        self.obs = Observer.attach(self.sim) if self.observe else self.sim.obs
-        self.cluster = Cluster(self.sim, self.cluster_spec)
         self.mpich = MpichTransport()
         self.num_workers = self.cluster_spec.num_nodes - 1
         cfg = self.config
@@ -236,10 +253,21 @@ class MrMpiSimulation:
         self._recv_sids = [0] * cfg.num_reducers
         #: Finished mapper spans; reducers draw barrier edges from them.
         self._mapper_sids: list[int] = []
+        #: In-flight span ids (by metrics object id) so a gang-wide
+        #: interrupt can abort the right spans.
+        self._open_mapper_sids: dict[int, int] = {}
+        self._open_reducer_sids: dict[int, int] = {}
         #: The job span's tracer id (set by :meth:`run`).
         self.job_sid = 0
         self.injector: Optional[FaultInjector] = None
         self.net_faults = False
+        #: True when engine-owned crashes can reach this gang (shared
+        #: mode; the engine flips it after construction).
+        self.fault_aware = False
+        #: Processes per node, so a crash can take down the whole gang.
+        self._node_procs: dict[int, list[Process]] = {}
+        self._job_proc: Optional[Process] = None
+        self._flows_failed_at_start = 0
         #: Input replica liveness under storage faults (no repair: MPI
         #: has no NameNode healing its input); None otherwise.
         self.hdfs: Optional[HdfsNamespace] = None
@@ -291,6 +319,48 @@ class MrMpiSimulation:
         if self.prior_damage is not None:
             self.storage.apply_damage(self.prior_damage)
 
+    # -- shared-cluster plumbing ------------------------------------------------
+    def _spawn(self, node_id: int, gen, name: str = "") -> Process:
+        """``sim.process`` plus crash registration in fault-aware mode."""
+        proc = self.sim.process(gen, name=name)
+        if self.fault_aware:
+            self._node_procs.setdefault(node_id, []).append(proc)
+        return proc
+
+    def ranks_per_node(self) -> dict[int, int]:
+        """How many of this gang's processes are pinned to each node —
+        the scheduler's gang-reservation footprint."""
+        out: dict[int, int] = {}
+        for n in self.mapper_nodes:
+            out[n] = out.get(n, 0) + 1
+        for n in self.reducer_nodes:
+            out[n] = out.get(n, 0) + 1
+        return out
+
+    def crash_node(self, node_id: int, now: float) -> None:
+        """Engine fan-out: a node hosting one of this gang's ranks died.
+
+        MPICH2 semantics — any rank's host dying aborts the whole job,
+        so every process of the gang is interrupted (they release their
+        shared-cluster resources on the way out).  Nodes that host none
+        of this job's ranks leave it untouched.
+        """
+        if self.metrics.aborted:
+            return
+        if node_id != 0 and node_id not in self.ranks_per_node():
+            return
+        m = self.metrics
+        m.aborted = True
+        m.abort_reason = f"rank host n{node_id} crashed"
+        m.aborted_at = now
+        for procs in self._node_procs.values():
+            for proc in procs:
+                if proc.is_alive:
+                    proc.interrupt(f"node {node_id} crashed: MPI_Abort")
+
+    def restart_node(self, node_id: int, now: float) -> None:
+        """A restarted node never rejoins a running MPI job."""
+
     # -- cost helpers -----------------------------------------------------------
     def _user_cpu(self, per_byte: float, nbytes: float) -> float:
         return nbytes * per_byte / self.config.native_speedup
@@ -303,12 +373,32 @@ class MrMpiSimulation:
         node = self.cluster.node(node_id)
         m = MapperMetrics(rank=rank, node=node_id, input_bytes=split_bytes)
         self.metrics.mappers.append(m)
+        tr = sim.obs.tracer
+        sid = 0
+        try:
+            yield from self._mapper_body(rank, node_id, split_bytes, node, m)
+        except Interrupt:
+            # Our host (or a gang peer's) crashed: MPI_Abort.  Resources
+            # held through ``cancel``-style finallys are already free.
+            tr.abort(self._mapper_sid_of(m), outcome="interrupted")
+            return
+
+    def _mapper_sid_of(self, m: MapperMetrics) -> int:
+        return self._open_mapper_sids.get(id(m), 0)
+
+    def _mapper_body(
+        self, rank: int, node_id: int, split_bytes: float, node, m: MapperMetrics
+    ):
+        sim = self.sim
+        cfg = self.config
+        profile = self.spec.profile
         yield sim.timeout(cfg.startup_time)
         m.started_at = sim.now
         tr = sim.obs.tracer
         sid = tr.begin(
             "mpid.map", f"mapper{rank}", node=node_id, input_bytes=split_bytes
         )
+        self._open_mapper_sids[id(m)] = sid
 
         remaining = split_bytes
         # Chunk size chosen so one chunk's raw map output fills the spill
@@ -349,11 +439,12 @@ class MrMpiSimulation:
             tr.end(read_sid)
             cpu = self._user_cpu(profile.map_cpu_per_byte, chunk)
             map_sid = tr.begin("mpid.map", "map", parent=sid)
-            yield node.cpus.acquire()
+            core = node.cpus.acquire()
             try:
+                yield core
                 yield sim.timeout(cpu)
             finally:
-                node.cpus.release()
+                node.cpus.cancel(core)
             tr.end(map_sid)
             # Spill: realign + eager sends of fixed-size partition arrays.
             out = profile.map_output_bytes(chunk)
@@ -378,7 +469,8 @@ class MrMpiSimulation:
                 if reliable:
                     # Each array gets its own retransmission process; the
                     # reducer waits on it exactly like a bare flow.
-                    flow = sim.process(
+                    flow = self._spawn(
+                        node_id,
                         self._retransmit_proc(
                             node_id, rnode, share, wc.setup_time, rank, r, m.spills
                         ),
@@ -402,6 +494,7 @@ class MrMpiSimulation:
             tr.end(send_sid, sent_bytes=m.sent_bytes)
         m.finished_at = sim.now
         tr.end(sid, messages=m.messages, spills=m.spills)
+        self._open_mapper_sids.pop(id(m), None)
         if sid:
             self._mapper_sids.append(sid)
         self._mappers_done += 1
@@ -524,20 +617,36 @@ class MrMpiSimulation:
             return
         m.aborted = True
         m.abort_reason = reason
-        at = self.cluster.network.first_flow_failure_at
-        m.aborted_at = at if at is not None else self.sim.now
+        if self.shared:
+            # The network's first-failure clock is cluster-global on a
+            # shared fabric and may predate this job entirely.
+            m.aborted_at = self.sim.now
+        else:
+            at = self.cluster.network.first_flow_failure_at
+            m.aborted_at = at if at is not None else self.sim.now
 
     def _reducer_proc(self, index: int, node_id: int):
         sim = self.sim
         cfg = self.config
-        profile = self.spec.profile
-        node = self.cluster.node(node_id)
         r = ReducerMetrics(rank=cfg.num_mappers + 1 + index, node=node_id)
         self.metrics.reducers.append(r)
+        tr = sim.obs.tracer
+        try:
+            yield from self._reducer_body(index, node_id, r)
+        except Interrupt:
+            tr.abort(self._open_reducer_sids.get(id(r), 0), outcome="interrupted")
+            return
+
+    def _reducer_body(self, index: int, node_id: int, r: ReducerMetrics):
+        sim = self.sim
+        cfg = self.config
+        profile = self.spec.profile
+        node = self.cluster.node(node_id)
         yield sim.timeout(cfg.startup_time)
         r.started_at = sim.now
         tr = sim.obs.tracer
         sid = tr.begin("mpid.reduce", f"reducer{index}", node=node_id)
+        self._open_reducer_sids[id(r)] = sid
 
         # Wildcard reception: wait until every mapper finished emitting,
         # then for every in-flight array destined here.
@@ -571,11 +680,12 @@ class MrMpiSimulation:
         merge_cpu = self._user_cpu(profile.reduce_cpu_per_byte, raw_bytes)
         realign_cpu = raw_bytes * cfg.realign_cpu_per_byte + decompress_cpu
         merge_sid = tr.begin("mpid.reduce", "merge", parent=sid)
-        yield node.cpus.acquire()
+        core = node.cpus.acquire()
         try:
+            yield core
             yield sim.timeout(merge_cpu + realign_cpu)
         finally:
-            node.cpus.release()
+            node.cpus.cancel(core)
         tr.end(merge_sid)
         output = profile.reduce_output_bytes(raw_bytes)
         write_sid = tr.begin("mpid.reduce", "write", parent=sid, output_bytes=output)
@@ -583,11 +693,16 @@ class MrMpiSimulation:
             yield node.disk_write(output)
         tr.end(write_sid)
         r.finished_at = sim.now
+        self._open_reducer_sids.pop(id(r), None)
         tr.edge(sid, self.job_sid, "complete")
         tr.end(sid, received_bytes=r.received_bytes)
 
     # -- driver --------------------------------------------------------------------------
-    def run(self, until: Optional[float] = None) -> MrMpiMetrics:
+    def start(self) -> Process:
+        """Launch the gang on the kernel and return the supervising
+        process.  Standalone callers use :meth:`run`; the multi-tenant
+        engine calls this at dispatch time and :meth:`complete` after the
+        supervisor finishes."""
         sim = self.sim
         cfg = self.config
         self._all_mappers_done = sim.event()
@@ -601,42 +716,65 @@ class MrMpiSimulation:
             reducers=cfg.num_reducers,
         )
         self.job_sid = job_sid
+        self._flows_failed_at_start = self.cluster.network.flows_failed
+        t0 = sim.now
 
         procs = []
         for rank, node_id in enumerate(self.mapper_nodes, start=1):
             procs.append(
-                sim.process(
-                    self._mapper_proc(rank, node_id, split), name=f"mapper{rank}"
+                self._spawn(
+                    node_id,
+                    self._mapper_proc(rank, node_id, split),
+                    name=f"mapper{rank}",
                 )
             )
         for i, node_id in enumerate(self.reducer_nodes):
             procs.append(
-                sim.process(self._reducer_proc(i, node_id), name=f"reducer{i}")
+                self._spawn(
+                    node_id, self._reducer_proc(i, node_id), name=f"reducer{i}"
+                )
             )
-
         if self.injector is not None:
             self.injector.start()
 
         def job(sim_):
             yield sim.all_of(procs)
-            self.metrics.elapsed = sim.now
+            self.metrics.elapsed = sim.now - t0
             if self.injector is not None:
                 # Open-ended loss streams must not keep the heap alive.
                 self.injector.stop()
 
-        sim.process(job(sim), name="job")
-        sim.run(until=until)
-        sim.obs.tracer.end(job_sid, aborted=self.metrics.aborted)
-        self.metrics.flows_lost = self.cluster.network.flows_failed
+        self._job_proc = sim.process(job(sim), name="job")
+        return self._job_proc
+
+    def complete(self) -> MrMpiMetrics:
+        """Finalize after the supervisor process has finished.  Raises
+        :class:`MpiJobAborted` if the gang was taken down."""
+        sim = self.sim
+        sim.obs.tracer.end(self.job_sid, aborted=self.metrics.aborted)
+        self.metrics.flows_lost = (
+            self.cluster.network.flows_failed - self._flows_failed_at_start
+        )
         if self.metrics.aborted:
             raise MpiJobAborted(
                 self.metrics.abort_reason or "stream lost",
                 self.metrics.aborted_at or sim.now,
                 self.metrics,
             )
-        if self.metrics.elapsed == 0.0 and until is not None:
-            raise RuntimeError(f"job did not finish by t={until}")
         return self.metrics
+
+    def run(self, until: Optional[float] = None) -> MrMpiMetrics:
+        if self.shared:
+            raise RuntimeError(
+                "shared-cluster jobs are driven by the engine: "
+                "use start()/complete()"
+            )
+        self.start()
+        self.sim.run(until=until)
+        metrics = self.complete()
+        if metrics.elapsed == 0.0 and until is not None:
+            raise RuntimeError(f"job did not finish by t={until}")
+        return metrics
 
 
 def run_mpid_job(

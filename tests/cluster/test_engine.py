@@ -1,0 +1,251 @@
+"""MultiTenantEngine integration tests: determinism, overload, chaos."""
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    MultiTenantEngine,
+    QueueConfig,
+    SchedulerConfig,
+    TenantSpec,
+    percentile,
+)
+from repro.hadoop import (
+    HadoopConfig,
+    JobSpec,
+    WORDCOUNT_PROFILE,
+    run_hadoop_job,
+)
+from repro.hadoop.job import WorkloadProfile
+from repro.mrmpi import MrMpiConfig, run_mpid_job
+from repro.simnet.faults import FaultPlan, DiskFailure, NodeCrash, Straggler
+from repro.util.units import GiB, MiB
+
+
+def wordcount(mb=256, name="solo", reducers=7):
+    return JobSpec(
+        name=name,
+        input_bytes=mb * MiB,
+        profile=WORDCOUNT_PROFILE,
+        num_reduce_tasks=reducers,
+    )
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(vals, 50) == 2.0
+        assert percentile(vals, 95) == 4.0
+        assert percentile([], 50) == 0.0
+
+
+class TestSingleJobEquivalence:
+    """An empty arrival stream with one job must be bit-for-bit the
+    standalone runtimes: the shared kernel adds no perturbation."""
+
+    def test_hadoop_bit_for_bit(self):
+        solo = run_hadoop_job(wordcount(), seed=2011)
+        eng = MultiTenantEngine([], seed=2011)
+        eng.add_job(wordcount())
+        eng.run()
+        (record,) = eng.records
+        assert record.outcome == "done"
+        assert json.dumps(record.metrics.to_dict(), sort_keys=True) == (
+            json.dumps(solo.to_dict(), sort_keys=True)
+        )
+
+    def test_mpid_bit_for_bit(self):
+        solo = run_mpid_job(wordcount(), config=MrMpiConfig())
+        eng = MultiTenantEngine([], seed=2011)
+        eng.add_job(wordcount(), runtime="mpid", mpid_config=MrMpiConfig())
+        eng.run()
+        (record,) = eng.records
+        assert record.outcome == "done"
+        assert record.metrics.elapsed == solo.elapsed
+        assert record.metrics.retransmits == solo.retransmits
+
+
+def small_tenants(load=1.0):
+    return [
+        TenantSpec(
+            name="a",
+            rate=0.05 * load,
+            workloads=("webdataScan",),
+            max_input_bytes=128 * MiB,
+        ),
+        TenantSpec(
+            name="b",
+            rate=0.02 * load,
+            runtime="mixed",
+            mpid_fraction=0.5,
+            workloads=("combiner",),
+            max_input_bytes=128 * MiB,
+        ),
+    ]
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self):
+        reports = [
+            MultiTenantEngine(small_tenants(), seed=2011, horizon=300.0).run()
+            for _ in range(2)
+        ]
+        assert json.dumps(reports[0], sort_keys=True) == json.dumps(
+            reports[1], sort_keys=True
+        )
+
+    def test_streamed_trace_stores_byte_identical(self, tmp_path):
+        from repro.obs.store import TraceStoreWriter
+
+        paths = []
+        for i in range(2):
+            path = tmp_path / f"run{i}.jsonl"
+            eng = MultiTenantEngine(
+                small_tenants(), seed=2011, horizon=300.0, observe=True
+            )
+            eng.setup()
+            writer = TraceStoreWriter(path)
+            writer.attach(eng.sim.obs)
+            eng.run()
+            writer.close()
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_different_seed_different_traffic(self):
+        r1 = MultiTenantEngine(small_tenants(), seed=2011, horizon=300.0).run()
+        r2 = MultiTenantEngine(small_tenants(), seed=2012, horizon=300.0).run()
+        assert r1["offered"] != r2["offered"]
+
+
+class TestOverload:
+    def test_twice_capacity_completes_with_shedding(self):
+        """The acceptance scenario: ≥2x offered load finishes without
+        deadlock, sheds deterministically, and accounts every job."""
+        queues = [
+            QueueConfig(name="a", capacity=0.5, max_queued=4, max_running=2),
+            QueueConfig(name="b", capacity=0.5, max_queued=4, max_running=2),
+        ]
+        reports = []
+        for _ in range(2):
+            eng = MultiTenantEngine(
+                small_tenants(load=8.0),
+                queues=queues,
+                hadoop_config=HadoopConfig(map_slots=2, reduce_slots=2),
+                seed=2011,
+                horizon=400.0,
+            )
+            reports.append(eng.run())
+        report = reports[0]
+        assert report["jobs"] > 30
+        assert report["shed"] > 0
+        assert report["unfinished"] == 0
+        assert (
+            report["completed"] + report["failed"] + report["shed"]
+            == report["jobs"]
+        )
+        # Shedding is part of the deterministic contract, not noise.
+        assert json.dumps(reports[0], sort_keys=True) == json.dumps(
+            reports[1], sort_keys=True
+        )
+
+    def test_slo_metrics_populated(self):
+        eng = MultiTenantEngine(small_tenants(2.0), seed=2011, horizon=300.0)
+        report = eng.run()
+        for slo in report["tenants"].values():
+            assert slo["latency_p50"] <= slo["latency_p95"] <= slo["latency_p99"]
+            assert slo["queue_wait_p50"] <= slo["queue_wait_p99"]
+            assert slo["slot_seconds"] > 0
+            assert 0 <= slo["utilization"] <= 1
+
+
+class TestChaosUnderLoad:
+    def test_crashes_and_straggler_account_exactly(self):
+        plan = FaultPlan(
+            specs=(
+                NodeCrash(node=3, at=60.0, restart_after=60.0),
+                NodeCrash(node=5, at=150.0, restart_after=90.0),
+                Straggler(node=2, at=30.0, factor=4.0, duration=120.0),
+            ),
+            seed=2011,
+        )
+        eng = MultiTenantEngine(
+            small_tenants(2.0), fault_plan=plan, seed=2011, horizon=300.0
+        )
+        report = eng.run()
+        assert report["unfinished"] == 0
+        total = sum(
+            slo["submitted"] for slo in report["tenants"].values()
+        )
+        assert total == report["jobs"] == len(eng.records)
+        assert (
+            report["completed"] + report["failed"] + report["shed"] == total
+        )
+
+    def test_storage_faults_rejected(self):
+        plan = FaultPlan(specs=(DiskFailure(rate=0.001),), seed=1)
+        with pytest.raises(ValueError, match="storage"):
+            MultiTenantEngine(small_tenants(), fault_plan=plan)
+
+
+class TestPreemption:
+    def test_entitlement_drop_triggers_requeue(self):
+        """A job that ramped to the full cluster gets slots clawed back
+        when a competitor arrives — and still finishes afterwards."""
+        slowmap = WorkloadProfile(
+            name="slowmap",
+            map_cpu_per_byte=1.0 / (2 * MiB),
+            map_selectivity=0.5,
+            reduce_cpu_per_byte=1.0 / (25 * MiB),
+            reduce_selectivity=1.0,
+        )
+        eng = MultiTenantEngine(
+            [],
+            queues=[QueueConfig(name="default")],
+            scheduler=SchedulerConfig(preemption_interval=10.0),
+            hadoop_config=HadoopConfig(map_slots=2, reduce_slots=2),
+            seed=2011,
+        )
+        eng.add_job(
+            JobSpec(name="hog", input_bytes=1 * GiB, profile=slowmap), at=0.0
+        )
+        eng.add_job(
+            JobSpec(name="late", input_bytes=128 * MiB, profile=slowmap),
+            at=25.0,
+        )
+        report = eng.run()
+        assert report["preemptions"]["map"] > 0
+        hog = next(r for r in eng.records if r.name == "hog")
+        assert hog.outcome == "done"
+        assert hog.maps_preempted > 0
+
+    def test_preemption_off_means_no_kills(self):
+        eng = MultiTenantEngine(
+            small_tenants(2.0),
+            scheduler=SchedulerConfig(preemption=False),
+            seed=2011,
+            horizon=200.0,
+        )
+        report = eng.run()
+        assert report["preemptions"] == {"map": 0, "reduce": 0}
+
+
+class TestSubmissionApi:
+    def test_unknown_runtime_rejected(self):
+        eng = MultiTenantEngine([])
+        with pytest.raises(ValueError, match="runtime"):
+            eng.add_job(wordcount(), runtime="spark")
+
+    def test_unknown_tenant_needs_default_queue(self):
+        eng = MultiTenantEngine(
+            [TenantSpec(name="a")],
+        )
+        with pytest.raises(ValueError, match="default"):
+            eng.add_job(wordcount(), tenant="ghost")
+
+    def test_tenant_on_unknown_queue_rejected(self):
+        with pytest.raises(ValueError, match="unknown queue"):
+            MultiTenantEngine(
+                [TenantSpec(name="a", queue="vip")],
+                queues=[QueueConfig(name="other")],
+            )

@@ -78,6 +78,55 @@ class TestSpeculativeExecution:
             HadoopConfig(speculative_slowness=1.0)
 
 
+class TestSpeculativeReduce:
+    """Reduce-side speculation behind the same config flag."""
+
+    def reduce_heavy(self):
+        return JobSpec(
+            name="sort",
+            input_bytes=2048 * MiB,
+            profile=JAVASORT_PROFILE,
+            num_reduce_tasks=14,
+        )
+
+    def test_off_by_default(self):
+        m = run_hadoop_job(self.reduce_heavy(), seed=3, disk_slowdown={2: 8.0})
+        assert m.speculative_reduce_attempts == 0
+
+    def test_attempts_happen_with_straggler(self):
+        cfg = HadoopConfig(speculative_execution=True)
+        m = run_hadoop_job(
+            self.reduce_heavy(), config=cfg, seed=3, disk_slowdown={2: 8.0}
+        )
+        assert m.speculative_reduce_attempts > 0
+        assert m.speculative_reduce_wins <= m.speculative_reduce_attempts
+
+    def test_speculation_helps_reduce_straggler(self):
+        degraded = run_hadoop_job(
+            self.reduce_heavy(), seed=3, disk_slowdown={2: 8.0}
+        )
+        speculative = run_hadoop_job(
+            self.reduce_heavy(),
+            config=HadoopConfig(speculative_execution=True),
+            seed=3,
+            disk_slowdown={2: 8.0},
+        )
+        assert speculative.elapsed < degraded.elapsed
+
+    def test_quiet_on_healthy_cluster(self):
+        cfg = HadoopConfig(speculative_execution=True)
+        m = run_hadoop_job(self.reduce_heavy(), config=cfg, seed=3)
+        assert m.speculative_reduce_attempts == 0
+
+    def test_all_reduces_complete_exactly_once(self):
+        cfg = HadoopConfig(speculative_execution=True)
+        m = run_hadoop_job(
+            self.reduce_heavy(), config=cfg, seed=3, disk_slowdown={2: 8.0}
+        )
+        ids = sorted(t.task_id for t in m.reduce_tasks)
+        assert ids == list(range(14))
+
+
 class TestStragglerExperiment:
     @pytest.fixture(scope="class")
     def result(self):
