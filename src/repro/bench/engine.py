@@ -20,12 +20,14 @@ Figure-6 100 GB point is seconds, not microseconds).
 
 from __future__ import annotations
 
+import gc
 import json
 import random
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Optional
 
+from repro.simnet.engine import use_engine
 from repro.simnet.kernel import Simulator
 from repro.simnet.network import Network, use_solver
 
@@ -53,6 +55,10 @@ class BenchReport:
     def record(self, section: str, name: str, result: dict) -> None:
         getattr(self, section)[name] = result
         if result.get("identical") is False:
+            self.divergence = True
+        # A same-seed rerun that exports different bytes is as
+        # disqualifying as a cross-engine divergence.
+        if result.get("deterministic") is False:
             self.divergence = True
 
 
@@ -330,15 +336,19 @@ def bench_kernel_cancel(
 def bench_fig6(
     sizes_gb: tuple[float, ...] = (1.0, 10.0, 100.0),
     seed: int = 2011,
-    repeats: int = 2,
+    repeats: int = 5,
 ) -> dict:
-    """Figure-6 WordCount at each size, fast vs reference solver.
+    """Figure-6 WordCount at each size, full fast path vs full reference.
 
-    Exports (the full Hadoop and MPI-D metrics dicts) are serialised
-    with sorted keys and compared as strings — bit-for-bit, the same
-    check the determinism CI applies.  Each leg is timed best-of-N with
-    the reference leg first, so the fast leg never gets the cold-cache
-    run and neither leg wears the machine's background noise alone.
+    The fast leg is the process default — vectorized flow engine plus
+    fast solver; the reference leg pins *both* knobs back (``use_engine``
+    + ``use_solver``), so the ratio measures the whole optimization
+    stack.  Exports (the full Hadoop and MPI-D metrics dicts) are
+    serialised with sorted keys and compared as strings — bit-for-bit,
+    the same check the determinism CI applies.  Each leg is timed
+    best-of-N with the reference leg first, so the fast leg never gets
+    the cold-cache run and neither leg wears the machine's background
+    noise alone.
     """
     from repro.experiments import fig6_wordcount as f6
 
@@ -349,10 +359,15 @@ def bench_fig6(
         fast_s = ref_s = float("inf")
         fast = ref = None
         for _ in range(max(1, repeats)):
-            with use_solver("reference"):
+            # Collect the previous leg's cycle garbage (tens of
+            # thousands of flow/event closures) *outside* the timed
+            # window — each leg is measured on its own allocations.
+            with use_engine("reference"), use_solver("reference"):
+                gc.collect()
                 t0 = time.perf_counter()
                 ref = f6.run(sizes_gb=(size,), seed=seed)
                 ref_s = min(ref_s, time.perf_counter() - t0)
+            gc.collect()
             t0 = time.perf_counter()
             fast = f6.run(sizes_gb=(size,), seed=seed)
             fast_s = min(fast_s, time.perf_counter() - t0)
@@ -402,7 +417,7 @@ def bench_network_faults(
         partition_durations=partitions,
     )
     fast_s = time.perf_counter() - t0
-    with use_solver("reference"):
+    with use_engine("reference"), use_solver("reference"):
         t0 = time.perf_counter()
         ref = nf.run(
             input_gb=input_gb,
@@ -422,6 +437,167 @@ def bench_network_faults(
         "reference_s": ref_s,
         "speedup": ref_s / fast_s if fast_s > 0 else float("inf"),
         "identical": fast_json == ref_json,
+    }
+
+
+def _scalability_single_job(
+    nodes: int, seed: int, mib_per_worker: int
+) -> tuple[float, str, int, float]:
+    """One Hadoop WordCount on an ``nodes``-node cluster, input scaled
+    with the worker count.  Returns (wall s, export JSON, events
+    dispatched, simulated elapsed)."""
+    from repro.hadoop import HadoopConfig, JobSpec, WORDCOUNT_PROFILE
+    from repro.hadoop.simulation import HadoopSimulation
+    from repro.simnet.cluster import ClusterSpec
+    from repro.util.units import MiB
+
+    workers = nodes - 1
+    spec = JobSpec(
+        name=f"scal-{nodes}n",
+        input_bytes=workers * mib_per_worker * MiB,
+        profile=WORDCOUNT_PROFILE,
+        num_reduce_tasks=max(1, workers // 64),
+    )
+    hsim = HadoopSimulation(
+        spec=spec,
+        config=HadoopConfig(),
+        cluster_spec=ClusterSpec(num_nodes=nodes),
+        seed=seed,
+    )
+    t0 = time.perf_counter()
+    metrics = hsim.run()
+    wall = time.perf_counter() - t0
+    export = json.dumps(metrics.to_dict(), sort_keys=True)
+    return wall, export, hsim.sim.events_dispatched, metrics.elapsed
+
+
+def _scalability_multi_tenant(
+    nodes: int, seed: int, horizon: float
+) -> tuple[float, str, int, float]:
+    """A two-tenant arrival stream on an ``nodes``-node cluster, arrival
+    rates scaled with the cluster so the offered load per node is
+    constant across sweep points."""
+    from repro.cluster import (
+        MultiTenantEngine,
+        QueueConfig,
+        SchedulerConfig,
+        TenantSpec,
+    )
+    from repro.hadoop.config import HadoopConfig
+    from repro.simnet.cluster import ClusterSpec
+
+    scale = nodes / 100.0
+    tenants = [
+        TenantSpec(
+            name="batch",
+            rate=0.02 * scale,
+            profile="poisson",
+            workloads=("javaSort", "streamSort"),
+            min_input_bytes=64 * 2**20,
+            max_input_bytes=512 * 2**20,
+        ),
+        TenantSpec(
+            name="interactive",
+            rate=0.03 * scale,
+            profile="diurnal",
+            workloads=("webdataScan",),
+            max_input_bytes=128 * 2**20,
+        ),
+    ]
+    queues = [
+        QueueConfig(name="batch", weight=1.0, capacity=0.55, max_queued=64),
+        QueueConfig(
+            name="interactive", weight=2.0, capacity=0.45, max_queued=16
+        ),
+    ]
+    engine = MultiTenantEngine(
+        tenants,
+        scheduler=SchedulerConfig(policy="fair"),
+        queues=queues,
+        cluster_spec=ClusterSpec(num_nodes=nodes),
+        hadoop_config=HadoopConfig(map_slots=4, reduce_slots=4),
+        seed=seed,
+        horizon=horizon,
+    )
+    t0 = time.perf_counter()
+    report = engine.run()
+    wall = time.perf_counter() - t0
+    export = json.dumps(report, sort_keys=True)
+    return wall, export, engine.sim.events_dispatched, report["makespan"]
+
+
+def bench_scalability(
+    node_counts: tuple[int, ...] = (200, 500, 1000),
+    seed: int = 2011,
+    mib_per_worker: int = 32,
+    horizon: float = 240.0,
+) -> dict:
+    """Synthetic large clusters: vectorized vs reference flow engine.
+
+    Both legs run the *same fast solver* — this macro isolates the flow
+    engine (horizon batching, deferred solve flush, pooled ticks, shared
+    heartbeat ticks), not the solver.  Per cluster size it runs a
+    single Hadoop job (input scaled with workers, so heartbeat traffic
+    dominates as the cluster grows) and a multi-tenant arrival stream,
+    and reports wall time, dispatched-event counts, the engine speedup
+    and two correctness bits:
+
+    * ``identical`` — vectorized exports == reference exports,
+      bit-for-bit (sorted-key JSON string compare);
+    * ``deterministic`` — two same-seed vectorized runs export
+      byte-identical results (the arena/slot reuse must not leak state
+      between runs).
+    """
+    per_nodes: dict = {}
+    total_vec = total_ref = 0.0
+    all_identical = True
+    for nodes in node_counts:
+        entry: dict = {}
+        for kind, runner in (
+            (
+                "single_job",
+                lambda: _scalability_single_job(nodes, seed, mib_per_worker),
+            ),
+            (
+                "multi_tenant",
+                lambda: _scalability_multi_tenant(nodes, seed, horizon),
+            ),
+        ):
+            with use_engine("reference"):
+                ref_wall, ref_export, ref_events, sim_elapsed = runner()
+            vec_wall, vec_export, vec_events, _ = runner()
+            vec_wall2, vec_export2, _, _ = runner()
+            vec_wall = min(vec_wall, vec_wall2)
+            identical = vec_export == ref_export
+            all_identical = all_identical and identical
+            total_vec += vec_wall
+            total_ref += ref_wall
+            entry[kind] = {
+                "vectorized_s": vec_wall,
+                "reference_s": ref_wall,
+                "speedup": ref_wall / vec_wall if vec_wall > 0 else float("inf"),
+                "identical": identical,
+                "deterministic": vec_export == vec_export2,
+                "events_vectorized": vec_events,
+                "events_reference": ref_events,
+                "sim_elapsed_s": sim_elapsed,
+            }
+        per_nodes[str(nodes)] = entry
+    return {
+        "seed": seed,
+        "node_counts": list(node_counts),
+        "mib_per_worker": mib_per_worker,
+        "horizon_s": horizon,
+        "per_nodes": per_nodes,
+        "total_fast_s": total_vec,
+        "total_reference_s": total_ref,
+        "speedup": total_ref / total_vec if total_vec > 0 else float("inf"),
+        "identical": all_identical,
+        "deterministic": all(
+            leg["deterministic"]
+            for entry in per_nodes.values()
+            for leg in entry.values()
+        ),
     }
 
 
@@ -472,11 +648,34 @@ def run_bench(
     report.record(
         "micro", "kernel_cancel", bench_kernel_cancel(timers=timers, repeats=repeats, seed=seed)
     )
+    # The micros above churned hundreds of thousands of timer objects;
+    # collect the garbage and freeze the survivors so the macros' timed
+    # legs never pay gen-2 scans over a heap they didn't allocate.  The
+    # fast leg packs the same allocations into fewer wall seconds, so
+    # stray GC pauses bias the *ratio*, not just the absolute numbers.
+    gc.collect()
+    gc.freeze()
     say(f"macro: Figure-6 WordCount at {', '.join(f'{s:g}' for s in sizes_gb)} GB")
     report.record(
         "macro",
         "fig6",
-        bench_fig6(sizes_gb=sizes_gb, seed=seed, repeats=1 if quick else 2),
+        bench_fig6(sizes_gb=sizes_gb, seed=seed, repeats=1 if quick else 5),
+    )
+    scal_nodes = (100,) if quick else (200, 500, 1000)
+    say(
+        "macro: scalability (engine A/B at "
+        + ", ".join(str(n) for n in scal_nodes)
+        + " nodes)"
+    )
+    report.record(
+        "macro",
+        "scalability",
+        bench_scalability(
+            node_counts=scal_nodes,
+            seed=seed,
+            mib_per_worker=16 if quick else 32,
+            horizon=120.0 if quick else 240.0,
+        ),
     )
     say("macro: network-fault sweep")
     if quick:

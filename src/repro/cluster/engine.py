@@ -338,7 +338,9 @@ class MultiTenantEngine:
         idle_sweeps = 0
         try:
             while True:
-                yield sim.timeout(interval)
+                # Pooled shared tick — same instant and dispatch order a
+                # Timeout would get, but recycled through the tick arena.
+                yield sim.tick(interval, shared=True)
                 self._rebalance()
                 self._sched_tick()
                 # Stall safety valve: the cluster is empty, arrivals are

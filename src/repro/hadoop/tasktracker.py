@@ -89,10 +89,16 @@ class TaskTracker:
             self.config.heartbeat_interval
         )
         try:
-            yield sim.timeout(stagger)
+            # Heartbeat sleeps come from the kernel's pooled tick arena and
+            # are marked shared: beats from different trackers landing on
+            # the same instant coalesce into one heap entry (append-order
+            # dispatch == seq order, so the timeline is unchanged).
+            yield sim.tick(stagger, shared=True)
             while not (jt.job_done or jt.job_failed):
                 # The status RPC: request to the master and response back.
-                yield sim.timeout(env.rpc.latency(self.config.rpc_status_bytes))
+                yield sim.tick(
+                    env.rpc.latency(self.config.rpc_status_bytes), shared=True
+                )
                 completions = self._completed_unreported
                 self._completed_unreported = []
                 maps, reduces = jt.heartbeat(
@@ -102,7 +108,9 @@ class TaskTracker:
                     completed_map_ids=completions,
                     now=sim.now,
                 )
-                yield sim.timeout(env.rpc.latency(self.config.rpc_status_bytes))
+                yield sim.tick(
+                    env.rpc.latency(self.config.rpc_status_bytes), shared=True
+                )
                 for attempt in maps:
                     self.running_maps += 1
                     proc = env.spawn_on_node(
@@ -134,6 +142,6 @@ class TaskTracker:
                             maps=len(maps),
                             reduces=len(reduces),
                         )
-                yield sim.timeout(self.config.heartbeat_interval)
+                yield sim.tick(self.config.heartbeat_interval, shared=True)
         except Interrupt:
             return  # node crashed; the JobTracker learns via heartbeat expiry

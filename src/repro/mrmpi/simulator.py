@@ -410,13 +410,74 @@ class MrMpiSimulation:
         weights = self.partition_weights
         reducer_flows = self._reducer_flows
         sent_per_reducer = self._sent_per_reducer
+        recv_sids = self._recv_sids
         mpich = self.mpich
         partition_bytes = cfg.partition_bytes
         stream_per_msg = mpich.stream_per_msg
         reliable = self.net_faults and self.config.reliable_transport
         obs = sim.obs
+        # Every full-size chunk produces the same per-reducer share, so
+        # the message count, injection CPU and MPICH wire costs repeat
+        # thousands of times — memoise them by share.  The fabric path
+        # and base latency per reducer are loop constants outright
+        # (this inlines Cluster.send's lookups; 0.0 + setup keeps the
+        # local-send float association bit-identical).
+        net = self.cluster.network
+        nodes = self.cluster.nodes
+        link_latency = self.cluster.spec.link_latency
+        send_paths: list[tuple[tuple, float]] = [
+            ((), 0.0)
+            if rnode == node_id
+            else ((nodes[node_id].uplink, nodes[rnode].downlink), link_latency)
+            for rnode in reducer_nodes
+        ]
+        wc_cache: dict[float, tuple[int, float, float]] = {}
+        # Horizon batching (vectorized engine, tracing off): the spill
+        # chain's pure CPU delays — realign, compress, the first
+        # reducer's injection cost — collapse into one pooled tick at
+        # the accumulated absolute instant.  The accumulation performs
+        # the same float additions in the same order the chained
+        # timeouts would (((t + realign) + compress) + send_cpu), so
+        # every send starts at the bit-identical time.  Span boundaries
+        # pin the unfused chain when tracing is on.
+        fused = not obs.enabled and self.cluster.network.engine == "vectorized"
+        # Deeper fusion — CPU slot held via try_acquire with an
+        # autonomous release tick — is only valid when nothing can
+        # interrupt the mapper mid-chain: an interrupted scalar mapper
+        # releases its core at the interrupt instant, the release tick
+        # at the phase boundary.  Fault-free runs cannot be interrupted.
+        fused_cpu = (
+            fused
+            and self.injector is None
+            and not self.net_faults
+            and self.storage is None
+        )
+        cpus = node.cpus
+        # With no more pinned ranks than cores the pool can never
+        # saturate: every acquire grants instantly and every release
+        # is a counter flip nobody observes (the occupancy metrics are
+        # null with tracing off).  Skip slot accounting entirely — and
+        # with it the autonomous release tick.
+        free_run = (
+            fused_cpu
+            and self.ranks_per_node().get(node_id, 0) <= cpus.capacity
+        )
+
+        def release_core(ev, pool=cpus):
+            pool.release()
+
+        # Chunk-derived quantities repeat for every full chunk (only the
+        # final partial differs) — memoise instead of recomputing per
+        # lap.  The tracer calls are no-ops when tracing is off; `traced`
+        # skips even the no-op dispatch in this, the hottest loop in the
+        # whole codebase.
+        traced = obs.enabled
+        job_metrics = self.metrics
+        prev_chunk = -1.0
+        chunk_cpu = chunk_out = 0.0
+        read_sid = map_sid = send_sid = 0
         while remaining > 0:
-            if self.metrics.aborted:
+            if job_metrics.aborted:
                 # Another rank hit unrecoverable data loss: MPI_Abort
                 # takes everyone down (pure state check — adds no events
                 # on runs that never abort).
@@ -425,7 +486,12 @@ class MrMpiSimulation:
             offset = split_bytes - remaining
             chunk = min(chunk_in, remaining)
             remaining -= chunk
-            read_sid = tr.begin("mpid.map", "read", parent=sid)
+            if chunk != prev_chunk:
+                prev_chunk = chunk
+                chunk_cpu = self._user_cpu(profile.map_cpu_per_byte, chunk)
+                chunk_out = profile.map_output_bytes(chunk)
+            if traced:
+                read_sid = tr.begin("mpid.map", "read", parent=sid)
             if self.storage is None:
                 yield node.disk_read(chunk)
             else:
@@ -436,62 +502,121 @@ class MrMpiSimulation:
                     tr.abort(read_sid, outcome="data-lost")
                     tr.abort(sid, outcome="aborted")
                     return
-            tr.end(read_sid)
-            cpu = self._user_cpu(profile.map_cpu_per_byte, chunk)
-            map_sid = tr.begin("mpid.map", "map", parent=sid)
-            core = node.cpus.acquire()
-            try:
-                yield core
-                yield sim.timeout(cpu)
-            finally:
-                node.cpus.cancel(core)
-            tr.end(map_sid)
-            # Spill: realign + eager sends of fixed-size partition arrays.
-            out = profile.map_output_bytes(chunk)
-            if out <= 0:
-                continue
-            m.spills += 1
-            realign_sid = tr.begin("mpid.map", "realign", parent=sid)
-            yield sim.timeout(out * cfg.realign_cpu_per_byte)
-            if cfg.compress:
-                yield sim.timeout(out * cfg.compress_cpu_per_byte)
-                out *= cfg.compression_ratio
-            tr.end(realign_sid)
-            send_sid = tr.begin("mpid.map", "send", parent=sid)
+            if traced:
+                tr.end(read_sid)
+            cpu = chunk_cpu
+            if traced:
+                map_sid = tr.begin("mpid.map", "map", parent=sid)
+            if fused_cpu and (free_run or cpus.try_acquire()):
+                # Whole-chain horizon batching: the core's release is an
+                # autonomous tick at the map phase's end, and the mapper
+                # itself sleeps straight through map + realign [+compress]
+                # into the first send — one resume for the whole CPU
+                # chain.  All instants are the same float accumulation
+                # the chained timeouts would produce.
+                t_rel = sim.now + cpu
+                if not free_run:
+                    sim.tick_at(t_rel, release_core)
+                if traced:
+                    tr.end(map_sid)
+                out = chunk_out
+                if out <= 0:
+                    yield sim.tick_at(t_rel)
+                    continue
+                m.spills += 1
+                pending = t_rel + out * cfg.realign_cpu_per_byte
+                if cfg.compress:
+                    pending = pending + out * cfg.compress_cpu_per_byte
+                    out *= cfg.compression_ratio
+            else:
+                core = cpus.acquire()
+                try:
+                    if not (fused and core.triggered):
+                        # An uncontended slot grants synchronously;
+                        # skipping the yield saves the resume (the
+                        # pre-scheduled grant event still pops harmlessly
+                        # with no callbacks).
+                        yield core
+                    yield sim.timeout(cpu)
+                finally:
+                    cpus.cancel(core)
+                if traced:
+                    tr.end(map_sid)
+                # Spill: realign + eager sends of fixed-size arrays.
+                out = chunk_out
+                if out <= 0:
+                    continue
+                m.spills += 1
+                realign_sid = (
+                    tr.begin("mpid.map", "realign", parent=sid) if traced else 0
+                )
+                if fused:
+                    # Defer the realign/compress sleep into the first
+                    # send's injection sleep (one tick, not 2-3 timeouts).
+                    pending = sim.now + out * cfg.realign_cpu_per_byte
+                    if cfg.compress:
+                        pending = pending + out * cfg.compress_cpu_per_byte
+                        out *= cfg.compression_ratio
+                else:
+                    pending = None
+                    yield sim.timeout(out * cfg.realign_cpu_per_byte)
+                    if cfg.compress:
+                        yield sim.timeout(out * cfg.compress_cpu_per_byte)
+                        out *= cfg.compression_ratio
+                if traced:
+                    tr.end(realign_sid)
+            if traced:
+                send_sid = tr.begin("mpid.map", "send", parent=sid)
             for r, rnode in enumerate(reducer_nodes):
                 share = out * weights[r]
                 if share <= 0:
                     continue
-                n_msgs = max(1, int(share // partition_bytes) + 1)
-                send_cpu = n_msgs * stream_per_msg
-                yield sim.timeout(send_cpu)  # not overlapped: injection cost
-                wc = mpich.wire_costs(int(share))
+                cached = wc_cache.get(share)
+                if cached is None:
+                    n_msgs = max(1, int(share // partition_bytes) + 1)
+                    cached = (
+                        n_msgs,
+                        n_msgs * stream_per_msg,
+                        mpich.wire_costs(int(share)).setup_time,
+                    )
+                    wc_cache[share] = cached
+                n_msgs, send_cpu, setup_time = cached
+                if pending is not None:
+                    yield sim.tick_at(pending + send_cpu)
+                    pending = None
+                else:
+                    yield sim.timeout(send_cpu)  # not overlapped: injection cost
                 if reliable:
                     # Each array gets its own retransmission process; the
                     # reducer waits on it exactly like a bare flow.
                     flow = self._spawn(
                         node_id,
                         self._retransmit_proc(
-                            node_id, rnode, share, wc.setup_time, rank, r, m.spills
+                            node_id, rnode, share, setup_time, rank, r, m.spills
                         ),
                         name=f"retx-m{rank}-r{r}.{m.spills}",
                     )
                 else:
-                    flow = self.cluster.send(
-                        node_id,
-                        rnode,
+                    path, base_lat = send_paths[r]
+                    flow = net.transfer_flow(
+                        path,
                         share,
-                        extra_latency=wc.setup_time,
-                        waiter_sid=self._recv_sids[r],
-                    )
+                        latency=base_lat + setup_time,
+                        waiter_sid=recv_sids[r],
+                    ).done
                 reducer_flows[r].append(flow)
                 sent_per_reducer[r] += share
                 m.sent_bytes += share
                 m.messages += n_msgs
-                if obs.enabled:
+                if traced:
                     obs.metrics.counter("transport.mpich.messages").add(n_msgs)
                     obs.metrics.counter("transport.mpich.bytes").add(share)
-            tr.end(send_sid, sent_bytes=m.sent_bytes)
+            if pending is not None:
+                # No reducer received bytes this spill; the realign/
+                # compress CPU was still spent.
+                yield sim.tick_at(pending)
+            if traced:
+                tr.end(send_sid, sent_bytes=m.sent_bytes)
         m.finished_at = sim.now
         tr.end(sid, messages=m.messages, spills=m.spills)
         self._open_mapper_sids.pop(id(m), None)

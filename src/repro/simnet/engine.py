@@ -1,0 +1,73 @@
+"""Flow-advancement engine selection for :mod:`repro.simnet`.
+
+Two engines advance the flow population between max-min re-solves:
+
+* ``reference`` — the original scalar path: one Python loop over the
+  flow set per advance, per-flow link accounting, plain ``Timeout``
+  completion timers.  Retained verbatim as the correctness oracle.
+* ``vectorized`` (the default when numpy is available) — "horizon
+  batching": remaining-bytes and rate vectors live in dense numpy
+  arrays, the next rate-change epoch is found with array ops, and every
+  flow advances to that horizon in one vector step.  Completion timers
+  come from the kernel's pooled tick arena, and periodic timers
+  (heartbeats, lockstep spill chains) coalesce into shared ticks when
+  they land on the same instant.  Exports are bit-for-bit identical to
+  the reference engine — pinned by the differential tests in
+  ``tests/simnet/test_maxmin_differential.py`` and self-checked by every
+  ``repro bench`` macro.
+
+Pick the engine per network (``Network(sim, engine="reference")``), per
+process (the ``REPRO_FLOW_ENGINE`` environment variable), or lexically
+(:func:`use_engine`) — the same three knobs the max-min solver exposes
+via ``REPRO_MAXMIN_SOLVER`` / ``Network(solver=)`` / ``use_solver``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+try:  # pragma: no cover - numpy is part of the baked toolchain
+    import numpy as _np
+except ImportError:  # pragma: no cover - vectorized engine needs numpy
+    _np = None
+
+#: True when the vectorized engine can actually run in this interpreter.
+HAVE_NUMPY = _np is not None
+
+_ENGINES = ("vectorized", "reference")
+
+#: Process-wide default for :class:`~repro.simnet.network.Network`
+#: instances constructed without an explicit ``engine``.  Falls back to
+#: the reference engine when numpy is missing so the simulator never
+#: hard-requires it.
+DEFAULT_ENGINE = os.environ.get(
+    "REPRO_FLOW_ENGINE", "vectorized" if HAVE_NUMPY else "reference"
+)
+
+
+def validate_engine(engine: str) -> str:
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown flow engine {engine!r} (want one of {_ENGINES})")
+    if engine == "vectorized" and not HAVE_NUMPY:
+        raise ValueError("the vectorized flow engine requires numpy")
+    return engine
+
+
+@contextmanager
+def use_engine(engine: str):
+    """Run a block with a different default flow engine.
+
+    The bench harness and the golden differential tests use this to
+    re-run whole experiments under the reference engine::
+
+        with use_engine("reference"):
+            result = fig6_wordcount.run()
+    """
+    global DEFAULT_ENGINE
+    validate_engine(engine)
+    prev, DEFAULT_ENGINE = DEFAULT_ENGINE, engine
+    try:
+        yield
+    finally:
+        DEFAULT_ENGINE = prev

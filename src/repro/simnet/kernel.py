@@ -175,6 +175,30 @@ class Timeout(Event):
         sim._schedule(self, delay=self.delay)
 
 
+class Tick(Event):
+    """A pooled internal timer event (the kernel's event arena).
+
+    Ticks are pre-triggered like :class:`Timeout` but come from a
+    per-simulator free list and return to it when their heap entry pops
+    — the allocation cost of the network/device completion timers and
+    the periodic heartbeat timers is paid once, not per event.  *Shared*
+    ticks additionally coalesce: consecutive requests for the same
+    expiry instant with no other event scheduled in between merge into
+    one heap entry whose callbacks run in append order — provably the
+    same dispatch order the separate entries would have had, since any
+    interleaving entry would need a sequence number strictly between two
+    consecutive integers.
+
+    Discipline (enforced by convention, not the kernel): a tick may only
+    be scheduled through :meth:`Simulator.tick` / :meth:`Simulator.tick_at`,
+    must not be stored past its expiry, must not be passed to
+    ``all_of``/``any_of``, and a *shared* tick must never be cancelled
+    (cancel would silence the merged siblings too).
+    """
+
+    __slots__ = ()
+
+
 class _Condition(Event):
     """Base for AllOf/AnyOf: waits on several events at once."""
 
@@ -467,6 +491,17 @@ class Simulator:
         #: the bench harness derives events/sec from these.
         self.events_dispatched = 0
         self.events_cancelled = 0
+        # -- tick arena ------------------------------------------------------
+        #: Free list of recycled :class:`Tick` objects; ticks return here
+        #: when their heap entry pops (dispatched or tombstoned).
+        self._tick_pool: list[Tick] = []
+        #: Coalescing state: the most recent *shared* tick, its expiry,
+        #: and the sequence number it was scheduled with.  A new shared
+        #: tick merges into it iff nothing else was scheduled since and
+        #: the expiry instant is bit-identical.
+        self._last_shared: Optional[Tick] = None
+        self._last_shared_when = 0.0
+        self._last_shared_seq = -1
         #: Observability hook; :meth:`repro.obs.Observer.attach` replaces
         #: the null default.  Models read ``sim.obs`` — never store it.
         self.obs = NULL_OBS
@@ -482,6 +517,73 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def tick(
+        self,
+        delay: float,
+        cb: Optional[Callable[[Event], None]] = None,
+        *,
+        shared: bool = False,
+    ) -> Tick:
+        """A pooled timer firing ``delay`` seconds from now (see :class:`Tick`).
+
+        Fires at exactly the instant ``timeout(delay)`` would — the
+        expiry is computed as ``now + delay``, the same float expression.
+        """
+        if delay < 0:
+            raise ValueError(f"negative tick delay: {delay}")
+        return self.tick_at(self._now + delay, cb, shared=shared)
+
+    def tick_at(
+        self,
+        when: float,
+        cb: Optional[Callable[[Event], None]] = None,
+        *,
+        shared: bool = False,
+    ) -> Tick:
+        """A pooled timer firing at the *absolute* instant ``when``.
+
+        Unlike ``timeout(when - now)`` this schedules the given float
+        directly, so a caller accumulating a chain of delays
+        ``((t + d1) + d2)`` reproduces the kernel clock's association
+        bit-for-bit.  With ``shared=True`` the tick may coalesce with the
+        immediately-preceding shared tick for the same instant.
+        """
+        if when < self._now:
+            raise ValueError(f"tick in the past: {when} < {self._now}")
+        if shared and (
+            self._last_shared is not None
+            and self._last_shared_when == when
+            and self._last_shared_seq == self._seq - 1
+        ):
+            cbs = self._last_shared.callbacks
+            if cbs is not None:  # not yet dispatched/cancelled: mergeable
+                if cb is not None:
+                    cbs.append(cb)
+                return self._last_shared
+        pool = self._tick_pool
+        if pool:
+            ev = pool.pop()
+            ev._value = None
+            ev._cancelled = False
+            ev._defused = False
+            ev.callbacks = [] if cb is None else [cb]
+        else:
+            ev = Tick(self)
+            if cb is not None:
+                ev.callbacks.append(cb)
+        ev._triggered = True
+        ev._ok = True
+        if when > self._now and self._wheel is not None:
+            self._wheel.push(when, self._seq, ev)
+        else:
+            heapq.heappush(self._heap, (when, self._seq, ev))
+        if shared:
+            self._last_shared = ev
+            self._last_shared_when = when
+            self._last_shared_seq = self._seq
+        self._seq += 1
+        return ev
 
     def process(self, gen: ProcessGen, name: str = "") -> Process:
         proc = Process(self, gen, name=name)
@@ -542,6 +644,8 @@ class Simulator:
             self.events_dispatched += 1
             for cb in callbacks:
                 cb(ev)
+        if type(ev) is Tick:
+            self._tick_pool.append(ev)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the event heap drains or ``until`` (exclusive of later events).
@@ -555,6 +659,7 @@ class Simulator:
             # valid alias because _schedule mutates the list in place.
             heap = self._heap
             heappop = heapq.heappop
+            tick_pool = self._tick_pool
             while heap:
                 if until is not None and heap[0][0] > until:
                     self._now = until
@@ -569,6 +674,8 @@ class Simulator:
                     self.events_dispatched += 1
                     for cb in callbacks:
                         cb(ev)
+                if type(ev) is Tick:
+                    tick_pool.append(ev)
             return self._finish_run()
         while True:
             entry = self._next_entry()

@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Optional
 
+from repro.simnet import engine as _engine_mod
 from repro.simnet.kernel import Event, SimError, Simulator
 
 
@@ -33,6 +34,7 @@ class SlotPool:
         self._in_use = 0
         self._waiters: deque[Event] = deque()
         # Bound at construction: attach the Observer before building models.
+        self._metrics_on = sim.obs.enabled
         self._occupancy = sim.obs.metrics.histogram(f"slots.{name}.in_use")
         self._queued = sim.obs.metrics.histogram(f"slots.{name}.queued")
 
@@ -48,12 +50,29 @@ class SlotPool:
         ev = self.sim.event()
         if self._in_use < self.capacity:
             self._in_use += 1
-            self._occupancy.set(self._in_use)
+            if self._metrics_on:
+                self._occupancy.set(self._in_use)
             ev.succeed(self)
         else:
             self._waiters.append(ev)
-            self._queued.set(len(self._waiters))
+            if self._metrics_on:
+                self._queued.set(len(self._waiters))
         return ev
+
+    def try_acquire(self) -> bool:
+        """Grab a slot synchronously when one is free; never queues.
+
+        The event-free companion to :meth:`acquire` for hot loops that
+        can pair it with a direct :meth:`release` (no grant event, no
+        dispatch).  Returns False when the pool is full — callers then
+        fall back to the queued ``acquire()`` path.
+        """
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            if self._metrics_on:
+                self._occupancy.set(self._in_use)
+            return True
+        return False
 
     def release(self) -> None:
         if self._in_use <= 0:
@@ -61,10 +80,12 @@ class SlotPool:
         if self._waiters:
             # Hand the slot straight to the next waiter; in_use unchanged.
             self._waiters.popleft().succeed(self)
-            self._queued.set(len(self._waiters))
+            if self._metrics_on:
+                self._queued.set(len(self._waiters))
         else:
             self._in_use -= 1
-            self._occupancy.set(self._in_use)
+            if self._metrics_on:
+                self._occupancy.set(self._in_use)
 
     def cancel(self, request: Event) -> None:
         """End one ``acquire()`` request, whatever state it reached.
@@ -76,7 +97,8 @@ class SlotPool:
         """
         try:
             self._waiters.remove(request)
-            self._queued.set(len(self._waiters))
+            if self._metrics_on:
+                self._queued.set(len(self._waiters))
             return  # withdrawn before a slot was ever granted
         except ValueError:
             pass
@@ -115,9 +137,19 @@ class RateDevice:
         self._jobs: list[_PSJob] = []
         self._last_t = 0.0
         self._timer_token = 0
+        self._pending: Optional[Event] = None
+        #: Horizon batching (vectorized engine): same-instant arrivals /
+        #: departures collapse into one PS recomputation via a 0-delay
+        #: pooled tick.  The reference engine keeps the fully synchronous
+        #: path — it is the oracle the batched mode is diffed against.
+        self._defer = _engine_mod.DEFAULT_ENGINE == "vectorized"
+        self._flush_tick: Optional[Event] = None
         self.bytes_served = 0.0
         self.busy_time = 0.0
         self.jobs_completed = 0
+        # Bound at construction like SlotPool's gauges; the enabled flag
+        # lets the hot paths skip even the null-object dispatch.
+        self._metrics_on = sim.obs.enabled
         self._depth = sim.obs.metrics.histogram(f"device.{name}.jobs")
         self._served = sim.obs.metrics.counter(f"device.{name}.bytes")
 
@@ -154,8 +186,9 @@ class RateDevice:
             return ev
         self._advance()
         self._jobs.append(_PSJob(float(nbytes), ev))
-        self._depth.set(len(self._jobs))
-        self._served.add(nbytes)
+        if self._metrics_on:
+            self._depth.set(len(self._jobs))
+            self._served.add(nbytes)
         self._reschedule()
         return ev
 
@@ -176,13 +209,38 @@ class RateDevice:
 
     def _reschedule(self) -> None:
         self._timer_token += 1
+        if self._pending is not None:
+            # Tombstone the superseded timer so the kernel never pays a
+            # dispatch for it (the token check still guards correctness;
+            # cancelled entries advance the clock identically).
+            self._pending.cancel()
+            self._pending = None
+        if self._defer:
+            # Work is already integrated (_advance ran at the mutation),
+            # so the recomputation can wait until every same-instant
+            # arrival/departure is in: one solve per instant instead of
+            # one per job.  Intermediate shares are unobservable (dt=0);
+            # completions shift only in intra-instant dispatch order.
+            ft = self._flush_tick
+            if ft is not None and ft.callbacks is not None:
+                return  # a flush for this instant is already queued
+            self._flush_tick = self.sim.tick(0.0, self._flush)
+            return
+        self._reschedule_now()
+
+    def _flush(self, ev: Event) -> None:
+        self._flush_tick = None
+        self._reschedule_now()
+
+    def _reschedule_now(self) -> None:
         token = self._timer_token
         # Complete anything already done.
         done = [j for j in self._jobs if j.remaining <= self._EPS]
         if done:
             self._jobs = [j for j in self._jobs if j.remaining > self._EPS]
             self.jobs_completed += len(done)
-            self._depth.set(len(self._jobs))
+            if self._metrics_on:
+                self._depth.set(len(self._jobs))
             for job in done:
                 job.event.succeed(None)
         if not self._jobs:
@@ -194,16 +252,30 @@ class RateDevice:
         # leave a residual smaller than the clock's resolution, which
         # would otherwise respawn zero-length timers forever.
         targets = [j for j in self._jobs if j.remaining <= min_rem * (1 + 1e-9)]
-        timer = self.sim.timeout(delay)
-        timer.callbacks.append(lambda ev: self._on_timer(token, targets))
+        # Pooled tick: fires at the same (instant, seq) a timeout(delay)
+        # would, but the event object comes from the kernel's arena.
+        self._pending = self.sim.tick(
+            delay, lambda ev: self._on_timer(token, targets)
+        )
 
     def _on_timer(self, token: int, targets: list[_PSJob]) -> None:
         if token != self._timer_token:
             return  # superseded by a later arrival/departure
+        self._pending = None
         self._advance()
         for job in targets:
             job.remaining = 0.0
-        self._reschedule()
+        ft = self._flush_tick
+        if ft is not None and ft.callbacks is not None:
+            # An arrival already queued a flush for this instant — fold
+            # the completion into it rather than double-solving.
+            self._timer_token += 1
+            return
+        # Isolated completions recompute synchronously even in deferred
+        # mode: there is nothing to coalesce with, and the extra flush
+        # tick would make sparse traffic strictly more expensive.
+        self._timer_token += 1
+        self._reschedule_now()
 
 
 class Store:

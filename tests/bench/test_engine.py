@@ -14,13 +14,17 @@ import pytest
 from repro.bench.engine import (
     BenchReport,
     _churn_script,
+    _scalability_multi_tenant,
+    _scalability_single_job,
     _star_network,
     _timer_storm,
     bench_kernel_cancel,
     bench_kernel_dispatch,
     bench_maxmin_churn,
     bench_maxmin_solver,
+    bench_scalability,
 )
+from repro.simnet.engine import use_engine
 
 
 class TestReport:
@@ -36,6 +40,17 @@ class TestReport:
         report = BenchReport()
         report.record("micro", "c", {"run_s": 0.1})
         assert not report.divergence
+
+    def test_record_sets_divergence_on_nondeterministic(self):
+        report = BenchReport()
+        report.record(
+            "macro", "scal", {"identical": True, "deterministic": True}
+        )
+        assert not report.divergence
+        report.record(
+            "macro", "scal2", {"identical": True, "deterministic": False}
+        )
+        assert report.divergence
 
 
 class TestScenarios:
@@ -95,6 +110,51 @@ class TestMicroBenches:
 
 
 @pytest.mark.slow
+class TestScalabilityGolden:
+    """Golden differential: the scalability macro's two workloads must
+    export bit-for-bit identical results under both flow engines at the
+    quick sweep size (~100 nodes).  The comparison here is independent
+    of the macro's own self-check — raw export strings, compared in the
+    test."""
+
+    NODES = 100
+
+    def test_single_job_exports_bit_for_bit(self):
+        with use_engine("reference"):
+            _, ref_export, ref_events, _ = _scalability_single_job(
+                self.NODES, seed=2011, mib_per_worker=16
+            )
+        _, vec_export, vec_events, _ = _scalability_single_job(
+            self.NODES, seed=2011, mib_per_worker=16
+        )
+        assert vec_export == ref_export
+        assert ref_events > 0 and vec_events > 0
+
+    def test_multi_tenant_exports_bit_for_bit(self):
+        with use_engine("reference"):
+            _, ref_export, _, _ = _scalability_multi_tenant(
+                self.NODES, seed=2011, horizon=120.0
+            )
+        _, vec_export, _, _ = _scalability_multi_tenant(
+            self.NODES, seed=2011, horizon=120.0
+        )
+        assert vec_export == ref_export
+
+    def test_macro_reports_identical_and_deterministic(self):
+        r = bench_scalability(
+            node_counts=(self.NODES,), mib_per_worker=16, horizon=120.0
+        )
+        assert r["identical"] is True
+        assert r["deterministic"] is True
+        entry = r["per_nodes"][str(self.NODES)]
+        for leg in ("single_job", "multi_tenant"):
+            assert entry[leg]["identical"] is True
+            assert entry[leg]["deterministic"] is True
+            assert entry[leg]["events_vectorized"] > 0
+            assert entry[leg]["events_reference"] > 0
+
+
+@pytest.mark.slow
 class TestCli:
     def test_quick_run_writes_report_and_exits_zero(self, tmp_path):
         from repro.bench.cli import main
@@ -110,5 +170,7 @@ class TestCli:
             "kernel_dispatch",
             "kernel_cancel",
         }
-        assert set(data["macro"]) == {"fig6", "network_faults"}
+        assert set(data["macro"]) == {"fig6", "scalability", "network_faults"}
+        assert data["macro"]["scalability"]["identical"] is True
+        assert data["macro"]["scalability"]["deterministic"] is True
         assert data["manifest"]["experiment"] == "bench_engine"

@@ -92,6 +92,41 @@ class TestCompare:
         assert prev is None
         assert not any(d.regressed for d in deltas)
 
+    def test_metric_missing_from_baseline_never_gates(self):
+        # The previous entry predates a metric (say, the scalability
+        # macro landed after the baseline was recorded): the new metric
+        # reports with no previous/delta and must not gate.
+        old = history.make_entry(_report())
+        del old["metrics"]["macro.fig6.speedup"]
+        new = history.make_entry(_report(fig6_speedup=0.01))
+        deltas, prev = history.compare(new, [old], threshold=0.25)
+        assert prev is old
+        fig6 = next(d for d in deltas if d.metric == "macro.fig6.speedup")
+        assert fig6.gated
+        assert fig6.previous is None
+        assert fig6.delta is None
+        assert not fig6.regressed
+
+    def test_new_macro_does_not_gate_against_old_baseline(self):
+        old = history.make_entry(_report())
+        raw = _report()
+        raw["macro"]["scalability"] = {
+            "speedup": 1.1,
+            "total_fast_s": 4.0,
+            "identical": True,
+            "deterministic": True,
+        }
+        new = history.make_entry(raw)
+        deltas, prev = history.compare(new, [old], threshold=0.25)
+        assert prev is old
+        scal = next(
+            d for d in deltas if d.metric == "macro.scalability.speedup"
+        )
+        assert scal.gated  # it WILL gate once a baseline records it...
+        assert scal.previous is None  # ...but not on its first appearance
+        assert not scal.regressed
+        assert not any(d.regressed for d in deltas)
+
     def test_best_tracks_the_extreme(self):
         entries = [
             history.make_entry(_report(fig6_speedup=s)) for s in (2.0, 3.5, 3.0)
@@ -131,6 +166,63 @@ class TestCliGate:
         monkeypatch.setattr(cli, "run_bench", fake_bench)
         out = tmp_path / "B.json"
         return cli.main(["--quick", "--out", str(out), *argv])
+
+    def test_first_run_has_no_baseline_and_exits_zero(self, monkeypatch, tmp_path):
+        # Cold start: no history file at all.  Nothing gates, the run
+        # is recorded, and the exit code is clean.
+        hist = tmp_path / "fresh.jsonl"
+        assert not hist.exists()
+        rc = self._run(
+            monkeypatch, tmp_path, ["--compare", "--history", str(hist)], 2.0
+        )
+        assert rc == 0
+        assert len(history.load_history(hist)) == 1
+
+    def test_injected_divergence_exits_nonzero(self, monkeypatch, tmp_path):
+        # A macro whose fast-path exports diverged must fail the run
+        # even when every speedup improved.
+        from repro.bench import cli
+
+        def fake_bench(**_kwargs):
+            raw = _report(fig6_speedup=100.0)
+            report = BenchReport()
+            for name, entry in raw["micro"].items():
+                report.record("micro", name, entry)
+            for name, entry in raw["macro"].items():
+                report.record("macro", name, entry)
+            report.record(
+                "macro",
+                "scalability",
+                {"speedup": 5.0, "total_fast_s": 1.0, "identical": False},
+            )
+            return report
+
+        monkeypatch.setattr(cli, "run_bench", fake_bench)
+        out = tmp_path / "B.json"
+        rc = cli.main(["--quick", "--out", str(out)])
+        assert rc != 0
+        assert json.loads(out.read_text())["divergence"] is True
+
+    def test_injected_nondeterminism_exits_nonzero(self, monkeypatch, tmp_path):
+        from repro.bench import cli
+
+        def fake_bench(**_kwargs):
+            report = BenchReport()
+            report.record(
+                "macro",
+                "scalability",
+                {
+                    "speedup": 5.0,
+                    "total_fast_s": 1.0,
+                    "identical": True,
+                    "deterministic": False,
+                },
+            )
+            return report
+
+        monkeypatch.setattr(cli, "run_bench", fake_bench)
+        out = tmp_path / "B.json"
+        assert cli.main(["--quick", "--out", str(out)]) != 0
 
     def test_clean_rerun_exits_zero(self, monkeypatch, tmp_path):
         hist = tmp_path / "H.jsonl"

@@ -1,16 +1,25 @@
-"""Differential + property tests pinning the fast max-min solver.
+"""Differential + property tests pinning the fast solver AND the
+vectorized flow engine.
 
-The fast path (`Network._maxmin_rates_fast` / `_solve_component`) must
-reproduce the reference solver **bit-for-bit** — same divisions, same
-epsilon-tie choices, same floats — under arbitrary interleavings of flow
-arrivals, departures, kills, link flaps, capacity changes and
-partitions.  These tests drive seeded/hypothesis-generated op sequences
-through a live simulation with the fast solver and, at every step,
-re-derive all rates with the reference solver and compare exactly.
+Two independent fast paths must reproduce the reference **bit-for-bit**
+— same divisions, same epsilon-tie choices, same floats — under
+arbitrary interleavings of flow arrivals, departures, kills, link
+flaps, capacity changes and partitions:
+
+* the fast max-min solver (`Network._maxmin_rates_fast`) against the
+  from-scratch reference solver, checked synchronously at every op;
+* the vectorized horizon-batching engine (dense slot arrays, deferred
+  same-instant solve flush, pooled completion ticks) against the
+  scalar reference engine, checked by replaying identical op sequences
+  under both and comparing every checkpoint's rates and the final
+  delivered-byte counters exactly.
 
 Max-min structural invariants (capacity respected, caps respected,
 every uncapped-below-cap flow has a saturated bottleneck where it gets
-a maximal share) are asserted on the same checkpoints.
+a maximal share) are asserted on the same checkpoints.  A final
+property pins the kernel's shared-tick coalescing: a traced Hadoop run
+streams a byte-identical trace store whether heartbeat timers coalesce
+or not.
 """
 
 from __future__ import annotations
@@ -21,16 +30,33 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.simnet import network as network_mod
+from repro.simnet.engine import HAVE_NUMPY, use_engine, validate_engine
 from repro.simnet.kernel import Simulator
 from repro.simnet.network import DEFAULT_SOLVER, Network, use_solver
 
 NODES = 5
 REL_TOL = 1e-6
 
+#: Engine sweep: the scalar oracle always runs; the vectorized engine
+#: runs twice — once with the small-n scalar-loop slot path (the
+#: default below ``_BULK_N`` flows) and once with ``_BULK_N`` pinned to
+#: 1 so every slot op takes the whole-array numpy branch.
+ENGINE_CASES = [
+    pytest.param("reference", None, id="ref-engine"),
+    pytest.param("vectorized", None, id="vec-engine"),
+    pytest.param(
+        "vectorized",
+        1,
+        id="vec-engine-bulk",
+        marks=pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy"),
+    ),
+]
 
-def _build():
+
+def _build(engine: str = "vectorized"):
     sim = Simulator()
-    net = Network(sim, solver="fast")
+    net = Network(sim, solver="fast", engine=engine)
     ups, dns = [], []
     for n in range(NODES):
         # Deliberately non-uniform capacities: uniform ones hide
@@ -81,14 +107,37 @@ def _check_maxmin_invariants(net: Network) -> None:
         )
 
 
-def _apply_ops(ops) -> int:
-    """Drive one op sequence; returns the number of checkpoints taken."""
-    sim, net, ups, dns = _build()
+def _apply_ops(ops, engine: str = "vectorized", bulk_n=None):
+    """Drive one op sequence under ``engine``.
+
+    Returns ``(checkpoints, rate_log, bytes_delivered)`` where
+    ``rate_log`` records ``(sim.now, {flow_seq: rate})`` at every
+    checkpoint — the exact-comparison payload for cross-engine sweeps.
+    ``bulk_n`` temporarily pins ``network._BULK_N`` (1 forces the numpy
+    whole-array branch even at test-sized flow counts).
+    """
+    saved_bulk = network_mod._BULK_N
+    if bulk_n is not None:
+        network_mod._BULK_N = bulk_n
+    try:
+        return _apply_ops_inner(ops, engine)
+    finally:
+        network_mod._BULK_N = saved_bulk
+
+
+def _apply_ops_inner(ops, engine: str):
+    sim, net, ups, dns = _build(engine)
     flows: list = []
     checks = 0
+    rate_log: list = []
 
     def check():
         nonlocal checks
+        # The vectorized engine batches same-instant membership churn
+        # into one deferred solve; force it now so standing rates are
+        # inspectable synchronously (a timeline no-op — see the hook).
+        net._settle_pending()
+        rate_log.append((sim.now, {f.seq: f.rate for f in net._flows}))
         _check_against_reference(net)
         _check_maxmin_invariants(net)
         checks += 1
@@ -137,7 +186,7 @@ def _apply_ops(ops) -> int:
     sim.process(driver(), name="diff-driver")
     sim.run()
     check()
-    return checks
+    return checks, rate_log, net.bytes_delivered
 
 
 _node = st.integers(0, NODES - 1)
@@ -160,9 +209,28 @@ _op = st.one_of(
 
 
 @given(st.lists(_op, max_size=30))
-@settings(max_examples=60)
+@settings(max_examples=40)
 def test_differential_random_ops(ops):
-    _apply_ops(ops)
+    """Hypothesis churn, swept across engines AND solvers.
+
+    The scalar run is the oracle: every vectorized run — fast or
+    reference solver, scalar-loop or forced-numpy slot path — must
+    reproduce its checkpoint rates and delivered bytes *exactly* (no
+    tolerance: same IEEE operations, same results).
+    """
+    _, ref_log, ref_bytes = _apply_ops(ops, engine="reference")
+    sweeps = [("vectorized", None)]
+    if HAVE_NUMPY:
+        sweeps.append(("vectorized", 1))
+    for engine, bulk_n in sweeps:
+        for solver in ("fast", "reference"):
+            with use_solver(solver):
+                _, log, nbytes = _apply_ops(ops, engine=engine, bulk_n=bulk_n)
+            assert log == ref_log, (
+                f"engine={engine} solver={solver} bulk_n={bulk_n} "
+                "diverged from the reference engine"
+            )
+            assert nbytes == ref_bytes
 
 
 def _seeded_ops(seed: int, count: int):
@@ -197,17 +265,31 @@ def _seeded_ops(seed: int, count: int):
     return ops
 
 
+@pytest.mark.parametrize("engine,bulk_n", ENGINE_CASES)
 @pytest.mark.parametrize("seed", [2011, 2012, 2013])
-def test_differential_seeded_churn(seed):
-    checks = _apply_ops(_seeded_ops(seed, 60))
+def test_differential_seeded_churn(seed, engine, bulk_n):
+    checks, _, _ = _apply_ops(_seeded_ops(seed, 60), engine=engine, bulk_n=bulk_n)
     assert checks >= 60
 
 
+@pytest.mark.parametrize("seed", [2011, 2013])
+def test_cross_engine_rates_and_bytes_exact(seed):
+    """Seeded churn: vectorized checkpoints == scalar checkpoints, exactly."""
+    ops = _seeded_ops(seed, 80)
+    _, ref_log, ref_bytes = _apply_ops(ops, engine="reference")
+    _, vec_log, vec_bytes = _apply_ops(ops, engine="vectorized")
+    assert vec_log == ref_log
+    assert vec_bytes == ref_bytes
+
+
 @pytest.mark.slow
+@pytest.mark.parametrize("engine,bulk_n", ENGINE_CASES)
 @pytest.mark.parametrize("seed", [7, 40, 1337])
-def test_differential_seeded_churn_long(seed):
+def test_differential_seeded_churn_long(seed, engine, bulk_n):
     """Long churn crosses the BFS population threshold both ways."""
-    checks = _apply_ops(_seeded_ops(seed, 400))
+    checks, _, _ = _apply_ops(
+        _seeded_ops(seed, 400), engine=engine, bulk_n=bulk_n
+    )
     assert checks >= 400
 
 
@@ -222,6 +304,18 @@ def test_solver_flag_validation():
     assert DEFAULT_SOLVER in ("fast", "reference")
 
 
+def test_engine_flag_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Network(sim, engine="bogus")
+    with pytest.raises(ValueError):
+        validate_engine("bogus")
+    with pytest.raises(ValueError):
+        with use_engine("bogus"):
+            pass
+    assert Network(sim, engine="reference").engine == "reference"
+
+
 def test_use_solver_restores_default():
     sim = Simulator()
     before = Network(sim).solver
@@ -230,11 +324,79 @@ def test_use_solver_restores_default():
     assert Network(sim).solver == before
 
 
+def test_use_engine_restores_default():
+    sim = Simulator()
+    before = Network(sim).engine
+    with use_engine("reference"):
+        assert Network(sim).engine == "reference"
+    assert Network(sim).engine == before
+
+
 def test_skip_counter_counts_clean_solves():
-    sim, net, ups, dns = _build()
+    # Pinned to the reference engine: its solves are synchronous, so
+    # the counters are inspectable right after the call.
+    sim, net, ups, dns = _build(engine="reference")
     f = net.transfer_flow((ups[0], dns[1]), 1e6)
     assert net.rate_recomputes == 1
     net._dirty.clear()
     net._maxmin_rates_fast()
     assert net.rate_skips == 1
     assert f.rate > 0
+
+
+def test_vectorized_defers_solve_to_one_per_instant():
+    """Same-instant churn under the vectorized engine costs ONE solve."""
+    sim, net, ups, dns = _build(engine="vectorized")
+    for i in range(6):
+        net.transfer_flow((ups[i % NODES], dns[(i + 1) % NODES]), 1e6)
+    # All six arrivals landed at t=0; the solve is still queued.
+    assert net.rate_recomputes == 0
+    net._settle_pending()
+    assert net.rate_recomputes == 1
+    # Settling consumed the pending flush; settling again is a no-op.
+    net._settle_pending()
+    assert net.rate_recomputes == 1
+
+
+# -- shared-tick coalescing vs streamed trace stores -------------------------
+
+
+def _streamed_hadoop_store(tmp_path, name: str, coalesce: bool) -> bytes:
+    from repro.hadoop import HadoopConfig, JobSpec, WORDCOUNT_PROFILE
+    from repro.hadoop.simulation import HadoopSimulation
+    from repro.util.units import MiB
+
+    saved = Simulator.tick
+    if not coalesce:
+
+        def unshared_tick(self, delay, cb=None, *, shared=False):
+            return saved(self, delay, cb, shared=False)
+
+        Simulator.tick = unshared_tick
+    try:
+        spec = JobSpec(
+            name="coalesce",
+            input_bytes=96 * MiB,
+            profile=WORDCOUNT_PROFILE,
+            num_reduce_tasks=1,
+        )
+        hsim = HadoopSimulation(spec=spec, config=HadoopConfig(), observe=True)
+        path = tmp_path / name
+        with hsim.obs.stream_to(path, system="hadoop"):
+            hsim.run()
+        return path.read_bytes()
+    finally:
+        Simulator.tick = saved
+
+
+def test_heartbeat_coalescing_keeps_trace_store_byte_identical(tmp_path):
+    """Shared-tick merging is a pure allocation optimization.
+
+    Heartbeat/periodic timers that coalesce into one shared tick must
+    dispatch in exactly the order separate ticks would have (append
+    order == seq order), so a fully traced run streams a byte-identical
+    store with coalescing forced off.
+    """
+    merged = _streamed_hadoop_store(tmp_path, "merged.jsonl", coalesce=True)
+    split = _streamed_hadoop_store(tmp_path, "split.jsonl", coalesce=False)
+    assert merged == split

@@ -190,3 +190,69 @@ class TestSharing:
         sim.process(proc(sim))
         sim.run()
         assert net.bytes_delivered == pytest.approx(70.0)
+
+
+class TestArenaIsolation:
+    """Slot/arena reuse must never leak state across Network instances.
+
+    The vectorized engine keeps per-network dense slot lists (swap-remove
+    recycling) and draws completion timers from the simulator's pooled
+    tick arena.  A fresh Network — on a fresh simulator OR sharing a
+    simulator whose tick pool and shared-tick state are already warm
+    from a previous network's run — must behave exactly like the first.
+    """
+
+    SIZES = (50.0, 130.0, 70.0, 260.0)
+
+    def _run_round(self, sim, net):
+        link = net.add_link("arena-l", 100.0)
+        t0 = sim.now
+        done = []
+
+        def proc(size):
+            yield net.transfer((link,), size)
+            done.append((sim.now - t0, size))
+
+        for s in self.SIZES:
+            sim.process(proc(s))
+        sim.run()
+        return done, net.bytes_delivered
+
+    @pytest.mark.parametrize("engine", ["vectorized", "reference"])
+    def test_fresh_network_after_run_is_pristine(self, engine):
+        sim = Simulator()
+        first = Network(sim, engine=engine)
+        base_done, base_bytes = self._run_round(sim, first)
+        assert len(base_done) == len(self.SIZES)
+        if engine == "vectorized":
+            # The slot lists drain back to empty with every slot freed.
+            assert first._vflows == []
+            assert first._vrem == []
+            assert first._vrate == []
+        # A second network on the SAME simulator starts with a warm
+        # tick arena and a non-zero clock; it must reproduce the first
+        # network's timeline relative to its own start, from blank state.
+        second = Network(sim, engine=engine)
+        if engine == "vectorized":
+            assert second._vflows == [] and second._vrem == []
+        done2, bytes2 = self._run_round(sim, second)
+        assert [s for _, s in done2] == [s for _, s in base_done]
+        for (dt2, _), (dt1, _) in zip(done2, base_done):
+            assert dt2 == pytest.approx(dt1)
+        assert bytes2 == pytest.approx(base_bytes)
+        assert first.bytes_delivered == pytest.approx(base_bytes)  # untouched
+
+    def test_finished_flows_release_their_slots(self):
+        sim = Simulator()
+        net = Network(sim, engine="vectorized")
+        link = net.add_link("slots-l", 100.0)
+        flows = [net.transfer_flow((link,), 40.0) for _ in range(3)]
+        assert [f.slot for f in flows] == [0, 1, 2]
+        sim.run()
+        assert all(f.slot == -1 for f in flows)
+        assert all(f.done.triggered for f in flows)
+        # The next flow reuses slot 0 — dense from the bottom again.
+        late = net.transfer_flow((link,), 10.0)
+        assert late.slot == 0
+        sim.run()
+        assert late.slot == -1
