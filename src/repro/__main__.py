@@ -36,6 +36,7 @@ COMMANDS = [
     ("repro.experiments.durability", "dying disks: HDFS re-replication vs static input"),
     ("repro.experiments.critical_path", "critical-path blame + causal what-if validation"),
     ("repro.experiments.multi_tenant", "multi-tenant load x scheduler policy x chaos"),
+    ("repro.experiments.capacity", "capacity planning: validated scheduler what-ifs"),
     ("repro.experiments.export", "write per-figure CSVs/JSONs (--out results/)"),
     ("repro.experiments.all", "everything above, back to back"),
 ]
@@ -63,6 +64,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.multi_tenant import main as tenants_main
 
         return tenants_main(argv[1:])
+    if argv and argv[0] == "capacity":
+        from repro.experiments.capacity import main as capacity_main
+
+        return capacity_main(argv[1:])
     from repro import __version__
 
     print(f"repro {__version__} — Can MPI Benefit Hadoop and MapReduce Applications? (ICPP 2011)\n")
@@ -72,8 +77,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  {mod:<{width}}  {desc}")
     print("\ntracing: python -m repro trace {fig6,fig1,fault} --size 1GB --trace-out trace.json")
     print("multi-tenant: python -m repro tenants [--quick] [--out results/] [--trace-out trace.json]")
-    print("analysis: python -m repro analyze trace.json [--validate] [--json report.json]")
-    print("replay:  python -m repro replay {fig6,fig1,fault,sweep,<store.jsonl>,<trace.json>} [--out dashboard.html]")
+    print("capacity: python -m repro capacity [--quick] [--out results/] [--store-out stores/]")
+    print("analysis: python -m repro analyze {trace.json,store.jsonl} [--tenants] [--validate] [--json report.json]")
+    print("replay:  python -m repro replay {fig6,fig1,fault,sweep,fleet <dir>,<store.jsonl>,<trace.json>} [--out dashboard.html]")
     print("engine bench: python -m repro bench [--quick] [--compare] [--out BENCH_engine.json]")
     print("examples: see examples/*.py; tests: pytest tests/;")
     print("benchmarks: pytest benchmarks/ --benchmark-only")

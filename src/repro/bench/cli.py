@@ -9,6 +9,13 @@ diverged — the same contract the CI ``bench-smoke`` job enforces.
 (``BENCH_history.jsonl``; see :mod:`repro.bench.history`), appends the
 fresh entry, and exits non-zero when a gated metric (a fast-vs-
 reference speedup ratio) regressed beyond ``--threshold``.
+
+When the scalability macro carries simulator self-profiles (see
+:mod:`repro.simnet.profiler`), the per-leg wall-clock attributions are
+also written to ``--self-profile-out`` (default
+``BENCH_selfprofile.json`` next to ``--out``) together with their
+``deterministic_view`` — the event counts with wall-clock stripped,
+diffable across same-seed runs in CI.
 """
 
 from __future__ import annotations
@@ -26,6 +33,19 @@ from repro.obs.manifest import build_manifest
 
 def _parse_sizes(text: str) -> tuple[float, ...]:
     return tuple(float(tok) for tok in text.split(",") if tok.strip())
+
+
+def _collect_self_profiles(report) -> dict:
+    """Pull ``self_profile`` snapshots out of the scalability macro,
+    keyed ``"<kind>@<nodes>"``.  Empty when profiling was off."""
+    legs: dict = {}
+    per_nodes = report.macro.get("scalability", {}).get("per_nodes", {})
+    for nodes, entry in sorted(per_nodes.items(), key=lambda kv: int(kv[0])):
+        for kind, leg in sorted(entry.items()):
+            prof = leg.get("self_profile") if isinstance(leg, dict) else None
+            if prof is not None:
+                legs[f"{kind}@{nodes}"] = prof
+    return legs
 
 
 def _fmt_speedup(entry: dict) -> str:
@@ -85,6 +105,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="with --compare: also write the per-metric deltas as JSON",
     )
+    parser.add_argument(
+        "--self-profile-out",
+        type=str,
+        default=None,
+        help="simulator self-profile output path "
+        "(default BENCH_selfprofile.json next to --out)",
+    )
     args = parser.parse_args(argv)
 
     sizes = _parse_sizes(args.sizes) if args.sizes else None
@@ -112,6 +139,31 @@ def main(argv: list[str] | None = None) -> int:
     with out.open("w") as fh:
         json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+    profiles = _collect_self_profiles(report)
+    if profiles:
+        from repro.simnet.profiler import deterministic_view
+
+        prof_out = Path(
+            args.self_profile_out
+            if args.self_profile_out
+            else out.parent / "BENCH_selfprofile.json"
+        )
+        prof_out.parent.mkdir(parents=True, exist_ok=True)
+        with prof_out.open("w") as fh:
+            json.dump(
+                {
+                    "legs": profiles,
+                    "deterministic_view": deterministic_view(
+                        {"legs": profiles}
+                    ),
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+            fh.write("\n")
+        print(f"wrote {prof_out} ({len(profiles)} profiled legs)")
 
     print(f"\nengine bench ({wall:.1f}s wall) -> {out}")
     for section in ("micro", "macro"):

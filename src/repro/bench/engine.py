@@ -441,11 +441,13 @@ def bench_network_faults(
 
 
 def _scalability_single_job(
-    nodes: int, seed: int, mib_per_worker: int
+    nodes: int, seed: int, mib_per_worker: int, profiler=None
 ) -> tuple[float, str, int, float]:
     """One Hadoop WordCount on an ``nodes``-node cluster, input scaled
     with the worker count.  Returns (wall s, export JSON, events
-    dispatched, simulated elapsed)."""
+    dispatched, simulated elapsed).  ``profiler`` (a
+    :class:`~repro.simnet.profiler.SelfProfiler`) rides an extra,
+    untimed leg only — never the timed comparisons."""
     from repro.hadoop import HadoopConfig, JobSpec, WORDCOUNT_PROFILE
     from repro.hadoop.simulation import HadoopSimulation
     from repro.simnet.cluster import ClusterSpec
@@ -464,6 +466,8 @@ def _scalability_single_job(
         cluster_spec=ClusterSpec(num_nodes=nodes),
         seed=seed,
     )
+    if profiler is not None:
+        hsim.sim.attach_profiler(profiler)
     t0 = time.perf_counter()
     metrics = hsim.run()
     wall = time.perf_counter() - t0
@@ -472,7 +476,7 @@ def _scalability_single_job(
 
 
 def _scalability_multi_tenant(
-    nodes: int, seed: int, horizon: float
+    nodes: int, seed: int, horizon: float, profiler=None
 ) -> tuple[float, str, int, float]:
     """A two-tenant arrival stream on an ``nodes``-node cluster, arrival
     rates scaled with the cluster so the offered load per node is
@@ -519,6 +523,9 @@ def _scalability_multi_tenant(
         seed=seed,
         horizon=horizon,
     )
+    if profiler is not None:
+        engine.setup()
+        engine.sim.attach_profiler(profiler)
     t0 = time.perf_counter()
     report = engine.run()
     wall = time.perf_counter() - t0
@@ -531,6 +538,7 @@ def bench_scalability(
     seed: int = 2011,
     mib_per_worker: int = 32,
     horizon: float = 240.0,
+    profile: bool = True,
 ) -> dict:
     """Synthetic large clusters: vectorized vs reference flow engine.
 
@@ -547,7 +555,16 @@ def bench_scalability(
     * ``deterministic`` — two same-seed vectorized runs export
       byte-identical results (the arena/slot reuse must not leak state
       between runs).
+
+    When ``profile`` is set, one *extra, untimed* vectorized run per
+    (nodes, kind) rides with a :class:`~repro.simnet.profiler.SelfProfiler`
+    attached, and its wall-clock attribution snapshot lands in
+    ``entry[kind]["self_profile"]``.  The profiler never touches the
+    timed legs — the speedup numbers above are measured with the
+    profiler detached, exactly as before.
     """
+    from repro.simnet.profiler import SelfProfiler
+
     per_nodes: dict = {}
     total_vec = total_ref = 0.0
     all_identical = True
@@ -556,11 +573,15 @@ def bench_scalability(
         for kind, runner in (
             (
                 "single_job",
-                lambda: _scalability_single_job(nodes, seed, mib_per_worker),
+                lambda profiler=None: _scalability_single_job(
+                    nodes, seed, mib_per_worker, profiler=profiler
+                ),
             ),
             (
                 "multi_tenant",
-                lambda: _scalability_multi_tenant(nodes, seed, horizon),
+                lambda profiler=None: _scalability_multi_tenant(
+                    nodes, seed, horizon, profiler=profiler
+                ),
             ),
         ):
             with use_engine("reference"):
@@ -582,6 +603,10 @@ def bench_scalability(
                 "events_reference": ref_events,
                 "sim_elapsed_s": sim_elapsed,
             }
+            if profile:
+                prof = SelfProfiler(leg=f"{kind}@{nodes}")
+                runner(profiler=prof)
+                entry[kind]["self_profile"] = prof.snapshot()
         per_nodes[str(nodes)] = entry
     return {
         "seed": seed,

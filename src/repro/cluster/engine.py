@@ -300,14 +300,34 @@ class MultiTenantEngine:
             if obs.enabled:
                 obs.metrics.counter(f"tenants.{tenant}.shed").add()
                 obs.tracer.instant(
-                    "tenant.shed", spec.name, track=f"tenant:{tenant}"
+                    "tenant.shed",
+                    spec.name,
+                    track=f"tenant:{tenant}",
+                    tenant=tenant,
+                    queue=queue,
+                    job_id=jid,
                 )
             return
         record._queue_sid = obs.tracer.begin(
-            "tenant.queue", spec.name, track=f"tenant:{tenant}"
+            "tenant.queue",
+            spec.name,
+            track=f"tenant:{tenant}",
+            tenant=tenant,
+            queue=queue,
+            job_id=jid,
+            runtime=runtime,
         )
         backlog.append(_Pending(record=record, spec=spec, mpid_config=mpid_config))
+        self._note_depth(queue)
         self._kick()
+
+    def _note_depth(self, queue: str) -> None:
+        """Per-queue backlog depth as a duration-weighted histogram."""
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.metrics.histogram(f"queues.{queue}.depth").set(
+                len(self._backlog[queue])
+            )
 
     # -- kernel processes ----------------------------------------------------
     def _submitter(self, arrivals: list[tuple[float, str, str, JobSpec, str, str, int, Optional[MrMpiConfig]]]):
@@ -369,6 +389,7 @@ class MultiTenantEngine:
                 record.finished_at = sim.now
                 self.shed[queue] += 1
                 sim.obs.tracer.end(record._queue_sid, outcome="shed")
+            self._note_depth(queue)
         self._check_drain()
 
     # -- dispatch ------------------------------------------------------------
@@ -380,11 +401,13 @@ class MultiTenantEngine:
                 pending = backlog[0]
                 if pending.record.runtime == "hadoop":
                     backlog.popleft()
+                    self._note_depth(queue)
                     self._dispatch_hadoop(pending)
                 else:
                     if not self._dispatch_mpid(pending):
                         break  # head-of-line gang waits for slots
                     backlog.popleft()
+                    self._note_depth(queue)
 
     def _dispatch_hadoop(self, pending: _Pending) -> None:
         sim = self.sim
@@ -452,11 +475,24 @@ class MultiTenantEngine:
                 record, job, kind = self._live[jid]
                 if kind != "hadoop":
                     continue
+                lost_before = job.preempted_lost_seconds
                 killed = job.preempt_slots("map", missing, nodes={node})
                 if killed:
                     missing -= killed
                     record.maps_preempted += killed
                     self.scheduler.note_preempted("map", killed)
+                    obs = self.sim.obs
+                    if obs.enabled:
+                        obs.tracer.instant(
+                            "tenant.preempt",
+                            f"{record.name} -{killed} map",
+                            track=f"tenant:{record.tenant}",
+                            tenant=record.tenant,
+                            kind="map",
+                            killed=killed,
+                            reason="gang",
+                            lost_s=job.preempted_lost_seconds - lost_before,
+                        )
 
     def _arm_faults(self, job) -> None:
         """Point a freshly constructed job at the cluster-wide plan."""
@@ -478,9 +514,14 @@ class MultiTenantEngine:
             record.name,
             track=f"tenant:{record.tenant}",
             runtime=kind,
+            tenant=record.tenant,
+            queue=record.queue,
+            job_id=record.job_id,
+            workload=record.workload,
         )
         if obs.enabled:
             obs.metrics.counter(f"tenants.{record.tenant}.dispatched").add()
+            obs.metrics.histogram(f"tenants.{record.tenant}.running").add(1)
         sim.process(
             self._monitor(record, job, proc), name=f"monitor:{record.name}"
         )
@@ -510,6 +551,7 @@ class MultiTenantEngine:
             obs.metrics.counter(
                 f"tenants.{record.tenant}.{record.outcome}"
             ).add()
+            obs.metrics.histogram(f"tenants.{record.tenant}.running").add(-1)
         self._kick()
         self._check_drain()
 
@@ -552,6 +594,7 @@ class MultiTenantEngine:
                 record, job, jkind = entry
                 if jkind != "hadoop":
                     continue
+                lost_before = job.preempted_lost_seconds
                 killed = job.preempt_slots(kind, take)
                 if killed:
                     sched.note_preempted(kind, killed)
@@ -561,6 +604,11 @@ class MultiTenantEngine:
                             "tenant.preempt",
                             f"{record.name} -{killed} {kind}",
                             track=f"tenant:{record.tenant}",
+                            tenant=record.tenant,
+                            kind=kind,
+                            killed=killed,
+                            reason="rebalance",
+                            lost_s=job.preempted_lost_seconds - lost_before,
                         )
 
     # -- the run -------------------------------------------------------------

@@ -190,6 +190,11 @@ class HadoopSimulation:
         )
         #: The job span's tracer id (set by :meth:`run`; 0 = untraced).
         self.job_sid = 0
+        #: Attempt-seconds thrown away by :meth:`preempt_slots` — work
+        #: that was running when the scheduler killed it.  The tenant
+        #: engine diffs this around each preemption to put a ``lost_s``
+        #: figure on the trace instant.
+        self.preempted_lost_seconds = 0.0
 
     # -- id mapping -----------------------------------------------------------
     def worker_node_id(self, worker_index: int) -> int:
@@ -242,6 +247,9 @@ class HadoopSimulation:
         now = self.sim.now
         for _, attempt, proc, tracker in victims[:count]:
             proc.interrupt("preempted by cluster scheduler")
+            self.preempted_lost_seconds += max(
+                0.0, now - attempt.metrics.scheduled_at
+            )
             if kind == "map":
                 self.jobtracker.map_attempt_preempted(attempt, now)
                 tracker.map_failed(attempt)

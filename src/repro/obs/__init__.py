@@ -28,10 +28,13 @@ run of the uninstrumented code.
 
 from repro.obs.dashboard import (
     render_dashboard,
+    render_fleet_page,
     render_sweep_browser,
     write_dashboard,
+    write_fleet_page,
     write_sweep_browser,
 )
+from repro.obs.fleet import FleetSummary, fleet_summary, scan_stores
 from repro.obs.gantt import ascii_gantt
 from repro.obs.manifest import RunManifest, build_manifest, config_hash, git_revision
 from repro.obs.metrics import (
@@ -58,11 +61,21 @@ from repro.obs.store import (
     read_events,
     read_footer,
 )
+from repro.obs.tenant_analysis import (
+    CapacityProjection,
+    TenantJob,
+    analyze_tenants,
+    format_tenant_analysis,
+    jobs_from_tracer,
+    tenant_blame,
+)
 from repro.obs.tracer import Edge, Instant, Span, SpanTracer, TraceError
 
 __all__ = [
+    "CapacityProjection",
     "Counter",
     "Edge",
+    "FleetSummary",
     "Gauge",
     "Instant",
     "MetricsRegistry",
@@ -74,26 +87,35 @@ __all__ = [
     "RunManifest",
     "Span",
     "SpanTracer",
+    "TenantJob",
     "TimeWeightedHistogram",
     "TraceError",
     "TraceStoreReader",
     "TraceStoreWriter",
+    "analyze_tenants",
     "ascii_gantt",
     "build_manifest",
     "config_hash",
     "events_of",
+    "fleet_summary",
+    "format_tenant_analysis",
     "git_revision",
+    "jobs_from_tracer",
     "load_tracer",
     "read_events",
     "read_footer",
     "render_dashboard",
+    "render_fleet_page",
     "render_sweep_browser",
     "replay_events",
     "replay_observer",
     "replay_store",
     "replays_from_perfetto",
+    "scan_stores",
+    "tenant_blame",
     "trace_events",
     "validate_trace",
     "write_dashboard",
+    "write_fleet_page",
     "write_sweep_browser",
 ]

@@ -1,8 +1,10 @@
 """``python -m repro analyze <trace>`` — critical-path analysis of a trace.
 
 Takes a Perfetto trace written by ``python -m repro trace`` (or any
-:func:`repro.obs.perfetto.write_trace` output), rebuilds the span DAG
-per simulated system, and reports:
+:func:`repro.obs.perfetto.write_trace` output), **or a streamed
+``.jsonl`` trace store** (reconstructed exactly via
+:func:`repro.obs.store.load_tracer`), rebuilds the span DAG per
+simulated system, and reports:
 
 * causal critical-path blame per stage (map/copy/sort/reduce/idle),
   guaranteed to sum to 100% of the makespan;
@@ -15,6 +17,14 @@ per simulated system, and reports:
 simulator with the matching knob actually turned (the run parameters
 come from the trace's ``.manifest.json`` sidecar) and prints predicted
 vs measured.  Only the ``fig6`` Hadoop run is re-runnable this way.
+
+``--tenants`` switches to the multi-tenant capacity analysis: the
+trace must be a ``.jsonl`` store from a
+:class:`~repro.cluster.engine.MultiTenantEngine` run, and the report
+becomes per-tenant blame (queue-wait / preemption / shuffle / runtime)
+over every tenant's jobs (see :mod:`repro.obs.tenant_analysis`).
+Capacity what-if projections with validated re-runs live in
+``python -m repro capacity``.
 """
 
 from __future__ import annotations
@@ -69,7 +79,10 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro analyze", description=__doc__
     )
-    parser.add_argument("trace", type=Path, help="Perfetto trace_event JSON")
+    parser.add_argument(
+        "trace", type=Path,
+        help="Perfetto trace_event JSON or streamed .jsonl trace store",
+    )
     parser.add_argument(
         "--top", type=int, default=10, help="bottleneck spans to list"
     )
@@ -99,10 +112,48 @@ def main(argv: list[str] | None = None) -> int:
         default=0.25,
         help="virtual speedup to validate (default 0.25)",
     )
+    parser.add_argument(
+        "--tenants",
+        action="store_true",
+        help="per-tenant capacity analysis (.jsonl multi-tenant store)",
+    )
     args = parser.parse_args(argv)
 
+    is_store = args.trace.suffix == ".jsonl"
+
+    if args.tenants:
+        if not is_store:
+            parser.error(
+                "--tenants needs a .jsonl trace store (multi-tenant runs "
+                "stream their traces; Perfetto exports lose the span args)"
+            )
+        from repro.obs.store import load_tracer
+        from repro.obs.tenant_analysis import (
+            analyze_tenants,
+            format_tenant_analysis,
+        )
+
+        tracer = load_tracer(args.trace)
+        report = analyze_tenants(tracer)
+        print(format_tenant_analysis(report))
+        if args.json is not None:
+            with args.json.open("w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        return 0
+
     pcts = tuple(float(tok) / 100.0 for tok in args.pcts.split(",") if tok.strip())
-    dags = dags_from_trace(args.trace)
+    if is_store:
+        from repro.obs.analysis import TraceDAG
+        from repro.obs.store import load_tracer, read_footer
+
+        footer = read_footer(args.trace)
+        system = (footer or {}).get("system", "sim")
+        tracer = load_tracer(args.trace)
+        dags = {system: TraceDAG.from_tracer(tracer, system)}
+    else:
+        dags = dags_from_trace(args.trace)
     if args.system is not None:
         if args.system not in dags:
             parser.error(

@@ -12,9 +12,17 @@ third-party JS — one file you can open from disk or attach to a CI run):
 * :func:`render_sweep_browser` / :func:`write_sweep_browser` — the
   **sweep browser**: every CSV the ``experiments`` exporters wrote
   (``results/*.csv``) charted as lines over its first column, JSON
-  export summaries, and the bench-history speedup trends from
-  ``benchmarks/*.jsonl`` — the cross-run companion to the single-run
-  replay view.
+  export summaries, ``BENCH_scalability.json`` flattened into a
+  per-node-count speedup chart, and the bench-history speedup trends
+  from ``benchmarks/*.jsonl`` — the cross-run companion to the
+  single-run replay view.  Gate failures (engine divergence, lost
+  determinism, a speedup ratio dropping past the regression threshold)
+  surface as an alert list and highlight the trend chart.
+* :func:`render_fleet_page` / :func:`write_fleet_page` — the **fleet
+  page**: the :class:`~repro.obs.fleet.FleetSummary` rollup of a
+  directory of streamed trace stores as linked tables — per-store
+  rows, per-tenant SLO attainment, merged occupancy histograms with
+  duration-weighted percentiles — with regression rows flagged.
 
 The JSON island is a ``<script type="application/json">`` block (inert
 to the HTML parser; ``</`` is escaped so payload content can never close
@@ -26,10 +34,13 @@ from __future__ import annotations
 
 import csv
 import json
+from html import escape
 from pathlib import Path
 from typing import Iterable, Optional, Sequence, Tuple, Union
 
 from repro._version import __version__
+from repro.obs.fleet import FleetSummary, fleet_summary
+from repro.obs.metrics import snapshot_rows
 from repro.obs.replay import Replay
 
 ReplaySet = Union[Replay, Sequence[Tuple[str, Replay]]]
@@ -619,13 +630,82 @@ if (!entries.length) {
       j === 0 ? g.moveTo(x, y) : g.lineTo(x, y);
     });
     g.stroke();
-    g.font = '11px system-ui'; g.fillStyle = css('--ink-2');
-    g.textAlign = 'right'; g.textBaseline = 'middle';
+    g.font = '11px system-ui'; g.textAlign = 'right';
+    g.textBaseline = 'middle';
     const last = pts[pts.length - 1][1];
-    g.fillText(last.toFixed(2) + 'x', w - 4, h - 8 - last / vmax * (h - 20));
+    const prev = pts.length > 1 ? pts[pts.length - 2][1] : last;
+    // regression gate: highlight when the latest ratio dropped >10%
+    const gated = last < prev * 0.9;
+    g.fillStyle = gated ? css('--alert') : css('--ink-2');
+    g.fillText(last.toFixed(2) + 'x' + (gated ? ' ▼' : ''),
+               w - 4, h - 8 - last / vmax * (h - 20));
   }
 }
 """
+
+
+#: Run-over-run ``.speedup`` drop past this factor is flagged as an alert.
+_BENCH_REGRESSION_THRESHOLD = 0.10
+
+
+def _scalability_table(payload: dict) -> Optional[dict]:
+    """Flatten ``BENCH_scalability.json`` into a chartable speedup table."""
+    per_nodes = payload.get("per_nodes") or {}
+    if not per_nodes:
+        return None
+    kinds = sorted({k for legs in per_nodes.values() for k in legs})
+    header = ["nodes"] + [f"{kind}.speedup" for kind in kinds]
+    rows = []
+    for nodes in sorted(per_nodes, key=lambda n: int(n)):
+        legs = per_nodes[nodes]
+        row = [nodes]
+        for kind in kinds:
+            leg = legs.get(kind) or {}
+            sp = leg.get("speedup")
+            row.append(f"{sp:.4f}" if isinstance(sp, (int, float)) else "")
+        rows.append(row)
+    return {"header": header, "rows": rows, "truncated": False}
+
+
+def _scalability_alerts(name: str, payload: dict) -> list[str]:
+    """Gate failures recorded inside a scalability bench export."""
+    alerts: list[str] = []
+    per_nodes = payload.get("per_nodes") or {}
+    for nodes in sorted(per_nodes, key=lambda n: int(n)):
+        for kind in sorted(per_nodes[nodes]):
+            leg = per_nodes[nodes][kind] or {}
+            where = f"{name}: {kind} @ {nodes} nodes"
+            if leg.get("identical") is False:
+                alerts.append(f"{where} — engines diverged")
+            if leg.get("deterministic") is False:
+                alerts.append(f"{where} — vectorized run not deterministic")
+    if payload.get("identical") is False:
+        alerts.append(f"{name} — engine divergence (overall)")
+    if payload.get("deterministic") is False:
+        alerts.append(f"{name} — determinism lost (overall)")
+    return alerts
+
+
+def _bench_history_alerts(
+    entries: list[dict], threshold: float = _BENCH_REGRESSION_THRESHOLD
+) -> list[str]:
+    """Consecutive-entry ``.speedup`` regressions across bench history."""
+    alerts: list[str] = []
+    series: dict[str, list[tuple[float, dict]]] = {}
+    for entry in entries:
+        for key, value in (entry.get("metrics") or {}).items():
+            if isinstance(value, (int, float)):
+                series.setdefault(key, []).append((float(value), entry))
+    for key in sorted(series):
+        pts = series[key]
+        for (before, _), (after, entry) in zip(pts, pts[1:]):
+            if before > 0 and after < before * (1.0 - threshold):
+                rev = entry.get("git_rev") or "?"
+                alerts.append(
+                    f"bench {key} regressed {before:.2f}x -> {after:.2f}x "
+                    f"at {rev}"
+                )
+    return alerts
 
 
 def build_sweep_data(
@@ -635,12 +715,16 @@ def build_sweep_data(
 ) -> dict:
     """Collect the sweep browser's payload from files already on disk.
 
-    Reads the ``experiments`` CSV/JSON exports in ``results_dir`` and
-    any bench-history JSONL files; nothing is re-run.  Oversize CSVs are
-    truncated (flagged ``truncated``), and JSON exports contribute a
-    shallow summary, not their full payload.
+    Reads the ``experiments`` CSV/JSON exports in ``results_dir`` (the
+    multi-tenant sweep's ``multi_tenant.csv``/``.json`` land here like
+    every other experiment), any bench-history JSONL files, and — when
+    present — ``BENCH_scalability.json``, whose per-node-count legs
+    flatten into a speedup table charted like a CSV sweep.  Nothing is
+    re-run.  Oversize CSVs are truncated (flagged ``truncated``), JSON
+    exports contribute a shallow summary, and every gate failure or
+    run-over-run speedup regression lands in ``alerts``.
     """
-    data: dict = {"csv": {}, "json": {}, "bench": []}
+    data: dict = {"csv": {}, "json": {}, "bench": [], "alerts": []}
     if results_dir is not None:
         results_dir = Path(results_dir)
         for path in sorted(results_dir.glob("*.csv")):
@@ -665,6 +749,13 @@ def build_sweep_data(
                     "experiment": payload.get("experiment"),
                     "keys": sorted(payload)[:24],
                 }
+                if "per_nodes" in payload and path.name.startswith("BENCH_"):
+                    table = _scalability_table(payload)
+                    if table is not None:
+                        data["csv"][path.name] = table
+                    data["alerts"].extend(
+                        _scalability_alerts(path.name, payload)
+                    )
     for hist in bench_histories:
         hist = Path(hist)
         if not hist.exists():
@@ -689,6 +780,7 @@ def build_sweep_data(
                         },
                     }
                 )
+    data["alerts"].extend(_bench_history_alerts(data["bench"]))
     return data
 
 
@@ -703,6 +795,15 @@ def render_sweep_browser(
         f"({len(meta.get('keys', []))} top-level keys)</li>"
         for name, meta in sorted(sweep_data.get("json", {}).items())
     )
+    alerts = sweep_data.get("alerts", [])
+    alert_panel = ""
+    if alerts:
+        items = "".join(f"<li>{escape(str(a))}</li>" for a in alerts)
+        alert_panel = (
+            '<div class="panel">'
+            '<h2 style="color:var(--alert)">Regressions &amp; gate failures'
+            f"</h2><ul style=\"color:var(--alert)\">{items}</ul></div>"
+        )
     return f"""<!DOCTYPE html>
 <html lang="en">
 <head>
@@ -715,6 +816,7 @@ def render_sweep_browser(
 <h1>{title}</h1>
 <div class="sub">{n_csv} exported sweeps &middot; {n_bench} bench history
 entries &middot; generated by repro {__version__}</div>
+{alert_panel}
 <div id="charts"></div>
 <div class="panel">
   <h2>JSON exports</h2>
@@ -742,4 +844,150 @@ def write_sweep_browser(
     path.parent.mkdir(parents=True, exist_ok=True)
     data = build_sweep_data(results_dir, bench_histories)
     path.write_text(render_sweep_browser(data, title=title))
+    return path
+
+
+# -- fleet page ---------------------------------------------------------------
+
+
+def _cell(value) -> str:
+    """One table cell; floats trimmed, everything HTML-escaped."""
+    if isinstance(value, bool):
+        value = "yes" if value else "no"
+    elif isinstance(value, float):
+        value = f"{value:.4g}"
+    return f"<td>{escape(str(value))}</td>"
+
+
+def _table(header: Sequence[str], rows: Iterable[str]) -> str:
+    head = "".join(f"<th>{escape(str(h))}</th>" for h in header)
+    body = "".join(rows)
+    return f"<table><tr>{head}</tr>{body}</table>"
+
+
+#: Columns of the per-store table (summary keys fall back to blank).
+_STORE_COLS = ("store", "system", "events", "final_time", "policy", "seed",
+               "makespan", "jobs", "completed", "failed", "shed")
+
+#: Columns of the per-tenant SLO table.
+_TENANT_COLS = ("runs", "submitted", "completed", "shed", "attainment",
+                "latency_p50", "latency_p95", "latency_p99",
+                "queue_wait_p95", "utilization")
+
+
+def render_fleet_page(summary, title: str = "repro fleet") -> str:
+    """One self-contained HTML page over a fleet rollup.
+
+    ``summary`` is a :class:`~repro.obs.fleet.FleetSummary` or its
+    ``to_dict()`` payload.  Pure server-side tables — the page needs no
+    script beyond the JSON island (id ``fleet-data``) that carries the
+    full rollup for downstream tooling and tests.
+    """
+    if isinstance(summary, FleetSummary):
+        payload = summary.to_dict()
+    else:
+        payload = dict(summary)
+    stores = payload.get("stores", [])
+    tenants = payload.get("tenants", {})
+    regressions = payload.get("regressions", [])
+    totals = payload.get("totals", {})
+    flagged = {r.get("to_store") for r in regressions}
+
+    store_rows = []
+    for row in stores:
+        style = (
+            ' style="color:var(--alert)"' if row.get("store") in flagged
+            else ""
+        )
+        cells = "".join(_cell(row.get(col, "")) for col in _STORE_COLS)
+        store_rows.append(f"<tr{style}>{cells}</tr>")
+
+    tenant_rows = []
+    for name in sorted(tenants):
+        t = tenants[name]
+        slo_miss = t.get("attainment", 1.0) < 1.0 or t.get("shed", 0) > 0
+        style = ' style="color:var(--alert)"' if slo_miss else ""
+        cells = _cell(name) + _cell(t.get("queue", ""))
+        cells += "".join(_cell(t.get(col, "")) for col in _TENANT_COLS)
+        tenant_rows.append(f"<tr{style}>{cells}</tr>")
+
+    header, rows = snapshot_rows(payload.get("histograms", {}))
+    metric_rows = [
+        "<tr>" + "".join(_cell(v) for v in row) + "</tr>" for row in rows
+    ]
+
+    if regressions:
+        reg_items = "".join(
+            "<li>{}</li>".format(escape(
+                f"[{r.get('kind')}] {r.get('system')}: "
+                f"{r.get('from_store')} -> {r.get('to_store')} "
+                f"({r.get('before'):.4g} -> {r.get('after'):.4g}, "
+                f"x{r.get('ratio'):.3f})"
+            ))
+            for r in regressions
+        )
+        reg_panel = (
+            '<div class="panel"><h2 style="color:var(--alert)">Regressions'
+            f"</h2><ul style=\"color:var(--alert)\">{reg_items}</ul></div>"
+        )
+    else:
+        reg_panel = (
+            '<div class="panel"><h2>Regressions</h2>'
+            '<div style="color:var(--ink-2)">none detected</div></div>'
+        )
+
+    sub = (
+        f"{totals.get('stores', 0)} stores &middot; "
+        f"{totals.get('events', 0)} events &middot; "
+        f"{totals.get('jobs', 0)} jobs offered &middot; "
+        f"{totals.get('completed', 0)} completed &middot; "
+        f"root: {escape(str(payload.get('root', '')))} &middot; "
+        f"generated by repro {__version__}"
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{escape(title)}</title>
+<style>{_STYLE}</style>
+</head>
+<body>
+<h1>{escape(title)}</h1>
+<div class="sub">{sub}</div>
+{reg_panel}
+<div class="panel">
+  <h2>Stores &mdash; one row per closed trace store (footer scan only)</h2>
+  {_table(_STORE_COLS, store_rows)}
+</div>
+<div class="panel">
+  <h2>Tenants &mdash; cross-run SLO rollup (worst-case percentiles)</h2>
+  {_table(("tenant", "queue") + _TENANT_COLS, tenant_rows)}
+</div>
+<div class="panel">
+  <h2>Merged histograms &mdash; duration-weighted percentiles</h2>
+  {_table(header, metric_rows)}
+</div>
+<script type="application/json" id="fleet-data">{_island(payload)}</script>
+</body>
+</html>
+"""
+
+
+def write_fleet_page(
+    path: Union[str, Path],
+    summary,
+    title: str = "repro fleet",
+    pattern: str = "*.jsonl",
+) -> Path:
+    """Render the fleet page to ``path``.
+
+    ``summary`` may be a ready :class:`~repro.obs.fleet.FleetSummary`
+    (or its dict), or a store directory — the rollup is built here.
+    """
+    if isinstance(summary, (str, Path)):
+        summary = fleet_summary(summary, pattern=pattern)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_fleet_page(summary, title=title))
     return path

@@ -1,0 +1,253 @@
+"""Fleet view: aggregate a directory of streamed trace stores by footer.
+
+A long-running study produces many trace stores — one per run, per
+seed, per policy.  Each closed store already ends with a footer holding
+event counts, the final simulated time, a metrics snapshot and (for
+multi-tenant runs) the engine's per-tenant SLO summary.  This module
+builds the cross-run/cross-tenant rollup reading *only* those footers
+(:func:`~repro.obs.store.read_footer` tail-scans; nothing here is
+O(events)), so summarizing a directory of gigabyte stores costs a few
+kilobytes of IO per store.
+
+Everything in the output derives from simulated-time quantities — no
+wall clock, no filesystem timestamps, store identity is the file name —
+so two fleets built from same-seed runs serialize byte-identically
+(pinned by ``tests/obs/test_fleet.py`` and the CI fleet-smoke job).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs.metrics import merge_histogram_snapshots, snapshot_rows
+from repro.obs.store import read_footer
+
+#: Histogram metric prefixes worth merging fleet-wide.
+_MERGE_PREFIXES = ("tenants.", "queues.")
+
+#: A later run whose makespan grew past this factor over the previous
+#: run of the same system is flagged as a regression.
+DEFAULT_REGRESSION_THRESHOLD = 0.10
+
+
+def scan_stores(
+    root: Union[str, Path], pattern: str = "*.jsonl"
+) -> list[tuple[Path, dict]]:
+    """(path, footer) for every *closed* store under ``root``, name order.
+
+    Stores without a footer (still being written, or truncated) are
+    skipped — a fleet view must not block on a live run.
+    """
+    root = Path(root)
+    out: list[tuple[Path, dict]] = []
+    for path in sorted(root.glob(pattern)):
+        footer = read_footer(path)
+        if footer is not None:
+            out.append((path, footer))
+    return out
+
+
+@dataclass
+class FleetSummary:
+    """The cross-run/cross-tenant rollup of one store directory."""
+
+    root: str
+    stores: list[dict] = field(default_factory=list)
+    tenants: dict[str, dict] = field(default_factory=dict)
+    histograms: dict[str, dict] = field(default_factory=dict)
+    regressions: list[dict] = field(default_factory=list)
+    totals: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "stores": self.stores,
+            "tenants": self.tenants,
+            "histograms": self.histograms,
+            "regressions": self.regressions,
+            "totals": self.totals,
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization: sorted keys, no wall-clock content."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def metric_rows(self) -> tuple[list[str], list[list]]:
+        """CSV-shaped view of the merged histograms, percentiles filled."""
+        return snapshot_rows(self.histograms)
+
+
+def _store_row(path: Path, footer: dict) -> dict:
+    row = {
+        "store": path.name,
+        "system": footer.get("system", ""),
+        "events": footer.get("events", 0),
+        "final_time": footer.get("final_time", 0.0),
+        "counts": footer.get("counts", {}),
+    }
+    summary = footer.get("summary") or {}
+    if summary:
+        for key in ("policy", "seed", "makespan", "jobs", "completed",
+                    "failed", "shed", "unfinished"):
+            if key in summary:
+                row[key] = summary[key]
+        blame = summary.get("blame")
+        if blame:
+            row["blame"] = blame
+    return row
+
+
+def _merge_tenants(stores: list[tuple[Path, dict]]) -> dict[str, dict]:
+    """Cross-run per-tenant rollup from the footers' engine summaries."""
+    acc: dict[str, dict] = {}
+    for _path, footer in stores:
+        tenants = (footer.get("summary") or {}).get("tenants") or {}
+        for name in sorted(tenants):
+            t = tenants[name]
+            entry = acc.setdefault(
+                name,
+                {
+                    "queue": t.get("queue", name),
+                    "runs": 0,
+                    "submitted": 0,
+                    "completed": 0,
+                    "failed": 0,
+                    "shed": 0,
+                    "unfinished": 0,
+                    "slot_seconds": 0.0,
+                    "latency_p50": 0.0,
+                    "latency_p95": 0.0,
+                    "latency_p99": 0.0,
+                    "queue_wait_p95": 0.0,
+                    "utilization": 0.0,
+                },
+            )
+            entry["runs"] += 1
+            for key in ("submitted", "completed", "failed", "shed",
+                        "unfinished"):
+                entry[key] += int(t.get(key, 0))
+            entry["slot_seconds"] += float(t.get("slot_seconds", 0.0))
+            # Worst-case SLO percentiles across runs: the fleet question
+            # is "how bad does it get", not "how good is the average".
+            for key in ("latency_p50", "latency_p95", "latency_p99",
+                        "queue_wait_p95"):
+                entry[key] = max(entry[key], float(t.get(key, 0.0)))
+            entry["utilization"] += float(t.get("utilization", 0.0))
+    for entry in acc.values():
+        runs = max(1, entry["runs"])
+        entry["utilization"] = entry["utilization"] / runs
+        offered = entry["submitted"]
+        entry["attainment"] = (
+            entry["completed"] / offered if offered > 0 else 0.0
+        )
+    return acc
+
+
+def _merge_histograms(stores: list[tuple[Path, dict]]) -> dict[str, dict]:
+    groups: dict[str, list[dict]] = {}
+    for _path, footer in stores:
+        for name, snap in (footer.get("metrics") or {}).items():
+            if snap.get("type") != "histogram":
+                continue
+            if not name.startswith(_MERGE_PREFIXES):
+                continue
+            groups.setdefault(name, []).append(snap)
+    return {
+        name: merge_histogram_snapshots(snaps)
+        for name, snaps in sorted(groups.items())
+    }
+
+
+def _find_regressions(
+    rows: list[dict], threshold: float
+) -> list[dict]:
+    """Flag run-over-run makespan growth / completion drops per system.
+
+    Stores compare in name order (the natural run order for generated
+    fleets: ``run-001.jsonl``, ``run-002.jsonl``, ...), grouped by the
+    footer ``system`` tag.
+    """
+    by_system: dict[str, list[dict]] = {}
+    for row in rows:
+        by_system.setdefault(row["system"], []).append(row)
+    out: list[dict] = []
+    for system in sorted(by_system):
+        seq = by_system[system]
+        for prev, cur in zip(seq, seq[1:]):
+            base = prev.get("makespan", prev.get("final_time", 0.0))
+            now = cur.get("makespan", cur.get("final_time", 0.0))
+            if base > 0 and now > base * (1.0 + threshold):
+                out.append(
+                    {
+                        "kind": "makespan",
+                        "system": system,
+                        "from_store": prev["store"],
+                        "to_store": cur["store"],
+                        "before": base,
+                        "after": now,
+                        "ratio": now / base,
+                    }
+                )
+            done_before = prev.get("completed")
+            done_now = cur.get("completed")
+            if (
+                done_before is not None
+                and done_now is not None
+                and done_before > 0
+                and done_now < done_before * (1.0 - threshold)
+            ):
+                out.append(
+                    {
+                        "kind": "completed",
+                        "system": system,
+                        "from_store": prev["store"],
+                        "to_store": cur["store"],
+                        "before": done_before,
+                        "after": done_now,
+                        "ratio": done_now / done_before,
+                    }
+                )
+    return out
+
+
+def fleet_summary(
+    source: Union[str, Path, list],
+    pattern: str = "*.jsonl",
+    regression_threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+    root_label: Optional[str] = None,
+) -> FleetSummary:
+    """Build the fleet rollup for a directory (or pre-scanned list).
+
+    ``source`` is a directory path, or the ``(path, footer)`` list a
+    prior :func:`scan_stores` returned.  ``root_label`` overrides the
+    recorded root name (the CI job passes a stable label so the output
+    stays byte-identical across checkout locations).
+    """
+    if isinstance(source, (str, Path)):
+        stores = scan_stores(source, pattern=pattern)
+        root = root_label if root_label is not None else Path(source).name
+    else:
+        stores = list(source)
+        root = root_label if root_label is not None else "fleet"
+    rows = [_store_row(path, footer) for path, footer in stores]
+    tenants = _merge_tenants(stores)
+    totals = {
+        "stores": len(rows),
+        "events": sum(r["events"] for r in rows),
+        "jobs": sum(r.get("jobs", 0) for r in rows),
+        "completed": sum(r.get("completed", 0) for r in rows),
+        "failed": sum(r.get("failed", 0) for r in rows),
+        "shed": sum(r.get("shed", 0) for r in rows),
+        "final_time": max((r["final_time"] for r in rows), default=0.0),
+    }
+    return FleetSummary(
+        root=root,
+        stores=rows,
+        tenants=tenants,
+        histograms=_merge_histograms(stores),
+        regressions=_find_regressions(rows, regression_threshold),
+        totals=totals,
+    )

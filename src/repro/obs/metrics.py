@@ -220,6 +220,14 @@ class TimeWeightedHistogram:
             "p99": pct["p99"],
             "last": self.value,
             "transitions": self.transitions,
+            # The full duration-weighted distribution, keyed by
+            # repr(value) so the mapping survives a JSON round trip
+            # losslessly.  Without it a snapshot (e.g. a trace-store
+            # footer) cannot be re-aggregated: merged percentiles need
+            # the distribution, not just its summary points.
+            "value_seconds": {
+                repr(v): s for v, s in sorted(self.value_seconds.items())
+            },
         }
         if self.bounds:
             out["bucket_seconds"] = {
@@ -401,3 +409,119 @@ class NullRegistry:
 
 
 NULL_REGISTRY = NullRegistry()
+
+
+# -- snapshot aggregation ------------------------------------------------------
+#
+# Trace-store footers carry ``MetricsRegistry.to_dict()`` snapshots, not
+# live metric objects.  The fleet aggregator re-derives duration-weighted
+# percentiles from the serialized ``value_seconds`` distributions so the
+# numbers survive merging across stores — summary points (p50/p95/p99)
+# alone cannot be combined.
+
+
+def percentiles_from_value_seconds(
+    value_seconds: dict,
+    ps: Sequence[float] = (50.0, 95.0, 99.0),
+) -> dict[str, float]:
+    """Duration-weighted percentiles of a serialized distribution.
+
+    Accepts the ``value_seconds`` mapping from
+    :meth:`TimeWeightedHistogram.to_dict` (string keys, post-JSON) or a
+    live ``value_seconds`` dict (float keys) — same algorithm as
+    :meth:`TimeWeightedHistogram.percentiles`.
+    """
+    levels = sorted((float(v), float(s)) for v, s in value_seconds.items())
+    total = sum(s for _, s in levels)
+    if total <= 0:
+        return {f"p{p:g}": 0.0 for p in ps}
+    out: dict[str, float] = {}
+    for p in ps:
+        need = total * min(max(p, 0.0), 100.0) / 100.0
+        acc = 0.0
+        result = levels[-1][0]
+        for value, seconds in levels:
+            acc += seconds
+            if acc >= need - 1e-12 * total:
+                result = value
+                break
+        out[f"p{p:g}"] = result
+    return out
+
+
+def merge_histogram_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Merge serialized histogram snapshots into one aggregate snapshot.
+
+    The merged ``value_seconds`` is the per-value sum of seconds across
+    all inputs (concatenating observation windows), from which the
+    duration-weighted mean and p50/p95/p99 are recomputed exactly.
+    Snapshots missing ``value_seconds`` (pre-fix footers) contribute
+    their min/max/transitions but no distribution mass.
+    """
+    merged: dict[float, float] = {}
+    vmin = 0.0
+    vmax = 0.0
+    transitions = 0
+    for snap in snapshots:
+        vmin = min(vmin, float(snap.get("min", 0.0)))
+        vmax = max(vmax, float(snap.get("max", 0.0)))
+        transitions += int(snap.get("transitions", 0))
+        for v, s in snap.get("value_seconds", {}).items():
+            key = float(v)
+            merged[key] = merged.get(key, 0.0) + float(s)
+    total = sum(merged.values())
+    mean = (
+        sum(v * s for v, s in merged.items()) / total if total > 0 else 0.0
+    )
+    pct = percentiles_from_value_seconds(merged)
+    return {
+        "type": "histogram",
+        "mean": mean,
+        "min": vmin,
+        "max": vmax,
+        "p50": pct["p50"],
+        "p95": pct["p95"],
+        "p99": pct["p99"],
+        "transitions": transitions,
+        "total_seconds": total,
+        "value_seconds": {repr(v): s for v, s in sorted(merged.items())},
+    }
+
+
+def snapshot_rows(metrics: dict) -> tuple[list[str], list[list]]:
+    """:meth:`MetricsRegistry.rows`, but from a serialized snapshot.
+
+    This is the fleet path: footers hold ``to_dict()`` output, not live
+    metrics.  Histogram percentile columns are recomputed from the
+    serialized distribution (falling back to the stored summary points),
+    so they no longer render blank after aggregation.
+    """
+    header = ["metric", "type", "value", "mean", "min", "max",
+              "p50", "p95", "p99", "events"]
+    rows: list[list] = []
+    for name in sorted(metrics):
+        snap = metrics[name]
+        kind = snap.get("type", "")
+        if kind == "counter":
+            rows.append([name, "counter", snap.get("value", 0.0),
+                         "", "", "", "", "", "", snap.get("events", 0)])
+        elif kind == "gauge":
+            rows.append([name, "gauge", snap.get("value", 0.0),
+                         "", "", snap.get("max", 0.0), "", "", "",
+                         snap.get("samples", 0)])
+        elif kind == "histogram":
+            vs = snap.get("value_seconds")
+            if vs:
+                pct = percentiles_from_value_seconds(vs)
+            else:
+                pct = {f"p{p:g}": snap.get(f"p{p:g}", 0.0)
+                       for p in (50.0, 95.0, 99.0)}
+            rows.append([
+                name, "histogram", snap.get("last", snap.get("value", 0.0)),
+                snap.get("mean", 0.0), snap.get("min", 0.0),
+                snap.get("max", 0.0), pct["p50"], pct["p95"], pct["p99"],
+                snap.get("transitions", 0),
+            ])
+        else:  # unknown kind: carry the name through, blank stats
+            rows.append([name, kind, "", "", "", "", "", "", "", ""])
+    return header, rows

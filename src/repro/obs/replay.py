@@ -13,7 +13,10 @@ data: the run's timeline is cut into equal buckets and each
   dst node, time-weighted mean, from ``net`` spans);
 * the **stage mix** (how many map / copy / sort / reduce phases were
   live) plus active ``hdfs.repair`` streams;
-* **markers** — fault and HDFS instants that fired in the bucket;
+* per-tenant **running-job occupancy** (time-weighted mean, from the
+  multi-tenant engine's ``tenant.job`` spans);
+* **markers** — fault, HDFS and tenant (preempt/shed) instants that
+  fired in the bucket;
 * cumulative counters (bytes delivered) and, for streamed stores, the
   last value of each sampled metric.
 
@@ -40,7 +43,7 @@ _MAP_CATS = ("hadoop.map", "mpid.map")
 _REDUCE_CATS = ("hadoop.reduce", "mpid.reduce")
 
 #: Instant categories surfaced as frame markers.
-_MARKER_PREFIXES = ("fault", "hdfs.")
+_MARKER_PREFIXES = ("fault", "hdfs.", "tenant.")
 
 #: Markers kept verbatim per frame; the count is always exact.
 MARKERS_PER_FRAME = 100
@@ -62,6 +65,8 @@ class ReplayFrame:
     flows: dict = field(default_factory=dict)
     #: stage -> time-weighted mean live phase count.
     stages: dict = field(default_factory=dict)
+    #: tenant -> time-weighted mean running jobs (multi-tenant runs only).
+    tenants: dict = field(default_factory=dict)
     #: time-weighted mean of total in-flight bytes / active repair streams.
     inflight_bytes: float = 0.0
     repairs: float = 0.0
@@ -83,6 +88,7 @@ class ReplayFrame:
             "links": self.links,
             "flows": self.flows,
             "stages": self.stages,
+            "tenants": self.tenants,
             "inflight_bytes": self.inflight_bytes,
             "repairs": self.repairs,
             "bytes_delivered": self.bytes_delivered,
@@ -158,6 +164,7 @@ class _Fold:
         # Instantaneous state.
         self.occ: dict[tuple[str, str], int] = {}
         self.stage_now: dict[str, int] = dict.fromkeys(FRAME_STAGES, 0)
+        self.tenant_now: dict[str, int] = {}
         self.link_active: dict[str, int] = {}
         self.pair_bytes: dict[str, float] = {}
         self.inflight = 0.0
@@ -167,6 +174,7 @@ class _Fold:
         # Per-bucket accumulators (seconds-weighted).
         self.occ_acc: dict[tuple[str, str], list[float]] = {}
         self.stage_acc = {s: [0.0] * buckets for s in FRAME_STAGES}
+        self.tenant_acc: dict[str, list[float]] = {}
         self.link_acc: dict[str, list[float]] = {}
         self.pair_acc: dict[str, list[float]] = {}
         self.inflight_acc = [0.0] * buckets
@@ -210,6 +218,11 @@ class _Fold:
                 acc = self.stage_acc[stage]
                 for b, o in spread:
                     acc[b] += count * o
+        for tenant, count in self.tenant_now.items():
+            if count:
+                acc = self.tenant_acc.setdefault(tenant, [0.0] * self.n)
+                for b, o in spread:
+                    acc[b] += count * o
         for link, count in self.link_active.items():
             if count:
                 acc = self.link_acc.setdefault(link, [0.0] * self.n)
@@ -247,6 +260,13 @@ class _Fold:
                 role = ("flow", src, dst, float(args.get("nbytes", 0.0)), links)
         elif cat == "hdfs.repair":
             role = ("repair",)
+        elif cat == "tenant.job":
+            tenant = args.get("tenant")
+            if tenant is None:
+                track = ev.get("track") or ""
+                tenant = track.split(":", 1)[1] if ":" in track else ""
+            if tenant:
+                role = ("tenant", str(tenant))
         elif parent != 0:
             stage = stage_of(cat, name)
             if stage in FRAME_STAGES:
@@ -260,6 +280,8 @@ class _Fold:
             self.occ[key] = self.occ.get(key, 0) + 1
         elif kind == "stage":
             self.stage_now[role[1]] += 1
+        elif kind == "tenant":
+            self.tenant_now[role[1]] = self.tenant_now.get(role[1], 0) + 1
         elif kind == "repair":
             self.repairs_now += 1
         else:  # flow
@@ -280,6 +302,8 @@ class _Fold:
             self.occ[key] = self.occ.get(key, 0) - 1
         elif kind == "stage":
             self.stage_now[role[1]] -= 1
+        elif kind == "tenant":
+            self.tenant_now[role[1]] -= 1
         elif kind == "repair":
             self.repairs_now -= 1
         else:
@@ -384,6 +408,11 @@ def replay_events(
                     if acc[b] > 0
                 },
                 stages={s: fold.stage_acc[s][b] / dt for s in FRAME_STAGES},
+                tenants={
+                    tenant: acc[b] / dt
+                    for tenant, acc in sorted(fold.tenant_acc.items())
+                    if acc[b] > 0
+                },
                 inflight_bytes=fold.inflight_acc[b] / dt,
                 repairs=fold.repair_acc[b] / dt,
                 bytes_delivered=fold.delivered_at[b],

@@ -13,7 +13,11 @@ The target decides where the events come from:
   --stream`` (read chunked; memory stays O(chunk), not O(trace));
 * ``*.json``  — an existing Perfetto ``trace_event`` export;
 * ``sweep``   — no replay at all: build the cross-run sweep browser
-  from ``results/*.csv`` exports and bench history JSONL files.
+  from ``results/*.csv`` exports and bench history JSONL files;
+* ``fleet <dir>`` — aggregate every closed ``.jsonl`` store under the
+  directory (footer scans only — O(footer) per store, never
+  O(events)) into the cross-run/cross-tenant fleet page, plus a
+  canonical JSON rollup for diffing in CI.
 """
 
 from __future__ import annotations
@@ -43,7 +47,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "target",
         help="fig6|fig1|fault (run now), a .jsonl trace store, "
-        "a Perfetto trace.json, or 'sweep'",
+        "a Perfetto trace.json, 'sweep', or 'fleet'",
+    )
+    parser.add_argument(
+        "store_dir", nargs="?", type=Path, default=None,
+        help="fleet: directory of .jsonl trace stores",
     )
     parser.add_argument(
         "--size", type=str, default="1GB",
@@ -75,9 +83,38 @@ def main(argv: list[str] | None = None) -> int:
         help="sweep: bench history JSONL files "
         f"(default: {', '.join(_DEFAULT_BENCH)} when present)",
     )
+    parser.add_argument(
+        "--root-label", type=str, default=None,
+        help="fleet: override the recorded root name (CI byte-stability)",
+    )
     args = parser.parse_args(argv)
 
     from repro.obs.dashboard import write_dashboard, write_sweep_browser
+
+    if args.target == "fleet":
+        from repro.obs.dashboard import write_fleet_page
+        from repro.obs.fleet import fleet_summary
+
+        if args.store_dir is None or not args.store_dir.is_dir():
+            parser.error("fleet needs a directory of .jsonl trace stores")
+        summary = fleet_summary(args.store_dir, root_label=args.root_label)
+        if not summary.stores:
+            parser.error(f"{args.store_dir}: no closed .jsonl stores found")
+        out = args.out or Path("fleet.html")
+        write_fleet_page(out, summary)
+        json_out = args.json_out or out.with_suffix(".json")
+        json_out.parent.mkdir(parents=True, exist_ok=True)
+        json_out.write_text(summary.to_json() + "\n")
+        t = summary.totals
+        print(
+            f"  fleet: {t['stores']} stores, {t['events']} events, "
+            f"{t['jobs']} jobs ({t['completed']} completed), "
+            f"{len(summary.tenants)} tenants, "
+            f"{len(summary.regressions)} regressions"
+        )
+        print(f"wrote {out} — open it in a browser")
+        print(f"wrote {json_out}")
+        return 0
 
     if args.target == "sweep":
         out = args.out or Path("sweep.html")

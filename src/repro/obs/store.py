@@ -86,6 +86,12 @@ class TraceStoreWriter:
         self.events = 0
         self.counts = {"begin": 0, "end": 0, "instant": 0, "edge": 0, "sample": 0}
         self._index: list[list] = []
+        #: Producer-supplied run summary (e.g. the multi-tenant engine's
+        #: per-tenant SLO report).  Written into the footer when
+        #: non-empty, so fleet tooling can aggregate a directory of
+        #: stores reading only footers.  Must be JSON-serializable and
+        #: wall-clock-free to preserve the byte-identity guarantee.
+        self.summary: dict = {}
         self._write({"k": "header", "version": FORMAT_VERSION,
                      "system": self.system})
 
@@ -170,19 +176,20 @@ class TraceStoreWriter:
                 obs.metrics.sample_sink = None
             final_time = obs.final_time()
             metrics = obs.metrics.to_dict(until=final_time)
-        self._write(
-            {
-                "k": "footer",
-                "version": FORMAT_VERSION,
-                "system": self.system,
-                "events": self.events,
-                "counts": self.counts,
-                "final_time": final_time,
-                "index_every": self.index_every,
-                "index": self._index,
-                "metrics": metrics,
-            }
-        )
+        footer = {
+            "k": "footer",
+            "version": FORMAT_VERSION,
+            "system": self.system,
+            "events": self.events,
+            "counts": self.counts,
+            "final_time": final_time,
+            "index_every": self.index_every,
+            "index": self._index,
+            "metrics": metrics,
+        }
+        if self.summary:
+            footer["summary"] = self.summary
+        self._write(footer)
         self._fh.close()
         self.closed = True
         return self.path

@@ -23,6 +23,7 @@ from repro.simnet.kernel import (
     Interrupt,
     SimError,
 )
+from repro.simnet.profiler import SelfProfiler, deterministic_view
 from repro.simnet.resources import SlotPool, RateDevice, Store
 from repro.simnet.network import Link, Network, Flow, FlowFailed, use_solver
 from repro.simnet.cluster import Node, Cluster, ClusterSpec, paper_cluster
@@ -48,6 +49,8 @@ __all__ = [
     "AnyOf",
     "Interrupt",
     "SimError",
+    "SelfProfiler",
+    "deterministic_view",
     "SlotPool",
     "RateDevice",
     "Store",

@@ -505,6 +505,11 @@ class Simulator:
         #: Observability hook; :meth:`repro.obs.Observer.attach` replaces
         #: the null default.  Models read ``sim.obs`` — never store it.
         self.obs = NULL_OBS
+        #: Wall-clock self-profiler (:mod:`repro.simnet.profiler`), or
+        #: None.  Checked exactly once per ``run()`` call — with no
+        #: profiler attached the hot loops below are byte-identical to
+        #: the pre-profiler kernel.
+        self._profiler = None
 
     @property
     def now(self) -> float:
@@ -647,12 +652,95 @@ class Simulator:
         if type(ev) is Tick:
             self._tick_pool.append(ev)
 
+    # -- self-profiling ------------------------------------------------------
+    def attach_profiler(self, profiler) -> None:
+        """Attach a :class:`repro.simnet.profiler.SelfProfiler`.
+
+        Subsequent ``run()`` calls take the instrumented loop; pass the
+        profiler's accumulated bins on via ``profiler.snapshot()``.
+        """
+        self._profiler = profiler
+
+    def detach_profiler(self):
+        """Detach and return the current profiler (restores fast loops)."""
+        profiler, self._profiler = self._profiler, None
+        return profiler
+
+    @staticmethod
+    def _event_label(callbacks: list) -> str:
+        """Attribution label for a dispatched event's first callback.
+
+        Bound methods label as ``ClassName.method`` — except process
+        resumptions, which label as the process *name* (``tracker3``,
+        ``map12``) so the profiler can tell heartbeats from task work.
+        """
+        cb = callbacks[0]
+        owner = getattr(cb, "__self__", None)
+        if owner is not None:
+            if isinstance(owner, Process):
+                return owner.name
+            return f"{type(owner).__name__}.{getattr(cb, '__name__', 'call')}"
+        return getattr(cb, "__qualname__", None) or getattr(
+            cb, "__name__", "callback"
+        )
+
+    def _run_profiled(self, until: Optional[float]) -> float:
+        """``run()`` with wall-clock attribution (see :mod:`..profiler`).
+
+        Same semantics as the fast loops — same pop order, same counter
+        updates — plus two timers per event: pop/peek bookkeeping goes
+        to the ``timer-wheel`` bin (``kernel`` when no wheel is
+        configured), dispatch time to the event's category bin.
+        """
+        profiler = self._profiler
+        clock = profiler.clock
+        wheel = self._wheel
+        pop_bin = "kernel" if wheel is None else "timer-wheel"
+        heap = self._heap
+        while True:
+            t0 = clock()
+            entry = self._next_entry()
+            if entry is None:
+                profiler.record_overhead(pop_bin, clock() - t0)
+                break
+            if until is not None and entry[0] > until:
+                self._now = until
+                profiler.record_overhead(pop_bin, clock() - t0)
+                break
+            if wheel is not None and wheel.size:
+                wtop = wheel.peek()
+                head = heap[0] if heap else None
+                if head is None or (wtop[0], wtop[1]) < (head[0], head[1]):
+                    when, _seq, ev = wheel.pop()
+                else:
+                    when, _seq, ev = heapq.heappop(heap)
+            else:
+                when, _seq, ev = heapq.heappop(heap)
+            if when < self._now - 1e-15:
+                raise SimError(f"time went backwards: {when} < {self._now}")
+            if when > self._now:
+                self._now = when
+            callbacks, ev.callbacks = ev.callbacks, None
+            t1 = clock()
+            profiler.record_overhead(pop_bin, t1 - t0)
+            if callbacks:
+                self.events_dispatched += 1
+                label = self._event_label(callbacks)
+                for cb in callbacks:
+                    cb(ev)
+                profiler.record(label, clock() - t1)
+            if type(ev) is Tick:
+                self._tick_pool.append(ev)
+        return self._finish_run()
+
     def run(self, until: Optional[float] = None) -> float:
         """Run until the event heap drains or ``until`` (exclusive of later events).
 
         Raises the exception of any failed event that no process handled.
         Returns the final simulated time.
         """
+        if self._profiler is not None:
+            return self._run_profiled(until)
         if self._wheel is None:
             # Hot loop for the default configuration: pure heap, pop
             # inlined (no per-event wheel checks).  ``heap`` stays a

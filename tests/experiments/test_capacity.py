@@ -1,0 +1,81 @@
+"""The capacity-planning experiment (:mod:`repro.experiments.capacity`).
+
+The validation loop is the point of the experiment — a projection is
+only as good as its re-run score — so these tests run the two gated
+scenarios at reduced size and hold them to the same <=10% bar the CLI
+gates on.
+"""
+
+import pytest
+
+from repro.experiments.capacity import (
+    ERROR_TARGET,
+    KnobValidation,
+    scenario_drop_tenant,
+    scenario_queue_capacity,
+)
+
+MiB = 1 << 20
+
+
+class TestGatedScenarios:
+    @pytest.fixture(scope="class")
+    def queue_capacity(self):
+        return scenario_queue_capacity(seed=2011, jobs=3, size=32 * MiB)
+
+    @pytest.fixture(scope="class")
+    def drop_tenant(self):
+        return scenario_drop_tenant(seed=2011, jobs=3, size=32 * MiB)
+
+    def test_queue_capacity_projection_validates(self, queue_capacity):
+        projection, validation = queue_capacity
+        assert projection.knob == "queue_capacity"
+        assert validation.gated
+        assert validation.error <= ERROR_TARGET
+        # Raising max_running 1 -> 3 must actually help.
+        assert validation.actual < validation.baseline_observed
+
+    def test_sequential_baseline_replays_exactly(self, queue_capacity):
+        projection, _validation = queue_capacity
+        assert projection.baseline_replayed == pytest.approx(
+            projection.baseline_observed, rel=1e-9
+        )
+
+    def test_drop_tenant_projection_validates(self, drop_tenant):
+        projection, validation = drop_tenant
+        assert projection.knob == "drop_tenant"
+        assert projection.tenant == "alice"
+        assert validation.gated
+        assert validation.error <= ERROR_TARGET
+
+    def test_validation_serializes_with_score(self, queue_capacity):
+        _projection, validation = queue_capacity
+        d = validation.to_dict()
+        assert d["target"] == ERROR_TARGET
+        assert d["error"] == validation.error
+        assert isinstance(validation, KnobValidation)
+
+
+class TestReportShape:
+    def test_report_counts_gated_passes(self):
+        from repro.experiments.capacity import format_report
+
+        report = {
+            "experiment": "capacity",
+            "seed": 2011,
+            "error_target": ERROR_TARGET,
+            "validations": [
+                {
+                    "knob": "queue_capacity", "detail": {}, "tenant": "",
+                    "metric": "makespan", "baseline_observed": 10.0,
+                    "baseline_replayed": 10.0, "predicted": 5.0,
+                    "actual": 5.0, "error": 0.0, "gated": True,
+                    "target": ERROR_TARGET,
+                },
+            ],
+            "gated_within_target": 1,
+            "gated_total": 1,
+        }
+        text = format_report(report)
+        assert "PASS" in text
+        assert "1/1" in text

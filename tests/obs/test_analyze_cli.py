@@ -50,3 +50,38 @@ class TestAnalyzeCli:
         bare.write_text(fig6_trace.read_text())
         with pytest.raises(FileNotFoundError, match="manifest"):
             analyze_main([str(bare), "--validate"])
+
+
+@pytest.fixture(scope="module")
+def tenant_store(tmp_path_factory):
+    from repro.experiments.capacity import produce_stores
+
+    out = tmp_path_factory.mktemp("stores")
+    (path,) = produce_stores(out, seeds=(2011,), horizon=60.0)
+    return path
+
+
+class TestAnalyzeStore:
+    def test_jsonl_store_analyzes_via_load_tracer(self, tenant_store, capsys):
+        assert analyze_main([str(tenant_store)]) == 0
+        out = capsys.readouterr().out
+        assert "critical-path blame" in out
+
+    def test_tenants_mode_prints_the_blame_report(self, tenant_store, capsys):
+        assert analyze_main([str(tenant_store), "--tenants"]) == 0
+        out = capsys.readouterr().out
+        assert "tenant" in out.lower()
+
+    def test_tenants_mode_json_report(self, tenant_store, tmp_path):
+        report_path = tmp_path / "tenants.json"
+        assert analyze_main(
+            [str(tenant_store), "--tenants", "--json", str(report_path)]
+        ) == 0
+        report = json.loads(report_path.read_text())
+        assert report["system"] == "tenants"
+        assert report["jobs"] >= report["completed"]
+        assert "tenants" in report
+
+    def test_tenants_mode_rejects_perfetto_traces(self, fig6_trace):
+        with pytest.raises(SystemExit):
+            analyze_main([str(fig6_trace), "--tenants"])

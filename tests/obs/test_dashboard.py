@@ -167,4 +167,4 @@ class TestSweepBrowser:
         html = render_sweep_browser(build_sweep_data(
             None, [tmp_path / "absent.jsonl"]))
         data = extract_data_island(html, "sweep-data")
-        assert data == {"csv": {}, "json": {}, "bench": []}
+        assert data == {"csv": {}, "json": {}, "bench": [], "alerts": []}

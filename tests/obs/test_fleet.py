@@ -1,0 +1,211 @@
+"""The fleet aggregator contract (:mod:`repro.obs.fleet`).
+
+Synthetic-footer tests pin the rollup arithmetic (tenant merge,
+regression flagging, histogram merge); the end-to-end test produces a
+real seeded multi-tenant store twice and pins the CI fleet-smoke
+contract — same seed, byte-identical store files and fleet JSON.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.fleet import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    FleetSummary,
+    fleet_summary,
+    scan_stores,
+)
+
+
+def _footer(
+    store: str,
+    system: str = "tenants-fair",
+    events: int = 100,
+    makespan: float = 100.0,
+    completed: int = 10,
+    tenants: dict | None = None,
+    metrics: dict | None = None,
+) -> tuple[Path, dict]:
+    return Path(store), {
+        "system": system,
+        "events": events,
+        "final_time": makespan,
+        "counts": {},
+        "metrics": metrics or {},
+        "summary": {
+            "policy": "fair",
+            "seed": 2011,
+            "makespan": makespan,
+            "jobs": completed,
+            "completed": completed,
+            "failed": 0,
+            "shed": 0,
+            "tenants": tenants or {},
+        },
+    }
+
+
+def _tenant(
+    submitted=10,
+    completed=10,
+    shed=0,
+    latency_p95=20.0,
+    utilization=0.5,
+):
+    return {
+        "queue": "batch",
+        "submitted": submitted,
+        "completed": completed,
+        "failed": 0,
+        "shed": shed,
+        "unfinished": submitted - completed - shed,
+        "slot_seconds": 100.0,
+        "latency_p50": latency_p95 / 2,
+        "latency_p95": latency_p95,
+        "latency_p99": latency_p95 * 1.5,
+        "queue_wait_p95": 5.0,
+        "utilization": utilization,
+    }
+
+
+class TestMergeTenants:
+    def test_counts_sum_and_percentiles_take_the_worst_case(self):
+        stores = [
+            _footer("a.jsonl", tenants={"batch": _tenant(latency_p95=20.0,
+                                                         utilization=0.4)}),
+            _footer("b.jsonl", tenants={"batch": _tenant(latency_p95=35.0,
+                                                         utilization=0.6)}),
+        ]
+        summary = fleet_summary(stores)
+        t = summary.tenants["batch"]
+        assert t["runs"] == 2
+        assert t["submitted"] == 20
+        assert t["completed"] == 20
+        assert t["latency_p95"] == 35.0  # max across runs, not mean
+        assert t["utilization"] == pytest.approx(0.5)  # mean across runs
+        assert t["attainment"] == pytest.approx(1.0)
+
+    def test_attainment_counts_shed_submissions_against_the_tenant(self):
+        stores = [
+            _footer("a.jsonl", tenants={"x": _tenant(submitted=10,
+                                                     completed=7, shed=3)}),
+        ]
+        t = fleet_summary(stores).tenants["x"]
+        assert t["attainment"] == pytest.approx(0.7)
+        assert t["shed"] == 3
+
+
+class TestRegressions:
+    def test_makespan_growth_past_threshold_is_flagged(self):
+        stores = [
+            _footer("run-001.jsonl", makespan=100.0),
+            _footer("run-002.jsonl", makespan=150.0),
+        ]
+        regs = fleet_summary(stores).regressions
+        assert [r["kind"] for r in regs] == ["makespan"]
+        assert regs[0]["from_store"] == "run-001.jsonl"
+        assert regs[0]["to_store"] == "run-002.jsonl"
+        assert regs[0]["ratio"] == pytest.approx(1.5)
+
+    def test_completed_drop_past_threshold_is_flagged(self):
+        stores = [
+            _footer("run-001.jsonl", completed=10),
+            _footer("run-002.jsonl", completed=5),
+        ]
+        regs = fleet_summary(stores).regressions
+        assert [r["kind"] for r in regs] == ["completed"]
+
+    def test_within_threshold_runs_are_quiet(self):
+        stores = [
+            _footer("run-001.jsonl", makespan=100.0, completed=10),
+            _footer("run-002.jsonl",
+                    makespan=100.0 * (1 + DEFAULT_REGRESSION_THRESHOLD),
+                    completed=10),
+        ]
+        assert fleet_summary(stores).regressions == []
+
+    def test_different_systems_never_compare(self):
+        stores = [
+            _footer("run-001.jsonl", system="tenants-fair", makespan=100.0),
+            _footer("run-002.jsonl", system="tenants-fifo", makespan=900.0),
+        ]
+        assert fleet_summary(stores).regressions == []
+
+
+class TestHistograms:
+    def test_tenant_histograms_merge_with_non_blank_percentiles(self):
+        snap = {
+            "type": "histogram",
+            "mean": 1.0, "min": 0.0, "max": 2.0,
+            "p50": 1.0, "p95": 2.0, "p99": 2.0,
+            "transitions": 4, "total_seconds": 10.0,
+            "value_seconds": {"1.0": 5.0, "2.0": 5.0},
+        }
+        stores = [
+            _footer("a.jsonl", metrics={"tenants.batch.running": snap,
+                                        "host.load": snap}),
+            _footer("b.jsonl", metrics={"tenants.batch.running": snap}),
+        ]
+        summary = fleet_summary(stores)
+        # Only tenants./queues. metrics merge; host.* stays per-store.
+        assert set(summary.histograms) == {"tenants.batch.running"}
+        merged = summary.histograms["tenants.batch.running"]
+        assert merged["total_seconds"] == pytest.approx(20.0)
+        header, rows = summary.metric_rows()
+        assert rows, "merged histograms must render as rows"
+        row = dict(zip(header, rows[0]))
+        assert row["p50"] != "" and row["p95"] != "" and row["p99"] != ""
+
+
+class TestScanAndSerialize:
+    def test_footerless_stores_are_skipped(self, tmp_path):
+        (tmp_path / "live.jsonl").write_text('{"k":"event"}\n')
+        assert scan_stores(tmp_path) == []
+
+    def test_to_json_is_canonical(self):
+        summary = fleet_summary([_footer("a.jsonl")], root_label="x")
+        payload = json.loads(summary.to_json())
+        assert payload["root"] == "x"
+        assert summary.to_json() == json.dumps(
+            summary.to_dict(), indent=2, sort_keys=True
+        )
+
+    def test_totals_roll_up_across_stores(self):
+        summary = fleet_summary([
+            _footer("a.jsonl", events=100, completed=10, makespan=50.0),
+            _footer("b.jsonl", events=50, completed=4, makespan=40.0),
+        ])
+        assert summary.totals["stores"] == 2
+        assert summary.totals["events"] == 150
+        assert summary.totals["completed"] == 14
+        assert summary.totals["final_time"] == 50.0
+
+
+class TestEndToEnd:
+    def test_same_seed_stores_and_fleet_json_are_byte_identical(
+        self, tmp_path
+    ):
+        from repro.experiments.capacity import produce_stores
+
+        dirs = []
+        for name in ("a", "b"):
+            out = tmp_path / name
+            paths = produce_stores(out, seeds=(2011,), horizon=60.0)
+            assert len(paths) == 1
+            dirs.append(out)
+        store_a = next(dirs[0].glob("*.jsonl"))
+        store_b = next(dirs[1].glob("*.jsonl"))
+        assert store_a.read_bytes() == store_b.read_bytes()
+
+        json_a = fleet_summary(dirs[0], root_label="fleet").to_json()
+        json_b = fleet_summary(dirs[1], root_label="fleet").to_json()
+        assert json_a == json_b
+
+        summary = fleet_summary(dirs[0], root_label="fleet")
+        assert isinstance(summary, FleetSummary)
+        assert summary.totals["stores"] == 1
+        row = summary.stores[0]
+        assert row["system"] == "tenants-fair"
+        assert "blame" in row, "footer must carry the per-tenant blame mix"

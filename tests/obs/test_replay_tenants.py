@@ -1,0 +1,123 @@
+"""Replay frames from multi-tenant trace stores.
+
+Satellite of the fleet-observability PR: the replay fold must carry
+per-tenant occupancy (conserving tenant.job busy-seconds exactly),
+surface preempt/shed instants as frame markers, and a store replayed
+twice from the same seed must fold byte-identically.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.replay import replay_store
+from repro.obs.store import TraceStoreWriter, load_tracer
+
+
+def _write_store(path, seed=2011, load=3.0, horizon=80.0):
+    """A small arrival-driven run, overloaded enough to shed."""
+    from repro.cluster import (
+        MultiTenantEngine,
+        QueueConfig,
+        SchedulerConfig,
+        TenantSpec,
+    )
+    from repro.hadoop import HadoopConfig
+
+    tenants = [
+        TenantSpec(
+            name="batch",
+            rate=0.05 * load,
+            profile="poisson",
+            workloads=("webdataScan",),
+            min_input_bytes=32 * 2**20,
+            max_input_bytes=64 * 2**20,
+        ),
+        TenantSpec(
+            name="interactive",
+            rate=0.08 * load,
+            profile="poisson",
+            workloads=("webdataScan",),
+            min_input_bytes=16 * 2**20,
+            max_input_bytes=32 * 2**20,
+        ),
+    ]
+    queues = [
+        QueueConfig(name="batch", capacity=0.5, max_queued=2, max_running=1),
+        QueueConfig(name="interactive", capacity=0.5, max_queued=2,
+                    max_running=1),
+    ]
+    engine = MultiTenantEngine(
+        tenants,
+        scheduler=SchedulerConfig(policy="fair"),
+        queues=queues,
+        hadoop_config=HadoopConfig(map_slots=2, reduce_slots=2),
+        seed=seed,
+        horizon=horizon,
+        observe=True,
+    )
+    engine.setup()
+    with TraceStoreWriter(path, system="tenants-fair") as writer:
+        writer.attach(engine.sim.obs)
+        report = engine.run()
+        writer.summary = report
+    return report
+
+
+class TestTenantFrames:
+    @pytest.fixture(scope="class")
+    def store(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("stores") / "tenants.jsonl"
+        report = _write_store(path)
+        return path, report
+
+    def test_frames_carry_per_tenant_occupancy(self, store):
+        path, _report = store
+        r = replay_store(path, buckets=40)
+        seen = set()
+        for frame in r.frames:
+            seen.update(frame.tenants)
+        assert seen, "tenant.job spans must fold into frame occupancy"
+        assert seen <= {"batch", "interactive"}
+
+    def test_occupancy_conserves_job_busy_seconds(self, store):
+        path, _report = store
+        r = replay_store(path, buckets=40)
+        dt = r.t_end / len(r.frames)
+        folded = sum(
+            occ * dt for frame in r.frames for occ in frame.tenants.values()
+        )
+        tracer = load_tracer(path)
+        busy = sum(
+            min(s.t1, r.t_end) - s.t0
+            for s in tracer.spans
+            if s.category == "tenant.job" and s.t1 is not None
+        )
+        assert folded == pytest.approx(busy, rel=1e-6)
+
+    def test_preempt_and_shed_instants_become_markers(self, store):
+        path, report = store
+        assert report["shed"] > 0, "scenario must overload the queues"
+        r = replay_store(path, buckets=40)
+        cats = {
+            m["cat"] for frame in r.frames for m in frame.markers
+        }
+        assert "tenant.shed" in cats
+        tracer = load_tracer(path)
+        tenant_instants = [
+            i for i in tracer.instants if i.category.startswith("tenant.")
+        ]
+        assert r.total_markers == len(tenant_instants)
+
+    def test_same_seed_folds_byte_identically(self, store, tmp_path):
+        path, _report = store
+        other = tmp_path / "again.jsonl"
+        _write_store(other)
+        a = replay_store(path, buckets=40).to_dict()
+        b = replay_store(other, buckets=40).to_dict()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_frame_dicts_serialize_tenants(self, store):
+        path, _report = store
+        frame = replay_store(path, buckets=40).frames[0].to_dict()
+        assert "tenants" in frame

@@ -1,0 +1,164 @@
+"""The per-tenant capacity analyzer (:mod:`repro.obs.tenant_analysis`).
+
+Synthetic-job tests pin the FIFO replay and the projection arithmetic;
+the traced tests run a real (small) multi-tenant engine and check the
+span pairing and blame report against what the engine itself recorded.
+"""
+
+import pytest
+
+from repro.obs.tenant_analysis import (
+    TenantJob,
+    analyze_tenants,
+    jobs_from_tracer,
+    project_drop_tenant,
+    project_queue_capacity,
+    replay_fifo,
+    tenant_blame,
+)
+
+MiB = 1 << 20
+
+
+def _job(jid, tenant="a", submitted=0.0, dispatched=None, finished=None,
+         outcome="done"):
+    return TenantJob(
+        job_id=jid, tenant=tenant, queue="q", name=f"j{jid}",
+        runtime="hadoop", submitted=submitted, dispatched=dispatched,
+        finished=finished, outcome=outcome,
+    )
+
+
+class TestReplayFifo:
+    def test_single_server_serializes_in_submit_order(self):
+        jobs = [_job(i, submitted=0.0, dispatched=10.0 * i,
+                     finished=10.0 * i + 10.0) for i in range(3)]
+        out = replay_fifo(jobs, servers=1)
+        assert out == {0: (0.0, 10.0), 1: (10.0, 20.0), 2: (20.0, 30.0)}
+
+    def test_enough_servers_run_everything_at_submit(self):
+        jobs = [_job(i, submitted=0.0, dispatched=10.0 * i,
+                     finished=10.0 * i + 10.0) for i in range(3)]
+        out = replay_fifo(jobs, servers=3)
+        assert all(start == 0.0 and end == 10.0
+                   for start, end in out.values())
+
+    def test_service_override_replaces_traced_service(self):
+        jobs = [_job(0, dispatched=0.0, finished=10.0)]
+        out = replay_fifo(jobs, servers=1, services={0: 4.0})
+        assert out[0] == (0.0, 4.0)
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ValueError):
+            replay_fifo([], servers=0)
+
+
+class TestProjections:
+    def _sequential_jobs(self, n=4, svc=10.0):
+        return [_job(i, submitted=0.0, dispatched=svc * i,
+                     finished=svc * (i + 1)) for i in range(n)]
+
+    def test_queue_capacity_projection_matches_hand_arithmetic(self):
+        jobs = self._sequential_jobs(n=4, svc=10.0)
+        p = project_queue_capacity(jobs, queue="q", max_running=1,
+                                   new_max_running=2)
+        assert p.knob == "queue_capacity"
+        assert p.baseline_observed == pytest.approx(40.0)
+        assert p.baseline_replayed == pytest.approx(40.0)
+        # 4 jobs x 10s through 2 slots: two back-to-back pairs.
+        assert p.predicted == pytest.approx(20.0)
+        assert p.predicted_delta == pytest.approx(20.0)
+
+    def test_drop_tenant_projection_removes_the_victims_load(self):
+        jobs = [
+            _job(0, tenant="alice", submitted=0.0, dispatched=0.0,
+                 finished=10.0),
+            _job(1, tenant="bob", submitted=0.0, dispatched=10.0,
+                 finished=20.0),
+            _job(2, tenant="alice", submitted=0.0, dispatched=20.0,
+                 finished=30.0),
+        ]
+        p = project_drop_tenant(jobs, queue="q", victim="bob",
+                                beneficiary="alice", max_running=1)
+        assert p.tenant == "alice"
+        assert p.baseline_observed == pytest.approx(30.0)
+        # Without bob, alice's two 10s jobs run back to back.
+        assert p.predicted == pytest.approx(20.0)
+
+    def test_shed_jobs_never_enter_the_replay(self):
+        jobs = self._sequential_jobs(n=2) + [
+            _job(9, submitted=0.0, outcome="shed")
+        ]
+        p = project_queue_capacity(jobs, queue="q", max_running=1,
+                                   new_max_running=2)
+        assert p.baseline_replayed == pytest.approx(20.0)
+
+
+def _traced_engine(seed=2011, jobs=3, size=32 * MiB):
+    from repro.cluster import MultiTenantEngine, QueueConfig, SchedulerConfig
+    from repro.hadoop import WORDCOUNT_PROFILE, HadoopConfig, JobSpec
+
+    engine = MultiTenantEngine(
+        [],
+        scheduler=SchedulerConfig(policy="fifo"),
+        queues=[QueueConfig(name="default", capacity=1.0, max_running=1)],
+        hadoop_config=HadoopConfig(map_slots=4, reduce_slots=4),
+        seed=seed,
+        horizon=600.0,
+        observe=True,
+    )
+    for i in range(jobs):
+        tenant = "alice" if i % 2 == 0 else "bob"
+        engine.add_job(
+            JobSpec(f"job-{i}", input_bytes=size, profile=WORDCOUNT_PROFILE),
+            at=float(i), tenant=tenant, seed=seed + i,
+        )
+    engine.run()
+    return engine
+
+
+class TestTracedRuns:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return _traced_engine()
+
+    def test_pairing_reconstructs_every_submission(self, engine):
+        jobs = jobs_from_tracer(engine.sim.obs.tracer)
+        assert len(jobs) == len(engine.records) == 3
+        assert all(j.outcome == "done" for j in jobs)
+        by_name = {j.name: j for j in jobs}
+        for rec in engine.records:
+            j = by_name[rec.name]
+            assert j.tenant == rec.tenant
+            assert j.submitted == pytest.approx(rec.submitted_at)
+            assert j.finished == pytest.approx(rec.finished_at)
+
+    def test_queue_wait_matches_the_serial_dispatch(self, engine):
+        jobs = sorted(jobs_from_tracer(engine.sim.obs.tracer),
+                      key=lambda j: j.submitted)
+        assert jobs[0].queue_wait == pytest.approx(0.0)
+        # max_running=1: every later job waits for its predecessor.
+        assert all(j.queue_wait > 0 for j in jobs[1:])
+
+    def test_blame_buckets_tile_each_tenants_latency(self, engine):
+        blame = tenant_blame(engine.sim.obs.tracer)
+        assert set(blame) == {"alice", "bob"}
+        for entry in blame.values():
+            parts = entry["blame_seconds"]
+            assert sum(parts.values()) == pytest.approx(
+                entry["total_seconds"], rel=1e-6
+            )
+            assert parts["queue_wait"] >= 0.0
+            assert sum(entry["blame_pct"].values()) == pytest.approx(
+                100.0, rel=1e-6
+            )
+
+    def test_analyze_tenants_report_is_json_ready(self, engine):
+        import json
+
+        report = analyze_tenants(engine.sim.obs.tracer)
+        assert report["jobs"] == 3
+        assert report["completed"] == 3
+        assert report["shed"] == 0
+        assert report["makespan"] > 0
+        json.dumps(report)  # must not raise
